@@ -1,0 +1,151 @@
+//! DeltaGraph — the authors' prior index (ICDE'13) — realized through
+//! TGI's tunability (§4.2/§4.3: "This is the same as DeltaGraph, with
+//! the exception of partitioning").
+//!
+//! One horizontal partition, monolithic (unbounded) micro-deltas, no
+//! version chains: excellent snapshots via the intersection tree, but
+//! node-version queries degrade to replay.
+
+use std::sync::Arc;
+
+use hgs_core::{Tgi, TgiConfig};
+use hgs_delta::{Delta, Event, NodeId, StaticNode, Time, TimeRange};
+use hgs_store::{SimStore, StoreConfig};
+
+use crate::traits::{node_events_in, HistoricalIndex};
+
+/// DeltaGraph = TGI with the degenerate partitioning configuration.
+pub struct DeltaGraphIndex {
+    tgi: Tgi,
+    /// Retained trace for version queries (DeltaGraph has no version
+    /// chains; the paper charges it `|G|` for those queries — we
+    /// replay the kept trace, charging the same asymptotics in-memory).
+    events: Vec<Event>,
+}
+
+impl DeltaGraphIndex {
+    /// Build with eventlist size `l` and tree arity `arity`.
+    pub fn build(
+        store_cfg: StoreConfig,
+        events: &[Event],
+        l: usize,
+        arity: usize,
+    ) -> DeltaGraphIndex {
+        let cfg = TgiConfig {
+            eventlist_size: l,
+            arity,
+            ..TgiConfig::deltagraph()
+        };
+        let tgi = Tgi::build(cfg, store_cfg, events);
+        DeltaGraphIndex { tgi, events: events.to_vec() }
+    }
+
+    /// The underlying TGI handle.
+    pub fn tgi(&self) -> &Tgi {
+        &self.tgi
+    }
+}
+
+impl HistoricalIndex for DeltaGraphIndex {
+    fn name(&self) -> &'static str {
+        "deltagraph"
+    }
+
+    fn store(&self) -> &Arc<SimStore> {
+        self.tgi.store()
+    }
+
+    fn snapshot(&self, t: Time) -> Delta {
+        self.tgi.snapshot(t)
+    }
+
+    fn node_at(&self, nid: NodeId, t: Time) -> Option<StaticNode> {
+        // Monolithic deltas: fetching a node still reads whole deltas
+        // along the path; TGI's node_at on a single-pid config does
+        // exactly that.
+        self.tgi.node_at(nid, t)
+    }
+
+    fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>) {
+        // No version chains: scan the history (the |G| cost of Table 1).
+        (self.node_at(nid, range.start), node_events_in(&self.events, nid, range))
+    }
+}
+
+/// TGI itself as a [`HistoricalIndex`], closing the comparison set.
+impl HistoricalIndex for Tgi {
+    fn name(&self) -> &'static str {
+        "tgi"
+    }
+
+    fn store(&self) -> &Arc<SimStore> {
+        Tgi::store(self)
+    }
+
+    fn snapshot(&self, t: Time) -> Delta {
+        Tgi::snapshot(self, t)
+    }
+
+    fn node_at(&self, nid: NodeId, t: Time) -> Option<StaticNode> {
+        Tgi::node_at(self, nid, t)
+    }
+
+    fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>) {
+        let h = Tgi::node_history(self, nid, range);
+        (h.initial, h.events)
+    }
+
+    fn one_hop(&self, nid: NodeId, t: Time) -> Delta {
+        Tgi::khop(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_datagen::WikiGrowth;
+
+    #[test]
+    fn deltagraph_matches_replay() {
+        let events = WikiGrowth::sized(1_000).generate();
+        let idx = DeltaGraphIndex::build(StoreConfig::new(2, 1), &events, 100, 2);
+        let end = events.last().unwrap().time;
+        for t in [0, end / 2, end] {
+            assert_eq!(idx.snapshot(t), Delta::snapshot_by_replay(&events, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn deltagraph_stores_monolithic_deltas() {
+        let events = WikiGrowth::sized(1_000).generate();
+        let idx = DeltaGraphIndex::build(StoreConfig::new(2, 1), &events, 200, 2);
+        // Exactly one pid per delta: scan counts and row counts match
+        // the tree structure, far fewer rows than a partitioned TGI.
+        let tgi_cfg = hgs_core::TgiConfig {
+            eventlist_size: 200,
+            partition_size: 50,
+            ..hgs_core::TgiConfig::default()
+        };
+        let tgi = Tgi::build(tgi_cfg, StoreConfig::new(2, 1), &events);
+        assert!(idx.store().row_count() < tgi.store().row_count() / 2);
+    }
+
+    #[test]
+    fn tgi_as_historical_index() {
+        let events = WikiGrowth::sized(800).generate();
+        let tgi = Tgi::build(
+            hgs_core::TgiConfig {
+                events_per_timespan: 500,
+                eventlist_size: 100,
+                partition_size: 80,
+                ..hgs_core::TgiConfig::default()
+            },
+            StoreConfig::new(2, 1),
+            &events,
+        );
+        let idx: &dyn HistoricalIndex = &tgi;
+        let end = events.last().unwrap().time;
+        assert_eq!(idx.snapshot(end), Delta::snapshot_by_replay(&events, end));
+        assert_eq!(idx.name(), "tgi");
+    }
+}

@@ -1,0 +1,43 @@
+//! # hgs-baselines — the temporal indexes TGI is compared against
+//!
+//! §4.2 of the paper expresses the prior techniques in the delta
+//! framework; this crate implements each of them as a real index over
+//! the same simulated store, behind one trait, so that access costs
+//! (store lookups, bytes, latencies) are directly comparable:
+//!
+//! * [`LogIndex`] — the Log approach: a single chronological event log
+//!   (chunked for feasibility); every query replays from the start.
+//! * [`CopyIndex`] — the Copy approach: a materialized snapshot at
+//!   every change point; direct access, quadratic storage.
+//! * [`CopyLogIndex`] — Copy+Log: periodic snapshots plus connecting
+//!   eventlists.
+//! * [`NodeCentricIndex`] — the vertex-centric approach: one eventlist
+//!   per node (edges replicated to both endpoints); perfect for node
+//!   versions, terrible for snapshots.
+//! * [`DeltaGraphIndex`] — the authors' prior DeltaGraph system,
+//!   realized as TGI converged to one horizontal partition, monolithic
+//!   micro-deltas and no version chains (§4.2's generalization claim).
+//!
+//! All of them — and TGI itself — implement [`HistoricalIndex`].
+
+pub mod copy;
+pub mod copylog;
+pub mod deltagraph;
+pub mod log;
+pub mod nodecentric;
+pub mod traits;
+
+pub use copy::CopyIndex;
+pub use copylog::CopyLogIndex;
+pub use deltagraph::DeltaGraphIndex;
+pub use log::LogIndex;
+pub use nodecentric::NodeCentricIndex;
+pub use traits::HistoricalIndex;
+
+use hgs_delta::{Delta, EventKind, NodeId};
+
+/// Apply an event restricted to a single node's description (used by
+/// the per-node replay paths of the baselines).
+pub(crate) fn scoped_apply(state: &mut Delta, kind: &EventKind, nid: NodeId) {
+    hgs_core::scope::apply_event_scoped(state, kind, |id| id == nid);
+}

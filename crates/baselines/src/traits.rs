@@ -1,0 +1,51 @@
+//! The common interface of all historical graph indexes.
+
+use hgs_delta::{Delta, Event, NodeId, StaticNode, Time, TimeRange};
+use hgs_store::SimStore;
+use std::sync::Arc;
+
+/// A historical graph index: anything that can answer the paper's
+/// retrieval primitives over an immutable event history.
+pub trait HistoricalIndex {
+    /// Short name for experiment output ("log", "copy", ...).
+    fn name(&self) -> &'static str;
+
+    /// The backing store (for access accounting).
+    fn store(&self) -> &Arc<SimStore>;
+
+    /// Graph state as of `t`.
+    fn snapshot(&self, t: Time) -> Delta;
+
+    /// One node's state as of `t`.
+    fn node_at(&self, nid: NodeId, t: Time) -> Option<StaticNode>;
+
+    /// One node's history over `range`: initial state plus in-range
+    /// events touching it.
+    fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>);
+
+    /// Total stored bytes — the index-size column of Table 1.
+    fn storage_bytes(&self) -> usize {
+        self.store().stored_bytes()
+    }
+
+    /// 1-hop neighborhood of `nid` as of `t` (default: via snapshot).
+    fn one_hop(&self, nid: NodeId, t: Time) -> Delta {
+        let snap = self.snapshot(t);
+        let Some(center) = snap.node(nid) else { return Delta::new() };
+        let mut keep: Vec<NodeId> = center.all_neighbors().collect();
+        keep.push(nid);
+        snap.restrict(|id| keep.contains(&id))
+    }
+}
+
+/// Filter `events` to those touching `nid` strictly inside `range`.
+pub(crate) fn node_events_in(events: &[Event], nid: NodeId, range: TimeRange) -> Vec<Event> {
+    events
+        .iter()
+        .filter(|e| {
+            let (a, b) = e.kind.touched();
+            (a == nid || b == Some(nid)) && e.time > range.start && e.time < range.end
+        })
+        .cloned()
+        .collect()
+}

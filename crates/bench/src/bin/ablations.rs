@@ -1,0 +1,7 @@
+//! Standalone harness for the design-choice ablations (arity,
+//! timespan length, horizontal partitions).
+fn main() {
+    hgs_bench::experiments::ablation_arity();
+    hgs_bench::experiments::ablation_timespan();
+    hgs_bench::experiments::ablation_horizontal();
+}

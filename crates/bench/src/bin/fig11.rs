@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig11 experiment.
+fn main() {
+    hgs_bench::experiments::fig11();
+}

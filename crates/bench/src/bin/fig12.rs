@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig12 experiment.
+fn main() {
+    hgs_bench::experiments::fig12();
+}

@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig13b experiment.
+fn main() {
+    hgs_bench::experiments::fig13b();
+}

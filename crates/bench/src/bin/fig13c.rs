@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig13c experiment.
+fn main() {
+    hgs_bench::experiments::fig13c();
+}

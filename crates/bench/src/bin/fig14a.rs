@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig14a experiment.
+fn main() {
+    hgs_bench::experiments::fig14a();
+}

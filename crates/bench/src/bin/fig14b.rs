@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig14b experiment.
+fn main() {
+    hgs_bench::experiments::fig14b();
+}

@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig15a experiment.
+fn main() {
+    hgs_bench::experiments::fig15a();
+}

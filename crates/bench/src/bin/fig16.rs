@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's fig16 experiment.
+fn main() {
+    hgs_bench::experiments::fig16();
+}

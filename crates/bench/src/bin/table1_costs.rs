@@ -1,0 +1,4 @@
+//! Standalone harness for the paper's Table 1.
+fn main() {
+    hgs_bench::experiments::table1();
+}

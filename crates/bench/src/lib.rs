@@ -1,0 +1,14 @@
+//! # hgs-bench — experiment harnesses for every table and figure
+//!
+//! One binary per experiment of the paper's §6 (see `src/bin/`), each
+//! printing the same rows/series the paper reports as TSV, with both
+//! measured wall-clock and cost-model ("cluster-shaped") latencies.
+//! `run_all` executes the full suite. Criterion microbenches for the
+//! hot paths live in `benches/`.
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;
+
+pub use datasets::*;
+pub use harness::*;

@@ -1,0 +1,722 @@
+//! TGI construction — the paper's Index Manager (§4.4 *Construction
+//! and Update*).
+//!
+//! Construction proceeds a timespan at a time:
+//!
+//! 1. the span's events are chunked every `l` events (timestamp
+//!    groups never split), defining checkpoint times `c_0..c_{q-1}`;
+//! 2. a partition map per horizontal partition is computed (hash for
+//!    [`PartitionStrategy::Random`]; LDG+KL over the Ω-collapsed span
+//!    graph for [`PartitionStrategy::Locality`]);
+//! 3. the span is replayed: at each checkpoint the per-`sid`
+//!    partitioned snapshot (leaf) is pushed into a progressive
+//!    intersection-tree builder which stores the root and every
+//!    `child − parent` derived delta, micro-partitioned by `pid`;
+//! 4. each chunk's events are scoped per `sid`, sub-partitioned per
+//!    `pid`, and stored as partitioned eventlists; version-chain
+//!    entries are accumulated per touched node;
+//! 5. under locality+replication, auxiliary 1-hop boundary deltas are
+//!    stored per (leaf, `sid`, `pid`).
+//!
+//! Updates append in batches (`Tgi::append_events`), equivalent to the
+//! paper's "create an independent TGI with the new events and merge":
+//! new timespans continue the id sequence, the previous last span's
+//! open time range is closed, and version chains are extended.
+
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use hgs_delta::codec::{encode_delta, encode_eventlist, put_varint};
+use hgs_delta::{Delta, Event, Eventlist, FxHashMap, NodeId, Time, TimeRange};
+use hgs_partition::{
+    CollapsedGraph, LocalityPartitioner, PartitionMap, Partitioner, RandomPartitioner,
+};
+use hgs_store::key::{node_key, node_placement_token};
+use hgs_store::{CostModel, DeltaKey, PlacementKey, SimStore, StoreConfig, Table};
+
+use crate::config::{PartitionStrategy, TgiConfig};
+use crate::meta::{
+    decode_chain, encode_chain, sid_of, ChainEntry, TimespanMeta, TreeShape, AUX_BASE, ELIST_BASE,
+};
+
+/// Runtime state of one built timespan.
+pub(crate) struct SpanRuntime {
+    pub meta: TimespanMeta,
+    /// Partition map per horizontal partition.
+    pub maps: Vec<PartitionMap>,
+}
+
+/// The Temporal Graph Index handle.
+///
+/// Owns (a shared reference to) the backing store, the per-timespan
+/// metadata and partition maps, and the running tail state used to
+/// append further batches.
+pub struct Tgi {
+    pub(crate) cfg: TgiConfig,
+    pub(crate) store: Arc<SimStore>,
+    pub(crate) spans: Vec<SpanRuntime>,
+    pub(crate) tail_state: Delta,
+    pub(crate) end_time: Time,
+    pub(crate) cost: CostModel,
+    pub(crate) clients: usize,
+    pub(crate) event_count: usize,
+}
+
+impl Tgi {
+    /// Build an index over `events` (chronologically sorted) on a
+    /// fresh simulated cluster.
+    pub fn build(cfg: TgiConfig, store_cfg: StoreConfig, events: &[Event]) -> Tgi {
+        Tgi::build_on(cfg, Arc::new(SimStore::new(store_cfg)), events)
+    }
+
+    /// Build on an existing store (lets several indexes share a
+    /// cluster in experiments).
+    pub fn build_on(cfg: TgiConfig, store: Arc<SimStore>, events: &[Event]) -> Tgi {
+        cfg.validate();
+        let mut tgi = Tgi {
+            cfg,
+            store,
+            spans: Vec::new(),
+            tail_state: Delta::new(),
+            end_time: 0,
+            cost: CostModel::default(),
+            clients: 1,
+            event_count: 0,
+        };
+        tgi.append_events(events);
+        tgi
+    }
+
+    /// Append a batch of events. Events must not precede the current
+    /// end of history.
+    ///
+    /// The batch is normalized first ([`hgs_delta::normalize_events`]):
+    /// `RemoveNode` events are expanded with explicit `RemoveEdge`
+    /// events for their incident edges, so that partitioned eventlists
+    /// and version chains reach every affected node. Normalization
+    /// needs the edges *entering* the batch too, so the expansion runs
+    /// against the current tail state.
+    pub fn append_events(&mut self, events: &[Event]) {
+        let events = &self.normalize_batch(events)[..];
+        if events.is_empty() {
+            if self.spans.is_empty() {
+                // An index over an empty history still answers queries
+                // (with empty results): materialize one empty span.
+                self.build_span(&[], TimeRange::new(0, Time::MAX));
+            }
+            return;
+        }
+        assert!(
+            events.windows(2).all(|w| w[0].time <= w[1].time),
+            "events must be chronologically sorted"
+        );
+        assert!(
+            events[0].time >= self.end_time,
+            "batch starts at {} before index end {}",
+            events[0].time,
+            self.end_time
+        );
+
+        // Close the previous open-ended span at the batch start.
+        let mut start = if let Some(last) = self.spans.last_mut() {
+            let cut = last.meta.range.start.max(events[0].time);
+            last.meta.range = TimeRange::new(last.meta.range.start, cut);
+            self.persist_meta(self.spans.len() - 1);
+            cut
+        } else {
+            0
+        };
+
+        let spans = hgs_partition::plan_timespans(events, self.cfg.events_per_timespan);
+        let n = spans.len();
+        for (i, sp) in spans.into_iter().enumerate() {
+            let range_end = if i + 1 == n { Time::MAX } else { sp.range.end };
+            let range = TimeRange::new(start, range_end);
+            self.build_span(&events[sp.ev_start..sp.ev_end], range);
+            start = range_end;
+        }
+        self.end_time = events.last().map(|e| e.time + 1).unwrap_or(self.end_time);
+        self.event_count += events.len();
+        self.persist_graph_meta();
+    }
+
+    /// Normalize a batch against the current tail state: seed the
+    /// expansion with synthetic edge state from `tail_state`, then
+    /// normalize the batch alone.
+    fn normalize_batch(&self, events: &[Event]) -> Vec<Event> {
+        // Prefix the batch with the live adjacency as AddEdge events at
+        // an irrelevant time, normalize, then drop the prefix.
+        let state = &self.tail_state;
+        let mut seeded: Vec<Event> =
+            Vec::with_capacity(state.cardinality() + events.len());
+        let mut prefix = 0usize;
+        for n in state.iter() {
+            for e in &n.edges {
+                if n.id <= e.nbr {
+                    seeded.push(Event::new(0, hgs_delta::EventKind::AddEdge {
+                        src: n.id,
+                        dst: e.nbr,
+                        weight: e.weight,
+                        directed: false,
+                    }));
+                    prefix += 1;
+                }
+            }
+        }
+        seeded.extend(events.iter().cloned());
+        let mut out = hgs_delta::normalize_events(&seeded);
+        out.drain(..prefix);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Index configuration.
+    pub fn config(&self) -> &TgiConfig {
+        &self.cfg
+    }
+
+    /// Backing store.
+    pub fn store(&self) -> &Arc<SimStore> {
+        &self.store
+    }
+
+    /// Number of built timespans.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// One past the last indexed event time.
+    pub fn end_time(&self) -> Time {
+        self.end_time
+    }
+
+    /// Total events indexed.
+    pub fn event_count(&self) -> usize {
+        self.event_count
+    }
+
+    /// Total stored bytes (replicas included) — the index-size column
+    /// of Table 1.
+    pub fn storage_bytes(&self) -> usize {
+        self.store.stored_bytes()
+    }
+
+    /// The current (latest) graph state.
+    pub fn current_state(&self) -> &Delta {
+        &self.tail_state
+    }
+
+    /// Default number of parallel fetch clients used by queries.
+    pub fn set_clients(&mut self, c: usize) {
+        self.clients = c.max(1);
+    }
+
+    /// Latency model used for `modeled_secs` in fetch reports.
+    pub fn set_cost_model(&mut self, m: CostModel) {
+        self.cost = m;
+    }
+
+    pub(crate) fn span_for(&self, t: Time) -> &SpanRuntime {
+        let i = self.spans.partition_point(|s| s.meta.range.end <= t);
+        &self.spans[i.min(self.spans.len() - 1)]
+    }
+
+    // ------------------------------------------------------------------
+    // span construction
+    // ------------------------------------------------------------------
+
+    fn build_span(&mut self, events: &[Event], range: TimeRange) {
+        let cfg = self.cfg;
+        let tsid = self.spans.len() as u32;
+        let ns = cfg.horizontal_partitions;
+
+        // 1. Chunk the span's events every `l`, snapping timestamp
+        // groups; checkpoint c_j = state before chunk j.
+        let chunk_bounds = chunk_events(events, cfg.eventlist_size);
+        let q = chunk_bounds.len().max(1);
+        let mut checkpoints: Vec<Time> = Vec::with_capacity(q);
+        checkpoints.push(range.start);
+        for &(s, _) in chunk_bounds.iter().skip(1) {
+            checkpoints.push(events[s].time);
+        }
+        let shape = TreeShape::new(q, cfg.arity.min(q.max(2)));
+
+        // 2. Partition maps per sid.
+        let maps = self.compute_maps(events, range, ns);
+        let pid_counts: Vec<u32> = maps.iter().map(|m| m.parts()).collect();
+
+        // 3-5. Replay the span, emitting leaves / eventlists / aux /
+        // chain entries.
+        let mut accs: Vec<TreeAccumulator> =
+            (0..ns).map(|_| TreeAccumulator::new(shape.clone())).collect();
+        let mut chains: FxHashMap<NodeId, Vec<ChainEntry>> = FxHashMap::default();
+
+        for j in 0..q {
+            // Leaf j: per-sid partitioned snapshot of the current state.
+            let parts = partition_state(&self.tail_state, ns);
+            let replicate = matches!(
+                cfg.strategy,
+                PartitionStrategy::Locality { replicate_boundary: true }
+            );
+            for sid in 0..ns {
+                if replicate {
+                    self.store_aux(tsid, sid, j as u64, &self.tail_state, &maps);
+                }
+                let did_of = |level: usize, idx: usize| shape_did(&shape, level, idx);
+                let map = &maps[sid as usize];
+                accs[sid as usize].push_leaf(
+                    parts[sid as usize].clone(),
+                    &mut |level, idx, delta| {
+                        let did = did_of(level, idx);
+                        store_micro(&self.store, tsid, sid, did, delta, map);
+                    },
+                );
+            }
+
+            // Chunk j (if events exist): store partitioned eventlists,
+            // collect chain entries, advance the state.
+            if let Some(&(s, e)) = chunk_bounds.get(j) {
+                let chunk = &events[s..e];
+                self.store_eventlists(tsid, j as u32, chunk, &maps, &mut chains);
+                for ev in chunk {
+                    self.tail_state.apply_event(&ev.kind);
+                }
+            }
+        }
+        // Finalize trees (store roots and remaining derived deltas).
+        for sid in 0..ns {
+            let map = &maps[sid as usize];
+            accs[sid as usize].finalize(&mut |level, idx, delta| {
+                let did = shape_did(&shape, level, idx);
+                store_micro(&self.store, tsid, sid, did, delta, map);
+            });
+        }
+
+        // Version chains: read-modify-write per node.
+        if cfg.version_chains {
+            for (nid, mut entries) in chains {
+                entries.sort_by_key(|e| e.time);
+                let key = node_key(nid);
+                let token = node_placement_token(nid);
+                let mut chain = match self.store.get(Table::Versions, &key, token) {
+                    Ok(Some(bytes)) => decode_chain(&bytes).expect("chain decodes"),
+                    _ => Vec::new(),
+                };
+                chain.extend(entries);
+                self.store.put(Table::Versions, &key, token, encode_chain(&chain));
+            }
+        }
+
+        // Persist locality partition maps for reconstructability.
+        if matches!(cfg.strategy, PartitionStrategy::Locality { .. }) {
+            for (sid, map) in maps.iter().enumerate() {
+                let blob = encode_partition_map(map, &self.tail_state, ns, sid as u32);
+                let key = mp_key(tsid, sid as u32);
+                self.store.put(
+                    Table::Micropartitions,
+                    &key,
+                    PlacementKey::new(tsid, sid as u32).token(),
+                    blob,
+                );
+            }
+        }
+
+        let meta = TimespanMeta { tsid, range, checkpoints, shape, pid_counts, has_aux: matches!(cfg.strategy, PartitionStrategy::Locality { replicate_boundary: true }) };
+        self.spans.push(SpanRuntime { meta, maps });
+        self.persist_meta(self.spans.len() - 1);
+    }
+
+    fn compute_maps(&self, events: &[Event], range: TimeRange, ns: u32) -> Vec<PartitionMap> {
+        match self.cfg.strategy {
+            PartitionStrategy::Random => {
+                // Estimate end-of-span node count to size the pid space.
+                let adds = events
+                    .iter()
+                    .filter(|e| matches!(e.kind, hgs_delta::EventKind::AddNode { .. }))
+                    .count();
+                let est_total = self.tail_state.cardinality() + adds;
+                let per_sid = (est_total as f64 / ns as f64).ceil() as usize;
+                let parts = per_sid.div_ceil(self.cfg.partition_size).max(1) as u32;
+                (0..ns).map(|_| PartitionMap::random(parts)).collect()
+            }
+            PartitionStrategy::Locality { .. } => {
+                let collapsed = CollapsedGraph::collapse(
+                    &self.tail_state,
+                    events,
+                    range,
+                    self.cfg.omega,
+                    self.cfg.weighting,
+                );
+                let partitioner = LocalityPartitioner::default();
+                (0..ns)
+                    .map(|sid| {
+                        let sub = collapsed.induced(|id| sid_of(id, ns) == sid);
+                        let parts =
+                            sub.len().div_ceil(self.cfg.partition_size).max(1) as u32;
+                        if parts == 1 {
+                            RandomPartitioner.partition(&sub, 1)
+                        } else {
+                            partitioner.partition(&sub, parts)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn store_eventlists(
+        &self,
+        tsid: u32,
+        chunk_idx: u32,
+        chunk: &[Event],
+        maps: &[PartitionMap],
+        chains: &mut FxHashMap<NodeId, Vec<ChainEntry>>,
+    ) {
+        let ns = self.cfg.horizontal_partitions;
+        // (sid, pid) -> events, in chunk order.
+        let mut buckets: FxHashMap<(u32, u32), Vec<Event>> = FxHashMap::default();
+        for ev in chunk {
+            let (a, b) = ev.kind.touched();
+            // Target buckets for this event instance: each distinct
+            // (sid, pid) gets exactly one copy. Comparing bucket keys —
+            // not event values — keeps genuinely duplicated events
+            // (which raw traces do contain) intact.
+            let ta = {
+                let sid = sid_of(a, ns);
+                (sid, maps[sid as usize].assign(a))
+            };
+            let tb = b.filter(|&b| b != a).map(|b| {
+                let sid = sid_of(b, ns);
+                (sid, maps[sid as usize].assign(b))
+            });
+            buckets.entry(ta).or_default().push(ev.clone());
+            if let Some(tb) = tb {
+                if tb != ta {
+                    buckets.entry(tb).or_default().push(ev.clone());
+                }
+            }
+            if self.cfg.version_chains {
+                let mut chain_push = |nid: NodeId, pid: u32| {
+                    let chain = chains.entry(nid).or_default();
+                    if chain.last().map(|e| (e.tsid, e.chunk, e.pid)) != Some((tsid, chunk_idx, pid))
+                    {
+                        chain.push(ChainEntry { time: ev.time, tsid, chunk: chunk_idx, pid });
+                    }
+                };
+                chain_push(a, ta.1);
+                if let Some(b) = b {
+                    if b != a {
+                        let sid = sid_of(b, ns);
+                        chain_push(b, maps[sid as usize].assign(b));
+                    }
+                }
+            }
+        }
+        for ((sid, pid), evs) in buckets {
+            let el = Eventlist::from_sorted(evs);
+            let key = DeltaKey::new(tsid, sid, ELIST_BASE + chunk_idx as u64, pid);
+            self.store.put(
+                Table::Deltas,
+                &key.encode(),
+                key.placement().token(),
+                encode_eventlist(&el),
+            );
+        }
+    }
+
+    fn store_aux(&self, tsid: u32, sid: u32, leaf: u64, state: &Delta, maps: &[PartitionMap]) {
+        let ns = self.cfg.horizontal_partitions;
+        let map = &maps[sid as usize];
+        // For each pid of this sid: replicate states of out-of-partition
+        // 1-hop neighbors.
+        let mut aux: FxHashMap<u32, Delta> = FxHashMap::default();
+        for n in state.iter() {
+            if sid_of(n.id, ns) != sid {
+                continue;
+            }
+            let pid = map.assign(n.id);
+            for nbr in n.all_neighbors() {
+                let same = sid_of(nbr, ns) == sid && map.assign(nbr) == pid;
+                if !same {
+                    if let Some(nbr_state) = state.node(nbr) {
+                        aux.entry(pid).or_default().insert(nbr_state.clone());
+                    }
+                }
+            }
+        }
+        for (pid, delta) in aux {
+            let key = DeltaKey::new(tsid, sid, AUX_BASE + leaf, pid);
+            self.store.put(
+                Table::Deltas,
+                &key.encode(),
+                key.placement().token(),
+                encode_delta(&delta),
+            );
+        }
+    }
+
+    fn persist_meta(&self, span_idx: usize) {
+        let meta = &self.spans[span_idx].meta;
+        let key = meta.tsid.to_be_bytes();
+        self.store.put(
+            Table::Timespans,
+            &key,
+            hgs_delta::hash::hash_u64(meta.tsid as u64),
+            meta.encode(),
+        );
+    }
+
+    fn persist_graph_meta(&self) {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, self.spans.len() as u64);
+        put_varint(&mut buf, self.end_time);
+        put_varint(&mut buf, self.event_count as u64);
+        self.store.put(Table::Graph, b"meta", 0, buf.freeze());
+        self.store.put(Table::Graph, b"config", 0, crate::persist::encode_config(&self.cfg));
+    }
+}
+
+/// Chunk `events` into runs of ~`l`, never splitting a timestamp
+/// group. Returns `(start, end)` index pairs.
+fn chunk_events(events: &[Event], l: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < events.len() {
+        let want = (start + l).min(events.len());
+        let end = if want >= events.len() {
+            events.len()
+        } else {
+            let t = events[want].time;
+            let mut e = want;
+            if events[want - 1].time == t {
+                while e < events.len() && events[e].time == t {
+                    e += 1;
+                }
+            }
+            e
+        };
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Split a state into per-`sid` partitioned snapshots in one pass.
+fn partition_state(state: &Delta, ns: u32) -> Vec<Delta> {
+    let mut parts: Vec<Delta> = (0..ns).map(|_| Delta::new()).collect();
+    for n in state.iter() {
+        parts[sid_of(n.id, ns) as usize].insert(n.clone());
+    }
+    parts
+}
+
+/// Store a delta micro-partitioned by `map`.
+fn store_micro(store: &SimStore, tsid: u32, sid: u32, did: u64, delta: &Delta, map: &PartitionMap) {
+    let mut buckets: FxHashMap<u32, Delta> = FxHashMap::default();
+    for n in delta.iter() {
+        buckets.entry(map.assign(n.id)).or_default().insert(n.clone());
+    }
+    for (pid, d) in buckets {
+        let key = DeltaKey::new(tsid, sid, did, pid);
+        store.put(Table::Deltas, &key.encode(), key.placement().token(), encode_delta(&d));
+    }
+}
+
+#[inline]
+fn shape_did(shape: &TreeShape, level: usize, idx: usize) -> u64 {
+    shape.did(level, idx)
+}
+
+/// Key for a persisted partition map blob.
+pub(crate) fn mp_key(tsid: u32, sid: u32) -> [u8; 8] {
+    let mut k = [0u8; 8];
+    k[0..4].copy_from_slice(&tsid.to_be_bytes());
+    k[4..8].copy_from_slice(&sid.to_be_bytes());
+    k
+}
+
+/// Serialize the explicit entries of a locality partition map for the
+/// `Micropartitions` table (the paper's node -> micro-partition map).
+fn encode_partition_map(map: &PartitionMap, state: &Delta, ns: u32, sid: u32) -> bytes::Bytes {
+    let mut ids: Vec<NodeId> =
+        state.ids().filter(|&id| sid_of(id, ns) == sid).collect();
+    ids.sort_unstable();
+    let mut buf = BytesMut::with_capacity(ids.len() * 3 + 8);
+    put_varint(&mut buf, map.parts() as u64);
+    put_varint(&mut buf, ids.len() as u64);
+    let mut prev = 0u64;
+    for id in ids {
+        put_varint(&mut buf, id.wrapping_sub(prev));
+        prev = id;
+        put_varint(&mut buf, map.assign(id) as u64);
+    }
+    buf.freeze()
+}
+
+/// Progressive k-ary intersection-tree builder.
+///
+/// Leaves are pushed in order; whenever `arity` siblings are pending at
+/// a level their parent (the intersection) is computed, each child's
+/// derived delta (`child − parent`) is emitted, the children are
+/// dropped, and the parent is pushed one level up. `finalize` reduces
+/// partial groups and emits the root in full. Memory never exceeds
+/// `arity × height` retained deltas.
+struct TreeAccumulator {
+    shape: TreeShape,
+    /// Pending `(idx, delta)` children per level.
+    pending: Vec<Vec<(usize, Delta)>>,
+    next_leaf: usize,
+}
+
+impl TreeAccumulator {
+    fn new(shape: TreeShape) -> TreeAccumulator {
+        let levels = shape.level_sizes.len();
+        TreeAccumulator { shape, pending: vec![Vec::new(); levels], next_leaf: 0 }
+    }
+
+    /// Push the next leaf; `emit(level, idx, delta)` is called for
+    /// every stored delta that becomes final.
+    fn push_leaf(&mut self, leaf: Delta, emit: &mut impl FnMut(usize, usize, &Delta)) {
+        let idx = self.next_leaf;
+        self.next_leaf += 1;
+        debug_assert!(idx < self.shape.leaves);
+        self.push(0, idx, leaf, emit);
+    }
+
+    fn push(
+        &mut self,
+        level: usize,
+        idx: usize,
+        delta: Delta,
+        emit: &mut impl FnMut(usize, usize, &Delta),
+    ) {
+        if level == self.shape.height() {
+            // This is the root: store it in full.
+            emit(level, idx, &delta);
+            return;
+        }
+        self.pending[level].push((idx, delta));
+        if self.pending[level].len() == self.shape.arity {
+            self.reduce_level(level, emit);
+        }
+    }
+
+    fn reduce_level(&mut self, level: usize, emit: &mut impl FnMut(usize, usize, &Delta)) {
+        let children = std::mem::take(&mut self.pending[level]);
+        debug_assert!(!children.is_empty());
+        let refs: Vec<&Delta> = children.iter().map(|(_, d)| d).collect();
+        let parent = Delta::intersection_many(&refs);
+        for (idx, child) in &children {
+            let derived = child.difference(&parent);
+            emit(level, *idx, &derived);
+        }
+        let parent_idx = children[0].0 / self.shape.arity;
+        self.push(level + 1, parent_idx, parent, emit);
+    }
+
+    /// Reduce all partial groups bottom-up; emits the root.
+    fn finalize(&mut self, emit: &mut impl FnMut(usize, usize, &Delta)) {
+        for level in 0..self.shape.level_sizes.len() {
+            if level < self.pending.len() && !self.pending[level].is_empty() {
+                self.reduce_level(level, emit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_delta::StaticNode;
+
+    #[test]
+    fn chunking_respects_l_and_timestamps() {
+        let events: Vec<Event> = (0..10)
+            .map(|i| Event::new(i / 2, hgs_delta::EventKind::AddNode { id: i }))
+            .collect();
+        // l=3 but timestamps come in pairs: chunk ends snap to even idx.
+        let chunks = chunk_events(&events, 3);
+        for &(s, e) in &chunks {
+            assert!(e == events.len() || events[e - 1].time != events[e].time);
+            assert!(e > s);
+        }
+        let covered: usize = chunks.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(covered, events.len());
+    }
+
+    #[test]
+    fn tree_accumulator_reconstructs_leaves() {
+        // Five leaves, arity 2: reconstruct every leaf from emitted
+        // deltas by summing along the path.
+        let shape = TreeShape::new(5, 2);
+        let mut emitted: FxHashMap<u64, Delta> = FxHashMap::default();
+        let mut acc = TreeAccumulator::new(shape.clone());
+        let mut leaves = Vec::new();
+        for j in 0..5u64 {
+            let mut d = Delta::new();
+            // Shared node 0 (identical everywhere) + unique node j+1.
+            d.insert(StaticNode::new(0));
+            d.insert(StaticNode::new(j + 1));
+            leaves.push(d.clone());
+            let sh = shape.clone();
+            acc.push_leaf(d, &mut |level, idx, delta| {
+                emitted.insert(sh.did(level, idx), delta.clone());
+            });
+        }
+        let sh = shape.clone();
+        acc.finalize(&mut |level, idx, delta| {
+            emitted.insert(sh.did(level, idx), delta.clone());
+        });
+
+        for (j, leaf) in leaves.iter().enumerate() {
+            let mut rebuilt = Delta::new();
+            for did in shape.path_to_leaf(j) {
+                if let Some(d) = emitted.get(&did) {
+                    rebuilt.sum_assign(d);
+                }
+            }
+            assert_eq!(&rebuilt, leaf, "leaf {j}");
+        }
+    }
+
+    #[test]
+    fn tree_accumulator_root_holds_common_core() {
+        let shape = TreeShape::new(4, 2);
+        let mut emitted: FxHashMap<u64, Delta> = FxHashMap::default();
+        let mut acc = TreeAccumulator::new(shape.clone());
+        for j in 0..4u64 {
+            let mut d = Delta::new();
+            d.insert(StaticNode::new(42)); // identical in all leaves
+            d.insert(StaticNode::new(100 + j));
+            let sh = shape.clone();
+            acc.push_leaf(d, &mut |l, i, delta| {
+                emitted.insert(sh.did(l, i), delta.clone());
+            });
+        }
+        let sh = shape.clone();
+        acc.finalize(&mut |l, i, delta| {
+            emitted.insert(sh.did(l, i), delta.clone());
+        });
+        let root = emitted.get(&0).expect("root emitted");
+        assert!(root.contains(42), "common node lives in the root");
+        assert_eq!(root.cardinality(), 1, "unique nodes are not in the root");
+    }
+
+    #[test]
+    fn partition_state_unions_back() {
+        let mut d = Delta::new();
+        for i in 0..50u64 {
+            d.apply_event(&hgs_delta::EventKind::AddNode { id: i });
+        }
+        let parts = partition_state(&d, 4);
+        let mut u = Delta::new();
+        for p in &parts {
+            u.sum_assign(p);
+        }
+        assert_eq!(u, d);
+        assert!(parts.iter().all(|p| p.cardinality() > 0));
+    }
+}

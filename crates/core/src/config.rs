@@ -1,0 +1,176 @@
+//! TGI configuration — the tuning knobs of §4.4's construction
+//! parameters, using the paper's notation.
+
+use hgs_partition::{NodeWeighting, Omega};
+
+/// Micro-delta partitioning strategy (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Node-id hash partitioning: zero bookkeeping, no locality.
+    Random,
+    /// Locality-aware (min-cut style) partitioning over the
+    /// Ω-collapsed span graph; optionally replicate 1-hop boundary
+    /// neighbors into auxiliary micro-deltas (Fig. 5d).
+    Locality { replicate_boundary: bool },
+}
+
+/// TGI construction parameters. Paper notation in brackets.
+#[derive(Debug, Clone, Copy)]
+pub struct TgiConfig {
+    /// Events per timespan `ts`: partitioning is recomputed at
+    /// timespan boundaries.
+    pub events_per_timespan: usize,
+    /// Eventlist chunk size `l`: a snapshot checkpoint (tree leaf)
+    /// is taken every `l` events within a span.
+    pub eventlist_size: usize,
+    /// Tree arity `k`: children per parent in the intersection tree.
+    pub arity: usize,
+    /// Micro-delta partition size `ps`: target number of node
+    /// descriptions per micro-delta.
+    pub partition_size: usize,
+    /// Number of horizontal partitions `ns`: the node-id hash
+    /// partitions that spread the index across placement chunks.
+    pub horizontal_partitions: u32,
+    /// Micro-partitioning strategy.
+    pub strategy: PartitionStrategy,
+    /// Maintain per-node version chains (the entity-centric side of
+    /// TGI). Disabling converges the index to DeltaGraph.
+    pub version_chains: bool,
+    /// Time-collapse function for locality partitioning.
+    pub omega: Omega,
+    /// Node weighting for locality partitioning balance.
+    pub weighting: NodeWeighting,
+}
+
+impl Default for TgiConfig {
+    fn default() -> TgiConfig {
+        TgiConfig {
+            events_per_timespan: 20_000,
+            eventlist_size: 500,
+            arity: 2,
+            partition_size: 500,
+            horizontal_partitions: 4,
+            strategy: PartitionStrategy::Random,
+            version_chains: true,
+            omega: Omega::UnionMax,
+            weighting: NodeWeighting::Uniform,
+        }
+    }
+}
+
+impl TgiConfig {
+    /// Validate parameter sanity; called by the builder.
+    pub fn validate(&self) {
+        assert!(self.events_per_timespan > 0, "events_per_timespan must be positive");
+        assert!(self.eventlist_size > 0, "eventlist_size must be positive");
+        assert!(self.arity >= 2, "tree arity must be >= 2");
+        assert!(self.partition_size > 0, "partition_size must be positive");
+        assert!(self.horizontal_partitions >= 1, "need at least one horizontal partition");
+        assert!(
+            self.eventlist_size <= self.events_per_timespan,
+            "eventlist must fit within a timespan"
+        );
+    }
+
+    /// A configuration that makes TGI equivalent to the DeltaGraph
+    /// index of the authors' prior work: monolithic deltas (one
+    /// horizontal partition, unbounded micro-partitions), no version
+    /// chains.
+    pub fn deltagraph() -> TgiConfig {
+        TgiConfig {
+            horizontal_partitions: 1,
+            partition_size: usize::MAX,
+            version_chains: false,
+            ..TgiConfig::default()
+        }
+    }
+
+    /// A configuration equivalent to Copy+Log: a flat (height-1) tree
+    /// of full snapshots every `l` events. Achieved with arity so
+    /// large every leaf is a root child; reconstruction cost is then
+    /// root + one derived + eventlist.
+    pub fn copy_log(eventlist_size: usize) -> TgiConfig {
+        TgiConfig {
+            eventlist_size,
+            arity: usize::MAX / 2,
+            horizontal_partitions: 1,
+            partition_size: usize::MAX,
+            version_chains: false,
+            ..TgiConfig::default()
+        }
+    }
+
+    /// Builder-style setters for the common sweep parameters.
+    pub fn with_eventlist_size(mut self, l: usize) -> TgiConfig {
+        self.eventlist_size = l;
+        self
+    }
+
+    /// Set the micro-delta partition size (`ps`).
+    pub fn with_partition_size(mut self, ps: usize) -> TgiConfig {
+        self.partition_size = ps;
+        self
+    }
+
+    /// Set the number of horizontal partitions (`ns`).
+    pub fn with_horizontal(mut self, ns: u32) -> TgiConfig {
+        self.horizontal_partitions = ns;
+        self
+    }
+
+    /// Set the partitioning strategy.
+    pub fn with_strategy(mut self, s: PartitionStrategy) -> TgiConfig {
+        self.strategy = s;
+        self
+    }
+
+    /// Set the events-per-timespan (`ts`).
+    pub fn with_timespan(mut self, ts: usize) -> TgiConfig {
+        self.events_per_timespan = ts;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TgiConfig::default().validate();
+        TgiConfig::deltagraph().validate();
+        TgiConfig::copy_log(500).validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_eventlist() {
+        TgiConfig { eventlist_size: 0, ..TgiConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_eventlist_larger_than_span() {
+        TgiConfig {
+            eventlist_size: 100,
+            events_per_timespan: 50,
+            ..TgiConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = TgiConfig::default()
+            .with_eventlist_size(100)
+            .with_partition_size(50)
+            .with_horizontal(2)
+            .with_timespan(1000)
+            .with_strategy(PartitionStrategy::Locality { replicate_boundary: true });
+        assert_eq!(c.eventlist_size, 100);
+        assert_eq!(c.partition_size, 50);
+        assert_eq!(c.horizontal_partitions, 2);
+        assert_eq!(c.events_per_timespan, 1000);
+        assert!(matches!(c.strategy, PartitionStrategy::Locality { replicate_boundary: true }));
+    }
+}

@@ -1,0 +1,44 @@
+//! # hgs-core — the Temporal Graph Index (TGI)
+//!
+//! The paper's primary contribution (§4): a tunable, distributed index
+//! over the entire history of a graph, storing three families of
+//! deltas in a key-value store:
+//!
+//! 1. **Partitioned eventlists** — the span's events, chunked every
+//!    `l` events, scoped per horizontal partition (`sid`) and
+//!    micro-partitioned (`pid`);
+//! 2. **Derived partitioned snapshots** — per (timespan, `sid`), a
+//!    DeltaGraph-style k-ary tree whose parents are intersections of
+//!    children; the root and each `child − parent` difference are
+//!    stored, micro-partitioned into bounded chunks;
+//! 3. **Version chains** — per node, chronological pointers to every
+//!    eventlist micro-delta that mentions the node.
+//!
+//! Plus the paper's auxiliary 1-hop replication micro-deltas
+//! (Fig. 5d) under locality partitioning.
+//!
+//! The index is *tunable* ([`TgiConfig`]): with one horizontal
+//! partition, one micro-partition and no chains it degenerates to
+//! DeltaGraph; with a one-level tree it is Copy+Log; with a single
+//! giant eventlist it is Log — the generalization claim of §4.2,
+//! which `crates/baselines` and the integration tests exercise.
+//!
+//! Retrieval (§4.6) implements the paper's Algorithms 1–5: snapshot,
+//! node history, k-hop neighborhood (both strategies), and 1-hop
+//! neighborhood history, all with `c`-way parallel fetch.
+
+pub mod build;
+pub mod config;
+pub mod costs;
+pub mod meta;
+pub mod persist;
+pub mod query;
+pub mod scope;
+pub mod stats;
+
+pub use build::Tgi;
+pub use config::{PartitionStrategy, TgiConfig};
+pub use meta::{TimespanMeta, TreeShape};
+pub use persist::OpenError;
+pub use query::{KhopStrategy, NeighborhoodHistory, NodeHistory};
+pub use stats::FetchReport;

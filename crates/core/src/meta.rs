@@ -1,0 +1,330 @@
+//! Index metadata: the intersection-tree shape, timespan descriptors,
+//! version chains, and their binary encodings (stored in the
+//! `Timespans`, `Graph` and `Versions` tables).
+
+use bytes::BytesMut;
+use hgs_delta::codec::{get_varint, put_varint};
+use hgs_delta::{CodecError, NodeId, Time, TimeRange};
+
+/// Delta-id base for eventlist chunks: `did = ELIST_BASE + chunk`.
+pub const ELIST_BASE: u64 = 1 << 40;
+/// Delta-id base for auxiliary 1-hop replication deltas:
+/// `did = AUX_BASE + leaf`.
+pub const AUX_BASE: u64 = 1 << 41;
+
+/// Shape of the k-ary intersection tree over the `q` leaf checkpoints
+/// of one (timespan, horizontal partition).
+///
+/// Level 0 holds the leaves; the top level holds the root. Delta-ids
+/// are assigned top-down: the root gets did 0, then each lower level
+/// left-to-right. Only the root delta and the `child − parent` derived
+/// deltas are physically stored; leaves are reconstructed by summing
+/// along the root-to-leaf path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Number of leaves (`q`).
+    pub leaves: usize,
+    /// Children per parent.
+    pub arity: usize,
+    /// Node count per level; `level_sizes[0] == leaves`, last is 1.
+    pub level_sizes: Vec<usize>,
+    /// First did of each level (indexed like `level_sizes`).
+    pub level_offsets: Vec<u64>,
+}
+
+impl TreeShape {
+    /// Compute the shape for `leaves >= 1` checkpoints.
+    pub fn new(leaves: usize, arity: usize) -> TreeShape {
+        assert!(leaves >= 1 && arity >= 2);
+        let mut level_sizes = vec![leaves];
+        while *level_sizes.last().unwrap() > 1 {
+            let prev = *level_sizes.last().unwrap();
+            level_sizes.push(prev.div_ceil(arity));
+        }
+        // dids: root level first (did 0), descending to leaves.
+        let mut level_offsets = vec![0u64; level_sizes.len()];
+        let mut next = 0u64;
+        for lvl in (0..level_sizes.len()).rev() {
+            level_offsets[lvl] = next;
+            next += level_sizes[lvl] as u64;
+        }
+        TreeShape { leaves, arity, level_sizes, level_offsets }
+    }
+
+    /// Height of the tree (root level index); 0 when a single leaf is
+    /// also the root.
+    pub fn height(&self) -> usize {
+        self.level_sizes.len() - 1
+    }
+
+    /// Total number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.level_sizes.iter().sum()
+    }
+
+    /// Delta-id of tree node `(level, idx)`.
+    pub fn did(&self, level: usize, idx: usize) -> u64 {
+        debug_assert!(idx < self.level_sizes[level]);
+        self.level_offsets[level] + idx as u64
+    }
+
+    /// Delta-ids along the root-to-leaf path for leaf `j` (root
+    /// first). Summing the corresponding stored deltas reconstructs
+    /// the leaf.
+    pub fn path_to_leaf(&self, j: usize) -> Vec<u64> {
+        debug_assert!(j < self.leaves);
+        let mut path = Vec::with_capacity(self.level_sizes.len());
+        let mut idx = j;
+        let mut nodes = Vec::with_capacity(self.level_sizes.len());
+        for level in 0..self.level_sizes.len() {
+            nodes.push((level, idx));
+            idx /= self.arity;
+        }
+        for (level, idx) in nodes.into_iter().rev() {
+            path.push(self.did(level, idx));
+        }
+        path
+    }
+
+    /// Parent `(level, idx)` of a non-root node.
+    pub fn parent(&self, level: usize, idx: usize) -> (usize, usize) {
+        debug_assert!(level < self.height());
+        (level + 1, idx / self.arity)
+    }
+}
+
+/// Metadata for one timespan, shared by all horizontal partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimespanMeta {
+    /// Timespan id.
+    pub tsid: u32,
+    /// Time range covered (last span extends to `Time::MAX`).
+    pub range: TimeRange,
+    /// Checkpoint times `c_0..c_{q-1}`: `c_j` is the state *before*
+    /// eventlist chunk `j`; `c_0 == range.start`.
+    pub checkpoints: Vec<Time>,
+    /// Intersection-tree shape (leaves == checkpoints.len()).
+    pub shape: TreeShape,
+    /// Micro-partition counts per horizontal partition.
+    pub pid_counts: Vec<u32>,
+    /// Whether auxiliary 1-hop replication deltas were stored.
+    pub has_aux: bool,
+}
+
+impl TimespanMeta {
+    /// Leaf index whose checkpoint covers time `t` (the last `j` with
+    /// `c_j <= t`).
+    pub fn leaf_for_time(&self, t: Time) -> usize {
+        debug_assert!(t >= self.range.start);
+        self.checkpoints.partition_point(|&c| c <= t).saturating_sub(1)
+    }
+
+    /// Serialize for the `Timespans` table.
+    pub fn encode(&self) -> bytes::Bytes {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, self.tsid as u64);
+        put_varint(&mut buf, self.range.start);
+        put_varint(&mut buf, self.range.end);
+        put_varint(&mut buf, self.checkpoints.len() as u64);
+        let mut prev = 0u64;
+        for &c in &self.checkpoints {
+            put_varint(&mut buf, c.wrapping_sub(prev));
+            prev = c;
+        }
+        put_varint(&mut buf, self.shape.arity as u64);
+        put_varint(&mut buf, self.pid_counts.len() as u64);
+        for &p in &self.pid_counts {
+            put_varint(&mut buf, p as u64);
+        }
+        bytes::BufMut::put_u8(&mut buf, self.has_aux as u8);
+        buf.freeze()
+    }
+
+    /// Decode a [`TimespanMeta::encode`] blob.
+    pub fn decode(mut buf: &[u8]) -> Result<TimespanMeta, CodecError> {
+        let b = &mut buf;
+        let tsid = get_varint(b)? as u32;
+        let start = get_varint(b)?;
+        let end = get_varint(b)?;
+        let n = get_varint(b)? as usize;
+        let mut checkpoints = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            prev = prev.wrapping_add(get_varint(b)?);
+            checkpoints.push(prev);
+        }
+        let arity = get_varint(b)? as usize;
+        let np = get_varint(b)? as usize;
+        let mut pid_counts = Vec::with_capacity(np);
+        for _ in 0..np {
+            pid_counts.push(get_varint(b)? as u32);
+        }
+        let has_aux = match b.split_first() {
+            Some((&x, rest)) => {
+                *b = rest;
+                x != 0
+            }
+            None => return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 }),
+        };
+        Ok(TimespanMeta {
+            tsid,
+            range: TimeRange::new(start, end),
+            shape: TreeShape::new(checkpoints.len().max(1), arity),
+            checkpoints,
+            pid_counts,
+            has_aux,
+        })
+    }
+}
+
+/// One version-chain entry: "node changed at `time`, and the events
+/// live in eventlist chunk `chunk` of timespan `tsid`, micro-partition
+/// `pid`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainEntry {
+    pub time: Time,
+    pub tsid: u32,
+    pub chunk: u32,
+    pub pid: u32,
+}
+
+/// Serialize a version chain (chronologically sorted entries).
+pub fn encode_chain(entries: &[ChainEntry]) -> bytes::Bytes {
+    let mut buf = BytesMut::with_capacity(entries.len() * 6 + 4);
+    put_varint(&mut buf, entries.len() as u64);
+    let mut prev_t = 0u64;
+    for e in entries {
+        put_varint(&mut buf, e.time.wrapping_sub(prev_t));
+        prev_t = e.time;
+        put_varint(&mut buf, e.tsid as u64);
+        put_varint(&mut buf, e.chunk as u64);
+        put_varint(&mut buf, e.pid as u64);
+    }
+    buf.freeze()
+}
+
+/// Decode a version chain.
+pub fn decode_chain(mut buf: &[u8]) -> Result<Vec<ChainEntry>, CodecError> {
+    let b = &mut buf;
+    let n = get_varint(b)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut prev_t = 0u64;
+    for _ in 0..n {
+        prev_t = prev_t.wrapping_add(get_varint(b)?);
+        out.push(ChainEntry {
+            time: prev_t,
+            tsid: get_varint(b)? as u32,
+            chunk: get_varint(b)? as u32,
+            pid: get_varint(b)? as u32,
+        });
+    }
+    Ok(out)
+}
+
+/// Salt decorrelating `sid` hashing from micro-partition hashing.
+const SID_SALT: u64 = 0x9027_3321_AB03_77F1;
+
+/// Horizontal partition (`sid`) of a node: a pure hash (§4.4 point 2).
+#[inline]
+pub fn sid_of(nid: NodeId, ns: u32) -> u32 {
+    (hgs_delta::hash::hash_u64(nid ^ SID_SALT) % ns as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_binary_over_five_leaves() {
+        let s = TreeShape::new(5, 2);
+        assert_eq!(s.level_sizes, vec![5, 3, 2, 1]);
+        assert_eq!(s.height(), 3);
+        assert_eq!(s.node_count(), 11);
+        // root did 0; level 2 gets 1..=2; level 1 gets 3..=5; leaves 6..=10
+        assert_eq!(s.did(3, 0), 0);
+        assert_eq!(s.did(2, 0), 1);
+        assert_eq!(s.did(1, 0), 3);
+        assert_eq!(s.did(0, 0), 6);
+    }
+
+    #[test]
+    fn path_walks_root_to_leaf() {
+        let s = TreeShape::new(5, 2);
+        let p = s.path_to_leaf(4);
+        // leaf 4 -> level1 idx 2 -> level2 idx 1 -> root
+        assert_eq!(p, vec![0, s.did(2, 1), s.did(1, 2), s.did(0, 4)]);
+        let p0 = s.path_to_leaf(0);
+        assert_eq!(p0, vec![0, s.did(2, 0), s.did(1, 0), s.did(0, 0)]);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let s = TreeShape::new(1, 2);
+        assert_eq!(s.height(), 0);
+        assert_eq!(s.path_to_leaf(0), vec![0]);
+    }
+
+    #[test]
+    fn parent_relation() {
+        let s = TreeShape::new(8, 2);
+        assert_eq!(s.parent(0, 5), (1, 2));
+        assert_eq!(s.parent(1, 3), (2, 1));
+    }
+
+    #[test]
+    fn huge_arity_gives_flat_tree() {
+        let s = TreeShape::new(10, usize::MAX / 2);
+        assert_eq!(s.level_sizes, vec![10, 1]);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.path_to_leaf(7).len(), 2);
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let m = TimespanMeta {
+            tsid: 3,
+            range: TimeRange::new(100, 900),
+            checkpoints: vec![100, 250, 430],
+            shape: TreeShape::new(3, 2),
+            pid_counts: vec![4, 7],
+            has_aux: true,
+        };
+        let back = TimespanMeta::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn leaf_for_time_picks_last_checkpoint() {
+        let m = TimespanMeta {
+            tsid: 0,
+            range: TimeRange::new(0, 1000),
+            checkpoints: vec![0, 100, 200],
+            shape: TreeShape::new(3, 2),
+            pid_counts: vec![1],
+            has_aux: false,
+        };
+        assert_eq!(m.leaf_for_time(0), 0);
+        assert_eq!(m.leaf_for_time(99), 0);
+        assert_eq!(m.leaf_for_time(100), 1);
+        assert_eq!(m.leaf_for_time(500), 2);
+    }
+
+    #[test]
+    fn chain_roundtrip() {
+        let entries = vec![
+            ChainEntry { time: 5, tsid: 0, chunk: 1, pid: 3 },
+            ChainEntry { time: 17, tsid: 0, chunk: 2, pid: 3 },
+            ChainEntry { time: 94, tsid: 1, chunk: 0, pid: 9 },
+        ];
+        assert_eq!(decode_chain(&encode_chain(&entries)).unwrap(), entries);
+        assert!(decode_chain(&encode_chain(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sid_spreads_nodes() {
+        use std::collections::HashSet;
+        let sids: HashSet<u32> = (0..100u64).map(|n| sid_of(n, 4)).collect();
+        assert_eq!(sids.len(), 4);
+        assert!(sids.iter().all(|&s| s < 4));
+    }
+}

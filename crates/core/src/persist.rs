@@ -1,0 +1,224 @@
+//! Index persistence: everything the query paths need lives in the
+//! store's five tables, so a `Tgi` handle can be re-opened from a
+//! store without the original process — the "persistent, distributed,
+//! compact graph history" property of the paper's Fig. 2.
+//!
+//! Layout recap: `Graph` holds the global descriptor (config, span
+//! count, end time); `Timespans` holds one metadata row per timespan;
+//! `Micropartitions` holds the locality partition maps; `Deltas` and
+//! `Versions` hold the index body.
+
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use hgs_delta::codec::{get_varint, put_varint};
+use hgs_delta::{CodecError, FxHashMap, NodeId, Time};
+use hgs_partition::{NodeWeighting, Omega, PartitionMap};
+use hgs_store::{CostModel, SimStore, StoreError, Table};
+
+use crate::build::{mp_key, SpanRuntime, Tgi};
+use crate::config::{PartitionStrategy, TgiConfig};
+use crate::meta::TimespanMeta;
+
+/// Errors from [`Tgi::open`].
+#[derive(Debug)]
+pub enum OpenError {
+    /// The store holds no graph descriptor (nothing was built here).
+    NotFound,
+    /// A metadata row failed to decode.
+    Corrupt(CodecError),
+    /// The store was unreachable.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::NotFound => write!(f, "no TGI descriptor in store"),
+            OpenError::Corrupt(e) => write!(f, "corrupt TGI metadata: {e}"),
+            OpenError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// Serialize the construction configuration.
+pub(crate) fn encode_config(cfg: &TgiConfig) -> bytes::Bytes {
+    let mut buf = BytesMut::new();
+    put_varint(&mut buf, cfg.events_per_timespan as u64);
+    put_varint(&mut buf, cfg.eventlist_size as u64);
+    put_varint(&mut buf, cfg.arity as u64);
+    put_varint(&mut buf, cfg.partition_size as u64);
+    put_varint(&mut buf, cfg.horizontal_partitions as u64);
+    let strat = match cfg.strategy {
+        PartitionStrategy::Random => 0u64,
+        PartitionStrategy::Locality { replicate_boundary: false } => 1,
+        PartitionStrategy::Locality { replicate_boundary: true } => 2,
+    };
+    put_varint(&mut buf, strat);
+    put_varint(&mut buf, cfg.version_chains as u64);
+    let omega = match cfg.omega {
+        Omega::Median => 0u64,
+        Omega::UnionMax => 1,
+        Omega::UnionMean => 2,
+    };
+    put_varint(&mut buf, omega);
+    let weighting = match cfg.weighting {
+        NodeWeighting::Uniform => 0u64,
+        NodeWeighting::Degree => 1,
+        NodeWeighting::AvgDegree => 2,
+    };
+    put_varint(&mut buf, weighting);
+    buf.freeze()
+}
+
+/// Decode [`encode_config`].
+pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
+    let b = &mut buf;
+    let events_per_timespan = get_varint(b)? as usize;
+    let eventlist_size = get_varint(b)? as usize;
+    let arity = get_varint(b)? as usize;
+    let partition_size = get_varint(b)? as usize;
+    let horizontal_partitions = get_varint(b)? as u32;
+    let strategy = match get_varint(b)? {
+        0 => PartitionStrategy::Random,
+        1 => PartitionStrategy::Locality { replicate_boundary: false },
+        2 => PartitionStrategy::Locality { replicate_boundary: true },
+        t => return Err(CodecError::BadTag { what: "PartitionStrategy", tag: t as u8 }),
+    };
+    let version_chains = get_varint(b)? != 0;
+    let omega = match get_varint(b)? {
+        0 => Omega::Median,
+        1 => Omega::UnionMax,
+        2 => Omega::UnionMean,
+        t => return Err(CodecError::BadTag { what: "Omega", tag: t as u8 }),
+    };
+    let weighting = match get_varint(b)? {
+        0 => NodeWeighting::Uniform,
+        1 => NodeWeighting::Degree,
+        2 => NodeWeighting::AvgDegree,
+        t => return Err(CodecError::BadTag { what: "NodeWeighting", tag: t as u8 }),
+    };
+    Ok(TgiConfig {
+        events_per_timespan,
+        eventlist_size,
+        arity,
+        partition_size,
+        horizontal_partitions,
+        strategy,
+        version_chains,
+        omega,
+        weighting,
+    })
+}
+
+/// Decode a persisted locality partition map blob.
+pub(crate) fn decode_partition_map(mut buf: &[u8]) -> Result<PartitionMap, CodecError> {
+    let b = &mut buf;
+    let parts = get_varint(b)? as u32;
+    let n = get_varint(b)? as usize;
+    let mut map: FxHashMap<NodeId, u32> = FxHashMap::default();
+    map.reserve(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev = prev.wrapping_add(get_varint(b)?);
+        map.insert(prev, get_varint(b)? as u32);
+    }
+    Ok(PartitionMap::explicit(map, parts.max(1)))
+}
+
+impl Tgi {
+    /// Re-open an index previously built on `store`, reconstructing
+    /// all in-memory metadata from the persisted tables. The returned
+    /// handle answers queries identically and accepts further
+    /// [`Tgi::append_events`] batches.
+    pub fn open(store: Arc<SimStore>) -> Result<Tgi, OpenError> {
+        // Global descriptor.
+        let meta_row = store
+            .get(Table::Graph, b"meta", 0)
+            .map_err(OpenError::Store)?
+            .ok_or(OpenError::NotFound)?;
+        let mut slice: &[u8] = &meta_row;
+        let b = &mut slice;
+        let span_count = get_varint(b).map_err(OpenError::Corrupt)? as usize;
+        let end_time: Time = get_varint(b).map_err(OpenError::Corrupt)?;
+        let event_count = get_varint(b).map_err(OpenError::Corrupt)? as usize;
+        let cfg_row = store
+            .get(Table::Graph, b"config", 0)
+            .map_err(OpenError::Store)?
+            .ok_or(OpenError::NotFound)?;
+        let cfg = decode_config(&cfg_row).map_err(OpenError::Corrupt)?;
+
+        // Per-timespan metadata and partition maps.
+        let mut spans = Vec::with_capacity(span_count);
+        for tsid in 0..span_count as u32 {
+            let row = store
+                .get(Table::Timespans, &tsid.to_be_bytes(), hgs_delta::hash::hash_u64(tsid as u64))
+                .map_err(OpenError::Store)?
+                .ok_or(OpenError::NotFound)?;
+            let meta = TimespanMeta::decode(&row).map_err(OpenError::Corrupt)?;
+            let maps = match cfg.strategy {
+                PartitionStrategy::Random => meta
+                    .pid_counts
+                    .iter()
+                    .map(|&p| PartitionMap::random(p.max(1)))
+                    .collect(),
+                PartitionStrategy::Locality { .. } => {
+                    let mut maps = Vec::with_capacity(meta.pid_counts.len());
+                    for sid in 0..meta.pid_counts.len() as u32 {
+                        let key = mp_key(tsid, sid);
+                        let token = hgs_store::PlacementKey::new(tsid, sid).token();
+                        let blob = store
+                            .get(Table::Micropartitions, &key, token)
+                            .map_err(OpenError::Store)?
+                            .ok_or(OpenError::NotFound)?;
+                        maps.push(decode_partition_map(&blob).map_err(OpenError::Corrupt)?);
+                    }
+                    maps
+                }
+            };
+            spans.push(SpanRuntime { meta, maps });
+        }
+
+        let mut tgi = Tgi {
+            cfg,
+            store,
+            spans,
+            tail_state: hgs_delta::Delta::new(),
+            end_time,
+            cost: CostModel::default(),
+            clients: 1,
+            event_count,
+        };
+        // The tail state (needed for appends) is the latest snapshot.
+        if end_time > 0 {
+            tgi.tail_state = tgi.snapshot(end_time);
+        }
+        Ok(tgi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_roundtrip() {
+        for cfg in [
+            TgiConfig::default(),
+            TgiConfig::deltagraph(),
+            TgiConfig::default()
+                .with_strategy(PartitionStrategy::Locality { replicate_boundary: true }),
+        ] {
+            let back = decode_config(&encode_config(&cfg)).unwrap();
+            assert_eq!(format!("{cfg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn open_on_empty_store_is_not_found() {
+        let store = Arc::new(SimStore::new(hgs_store::StoreConfig::new(1, 1)));
+        assert!(matches!(Tgi::open(store), Err(OpenError::NotFound)));
+    }
+}

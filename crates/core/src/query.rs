@@ -1,0 +1,641 @@
+//! TGI retrieval — the paper's Query Manager and Algorithms 1–5
+//! (§4.6): snapshot retrieval, node history, k-hop neighborhoods (both
+//! strategies), and 1-hop neighborhood history.
+
+use hgs_delta::codec::{decode_delta, decode_eventlist};
+use hgs_delta::{
+    Delta, Event, Eventlist, FxHashMap, FxHashSet, NodeId, StaticNode, Time, TimeRange,
+};
+use hgs_store::key::{node_key, node_placement_token};
+use hgs_store::parallel::parallel_chunks;
+use hgs_store::{DeltaKey, PlacementKey, Table};
+
+use crate::build::{SpanRuntime, Tgi};
+use crate::meta::{decode_chain, sid_of, ChainEntry, AUX_BASE, ELIST_BASE};
+use crate::scope::apply_event_scoped;
+
+/// How to fetch a k-hop neighborhood (§4.6, Algorithms 3 & 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KhopStrategy {
+    /// Fetch the whole snapshot, then filter (Algorithm 3). Wins for
+    /// large `k`.
+    ViaSnapshot,
+    /// Fetch the node, then its neighbors, recursively (Algorithm 4),
+    /// exploiting micro-partitions and auxiliary replicas. Wins for
+    /// `k <= 2`.
+    Recursive,
+}
+
+/// The history of one node over a time range (Algorithm 2's result):
+/// its state at the range start plus every event touching it within
+/// the range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeHistory {
+    /// The node.
+    pub id: NodeId,
+    /// Queried half-open range.
+    pub range: TimeRange,
+    /// State as of `range.start` (`None` if the node did not exist).
+    pub initial: Option<StaticNode>,
+    /// Chronological events touching the node strictly after
+    /// `range.start` and before `range.end`.
+    pub events: Vec<Event>,
+}
+
+impl NodeHistory {
+    /// Number of change points in the range.
+    pub fn change_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Materialize the version sequence: `(time, state)` starting with
+    /// the initial state, then one entry per distinct event timestamp.
+    pub fn versions(&self) -> Vec<(Time, Option<StaticNode>)> {
+        let mut out = Vec::with_capacity(self.events.len() + 1);
+        let mut scratch = Delta::new();
+        if let Some(n) = &self.initial {
+            scratch.insert(n.clone());
+        }
+        out.push((self.range.start, self.initial.clone()));
+        let mut i = 0usize;
+        while i < self.events.len() {
+            let t = self.events[i].time;
+            while i < self.events.len() && self.events[i].time == t {
+                apply_event_scoped(&mut scratch, &self.events[i].kind, |id| id == self.id);
+                i += 1;
+            }
+            out.push((t, scratch.node(self.id).cloned()));
+        }
+        out
+    }
+
+    /// State of the node as of time `t` within the queried range.
+    pub fn state_at(&self, t: Time) -> Option<StaticNode> {
+        debug_assert!(self.range.contains(t) || t == self.range.start);
+        let mut scratch = Delta::new();
+        if let Some(n) = &self.initial {
+            scratch.insert(n.clone());
+        }
+        for e in self.events.iter().take_while(|e| e.time <= t) {
+            apply_event_scoped(&mut scratch, &e.kind, |id| id == self.id);
+        }
+        scratch.node(self.id).cloned()
+    }
+}
+
+/// The 1-hop neighborhood history of a node (Algorithm 5's result).
+#[derive(Debug, Clone)]
+pub struct NeighborhoodHistory {
+    /// The center node's history.
+    pub center: NodeHistory,
+    /// Histories of every node that was a neighbor at some point in
+    /// the range.
+    pub neighbors: Vec<NodeHistory>,
+    /// Queried range.
+    pub range: TimeRange,
+}
+
+impl NeighborhoodHistory {
+    /// Materialize the neighborhood subgraph as of `t`: the center and
+    /// its *current* neighbors at `t`, with their states.
+    pub fn subgraph_at(&self, t: Time) -> Delta {
+        let mut out = Delta::new();
+        let Some(center) = self.center.state_at(t) else { return out };
+        let current: FxHashSet<NodeId> = center.all_neighbors().collect();
+        for h in &self.neighbors {
+            if current.contains(&h.id) {
+                if let Some(s) = h.state_at(t) {
+                    out.insert(s);
+                }
+            }
+        }
+        out.insert(center);
+        out
+    }
+
+    /// All distinct change timepoints in the neighborhood.
+    pub fn change_times(&self) -> Vec<Time> {
+        let mut times: Vec<Time> = self
+            .center
+            .events
+            .iter()
+            .chain(self.neighbors.iter().flat_map(|h| h.events.iter()))
+            .map(|e| e.time)
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        times
+    }
+}
+
+impl Tgi {
+    // ------------------------------------------------------------------
+    // Algorithm 1: snapshot retrieval
+    // ------------------------------------------------------------------
+
+    /// The full graph as of time `t`, fetched with the default client
+    /// parallelism.
+    pub fn snapshot(&self, t: Time) -> Delta {
+        self.snapshot_c(t, self.clients)
+    }
+
+    /// Snapshot with an explicit parallel fetch factor `c`.
+    pub fn snapshot_c(&self, t: Time, c: usize) -> Delta {
+        let span = self.span_for(t);
+        let meta = &span.meta;
+        let tsid = meta.tsid;
+        let ns = self.cfg.horizontal_partitions;
+        let j = meta.leaf_for_time(t);
+        let path = meta.shape.path_to_leaf(j);
+
+        // One fetch job per (sid, did-in-path) plus one per sid for the
+        // eventlist chunk: this is the unit of work the c clients pull.
+        #[derive(Clone, Copy)]
+        struct Job {
+            sid: u32,
+            did: u64,
+        }
+        let mut jobs: Vec<Job> = Vec::with_capacity(ns as usize * (path.len() + 1));
+        for sid in 0..ns {
+            for &did in &path {
+                jobs.push(Job { sid, did });
+            }
+            jobs.push(Job { sid, did: ELIST_BASE + j as u64 });
+        }
+
+        let store = &self.store;
+        let fetched: Vec<(u32, u64, Vec<(u32, bytes::Bytes)>)> =
+            parallel_chunks(jobs, c, |chunk| {
+                chunk
+                    .into_iter()
+                    .map(|job| {
+                        let prefix = DeltaKey::delta_prefix(tsid, job.sid, job.did);
+                        let token = PlacementKey::new(tsid, job.sid).token();
+                        let rows = store
+                            .scan_prefix(Table::Deltas, &prefix, token)
+                            .unwrap_or_default();
+                        let pieces = rows
+                            .into_iter()
+                            .filter_map(|(k, v)| DeltaKey::decode(&k).map(|dk| (dk.pid, v)))
+                            .collect();
+                        (job.sid, job.did, pieces)
+                    })
+                    .collect()
+            });
+
+        // Merge: per sid, sum tree deltas in path order, then apply the
+        // chunk-j events (scoped per micro-partition) up to t.
+        let mut per_sid: FxHashMap<u32, FxHashMap<u64, Vec<(u32, bytes::Bytes)>>> =
+            FxHashMap::default();
+        for (sid, did, pieces) in fetched {
+            per_sid.entry(sid).or_default().insert(did, pieces);
+        }
+        let mut out = Delta::new();
+        for sid in 0..ns {
+            let Some(mut by_did) = per_sid.remove(&sid) else { continue };
+            let mut state = Delta::new();
+            for &did in &path {
+                if let Some(pieces) = by_did.remove(&did) {
+                    for (_pid, bytes) in pieces {
+                        let d = decode_delta(&bytes).expect("stored delta decodes");
+                        state.sum_assign_owned(d);
+                    }
+                }
+            }
+            if let Some(pieces) = by_did.remove(&(ELIST_BASE + j as u64)) {
+                let map = &span.maps[sid as usize];
+                for (pid, bytes) in pieces {
+                    let el = decode_eventlist(&bytes).expect("stored eventlist decodes");
+                    for e in el.events().iter().take_while(|e| e.time <= t) {
+                        apply_event_scoped(&mut state, &e.kind, |id| {
+                            sid_of(id, ns) == sid && map.assign(id) == pid
+                        });
+                    }
+                }
+            }
+            out.sum_assign_owned(state);
+        }
+        out
+    }
+
+    /// Multipoint snapshot retrieval: states at each requested time.
+    pub fn snapshots(&self, times: &[Time]) -> Vec<Delta> {
+        times.iter().map(|&t| self.snapshot(t)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // static vertex / micro-partition fetches
+    // ------------------------------------------------------------------
+
+    /// State of one node as of `t` (a *static vertex* fetch in Table
+    /// 1's terms): touches only the node's micro-partition along the
+    /// tree path.
+    pub fn node_at(&self, nid: NodeId, t: Time) -> Option<StaticNode> {
+        let span = self.span_for(t);
+        let ns = self.cfg.horizontal_partitions;
+        let sid = sid_of(nid, ns);
+        let pid = span.maps[sid as usize].assign(nid);
+        let state = self.fetch_partition_state(span, sid, pid, t);
+        state.node(nid).cloned()
+    }
+
+    /// Reconstruct the state of micro-partition `(sid, pid)` as of
+    /// `t`: tree-path micro-deltas + the eventlist chunk, all single
+    /// point lookups.
+    pub(crate) fn fetch_partition_state(
+        &self,
+        span: &SpanRuntime,
+        sid: u32,
+        pid: u32,
+        t: Time,
+    ) -> Delta {
+        let meta = &span.meta;
+        let tsid = meta.tsid;
+        let ns = self.cfg.horizontal_partitions;
+        let j = meta.leaf_for_time(t);
+        let token = PlacementKey::new(tsid, sid).token();
+        let mut state = Delta::new();
+        for did in meta.shape.path_to_leaf(j) {
+            let key = DeltaKey::new(tsid, sid, did, pid);
+            if let Ok(Some(bytes)) = self.store.get(Table::Deltas, &key.encode(), token) {
+                state.sum_assign_owned(decode_delta(&bytes).expect("stored delta decodes"));
+            }
+        }
+        let elist_key = DeltaKey::new(tsid, sid, ELIST_BASE + j as u64, pid);
+        if let Ok(Some(bytes)) = self.store.get(Table::Deltas, &elist_key.encode(), token) {
+            let el = decode_eventlist(&bytes).expect("stored eventlist decodes");
+            let map = &span.maps[sid as usize];
+            for e in el.events().iter().take_while(|e| e.time <= t) {
+                apply_event_scoped(&mut state, &e.kind, |id| {
+                    sid_of(id, ns) == sid && map.assign(id) == pid
+                });
+            }
+        }
+        state
+    }
+
+    fn fetch_elist(&self, tsid: u32, sid: u32, chunk: u32, pid: u32) -> Option<Eventlist> {
+        let key = DeltaKey::new(tsid, sid, ELIST_BASE + chunk as u64, pid);
+        let token = PlacementKey::new(tsid, sid).token();
+        match self.store.get(Table::Deltas, &key.encode(), token) {
+            Ok(Some(bytes)) => Some(decode_eventlist(&bytes).expect("stored eventlist decodes")),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: node history via version chains
+    // ------------------------------------------------------------------
+
+    /// The version chain of a node (empty when chains are disabled or
+    /// the node never appeared).
+    pub fn version_chain(&self, nid: NodeId) -> Vec<ChainEntry> {
+        match self.store.get(Table::Versions, &node_key(nid), node_placement_token(nid)) {
+            Ok(Some(bytes)) => decode_chain(&bytes).expect("stored chain decodes"),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Node history over `range` (Algorithm 2): initial state at
+    /// `range.start`, then all events touching the node inside the
+    /// range, located via the version chain.
+    pub fn node_history(&self, nid: NodeId, range: TimeRange) -> NodeHistory {
+        self.node_history_c(nid, range, self.clients)
+    }
+
+    /// [`Tgi::node_history`] with an explicit fetch parallelism.
+    pub fn node_history_c(&self, nid: NodeId, range: TimeRange, c: usize) -> NodeHistory {
+        let initial = self.node_at(nid, range.start);
+        let chain = self.version_chain(nid);
+        // Distinct eventlist refs covering (range.start, range.end).
+        // A chain entry records the *first* touch in a chunk run, so
+        // the last entry at or before range.start may still point to a
+        // chunk holding later in-range events — include it.
+        let boundary = chain.partition_point(|e| e.time <= range.start);
+        let from = boundary.saturating_sub(1);
+        let mut refs: Vec<(u32, u32, u32)> = chain[from..]
+            .iter()
+            .filter(|e| e.time < range.end)
+            .map(|e| (e.tsid, e.chunk, e.pid))
+            .collect();
+        refs.dedup();
+        let ns = self.cfg.horizontal_partitions;
+        let sid = sid_of(nid, ns);
+        let lists: Vec<Vec<Event>> = parallel_chunks(refs, c, |chunk| {
+            chunk
+                .into_iter()
+                .map(|(tsid, ch, pid)| {
+                    self.fetch_elist(tsid, sid, ch, pid)
+                        .map(|el| {
+                            el.events()
+                                .iter()
+                                .filter(|e| {
+                                    e.time > range.start && e.time < range.end && touches(e, nid)
+                                })
+                                .cloned()
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                })
+                .collect()
+        });
+        let mut events: Vec<Event> = lists.into_iter().flatten().collect();
+        events.sort_by_key(|e| e.time);
+        NodeHistory { id: nid, range, initial, events }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithms 3 & 4: k-hop neighborhood
+    // ------------------------------------------------------------------
+
+    /// The k-hop neighborhood of `center` as of `t`, as a partitioned
+    /// snapshot restricted to the neighborhood's nodes.
+    pub fn khop(&self, center: NodeId, t: Time, k: usize, strategy: KhopStrategy) -> Delta {
+        match strategy {
+            KhopStrategy::ViaSnapshot => self.khop_via_snapshot(center, t, k),
+            KhopStrategy::Recursive => self.khop_recursive(center, t, k),
+        }
+    }
+
+    fn khop_via_snapshot(&self, center: NodeId, t: Time, k: usize) -> Delta {
+        let snap = self.snapshot(t);
+        let keep = bfs_set(&snap, center, k);
+        snap.restrict(|id| keep.contains(&id))
+    }
+
+    fn khop_recursive(&self, center: NodeId, t: Time, k: usize) -> Delta {
+        let span = self.span_for(t);
+        let meta = &span.meta;
+        let ns = self.cfg.horizontal_partitions;
+        let tsid = meta.tsid;
+        let j = meta.leaf_for_time(t) as u32;
+
+        let mut fetched_parts: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut part_states: FxHashMap<(u32, u32), Delta> = FxHashMap::default();
+        let mut elist_cache: FxHashMap<(u32, u32), Option<Eventlist>> = FxHashMap::default();
+        let mut aux: Delta = Delta::new();
+
+        let center_sid = sid_of(center, ns);
+        let center_pid = span.maps[center_sid as usize].assign(center);
+        let center_state = self.fetch_partition_state(span, center_sid, center_pid, t);
+        fetched_parts.insert((center_sid, center_pid));
+
+        // Auxiliary 1-hop replicas (Fig. 5d): states of boundary
+        // neighbors at checkpoint j, to be rolled forward with their
+        // own eventlist chunks.
+        if meta.has_aux {
+            let key = DeltaKey::new(tsid, center_sid, AUX_BASE + j as u64, center_pid);
+            let token = PlacementKey::new(tsid, center_sid).token();
+            if let Ok(Some(bytes)) = self.store.get(Table::Deltas, &key.encode(), token) {
+                aux = decode_delta(&bytes).expect("stored aux delta decodes");
+            }
+        }
+        part_states.insert((center_sid, center_pid), center_state);
+
+        let mut result: Delta = Delta::new();
+        let resolve = |nid: NodeId,
+                           part_states: &mut FxHashMap<(u32, u32), Delta>,
+                           fetched_parts: &mut FxHashSet<(u32, u32)>,
+                           elist_cache: &mut FxHashMap<(u32, u32), Option<Eventlist>>|
+         -> Option<StaticNode> {
+            let sid = sid_of(nid, ns);
+            let pid = span.maps[sid as usize].assign(nid);
+            if let Some(state) = part_states.get(&(sid, pid)) {
+                return state.node(nid).cloned();
+            }
+            // Aux fast path: state at checkpoint + roll forward with the
+            // node's own eventlist chunk only.
+            if let Some(base) = aux.node(nid) {
+                let el = elist_cache
+                    .entry((sid, pid))
+                    .or_insert_with(|| self.fetch_elist(tsid, sid, j, pid));
+                let mut scratch = Delta::new();
+                scratch.insert(base.clone());
+                if let Some(el) = el {
+                    for e in el.events().iter().take_while(|e| e.time <= t) {
+                        apply_event_scoped(&mut scratch, &e.kind, |id| id == nid);
+                    }
+                }
+                return scratch.node(nid).cloned();
+            }
+            // Full micro-partition fetch.
+            let state = self.fetch_partition_state(span, sid, pid, t);
+            fetched_parts.insert((sid, pid));
+            let out = state.node(nid).cloned();
+            part_states.insert((sid, pid), state);
+            out
+        };
+
+        let mut frontier: Vec<NodeId> = vec![center];
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        seen.insert(center);
+        for hop in 0..=k {
+            let mut next: Vec<NodeId> = Vec::new();
+            for nid in frontier.drain(..) {
+                let Some(node) =
+                    resolve(nid, &mut part_states, &mut fetched_parts, &mut elist_cache)
+                else {
+                    continue;
+                };
+                if hop < k {
+                    for nbr in node.all_neighbors() {
+                        if seen.insert(nbr) {
+                            next.push(nbr);
+                        }
+                    }
+                }
+                result.insert(node);
+            }
+            frontier = next;
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 5: 1-hop neighborhood history
+    // ------------------------------------------------------------------
+
+    /// The evolving 1-hop neighborhood of `nid` over `range`
+    /// (Algorithm 5): the center's history plus the history of every
+    /// node that is its neighbor at any point in the range.
+    pub fn one_hop_history(&self, nid: NodeId, range: TimeRange) -> NeighborhoodHistory {
+        let center = self.node_history(nid, range);
+        let mut nbrs: FxHashSet<NodeId> = FxHashSet::default();
+        if let Some(n) = &center.initial {
+            nbrs.extend(n.all_neighbors());
+        }
+        for e in &center.events {
+            let (a, b) = e.kind.touched();
+            if a != nid {
+                nbrs.insert(a);
+            }
+            if let Some(b) = b {
+                if b != nid {
+                    nbrs.insert(b);
+                }
+            }
+        }
+        let mut list: Vec<NodeId> = nbrs.into_iter().collect();
+        list.sort_unstable();
+        let neighbors = parallel_chunks(list, self.clients, |chunk| {
+            chunk.into_iter().map(|m| self.node_history(m, range)).collect()
+        });
+        NeighborhoodHistory { center, neighbors, range }
+    }
+}
+
+impl Tgi {
+    // ------------------------------------------------------------------
+    // bulk fetch (the TAF parallel-fetch protocol's per-worker unit)
+    // ------------------------------------------------------------------
+
+    /// Number of horizontal partitions — the unit TAF workers pull in
+    /// parallel (Fig. 10: each analytics worker handshakes with the
+    /// query processors owning some `sid`s).
+    pub fn horizontal_partitions(&self) -> u32 {
+        self.cfg.horizontal_partitions
+    }
+
+    /// All node histories of one horizontal partition over `range`:
+    /// the partition's state at `range.start` plus, per node, the
+    /// events touching it strictly inside the range. Nodes that first
+    /// appear mid-range are included with `initial == None`.
+    ///
+    /// This is the bulk equivalent of Algorithm 2 and the fetch unit
+    /// of the TAF protocol; one call per `sid` reconstructs the whole
+    /// `SoN`.
+    pub fn node_histories_for_sid(&self, sid: u32, range: TimeRange) -> Vec<NodeHistory> {
+        let ns = self.cfg.horizontal_partitions;
+        debug_assert!(sid < ns);
+        // Initial states: the sid's slice of the snapshot at range.start.
+        let initial = self.sid_state_at(sid, range.start);
+        let mut histories: FxHashMap<NodeId, NodeHistory> = FxHashMap::default();
+        for n in initial.iter() {
+            histories.insert(n.id, NodeHistory {
+                id: n.id,
+                range,
+                initial: Some(n.clone()),
+                events: Vec::new(),
+            });
+        }
+        // Walk every eventlist chunk overlapping (range.start, range.end).
+        for span in &self.spans {
+            let meta = &span.meta;
+            if !meta.range.overlaps(&range) {
+                continue;
+            }
+            let map = &span.maps[sid as usize];
+            let chunks = meta.checkpoints.len();
+            for chunk in 0..chunks {
+                let c_start = meta.checkpoints[chunk];
+                let c_end =
+                    meta.checkpoints.get(chunk + 1).copied().unwrap_or(meta.range.end);
+                if c_end <= range.start || c_start >= range.end {
+                    continue;
+                }
+                let prefix = DeltaKey::delta_prefix(meta.tsid, sid, ELIST_BASE + chunk as u64);
+                let token = PlacementKey::new(meta.tsid, sid).token();
+                let rows = self
+                    .store
+                    .scan_prefix(Table::Deltas, &prefix, token)
+                    .unwrap_or_default();
+                for (k, v) in rows {
+                    let Some(dk) = DeltaKey::decode(&k) else { continue };
+                    let el = decode_eventlist(&v).expect("stored eventlist decodes");
+                    for e in el.events() {
+                        if e.time <= range.start || e.time >= range.end {
+                            continue;
+                        }
+                        let (a, b) = e.kind.touched();
+                        // A node's events live exactly in its own pid's
+                        // list, which also dedups the cross-pid copies.
+                        for nid in [Some(a), b].into_iter().flatten() {
+                            if sid_of(nid, ns) != sid || map.assign(nid) != dk.pid {
+                                continue;
+                            }
+                            histories
+                                .entry(nid)
+                                .or_insert_with(|| NodeHistory {
+                                    id: nid,
+                                    range,
+                                    initial: None,
+                                    events: Vec::new(),
+                                })
+                                .events
+                                .push(e.clone());
+                            if b == Some(a) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<NodeHistory> = histories.into_values().collect();
+        for h in out.iter_mut() {
+            h.events.sort_by_key(|e| e.time);
+        }
+        out.sort_by_key(|h| h.id);
+        out
+    }
+
+    /// One horizontal partition's slice of the snapshot at `t`.
+    pub fn sid_state_at(&self, sid: u32, t: Time) -> Delta {
+        let span = self.span_for(t);
+        let meta = &span.meta;
+        let tsid = meta.tsid;
+        let ns = self.cfg.horizontal_partitions;
+        let j = meta.leaf_for_time(t);
+        let token = PlacementKey::new(tsid, sid).token();
+        let mut state = Delta::new();
+        for did in meta.shape.path_to_leaf(j) {
+            let prefix = DeltaKey::delta_prefix(tsid, sid, did);
+            let rows = self.store.scan_prefix(Table::Deltas, &prefix, token).unwrap_or_default();
+            for (_, v) in rows {
+                state.sum_assign_owned(decode_delta(&v).expect("stored delta decodes"));
+            }
+        }
+        let prefix = DeltaKey::delta_prefix(tsid, sid, ELIST_BASE + j as u64);
+        let rows = self.store.scan_prefix(Table::Deltas, &prefix, token).unwrap_or_default();
+        let map = &span.maps[sid as usize];
+        for (k, v) in rows {
+            let Some(dk) = DeltaKey::decode(&k) else { continue };
+            let el = decode_eventlist(&v).expect("stored eventlist decodes");
+            for e in el.events().iter().take_while(|e| e.time <= t) {
+                apply_event_scoped(&mut state, &e.kind, |id| {
+                    sid_of(id, ns) == sid && map.assign(id) == dk.pid
+                });
+            }
+        }
+        state
+    }
+}
+
+fn touches(e: &Event, nid: NodeId) -> bool {
+    let (a, b) = e.kind.touched();
+    a == nid || b == Some(nid)
+}
+
+/// BFS over a materialized snapshot (used by Algorithm 3).
+fn bfs_set(snap: &Delta, center: NodeId, k: usize) -> FxHashSet<NodeId> {
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    if snap.node(center).is_none() {
+        return seen;
+    }
+    seen.insert(center);
+    let mut frontier = vec![center];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for id in frontier {
+            if let Some(n) = snap.node(id) {
+                for nbr in n.all_neighbors() {
+                    if seen.insert(nbr) {
+                        next.push(nbr);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    seen
+}

@@ -1,0 +1,114 @@
+//! Boundary edge cases: queries landing exactly on checkpoint times,
+//! timespan borders, and before/after the indexed history.
+
+use hgs_core::{Tgi, TgiConfig};
+use hgs_datagen::WikiGrowth;
+use hgs_delta::{Delta, Event, EventKind, Time, TimeRange};
+use hgs_store::StoreConfig;
+
+fn cfg() -> TgiConfig {
+    TgiConfig {
+        events_per_timespan: 500,
+        eventlist_size: 50,
+        partition_size: 40,
+        horizontal_partitions: 2,
+        ..TgiConfig::default()
+    }
+}
+
+#[test]
+fn snapshots_at_every_event_timestamp() {
+    // Exhaustive: every distinct timestamp in a small trace, plus the
+    // instants just before and after each.
+    let events = WikiGrowth { events: 600, seed: 3, ..WikiGrowth::default() }.generate();
+    let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
+    let mut times: Vec<Time> = events.iter().map(|e| e.time).collect();
+    times.dedup();
+    for &t in &times {
+        for probe in [t.saturating_sub(1), t, t + 1] {
+            assert_eq!(
+                tgi.snapshot(probe),
+                Delta::snapshot_by_replay(&events, probe),
+                "snapshot at t={probe}"
+            );
+        }
+    }
+}
+
+#[test]
+fn queries_beyond_history_return_final_state() {
+    let events = WikiGrowth { events: 400, seed: 5, ..WikiGrowth::default() }.generate();
+    let end = events.last().unwrap().time;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
+    let final_state = Delta::snapshot_by_replay(&events, u64::MAX);
+    for t in [end, end + 1, end * 10, u64::MAX - 1] {
+        assert_eq!(tgi.snapshot(t), final_state, "t={t}");
+    }
+}
+
+#[test]
+fn queries_before_history_start() {
+    // Shift the trace to start at t=1000; earlier queries see nothing.
+    let mut events = WikiGrowth { events: 300, seed: 7, ..WikiGrowth::default() }.generate();
+    for e in &mut events {
+        e.time += 1000;
+    }
+    let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
+    for t in [0u64, 500, 999] {
+        assert!(tgi.snapshot(t).is_empty(), "pre-history snapshot at t={t}");
+        assert_eq!(tgi.node_at(0, t), None);
+    }
+    assert!(!tgi.snapshot(1_000_000).is_empty());
+}
+
+#[test]
+fn single_timestamp_burst_history() {
+    // Every event at the same instant: one chunk, one checkpoint.
+    let events: Vec<Event> = (0..200u64)
+        .map(|i| Event::new(42, EventKind::AddEdge {
+            src: i % 20,
+            dst: (i + 1) % 20,
+            weight: 1.0,
+            directed: false,
+        }))
+        .collect();
+    let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
+    assert!(tgi.snapshot(41).is_empty());
+    assert_eq!(tgi.snapshot(42), Delta::snapshot_by_replay(&events, 42));
+    assert_eq!(tgi.snapshot(43), tgi.snapshot(42));
+}
+
+#[test]
+fn node_history_over_degenerate_ranges() {
+    let events = WikiGrowth { events: 400, seed: 11, ..WikiGrowth::default() }.generate();
+    let end = events.last().unwrap().time;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
+    // Empty range: initial state only, no events.
+    let h = tgi.node_history(0, TimeRange::new(end / 2, end / 2));
+    assert!(h.events.is_empty());
+    assert_eq!(
+        h.initial.as_ref(),
+        Delta::snapshot_by_replay(&events, end / 2).node(0)
+    );
+    // Range entirely after history: final state, no events.
+    let h2 = tgi.node_history(0, TimeRange::new(end + 10, end + 100));
+    assert!(h2.events.is_empty());
+    assert_eq!(
+        h2.initial.as_ref(),
+        Delta::snapshot_by_replay(&events, u64::MAX).node(0)
+    );
+}
+
+#[test]
+fn khop_of_missing_and_isolated_nodes() {
+    let mut events = WikiGrowth { events: 300, seed: 13, ..WikiGrowth::default() }.generate();
+    let t_end = events.last().unwrap().time;
+    events.push(Event::new(t_end + 1, EventKind::AddNode { id: 999_999 }));
+    let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
+    for strategy in [hgs_core::KhopStrategy::ViaSnapshot, hgs_core::KhopStrategy::Recursive] {
+        let missing = tgi.khop(123_456_789, t_end, 2, strategy);
+        assert!(missing.is_empty(), "missing node via {strategy:?}");
+        let isolated = tgi.khop(999_999, t_end + 1, 2, strategy);
+        assert_eq!(isolated.cardinality(), 1, "isolated node via {strategy:?}");
+    }
+}

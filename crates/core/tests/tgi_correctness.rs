@@ -1,0 +1,329 @@
+//! End-to-end TGI correctness: every retrieval primitive is validated
+//! against brute-force replay of the event history, across the
+//! configuration space (partitioning strategy, horizontal partitions,
+//! eventlist size, partition size, arity, multiple timespans,
+//! incremental appends).
+
+use hgs_core::{KhopStrategy, PartitionStrategy, Tgi, TgiConfig};
+use hgs_datagen::{augment_with_churn, LabeledChurn, WikiGrowth};
+use hgs_delta::{Delta, Event, FxHashSet, NodeId, Time, TimeRange};
+use hgs_store::StoreConfig;
+
+fn small_cfg() -> TgiConfig {
+    TgiConfig {
+        events_per_timespan: 1_500,
+        eventlist_size: 100,
+        arity: 2,
+        partition_size: 60,
+        horizontal_partitions: 3,
+        ..TgiConfig::default()
+    }
+}
+
+fn trace() -> Vec<Event> {
+    let base = WikiGrowth { events: 3_000, seed: 7, ..WikiGrowth::default() }.generate();
+    augment_with_churn(&base, 1_500, 0.4, 11)
+}
+
+fn check_snapshots(tgi: &Tgi, events: &[Event], times: &[Time]) {
+    for &t in times {
+        let got = tgi.snapshot(t);
+        let want = Delta::snapshot_by_replay(events, t);
+        assert_eq!(
+            got.cardinality(),
+            want.cardinality(),
+            "node count mismatch at t={t}"
+        );
+        // Full structural equality.
+        assert_eq!(got, want, "snapshot mismatch at t={t}");
+    }
+}
+
+fn sample_times(events: &[Event]) -> Vec<Time> {
+    let end = events.last().unwrap().time;
+    vec![0, end / 7, end / 3, end / 2, end * 3 / 4, end - 1, end, end + 50]
+}
+
+#[test]
+fn snapshots_match_replay_random_partitioning() {
+    let events = trace();
+    let tgi = Tgi::build(small_cfg(), StoreConfig::new(3, 1), &events);
+    assert!(tgi.span_count() >= 2, "want multiple timespans");
+    check_snapshots(&tgi, &events, &sample_times(&events));
+}
+
+#[test]
+fn snapshots_match_replay_locality_partitioning() {
+    let events = trace();
+    let cfg = small_cfg()
+        .with_strategy(PartitionStrategy::Locality { replicate_boundary: false });
+    let tgi = Tgi::build(cfg, StoreConfig::new(3, 1), &events);
+    check_snapshots(&tgi, &events, &sample_times(&events));
+}
+
+#[test]
+fn snapshots_match_replay_with_replication_aux() {
+    let events = trace();
+    let cfg = small_cfg()
+        .with_strategy(PartitionStrategy::Locality { replicate_boundary: true });
+    let tgi = Tgi::build(cfg, StoreConfig::new(3, 1), &events);
+    // Aux deltas must not pollute snapshots.
+    check_snapshots(&tgi, &events, &sample_times(&events));
+}
+
+#[test]
+fn snapshots_match_for_various_parallel_fetch_factors() {
+    let events = trace();
+    let tgi = Tgi::build(small_cfg(), StoreConfig::new(2, 1), &events);
+    let t = events.last().unwrap().time / 2;
+    let want = Delta::snapshot_by_replay(&events, t);
+    for c in [1usize, 2, 4, 8] {
+        assert_eq!(tgi.snapshot_c(t, c), want, "c={c}");
+    }
+}
+
+#[test]
+fn snapshots_match_across_parameter_grid() {
+    let events: Vec<Event> =
+        WikiGrowth { events: 1_200, seed: 3, ..WikiGrowth::default() }.generate();
+    let end = events.last().unwrap().time;
+    for (l, ps, ns, arity) in
+        [(50usize, 30usize, 1u32, 2usize), (200, 1000, 2, 3), (400, 10, 4, 4)]
+    {
+        let cfg = TgiConfig {
+            events_per_timespan: 600,
+            eventlist_size: l,
+            arity,
+            partition_size: ps,
+            horizontal_partitions: ns,
+            ..TgiConfig::default()
+        };
+        let tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &events);
+        for t in [0, end / 3, end / 2, end] {
+            assert_eq!(
+                tgi.snapshot(t),
+                Delta::snapshot_by_replay(&events, t),
+                "l={l} ps={ps} ns={ns} arity={arity} t={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn node_at_matches_replay() {
+    let events = trace();
+    let tgi = Tgi::build(small_cfg(), StoreConfig::new(3, 1), &events);
+    let end = events.last().unwrap().time;
+    for t in [end / 4, end / 2, end] {
+        let want = Delta::snapshot_by_replay(&events, t);
+        // Check a deterministic sample of nodes, including absent ones.
+        let ids: Vec<NodeId> = want.sorted_ids().into_iter().step_by(37).take(30).collect();
+        for id in ids {
+            assert_eq!(tgi.node_at(id, t).as_ref(), want.node(id), "node {id} at t={t}");
+        }
+        assert_eq!(tgi.node_at(99_999_999, t), None);
+    }
+}
+
+#[test]
+fn node_history_matches_brute_force() {
+    let events = trace();
+    let tgi = Tgi::build(small_cfg(), StoreConfig::new(3, 1), &events);
+    let end = events.last().unwrap().time;
+    let range = TimeRange::new(end / 4, end * 3 / 4);
+
+    // Pick nodes with real activity in the range.
+    let state = Delta::snapshot_by_replay(&events, end);
+    let sample: Vec<NodeId> = state.sorted_ids().into_iter().step_by(53).take(20).collect();
+    for id in sample {
+        let h = tgi.node_history(id, range);
+        // Brute force: initial state + events touching id in range.
+        let want_initial = Delta::snapshot_by_replay(&events, range.start);
+        assert_eq!(h.initial.as_ref(), want_initial.node(id), "initial for {id}");
+        let want_events: Vec<&Event> = events
+            .iter()
+            .filter(|e| {
+                let (a, b) = e.kind.touched();
+                (a == id || b == Some(id)) && e.time > range.start && e.time < range.end
+            })
+            .collect();
+        assert_eq!(h.events.len(), want_events.len(), "event count for {id}");
+        for (got, want) in h.events.iter().zip(want_events) {
+            assert_eq!(got, want, "event mismatch for {id}");
+        }
+        // Final version equals replayed state at range end - 1.
+        let want_final = Delta::snapshot_by_replay(&events, range.end - 1);
+        let versions = h.versions();
+        assert_eq!(
+            versions.last().unwrap().1.as_ref(),
+            want_final.node(id),
+            "final version for {id}"
+        );
+    }
+}
+
+#[test]
+fn khop_strategies_agree_with_replay_bfs() {
+    let events = trace();
+    for strategy in [PartitionStrategy::Random, PartitionStrategy::Locality { replicate_boundary: true }] {
+        let cfg = small_cfg().with_strategy(strategy);
+        let tgi = Tgi::build(cfg, StoreConfig::new(3, 1), &events);
+        let end = events.last().unwrap().time;
+        let t = end / 2;
+        let want_state = Delta::snapshot_by_replay(&events, t);
+        let centers: Vec<NodeId> =
+            want_state.sorted_ids().into_iter().step_by(101).take(8).collect();
+        for center in centers {
+            for k in [0usize, 1, 2] {
+                let want_ids = bfs_ids(&want_state, center, k);
+                let via_snap = tgi.khop(center, t, k, KhopStrategy::ViaSnapshot);
+                let recursive = tgi.khop(center, t, k, KhopStrategy::Recursive);
+                let got_snap: FxHashSet<NodeId> = via_snap.ids().collect();
+                let got_rec: FxHashSet<NodeId> = recursive.ids().collect();
+                assert_eq!(got_snap, want_ids, "via-snapshot ids center={center} k={k}");
+                assert_eq!(got_rec, want_ids, "recursive ids center={center} k={k}");
+                // Node states must match the replayed truth too.
+                for id in recursive.ids() {
+                    assert_eq!(
+                        recursive.node(id),
+                        want_state.node(id),
+                        "recursive state center={center} k={k} node={id}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_hop_history_matches_neighborhood_replay() {
+    let events = LabeledChurn { nodes: 150, edge_events: 1_200, label_flips: 400, seed: 5 }
+        .generate();
+    let tgi = Tgi::build(
+        TgiConfig {
+            events_per_timespan: 800,
+            eventlist_size: 100,
+            partition_size: 40,
+            horizontal_partitions: 2,
+            ..TgiConfig::default()
+        },
+        StoreConfig::new(2, 1),
+        &events,
+    );
+    let end = events.last().unwrap().time;
+    let range = TimeRange::new(end / 4, end);
+    let center: NodeId = 7;
+    let nh = tgi.one_hop_history(center, range);
+
+    // At several timepoints the materialized neighborhood must equal
+    // the replayed 1-hop neighborhood.
+    for t in [range.start, (range.start + end) / 2, end - 1] {
+        let state = Delta::snapshot_by_replay(&events, t);
+        let sub = nh.subgraph_at(t);
+        if let Some(c) = state.node(center) {
+            let want: FxHashSet<NodeId> =
+                c.all_neighbors().chain(std::iter::once(center)).collect();
+            let got: FxHashSet<NodeId> = sub.ids().collect();
+            assert_eq!(got, want, "1-hop ids at t={t}");
+            for id in sub.ids() {
+                assert_eq!(sub.node(id), state.node(id), "1-hop state {id} at t={t}");
+            }
+        } else {
+            assert!(sub.is_empty());
+        }
+    }
+}
+
+#[test]
+fn incremental_append_equals_bulk_build() {
+    let events = trace();
+    let mid = events.len() / 2;
+    // Align the split to a timestamp boundary so both halves are valid
+    // batches.
+    let mut cut = mid;
+    while cut < events.len() && events[cut].time == events[cut - 1].time {
+        cut += 1;
+    }
+    let bulk = Tgi::build(small_cfg(), StoreConfig::new(2, 1), &events);
+    let mut incr = Tgi::build(small_cfg(), StoreConfig::new(2, 1), &events[..cut]);
+    incr.append_events(&events[cut..]);
+
+    let end = events.last().unwrap().time;
+    for t in [0, end / 3, (3 * end) / 5, end] {
+        assert_eq!(incr.snapshot(t), bulk.snapshot(t), "incremental vs bulk at t={t}");
+    }
+    // Node histories spanning the append boundary must see both halves.
+    let state = Delta::snapshot_by_replay(&events, end);
+    let some_node = state.sorted_ids()[0];
+    let r = TimeRange::new(0, end + 1);
+    assert_eq!(
+        incr.node_history(some_node, r).events,
+        bulk.node_history(some_node, r).events
+    );
+}
+
+#[test]
+fn version_chains_are_complete_and_sorted() {
+    let events = trace();
+    let tgi = Tgi::build(small_cfg(), StoreConfig::new(2, 1), &events);
+    let state = Delta::snapshot_by_replay(&events, u64::MAX);
+    for id in state.sorted_ids().into_iter().step_by(71).take(15) {
+        let chain = tgi.version_chain(id);
+        assert!(!chain.is_empty(), "node {id} must have a chain");
+        assert!(chain.windows(2).all(|w| w[0].time <= w[1].time), "sorted chain for {id}");
+        // Every event touching the node must be covered by some chain
+        // entry's chunk (same tsid+chunk appears once per run).
+        let touch_times: Vec<Time> = events
+            .iter()
+            .filter(|e| {
+                let (a, b) = e.kind.touched();
+                a == id || b == Some(id)
+            })
+            .map(|e| e.time)
+            .collect();
+        assert!(!touch_times.is_empty());
+        // The first touch must not precede the first chain entry's time.
+        assert!(chain[0].time <= touch_times[0]);
+    }
+}
+
+#[test]
+fn empty_history_index_answers_empty() {
+    let tgi = Tgi::build(small_cfg(), StoreConfig::new(2, 1), &[]);
+    assert!(tgi.snapshot(0).is_empty());
+    assert!(tgi.snapshot(1_000_000).is_empty());
+    assert_eq!(tgi.node_at(1, 5), None);
+    assert!(tgi.node_history(1, TimeRange::new(0, 100)).events.is_empty());
+}
+
+#[test]
+fn replicated_store_survives_machine_failure() {
+    let events = trace();
+    let tgi = Tgi::build(small_cfg(), StoreConfig::new(3, 2), &events);
+    let end = events.last().unwrap().time;
+    let want = Delta::snapshot_by_replay(&events, end / 2);
+    tgi.store().fail_machine(0);
+    assert_eq!(tgi.snapshot(end / 2), want, "failover snapshot");
+    tgi.store().heal_machine(0);
+}
+
+fn bfs_ids(state: &Delta, center: NodeId, k: usize) -> FxHashSet<NodeId> {
+    let mut seen = FxHashSet::default();
+    if state.node(center).is_none() {
+        return seen;
+    }
+    seen.insert(center);
+    let mut frontier = vec![center];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for id in frontier {
+            for nbr in state.node(id).into_iter().flat_map(|n| n.all_neighbors()) {
+                if seen.insert(nbr) {
+                    next.push(nbr);
+                }
+            }
+        }
+        frontier = next;
+    }
+    seen
+}

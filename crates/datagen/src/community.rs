@@ -1,0 +1,196 @@
+//! A planted-partition temporal graph with community labels and
+//! membership churn.
+//!
+//! The paper's TAF examples (Fig. 7b) compare communities over a year
+//! of history: nodes carry a `community` attribute, edges form mostly
+//! within communities, and membership changes over time. This
+//! generator produces exactly that workload.
+
+use hgs_delta::{AttrValue, Event, EventKind, NodeId, Time};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for the community-structured generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityGraph {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Edge events to generate.
+    pub edge_events: usize,
+    /// Probability an edge stays within a community.
+    pub intra_prob: f64,
+    /// Number of membership-switch events to sprinkle over time.
+    pub switches: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CommunityGraph {
+    fn default() -> CommunityGraph {
+        CommunityGraph {
+            nodes: 2_000,
+            communities: 4,
+            edge_events: 10_000,
+            intra_prob: 0.9,
+            switches: 200,
+            seed: 0x5EED_0005,
+        }
+    }
+}
+
+/// Community name for index `c` ("A", "B", ... then "C26", ...).
+pub fn community_name(c: usize) -> String {
+    if c < 26 {
+        ((b'A' + c as u8) as char).to_string()
+    } else {
+        format!("C{c}")
+    }
+}
+
+impl CommunityGraph {
+    /// Generate the trace: node arrivals with community labels, then
+    /// interleaved edge formation and membership switches.
+    pub fn generate(&self) -> Vec<Event> {
+        assert!(self.communities >= 2);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::with_capacity(self.nodes * 2 + self.edge_events + self.switches);
+        let mut t: Time = 0;
+
+        let mut membership: Vec<usize> = Vec::with_capacity(self.nodes);
+        for id in 0..self.nodes as NodeId {
+            let c = rng.random_range(0..self.communities);
+            membership.push(c);
+            events.push(Event::new(t, EventKind::AddNode { id }));
+            events.push(Event::new(t, EventKind::SetNodeAttr {
+                id,
+                key: "community".into(),
+                value: AttrValue::Text(community_name(c)),
+            }));
+            t += 1;
+        }
+
+        // Pre-compute per-community node lists (kept in sync on switch).
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); self.communities];
+        for (id, &c) in membership.iter().enumerate() {
+            members[c].push(id as NodeId);
+        }
+
+        let switch_every = if self.switches == 0 {
+            usize::MAX
+        } else {
+            (self.edge_events / self.switches.max(1)).max(1)
+        };
+
+        for step in 0..self.edge_events {
+            t += 1;
+            let a = rng.random_range(0..self.nodes) as NodeId;
+            let ca = membership[a as usize];
+            let b = if rng.random::<f64>() < self.intra_prob {
+                // Intra-community partner.
+                let list = &members[ca];
+                list[rng.random_range(0..list.len())]
+            } else {
+                let mut cb = rng.random_range(0..self.communities);
+                if cb == ca {
+                    cb = (cb + 1) % self.communities;
+                }
+                let list = &members[cb];
+                list[rng.random_range(0..list.len())]
+            };
+            if a != b {
+                events.push(Event::new(t, EventKind::AddEdge {
+                    src: a,
+                    dst: b,
+                    weight: 1.0,
+                    directed: false,
+                }));
+            }
+
+            if step % switch_every == switch_every - 1 {
+                // A node migrates to a random other community.
+                t += 1;
+                let id = rng.random_range(0..self.nodes) as NodeId;
+                let old = membership[id as usize];
+                let mut new = rng.random_range(0..self.communities);
+                if new == old {
+                    new = (new + 1) % self.communities;
+                }
+                membership[id as usize] = new;
+                members[old].retain(|&x| x != id);
+                members[new].push(id);
+                events.push(Event::new(t, EventKind::SetNodeAttr {
+                    id,
+                    key: "community".into(),
+                    value: AttrValue::Text(community_name(new)),
+                }));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_delta::Delta;
+
+    #[test]
+    fn all_nodes_labeled() {
+        let ev = CommunityGraph { nodes: 200, edge_events: 500, ..Default::default() }.generate();
+        let state = Delta::snapshot_by_replay(&ev, u64::MAX);
+        assert_eq!(state.cardinality(), 200);
+        for n in state.iter() {
+            assert!(n.attrs.get("community").is_some(), "node {} unlabeled", n.id);
+        }
+    }
+
+    #[test]
+    fn communities_are_assortative() {
+        let ev = CommunityGraph {
+            nodes: 400,
+            communities: 4,
+            edge_events: 4_000,
+            intra_prob: 0.95,
+            switches: 0,
+            seed: 3,
+        }
+        .generate();
+        let state = Delta::snapshot_by_replay(&ev, u64::MAX);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for n in state.iter() {
+            let cn = n.attrs.get("community").and_then(|v| v.as_text()).unwrap().to_owned();
+            for e in &n.edges {
+                let other = state.node(e.nbr).unwrap();
+                let co = other.attrs.get("community").and_then(|v| v.as_text()).unwrap();
+                if cn == co {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > 5 * inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn membership_changes_over_time() {
+        let cfg = CommunityGraph { nodes: 100, edge_events: 2_000, switches: 100, ..Default::default() };
+        let ev = cfg.generate();
+        let switches = ev
+            .iter()
+            .skip(2 * cfg.nodes)
+            .filter(|e| matches!(e.kind, EventKind::SetNodeAttr { .. }))
+            .count();
+        assert!(switches >= 50, "got {switches}");
+    }
+
+    #[test]
+    fn community_names() {
+        assert_eq!(community_name(0), "A");
+        assert_eq!(community_name(1), "B");
+        assert_eq!(community_name(30), "C30");
+    }
+}

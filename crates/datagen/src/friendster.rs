@@ -1,0 +1,145 @@
+//! Dataset 4 analog: a static social graph with uniform synthetic
+//! timestamps.
+//!
+//! The paper takes a Friendster gaming-network snapshot (~37.5M nodes,
+//! 500M edges) and "adds synthetic dates at uniform intervals" to its
+//! edges. We generate a power-law static graph with a Chung–Lu style
+//! model, then emit its edges as `AddEdge` events at uniformly spaced
+//! timestamps in random order — the same construction at laptop scale.
+
+use hgs_delta::{Event, EventKind, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for the Friendster-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FriendsterLike {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target number of edges.
+    pub edges: usize,
+    /// Power-law exponent for expected degrees (2 < gamma < 3 for
+    /// social networks).
+    pub gamma: f64,
+    /// Gap between consecutive event timestamps.
+    pub time_step: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FriendsterLike {
+    fn default() -> FriendsterLike {
+        FriendsterLike { nodes: 20_000, edges: 100_000, gamma: 2.5, time_step: 10, seed: 0x5EED_0004 }
+    }
+}
+
+impl FriendsterLike {
+    /// Convenience constructor.
+    pub fn sized(nodes: usize, edges: usize) -> FriendsterLike {
+        FriendsterLike { nodes, edges, ..FriendsterLike::default() }
+    }
+
+    /// Generate the event trace: all node arrivals at t=0, then edge
+    /// additions at uniform `time_step` intervals.
+    pub fn generate(&self) -> Vec<Event> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.nodes;
+        assert!(n >= 2);
+
+        // Chung–Lu expected degrees w_i ∝ (i+1)^(-1/(gamma-1)).
+        let exponent = -1.0 / (self.gamma - 1.0);
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
+        // Cumulative distribution for weighted endpoint sampling.
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        let total = acc;
+        let sample = |rng: &mut StdRng| -> NodeId {
+            let x = rng.random::<f64>() * total;
+            cdf.partition_point(|&c| c < x) as NodeId
+        };
+
+        let mut events: Vec<Event> = Vec::with_capacity(n + self.edges);
+        for id in 0..n as NodeId {
+            events.push(Event::new(0, EventKind::AddNode { id }));
+        }
+
+        // Sample distinct edges.
+        let mut seen = hgs_delta::FxHashSet::default();
+        seen.reserve(self.edges * 2);
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edges);
+        let mut guard = 0usize;
+        while pairs.len() < self.edges && guard < self.edges * 20 {
+            guard += 1;
+            let a = sample(&mut rng);
+            let b = sample(&mut rng);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if seen.insert(key) {
+                pairs.push(key);
+            }
+        }
+        // Random temporal order, uniform spacing.
+        pairs.shuffle(&mut rng);
+        let mut t = self.time_step;
+        for (a, b) in pairs {
+            events.push(Event::new(t, EventKind::AddEdge {
+                src: a,
+                dst: b,
+                weight: 1.0,
+                directed: false,
+            }));
+            t += self.time_step;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_delta::Delta;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let ev = FriendsterLike::sized(1_000, 5_000).generate();
+        let state = Delta::snapshot_by_replay(&ev, u64::MAX);
+        assert_eq!(state.cardinality(), 1_000);
+        let edges = state.edge_count();
+        assert!((4_500..=5_000).contains(&edges), "edges={edges}");
+    }
+
+    #[test]
+    fn timestamps_uniformly_spaced() {
+        let g = FriendsterLike { time_step: 7, ..FriendsterLike::sized(100, 300) };
+        let ev = g.generate();
+        let edge_times: Vec<u64> = ev
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AddEdge { .. }))
+            .map(|e| e.time)
+            .collect();
+        assert!(edge_times.windows(2).all(|w| w[1] - w[0] == 7));
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let ev = FriendsterLike::sized(2_000, 20_000).generate();
+        let state = Delta::snapshot_by_replay(&ev, u64::MAX);
+        let mut degs: Vec<usize> = state.iter().map(|n| n.degree()).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(degs[0] > 5 * degs[degs.len() / 2].max(1));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            FriendsterLike::sized(500, 1_000).generate(),
+            FriendsterLike::sized(500, 1_000).generate()
+        );
+    }
+}

@@ -1,0 +1,538 @@
+//! Compact binary codec for deltas, events and version chains.
+//!
+//! TGI stores every delta as a serialized binary string in the
+//! key-value store ("`dval` contains serialized value of the
+//! micro-delta as a binary string", §4.4). The paper's Python
+//! implementation used Pickle; we hand-roll a varint-based format so
+//! that (a) serialized sizes faithfully track delta *size* in the
+//! paper's sense, and (b) deserialization cost — a real component of
+//! every retrieval latency the paper measures — is realistic.
+//!
+//! Format conventions: LEB128 varints for unsigned ints, zigzag for
+//! signed, little-endian IEEE-754 for floats, length-prefixed UTF-8
+//! strings, one tag byte per enum.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::attr::{AttrValue, Attrs};
+use crate::delta::Delta;
+use crate::error::CodecError;
+use crate::event::{Event, EventKind, Eventlist};
+use crate::node::{Neighbor, StaticNode};
+use crate::types::EdgeDir;
+
+/// Sanity cap for decoded collection lengths (guards against corrupt
+/// length prefixes allocating unbounded memory).
+const MAX_LEN: u64 = 1 << 32;
+
+// ----------------------------------------------------------------------
+// primitives
+// ----------------------------------------------------------------------
+
+/// Append an LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut out: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let Some((&b, rest)) = buf.split_first() else {
+            return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+        };
+        *buf = rest;
+        out |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(out);
+        }
+    }
+    Err(CodecError::VarintOverflow)
+}
+
+/// Zigzag-encode a signed integer as a varint.
+pub fn put_zigzag(buf: &mut BytesMut, v: i64) {
+    put_varint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Read a zigzag varint.
+pub fn get_zigzag(buf: &mut &[u8]) -> Result<i64, CodecError> {
+    let z = get_varint(buf)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_len(buf: &mut &[u8], what: &'static str) -> Result<usize, CodecError> {
+    let len = get_varint(buf)?;
+    if len > MAX_LEN {
+        return Err(CodecError::LengthOverflow { what, len });
+    }
+    Ok(len as usize)
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+    let len = get_len(buf, "string")?;
+    if buf.len() < len {
+        return Err(CodecError::UnexpectedEof { needed: len, remaining: buf.len() });
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    String::from_utf8(head.to_vec()).map_err(|_| CodecError::BadUtf8)
+}
+
+fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_f64_le(v);
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
+    if buf.len() < 8 {
+        return Err(CodecError::UnexpectedEof { needed: 8, remaining: buf.len() });
+    }
+    let mut b = *buf;
+    let v = b.get_f64_le();
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+fn put_f32(buf: &mut BytesMut, v: f32) {
+    buf.put_f32_le(v);
+}
+
+fn get_f32(buf: &mut &[u8]) -> Result<f32, CodecError> {
+    if buf.len() < 4 {
+        return Err(CodecError::UnexpectedEof { needed: 4, remaining: buf.len() });
+    }
+    let mut b = *buf;
+    let v = b.get_f32_le();
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+// ----------------------------------------------------------------------
+// attributes
+// ----------------------------------------------------------------------
+
+fn put_attr_value(buf: &mut BytesMut, v: &AttrValue) {
+    match v {
+        AttrValue::Int(i) => {
+            buf.put_u8(0);
+            put_zigzag(buf, *i);
+        }
+        AttrValue::Float(f) => {
+            buf.put_u8(1);
+            put_f64(buf, *f);
+        }
+        AttrValue::Text(s) => {
+            buf.put_u8(2);
+            put_str(buf, s);
+        }
+        AttrValue::Bool(b) => {
+            buf.put_u8(3);
+            buf.put_u8(*b as u8);
+        }
+    }
+}
+
+fn get_attr_value(buf: &mut &[u8]) -> Result<AttrValue, CodecError> {
+    let Some((&tag, rest)) = buf.split_first() else {
+        return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+    };
+    *buf = rest;
+    Ok(match tag {
+        0 => AttrValue::Int(get_zigzag(buf)?),
+        1 => AttrValue::Float(get_f64(buf)?),
+        2 => AttrValue::Text(get_str(buf)?),
+        3 => {
+            let Some((&b, rest)) = buf.split_first() else {
+                return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+            };
+            *buf = rest;
+            AttrValue::Bool(b != 0)
+        }
+        t => return Err(CodecError::BadTag { what: "AttrValue", tag: t }),
+    })
+}
+
+fn put_attrs(buf: &mut BytesMut, attrs: &Attrs) {
+    put_varint(buf, attrs.len() as u64);
+    for (k, v) in attrs.iter() {
+        put_str(buf, k);
+        put_attr_value(buf, v);
+    }
+}
+
+fn get_attrs(buf: &mut &[u8]) -> Result<Attrs, CodecError> {
+    let n = get_len(buf, "attrs")?;
+    let mut pairs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let k = get_str(buf)?;
+        let v = get_attr_value(buf)?;
+        pairs.push((k, v));
+    }
+    Ok(Attrs::from_pairs(pairs))
+}
+
+// ----------------------------------------------------------------------
+// static nodes & deltas
+// ----------------------------------------------------------------------
+
+/// Serialize one static node description.
+pub fn put_static_node(buf: &mut BytesMut, n: &StaticNode) {
+    put_varint(buf, n.id);
+    put_varint(buf, n.edges.len() as u64);
+    // Delta-encode sorted neighbor ids: adjacency lists compress well.
+    let mut prev = 0u64;
+    for e in &n.edges {
+        put_varint(buf, e.nbr.wrapping_sub(prev));
+        prev = e.nbr;
+        buf.put_u8(e.dir.tag());
+        put_f32(buf, e.weight);
+        match &e.attrs {
+            Some(a) => {
+                buf.put_u8(1);
+                put_attrs(buf, a);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    put_attrs(buf, &n.attrs);
+}
+
+/// Decode one static node description.
+pub fn get_static_node(buf: &mut &[u8]) -> Result<StaticNode, CodecError> {
+    let id = get_varint(buf)?;
+    let n_edges = get_len(buf, "edges")?;
+    let mut edges = Vec::with_capacity(n_edges.min(1 << 16));
+    let mut prev = 0u64;
+    for _ in 0..n_edges {
+        let nbr = prev.wrapping_add(get_varint(buf)?);
+        prev = nbr;
+        let Some((&dtag, rest)) = buf.split_first() else {
+            return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+        };
+        *buf = rest;
+        let dir = EdgeDir::from_tag(dtag)
+            .ok_or(CodecError::BadTag { what: "EdgeDir", tag: dtag })?;
+        let weight = get_f32(buf)?;
+        let Some((&has_attrs, rest)) = buf.split_first() else {
+            return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+        };
+        *buf = rest;
+        let attrs = if has_attrs != 0 { Some(Box::new(get_attrs(buf)?)) } else { None };
+        edges.push(Neighbor { nbr, dir, weight, attrs });
+    }
+    let attrs = get_attrs(buf)?;
+    Ok(StaticNode { id, edges, attrs })
+}
+
+/// Serialize a delta: node descriptions in sorted-id order (the sort
+/// makes encoding deterministic, which the store's compression and the
+/// tests rely on).
+pub fn encode_delta(d: &Delta) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + d.size() * 8);
+    let ids = d.sorted_ids();
+    put_varint(&mut buf, ids.len() as u64);
+    for id in ids {
+        put_static_node(&mut buf, d.node(id).expect("id from sorted_ids"));
+    }
+    buf.freeze()
+}
+
+/// Decode a delta; rejects trailing bytes.
+pub fn decode_delta(mut buf: &[u8]) -> Result<Delta, CodecError> {
+    let n = get_len(&mut buf, "delta")?;
+    let mut d = Delta::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        d.insert(get_static_node(&mut buf)?);
+    }
+    if !buf.is_empty() {
+        return Err(CodecError::TrailingBytes { remaining: buf.len() });
+    }
+    Ok(d)
+}
+
+// ----------------------------------------------------------------------
+// events & eventlists
+// ----------------------------------------------------------------------
+
+fn put_event_kind(buf: &mut BytesMut, k: &EventKind) {
+    match k {
+        EventKind::AddNode { id } => {
+            buf.put_u8(0);
+            put_varint(buf, *id);
+        }
+        EventKind::RemoveNode { id } => {
+            buf.put_u8(1);
+            put_varint(buf, *id);
+        }
+        EventKind::AddEdge { src, dst, weight, directed } => {
+            buf.put_u8(2);
+            put_varint(buf, *src);
+            put_varint(buf, *dst);
+            put_f32(buf, *weight);
+            buf.put_u8(*directed as u8);
+        }
+        EventKind::RemoveEdge { src, dst } => {
+            buf.put_u8(3);
+            put_varint(buf, *src);
+            put_varint(buf, *dst);
+        }
+        EventKind::SetEdgeWeight { src, dst, weight } => {
+            buf.put_u8(4);
+            put_varint(buf, *src);
+            put_varint(buf, *dst);
+            put_f32(buf, *weight);
+        }
+        EventKind::SetNodeAttr { id, key, value } => {
+            buf.put_u8(5);
+            put_varint(buf, *id);
+            put_str(buf, key);
+            put_attr_value(buf, value);
+        }
+        EventKind::RemoveNodeAttr { id, key } => {
+            buf.put_u8(6);
+            put_varint(buf, *id);
+            put_str(buf, key);
+        }
+        EventKind::SetEdgeAttr { src, dst, key, value } => {
+            buf.put_u8(7);
+            put_varint(buf, *src);
+            put_varint(buf, *dst);
+            put_str(buf, key);
+            put_attr_value(buf, value);
+        }
+        EventKind::RemoveEdgeAttr { src, dst, key } => {
+            buf.put_u8(8);
+            put_varint(buf, *src);
+            put_varint(buf, *dst);
+            put_str(buf, key);
+        }
+    }
+}
+
+fn get_event_kind(buf: &mut &[u8]) -> Result<EventKind, CodecError> {
+    let Some((&tag, rest)) = buf.split_first() else {
+        return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+    };
+    *buf = rest;
+    Ok(match tag {
+        0 => EventKind::AddNode { id: get_varint(buf)? },
+        1 => EventKind::RemoveNode { id: get_varint(buf)? },
+        2 => {
+            let src = get_varint(buf)?;
+            let dst = get_varint(buf)?;
+            let weight = get_f32(buf)?;
+            let Some((&d, rest)) = buf.split_first() else {
+                return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+            };
+            *buf = rest;
+            EventKind::AddEdge { src, dst, weight, directed: d != 0 }
+        }
+        3 => EventKind::RemoveEdge { src: get_varint(buf)?, dst: get_varint(buf)? },
+        4 => {
+            let src = get_varint(buf)?;
+            let dst = get_varint(buf)?;
+            EventKind::SetEdgeWeight { src, dst, weight: get_f32(buf)? }
+        }
+        5 => {
+            let id = get_varint(buf)?;
+            let key = get_str(buf)?;
+            EventKind::SetNodeAttr { id, key, value: get_attr_value(buf)? }
+        }
+        6 => EventKind::RemoveNodeAttr { id: get_varint(buf)?, key: get_str(buf)? },
+        7 => {
+            let src = get_varint(buf)?;
+            let dst = get_varint(buf)?;
+            let key = get_str(buf)?;
+            EventKind::SetEdgeAttr { src, dst, key, value: get_attr_value(buf)? }
+        }
+        8 => EventKind::RemoveEdgeAttr {
+            src: get_varint(buf)?,
+            dst: get_varint(buf)?,
+            key: get_str(buf)?,
+        },
+        t => return Err(CodecError::BadTag { what: "EventKind", tag: t }),
+    })
+}
+
+/// Serialize an eventlist; times are delta-encoded (chronological order
+/// makes the gaps small).
+pub fn encode_eventlist(el: &Eventlist) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + el.len() * 8);
+    put_varint(&mut buf, el.len() as u64);
+    let mut prev = 0u64;
+    for e in el.events() {
+        put_varint(&mut buf, e.time.wrapping_sub(prev));
+        prev = e.time;
+        put_event_kind(&mut buf, &e.kind);
+    }
+    buf.freeze()
+}
+
+/// Decode an eventlist; rejects trailing bytes.
+pub fn decode_eventlist(mut buf: &[u8]) -> Result<Eventlist, CodecError> {
+    let n = get_len(&mut buf, "eventlist")?;
+    let mut events = Vec::with_capacity(n.min(1 << 20));
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let t = prev.wrapping_add(get_varint(&mut buf)?);
+        prev = t;
+        events.push(Event::new(t, get_event_kind(&mut buf)?));
+    }
+    if !buf.is_empty() {
+        return Err(CodecError::TrailingBytes { remaining: buf.len() });
+    }
+    Ok(Eventlist::from_sorted(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = BytesMut::new();
+            put_zigzag(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_zigzag(&mut slice).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_eof_detected() {
+        let mut slice: &[u8] = &[0x80];
+        assert!(matches!(get_varint(&mut slice), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        let bytes = [0xffu8; 11];
+        let mut slice: &[u8] = &bytes;
+        assert!(matches!(get_varint(&mut slice), Err(CodecError::VarintOverflow)));
+    }
+
+    fn sample_delta() -> Delta {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 1, dst: 1000, weight: 2.5, directed: true });
+        d.apply_event(&EventKind::AddEdge { src: 1, dst: 3, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::SetNodeAttr {
+            id: 1,
+            key: "name".into(),
+            value: AttrValue::Text("alpha".into()),
+        });
+        d.apply_event(&EventKind::SetEdgeAttr {
+            src: 1,
+            dst: 3,
+            key: "since".into(),
+            value: AttrValue::Int(1999),
+        });
+        d
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let d = sample_delta();
+        let bytes = encode_delta(&d);
+        let back = decode_delta(&bytes).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn empty_delta_roundtrip() {
+        let bytes = encode_delta(&Delta::new());
+        assert_eq!(decode_delta(&bytes).unwrap(), Delta::new());
+    }
+
+    #[test]
+    fn delta_rejects_trailing_garbage() {
+        let mut bytes = encode_delta(&sample_delta()).to_vec();
+        bytes.push(0xAB);
+        assert!(matches!(decode_delta(&bytes), Err(CodecError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn eventlist_roundtrip_all_kinds() {
+        let events = vec![
+            Event::new(1, EventKind::AddNode { id: 7 }),
+            Event::new(2, EventKind::AddEdge { src: 7, dst: 8, weight: 0.5, directed: false }),
+            Event::new(2, EventKind::SetNodeAttr {
+                id: 7,
+                key: "k".into(),
+                value: AttrValue::Bool(true),
+            }),
+            Event::new(3, EventKind::SetEdgeWeight { src: 7, dst: 8, weight: 9.0 }),
+            Event::new(4, EventKind::SetEdgeAttr {
+                src: 7,
+                dst: 8,
+                key: "e".into(),
+                value: AttrValue::Float(0.25),
+            }),
+            Event::new(5, EventKind::RemoveEdgeAttr { src: 7, dst: 8, key: "e".into() }),
+            Event::new(6, EventKind::RemoveNodeAttr { id: 7, key: "k".into() }),
+            Event::new(7, EventKind::RemoveEdge { src: 7, dst: 8 }),
+            Event::new(8, EventKind::RemoveNode { id: 7 }),
+        ];
+        let el = Eventlist::from_sorted(events);
+        let bytes = encode_eventlist(&el);
+        assert_eq!(decode_eventlist(&bytes).unwrap(), el);
+    }
+
+    #[test]
+    fn adjacency_delta_encoding_is_compact() {
+        // 1000 consecutive neighbors should take ~2-3 bytes each, far
+        // less than 8-byte ids.
+        let mut n = StaticNode::new(1);
+        for i in 0..1000u64 {
+            n.insert_edge(Neighbor::new(1_000_000 + i, EdgeDir::Both));
+        }
+        let d: Delta = vec![n].into_iter().collect();
+        let bytes = encode_delta(&d);
+        assert!(bytes.len() < 1000 * 8, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn bad_tag_reported() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1); // one event
+        put_varint(&mut buf, 0); // time delta
+        buf.put_u8(99); // invalid kind tag
+        assert!(matches!(
+            decode_eventlist(&buf),
+            Err(CodecError::BadTag { what: "EventKind", .. })
+        ));
+    }
+
+    #[test]
+    fn node_ids_beyond_u32_roundtrip() {
+        let big: NodeId = (u32::MAX as u64) + 12345;
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddNode { id: big });
+        let back = decode_delta(&encode_delta(&d)).unwrap();
+        assert!(back.contains(big));
+    }
+}

@@ -1,0 +1,653 @@
+//! The Δ algebra — Definitions 2–5 and Examples 4–5 of the paper.
+//!
+//! A [`Delta`] is a set of static graph components (here: [`StaticNode`]
+//! descriptions, since the node-centric model folds edges into their
+//! endpoint nodes). The algebra provides:
+//!
+//! * **sum** (`+`, [`Delta::sum_assign`]): id-wise, right-biased
+//!   overwrite — `∆1 + ∆2` keeps `∆2`'s description for every id in
+//!   both. Non-commutative, associative, `∆ + ∅ = ∆`.
+//! * **difference** ([`Delta::difference`]): set difference over
+//!   `(id, value)` components — `∆ − ∆ = ∅`, `∆ − ∅ = ∆`.
+//! * **intersection** ([`Delta::intersection`]): components present
+//!   *and identical* in both — this is the temporal-compression
+//!   operator of DeltaGraph/TGI (a tree parent is the intersection of
+//!   its children).
+//! * **union** ([`Delta::union`]): all components from both (left
+//!   biased on conflicting ids).
+//!
+//! The key reconstruction identity used throughout TGI, which follows
+//! from these definitions and is property-tested in this crate:
+//!
+//! ```text
+//! child = parent + (child − parent)        where parent = ∩ children
+//! ```
+//!
+//! A *snapshot* (Example 4) is the delta of the graph state from the
+//! empty graph; [`Delta`] therefore doubles as HGS's in-memory graph
+//! state representation, with [`Delta::apply_event`] implementing the
+//! event semantics.
+
+use crate::error::DeltaError;
+use crate::event::{Event, EventKind};
+use crate::hash::FxHashMap;
+use crate::node::{Neighbor, StaticNode};
+use crate::types::{EdgeDir, NodeId};
+
+/// A set of static node descriptions, keyed by node-id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    nodes: FxHashMap<NodeId, StaticNode>,
+}
+
+impl Delta {
+    /// The empty delta (`∅`).
+    pub fn new() -> Delta {
+        Delta { nodes: FxHashMap::default() }
+    }
+
+    /// Pre-sized empty delta.
+    pub fn with_capacity(n: usize) -> Delta {
+        let mut nodes = FxHashMap::default();
+        nodes.reserve(n);
+        Delta { nodes }
+    }
+
+    /// Number of node descriptions — the paper's *cardinality* is the
+    /// unique component count.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The paper's *size*: total number of static node or edge
+    /// descriptions contained (each node counts 1 plus one per
+    /// edge-list entry).
+    pub fn size(&self) -> usize {
+        self.nodes.values().map(|n| 1 + n.edges.len()).sum()
+    }
+
+    /// Approximate serialized footprint in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.nodes.values().map(|n| n.weight_bytes()).sum()
+    }
+
+    /// True when no components are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Look up a node description.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Option<&StaticNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable node lookup.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut StaticNode> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Whether a node description for `id` is present.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Insert (or replace) a node description.
+    pub fn insert(&mut self, node: StaticNode) -> Option<StaticNode> {
+        self.nodes.insert(node.id, node)
+    }
+
+    /// Remove a node description.
+    pub fn remove(&mut self, id: NodeId) -> Option<StaticNode> {
+        self.nodes.remove(&id)
+    }
+
+    /// Iterate over node descriptions (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &StaticNode> {
+        self.nodes.values()
+    }
+
+    /// Iterate over node ids (arbitrary order).
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Node ids in sorted order (deterministic walks for tests and
+    /// partitioning).
+    pub fn sorted_ids(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drain into the underlying map.
+    pub fn into_nodes(self) -> FxHashMap<NodeId, StaticNode> {
+        self.nodes
+    }
+
+    // ------------------------------------------------------------------
+    // Algebra (Definitions 4 & 5)
+    // ------------------------------------------------------------------
+
+    /// `self ← self + other` (Definition 4): for ids in both, `other`'s
+    /// description wins; ids present in only one side are kept.
+    pub fn sum_assign(&mut self, other: &Delta) {
+        self.nodes.reserve(other.nodes.len());
+        for (id, n) in &other.nodes {
+            self.nodes.insert(*id, n.clone());
+        }
+    }
+
+    /// Owned variant of [`Delta::sum_assign`] that avoids cloning the
+    /// right-hand side.
+    pub fn sum_assign_owned(&mut self, other: Delta) {
+        self.nodes.reserve(other.nodes.len());
+        for (id, n) in other.nodes {
+            self.nodes.insert(id, n);
+        }
+    }
+
+    /// `self + other` (Definition 4).
+    pub fn sum(&self, other: &Delta) -> Delta {
+        let mut out = self.clone();
+        out.sum_assign(other);
+        out
+    }
+
+    /// Set difference over `(id, value)` components: node descriptions
+    /// of `self` that are absent from `other` *or differ* from
+    /// `other`'s description for the same id.
+    pub fn difference(&self, other: &Delta) -> Delta {
+        let mut out = Delta::new();
+        for (id, n) in &self.nodes {
+            if other.nodes.get(id) != Some(n) {
+                out.nodes.insert(*id, n.clone());
+            }
+        }
+        out
+    }
+
+    /// Components present and identical in both (Definition 5).
+    pub fn intersection(&self, other: &Delta) -> Delta {
+        // Iterate the smaller side.
+        let (small, big) = if self.nodes.len() <= other.nodes.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Delta::new();
+        for (id, n) in &small.nodes {
+            if big.nodes.get(id) == Some(n) {
+                out.nodes.insert(*id, n.clone());
+            }
+        }
+        out
+    }
+
+    /// Intersection over many deltas; the parent construction of the
+    /// TGI tree. Returns `∅` for an empty input.
+    pub fn intersection_many(deltas: &[&Delta]) -> Delta {
+        match deltas {
+            [] => Delta::new(),
+            [first, rest @ ..] => {
+                let mut acc = (*first).clone();
+                for d in rest {
+                    acc = acc.intersection(d);
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// All components from both; on id conflicts with differing values,
+    /// `self`'s description is kept (Definition 5 leaves the bias
+    /// unspecified; TGI only unions disjoint partitions).
+    pub fn union(&self, other: &Delta) -> Delta {
+        let mut out = other.clone();
+        for (id, n) in &self.nodes {
+            out.nodes.insert(*id, n.clone());
+        }
+        out
+    }
+
+    /// Restrict to node ids selected by the predicate — the paper's
+    /// *partitioned snapshot* (Example 5).
+    pub fn restrict<F: Fn(NodeId) -> bool>(&self, keep: F) -> Delta {
+        let mut out = Delta::new();
+        for (id, n) in &self.nodes {
+            if keep(*id) {
+                out.nodes.insert(*id, n.clone());
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Event application (graph-state semantics)
+    // ------------------------------------------------------------------
+
+    /// Apply one event to this delta viewed as a graph state.
+    ///
+    /// The semantics are *forgiving* in the way real event traces
+    /// require (the paper's Wikipedia trace contains, e.g., edges whose
+    /// endpoints were never explicitly added): missing endpoints are
+    /// implicitly created, duplicate additions are overwrites, and
+    /// removals of absent components are no-ops. The strict variant
+    /// [`Delta::apply_event_strict`] reports those anomalies instead.
+    pub fn apply_event(&mut self, kind: &EventKind) {
+        let _ = self.apply_event_impl(kind, false);
+    }
+
+    /// Apply one event, returning an error on referencing anomalies
+    /// instead of repairing them. The state is still left consistent
+    /// (failed applications may partially repair, mirroring the
+    /// forgiving path).
+    pub fn apply_event_strict(&mut self, kind: &EventKind) -> Result<(), DeltaError> {
+        self.apply_event_impl(kind, true)
+    }
+
+    fn apply_event_impl(&mut self, kind: &EventKind, strict: bool) -> Result<(), DeltaError> {
+        match kind {
+            EventKind::AddNode { id } => {
+                if self.nodes.contains_key(id) {
+                    if strict {
+                        return Err(DeltaError::AlreadyExists { what: "node", id: *id });
+                    }
+                } else {
+                    self.nodes.insert(*id, StaticNode::new(*id));
+                }
+            }
+            EventKind::RemoveNode { id } => {
+                match self.nodes.remove(id) {
+                    Some(node) => {
+                        // Scrub reverse entries so no dangling edges remain.
+                        for nbr in node.all_neighbors() {
+                            if let Some(n) = self.nodes.get_mut(&nbr) {
+                                n.remove_all_edges_to(*id);
+                            }
+                        }
+                    }
+                    None if strict => {
+                        return Err(DeltaError::UnknownNode { node: *id, context: "RemoveNode" })
+                    }
+                    None => {}
+                }
+            }
+            EventKind::AddEdge { src, dst, weight, directed } => {
+                let missing_src = !self.nodes.contains_key(src);
+                let missing_dst = !self.nodes.contains_key(dst);
+                if strict && (missing_src || missing_dst) {
+                    let node = if missing_src { *src } else { *dst };
+                    return Err(DeltaError::UnknownNode { node, context: "AddEdge" });
+                }
+                let (d_src, d_dst) = if *directed {
+                    (EdgeDir::Out, EdgeDir::In)
+                } else {
+                    (EdgeDir::Both, EdgeDir::Both)
+                };
+                self.nodes
+                    .entry(*src)
+                    .or_insert_with(|| StaticNode::new(*src))
+                    .insert_edge(Neighbor::weighted(*dst, d_src, *weight));
+                if src != dst {
+                    self.nodes
+                        .entry(*dst)
+                        .or_insert_with(|| StaticNode::new(*dst))
+                        .insert_edge(Neighbor::weighted(*src, d_dst, *weight));
+                }
+            }
+            EventKind::RemoveEdge { src, dst } => {
+                let mut found = false;
+                if let Some(n) = self.nodes.get_mut(src) {
+                    found |= n.remove_all_edges_to(*dst) > 0;
+                }
+                if src != dst {
+                    if let Some(n) = self.nodes.get_mut(dst) {
+                        found |= n.remove_all_edges_to(*src) > 0;
+                    }
+                }
+                if strict && !found {
+                    return Err(DeltaError::UnknownEdge {
+                        src: *src,
+                        dst: *dst,
+                        context: "RemoveEdge",
+                    });
+                }
+            }
+            EventKind::SetEdgeWeight { src, dst, weight } => {
+                let mut found = false;
+                for (a, b) in [(*src, *dst), (*dst, *src)] {
+                    if let Some(n) = self.nodes.get_mut(&a) {
+                        for e in n.edges.iter_mut().filter(|e| e.nbr == b) {
+                            e.weight = *weight;
+                            found = true;
+                        }
+                    }
+                    if src == dst {
+                        break;
+                    }
+                }
+                if strict && !found {
+                    return Err(DeltaError::UnknownEdge {
+                        src: *src,
+                        dst: *dst,
+                        context: "SetEdgeWeight",
+                    });
+                }
+            }
+            EventKind::SetNodeAttr { id, key, value } => match self.nodes.get_mut(id) {
+                Some(n) => {
+                    n.attrs.set(key.clone(), value.clone());
+                }
+                None if strict => {
+                    return Err(DeltaError::UnknownNode { node: *id, context: "SetNodeAttr" })
+                }
+                None => {
+                    let mut n = StaticNode::new(*id);
+                    n.attrs.set(key.clone(), value.clone());
+                    self.nodes.insert(*id, n);
+                }
+            },
+            EventKind::RemoveNodeAttr { id, key } => {
+                let removed =
+                    self.nodes.get_mut(id).and_then(|n| n.attrs.remove(key)).is_some();
+                if strict && !removed {
+                    return Err(DeltaError::UnknownNode { node: *id, context: "RemoveNodeAttr" });
+                }
+            }
+            EventKind::SetEdgeAttr { src, dst, key, value } => {
+                let mut found = false;
+                for (a, b) in [(*src, *dst), (*dst, *src)] {
+                    if let Some(n) = self.nodes.get_mut(&a) {
+                        for e in n.edges.iter_mut().filter(|e| e.nbr == b) {
+                            e.set_attr(key.clone(), value.clone());
+                            found = true;
+                        }
+                    }
+                    if src == dst {
+                        break;
+                    }
+                }
+                if strict && !found {
+                    return Err(DeltaError::UnknownEdge {
+                        src: *src,
+                        dst: *dst,
+                        context: "SetEdgeAttr",
+                    });
+                }
+            }
+            EventKind::RemoveEdgeAttr { src, dst, key } => {
+                let mut found = false;
+                for (a, b) in [(*src, *dst), (*dst, *src)] {
+                    if let Some(n) = self.nodes.get_mut(&a) {
+                        for e in n.edges.iter_mut().filter(|e| e.nbr == b) {
+                            found |= e.remove_attr(key).is_some();
+                        }
+                    }
+                    if src == dst {
+                        break;
+                    }
+                }
+                if strict && !found {
+                    return Err(DeltaError::UnknownEdge {
+                        src: *src,
+                        dst: *dst,
+                        context: "RemoveEdgeAttr",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a run of events in order.
+    pub fn apply_events<'a, I: IntoIterator<Item = &'a Event>>(&mut self, events: I) {
+        for e in events {
+            self.apply_event(&e.kind);
+        }
+    }
+
+    /// Replay a full event history into a snapshot at time `t`
+    /// (events with `time <= t` are applied). This is the reference
+    /// implementation every index in this repo is validated against.
+    pub fn snapshot_by_replay(events: &[Event], t: crate::types::Time) -> Delta {
+        let mut d = Delta::new();
+        for e in events {
+            if e.time > t {
+                break;
+            }
+            d.apply_event(&e.kind);
+        }
+        d
+    }
+
+    /// Total number of edges in this delta viewed as a graph state
+    /// (each undirected/directed edge counted once).
+    pub fn edge_count(&self) -> usize {
+        let twice: usize = self
+            .nodes
+            .values()
+            .map(|n| {
+                n.edges
+                    .iter()
+                    .filter(|e| e.nbr != n.id) // self loops handled below
+                    .count()
+                    + 2 * n.edges.iter().filter(|e| e.nbr == n.id).count()
+            })
+            .sum();
+        twice / 2
+    }
+}
+
+impl FromIterator<StaticNode> for Delta {
+    fn from_iter<I: IntoIterator<Item = StaticNode>>(iter: I) -> Delta {
+        let mut d = Delta::new();
+        for n in iter {
+            d.insert(n);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrValue;
+
+    fn node_with_edge(id: NodeId, nbr: NodeId) -> StaticNode {
+        let mut n = StaticNode::new(id);
+        n.insert_edge(Neighbor::new(nbr, EdgeDir::Both));
+        n
+    }
+
+    #[test]
+    fn sum_right_bias_and_identity() {
+        let mut d1: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)].into_iter().collect();
+        let d2: Delta = vec![node_with_edge(1, 9)].into_iter().collect();
+        d1.sum_assign(&d2);
+        assert_eq!(d1.node(1).unwrap().edges[0].nbr, 9, "right side wins");
+        assert!(d1.contains(3));
+        // identity
+        let d = d1.clone();
+        d1.sum_assign(&Delta::new());
+        assert_eq!(d1, d);
+    }
+
+    #[test]
+    fn sum_is_associative() {
+        let a: Delta = vec![node_with_edge(1, 2)].into_iter().collect();
+        let b: Delta = vec![node_with_edge(1, 3), StaticNode::new(2)].into_iter().collect();
+        let c: Delta = vec![StaticNode::new(1)].into_iter().collect();
+        let left = a.sum(&b).sum(&c);
+        let right = a.sum(&b.sum(&c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn difference_laws() {
+        let d: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)].into_iter().collect();
+        assert!(d.difference(&d).is_empty(), "∆ − ∆ = ∅");
+        assert_eq!(d.difference(&Delta::new()), d, "∆ − ∅ = ∆");
+    }
+
+    #[test]
+    fn intersection_requires_identical_value() {
+        let a: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)].into_iter().collect();
+        let b: Delta = vec![node_with_edge(1, 2), node_with_edge(3, 7)].into_iter().collect();
+        let i = a.intersection(&b);
+        assert!(i.contains(1), "identical node kept");
+        assert!(!i.contains(3), "differing node dropped");
+        assert!(a.intersection(&Delta::new()).is_empty(), "∆ ∩ ∅ = ∅");
+    }
+
+    #[test]
+    fn reconstruction_identity() {
+        // child = parent + (child − parent) for parent = ∩ children.
+        let c1: Delta =
+            vec![node_with_edge(1, 2), node_with_edge(2, 1), StaticNode::new(5)].into_iter().collect();
+        let mut c2 = c1.clone();
+        c2.apply_event(&EventKind::AddEdge { src: 5, dst: 1, weight: 1.0, directed: false });
+        let parent = c1.intersection(&c2);
+        for child in [&c1, &c2] {
+            let derived = child.difference(&parent);
+            let rebuilt = parent.sum(&derived);
+            assert_eq!(&rebuilt, child);
+        }
+    }
+
+    #[test]
+    fn union_keeps_both() {
+        let a: Delta = vec![StaticNode::new(1)].into_iter().collect();
+        let b: Delta = vec![StaticNode::new(2)].into_iter().collect();
+        let u = a.union(&b);
+        assert!(u.contains(1) && u.contains(2));
+        assert_eq!(a.union(&Delta::new()), a, "∆ ∪ ∅ = ∆");
+    }
+
+    #[test]
+    fn cardinality_and_size() {
+        let d: Delta = vec![node_with_edge(1, 2), node_with_edge(2, 1)].into_iter().collect();
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.size(), 4, "2 nodes + 2 edge entries");
+    }
+
+    #[test]
+    fn apply_add_edge_creates_both_entries() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddNode { id: 1 });
+        d.apply_event(&EventKind::AddNode { id: 2 });
+        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 2.0, directed: false });
+        assert!(d.node(1).unwrap().has_neighbor(2));
+        assert!(d.node(2).unwrap().has_neighbor(1));
+        assert_eq!(d.edge_count(), 1);
+    }
+
+    #[test]
+    fn apply_directed_edge_sets_directions() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: true });
+        assert_eq!(d.node(1).unwrap().edges[0].dir, EdgeDir::Out);
+        assert_eq!(d.node(2).unwrap().edges[0].dir, EdgeDir::In);
+    }
+
+    #[test]
+    fn remove_node_scrubs_reverse_edges() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::RemoveNode { id: 2 });
+        assert!(!d.contains(2));
+        assert_eq!(d.node(1).unwrap().degree(), 0, "dangling edge scrubbed");
+    }
+
+    #[test]
+    fn self_loop_single_entry() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 3, dst: 3, weight: 1.0, directed: false });
+        assert_eq!(d.node(3).unwrap().degree(), 1);
+        assert_eq!(d.edge_count(), 1);
+        d.apply_event(&EventKind::RemoveEdge { src: 3, dst: 3 });
+        assert_eq!(d.node(3).unwrap().degree(), 0);
+    }
+
+    #[test]
+    fn attr_events() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddNode { id: 1 });
+        d.apply_event(&EventKind::SetNodeAttr {
+            id: 1,
+            key: "label".into(),
+            value: AttrValue::Text("Author".into()),
+        });
+        assert_eq!(d.node(1).unwrap().attrs.get("label").and_then(|v| v.as_text()), Some("Author"));
+        d.apply_event(&EventKind::RemoveNodeAttr { id: 1, key: "label".into() });
+        assert!(d.node(1).unwrap().attrs.is_empty());
+    }
+
+    #[test]
+    fn edge_attr_events_touch_both_entries() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::SetEdgeAttr {
+            src: 1,
+            dst: 2,
+            key: "kind".into(),
+            value: AttrValue::Text("cites".into()),
+        });
+        for (a, b) in [(1, 2), (2, 1)] {
+            let n = d.node(a).unwrap();
+            let e = n.edges.iter().find(|e| e.nbr == b).unwrap();
+            assert_eq!(e.attr("kind").and_then(|v| v.as_text()), Some("cites"));
+        }
+    }
+
+    #[test]
+    fn strict_mode_reports_anomalies() {
+        let mut d = Delta::new();
+        assert!(d.apply_event_strict(&EventKind::RemoveNode { id: 4 }).is_err());
+        assert!(d
+            .apply_event_strict(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false })
+            .is_err());
+        d.apply_event(&EventKind::AddNode { id: 1 });
+        assert!(d.apply_event_strict(&EventKind::AddNode { id: 1 }).is_err());
+    }
+
+    #[test]
+    fn forgiving_mode_creates_endpoints() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 8, dst: 9, weight: 1.0, directed: false });
+        assert!(d.contains(8) && d.contains(9));
+    }
+
+    #[test]
+    fn snapshot_by_replay_respects_time() {
+        let events = vec![
+            Event::new(1, EventKind::AddNode { id: 1 }),
+            Event::new(5, EventKind::AddNode { id: 2 }),
+        ];
+        let s = Delta::snapshot_by_replay(&events, 3);
+        assert!(s.contains(1) && !s.contains(2));
+    }
+
+    #[test]
+    fn restrict_is_partitioned_snapshot() {
+        let d: Delta = (0..10).map(StaticNode::new).collect();
+        let p = d.restrict(|id| id % 2 == 0);
+        assert_eq!(p.cardinality(), 5);
+    }
+
+    #[test]
+    fn set_edge_weight_updates_both_sides() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::SetEdgeWeight { src: 2, dst: 1, weight: 7.5 });
+        assert_eq!(d.node(1).unwrap().edges[0].weight, 7.5);
+        assert_eq!(d.node(2).unwrap().edges[0].weight, 7.5);
+    }
+}

@@ -1,0 +1,258 @@
+//! Events and eventlists — Examples 1–3 of the paper's delta framework.
+
+use crate::attr::AttrValue;
+use crate::types::{NodeId, Time, TimeRange};
+
+/// The payload of an atomic change to the graph (Example 1).
+///
+/// Changes are either structural (node/edge addition and deletion) or
+/// attribute-level (set / remove an attribute value on a node or edge).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A node appears.
+    AddNode { id: NodeId },
+    /// A node (and implicitly all its incident edges) disappears.
+    RemoveNode { id: NodeId },
+    /// An edge appears. `directed == false` stores `Both` entries on
+    /// both endpoints; `true` stores `Out` on `src` and `In` on `dst`.
+    AddEdge { src: NodeId, dst: NodeId, weight: f32, directed: bool },
+    /// An edge disappears.
+    RemoveEdge { src: NodeId, dst: NodeId },
+    /// The weight of an existing edge changes.
+    SetEdgeWeight { src: NodeId, dst: NodeId, weight: f32 },
+    /// Set (add or overwrite) a node attribute.
+    SetNodeAttr { id: NodeId, key: String, value: AttrValue },
+    /// Remove a node attribute.
+    RemoveNodeAttr { id: NodeId, key: String },
+    /// Set (add or overwrite) an edge attribute.
+    SetEdgeAttr { src: NodeId, dst: NodeId, key: String, value: AttrValue },
+    /// Remove an edge attribute.
+    RemoveEdgeAttr { src: NodeId, dst: NodeId, key: String },
+}
+
+impl EventKind {
+    /// The node-ids whose state this event touches. Edge events touch
+    /// both endpoints because the node-centric model stores each edge
+    /// with both of them.
+    pub fn touched(&self) -> (NodeId, Option<NodeId>) {
+        match *self {
+            EventKind::AddNode { id }
+            | EventKind::RemoveNode { id }
+            | EventKind::SetNodeAttr { id, .. }
+            | EventKind::RemoveNodeAttr { id, .. } => (id, None),
+            EventKind::AddEdge { src, dst, .. }
+            | EventKind::RemoveEdge { src, dst }
+            | EventKind::SetEdgeWeight { src, dst, .. }
+            | EventKind::SetEdgeAttr { src, dst, .. }
+            | EventKind::RemoveEdgeAttr { src, dst, .. } => (src, Some(dst)),
+        }
+    }
+
+    /// True for events that change graph structure rather than
+    /// attribute values.
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            EventKind::AddNode { .. }
+                | EventKind::RemoveNode { .. }
+                | EventKind::AddEdge { .. }
+                | EventKind::RemoveEdge { .. }
+        )
+    }
+}
+
+/// An atomic change at a specific timepoint (Example 1):
+/// `∆event(c, te) = c(te) − c(te−1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub time: Time,
+    pub kind: EventKind,
+}
+
+impl Event {
+    pub fn new(time: Time, kind: EventKind) -> Event {
+        Event { time, kind }
+    }
+}
+
+/// A chronologically sorted run of events (Example 2), optionally
+/// restricted to a time scope `(ts, te]` and/or a node partition
+/// (Example 3, *partitioned eventlist*).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Eventlist {
+    events: Vec<Event>,
+}
+
+impl Eventlist {
+    /// Empty eventlist.
+    pub fn new() -> Eventlist {
+        Eventlist { events: Vec::new() }
+    }
+
+    /// Build from events that are already in chronological order.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the events are out of order.
+    pub fn from_sorted(events: Vec<Event>) -> Eventlist {
+        debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        Eventlist { events }
+    }
+
+    /// Append an event; must not go back in time.
+    pub fn push(&mut self, e: Event) {
+        debug_assert!(self.events.last().is_none_or(|l| l.time <= e.time));
+        self.events.push(e);
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Immutable view of the events.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// The time range `[first, last]` covered, or `None` when empty.
+    pub fn span(&self) -> Option<(Time, Time)> {
+        Some((self.events.first()?.time, self.events.last()?.time))
+    }
+
+    /// Sub-slice of events with `time` in the half-open `range`
+    /// (FilterByTime in the paper's Algorithm 1/2).
+    pub fn slice_by_time(&self, range: TimeRange) -> &[Event] {
+        let lo = self.events.partition_point(|e| e.time < range.start);
+        let hi = self.events.partition_point(|e| e.time < range.end);
+        &self.events[lo..hi]
+    }
+
+    /// Events touching a specific node (FilterById in Algorithm 2).
+    pub fn filter_by_node(&self, id: NodeId) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| {
+            let (a, b) = e.kind.touched();
+            a == id || b == Some(id)
+        })
+    }
+
+    /// Split into chunks of at most `chunk` events, preserving order.
+    /// This is how TGI bounds eventlist delta sizes (parameter `l`).
+    pub fn chunked(&self, chunk: usize) -> Vec<Eventlist> {
+        assert!(chunk > 0);
+        self.events
+            .chunks(chunk)
+            .map(|c| Eventlist { events: c.to_vec() })
+            .collect()
+    }
+
+    /// Partition events by a node-scope function (partitioned
+    /// eventlists, Example 3): event goes to every partition that one
+    /// of its touched nodes maps to.
+    pub fn partition_by<F: Fn(NodeId) -> u32>(&self, parts: u32, f: F) -> Vec<Eventlist> {
+        let mut out: Vec<Eventlist> = (0..parts).map(|_| Eventlist::new()).collect();
+        for e in &self.events {
+            let (a, b) = e.kind.touched();
+            let pa = f(a);
+            out[pa as usize].events.push(e.clone());
+            if let Some(b) = b {
+                let pb = f(b);
+                if pb != pa {
+                    out[pb as usize].events.push(e.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Event> for Eventlist {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Eventlist {
+        let mut events: Vec<Event> = iter.into_iter().collect();
+        events.sort_by_key(|e| e.time);
+        Eventlist { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: Time, id: NodeId) -> Event {
+        Event::new(t, EventKind::AddNode { id })
+    }
+
+    fn edge(t: Time, s: NodeId, d: NodeId) -> Event {
+        Event::new(t, EventKind::AddEdge { src: s, dst: d, weight: 1.0, directed: false })
+    }
+
+    #[test]
+    fn slice_by_time_is_half_open() {
+        let el: Eventlist = vec![ev(1, 1), ev(2, 2), ev(3, 3), ev(5, 5)].into_iter().collect();
+        let s = el.slice_by_time(TimeRange::new(2, 5));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].time, 2);
+        assert_eq!(s[1].time, 3);
+    }
+
+    #[test]
+    fn filter_by_node_sees_both_endpoints() {
+        let el: Eventlist = vec![edge(1, 1, 2), edge(2, 3, 4), ev(3, 2)].into_iter().collect();
+        let touching2: Vec<&Event> = el.filter_by_node(2).collect();
+        assert_eq!(touching2.len(), 2);
+    }
+
+    #[test]
+    fn chunking_preserves_order_and_count() {
+        let el: Eventlist = (0..10).map(|i| ev(i, i)).collect();
+        let chunks = el.chunked(4);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn partitioning_replicates_cross_partition_edges() {
+        let el: Eventlist = vec![edge(1, 1, 2)].into_iter().collect();
+        // nodes 1 and 2 land in different partitions
+        let parts = el.partition_by(2, |id| (id % 2) as u32);
+        assert_eq!(parts[0].len(), 1, "partition of node 2");
+        assert_eq!(parts[1].len(), 1, "partition of node 1");
+    }
+
+    #[test]
+    fn partitioning_no_duplicate_within_same_partition() {
+        let el: Eventlist = vec![edge(1, 2, 4)].into_iter().collect();
+        let parts = el.partition_by(2, |id| (id % 2) as u32);
+        assert_eq!(parts[0].len(), 1, "both endpoints in partition 0 -> one copy");
+        assert_eq!(parts[1].len(), 0);
+    }
+
+    #[test]
+    fn from_iter_sorts() {
+        let el: Eventlist = vec![ev(5, 1), ev(1, 2), ev(3, 3)].into_iter().collect();
+        let times: Vec<Time> = el.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn span_reports_bounds() {
+        let el: Eventlist = vec![ev(2, 1), ev(9, 2)].into_iter().collect();
+        assert_eq!(el.span(), Some((2, 9)));
+        assert_eq!(Eventlist::new().span(), None);
+    }
+}

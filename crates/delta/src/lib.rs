@@ -1,0 +1,43 @@
+//! # hgs-delta — the delta framework of the Historical Graph Store
+//!
+//! This crate implements the temporal graph data model and the *delta
+//! framework* of Section 4.1 of "Storing and Analyzing Historical Graph
+//! Data at Scale" (Khurana & Deshpande, EDBT 2016):
+//!
+//! * [`StaticNode`] — the state of a vertex at one point in time
+//!   (Definition 1): node-id, edge-list, attributes. Edges are modelled
+//!   as attributes of their endpoint nodes (node-centric logical model).
+//! * [`Event`] — the smallest change to a graph (Example 1): structural
+//!   (node/edge addition/removal) or attribute-level.
+//! * [`Eventlist`] — a chronologically sorted run of events (Example 2),
+//!   optionally scoped to a node partition (Example 3).
+//! * [`Delta`] — a set of static graph components closed under *sum*,
+//!   *difference*, *union* and *intersection* (Definitions 2–5). Graph
+//!   snapshots (Example 4) and partitioned snapshots (Example 5) are
+//!   deltas from the empty graph.
+//! * [`codec`] — a compact binary serialization for all of the above;
+//!   serialized size is the storage cost that every index in the paper
+//!   (Table 1) is measured by.
+//!
+//! Everything higher in the stack (the simulated distributed store, the
+//! Temporal Graph Index, the baselines and the analytics framework) is
+//! built out of these primitives.
+
+pub mod attr;
+pub mod codec;
+pub mod delta;
+pub mod error;
+pub mod event;
+pub mod hash;
+pub mod node;
+pub mod normalize;
+pub mod types;
+
+pub use attr::{AttrValue, Attrs};
+pub use delta::Delta;
+pub use error::{CodecError, DeltaError};
+pub use event::{Event, EventKind, Eventlist};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use node::{Neighbor, StaticNode};
+pub use normalize::{is_normalized, normalize_events};
+pub use types::{EdgeDir, NodeId, Time, TimeRange};

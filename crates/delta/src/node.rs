@@ -1,0 +1,273 @@
+//! Static graph components: the state of a node (with its edge-list) at
+//! one point in time — Definition 1 of the paper.
+
+use crate::attr::Attrs;
+use crate::types::{EdgeDir, NodeId};
+
+/// One entry of a node's edge-list: a reference to a neighbor, the edge
+/// direction relative to the owning node, an edge weight, and optional
+/// edge attributes.
+///
+/// The paper's node-centric model treats edges as attributes of their
+/// endpoint nodes; an edge is stored with *both* endpoints so that any
+/// single node's state is self-contained (this replication is also what
+/// the vertex-centric baseline in Table 1 assumes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// The other endpoint.
+    pub nbr: NodeId,
+    /// Direction of the edge relative to the owning node.
+    pub dir: EdgeDir,
+    /// Edge weight; defaults to 1.0. Used by the locality-aware
+    /// partitioner's Ω collapse functions.
+    pub weight: f32,
+    /// Edge attributes; boxed so the common attribute-free case costs
+    /// one machine word.
+    pub attrs: Option<Box<Attrs>>,
+}
+
+impl Neighbor {
+    /// Unweighted, attribute-free neighbor entry.
+    pub fn new(nbr: NodeId, dir: EdgeDir) -> Neighbor {
+        Neighbor { nbr, dir, weight: 1.0, attrs: None }
+    }
+
+    /// Weighted neighbor entry.
+    pub fn weighted(nbr: NodeId, dir: EdgeDir, weight: f32) -> Neighbor {
+        Neighbor { nbr, dir, weight, attrs: None }
+    }
+
+    /// Edge attributes (empty view when none are set).
+    pub fn attr(&self, key: &str) -> Option<&crate::attr::AttrValue> {
+        self.attrs.as_ref().and_then(|a| a.get(key))
+    }
+
+    /// Set an edge attribute, allocating the attribute box on first use.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: crate::attr::AttrValue) {
+        self.attrs.get_or_insert_with(Default::default).set(key, value);
+    }
+
+    /// Remove an edge attribute.
+    pub fn remove_attr(&mut self, key: &str) -> Option<crate::attr::AttrValue> {
+        let out = self.attrs.as_mut().and_then(|a| a.remove(key));
+        if self.attrs.as_ref().is_some_and(|a| a.is_empty()) {
+            self.attrs = None;
+        }
+        out
+    }
+}
+
+/// The state of a vertex at a specific time (Definition 1): node-id,
+/// edge-list, attributes.
+///
+/// `PartialEq` is structural over the *sorted* edge-list, which is the
+/// component-equality relation used by delta intersection (and hence by
+/// the DeltaGraph-style temporal compression in TGI).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StaticNode {
+    /// Unique identifier.
+    pub id: NodeId,
+    /// Edge-list, kept sorted by `(nbr, dir)`.
+    pub edges: Vec<Neighbor>,
+    /// Node attributes.
+    pub attrs: Attrs,
+}
+
+impl StaticNode {
+    /// A fresh node with no edges or attributes.
+    pub fn new(id: NodeId) -> StaticNode {
+        StaticNode { id, edges: Vec::new(), attrs: Attrs::new() }
+    }
+
+    /// Number of edge-list entries (the node's degree in the stored
+    /// representation; for undirected graphs this equals the degree).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Binary-search the edge-list for `(nbr, dir)`.
+    fn edge_pos(&self, nbr: NodeId, dir: EdgeDir) -> Result<usize, usize> {
+        self.edges.binary_search_by(|e| (e.nbr, e.dir).cmp(&(nbr, dir)))
+    }
+
+    /// Look up an edge entry toward `nbr` with direction `dir`.
+    pub fn edge(&self, nbr: NodeId, dir: EdgeDir) -> Option<&Neighbor> {
+        self.edge_pos(nbr, dir).ok().map(|i| &self.edges[i])
+    }
+
+    /// Mutable edge lookup.
+    pub fn edge_mut(&mut self, nbr: NodeId, dir: EdgeDir) -> Option<&mut Neighbor> {
+        match self.edge_pos(nbr, dir) {
+            Ok(i) => Some(&mut self.edges[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether any edge (any direction) connects to `nbr`.
+    pub fn has_neighbor(&self, nbr: NodeId) -> bool {
+        // Partition point = first index with e.nbr > nbr; a match, if
+        // any, sits immediately before it.
+        let i = self.edges.partition_point(|e| e.nbr <= nbr);
+        i > 0 && self.edges[i - 1].nbr == nbr
+    }
+
+    /// Insert an edge entry, keeping the list sorted. Returns `false`
+    /// if an identical `(nbr, dir)` entry already existed (in which
+    /// case it is replaced).
+    pub fn insert_edge(&mut self, e: Neighbor) -> bool {
+        match self.edge_pos(e.nbr, e.dir) {
+            Ok(i) => {
+                self.edges[i] = e;
+                false
+            }
+            Err(i) => {
+                self.edges.insert(i, e);
+                true
+            }
+        }
+    }
+
+    /// Remove the `(nbr, dir)` edge entry, returning it if present.
+    pub fn remove_edge(&mut self, nbr: NodeId, dir: EdgeDir) -> Option<Neighbor> {
+        match self.edge_pos(nbr, dir) {
+            Ok(i) => Some(self.edges.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Remove *all* entries that reference `nbr`, regardless of
+    /// direction; returns how many were removed. Used when a neighbor
+    /// node is deleted.
+    pub fn remove_all_edges_to(&mut self, nbr: NodeId) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|e| e.nbr != nbr);
+        before - self.edges.len()
+    }
+
+    /// Iterate over neighbor ids of out-going or undirected edges
+    /// (i.e. nodes reachable *from* this node).
+    pub fn out_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges
+            .iter()
+            .filter(|e| matches!(e.dir, EdgeDir::Out | EdgeDir::Both))
+            .map(|e| e.nbr)
+    }
+
+    /// Iterate over all neighbor ids (any direction), deduplicated
+    /// thanks to the sort order.
+    pub fn all_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let mut last: Option<NodeId> = None;
+        self.edges.iter().filter_map(move |e| {
+            if last == Some(e.nbr) {
+                None
+            } else {
+                last = Some(e.nbr);
+                Some(e.nbr)
+            }
+        })
+    }
+
+    /// Approximate serialized footprint in bytes; this is the "size of
+    /// a static node description" that the paper's Definition 3 counts.
+    pub fn weight_bytes(&self) -> usize {
+        let edges: usize = self
+            .edges
+            .iter()
+            .map(|e| 8 + 1 + 4 + e.attrs.as_ref().map_or(0, |a| a.weight_bytes()))
+            .sum();
+        8 + edges + self.attrs.weight_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_edges_keeps_sorted() {
+        let mut n = StaticNode::new(1);
+        assert!(n.insert_edge(Neighbor::new(5, EdgeDir::Both)));
+        assert!(n.insert_edge(Neighbor::new(2, EdgeDir::Both)));
+        assert!(n.insert_edge(Neighbor::new(9, EdgeDir::Out)));
+        let ids: Vec<NodeId> = n.edges.iter().map(|e| e.nbr).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert!(n.remove_edge(5, EdgeDir::Both).is_some());
+        assert!(n.remove_edge(5, EdgeDir::Both).is_none());
+        assert_eq!(n.degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces() {
+        let mut n = StaticNode::new(1);
+        n.insert_edge(Neighbor::weighted(2, EdgeDir::Both, 1.0));
+        assert!(!n.insert_edge(Neighbor::weighted(2, EdgeDir::Both, 3.0)));
+        assert_eq!(n.degree(), 1);
+        assert_eq!(n.edge(2, EdgeDir::Both).unwrap().weight, 3.0);
+    }
+
+    #[test]
+    fn has_neighbor_any_direction() {
+        let mut n = StaticNode::new(1);
+        n.insert_edge(Neighbor::new(4, EdgeDir::In));
+        assert!(n.has_neighbor(4));
+        assert!(!n.has_neighbor(5));
+    }
+
+    #[test]
+    fn remove_all_edges_to_neighbor() {
+        let mut n = StaticNode::new(1);
+        n.insert_edge(Neighbor::new(4, EdgeDir::In));
+        n.insert_edge(Neighbor::new(4, EdgeDir::Out));
+        n.insert_edge(Neighbor::new(6, EdgeDir::Both));
+        assert_eq!(n.remove_all_edges_to(4), 2);
+        assert_eq!(n.degree(), 1);
+    }
+
+    #[test]
+    fn out_neighbors_excludes_in_edges() {
+        let mut n = StaticNode::new(1);
+        n.insert_edge(Neighbor::new(2, EdgeDir::In));
+        n.insert_edge(Neighbor::new(3, EdgeDir::Out));
+        n.insert_edge(Neighbor::new(4, EdgeDir::Both));
+        let out: Vec<NodeId> = n.out_neighbors().collect();
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn all_neighbors_dedups() {
+        let mut n = StaticNode::new(1);
+        n.insert_edge(Neighbor::new(2, EdgeDir::In));
+        n.insert_edge(Neighbor::new(2, EdgeDir::Out));
+        n.insert_edge(Neighbor::new(3, EdgeDir::Both));
+        let all: Vec<NodeId> = n.all_neighbors().collect();
+        assert_eq!(all, vec![2, 3]);
+    }
+
+    #[test]
+    fn edge_attrs_lazily_boxed() {
+        let mut e = Neighbor::new(2, EdgeDir::Both);
+        assert!(e.attrs.is_none());
+        e.set_attr("type", "friend".into());
+        assert_eq!(e.attr("type").and_then(|v| v.as_text()), Some("friend"));
+        e.remove_attr("type");
+        assert!(e.attrs.is_none(), "empty attr box should be dropped");
+    }
+
+    #[test]
+    fn structural_equality() {
+        let mut a = StaticNode::new(1);
+        a.insert_edge(Neighbor::new(2, EdgeDir::Both));
+        let mut b = StaticNode::new(1);
+        b.insert_edge(Neighbor::new(2, EdgeDir::Both));
+        assert_eq!(a, b);
+        b.attrs.set("x", AttrsVal(1));
+        assert_ne!(a, b);
+    }
+
+    // small helper to keep the test above terse
+    #[allow(non_snake_case)]
+    fn AttrsVal(v: i64) -> crate::attr::AttrValue {
+        crate::attr::AttrValue::Int(v)
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the Δ algebra and the binary codec.
+//!
+//! These check the algebraic identities of Definitions 2–5 of the paper
+//! on arbitrary generated histories, plus the reconstruction identity
+//! `child = parent + (child − parent)` that TGI's derived-snapshot
+//! storage depends on, and codec roundtrips on arbitrary deltas.
+
+use hgs_delta::codec::{decode_delta, decode_eventlist, encode_delta, encode_eventlist};
+use hgs_delta::{AttrValue, Delta, Event, EventKind, Eventlist};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary event over a small id universe so that
+/// interactions (re-adds, removals of existing components) actually
+/// happen.
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    let id = 0u64..24;
+    prop_oneof![
+        id.clone().prop_map(|id| EventKind::AddNode { id }),
+        id.clone().prop_map(|id| EventKind::RemoveNode { id }),
+        (0u64..24, 0u64..24, 0.0f32..4.0, any::<bool>())
+            .prop_map(|(src, dst, weight, directed)| EventKind::AddEdge { src, dst, weight, directed }),
+        (0u64..24, 0u64..24).prop_map(|(src, dst)| EventKind::RemoveEdge { src, dst }),
+        (0u64..24, 0u64..24, 0.0f32..4.0)
+            .prop_map(|(src, dst, weight)| EventKind::SetEdgeWeight { src, dst, weight }),
+        (id.clone(), "[a-c]{1,3}", -50i64..50).prop_map(|(id, key, v)| EventKind::SetNodeAttr {
+            id,
+            key,
+            value: AttrValue::Int(v)
+        }),
+        (id.clone(), "[a-c]{1,3}").prop_map(|(id, key)| EventKind::RemoveNodeAttr { id, key }),
+        (0u64..24, 0u64..24, "[a-c]{1,3}", any::<bool>()).prop_map(|(src, dst, key, v)| {
+            EventKind::SetEdgeAttr { src, dst, key, value: AttrValue::Bool(v) }
+        }),
+        (0u64..24, 0u64..24, "[a-c]{1,3}")
+            .prop_map(|(src, dst, key)| EventKind::RemoveEdgeAttr { src, dst, key }),
+    ]
+}
+
+/// Strategy: a chronologically timestamped event history.
+fn arb_history(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((arb_event_kind(), 0u64..4), 0..max).prop_map(|kinds| {
+        let mut t = 0u64;
+        kinds
+            .into_iter()
+            .map(|(kind, gap)| {
+                t += gap;
+                Event::new(t, kind)
+            })
+            .collect()
+    })
+}
+
+/// Strategy: a delta reached by applying an arbitrary history.
+fn arb_delta() -> impl Strategy<Value = Delta> {
+    arb_history(60).prop_map(|events| {
+        let mut d = Delta::new();
+        for e in &events {
+            d.apply_event(&e.kind);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sum_identity(d in arb_delta()) {
+        prop_assert_eq!(d.sum(&Delta::new()), d.clone());
+        prop_assert_eq!(Delta::new().sum(&d), d);
+    }
+
+    #[test]
+    fn sum_associative(a in arb_delta(), b in arb_delta(), c in arb_delta()) {
+        prop_assert_eq!(a.sum(&b).sum(&c), a.sum(&b.sum(&c)));
+    }
+
+    #[test]
+    fn difference_self_is_empty(d in arb_delta()) {
+        prop_assert!(d.difference(&d).is_empty());
+        prop_assert_eq!(d.difference(&Delta::new()), d);
+    }
+
+    #[test]
+    fn intersection_laws(a in arb_delta(), b in arb_delta()) {
+        let i = a.intersection(&b);
+        // commutative
+        prop_assert_eq!(i.clone(), b.intersection(&a));
+        // ∩ result is contained (by value) in both sides
+        for n in i.iter() {
+            prop_assert_eq!(a.node(n.id), Some(n));
+            prop_assert_eq!(b.node(n.id), Some(n));
+        }
+        // ∆ ∩ ∅ = ∅
+        prop_assert!(a.intersection(&Delta::new()).is_empty());
+    }
+
+    #[test]
+    fn union_identity(a in arb_delta()) {
+        prop_assert_eq!(a.union(&Delta::new()), a.clone());
+        prop_assert_eq!(Delta::new().union(&a), a);
+    }
+
+    /// The reconstruction identity TGI storage relies on:
+    /// for any children c1..ck and parent = ∩ ci,
+    /// ci == parent + (ci − parent).
+    #[test]
+    fn reconstruction_identity(a in arb_delta(), b in arb_delta(), c in arb_delta()) {
+        let parent = Delta::intersection_many(&[&a, &b, &c]);
+        for child in [&a, &b, &c] {
+            let derived = child.difference(&parent);
+            prop_assert_eq!(&parent.sum(&derived), child);
+        }
+    }
+
+    #[test]
+    fn delta_codec_roundtrip(d in arb_delta()) {
+        let bytes = encode_delta(&d);
+        let back = decode_delta(&bytes).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn eventlist_codec_roundtrip(events in arb_history(80)) {
+        let el = Eventlist::from_sorted(events);
+        let back = decode_eventlist(&encode_eventlist(&el)).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    /// Replay determinism: applying the same history twice yields
+    /// identical states (no hidden iteration-order dependence).
+    #[test]
+    fn replay_deterministic(events in arb_history(80)) {
+        let a = Delta::snapshot_by_replay(&events, u64::MAX);
+        let b = Delta::snapshot_by_replay(&events, u64::MAX);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Replay is prefix-monotone in the cut point: replaying to t is the
+    /// same as replaying the prefix of events with time <= t.
+    #[test]
+    fn replay_prefix_consistency(events in arb_history(60), cut in 0u64..200) {
+        let direct = Delta::snapshot_by_replay(&events, cut);
+        let prefix: Vec<Event> =
+            events.iter().filter(|e| e.time <= cut).cloned().collect();
+        let via_prefix = Delta::snapshot_by_replay(&prefix, u64::MAX);
+        prop_assert_eq!(direct, via_prefix);
+    }
+
+    /// Edge symmetry invariant: after any history, node u lists v iff v
+    /// lists u (the node-centric model replicates edges to both sides).
+    #[test]
+    fn edge_symmetry_invariant(events in arb_history(100)) {
+        let d = Delta::snapshot_by_replay(&events, u64::MAX);
+        for n in d.iter() {
+            for e in &n.edges {
+                let other = d.node(e.nbr);
+                prop_assert!(other.is_some(), "dangling edge {} -> {}", n.id, e.nbr);
+                prop_assert!(
+                    other.unwrap().has_neighbor(n.id),
+                    "asymmetric edge {} -> {}", n.id, e.nbr
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the graph algorithm library on random graphs.
+
+use hgs_delta::{Delta, EventKind};
+use hgs_graph::{algo, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0u64..30, 0u64..30), 0..150).prop_map(|edges| {
+        let mut d = Delta::new();
+        for (a, b) in edges {
+            if a != b {
+                d.apply_event(&EventKind::AddEdge { src: a, dst: b, weight: 1.0, directed: false });
+            }
+        }
+        Graph::from_delta(d)
+    })
+}
+
+proptest! {
+    #[test]
+    fn pagerank_is_a_distribution(g in arb_graph(), iters in 5usize..40) {
+        let pr = algo::pagerank(&g, 0.85, iters);
+        prop_assert_eq!(pr.len(), g.node_count());
+        if !pr.is_empty() {
+            let total: f64 = pr.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "mass {total}");
+            prop_assert!(pr.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn clustering_in_unit_interval(g in arb_graph()) {
+        for i in 0..g.node_count() as u32 {
+            let c = algo::local_clustering(&g, i);
+            prop_assert!((0.0..=1.0).contains(&c), "lcc {c}");
+        }
+        let avg = algo::average_clustering(&g);
+        prop_assert!((0.0..=1.0).contains(&avg));
+    }
+
+    #[test]
+    fn components_partition_the_graph(g in arb_graph()) {
+        let (comp, n) = algo::connected_components(&g);
+        prop_assert_eq!(comp.len(), g.node_count());
+        if g.node_count() > 0 {
+            prop_assert!(n >= 1 && n <= g.node_count());
+            // Connected nodes share a component.
+            for v in 0..g.node_count() as u32 {
+                for &u in g.neighbors(v) {
+                    prop_assert_eq!(comp[v as usize], comp[u as usize]);
+                }
+            }
+        } else {
+            prop_assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn bfs_distance_is_symmetric_on_undirected(g in arb_graph()) {
+        if g.node_count() < 2 {
+            return Ok(());
+        }
+        let a = g.id(0);
+        let b = g.id((g.node_count() - 1) as u32);
+        prop_assert_eq!(
+            algo::shortest_path_len(&g, a, b),
+            algo::shortest_path_len(&g, b, a)
+        );
+    }
+
+    #[test]
+    fn khop_is_monotone_in_k(g in arb_graph()) {
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let center = g.id(0);
+        let mut prev = 0usize;
+        for k in 0..4 {
+            let ids = algo::khop_ids(&g, center, k);
+            prop_assert!(ids.len() >= prev, "k-hop must grow with k");
+            prop_assert!(ids.contains(&center));
+            prev = ids.len();
+        }
+    }
+
+    #[test]
+    fn triangle_count_consistency(g in arb_graph()) {
+        // Sum of per-node incident triangles = 3 * total triangles.
+        let per_node: usize =
+            (0..g.node_count() as u32).map(|i| algo::triangles_at(&g, i)).sum();
+        prop_assert_eq!(per_node, 3 * algo::triangle_count(&g));
+    }
+
+    #[test]
+    fn density_bounds(g in arb_graph()) {
+        let d = algo::density(&g);
+        prop_assert!((0.0..=1.0).contains(&d), "density {d}");
+    }
+
+    #[test]
+    fn betweenness_nonnegative_and_zero_on_leaves(g in arb_graph()) {
+        let bc = algo::betweenness(&g);
+        for (i, &b) in bc.iter().enumerate() {
+            prop_assert!(b >= -1e-9, "negative centrality at {i}");
+            if g.degree(i as u32) <= 1 {
+                prop_assert!(b.abs() < 1e-9, "leaf with centrality {b}");
+            }
+        }
+    }
+}

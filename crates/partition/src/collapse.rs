@@ -1,0 +1,467 @@
+//! Time-collapse functions Ω (§4.5).
+//!
+//! To partition a *time-evolving* graph over a timespan `τ = [ts, te)`,
+//! the paper first projects it to a single weighted static graph
+//! `Gτ = Ω(G over τ)`, then applies static partitioning. The
+//! constraint on Ω is that `Gτ` contains every vertex that existed at
+//! least once during `τ`. Three collapse options are given, plus three
+//! node-weight schemes; Union-Max with uniform node weights is the
+//! default TGI configuration.
+
+use hgs_delta::{Delta, Event, EventKind, FxHashMap, NodeId, Time, TimeRange};
+
+/// Edge-weight collapse choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Omega {
+    /// Use the graph exactly as of the median timepoint of `τ`.
+    /// (Edges outside that instant are dropped — cheapest, least
+    /// representative.)
+    Median,
+    /// Include every edge that ever existed during `τ` with its
+    /// maximum weight. TGI's default.
+    UnionMax,
+    /// Include every edge that ever existed, weighted by the
+    /// time-fraction-weighted mean of its weight (absence counts 0).
+    UnionMean,
+}
+
+/// Node-weight scheme for balance constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeWeighting {
+    /// `w(n) = 1`.
+    Uniform,
+    /// `w(n) = degree(n)` in the collapsed graph.
+    Degree,
+    /// `w(n)` = average degree of `n` over `τ` (sampled at event
+    /// boundaries, time-weighted).
+    AvgDegree,
+}
+
+/// The collapsed weighted static graph fed to the partitioners.
+#[derive(Debug, Clone)]
+pub struct CollapsedGraph {
+    /// All vertices that existed at least once during `τ`, sorted.
+    pub nodes: Vec<NodeId>,
+    /// Node weights, aligned with `nodes`.
+    pub node_weights: Vec<f64>,
+    /// Weighted undirected adjacency: `adj[i]` lists `(node index,
+    /// weight)` pairs, sorted by index.
+    pub adj: Vec<Vec<(u32, f64)>>,
+    index: FxHashMap<NodeId, u32>,
+}
+
+impl CollapsedGraph {
+    /// Dense index of a node-id.
+    pub fn idx(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total edge weight (each edge once).
+    pub fn total_edge_weight(&self) -> f64 {
+        let twice: f64 = self.adj.iter().flatten().map(|(_, w)| *w).sum();
+        twice / 2.0
+    }
+
+    /// Induced subgraph on the nodes selected by `keep`. Used by TGI
+    /// to partition each horizontal slice independently: the collapse
+    /// runs once over the full span, then each `sid`'s induced
+    /// subgraph is partitioned.
+    pub fn induced<F: Fn(NodeId) -> bool>(&self, keep: F) -> CollapsedGraph {
+        let kept: Vec<u32> =
+            (0..self.nodes.len() as u32).filter(|&i| keep(self.nodes[i as usize])).collect();
+        let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+        remap.reserve(kept.len());
+        for (new_i, &old_i) in kept.iter().enumerate() {
+            remap.insert(old_i, new_i as u32);
+        }
+        let nodes: Vec<NodeId> = kept.iter().map(|&i| self.nodes[i as usize]).collect();
+        let node_weights: Vec<f64> = kept.iter().map(|&i| self.node_weights[i as usize]).collect();
+        let adj: Vec<Vec<(u32, f64)>> = kept
+            .iter()
+            .map(|&i| {
+                self.adj[i as usize]
+                    .iter()
+                    .filter_map(|&(j, w)| remap.get(&j).map(|&nj| (nj, w)))
+                    .collect()
+            })
+            .collect();
+        let mut index = FxHashMap::default();
+        index.reserve(nodes.len());
+        for (i, id) in nodes.iter().enumerate() {
+            index.insert(*id, i as u32);
+        }
+        CollapsedGraph { nodes, node_weights, adj, index }
+    }
+
+    /// Collapse a temporal graph over `range`.
+    ///
+    /// `initial` is the graph state at `range.start`; `events` are the
+    /// changes during `range` (events outside the range are ignored).
+    pub fn collapse(
+        initial: &Delta,
+        events: &[Event],
+        range: TimeRange,
+        omega: Omega,
+        weighting: NodeWeighting,
+    ) -> CollapsedGraph {
+        match omega {
+            Omega::Median => Self::collapse_median(initial, events, range, weighting),
+            Omega::UnionMax | Omega::UnionMean => {
+                Self::collapse_union(initial, events, range, omega, weighting)
+            }
+        }
+    }
+
+    fn collapse_median(
+        initial: &Delta,
+        events: &[Event],
+        range: TimeRange,
+        weighting: NodeWeighting,
+    ) -> CollapsedGraph {
+        let median = range.start + range.len() / 2;
+        let mut state = initial.clone();
+        for e in events {
+            if !range.contains(e.time) || e.time > median {
+                continue;
+            }
+            state.apply_event(&e.kind);
+        }
+        // Ω must keep every vertex that ever existed in τ, so union the
+        // vertex sets even though edges come from the median instant.
+        let mut all_nodes: hgs_delta::FxHashSet<NodeId> = initial.ids().collect();
+        for e in events.iter().filter(|e| range.contains(e.time)) {
+            let (a, b) = e.kind.touched();
+            all_nodes.insert(a);
+            if let Some(b) = b {
+                all_nodes.insert(b);
+            }
+        }
+        let mut edges: FxHashMap<(NodeId, NodeId), f64> = FxHashMap::default();
+        for n in state.iter() {
+            for e in &n.edges {
+                let key = (n.id.min(e.nbr), n.id.max(e.nbr));
+                edges.insert(key, e.weight as f64);
+            }
+        }
+        Self::build(all_nodes.into_iter().collect(), edges, weighting, None)
+    }
+
+    fn collapse_union(
+        initial: &Delta,
+        events: &[Event],
+        range: TimeRange,
+        omega: Omega,
+        weighting: NodeWeighting,
+    ) -> CollapsedGraph {
+        let span = range.len().max(1) as f64;
+        let mut state = initial.clone();
+        let mut all_nodes: hgs_delta::FxHashSet<NodeId> = initial.ids().collect();
+
+        // For UnionMax: running max weight per edge.
+        // For UnionMean: integral of weight·dt per edge, so we track the
+        // time each live edge was last (re)weighted.
+        let mut max_w: FxHashMap<(NodeId, NodeId), f64> = FxHashMap::default();
+        let mut integral: FxHashMap<(NodeId, NodeId), f64> = FxHashMap::default();
+        let mut live_since: FxHashMap<(NodeId, NodeId), (Time, f64)> = FxHashMap::default();
+
+        // AvgDegree bookkeeping: integral of degree·dt per node.
+        let mut deg_integral: FxHashMap<NodeId, f64> = FxHashMap::default();
+        let mut deg_now: FxHashMap<NodeId, usize> = FxHashMap::default();
+        let mut last_t = range.start;
+
+        let open_edge = |key: (NodeId, NodeId), w: f64, t: Time,
+                             live: &mut FxHashMap<(NodeId, NodeId), (Time, f64)>,
+                             maxes: &mut FxHashMap<(NodeId, NodeId), f64>| {
+            let entry = maxes.entry(key).or_insert(w);
+            if w > *entry {
+                *entry = w;
+            }
+            live.entry(key).or_insert((t, w));
+        };
+
+        // Seed from the initial state (edges live since range.start).
+        for n in initial.iter() {
+            deg_now.insert(n.id, n.degree());
+            for e in &n.edges {
+                if n.id <= e.nbr {
+                    open_edge(
+                        (n.id, e.nbr),
+                        e.weight as f64,
+                        range.start,
+                        &mut live_since,
+                        &mut max_w,
+                    );
+                }
+            }
+        }
+
+        let close_edge = |key: (NodeId, NodeId), t: Time,
+                              live: &mut FxHashMap<(NodeId, NodeId), (Time, f64)>,
+                              integral: &mut FxHashMap<(NodeId, NodeId), f64>| {
+            if let Some((since, w)) = live.remove(&key) {
+                *integral.entry(key).or_insert(0.0) += w * (t.saturating_sub(since)) as f64;
+            }
+        };
+
+        for e in events {
+            if !range.contains(e.time) {
+                continue;
+            }
+            let (a, b) = e.kind.touched();
+            all_nodes.insert(a);
+            if let Some(b) = b {
+                all_nodes.insert(b);
+            }
+            // Advance degree integrals to e.time.
+            let dt = (e.time - last_t) as f64;
+            if dt > 0.0 {
+                for (id, d) in deg_now.iter() {
+                    *deg_integral.entry(*id).or_insert(0.0) += *d as f64 * dt;
+                }
+                last_t = e.time;
+            }
+            match &e.kind {
+                EventKind::AddEdge { src, dst, weight, .. } => {
+                    let key = (*src.min(dst), *src.max(dst));
+                    open_edge(key, *weight as f64, e.time, &mut live_since, &mut max_w);
+                    *deg_now.entry(*src).or_insert(0) += 1;
+                    *deg_now.entry(*dst).or_insert(0) += 1;
+                }
+                EventKind::RemoveEdge { src, dst } => {
+                    let key = (*src.min(dst), *src.max(dst));
+                    close_edge(key, e.time, &mut live_since, &mut integral);
+                    deg_now.entry(*src).and_modify(|d| *d = d.saturating_sub(1));
+                    deg_now.entry(*dst).and_modify(|d| *d = d.saturating_sub(1));
+                }
+                EventKind::SetEdgeWeight { src, dst, weight } => {
+                    let key = (*src.min(dst), *src.max(dst));
+                    close_edge(key, e.time, &mut live_since, &mut integral);
+                    open_edge(key, *weight as f64, e.time, &mut live_since, &mut max_w);
+                }
+                EventKind::RemoveNode { id } => {
+                    // Close all live edges incident to `id`.
+                    if let Some(n) = state.node(*id) {
+                        let nbrs: Vec<NodeId> = n.all_neighbors().collect();
+                        for nbr in nbrs {
+                            let key = (*id.min(&nbr), *id.max(&nbr));
+                            close_edge(key, e.time, &mut live_since, &mut integral);
+                            deg_now.entry(nbr).and_modify(|d| *d = d.saturating_sub(1));
+                        }
+                    }
+                    deg_now.insert(*id, 0);
+                }
+                _ => {}
+            }
+            state.apply_event(&e.kind);
+        }
+        // Close out everything still live at range.end.
+        let dt = (range.end.min(Time::MAX - 1) - last_t) as f64;
+        if dt > 0.0 {
+            for (id, d) in deg_now.iter() {
+                *deg_integral.entry(*id).or_insert(0.0) += *d as f64 * dt;
+            }
+        }
+        let live_keys: Vec<(NodeId, NodeId)> = live_since.keys().copied().collect();
+        for key in live_keys {
+            if let Some((since, w)) = live_since.remove(&key) {
+                *integral.entry(key).or_insert(0.0) +=
+                    w * (range.end.min(Time::MAX - 1).saturating_sub(since)) as f64;
+            }
+        }
+
+        let edges: FxHashMap<(NodeId, NodeId), f64> = match omega {
+            Omega::UnionMax => max_w,
+            Omega::UnionMean => {
+                integral.into_iter().map(|(k, v)| (k, v / span)).collect()
+            }
+            Omega::Median => unreachable!(),
+        };
+        let avg_deg: Option<FxHashMap<NodeId, f64>> = match weighting {
+            NodeWeighting::AvgDegree => {
+                Some(deg_integral.into_iter().map(|(k, v)| (k, v / span)).collect())
+            }
+            _ => None,
+        };
+        Self::build(all_nodes.into_iter().collect(), edges, weighting, avg_deg)
+    }
+
+    fn build(
+        mut nodes: Vec<NodeId>,
+        edges: FxHashMap<(NodeId, NodeId), f64>,
+        weighting: NodeWeighting,
+        avg_deg: Option<FxHashMap<NodeId, f64>>,
+    ) -> CollapsedGraph {
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut index = FxHashMap::default();
+        index.reserve(nodes.len());
+        for (i, id) in nodes.iter().enumerate() {
+            index.insert(*id, i as u32);
+        }
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nodes.len()];
+        for ((a, b), w) in &edges {
+            if a == b || *w <= 0.0 {
+                continue;
+            }
+            let (Some(&ia), Some(&ib)) = (index.get(a), index.get(b)) else { continue };
+            adj[ia as usize].push((ib, *w));
+            adj[ib as usize].push((ia, *w));
+        }
+        for l in adj.iter_mut() {
+            l.sort_unstable_by_key(|(i, _)| *i);
+        }
+        let node_weights: Vec<f64> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, id)| match weighting {
+                NodeWeighting::Uniform => 1.0,
+                NodeWeighting::Degree => adj[i].len() as f64,
+                NodeWeighting::AvgDegree => {
+                    avg_deg.as_ref().and_then(|m| m.get(id)).copied().unwrap_or(0.0)
+                }
+            })
+            .collect();
+        CollapsedGraph { nodes, node_weights, adj, index }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: Time, kind: EventKind) -> Event {
+        Event::new(t, kind)
+    }
+
+    fn add(t: Time, s: NodeId, d: NodeId, w: f32) -> Event {
+        ev(t, EventKind::AddEdge { src: s, dst: d, weight: w, directed: false })
+    }
+
+    fn del(t: Time, s: NodeId, d: NodeId) -> Event {
+        ev(t, EventKind::RemoveEdge { src: s, dst: d })
+    }
+
+    #[test]
+    fn union_max_keeps_transient_edges() {
+        // Edge (1,2) exists only during [2,5) but must be present.
+        let events =
+            vec![add(2, 1, 2, 3.0), del(5, 1, 2), add(6, 3, 4, 1.0)];
+        let g = CollapsedGraph::collapse(
+            &Delta::new(),
+            &events,
+            TimeRange::new(0, 10),
+            Omega::UnionMax,
+            NodeWeighting::Uniform,
+        );
+        assert_eq!(g.len(), 4);
+        let i1 = g.idx(1).unwrap() as usize;
+        assert_eq!(g.adj[i1].len(), 1);
+        assert_eq!(g.adj[i1][0].1, 3.0);
+    }
+
+    #[test]
+    fn union_max_takes_maximum_weight() {
+        let events = vec![
+            add(1, 1, 2, 1.0),
+            ev(3, EventKind::SetEdgeWeight { src: 1, dst: 2, weight: 9.0 }),
+            ev(5, EventKind::SetEdgeWeight { src: 1, dst: 2, weight: 2.0 }),
+        ];
+        let g = CollapsedGraph::collapse(
+            &Delta::new(),
+            &events,
+            TimeRange::new(0, 10),
+            Omega::UnionMax,
+            NodeWeighting::Uniform,
+        );
+        let i1 = g.idx(1).unwrap() as usize;
+        assert_eq!(g.adj[i1][0].1, 9.0);
+    }
+
+    #[test]
+    fn union_mean_weights_by_time_fraction() {
+        // Edge live with weight 4.0 for half the range -> mean 2.0.
+        let events = vec![add(0, 1, 2, 4.0), del(5, 1, 2)];
+        let g = CollapsedGraph::collapse(
+            &Delta::new(),
+            &events,
+            TimeRange::new(0, 10),
+            Omega::UnionMean,
+            NodeWeighting::Uniform,
+        );
+        let i1 = g.idx(1).unwrap() as usize;
+        assert!((g.adj[i1][0].1 - 2.0).abs() < 1e-9, "{}", g.adj[i1][0].1);
+    }
+
+    #[test]
+    fn median_uses_midpoint_state() {
+        // Edge added at t=8 is after the median (5) of [0,10): excluded
+        // from edges, but its endpoints must still be vertices.
+        let events = vec![add(1, 1, 2, 1.0), add(8, 3, 4, 1.0)];
+        let g = CollapsedGraph::collapse(
+            &Delta::new(),
+            &events,
+            TimeRange::new(0, 10),
+            Omega::Median,
+            NodeWeighting::Uniform,
+        );
+        assert_eq!(g.len(), 4, "all vertices kept");
+        let i3 = g.idx(3).unwrap() as usize;
+        assert!(g.adj[i3].is_empty(), "late edge not in median state");
+        let i1 = g.idx(1).unwrap() as usize;
+        assert_eq!(g.adj[i1].len(), 1);
+    }
+
+    #[test]
+    fn initial_state_is_included() {
+        let mut initial = Delta::new();
+        initial.apply_event(&EventKind::AddEdge { src: 7, dst: 8, weight: 2.0, directed: false });
+        let g = CollapsedGraph::collapse(
+            &initial,
+            &[],
+            TimeRange::new(100, 200),
+            Omega::UnionMax,
+            NodeWeighting::Uniform,
+        );
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.total_edge_weight(), 2.0);
+    }
+
+    #[test]
+    fn degree_weighting() {
+        let events = vec![add(1, 1, 2, 1.0), add(2, 1, 3, 1.0)];
+        let g = CollapsedGraph::collapse(
+            &Delta::new(),
+            &events,
+            TimeRange::new(0, 10),
+            Omega::UnionMax,
+            NodeWeighting::Degree,
+        );
+        let i1 = g.idx(1).unwrap() as usize;
+        assert_eq!(g.node_weights[i1], 2.0);
+    }
+
+    #[test]
+    fn avg_degree_weighting_integrates_time() {
+        // Node 1 has degree 1 for [5,10) of a 10-long range -> avg 0.5.
+        let events = vec![add(5, 1, 2, 1.0)];
+        let g = CollapsedGraph::collapse(
+            &Delta::new(),
+            &events,
+            TimeRange::new(0, 10),
+            Omega::UnionMax,
+            NodeWeighting::AvgDegree,
+        );
+        let i1 = g.idx(1).unwrap() as usize;
+        assert!((g.node_weights[i1] - 0.5).abs() < 1e-9, "{}", g.node_weights[i1]);
+    }
+}

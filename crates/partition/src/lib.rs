@@ -1,0 +1,34 @@
+//! # hgs-partition — graph partitioning for TGI (§4.5 of the paper)
+//!
+//! TGI bounds micro-delta sizes by partitioning each horizontal slice
+//! of the graph. This crate implements the paper's partitioning
+//! machinery:
+//!
+//! * [`collapse`] — the time-collapse functions Ω that project a
+//!   temporal graph over a timespan onto a single weighted static
+//!   graph: **Median**, **Union-Max** (the paper's default) and
+//!   **Union-Mean**, plus the three node-weight schemes (uniform /
+//!   degree / average degree).
+//! * [`partitioner`] — [`partitioner::RandomPartitioner`] (hash-based,
+//!   zero bookkeeping) and [`partitioner::LocalityPartitioner`]
+//!   (streaming LDG placement + Kernighan–Lin-style refinement), the
+//!   "Maxflow"/min-cut partitioner of Fig. 15a, with
+//!   [`partitioner::edge_cut_fraction`] / [`partitioner::balance`]
+//!   quality metrics.
+//! * [`timespan`] — splitting the history into timespans with roughly
+//!   equal numbers of events (Fig. 4), within which the partitioning
+//!   stays fixed.
+//! * [`replication`] — planning the 1-hop edge-cut replicas stored in
+//!   auxiliary micro-deltas (Fig. 5d).
+
+pub mod collapse;
+pub mod partitioner;
+pub mod replication;
+pub mod timespan;
+
+pub use collapse::{CollapsedGraph, NodeWeighting, Omega};
+pub use partitioner::{
+    balance, edge_cut_fraction, LocalityPartitioner, PartitionMap, Partitioner, RandomPartitioner,
+};
+pub use replication::boundary_neighbors;
+pub use timespan::{plan_timespans, Timespan};

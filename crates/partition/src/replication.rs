@@ -1,0 +1,106 @@
+//! Edge-cut replication planning (Fig. 5d).
+//!
+//! TGI can replicate the 1-hop neighbors that a partition's edge cuts
+//! point to into an *auxiliary* micro-delta stored beside the
+//! partition's own micro-delta. A 1-hop neighborhood fetch then touches
+//! a single partition (plus its auxiliary), while snapshot and
+//! node-centric queries are unaffected because the auxiliary is stored
+//! separately.
+
+use crate::partitioner::PartitionMap;
+use hgs_delta::{Delta, FxHashSet, NodeId};
+
+/// For each partition `p` in `0..map.parts()`, the set of node-ids
+/// that are *not* in `p` but are adjacent to a node in `p` — the
+/// nodes whose states get replicated into `p`'s auxiliary micro-delta.
+pub fn boundary_neighbors(state: &Delta, map: &PartitionMap) -> Vec<Vec<NodeId>> {
+    let k = map.parts() as usize;
+    let mut out: Vec<FxHashSet<NodeId>> = vec![FxHashSet::default(); k];
+    for n in state.iter() {
+        let pn = map.assign(n.id) as usize;
+        for nbr in n.all_neighbors() {
+            let pm = map.assign(nbr) as usize;
+            if pm != pn {
+                // nbr is outside n's partition: replicate nbr into pn.
+                out[pn].insert(nbr);
+            }
+        }
+    }
+    out.into_iter()
+        .map(|s| {
+            let mut v: Vec<NodeId> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+/// Total replication factor: replicated node copies divided by node
+/// count (0 = no cuts; grows with partitioning quality loss — the
+/// "degree of replication increases with inferior partitioning"
+/// observation of §4.5).
+pub fn replication_overhead(state: &Delta, map: &PartitionMap) -> f64 {
+    if state.cardinality() == 0 {
+        return 0.0;
+    }
+    let replicas: usize = boundary_neighbors(state, map).iter().map(|v| v.len()).sum();
+    replicas as f64 / state.cardinality() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_delta::{EventKind, FxHashMap};
+
+    fn line_graph(n: u64) -> Delta {
+        let mut d = Delta::new();
+        for i in 0..n - 1 {
+            d.apply_event(&EventKind::AddEdge { src: i, dst: i + 1, weight: 1.0, directed: false });
+        }
+        d
+    }
+
+    fn explicit_halves(n: u64) -> PartitionMap {
+        let mut m = FxHashMap::default();
+        for i in 0..n {
+            m.insert(i, if i < n / 2 { 0 } else { 1 });
+        }
+        PartitionMap::explicit(m, 2)
+    }
+
+    #[test]
+    fn line_split_replicates_only_the_cut() {
+        // 0-1-2-3-4-5 split as {0,1,2} {3,4,5}: cut edge (2,3).
+        let d = line_graph(6);
+        let map = explicit_halves(6);
+        let aux = boundary_neighbors(&d, &map);
+        assert_eq!(aux[0], vec![3], "partition 0 replicates node 3");
+        assert_eq!(aux[1], vec![2], "partition 1 replicates node 2");
+    }
+
+    #[test]
+    fn no_cut_no_replicas() {
+        let mut d = Delta::new();
+        d.apply_event(&EventKind::AddEdge { src: 0, dst: 1, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge { src: 10, dst: 11, weight: 1.0, directed: false });
+        let mut m = FxHashMap::default();
+        for i in [0u64, 1] {
+            m.insert(i, 0);
+        }
+        for i in [10u64, 11] {
+            m.insert(i, 1);
+        }
+        let map = PartitionMap::explicit(m, 2);
+        let aux = boundary_neighbors(&d, &map);
+        assert!(aux.iter().all(|v| v.is_empty()));
+        assert_eq!(replication_overhead(&d, &map), 0.0);
+    }
+
+    #[test]
+    fn worse_partitioning_more_replication() {
+        let d = line_graph(64);
+        let good = explicit_halves(64);
+        let bad = PartitionMap::random(2); // hash-random cuts ~half the edges
+        assert!(replication_overhead(&d, &bad) > replication_overhead(&d, &good));
+    }
+}

@@ -1,0 +1,209 @@
+//! Composite keys and table namespaces.
+//!
+//! Mirrors the paper's Cassandra schema (§4.4 *Implementation*): five
+//! tables, with the `Deltas` table keyed by the composite
+//! `{tsid, sid, did, pid}` and placed by `{tsid, sid}`.
+
+use std::fmt;
+
+/// The five TGI tables of the paper's implementation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Table {
+    /// `Deltas(tsid, sid, did, pid, dval)` — serialized micro-deltas.
+    Deltas,
+    /// `Versions(nid, vchain)` — per-node version chains.
+    Versions,
+    /// `Timespans(tsid, ...)` — timespan metadata.
+    Timespans,
+    /// `Graph(...)` — global graph/index metadata.
+    Graph,
+    /// `Micropartitions(nid, tsid, pid)` — node -> micro-partition map
+    /// (only populated for locality partitioning).
+    Micropartitions,
+}
+
+impl Table {
+    /// Namespace prefix byte for the machine-local ordered key space.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            Table::Deltas => 0,
+            Table::Versions => 1,
+            Table::Timespans => 2,
+            Table::Graph => 3,
+            Table::Micropartitions => 4,
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Table::Deltas => "Deltas",
+            Table::Versions => "Versions",
+            Table::Timespans => "Timespans",
+            Table::Graph => "Graph",
+            Table::Micropartitions => "Micropartitions",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The placement key `{tsid, sid}`: the unit of chunk placement across
+/// machines (§4.4 point 4). Combining the timespan id and the
+/// horizontal-partition id ensures both snapshot fetches (all `sid`s of
+/// one `tsid`) and version fetches (one `sid` across many `tsid`s) are
+/// spread over the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlacementKey {
+    pub tsid: u32,
+    pub sid: u32,
+}
+
+impl PlacementKey {
+    pub fn new(tsid: u32, sid: u32) -> PlacementKey {
+        PlacementKey { tsid, sid }
+    }
+
+    /// Stable 64-bit token for ring placement.
+    #[inline]
+    pub fn token(&self) -> u64 {
+        hgs_delta::hash::hash_u64(((self.tsid as u64) << 32) | self.sid as u64)
+    }
+}
+
+/// The composite delta key `{tsid, sid, did, pid}` (§4.4 point 3).
+///
+/// The big-endian byte encoding preserves tuple ordering, so within a
+/// machine all micro-partitions (`pid`) of one delta (`did`) are
+/// contiguous — the clustering property the paper uses to make
+/// snapshot scans cheap (§4.4 point 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeltaKey {
+    /// Timespan id.
+    pub tsid: u32,
+    /// Horizontal partition id.
+    pub sid: u32,
+    /// Delta id within the (timespan, horizontal partition) tree.
+    pub did: u64,
+    /// Micro-partition id within the delta.
+    pub pid: u32,
+}
+
+impl DeltaKey {
+    pub fn new(tsid: u32, sid: u32, did: u64, pid: u32) -> DeltaKey {
+        DeltaKey { tsid, sid, did, pid }
+    }
+
+    /// Placement key of this delta key.
+    #[inline]
+    pub fn placement(&self) -> PlacementKey {
+        PlacementKey { tsid: self.tsid, sid: self.sid }
+    }
+
+    /// Order-preserving byte encoding.
+    pub fn encode(&self) -> [u8; 20] {
+        let mut out = [0u8; 20];
+        out[0..4].copy_from_slice(&self.tsid.to_be_bytes());
+        out[4..8].copy_from_slice(&self.sid.to_be_bytes());
+        out[8..16].copy_from_slice(&self.did.to_be_bytes());
+        out[16..20].copy_from_slice(&self.pid.to_be_bytes());
+        out
+    }
+
+    /// Decode from [`DeltaKey::encode`] bytes.
+    pub fn decode(bytes: &[u8]) -> Option<DeltaKey> {
+        if bytes.len() != 20 {
+            return None;
+        }
+        Some(DeltaKey {
+            tsid: u32::from_be_bytes(bytes[0..4].try_into().ok()?),
+            sid: u32::from_be_bytes(bytes[4..8].try_into().ok()?),
+            did: u64::from_be_bytes(bytes[8..16].try_into().ok()?),
+            pid: u32::from_be_bytes(bytes[16..20].try_into().ok()?),
+        })
+    }
+
+    /// Prefix matching every micro-partition of delta `did` — the scan
+    /// unit for snapshot queries.
+    pub fn delta_prefix(tsid: u32, sid: u32, did: u64) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&tsid.to_be_bytes());
+        out[4..8].copy_from_slice(&sid.to_be_bytes());
+        out[8..16].copy_from_slice(&did.to_be_bytes());
+        out
+    }
+}
+
+/// Encode a node-id key for the `Versions` / `Micropartitions` tables.
+pub fn node_key(nid: u64) -> [u8; 8] {
+    nid.to_be_bytes()
+}
+
+/// Placement token for node-keyed tables (hash-spread over machines).
+pub fn node_placement_token(nid: u64) -> u64 {
+    hgs_delta::hash::hash_u64(nid ^ 0xABCD_EF01_2345_6789)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_preserves_order() {
+        let keys = [
+            DeltaKey::new(0, 0, 0, 0),
+            DeltaKey::new(0, 0, 0, 1),
+            DeltaKey::new(0, 0, 1, 0),
+            DeltaKey::new(0, 1, 0, 0),
+            DeltaKey::new(1, 0, 0, 0),
+            DeltaKey::new(1, 2, 3, 4),
+        ];
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].encode() < w[1].encode(), "byte order must match tuple order");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let k = DeltaKey::new(7, 3, u64::MAX - 5, 42);
+        assert_eq!(DeltaKey::decode(&k.encode()), Some(k));
+        assert_eq!(DeltaKey::decode(&[0u8; 3]), None);
+    }
+
+    #[test]
+    fn delta_prefix_matches_all_pids() {
+        let prefix = DeltaKey::delta_prefix(1, 2, 3);
+        for pid in [0u32, 1, 500] {
+            let enc = DeltaKey::new(1, 2, 3, pid).encode();
+            assert!(enc.starts_with(&prefix));
+        }
+        let other = DeltaKey::new(1, 2, 4, 0).encode();
+        assert!(!other.starts_with(&prefix));
+    }
+
+    #[test]
+    fn placement_tokens_spread() {
+        use std::collections::HashSet;
+        let tokens: HashSet<u64> =
+            (0..32u32).map(|sid| PlacementKey::new(0, sid).token() % 4).collect();
+        assert!(tokens.len() >= 3, "placement should use most machines");
+    }
+
+    #[test]
+    fn table_tags_unique() {
+        use std::collections::HashSet;
+        let tags: HashSet<u8> = [
+            Table::Deltas,
+            Table::Versions,
+            Table::Timespans,
+            Table::Graph,
+            Table::Micropartitions,
+        ]
+        .iter()
+        .map(|t| t.tag())
+        .collect();
+        assert_eq!(tags.len(), 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! # hgs-store — a simulated distributed key-value store
+//!
+//! TGI (the paper's index, crate `hgs-core`) stores its deltas in
+//! Apache Cassandra. This crate provides an in-process substitute,
+//! [`SimStore`], that preserves every property the paper's evaluation
+//! depends on:
+//!
+//! * **m machines** holding ordered key spaces (Cassandra's clustering:
+//!   rows sharing a *placement key* live contiguously on one machine
+//!   and can be range-scanned cheaply);
+//! * **placement keys** `{tsid, sid}` mapping chunks of the index onto
+//!   machines, with **replication factor r** (a chunk lives on `r`
+//!   consecutive machines of the ring);
+//! * **composite delta keys** `{tsid, sid, did, pid}` whose byte
+//!   encoding preserves tuple order, so all micro-partitions of one
+//!   delta are stored contiguously (§4.4 point 5 of the paper);
+//! * optional **value compression** (in-house LZSS; paper Fig. 13a);
+//! * **per-machine accounting** (lookups, scans, bytes) feeding a
+//!   [`CostModel`] that turns access counts into estimated cluster
+//!   latencies — this is how the benches reproduce cluster-shaped
+//!   results (m, r, c sweeps) on a laptop;
+//! * **parallel fetch clients** (`c` in the paper): real OS threads
+//!   issuing requests concurrently via [`parallel::parallel_chunks`];
+//! * **failure injection** per machine, with replica failover, used by
+//!   the fault-tolerance tests.
+
+pub mod compress;
+pub mod cost;
+pub mod key;
+pub mod machine;
+pub mod parallel;
+pub mod store;
+
+pub use compress::{compress, decompress};
+pub use cost::CostModel;
+pub use key::{DeltaKey, PlacementKey, Table};
+pub use machine::{Machine, MachineStats};
+pub use store::{SimStore, StoreConfig, StoreError, StoreStatsSnapshot};

@@ -1,0 +1,245 @@
+//! A single simulated storage machine: an ordered key space plus
+//! access accounting.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Monotonic access counters for one machine. All counters are
+/// process-lifetime totals; [`MachineStats::snapshot`] and subtraction
+/// of snapshots give per-experiment figures.
+#[derive(Debug, Default)]
+pub struct MachineStats {
+    /// Point lookups served.
+    pub gets: AtomicU64,
+    /// Range scans served.
+    pub scans: AtomicU64,
+    /// Values returned (scan rows + successful gets).
+    pub rows_read: AtomicU64,
+    /// Bytes of value data returned (stored, i.e. possibly compressed,
+    /// size — what would travel over the wire).
+    pub bytes_read: AtomicU64,
+    /// Writes applied.
+    pub puts: AtomicU64,
+    /// Bytes of value data written.
+    pub bytes_written: AtomicU64,
+}
+
+/// A plain-old-data copy of [`MachineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStatsSnapshot {
+    pub gets: u64,
+    pub scans: u64,
+    pub rows_read: u64,
+    pub bytes_read: u64,
+    pub puts: u64,
+    pub bytes_written: u64,
+}
+
+impl MachineStatsSnapshot {
+    /// Counter-wise difference (`self - earlier`), for bracketing an
+    /// experiment.
+    pub fn since(&self, earlier: &MachineStatsSnapshot) -> MachineStatsSnapshot {
+        MachineStatsSnapshot {
+            gets: self.gets - earlier.gets,
+            scans: self.scans - earlier.scans,
+            rows_read: self.rows_read - earlier.rows_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            puts: self.puts - earlier.puts,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+
+    /// Sum with another snapshot.
+    pub fn merge(&self, other: &MachineStatsSnapshot) -> MachineStatsSnapshot {
+        MachineStatsSnapshot {
+            gets: self.gets + other.gets,
+            scans: self.scans + other.scans,
+            rows_read: self.rows_read + other.rows_read,
+            bytes_read: self.bytes_read + other.bytes_read,
+            puts: self.puts + other.puts,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+impl MachineStats {
+    pub fn snapshot(&self) -> MachineStatsSnapshot {
+        MachineStatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One storage machine: an ordered map from namespaced keys to values.
+///
+/// Keys are `[table_tag] ++ key_bytes`; because the map is ordered,
+/// rows sharing a key prefix are contiguous, reproducing Cassandra's
+/// clustering behaviour that TGI's layout exploits.
+pub struct Machine {
+    data: RwLock<BTreeMap<Vec<u8>, Bytes>>,
+    stats: MachineStats,
+    down: AtomicBool,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    pub fn new() -> Machine {
+        Machine {
+            data: RwLock::new(BTreeMap::new()),
+            stats: MachineStats::default(),
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Failure injection: a down machine refuses reads and writes.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Whether the machine is marked failed.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Number of rows stored.
+    pub fn row_count(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// Total stored value bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.data.read().values().map(|v| v.len()).sum()
+    }
+
+    /// Insert a row. Returns `false` if the machine is down.
+    pub fn put(&self, key: Vec<u8>, value: Bytes) -> bool {
+        if self.is_down() {
+            return false;
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.data.write().insert(key, value);
+        true
+    }
+
+    /// Remove a row.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        if self.is_down() {
+            return false;
+        }
+        self.data.write().remove(key).is_some()
+    }
+
+    /// Point lookup. `Err(())` when the machine is down, `Ok(None)`
+    /// when absent.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>, ()> {
+        if self.is_down() {
+            return Err(());
+        }
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let guard = self.data.read();
+        let out = guard.get(key).cloned();
+        if let Some(v) = &out {
+            self.stats.rows_read.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+
+    /// Ordered prefix scan; returns `(key, value)` pairs whose key
+    /// starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, ()> {
+        if self.is_down() {
+            return Err(());
+        }
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        let guard = self.data.read();
+        let mut out = Vec::new();
+        let range = guard.range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded));
+        for (k, v) in range {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            self.stats.rows_read.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+            out.push((k.clone(), v.clone()));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(table: u8, rest: &[u8]) -> Vec<u8> {
+        let mut k = vec![table];
+        k.extend_from_slice(rest);
+        k
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let m = Machine::new();
+        assert!(m.put(key(0, b"a"), Bytes::from_static(b"v1")));
+        assert_eq!(m.get(&key(0, b"a")).unwrap().as_deref(), Some(&b"v1"[..]));
+        assert!(m.delete(&key(0, b"a")));
+        assert_eq!(m.get(&key(0, b"a")).unwrap(), None);
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let m = Machine::new();
+        m.put(key(0, b"ab1"), Bytes::from_static(b"1"));
+        m.put(key(0, b"ab2"), Bytes::from_static(b"2"));
+        m.put(key(0, b"ac3"), Bytes::from_static(b"3"));
+        m.put(key(1, b"ab9"), Bytes::from_static(b"9"));
+        let rows = m.scan_prefix(&key(0, b"ab")).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].0 < rows[1].0);
+    }
+
+    #[test]
+    fn down_machine_refuses() {
+        let m = Machine::new();
+        m.put(key(0, b"a"), Bytes::from_static(b"v"));
+        m.set_down(true);
+        assert!(m.get(&key(0, b"a")).is_err());
+        assert!(m.scan_prefix(&key(0, b"a")).is_err());
+        assert!(!m.put(key(0, b"b"), Bytes::from_static(b"v")));
+        m.set_down(false);
+        assert!(m.get(&key(0, b"a")).is_ok());
+    }
+
+    #[test]
+    fn stats_track_reads() {
+        let m = Machine::new();
+        m.put(key(0, b"a"), Bytes::from_static(b"hello"));
+        let before = m.stats().snapshot();
+        m.get(&key(0, b"a")).unwrap();
+        m.get(&key(0, b"zzz")).unwrap();
+        let after = m.stats().snapshot().since(&before);
+        assert_eq!(after.gets, 2);
+        assert_eq!(after.rows_read, 1);
+        assert_eq!(after.bytes_read, 5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Parallel fetch-client helpers.
+//!
+//! The paper's query processors issue store requests from `c` parallel
+//! clients. [`parallel_chunks`] provides that pattern for any workload:
+//! split the request list into `c` contiguous chunks, run each chunk on
+//! its own OS thread, and splice the per-chunk results back in order.
+//! On a multi-core host this yields real speedups for
+//! deserialization-heavy fetches; for `c` beyond the core count the
+//! cost model (see [`crate::cost`]) supplies the cluster-shaped
+//! estimate.
+
+/// Run `f` over `items` split into at most `c` contiguous chunks, each
+/// chunk on its own thread; results are concatenated in input order.
+///
+/// `c == 1` (or one chunk's worth of items) runs inline with no thread
+/// spawn.
+pub fn parallel_chunks<T, R, F>(items: Vec<T>, c: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> Vec<R> + Sync,
+{
+    let c = c.max(1);
+    if c == 1 || items.len() <= 1 {
+        return f(items);
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(c);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(c);
+    let mut it = items.into_iter();
+    loop {
+        let piece: Vec<T> = it.by_ref().take(chunk).collect();
+        if piece.is_empty() {
+            break;
+        }
+        chunks.push(piece);
+    }
+
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks.into_iter().map(|piece| s.spawn(move || f(piece))).collect();
+        for h in handles {
+            results.push(h.join().expect("parallel fetch worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Run `jobs` (independent closures) on up to `c` threads, returning
+/// outputs in job order. Used where per-job work is coarse (e.g. one
+/// job per horizontal partition).
+pub fn parallel_jobs<R, F>(jobs: Vec<F>, c: usize) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let c = c.max(1);
+    if c == 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    // Round-robin assignment keeps job order recoverable by index.
+    let n = jobs.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let indexed: Vec<(usize, F)> = jobs.into_iter().enumerate().collect();
+    let buckets: Vec<Vec<(usize, F)>> = {
+        let mut b: Vec<Vec<(usize, F)>> = (0..c.min(n)).map(|_| Vec::new()).collect();
+        for (i, (idx, job)) in indexed.into_iter().enumerate() {
+            b[i % c.min(n)].push((idx, job));
+        }
+        b
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || {
+                    bucket.into_iter().map(|(idx, job)| (idx, job())).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, r) in h.join().expect("parallel job worker panicked") {
+                slots[idx] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("missing job result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_preserve_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_chunks(items.clone(), 4, |chunk| {
+            chunk.into_iter().map(|x| x * 2).collect()
+        });
+        let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_client_runs_inline() {
+        let out = parallel_chunks(vec![1, 2, 3], 1, |c| c);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_chunks(Vec::<i32>::new(), 8, |c| c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_clients_than_items() {
+        let out = parallel_chunks(vec![5], 16, |c| c);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn jobs_run_all_and_order() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..10usize)
+            .map(|i| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = parallel_jobs(jobs, 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

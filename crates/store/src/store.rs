@@ -1,0 +1,329 @@
+//! The simulated distributed store: placement, replication,
+//! compression and accounting over a set of [`Machine`]s.
+
+use bytes::Bytes;
+use hgs_delta::CodecError;
+
+use crate::compress::{compress, decompress};
+use crate::key::Table;
+use crate::machine::{Machine, MachineStatsSnapshot};
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Number of storage machines (`m` in the paper).
+    pub machines: usize,
+    /// Replication factor (`r`): each chunk is written to `r`
+    /// consecutive machines of the ring.
+    pub replication: usize,
+    /// Compress values with LZSS before storing (Fig. 13a).
+    pub compress: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig { machines: 4, replication: 1, compress: false }
+    }
+}
+
+impl StoreConfig {
+    pub fn new(machines: usize, replication: usize) -> StoreConfig {
+        StoreConfig { machines, replication, compress: false }
+    }
+
+    pub fn with_compression(mut self, on: bool) -> StoreConfig {
+        self.compress = on;
+        self
+    }
+}
+
+/// Errors surfaced by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Every replica holding the requested chunk is down.
+    Unavailable { table: Table },
+    /// Stored bytes failed to decompress.
+    Corrupt(CodecError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Unavailable { table } => {
+                write!(f, "all replicas down for a chunk of table {table}")
+            }
+            StoreError::Corrupt(e) => write!(f, "corrupt stored value: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Cluster-wide stats snapshot: one entry per machine.
+pub type StoreStatsSnapshot = Vec<MachineStatsSnapshot>;
+
+/// The simulated cluster. Cheap to share behind an `Arc`; all methods
+/// take `&self`.
+pub struct SimStore {
+    cfg: StoreConfig,
+    machines: Vec<Machine>,
+}
+
+impl SimStore {
+    /// Build a cluster of `cfg.machines` empty machines.
+    pub fn new(cfg: StoreConfig) -> SimStore {
+        assert!(cfg.machines >= 1, "need at least one machine");
+        assert!(
+            (1..=cfg.machines).contains(&cfg.replication),
+            "replication must be in 1..=machines"
+        );
+        SimStore { cfg, machines: (0..cfg.machines).map(|_| Machine::new()).collect() }
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The machine index holding replica `replica` of a chunk with the
+    /// given placement token.
+    #[inline]
+    pub fn machine_for(&self, token: u64, replica: usize) -> usize {
+        ((token as usize) + replica) % self.machines.len()
+    }
+
+    fn namespaced(table: Table, key: &[u8]) -> Vec<u8> {
+        let mut k = Vec::with_capacity(key.len() + 1);
+        k.push(table.tag());
+        k.extend_from_slice(key);
+        k
+    }
+
+    /// Write a row to all replicas of its chunk. Returns the number of
+    /// replicas that accepted the write (0 means fully unavailable).
+    pub fn put(&self, table: Table, key: &[u8], token: u64, value: Bytes) -> usize {
+        let stored = if self.cfg.compress { compress(&value) } else { value };
+        let nk = Self::namespaced(table, key);
+        let mut ok = 0;
+        for r in 0..self.cfg.replication {
+            let m = self.machine_for(token, r);
+            if self.machines[m].put(nk.clone(), stored.clone()) {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// Point lookup with replica failover.
+    pub fn get(&self, table: Table, key: &[u8], token: u64) -> Result<Option<Bytes>, StoreError> {
+        let nk = Self::namespaced(table, key);
+        for r in 0..self.cfg.replication {
+            let m = self.machine_for(token, r);
+            match self.machines[m].get(&nk) {
+                Ok(Some(bytes)) => return Ok(Some(self.maybe_decompress(bytes)?)),
+                Ok(None) => return Ok(None),
+                Err(()) => continue,
+            }
+        }
+        Err(StoreError::Unavailable { table })
+    }
+
+    /// Ordered prefix scan with replica failover. Keys are returned
+    /// without the table namespace byte.
+    pub fn scan_prefix(
+        &self,
+        table: Table,
+        prefix: &[u8],
+        token: u64,
+    ) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+        let np = Self::namespaced(table, prefix);
+        for r in 0..self.cfg.replication {
+            let m = self.machine_for(token, r);
+            match self.machines[m].scan_prefix(&np) {
+                Ok(rows) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for (k, v) in rows {
+                        out.push((k[1..].to_vec(), self.maybe_decompress(v)?));
+                    }
+                    return Ok(out);
+                }
+                Err(()) => continue,
+            }
+        }
+        Err(StoreError::Unavailable { table })
+    }
+
+    fn maybe_decompress(&self, bytes: Bytes) -> Result<Bytes, StoreError> {
+        if self.cfg.compress {
+            decompress(&bytes).map_err(StoreError::Corrupt)
+        } else {
+            Ok(bytes)
+        }
+    }
+
+    /// Mark a machine failed (failure injection for tests).
+    pub fn fail_machine(&self, idx: usize) {
+        self.machines[idx].set_down(true);
+    }
+
+    /// Bring a failed machine back (its data is intact).
+    pub fn heal_machine(&self, idx: usize) {
+        self.machines[idx].set_down(false);
+    }
+
+    /// Per-machine access-counter snapshot.
+    pub fn stats_snapshot(&self) -> StoreStatsSnapshot {
+        self.machines.iter().map(|m| m.stats().snapshot()).collect()
+    }
+
+    /// Difference of two snapshots (per machine).
+    pub fn stats_since(now: &StoreStatsSnapshot, then: &StoreStatsSnapshot) -> StoreStatsSnapshot {
+        now.iter().zip(then.iter()).map(|(a, b)| a.since(b)).collect()
+    }
+
+    /// Total stored bytes across machines — the index *size* measure of
+    /// Table 1 (counts each replica once; divide by `r` for logical
+    /// size).
+    pub fn stored_bytes(&self) -> usize {
+        self.machines.iter().map(|m| m.stored_bytes()).sum()
+    }
+
+    /// Total row count across machines (replicas included).
+    pub fn row_count(&self) -> usize {
+        self.machines.iter().map(|m| m.row_count()).sum()
+    }
+
+    /// Per-machine row counts; used to check placement balance.
+    pub fn rows_per_machine(&self) -> Vec<usize> {
+        self.machines.iter().map(|m| m.row_count()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{DeltaKey, PlacementKey};
+
+    fn store(m: usize, r: usize) -> SimStore {
+        SimStore::new(StoreConfig::new(m, r))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store(3, 1);
+        let k = DeltaKey::new(0, 1, 2, 3);
+        s.put(Table::Deltas, &k.encode(), k.placement().token(), Bytes::from_static(b"v"));
+        let got = s.get(Table::Deltas, &k.encode(), k.placement().token()).unwrap();
+        assert_eq!(got.as_deref(), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn tables_are_isolated() {
+        let s = store(1, 1);
+        s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"a"));
+        s.put(Table::Versions, b"k", 0, Bytes::from_static(b"b"));
+        assert_eq!(s.get(Table::Deltas, b"k", 0).unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(s.get(Table::Versions, b"k", 0).unwrap().as_deref(), Some(&b"b"[..]));
+    }
+
+    #[test]
+    fn scan_returns_clustered_rows_in_order() {
+        let s = store(2, 1);
+        let pk = PlacementKey::new(5, 0);
+        for pid in [3u32, 1, 2, 0] {
+            let k = DeltaKey::new(5, 0, 9, pid);
+            s.put(Table::Deltas, &k.encode(), pk.token(), Bytes::from(vec![pid as u8]));
+        }
+        // A row of another delta on the same placement must not appear.
+        let other = DeltaKey::new(5, 0, 10, 0);
+        s.put(Table::Deltas, &other.encode(), pk.token(), Bytes::from_static(b"x"));
+        let rows = s
+            .scan_prefix(Table::Deltas, &DeltaKey::delta_prefix(5, 0, 9), pk.token())
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        let pids: Vec<u32> = rows.iter().map(|(k, _)| DeltaKey::decode(k).unwrap().pid).collect();
+        assert_eq!(pids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn replication_survives_failure() {
+        let s = store(3, 2);
+        let token = 0u64;
+        s.put(Table::Deltas, b"k", token, Bytes::from_static(b"v"));
+        let primary = s.machine_for(token, 0);
+        s.fail_machine(primary);
+        assert_eq!(s.get(Table::Deltas, b"k", token).unwrap().as_deref(), Some(&b"v"[..]));
+        // Failing the replica too makes the chunk unavailable.
+        s.fail_machine(s.machine_for(token, 1));
+        assert!(matches!(
+            s.get(Table::Deltas, b"k", token),
+            Err(StoreError::Unavailable { .. })
+        ));
+        s.heal_machine(primary);
+        assert!(s.get(Table::Deltas, b"k", token).is_ok());
+    }
+
+    #[test]
+    fn no_replication_no_failover() {
+        let s = store(2, 1);
+        s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"v"));
+        s.fail_machine(s.machine_for(0, 0));
+        assert!(s.get(Table::Deltas, b"k", 0).is_err());
+    }
+
+    #[test]
+    fn compression_is_transparent() {
+        let s = SimStore::new(StoreConfig::new(1, 1).with_compression(true));
+        let value = Bytes::from(b"abcabcabcabcabcabcabcabcabc".repeat(100));
+        s.put(Table::Deltas, b"k", 0, value.clone());
+        assert!(s.stored_bytes() < value.len(), "stored form should be smaller");
+        assert_eq!(s.get(Table::Deltas, b"k", 0).unwrap().as_deref(), Some(&value[..]));
+    }
+
+    #[test]
+    fn replicas_double_stored_bytes() {
+        let s1 = store(4, 1);
+        let s2 = store(4, 2);
+        for s in [&s1, &s2] {
+            for i in 0..32u64 {
+                s.put(Table::Deltas, &i.to_be_bytes(), i * 7919, Bytes::from(vec![0u8; 100]));
+            }
+        }
+        assert_eq!(s2.stored_bytes(), 2 * s1.stored_bytes());
+    }
+
+    #[test]
+    fn placement_is_reasonably_balanced() {
+        let s = store(4, 1);
+        for i in 0..4000u64 {
+            let pk = PlacementKey::new((i / 64) as u32, (i % 64) as u32);
+            s.put(Table::Deltas, &i.to_be_bytes(), pk.token(), Bytes::from_static(b"v"));
+        }
+        let rows = s.rows_per_machine();
+        let min = *rows.iter().min().unwrap();
+        let max = *rows.iter().max().unwrap();
+        assert!(max < 2 * min, "placement imbalance: {rows:?}");
+    }
+
+    #[test]
+    fn stats_bracketing() {
+        let s = store(2, 1);
+        s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"hello"));
+        let t0 = s.stats_snapshot();
+        s.get(Table::Deltas, b"k", 0).unwrap();
+        let diff = SimStore::stats_since(&s.stats_snapshot(), &t0);
+        let total_gets: u64 = diff.iter().map(|m| m.gets).sum();
+        assert_eq!(total_gets, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_replication_rejected() {
+        let _ = SimStore::new(StoreConfig::new(2, 3));
+    }
+}

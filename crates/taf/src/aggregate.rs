@@ -1,0 +1,128 @@
+//! TempAggregation (§5.1 operator 9): Peak, Saturate, Max, Min, Mean
+//! over scalar timeseries produced by the temporal evaluation
+//! operators.
+
+use hgs_delta::Time;
+
+/// Temporal aggregates over a `(time, value)` series.
+pub trait TempAggregate {
+    /// Maximum value and its (first) time.
+    fn t_max(&self) -> Option<(Time, f64)>;
+    /// Minimum value and its (first) time.
+    fn t_min(&self) -> Option<(Time, f64)>;
+    /// Arithmetic mean of the values.
+    fn t_mean(&self) -> Option<f64>;
+}
+
+impl TempAggregate for [(Time, f64)] {
+    fn t_max(&self) -> Option<(Time, f64)> {
+        self.iter().copied().reduce(|a, b| if b.1 > a.1 { b } else { a })
+    }
+
+    fn t_min(&self) -> Option<(Time, f64)> {
+        self.iter().copied().reduce(|a, b| if b.1 < a.1 { b } else { a })
+    }
+
+    fn t_mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.iter().map(|(_, v)| v).sum::<f64>() / self.len() as f64)
+    }
+}
+
+/// Mean of a plain value slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// *Peak*: timepoints that are strict local maxima exceeding
+/// `threshold` — "times at which there was a peak in the network
+/// density" (§5.1).
+pub fn peak(series: &[(Time, f64)], threshold: f64) -> Vec<(Time, f64)> {
+    let n = series.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let v = series[i].1;
+        if v < threshold {
+            continue;
+        }
+        let left_ok = i == 0 || series[i - 1].1 < v;
+        let right_ok = i + 1 == n || series[i + 1].1 < v;
+        if left_ok && right_ok {
+            out.push(series[i]);
+        }
+    }
+    out
+}
+
+/// *Saturate*: the first time after which the series stays within
+/// `tolerance` (relative) of its final value.
+pub fn saturate(series: &[(Time, f64)], tolerance: f64) -> Option<Time> {
+    let (_, last) = *series.last()?;
+    let close = |v: f64| {
+        if last == 0.0 {
+            v.abs() <= tolerance
+        } else {
+            ((v - last) / last).abs() <= tolerance
+        }
+    };
+    let mut saturated_from: Option<Time> = None;
+    for &(t, v) in series {
+        if close(v) {
+            if saturated_from.is_none() {
+                saturated_from = Some(t);
+            }
+        } else {
+            saturated_from = None;
+        }
+    }
+    saturated_from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<(Time, f64)> {
+        vec![(0, 1.0), (10, 3.0), (20, 2.0), (30, 5.0), (40, 4.9), (50, 5.0), (60, 5.0)]
+    }
+
+    #[test]
+    fn max_min_mean() {
+        let s = series();
+        assert_eq!(s.t_max(), Some((30, 5.0)));
+        assert_eq!(s.t_min(), Some((0, 1.0)));
+        let m = s.t_mean().unwrap();
+        assert!((m - (1.0 + 3.0 + 2.0 + 5.0 + 4.9 + 5.0 + 5.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peaks_are_local_maxima() {
+        let s = series();
+        let p = peak(&s, 2.5);
+        // t=10 (3.0, local max) and t=30 (5.0, local max). The final
+        // plateau is not a strict peak.
+        assert_eq!(p.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![10, 30]);
+    }
+
+    #[test]
+    fn saturate_finds_stabilization() {
+        let s = series();
+        // From t=30 on, values stay within 5% of the final 5.0.
+        assert_eq!(saturate(&s, 0.05), Some(30));
+        assert_eq!(saturate(&s, 0.001), Some(50));
+    }
+
+    #[test]
+    fn empty_series() {
+        let e: Vec<(Time, f64)> = Vec::new();
+        assert_eq!(e.t_max(), None);
+        assert_eq!(e.t_mean(), None);
+        assert_eq!(saturate(&e, 0.1), None);
+        assert!(peak(&e, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! `TgiHandler` — the TAF-side connection to a TGI (§5.2 *Data
+//! Fetch*).
+//!
+//! Mirrors the paper's `TGIHandler` / lazy fetch design: a query is a
+//! chain of specification calls (`timeslice`, `select_ids`, `khop`)
+//! that build a retrieval plan; nothing touches the store until
+//! `fetch()` (or `fetch_sots()`), which executes the **parallel fetch
+//! protocol** of Fig. 10 — each TAF worker pulls whole horizontal
+//! partitions (or node groups) directly from the store shards, and
+//! the results land partitioned across workers without a coordinator
+//! bottleneck.
+
+use std::sync::Arc;
+
+use hgs_core::Tgi;
+use hgs_delta::{Delta, FxHashSet, NodeId, TimeRange};
+use hgs_store::parallel::parallel_chunks;
+
+use crate::node_t::NodeT;
+use crate::son::SoN;
+use crate::sots::SoTS;
+use crate::subgraph_t::SubgraphT;
+
+/// Handle binding a TGI to a TAF worker pool.
+#[derive(Clone)]
+pub struct TgiHandler {
+    tgi: Arc<Tgi>,
+    workers: usize,
+}
+
+impl TgiHandler {
+    /// Connect with `workers` analytics workers (the paper's `ma`).
+    pub fn new(tgi: Arc<Tgi>, workers: usize) -> TgiHandler {
+        TgiHandler { tgi, workers: workers.max(1) }
+    }
+
+    /// The underlying index.
+    pub fn tgi(&self) -> &Arc<Tgi> {
+        &self.tgi
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Start a lazy SoN query over the full indexed history.
+    pub fn son(&self) -> SonQuery {
+        SonQuery {
+            handler: self.clone(),
+            range: TimeRange::new(0, self.tgi.end_time().max(1)),
+            ids: None,
+        }
+    }
+
+    /// Start a lazy SoTS query (k-hop subgraphs around roots).
+    pub fn sots(&self, k: usize) -> SotsQuery {
+        SotsQuery {
+            handler: self.clone(),
+            range: TimeRange::new(0, self.tgi.end_time().max(1)),
+            roots: None,
+            k,
+        }
+    }
+}
+
+/// Lazy SoN retrieval specification.
+pub struct SonQuery {
+    handler: TgiHandler,
+    range: TimeRange,
+    ids: Option<Vec<NodeId>>,
+}
+
+impl SonQuery {
+    /// Restrict the temporal scope (Timeslice pushdown).
+    pub fn timeslice(mut self, range: TimeRange) -> SonQuery {
+        self.range = range;
+        self
+    }
+
+    /// Restrict to an explicit node set (Select pushdown: only those
+    /// nodes' micro-partitions are fetched).
+    pub fn select_ids(mut self, ids: Vec<NodeId>) -> SonQuery {
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Execute the fetch (the first statement after the specification
+    /// instructions, per §5.2).
+    pub fn fetch(self) -> SoN {
+        let tgi = &self.handler.tgi;
+        let workers = self.handler.workers;
+        let range = self.range;
+        let nodes: Vec<NodeT> = match self.ids {
+            Some(ids) => {
+                // Select pushdown: per-node history fetches, spread
+                // over the workers.
+                parallel_chunks(ids, workers, |chunk| {
+                    chunk
+                        .into_iter()
+                        .map(|id| NodeT::new(tgi.node_history_c(id, range, 1)))
+                        .collect()
+                })
+            }
+            None => {
+                // Whole-graph fetch: one job per horizontal partition,
+                // workers pulling directly from the store (Fig. 10).
+                let sids: Vec<u32> = (0..tgi.horizontal_partitions()).collect();
+                parallel_chunks(sids, workers, |chunk| {
+                    chunk
+                        .into_iter()
+                        .flat_map(|sid| {
+                            tgi.node_histories_for_sid(sid, range).into_iter().map(NodeT::new)
+                        })
+                        .collect()
+                })
+            }
+        };
+        SoN::new(nodes, range, workers)
+    }
+}
+
+/// Lazy SoTS retrieval specification.
+pub struct SotsQuery {
+    handler: TgiHandler,
+    range: TimeRange,
+    roots: Option<Vec<NodeId>>,
+    k: usize,
+}
+
+impl SotsQuery {
+    /// Restrict the temporal scope.
+    pub fn timeslice(mut self, range: TimeRange) -> SotsQuery {
+        self.range = range;
+        self
+    }
+
+    /// Choose the subgraph roots (default: every node alive at the
+    /// range start).
+    pub fn roots(mut self, roots: Vec<NodeId>) -> SotsQuery {
+        self.roots = Some(roots);
+        self
+    }
+
+    /// Execute: for each root, fetch its k-hop membership at the range
+    /// start, the members' initial states, and the members' in-range
+    /// events.
+    pub fn fetch(self) -> SoTS {
+        let tgi = &self.handler.tgi;
+        let workers = self.handler.workers;
+        let range = self.range;
+        let k = self.k;
+        let roots: Vec<NodeId> = match self.roots {
+            Some(r) => r,
+            None => tgi.snapshot(range.start).sorted_ids(),
+        };
+        let subs: Vec<SubgraphT> = parallel_chunks(roots, workers, |chunk| {
+            chunk
+                .into_iter()
+                .map(|root| {
+                    let initial: Delta =
+                        tgi.khop(root, range.start, k, hgs_core::KhopStrategy::Recursive);
+                    let members: FxHashSet<NodeId> = initial.ids().collect();
+                    // Events touching two members are returned by both
+                    // members' histories; keep a single copy. An event
+                    // is a duplicate iff its *other* endpoint is a
+                    // member we already collected.
+                    let mut collected: FxHashSet<NodeId> = FxHashSet::default();
+                    let mut events = Vec::new();
+                    let mut member_list: Vec<NodeId> = members.iter().copied().collect();
+                    member_list.sort_unstable();
+                    for m in member_list {
+                        let h = tgi.node_history_c(m, range, 1);
+                        for e in h.events {
+                            let (a, b) = e.kind.touched();
+                            let other = if a == m { b } else { Some(a) };
+                            let dup = other
+                                .is_some_and(|o| members.contains(&o) && collected.contains(&o));
+                            if !dup {
+                                events.push(e);
+                            }
+                        }
+                        collected.insert(m);
+                    }
+                    SubgraphT::new(root, members, initial, events, range)
+                })
+                .collect()
+        });
+        SoTS::new(subs, range, workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_core::TgiConfig;
+    use hgs_datagen::LabeledChurn;
+    use hgs_delta::Delta;
+    use hgs_store::StoreConfig;
+
+    fn setup() -> (Vec<hgs_delta::Event>, TgiHandler) {
+        let events =
+            LabeledChurn { nodes: 120, edge_events: 900, label_flips: 300, seed: 9 }.generate();
+        let tgi = Tgi::build(
+            TgiConfig {
+                events_per_timespan: 700,
+                eventlist_size: 80,
+                partition_size: 40,
+                horizontal_partitions: 2,
+                ..TgiConfig::default()
+            },
+            StoreConfig::new(2, 1),
+            &events,
+        );
+        (events, TgiHandler::new(Arc::new(tgi), 2))
+    }
+
+    #[test]
+    fn full_son_fetch_covers_graph() {
+        let (events, h) = setup();
+        let end = events.last().unwrap().time;
+        let son = h.son().timeslice(TimeRange::new(0, end + 1)).fetch();
+        let final_state = Delta::snapshot_by_replay(&events, end);
+        assert_eq!(son.len(), final_state.cardinality());
+        // Spot-check a node's final state through the SoN.
+        let id = final_state.sorted_ids()[3];
+        let got = son.get(id).unwrap().version_at(end).unwrap();
+        assert_eq!(&got, final_state.node(id).unwrap());
+    }
+
+    #[test]
+    fn select_pushdown_fetches_only_requested() {
+        let (events, h) = setup();
+        let end = events.last().unwrap().time;
+        let before = h.tgi().store().stats_snapshot();
+        let son = h
+            .son()
+            .timeslice(TimeRange::new(end / 2, end + 1))
+            .select_ids(vec![1, 2, 3])
+            .fetch();
+        let diff =
+            hgs_store::SimStore::stats_since(&h.tgi().store().stats_snapshot(), &before);
+        let rows: u64 = diff.iter().map(|m| m.rows_read).sum();
+        assert_eq!(son.len(), 3);
+        assert!(rows < 200, "pushdown must avoid a full-graph read, rows={rows}");
+    }
+
+    #[test]
+    fn son_fetch_matches_per_node_histories() {
+        let (events, h) = setup();
+        let end = events.last().unwrap().time;
+        let range = TimeRange::new(end / 3, end);
+        let son = h.son().timeslice(range).fetch();
+        for id in [0u64, 5, 17, 40] {
+            let direct = h.tgi().node_history(id, range);
+            let via_son = son.get(id).expect("node in SoN");
+            assert_eq!(via_son.initial(), direct.initial.as_ref(), "initial {id}");
+            assert_eq!(via_son.events(), &direct.events[..], "events {id}");
+        }
+        let _ = events;
+    }
+
+    #[test]
+    fn sots_fetch_builds_khop_subgraphs() {
+        let (events, h) = setup();
+        let end = events.last().unwrap().time;
+        let range = TimeRange::new(end / 2, end);
+        let sots = h.sots(1).timeslice(range).roots(vec![0, 1, 2]).fetch();
+        assert_eq!(sots.len(), 3);
+        let state = Delta::snapshot_by_replay(&events, range.start);
+        for sub in sots.subgraphs() {
+            let want: FxHashSet<NodeId> = state
+                .node(sub.root)
+                .map(|n| n.all_neighbors().chain(std::iter::once(sub.root)).collect())
+                .unwrap_or_default();
+            let got: FxHashSet<NodeId> = sub.initial().ids().collect();
+            assert_eq!(got, want, "membership of root {}", sub.root);
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let (_, h) = setup();
+        let end = h.tgi().end_time();
+        let r = TimeRange::new(0, end);
+        let son1 = SonQuery {
+            handler: TgiHandler::new(h.tgi().clone(), 1),
+            range: r,
+            ids: None,
+        }
+        .fetch();
+        let son4 = SonQuery {
+            handler: TgiHandler::new(h.tgi().clone(), 4),
+            range: r,
+            ids: None,
+        }
+        .fetch();
+        assert_eq!(son1.len(), son4.len());
+        let d1 = son1.node_compute(|n| n.change_count());
+        let d4 = son4.node_compute(|n| n.change_count());
+        assert_eq!(d1, d4);
+    }
+}

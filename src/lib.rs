@@ -1,0 +1,27 @@
+//! # HGS — Historical Graph Store
+//!
+//! Umbrella crate re-exporting the full HGS stack, a Rust reproduction
+//! of *"Storing and Analyzing Historical Graph Data at Scale"*
+//! (Khurana & Deshpande, EDBT 2016).
+//!
+//! * [`delta`] — temporal graph model and Δ algebra.
+//! * [`store`] — simulated distributed key-value store (Cassandra
+//!   substitute).
+//! * [`graph`] — static graph snapshots and algorithms.
+//! * [`partition`] — random and locality-aware graph partitioning.
+//! * [`tgi`] — the Temporal Graph Index (the paper's contribution).
+//! * [`baselines`] — Log / Copy / Copy+Log / vertex-centric /
+//!   DeltaGraph baseline indexes.
+//! * [`taf`] — the Temporal Graph Analysis Framework.
+//! * [`datagen`] — synthetic historical-graph workload generators.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use hgs_baselines as baselines;
+pub use hgs_core as tgi;
+pub use hgs_datagen as datagen;
+pub use hgs_delta as delta;
+pub use hgs_graph as graph;
+pub use hgs_partition as partition;
+pub use hgs_store as store;
+pub use hgs_taf as taf;
