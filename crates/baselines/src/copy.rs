@@ -48,9 +48,18 @@ impl CopyIndex {
                 i += 1;
             }
             times.push(t);
-            store.put(Table::Deltas, &Self::key(t), Self::token(t), encode_delta(&state));
+            store.put(
+                Table::Deltas,
+                &Self::key(t),
+                Self::token(t),
+                encode_delta(&state),
+            );
         }
-        CopyIndex { store, times, events: events.to_vec() }
+        CopyIndex {
+            store,
+            times,
+            events: events.to_vec(),
+        }
     }
 
     /// Latest change point at or before `t`.
@@ -90,7 +99,10 @@ impl HistoricalIndex for CopyIndex {
     }
 
     fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>) {
-        (self.node_at(nid, range.start), node_events_in(&self.events, nid, range))
+        (
+            self.node_at(nid, range.start),
+            node_events_in(&self.events, nid, range),
+        )
     }
 }
 
@@ -105,7 +117,11 @@ mod tests {
         let idx = CopyIndex::build(StoreConfig::new(2, 1), &events);
         let end = events.last().unwrap().time;
         for t in [0, end / 3, end] {
-            assert_eq!(idx.snapshot(t), Delta::snapshot_by_replay(&events, t), "t={t}");
+            assert_eq!(
+                idx.snapshot(t),
+                Delta::snapshot_by_replay(&events, t),
+                "t={t}"
+            );
         }
     }
 
@@ -127,7 +143,10 @@ mod tests {
         let i1 = CopyIndex::build(StoreConfig::new(1, 1), &e1);
         let i2 = CopyIndex::build(StoreConfig::new(1, 1), &e2);
         let ratio = i2.storage_bytes() as f64 / i1.storage_bytes() as f64;
-        assert!(ratio > 3.0, "copy must blow up superlinearly, ratio {ratio}");
+        assert!(
+            ratio > 3.0,
+            "copy must blow up superlinearly, ratio {ratio}"
+        );
     }
 
     #[test]

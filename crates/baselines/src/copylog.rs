@@ -91,18 +91,26 @@ impl CopyLogIndex {
     }
 
     fn checkpoint_for(&self, t: Time) -> usize {
-        self.checkpoints.partition_point(|&c| c <= t).saturating_sub(1)
+        self.checkpoints
+            .partition_point(|&c| c <= t)
+            .saturating_sub(1)
     }
 
     fn fetch_snapshot(&self, i: usize) -> Delta {
-        match self.store.get(Table::Deltas, &Self::key(SNAP_TAG, i), Self::token(i)) {
+        match self
+            .store
+            .get(Table::Deltas, &Self::key(SNAP_TAG, i), Self::token(i))
+        {
             Ok(Some(bytes)) => decode_delta(&bytes).expect("stored snapshot decodes"),
             _ => Delta::new(),
         }
     }
 
     fn fetch_elist(&self, i: usize) -> Option<Eventlist> {
-        match self.store.get(Table::Deltas, &Self::key(ELIST_TAG, i), Self::token(i)) {
+        match self
+            .store
+            .get(Table::Deltas, &Self::key(ELIST_TAG, i), Self::token(i))
+        {
             Ok(Some(bytes)) => Some(decode_eventlist(&bytes).expect("stored eventlist decodes")),
             _ => None,
         }
@@ -162,7 +170,11 @@ mod tests {
         let idx = CopyLogIndex::build(StoreConfig::new(2, 1), &events, 100);
         let end = events.last().unwrap().time;
         for t in [0, end / 3, end / 2, end] {
-            assert_eq!(idx.snapshot(t), Delta::snapshot_by_replay(&events, t), "t={t}");
+            assert_eq!(
+                idx.snapshot(t),
+                Delta::snapshot_by_replay(&events, t),
+                "t={t}"
+            );
         }
     }
 

@@ -37,7 +37,10 @@ impl DeltaGraphIndex {
             ..TgiConfig::deltagraph()
         };
         let tgi = Tgi::build(cfg, store_cfg, events);
-        DeltaGraphIndex { tgi, events: events.to_vec() }
+        DeltaGraphIndex {
+            tgi,
+            events: events.to_vec(),
+        }
     }
 
     /// The underlying TGI handle.
@@ -68,7 +71,10 @@ impl HistoricalIndex for DeltaGraphIndex {
 
     fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>) {
         // No version chains: scan the history (the |G| cost of Table 1).
-        (self.node_at(nid, range.start), node_events_in(&self.events, nid, range))
+        (
+            self.node_at(nid, range.start),
+            node_events_in(&self.events, nid, range),
+        )
     }
 }
 
@@ -111,7 +117,11 @@ mod tests {
         let idx = DeltaGraphIndex::build(StoreConfig::new(2, 1), &events, 100, 2);
         let end = events.last().unwrap().time;
         for t in [0, end / 2, end] {
-            assert_eq!(idx.snapshot(t), Delta::snapshot_by_replay(&events, t), "t={t}");
+            assert_eq!(
+                idx.snapshot(t),
+                Delta::snapshot_by_replay(&events, t),
+                "t={t}"
+            );
         }
     }
 

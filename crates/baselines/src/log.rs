@@ -41,9 +41,18 @@ impl LogIndex {
         for (i, c) in events.chunks(chunk).enumerate() {
             starts.push(c[0].time);
             let el = Eventlist::from_sorted(c.to_vec());
-            store.put(Table::Deltas, &Self::key(i), Self::token(i), encode_eventlist(&el));
+            store.put(
+                Table::Deltas,
+                &Self::key(i),
+                Self::token(i),
+                encode_eventlist(&el),
+            );
         }
-        LogIndex { store, starts, chunk }
+        LogIndex {
+            store,
+            starts,
+            chunk,
+        }
     }
 
     /// Fetch and replay all events with `time <= t` through `f`.

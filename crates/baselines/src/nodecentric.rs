@@ -57,7 +57,10 @@ impl NodeCentricIndex {
     }
 
     fn node_events(&self, nid: NodeId) -> Option<Eventlist> {
-        match self.store.get(Table::Versions, &node_key(nid), node_placement_token(nid)) {
+        match self
+            .store
+            .get(Table::Versions, &node_key(nid), node_placement_token(nid))
+        {
             Ok(Some(bytes)) => Some(decode_eventlist(&bytes).expect("stored eventlist decodes")),
             _ => None,
         }
@@ -105,7 +108,9 @@ impl HistoricalIndex for NodeCentricIndex {
     fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>) {
         // One direct fetch serves both parts — the vertex-centric
         // index's sweet spot.
-        let Some(el) = self.node_events(nid) else { return (None, Vec::new()) };
+        let Some(el) = self.node_events(nid) else {
+            return (None, Vec::new());
+        };
         let mut scratch = Delta::new();
         let mut events = Vec::new();
         for e in el.events() {
@@ -131,7 +136,11 @@ mod tests {
         let idx = NodeCentricIndex::build(StoreConfig::new(2, 1), &events);
         let end = events.last().unwrap().time;
         for t in [end / 2, end] {
-            assert_eq!(idx.snapshot(t), Delta::snapshot_by_replay(&events, t), "t={t}");
+            assert_eq!(
+                idx.snapshot(t),
+                Delta::snapshot_by_replay(&events, t),
+                "t={t}"
+            );
         }
     }
 
@@ -149,7 +158,10 @@ mod tests {
             initial.as_ref(),
             Delta::snapshot_by_replay(&events, end / 4).node(0)
         );
-        assert_eq!(evs, node_events_in(&events, 0, TimeRange::new(end / 4, end)));
+        assert_eq!(
+            evs,
+            node_events_in(&events, 0, TimeRange::new(end / 4, end))
+        );
     }
 
     #[test]
@@ -170,6 +182,9 @@ mod tests {
         let log = LogIndex::build(StoreConfig::new(1, 1), &events, 100);
         let nc = NodeCentricIndex::build(StoreConfig::new(1, 1), &events);
         let ratio = nc.storage_bytes() as f64 / log.storage_bytes() as f64;
-        assert!(ratio > 1.4 && ratio < 3.0, "~2x from replication, got {ratio}");
+        assert!(
+            ratio > 1.4 && ratio < 3.0,
+            "~2x from replication, got {ratio}"
+        );
     }
 }

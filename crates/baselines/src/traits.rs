@@ -31,7 +31,9 @@ pub trait HistoricalIndex {
     /// 1-hop neighborhood of `nid` as of `t` (default: via snapshot).
     fn one_hop(&self, nid: NodeId, t: Time) -> Delta {
         let snap = self.snapshot(t);
-        let Some(center) = snap.node(nid) else { return Delta::new() };
+        let Some(center) = snap.node(nid) else {
+            return Delta::new();
+        };
         let mut keep: Vec<NodeId> = center.all_neighbors().collect();
         keep.push(nid);
         snap.restrict(|id| keep.contains(&id))

@@ -20,7 +20,11 @@ fn bench_delta_algebra(c: &mut Criterion) {
     let a = Delta::snapshot_by_replay(&events, events[3_000].time);
     let b = Delta::snapshot_by_replay(&events, events.last().unwrap().time);
     c.bench_function("delta/sum_5k", |bench| {
-        bench.iter_batched(|| a.clone(), |mut x| x.sum_assign(black_box(&b)), BatchSize::SmallInput)
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| x.sum_assign(black_box(&b)),
+            BatchSize::SmallInput,
+        )
     });
     c.bench_function("delta/intersection_5k", |bench| {
         bench.iter(|| black_box(a.intersection(&b)))
@@ -34,11 +38,15 @@ fn bench_codec(c: &mut Criterion) {
     let events = WikiGrowth::sized(5_000).generate();
     let d = Delta::snapshot_by_replay(&events, u64::MAX);
     let bytes = encode_delta(&d);
-    c.bench_function("codec/encode_delta_5k", |bench| bench.iter(|| black_box(encode_delta(&d))));
+    c.bench_function("codec/encode_delta_5k", |bench| {
+        bench.iter(|| black_box(encode_delta(&d)))
+    });
     c.bench_function("codec/decode_delta_5k", |bench| {
         bench.iter(|| black_box(decode_delta(&bytes).unwrap()))
     });
-    c.bench_function("compress/lzss_delta", |bench| bench.iter(|| black_box(compress(&bytes))));
+    c.bench_function("compress/lzss_delta", |bench| {
+        bench.iter(|| black_box(compress(&bytes)))
+    });
     let compressed = compress(&bytes);
     c.bench_function("compress/lzss_decompress", |bench| {
         bench.iter(|| black_box(decompress(&compressed).unwrap()))
@@ -48,7 +56,12 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_store(c: &mut Criterion) {
     let store = SimStore::new(StoreConfig::new(4, 1));
     for i in 0..1_000u64 {
-        store.put(Table::Deltas, &i.to_be_bytes(), i * 31, bytes::Bytes::from(vec![0u8; 256]));
+        store.put(
+            Table::Deltas,
+            &i.to_be_bytes(),
+            i * 31,
+            bytes::Bytes::from(vec![0u8; 256]),
+        );
     }
     c.bench_function("store/get", |bench| {
         let mut i = 0u64;
@@ -78,22 +91,35 @@ fn bench_tgi(c: &mut Criterion) {
 }
 
 fn bench_taf(c: &mut Criterion) {
-    let events =
-        LabeledChurn { nodes: 1_000, edge_events: 8_000, label_flips: 4_000, seed: 3 }.generate();
+    let events = LabeledChurn {
+        nodes: 1_000,
+        edge_events: 8_000,
+        label_flips: 4_000,
+        seed: 3,
+    }
+    .generate();
     let end = events.last().unwrap().time;
-    let tgi = Arc::new(Tgi::build(TgiConfig::default(), StoreConfig::new(2, 1), &events));
+    let tgi = Arc::new(Tgi::build(
+        TgiConfig::default(),
+        StoreConfig::new(2, 1),
+        &events,
+    ));
     let handler = TgiHandler::new(tgi, 2);
     let son = handler.son().timeslice(TimeRange::new(0, end + 1)).fetch();
     c.bench_function("taf/son_fetch_1k_nodes", |bench| {
         bench.iter(|| {
-            black_box(handler.son().timeslice(TimeRange::new(0, end + 1)).fetch().len())
+            black_box(
+                handler
+                    .son()
+                    .timeslice(TimeRange::new(0, end + 1))
+                    .fetch()
+                    .len(),
+            )
         })
     });
     c.bench_function("taf/node_compute_degree", |bench| {
         bench.iter(|| {
-            black_box(son.node_compute(|n| {
-                n.version_at(end).map(|s| s.degree()).unwrap_or(0)
-            }))
+            black_box(son.node_compute(|n| n.version_at(end).map(|s| s.degree()).unwrap_or(0)))
         })
     });
     c.bench_function("taf/graph_materialize", |bench| {

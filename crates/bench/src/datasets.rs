@@ -12,7 +12,10 @@ use hgs_delta::Event;
 /// Global scale factor from `HGS_SCALE` (e.g. `HGS_SCALE=0.2` for a
 /// quick smoke run).
 pub fn scale() -> f64 {
-    std::env::var("HGS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("HGS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 fn scaled(n: usize) -> usize {
@@ -81,11 +84,16 @@ mod tests {
     #[test]
     fn datasets_are_wellformed() {
         std::env::set_var("HGS_SCALE", "0.02");
-        for (name, ev) in
-            [("d1", dataset1()), ("d4", dataset4()), ("lab", dataset_labeled())]
-        {
+        for (name, ev) in [
+            ("d1", dataset1()),
+            ("d4", dataset4()),
+            ("lab", dataset_labeled()),
+        ] {
             assert!(!ev.is_empty(), "{name}");
-            assert!(ev.windows(2).all(|w| w[0].time <= w[1].time), "{name} sorted");
+            assert!(
+                ev.windows(2).all(|w| w[0].time <= w[1].time),
+                "{name} sorted"
+            );
         }
         std::env::remove_var("HGS_SCALE");
     }

@@ -13,12 +13,25 @@ use hgs_store::StoreConfig;
 /// fewer deltas per snapshot path but weaker temporal compression
 /// (larger storage).
 pub fn ablation_arity() {
-    banner("Ablation A1", "intersection-tree arity: storage vs snapshot path cost", "m=4 r=1 c=4");
+    banner(
+        "Ablation A1",
+        "intersection-tree arity: storage vs snapshot path cost",
+        "m=4 r=1 c=4",
+    );
     let events = dataset1();
     let end = events.last().unwrap().time;
-    header(&["arity", "storage_mb", "snapshot_wall_s", "snapshot_modeled_s", "requests"]);
+    header(&[
+        "arity",
+        "storage_mb",
+        "snapshot_wall_s",
+        "snapshot_modeled_s",
+        "requests",
+    ]);
     for arity in [2usize, 4, 8, 64] {
-        let cfg = TgiConfig { arity, ..TgiConfig::default() };
+        let cfg = TgiConfig {
+            arity,
+            ..TgiConfig::default()
+        };
         let tgi = build_tgi(cfg, StoreConfig::new(4, 1), &events);
         let (_, rep) = timed(&tgi, 4, || tgi.snapshot_c(end / 2, 4));
         println!(
@@ -35,13 +48,26 @@ pub fn ablation_arity() {
 /// spans mean fewer partition-map changes (better version queries)
 /// but staler locality partitioning.
 pub fn ablation_timespan() {
-    banner("Ablation A2", "timespan length: version-query cost vs partitioning freshness", "m=4 r=1 c=1");
+    banner(
+        "Ablation A2",
+        "timespan length: version-query cost vs partitioning freshness",
+        "m=4 r=1 c=1",
+    );
     let events = dataset1();
     let full = TimeRange::new(0, events.last().unwrap().time + 1);
-    header(&["events_per_timespan", "spans", "storage_mb", "version_wall_s", "version_modeled_s"]);
+    header(&[
+        "events_per_timespan",
+        "spans",
+        "storage_mb",
+        "version_wall_s",
+        "version_modeled_s",
+    ]);
     let probes = sample_nodes(&events, 8, 50);
     for ts in [10_000usize, 20_000, 50_000] {
-        let cfg = TgiConfig { events_per_timespan: ts, ..TgiConfig::default() };
+        let cfg = TgiConfig {
+            events_per_timespan: ts,
+            ..TgiConfig::default()
+        };
         let tgi = build_tgi(cfg, StoreConfig::new(4, 1), &events);
         let mut wall = 0.0;
         let mut modeled = 0.0;
@@ -64,10 +90,20 @@ pub fn ablation_timespan() {
 /// Horizontal-partition ablation: more `sid`s spread fetch work across
 /// machines (snapshot parallelism) at slightly higher key overheads.
 pub fn ablation_horizontal() {
-    banner("Ablation A3", "horizontal partitions ns: snapshot parallelism", "m=4 r=1 c=8");
+    banner(
+        "Ablation A3",
+        "horizontal partitions ns: snapshot parallelism",
+        "m=4 r=1 c=8",
+    );
     let events = dataset1();
     let end = events.last().unwrap().time;
-    header(&["ns", "snapshot_wall_s", "snapshot_modeled_s", "requests", "max_machine_share"]);
+    header(&[
+        "ns",
+        "snapshot_wall_s",
+        "snapshot_modeled_s",
+        "requests",
+        "max_machine_share",
+    ]);
     for ns in [1u32, 2, 4, 8] {
         let cfg = TgiConfig::default().with_horizontal(ns);
         let tgi = build_tgi(cfg, StoreConfig::new(4, 1), &events);

@@ -23,7 +23,11 @@ pub fn fig15c() {
         "compute time only (fetch excluded)",
     );
     let events = dataset1();
-    let tgi = Arc::new(build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events));
+    let tgi = Arc::new(build_tgi(
+        paper_default_cfg(),
+        StoreConfig::new(4, 1),
+        &events,
+    ));
     let end = events.last().unwrap().time;
     header(&["graph_nodes", "workers", "wall_s", "max_lcc"]);
     for frac in [4u64, 2, 1] {
@@ -37,10 +41,16 @@ pub fn fig15c() {
             let t0 = Instant::now();
             let idx: Vec<u32> = (0..n as u32).collect();
             let lcc = parallel_chunks(idx, workers, |chunk| {
-                chunk.into_iter().map(|i| local_clustering(&g, i)).collect::<Vec<f64>>()
+                chunk
+                    .into_iter()
+                    .map(|i| local_clustering(&g, i))
+                    .collect::<Vec<f64>>()
             });
             let max = lcc.iter().copied().fold(0.0f64, f64::max);
-            println!("{n}\t{workers}\t{}\t{max:.4}", secs(t0.elapsed().as_secs_f64()));
+            println!(
+                "{n}\t{workers}\t{}\t{max:.4}",
+                secs(t0.elapsed().as_secs_f64())
+            );
         }
     }
 }
@@ -84,7 +94,11 @@ pub fn fig17() {
         "2 workers; cumulative compute time (fetch excluded)",
     );
     let events = dataset_labeled();
-    let tgi = Arc::new(build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events));
+    let tgi = Arc::new(build_tgi(
+        paper_default_cfg(),
+        StoreConfig::new(4, 1),
+        &events,
+    ));
     let end = events.last().unwrap().time;
     let handler = TgiHandler::new(tgi.clone(), 2);
     let range = TimeRange::new(end / 4, end + 1);
@@ -103,8 +117,11 @@ pub fn fig17() {
     println!("# subgraphs: {}", sots.len());
     header(&["version_count", "temporal_s", "delta_s", "speedup"]);
     for versions in [1usize, 2, 5, 10, 15, 20] {
-        let truncated: Vec<_> =
-            sots.subgraphs().iter().map(|s| s.truncate_changes(versions)).collect();
+        let truncated: Vec<_> = sots
+            .subgraphs()
+            .iter()
+            .map(|s| s.truncate_changes(versions))
+            .collect();
         let swept = SoTS::new(truncated, range, 2);
 
         let t0 = Instant::now();

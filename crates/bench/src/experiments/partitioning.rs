@@ -18,16 +18,35 @@ pub fn fig15a() {
     let end = events.last().unwrap().time;
     let t = end * 3 / 4;
     let probes = sample_nodes(&events, 250, 3);
-    header(&["strategy", "avg_wall_s", "avg_modeled_s", "avg_requests", "avg_kbytes", "nodes"]);
+    header(&[
+        "strategy",
+        "avg_wall_s",
+        "avg_modeled_s",
+        "avg_requests",
+        "avg_kbytes",
+        "nodes",
+    ]);
     for (name, strategy) in [
         ("random", PartitionStrategy::Random),
-        ("maxflow", PartitionStrategy::Locality { replicate_boundary: false }),
-        ("maxflow+replication", PartitionStrategy::Locality { replicate_boundary: true }),
+        (
+            "maxflow",
+            PartitionStrategy::Locality {
+                replicate_boundary: false,
+            },
+        ),
+        (
+            "maxflow+replication",
+            PartitionStrategy::Locality {
+                replicate_boundary: true,
+            },
+        ),
     ] {
         // One horizontal partition isolates the micro-partitioning
         // strategy: with ns>1 the sid hash scatters neighborhoods
         // before the partitioner can cluster them.
-        let cfg = TgiConfig::default().with_strategy(strategy).with_horizontal(1);
+        let cfg = TgiConfig::default()
+            .with_strategy(strategy)
+            .with_horizontal(1);
         let tgi = build_tgi(cfg, StoreConfig::new(4, 1), &events);
         let mut wall = 0.0f64;
         let mut modeled = 0.0f64;

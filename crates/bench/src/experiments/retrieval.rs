@@ -8,10 +8,21 @@ use hgs_store::StoreConfig;
 /// Fig. 11: snapshot retrieval time vs snapshot size for varying
 /// parallel fetch factor c (m=4, r=1, ps=500).
 pub fn fig11() {
-    banner("Figure 11", "snapshot retrieval vs parallel fetch factor c", "m=4 r=1 ps=500 l=500");
+    banner(
+        "Figure 11",
+        "snapshot retrieval vs parallel fetch factor c",
+        "m=4 r=1 ps=500 l=500",
+    );
     let events = dataset1();
     let tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
-    header(&["snapshot_nodes", "c", "wall_s", "modeled_s", "requests", "mbytes"]);
+    header(&[
+        "snapshot_nodes",
+        "c",
+        "wall_s",
+        "modeled_s",
+        "requests",
+        "mbytes",
+    ]);
     for t in growth_times(&events, 5) {
         for c in [1usize, 2, 4, 8, 16, 32] {
             let (snap, rep) = timed(&tgi, c, || tgi.snapshot_c(t, c));
@@ -30,7 +41,11 @@ pub fn fig11() {
 
 /// Fig. 12: snapshot retrieval across (m, r) configurations.
 pub fn fig12() {
-    banner("Figure 12", "snapshot retrieval across m (machines) and r (replication)", "ps=500");
+    banner(
+        "Figure 12",
+        "snapshot retrieval across m (machines) and r (replication)",
+        "ps=500",
+    );
     let events = dataset1();
     header(&["m", "r", "snapshot_nodes", "c", "wall_s", "modeled_s"]);
     for (m, r, cs) in [
@@ -55,7 +70,11 @@ pub fn fig12() {
 
 /// Fig. 13a: compressed vs uncompressed delta storage (m=2, c=8, r=1).
 pub fn fig13a() {
-    banner("Figure 13a", "snapshot retrieval, compressed vs uncompressed deltas", "m=2 c=8 r=1");
+    banner(
+        "Figure 13a",
+        "snapshot retrieval, compressed vs uncompressed deltas",
+        "m=2 c=8 r=1",
+    );
     let events = dataset1();
     header(&["mode", "snapshot_nodes", "wall_s", "modeled_s", "stored_mb"]);
     for compress in [false, true] {
@@ -66,7 +85,11 @@ pub fn fig13a() {
             let (snap, rep) = timed(&tgi, 8, || tgi.snapshot_c(t, 8));
             println!(
                 "{}\t{}\t{}\t{}\t{:.2}",
-                if compress { "compressed" } else { "uncompressed" },
+                if compress {
+                    "compressed"
+                } else {
+                    "uncompressed"
+                },
                 snap.cardinality(),
                 secs(rep.wall_secs),
                 secs(rep.modeled_secs),
@@ -78,7 +101,11 @@ pub fn fig13a() {
 
 /// Fig. 13b: effect of micro-delta partition size ps (m=4, c=8).
 pub fn fig13b() {
-    banner("Figure 13b", "snapshot retrieval vs partition size ps", "m=4 c=8");
+    banner(
+        "Figure 13b",
+        "snapshot retrieval vs partition size ps",
+        "m=4 c=8",
+    );
     let events = dataset1();
     header(&["ps", "snapshot_nodes", "wall_s", "modeled_s", "requests"]);
     for ps in [1000usize, 2000, 4000] {
@@ -100,7 +127,11 @@ pub fn fig13b() {
 /// Fig. 13c: snapshot retrieval on the Friendster analog
 /// (m=6, r=1, c=1, ps=500).
 pub fn fig13c() {
-    banner("Figure 13c", "snapshot retrieval, Friendster-like dataset 4", "m=6 r=1 c=1 ps=500");
+    banner(
+        "Figure 13c",
+        "snapshot retrieval, Friendster-like dataset 4",
+        "m=6 r=1 c=1 ps=500",
+    );
     let events = dataset4();
     let tgi = build_tgi(paper_default_cfg(), StoreConfig::new(6, 1), &events);
     // Friendster's nodes all exist from t=0 (the paper added synthetic
@@ -122,11 +153,17 @@ pub fn fig13c() {
 /// share the same base graph; extra churn should barely change
 /// retrieval of the same-size snapshots).
 pub fn fig15b() {
-    banner("Figure 15b", "snapshot retrieval for growing dataset sizes", "m=4 r=1 c=4 ps=500");
+    banner(
+        "Figure 15b",
+        "snapshot retrieval for growing dataset sizes",
+        "m=4 r=1 c=4 ps=500",
+    );
     header(&["dataset", "events", "snapshot_nodes", "wall_s", "modeled_s"]);
-    for (name, events) in
-        [("dataset1", dataset1()), ("dataset2", dataset2()), ("dataset3", dataset3())]
-    {
+    for (name, events) in [
+        ("dataset1", dataset1()),
+        ("dataset2", dataset2()),
+        ("dataset3", dataset3()),
+    ] {
         let tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
         // Query at the *base* trace's growth points so snapshot sizes
         // align across datasets, as in the paper.

@@ -16,7 +16,11 @@ use hgs_store::{SimStore, StoreConfig};
 /// concrete workload profile; part 2: measured requests/bytes on real
 /// builds of all six indexes over the same trace.
 pub fn table1() {
-    banner("Table 1", "access costs for retrieval primitives across indexes", "analytic + measured");
+    banner(
+        "Table 1",
+        "access costs for retrieval primitives across indexes",
+        "analytic + measured",
+    );
 
     // -- analytic ------------------------------------------------------
     let events = WikiGrowth::sized(10_000).generate();
@@ -41,7 +45,10 @@ pub fn table1() {
     head.extend(QueryKind::ALL.iter().map(|q| q.name().to_owned()));
     println!("{}", head.join("\t"));
     for idx in IndexKind::ALL {
-        let mut row = vec![idx.name().to_owned(), format!("{:.2e}", storage_size(idx, &profile))];
+        let mut row = vec![
+            idx.name().to_owned(),
+            format!("{:.2e}", storage_size(idx, &profile)),
+        ];
         for q in QueryKind::ALL {
             let (sz, n) = access_cost(idx, q, &profile);
             row.push(format!("({sz:.2e},{n:.0})"));
@@ -50,7 +57,10 @@ pub fn table1() {
     }
 
     // -- measured ------------------------------------------------------
-    println!("\n# measured on a {}-event trace (requests, KB moved per query; storage MB)", events.len());
+    println!(
+        "\n# measured on a {}-event trace (requests, KB moved per query; storage MB)",
+        events.len()
+    );
     let end = events.last().unwrap().time;
     let t = end / 2;
     let range = TimeRange::new(end / 4, (3 * end) / 4);
@@ -62,7 +72,10 @@ pub fn table1() {
     let nc = NodeCentricIndex::build(StoreConfig::new(2, 1), &events);
     let dg = DeltaGraphIndex::build(StoreConfig::new(2, 1), &events, 500, 2);
     let tgi = build_tgi(
-        TgiConfig { events_per_timespan: 5_000, ..TgiConfig::default() },
+        TgiConfig {
+            events_per_timespan: 5_000,
+            ..TgiConfig::default()
+        },
         StoreConfig::new(2, 1),
         &events,
     );

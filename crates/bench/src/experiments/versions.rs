@@ -22,12 +22,18 @@ fn version_probes(events: &[hgs_delta::Event]) -> Vec<u64> {
 /// Fig. 14a: node-version retrieval vs change points for different
 /// eventlist sizes l.
 pub fn fig14a() {
-    banner("Figure 14a", "node version retrieval vs eventlist size l", "m=4 r=1 c=1 ps=500");
+    banner(
+        "Figure 14a",
+        "node version retrieval vs eventlist size l",
+        "m=4 r=1 c=1 ps=500",
+    );
     let events = dataset1();
     let full = TimeRange::new(0, events.last().unwrap().time + 1);
     header(&["l", "change_points", "wall_s", "modeled_s", "kbytes"]);
     for l in [2_500usize, 5_000, 10_000] {
-        let cfg = TgiConfig::default().with_eventlist_size(l).with_timespan(50_000);
+        let cfg = TgiConfig::default()
+            .with_eventlist_size(l)
+            .with_timespan(50_000);
         let tgi = build_tgi(cfg, StoreConfig::new(4, 1), &events);
         for id in version_probes(&events) {
             let (h, rep) = timed(&tgi, 1, || tgi.node_history(id, full));
@@ -45,7 +51,11 @@ pub fn fig14a() {
 /// Fig. 14b: node-version retrieval speedups from the parallel fetch
 /// factor c.
 pub fn fig14b() {
-    banner("Figure 14b", "node version retrieval vs parallel fetch factor c", "m=4 r=1 l=500 ps=500");
+    banner(
+        "Figure 14b",
+        "node version retrieval vs parallel fetch factor c",
+        "m=4 r=1 l=500 ps=500",
+    );
     let events = dataset1();
     let full = TimeRange::new(0, events.last().unwrap().time + 1);
     let tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
@@ -66,7 +76,11 @@ pub fn fig14b() {
 /// Fig. 14c: node-version retrieval (≈100 change points) vs
 /// micro-partition size ps.
 pub fn fig14c() {
-    banner("Figure 14c", "node version retrieval vs partition size ps", "m=4 r=1 c=1 l=500, ~100 change points");
+    banner(
+        "Figure 14c",
+        "node version retrieval vs partition size ps",
+        "m=4 r=1 c=1 l=500, ~100 change points",
+    );
     let events = dataset1();
     let full = TimeRange::new(0, events.last().unwrap().time + 1);
     header(&["ps", "change_points", "wall_s", "modeled_s", "kbytes"]);
@@ -90,7 +104,11 @@ pub fn fig14c() {
 /// Fig. 16: node-version retrieval on the Friendster analog (m=6,
 /// c ∈ {1, 2}).
 pub fn fig16() {
-    banner("Figure 16", "node version retrieval, Friendster-like dataset 4", "m=6 r=1 ps=500");
+    banner(
+        "Figure 16",
+        "node version retrieval, Friendster-like dataset 4",
+        "m=6 r=1 ps=500",
+    );
     let events = dataset4();
     let full = TimeRange::new(0, events.last().unwrap().time + 1);
     let tgi = build_tgi(paper_default_cfg(), StoreConfig::new(6, 1), &events);

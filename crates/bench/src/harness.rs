@@ -56,11 +56,17 @@ pub fn sample_nodes(events: &[Event], n: usize, min_changes: usize) -> Vec<u64> 
             *counts.entry(b).or_insert(0) += 1;
         }
     }
-    let mut ids: Vec<(u64, usize)> =
-        counts.into_iter().filter(|&(_, c)| c >= min_changes).collect();
+    let mut ids: Vec<(u64, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_changes)
+        .collect();
     ids.sort_unstable();
     let step = (ids.len() / n.max(1)).max(1);
-    ids.into_iter().step_by(step).take(n).map(|(id, _)| id).collect()
+    ids.into_iter()
+        .step_by(step)
+        .take(n)
+        .map(|(id, _)| id)
+        .collect()
 }
 
 /// The default TGI configuration used by the retrieval figures

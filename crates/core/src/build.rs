@@ -147,18 +147,20 @@ impl Tgi {
         // Prefix the batch with the live adjacency as AddEdge events at
         // an irrelevant time, normalize, then drop the prefix.
         let state = &self.tail_state;
-        let mut seeded: Vec<Event> =
-            Vec::with_capacity(state.cardinality() + events.len());
+        let mut seeded: Vec<Event> = Vec::with_capacity(state.cardinality() + events.len());
         let mut prefix = 0usize;
         for n in state.iter() {
             for e in &n.edges {
                 if n.id <= e.nbr {
-                    seeded.push(Event::new(0, hgs_delta::EventKind::AddEdge {
-                        src: n.id,
-                        dst: e.nbr,
-                        weight: e.weight,
-                        directed: false,
-                    }));
+                    seeded.push(Event::new(
+                        0,
+                        hgs_delta::EventKind::AddEdge {
+                            src: n.id,
+                            dst: e.nbr,
+                            weight: e.weight,
+                            directed: false,
+                        },
+                    ));
                     prefix += 1;
                 }
             }
@@ -250,8 +252,9 @@ impl Tgi {
 
         // 3-5. Replay the span, emitting leaves / eventlists / aux /
         // chain entries.
-        let mut accs: Vec<TreeAccumulator> =
-            (0..ns).map(|_| TreeAccumulator::new(shape.clone())).collect();
+        let mut accs: Vec<TreeAccumulator> = (0..ns)
+            .map(|_| TreeAccumulator::new(shape.clone()))
+            .collect();
         let mut chains: FxHashMap<NodeId, Vec<ChainEntry>> = FxHashMap::default();
 
         for j in 0..q {
@@ -259,7 +262,9 @@ impl Tgi {
             let parts = partition_state(&self.tail_state, ns);
             let replicate = matches!(
                 cfg.strategy,
-                PartitionStrategy::Locality { replicate_boundary: true }
+                PartitionStrategy::Locality {
+                    replicate_boundary: true
+                }
             );
             for sid in 0..ns {
                 if replicate {
@@ -306,7 +311,8 @@ impl Tgi {
                     _ => Vec::new(),
                 };
                 chain.extend(entries);
-                self.store.put(Table::Versions, &key, token, encode_chain(&chain));
+                self.store
+                    .put(Table::Versions, &key, token, encode_chain(&chain));
             }
         }
 
@@ -324,7 +330,19 @@ impl Tgi {
             }
         }
 
-        let meta = TimespanMeta { tsid, range, checkpoints, shape, pid_counts, has_aux: matches!(cfg.strategy, PartitionStrategy::Locality { replicate_boundary: true }) };
+        let meta = TimespanMeta {
+            tsid,
+            range,
+            checkpoints,
+            shape,
+            pid_counts,
+            has_aux: matches!(
+                cfg.strategy,
+                PartitionStrategy::Locality {
+                    replicate_boundary: true
+                }
+            ),
+        };
         self.spans.push(SpanRuntime { meta, maps });
         self.persist_meta(self.spans.len() - 1);
     }
@@ -354,8 +372,7 @@ impl Tgi {
                 (0..ns)
                     .map(|sid| {
                         let sub = collapsed.induced(|id| sid_of(id, ns) == sid);
-                        let parts =
-                            sub.len().div_ceil(self.cfg.partition_size).max(1) as u32;
+                        let parts = sub.len().div_ceil(self.cfg.partition_size).max(1) as u32;
                         if parts == 1 {
                             RandomPartitioner.partition(&sub, 1)
                         } else {
@@ -401,9 +418,15 @@ impl Tgi {
             if self.cfg.version_chains {
                 let mut chain_push = |nid: NodeId, pid: u32| {
                     let chain = chains.entry(nid).or_default();
-                    if chain.last().map(|e| (e.tsid, e.chunk, e.pid)) != Some((tsid, chunk_idx, pid))
+                    if chain.last().map(|e| (e.tsid, e.chunk, e.pid))
+                        != Some((tsid, chunk_idx, pid))
                     {
-                        chain.push(ChainEntry { time: ev.time, tsid, chunk: chunk_idx, pid });
+                        chain.push(ChainEntry {
+                            time: ev.time,
+                            tsid,
+                            chunk: chunk_idx,
+                            pid,
+                        });
                     }
                 };
                 chain_push(a, ta.1);
@@ -475,7 +498,12 @@ impl Tgi {
         put_varint(&mut buf, self.end_time);
         put_varint(&mut buf, self.event_count as u64);
         self.store.put(Table::Graph, b"meta", 0, buf.freeze());
-        self.store.put(Table::Graph, b"config", 0, crate::persist::encode_config(&self.cfg));
+        self.store.put(
+            Table::Graph,
+            b"config",
+            0,
+            crate::persist::encode_config(&self.cfg),
+        );
     }
 }
 
@@ -517,11 +545,19 @@ fn partition_state(state: &Delta, ns: u32) -> Vec<Delta> {
 fn store_micro(store: &SimStore, tsid: u32, sid: u32, did: u64, delta: &Delta, map: &PartitionMap) {
     let mut buckets: FxHashMap<u32, Delta> = FxHashMap::default();
     for n in delta.iter() {
-        buckets.entry(map.assign(n.id)).or_default().insert(n.clone());
+        buckets
+            .entry(map.assign(n.id))
+            .or_default()
+            .insert(n.clone());
     }
     for (pid, d) in buckets {
         let key = DeltaKey::new(tsid, sid, did, pid);
-        store.put(Table::Deltas, &key.encode(), key.placement().token(), encode_delta(&d));
+        store.put(
+            Table::Deltas,
+            &key.encode(),
+            key.placement().token(),
+            encode_delta(&d),
+        );
     }
 }
 
@@ -541,8 +577,7 @@ pub(crate) fn mp_key(tsid: u32, sid: u32) -> [u8; 8] {
 /// Serialize the explicit entries of a locality partition map for the
 /// `Micropartitions` table (the paper's node -> micro-partition map).
 fn encode_partition_map(map: &PartitionMap, state: &Delta, ns: u32, sid: u32) -> bytes::Bytes {
-    let mut ids: Vec<NodeId> =
-        state.ids().filter(|&id| sid_of(id, ns) == sid).collect();
+    let mut ids: Vec<NodeId> = state.ids().filter(|&id| sid_of(id, ns) == sid).collect();
     ids.sort_unstable();
     let mut buf = BytesMut::with_capacity(ids.len() * 3 + 8);
     put_varint(&mut buf, map.parts() as u64);
@@ -574,7 +609,11 @@ struct TreeAccumulator {
 impl TreeAccumulator {
     fn new(shape: TreeShape) -> TreeAccumulator {
         let levels = shape.level_sizes.len();
-        TreeAccumulator { shape, pending: vec![Vec::new(); levels], next_leaf: 0 }
+        TreeAccumulator {
+            shape,
+            pending: vec![Vec::new(); levels],
+            next_leaf: 0,
+        }
     }
 
     /// Push the next leaf; `emit(level, idx, delta)` is called for

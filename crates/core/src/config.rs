@@ -61,11 +61,17 @@ impl Default for TgiConfig {
 impl TgiConfig {
     /// Validate parameter sanity; called by the builder.
     pub fn validate(&self) {
-        assert!(self.events_per_timespan > 0, "events_per_timespan must be positive");
+        assert!(
+            self.events_per_timespan > 0,
+            "events_per_timespan must be positive"
+        );
         assert!(self.eventlist_size > 0, "eventlist_size must be positive");
         assert!(self.arity >= 2, "tree arity must be >= 2");
         assert!(self.partition_size > 0, "partition_size must be positive");
-        assert!(self.horizontal_partitions >= 1, "need at least one horizontal partition");
+        assert!(
+            self.horizontal_partitions >= 1,
+            "need at least one horizontal partition"
+        );
         assert!(
             self.eventlist_size <= self.events_per_timespan,
             "eventlist must fit within a timespan"
@@ -145,7 +151,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_zero_eventlist() {
-        TgiConfig { eventlist_size: 0, ..TgiConfig::default() }.validate();
+        TgiConfig {
+            eventlist_size: 0,
+            ..TgiConfig::default()
+        }
+        .validate();
     }
 
     #[test]
@@ -166,11 +176,18 @@ mod tests {
             .with_partition_size(50)
             .with_horizontal(2)
             .with_timespan(1000)
-            .with_strategy(PartitionStrategy::Locality { replicate_boundary: true });
+            .with_strategy(PartitionStrategy::Locality {
+                replicate_boundary: true,
+            });
         assert_eq!(c.eventlist_size, 100);
         assert_eq!(c.partition_size, 50);
         assert_eq!(c.horizontal_partitions, 2);
         assert_eq!(c.events_per_timespan, 1000);
-        assert!(matches!(c.strategy, PartitionStrategy::Locality { replicate_boundary: true }));
+        assert!(matches!(
+            c.strategy,
+            PartitionStrategy::Locality {
+                replicate_boundary: true
+            }
+        ));
     }
 }

@@ -122,18 +122,14 @@ pub fn access_cost(index: IndexKind, query: QueryKind, w: &CostProfile) -> (f64,
         (NodeCentric, OneHop) | (NodeCentric, OneHopVersions) => (w.r * w.c, w.r),
 
         // DeltaGraph: root-to-leaf path of monolithic deltas.
-        (DeltaGraph, Snapshot) | (DeltaGraph, StaticVertex) => {
-            (w.h * w.s + w.e, 2.0 * w.h)
-        }
+        (DeltaGraph, Snapshot) | (DeltaGraph, StaticVertex) => (w.h * w.s + w.e, 2.0 * w.h),
         (DeltaGraph, VertexVersions) | (DeltaGraph, OneHopVersions) => (w.g, w.g / w.e),
         (DeltaGraph, OneHop) => (w.h * (w.s + w.e), 2.0 * w.h),
 
         // TGI: the path again, but only the relevant micro-partitions.
         (Tgi, Snapshot) => (w.h * w.s + w.e, 2.0 * w.h),
         (Tgi, StaticVertex) => ((w.h * w.s + w.e) / w.p, 2.0 * w.h),
-        (Tgi, VertexVersions) | (Tgi, OneHopVersions) => {
-            (w.v * (1.0 + w.s / w.p), w.v + 1.0)
-        }
+        (Tgi, VertexVersions) | (Tgi, OneHopVersions) => (w.v * (1.0 + w.s / w.p), w.v + 1.0),
         (Tgi, OneHop) => (w.h * (w.s + w.e) / w.p, 2.0 * w.h),
     }
 }
@@ -172,14 +168,21 @@ mod tests {
         let w = profile();
         let (tgi_sz, _) = access_cost(IndexKind::Tgi, QueryKind::StaticVertex, &w);
         let (dg_sz, _) = access_cost(IndexKind::DeltaGraph, QueryKind::StaticVertex, &w);
-        assert!(tgi_sz < dg_sz / 10.0, "micro-partitioning wins: {tgi_sz} vs {dg_sz}");
+        assert!(
+            tgi_sz < dg_sz / 10.0,
+            "micro-partitioning wins: {tgi_sz} vs {dg_sz}"
+        );
     }
 
     #[test]
     fn tgi_versions_beat_time_centric_indexes() {
         let w = profile();
         let (tgi, _) = access_cost(IndexKind::Tgi, QueryKind::VertexVersions, &w);
-        for idx in [IndexKind::Log, IndexKind::CopyPlusLog, IndexKind::DeltaGraph] {
+        for idx in [
+            IndexKind::Log,
+            IndexKind::CopyPlusLog,
+            IndexKind::DeltaGraph,
+        ] {
             let (other, _) = access_cost(idx, QueryKind::VertexVersions, &w);
             assert!(tgi < other, "{:?}: {tgi} vs {other}", idx);
         }
@@ -197,7 +200,12 @@ mod tests {
     fn copy_has_largest_storage() {
         let w = profile();
         let copy = storage_size(IndexKind::Copy, &w);
-        for idx in [IndexKind::Log, IndexKind::NodeCentric, IndexKind::DeltaGraph, IndexKind::Tgi] {
+        for idx in [
+            IndexKind::Log,
+            IndexKind::NodeCentric,
+            IndexKind::DeltaGraph,
+            IndexKind::Tgi,
+        ] {
             assert!(copy > storage_size(idx, &w), "{idx:?}");
         }
     }
@@ -206,7 +214,13 @@ mod tests {
     fn log_is_smallest_storage() {
         let w = profile();
         let log = storage_size(IndexKind::Log, &w);
-        for idx in [IndexKind::Copy, IndexKind::CopyPlusLog, IndexKind::NodeCentric, IndexKind::DeltaGraph, IndexKind::Tgi] {
+        for idx in [
+            IndexKind::Copy,
+            IndexKind::CopyPlusLog,
+            IndexKind::NodeCentric,
+            IndexKind::DeltaGraph,
+            IndexKind::Tgi,
+        ] {
             assert!(log <= storage_size(idx, &w), "{idx:?}");
         }
     }

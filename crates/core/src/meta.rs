@@ -48,7 +48,12 @@ impl TreeShape {
             level_offsets[lvl] = next;
             next += level_sizes[lvl] as u64;
         }
-        TreeShape { leaves, arity, level_sizes, level_offsets }
+        TreeShape {
+            leaves,
+            arity,
+            level_sizes,
+            level_offsets,
+        }
     }
 
     /// Height of the tree (root level index); 0 when a single leaf is
@@ -116,7 +121,9 @@ impl TimespanMeta {
     /// `c_j <= t`).
     pub fn leaf_for_time(&self, t: Time) -> usize {
         debug_assert!(t >= self.range.start);
-        self.checkpoints.partition_point(|&c| c <= t).saturating_sub(1)
+        self.checkpoints
+            .partition_point(|&c| c <= t)
+            .saturating_sub(1)
     }
 
     /// Serialize for the `Timespans` table.
@@ -164,7 +171,12 @@ impl TimespanMeta {
                 *b = rest;
                 x != 0
             }
-            None => return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 }),
+            None => {
+                return Err(CodecError::UnexpectedEof {
+                    needed: 1,
+                    remaining: 0,
+                })
+            }
         };
         Ok(TimespanMeta {
             tsid,
@@ -312,9 +324,24 @@ mod tests {
     #[test]
     fn chain_roundtrip() {
         let entries = vec![
-            ChainEntry { time: 5, tsid: 0, chunk: 1, pid: 3 },
-            ChainEntry { time: 17, tsid: 0, chunk: 2, pid: 3 },
-            ChainEntry { time: 94, tsid: 1, chunk: 0, pid: 9 },
+            ChainEntry {
+                time: 5,
+                tsid: 0,
+                chunk: 1,
+                pid: 3,
+            },
+            ChainEntry {
+                time: 17,
+                tsid: 0,
+                chunk: 2,
+                pid: 3,
+            },
+            ChainEntry {
+                time: 94,
+                tsid: 1,
+                chunk: 0,
+                pid: 9,
+            },
         ];
         assert_eq!(decode_chain(&encode_chain(&entries)).unwrap(), entries);
         assert!(decode_chain(&encode_chain(&[])).unwrap().is_empty());

@@ -53,8 +53,12 @@ pub(crate) fn encode_config(cfg: &TgiConfig) -> bytes::Bytes {
     put_varint(&mut buf, cfg.horizontal_partitions as u64);
     let strat = match cfg.strategy {
         PartitionStrategy::Random => 0u64,
-        PartitionStrategy::Locality { replicate_boundary: false } => 1,
-        PartitionStrategy::Locality { replicate_boundary: true } => 2,
+        PartitionStrategy::Locality {
+            replicate_boundary: false,
+        } => 1,
+        PartitionStrategy::Locality {
+            replicate_boundary: true,
+        } => 2,
     };
     put_varint(&mut buf, strat);
     put_varint(&mut buf, cfg.version_chains as u64);
@@ -83,22 +87,41 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
     let horizontal_partitions = get_varint(b)? as u32;
     let strategy = match get_varint(b)? {
         0 => PartitionStrategy::Random,
-        1 => PartitionStrategy::Locality { replicate_boundary: false },
-        2 => PartitionStrategy::Locality { replicate_boundary: true },
-        t => return Err(CodecError::BadTag { what: "PartitionStrategy", tag: t as u8 }),
+        1 => PartitionStrategy::Locality {
+            replicate_boundary: false,
+        },
+        2 => PartitionStrategy::Locality {
+            replicate_boundary: true,
+        },
+        t => {
+            return Err(CodecError::BadTag {
+                what: "PartitionStrategy",
+                tag: t as u8,
+            })
+        }
     };
     let version_chains = get_varint(b)? != 0;
     let omega = match get_varint(b)? {
         0 => Omega::Median,
         1 => Omega::UnionMax,
         2 => Omega::UnionMean,
-        t => return Err(CodecError::BadTag { what: "Omega", tag: t as u8 }),
+        t => {
+            return Err(CodecError::BadTag {
+                what: "Omega",
+                tag: t as u8,
+            })
+        }
     };
     let weighting = match get_varint(b)? {
         0 => NodeWeighting::Uniform,
         1 => NodeWeighting::Degree,
         2 => NodeWeighting::AvgDegree,
-        t => return Err(CodecError::BadTag { what: "NodeWeighting", tag: t as u8 }),
+        t => {
+            return Err(CodecError::BadTag {
+                what: "NodeWeighting",
+                tag: t as u8,
+            })
+        }
     };
     Ok(TgiConfig {
         events_per_timespan,
@@ -154,7 +177,11 @@ impl Tgi {
         let mut spans = Vec::with_capacity(span_count);
         for tsid in 0..span_count as u32 {
             let row = store
-                .get(Table::Timespans, &tsid.to_be_bytes(), hgs_delta::hash::hash_u64(tsid as u64))
+                .get(
+                    Table::Timespans,
+                    &tsid.to_be_bytes(),
+                    hgs_delta::hash::hash_u64(tsid as u64),
+                )
                 .map_err(OpenError::Store)?
                 .ok_or(OpenError::NotFound)?;
             let meta = TimespanMeta::decode(&row).map_err(OpenError::Corrupt)?;
@@ -208,8 +235,9 @@ mod tests {
         for cfg in [
             TgiConfig::default(),
             TgiConfig::deltagraph(),
-            TgiConfig::default()
-                .with_strategy(PartitionStrategy::Locality { replicate_boundary: true }),
+            TgiConfig::default().with_strategy(PartitionStrategy::Locality {
+                replicate_boundary: true,
+            }),
         ] {
             let back = decode_config(&encode_config(&cfg)).unwrap();
             assert_eq!(format!("{cfg:?}"), format!("{back:?}"));

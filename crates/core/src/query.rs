@@ -100,7 +100,9 @@ impl NeighborhoodHistory {
     /// its *current* neighbors at `t`, with their states.
     pub fn subgraph_at(&self, t: Time) -> Delta {
         let mut out = Delta::new();
-        let Some(center) = self.center.state_at(t) else { return out };
+        let Some(center) = self.center.state_at(t) else {
+            return out;
+        };
         let current: FxHashSet<NodeId> = center.all_neighbors().collect();
         for h in &self.neighbors {
             if current.contains(&h.id) {
@@ -160,28 +162,32 @@ impl Tgi {
             for &did in &path {
                 jobs.push(Job { sid, did });
             }
-            jobs.push(Job { sid, did: ELIST_BASE + j as u64 });
+            jobs.push(Job {
+                sid,
+                did: ELIST_BASE + j as u64,
+            });
         }
 
+        // (sid, did, micro-partition pieces keyed by pid).
+        type FetchedDelta = (u32, u64, Vec<(u32, bytes::Bytes)>);
         let store = &self.store;
-        let fetched: Vec<(u32, u64, Vec<(u32, bytes::Bytes)>)> =
-            parallel_chunks(jobs, c, |chunk| {
-                chunk
-                    .into_iter()
-                    .map(|job| {
-                        let prefix = DeltaKey::delta_prefix(tsid, job.sid, job.did);
-                        let token = PlacementKey::new(tsid, job.sid).token();
-                        let rows = store
-                            .scan_prefix(Table::Deltas, &prefix, token)
-                            .unwrap_or_default();
-                        let pieces = rows
-                            .into_iter()
-                            .filter_map(|(k, v)| DeltaKey::decode(&k).map(|dk| (dk.pid, v)))
-                            .collect();
-                        (job.sid, job.did, pieces)
-                    })
-                    .collect()
-            });
+        let fetched: Vec<FetchedDelta> = parallel_chunks(jobs, c, |chunk| {
+            chunk
+                .into_iter()
+                .map(|job| {
+                    let prefix = DeltaKey::delta_prefix(tsid, job.sid, job.did);
+                    let token = PlacementKey::new(tsid, job.sid).token();
+                    let rows = store
+                        .scan_prefix(Table::Deltas, &prefix, token)
+                        .unwrap_or_default();
+                    let pieces = rows
+                        .into_iter()
+                        .filter_map(|(k, v)| DeltaKey::decode(&k).map(|dk| (dk.pid, v)))
+                        .collect();
+                    (job.sid, job.did, pieces)
+                })
+                .collect()
+        });
 
         // Merge: per sid, sum tree deltas in path order, then apply the
         // chunk-j events (scoped per micro-partition) up to t.
@@ -192,7 +198,9 @@ impl Tgi {
         }
         let mut out = Delta::new();
         for sid in 0..ns {
-            let Some(mut by_did) = per_sid.remove(&sid) else { continue };
+            let Some(mut by_did) = per_sid.remove(&sid) else {
+                continue;
+            };
             let mut state = Delta::new();
             for &did in &path {
                 if let Some(pieces) = by_did.remove(&did) {
@@ -290,7 +298,10 @@ impl Tgi {
     /// The version chain of a node (empty when chains are disabled or
     /// the node never appeared).
     pub fn version_chain(&self, nid: NodeId) -> Vec<ChainEntry> {
-        match self.store.get(Table::Versions, &node_key(nid), node_placement_token(nid)) {
+        match self
+            .store
+            .get(Table::Versions, &node_key(nid), node_placement_token(nid))
+        {
             Ok(Some(bytes)) => decode_chain(&bytes).expect("stored chain decodes"),
             _ => Vec::new(),
         }
@@ -341,7 +352,12 @@ impl Tgi {
         });
         let mut events: Vec<Event> = lists.into_iter().flatten().collect();
         events.sort_by_key(|e| e.time);
-        NodeHistory { id: nid, range, initial, events }
+        NodeHistory {
+            id: nid,
+            range,
+            initial,
+            events,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -394,9 +410,9 @@ impl Tgi {
 
         let mut result: Delta = Delta::new();
         let resolve = |nid: NodeId,
-                           part_states: &mut FxHashMap<(u32, u32), Delta>,
-                           fetched_parts: &mut FxHashSet<(u32, u32)>,
-                           elist_cache: &mut FxHashMap<(u32, u32), Option<Eventlist>>|
+                       part_states: &mut FxHashMap<(u32, u32), Delta>,
+                       fetched_parts: &mut FxHashSet<(u32, u32)>,
+                       elist_cache: &mut FxHashMap<(u32, u32), Option<Eventlist>>|
          -> Option<StaticNode> {
             let sid = sid_of(nid, ns);
             let pid = span.maps[sid as usize].assign(nid);
@@ -478,9 +494,16 @@ impl Tgi {
         let mut list: Vec<NodeId> = nbrs.into_iter().collect();
         list.sort_unstable();
         let neighbors = parallel_chunks(list, self.clients, |chunk| {
-            chunk.into_iter().map(|m| self.node_history(m, range)).collect()
+            chunk
+                .into_iter()
+                .map(|m| self.node_history(m, range))
+                .collect()
         });
-        NeighborhoodHistory { center, neighbors, range }
+        NeighborhoodHistory {
+            center,
+            neighbors,
+            range,
+        }
     }
 }
 
@@ -511,12 +534,15 @@ impl Tgi {
         let initial = self.sid_state_at(sid, range.start);
         let mut histories: FxHashMap<NodeId, NodeHistory> = FxHashMap::default();
         for n in initial.iter() {
-            histories.insert(n.id, NodeHistory {
-                id: n.id,
-                range,
-                initial: Some(n.clone()),
-                events: Vec::new(),
-            });
+            histories.insert(
+                n.id,
+                NodeHistory {
+                    id: n.id,
+                    range,
+                    initial: Some(n.clone()),
+                    events: Vec::new(),
+                },
+            );
         }
         // Walk every eventlist chunk overlapping (range.start, range.end).
         for span in &self.spans {
@@ -528,8 +554,11 @@ impl Tgi {
             let chunks = meta.checkpoints.len();
             for chunk in 0..chunks {
                 let c_start = meta.checkpoints[chunk];
-                let c_end =
-                    meta.checkpoints.get(chunk + 1).copied().unwrap_or(meta.range.end);
+                let c_end = meta
+                    .checkpoints
+                    .get(chunk + 1)
+                    .copied()
+                    .unwrap_or(meta.range.end);
                 if c_end <= range.start || c_start >= range.end {
                     continue;
                 }
@@ -540,7 +569,9 @@ impl Tgi {
                     .scan_prefix(Table::Deltas, &prefix, token)
                     .unwrap_or_default();
                 for (k, v) in rows {
-                    let Some(dk) = DeltaKey::decode(&k) else { continue };
+                    let Some(dk) = DeltaKey::decode(&k) else {
+                        continue;
+                    };
                     let el = decode_eventlist(&v).expect("stored eventlist decodes");
                     for e in el.events() {
                         if e.time <= range.start || e.time >= range.end {
@@ -590,16 +621,24 @@ impl Tgi {
         let mut state = Delta::new();
         for did in meta.shape.path_to_leaf(j) {
             let prefix = DeltaKey::delta_prefix(tsid, sid, did);
-            let rows = self.store.scan_prefix(Table::Deltas, &prefix, token).unwrap_or_default();
+            let rows = self
+                .store
+                .scan_prefix(Table::Deltas, &prefix, token)
+                .unwrap_or_default();
             for (_, v) in rows {
                 state.sum_assign_owned(decode_delta(&v).expect("stored delta decodes"));
             }
         }
         let prefix = DeltaKey::delta_prefix(tsid, sid, ELIST_BASE + j as u64);
-        let rows = self.store.scan_prefix(Table::Deltas, &prefix, token).unwrap_or_default();
+        let rows = self
+            .store
+            .scan_prefix(Table::Deltas, &prefix, token)
+            .unwrap_or_default();
         let map = &span.maps[sid as usize];
         for (k, v) in rows {
-            let Some(dk) = DeltaKey::decode(&k) else { continue };
+            let Some(dk) = DeltaKey::decode(&k) else {
+                continue;
+            };
             let el = decode_eventlist(&v).expect("stored eventlist decodes");
             for e in el.events().iter().take_while(|e| e.time <= t) {
                 apply_event_scoped(&mut state, &e.kind, |id| {

@@ -43,7 +43,12 @@ pub fn apply_event_scoped<F: Fn(NodeId) -> bool>(state: &mut Delta, kind: &Event
                 }
             }
         }
-        EventKind::AddEdge { src, dst, weight, directed } => {
+        EventKind::AddEdge {
+            src,
+            dst,
+            weight,
+            directed,
+        } => {
             let (d_src, d_dst) = if *directed {
                 (EdgeDir::Out, EdgeDir::In)
             } else {
@@ -91,7 +96,12 @@ pub fn apply_event_scoped<F: Fn(NodeId) -> bool>(state: &mut Delta, kind: &Event
                 }
             }
         }
-        EventKind::SetEdgeAttr { src, dst, key, value } => {
+        EventKind::SetEdgeAttr {
+            src,
+            dst,
+            key,
+            value,
+        } => {
             for (a, b) in endpoint_pairs(*src, *dst) {
                 if in_scope(a) {
                     if let Some(n) = state.node_mut(a) {
@@ -139,7 +149,9 @@ mod tests {
         for e in events {
             global.apply_event(&e.kind);
             for p in 0..parts {
-                apply_event_scoped(&mut scoped[p as usize], &e.kind, |id| id % parts as u64 == p as u64);
+                apply_event_scoped(&mut scoped[p as usize], &e.kind, |id| {
+                    id % parts as u64 == p as u64
+                });
             }
         }
         let mut union = Delta::new();
@@ -153,16 +165,75 @@ mod tests {
     fn union_invariant_on_mixed_history() {
         let mk = |t, kind| Event::new(t, kind);
         let events = vec![
-            mk(1, EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false }),
-            mk(2, EventKind::AddEdge { src: 2, dst: 3, weight: 1.0, directed: true }),
-            mk(3, EventKind::SetNodeAttr { id: 1, key: "a".into(), value: 5i64.into() }),
-            mk(4, EventKind::SetEdgeAttr { src: 1, dst: 2, key: "k".into(), value: true.into() }),
-            mk(5, EventKind::SetEdgeWeight { src: 1, dst: 2, weight: 9.0 }),
+            mk(
+                1,
+                EventKind::AddEdge {
+                    src: 1,
+                    dst: 2,
+                    weight: 1.0,
+                    directed: false,
+                },
+            ),
+            mk(
+                2,
+                EventKind::AddEdge {
+                    src: 2,
+                    dst: 3,
+                    weight: 1.0,
+                    directed: true,
+                },
+            ),
+            mk(
+                3,
+                EventKind::SetNodeAttr {
+                    id: 1,
+                    key: "a".into(),
+                    value: 5i64.into(),
+                },
+            ),
+            mk(
+                4,
+                EventKind::SetEdgeAttr {
+                    src: 1,
+                    dst: 2,
+                    key: "k".into(),
+                    value: true.into(),
+                },
+            ),
+            mk(
+                5,
+                EventKind::SetEdgeWeight {
+                    src: 1,
+                    dst: 2,
+                    weight: 9.0,
+                },
+            ),
             mk(6, EventKind::RemoveEdge { src: 2, dst: 3 }),
             mk(7, EventKind::RemoveNode { id: 2 }),
-            mk(8, EventKind::AddEdge { src: 3, dst: 4, weight: 1.0, directed: false }),
-            mk(9, EventKind::RemoveNodeAttr { id: 1, key: "a".into() }),
-            mk(10, EventKind::RemoveEdgeAttr { src: 3, dst: 4, key: "none".into() }),
+            mk(
+                8,
+                EventKind::AddEdge {
+                    src: 3,
+                    dst: 4,
+                    weight: 1.0,
+                    directed: false,
+                },
+            ),
+            mk(
+                9,
+                EventKind::RemoveNodeAttr {
+                    id: 1,
+                    key: "a".into(),
+                },
+            ),
+            mk(
+                10,
+                EventKind::RemoveEdgeAttr {
+                    src: 3,
+                    dst: 4,
+                    key: "none".into(),
+                },
+            ),
         ];
         scoped_union_equals_global(&events, 2);
         scoped_union_equals_global(&events, 3);
@@ -174,7 +245,12 @@ mod tests {
         let mut even = Delta::new();
         apply_event_scoped(
             &mut even,
-            &EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false },
+            &EventKind::AddEdge {
+                src: 1,
+                dst: 2,
+                weight: 1.0,
+                directed: false,
+            },
             |id| id % 2 == 0,
         );
         assert!(!even.contains(1), "out-of-scope endpoint not created");
@@ -186,10 +262,17 @@ mod tests {
         let mut even = Delta::new();
         apply_event_scoped(
             &mut even,
-            &EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false },
+            &EventKind::AddEdge {
+                src: 1,
+                dst: 2,
+                weight: 1.0,
+                directed: false,
+            },
             |id| id % 2 == 0,
         );
-        apply_event_scoped(&mut even, &EventKind::RemoveNode { id: 1 }, |id| id % 2 == 0);
+        apply_event_scoped(&mut even, &EventKind::RemoveNode { id: 1 }, |id| {
+            id % 2 == 0
+        });
         assert_eq!(even.node(2).unwrap().degree(), 0);
     }
 }

@@ -20,7 +20,12 @@ fn cfg() -> TgiConfig {
 fn snapshots_at_every_event_timestamp() {
     // Exhaustive: every distinct timestamp in a small trace, plus the
     // instants just before and after each.
-    let events = WikiGrowth { events: 600, seed: 3, ..WikiGrowth::default() }.generate();
+    let events = WikiGrowth {
+        events: 600,
+        seed: 3,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
     let mut times: Vec<Time> = events.iter().map(|e| e.time).collect();
     times.dedup();
@@ -37,7 +42,12 @@ fn snapshots_at_every_event_timestamp() {
 
 #[test]
 fn queries_beyond_history_return_final_state() {
-    let events = WikiGrowth { events: 400, seed: 5, ..WikiGrowth::default() }.generate();
+    let events = WikiGrowth {
+        events: 400,
+        seed: 5,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let end = events.last().unwrap().time;
     let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
     let final_state = Delta::snapshot_by_replay(&events, u64::MAX);
@@ -49,7 +59,12 @@ fn queries_beyond_history_return_final_state() {
 #[test]
 fn queries_before_history_start() {
     // Shift the trace to start at t=1000; earlier queries see nothing.
-    let mut events = WikiGrowth { events: 300, seed: 7, ..WikiGrowth::default() }.generate();
+    let mut events = WikiGrowth {
+        events: 300,
+        seed: 7,
+        ..WikiGrowth::default()
+    }
+    .generate();
     for e in &mut events {
         e.time += 1000;
     }
@@ -65,12 +80,17 @@ fn queries_before_history_start() {
 fn single_timestamp_burst_history() {
     // Every event at the same instant: one chunk, one checkpoint.
     let events: Vec<Event> = (0..200u64)
-        .map(|i| Event::new(42, EventKind::AddEdge {
-            src: i % 20,
-            dst: (i + 1) % 20,
-            weight: 1.0,
-            directed: false,
-        }))
+        .map(|i| {
+            Event::new(
+                42,
+                EventKind::AddEdge {
+                    src: i % 20,
+                    dst: (i + 1) % 20,
+                    weight: 1.0,
+                    directed: false,
+                },
+            )
+        })
         .collect();
     let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
     assert!(tgi.snapshot(41).is_empty());
@@ -80,7 +100,12 @@ fn single_timestamp_burst_history() {
 
 #[test]
 fn node_history_over_degenerate_ranges() {
-    let events = WikiGrowth { events: 400, seed: 11, ..WikiGrowth::default() }.generate();
+    let events = WikiGrowth {
+        events: 400,
+        seed: 11,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let end = events.last().unwrap().time;
     let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
     // Empty range: initial state only, no events.
@@ -101,11 +126,19 @@ fn node_history_over_degenerate_ranges() {
 
 #[test]
 fn khop_of_missing_and_isolated_nodes() {
-    let mut events = WikiGrowth { events: 300, seed: 13, ..WikiGrowth::default() }.generate();
+    let mut events = WikiGrowth {
+        events: 300,
+        seed: 13,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let t_end = events.last().unwrap().time;
     events.push(Event::new(t_end + 1, EventKind::AddNode { id: 999_999 }));
     let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
-    for strategy in [hgs_core::KhopStrategy::ViaSnapshot, hgs_core::KhopStrategy::Recursive] {
+    for strategy in [
+        hgs_core::KhopStrategy::ViaSnapshot,
+        hgs_core::KhopStrategy::Recursive,
+    ] {
         let missing = tgi.khop(123_456_789, t_end, 2, strategy);
         assert!(missing.is_empty(), "missing node via {strategy:?}");
         let isolated = tgi.khop(999_999, t_end + 1, 2, strategy);

@@ -20,7 +20,12 @@ fn cfg() -> TgiConfig {
 
 #[test]
 fn reopened_index_answers_identically() {
-    let base = WikiGrowth { events: 2_500, seed: 13, ..WikiGrowth::default() }.generate();
+    let base = WikiGrowth {
+        events: 2_500,
+        seed: 13,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let events = augment_with_churn(&base, 1_000, 0.4, 5);
     let end = events.last().unwrap().time;
 
@@ -46,10 +51,17 @@ fn reopened_index_answers_identically() {
 
 #[test]
 fn reopened_index_with_locality_maps() {
-    let events = WikiGrowth { events: 2_000, seed: 17, ..WikiGrowth::default() }.generate();
+    let events = WikiGrowth {
+        events: 2_000,
+        seed: 17,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let end = events.last().unwrap().time;
     let store = Arc::new(SimStore::new(StoreConfig::new(2, 1)));
-    let cfg = cfg().with_strategy(PartitionStrategy::Locality { replicate_boundary: true });
+    let cfg = cfg().with_strategy(PartitionStrategy::Locality {
+        replicate_boundary: true,
+    });
     let built = Tgi::build_on(cfg, store.clone(), &events);
     let reopened = Tgi::open(store).expect("open persisted index");
     for t in [end / 2, end] {
@@ -57,13 +69,22 @@ fn reopened_index_with_locality_maps() {
     }
     // Micro-partition-level fetches depend on the reloaded maps.
     for id in [1u64, 9, 31] {
-        assert_eq!(reopened.node_at(id, end), built.node_at(id, end), "node {id}");
+        assert_eq!(
+            reopened.node_at(id, end),
+            built.node_at(id, end),
+            "node {id}"
+        );
     }
 }
 
 #[test]
 fn reopened_index_accepts_appends() {
-    let events = WikiGrowth { events: 3_000, seed: 29, ..WikiGrowth::default() }.generate();
+    let events = WikiGrowth {
+        events: 3_000,
+        seed: 29,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let cut = events.len() / 2;
     let mut cut_at = cut;
     while cut_at < events.len() && events[cut_at].time == events[cut_at - 1].time {

@@ -40,12 +40,12 @@ fn arb_history() -> impl Strategy<Value = Vec<Event>> {
 
 fn arb_config() -> impl Strategy<Value = TgiConfig> {
     (
-        20usize..120,  // events_per_timespan
-        5usize..40,    // eventlist_size
-        2usize..4,     // arity
-        5usize..50,    // partition_size
-        1u32..4,       // horizontal partitions
-        0usize..3,     // strategy selector
+        20usize..120, // events_per_timespan
+        5usize..40,   // eventlist_size
+        2usize..4,    // arity
+        5usize..50,   // partition_size
+        1u32..4,      // horizontal partitions
+        0usize..3,    // strategy selector
     )
         .prop_map(|(ts, l, arity, ps, ns, strat)| TgiConfig {
             events_per_timespan: ts.max(l),
@@ -55,8 +55,12 @@ fn arb_config() -> impl Strategy<Value = TgiConfig> {
             horizontal_partitions: ns,
             strategy: match strat {
                 0 => PartitionStrategy::Random,
-                1 => PartitionStrategy::Locality { replicate_boundary: false },
-                _ => PartitionStrategy::Locality { replicate_boundary: true },
+                1 => PartitionStrategy::Locality {
+                    replicate_boundary: false,
+                },
+                _ => PartitionStrategy::Locality {
+                    replicate_boundary: true,
+                },
             },
             ..TgiConfig::default()
         })

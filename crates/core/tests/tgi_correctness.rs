@@ -21,7 +21,12 @@ fn small_cfg() -> TgiConfig {
 }
 
 fn trace() -> Vec<Event> {
-    let base = WikiGrowth { events: 3_000, seed: 7, ..WikiGrowth::default() }.generate();
+    let base = WikiGrowth {
+        events: 3_000,
+        seed: 7,
+        ..WikiGrowth::default()
+    }
+    .generate();
     augment_with_churn(&base, 1_500, 0.4, 11)
 }
 
@@ -41,7 +46,16 @@ fn check_snapshots(tgi: &Tgi, events: &[Event], times: &[Time]) {
 
 fn sample_times(events: &[Event]) -> Vec<Time> {
     let end = events.last().unwrap().time;
-    vec![0, end / 7, end / 3, end / 2, end * 3 / 4, end - 1, end, end + 50]
+    vec![
+        0,
+        end / 7,
+        end / 3,
+        end / 2,
+        end * 3 / 4,
+        end - 1,
+        end,
+        end + 50,
+    ]
 }
 
 #[test]
@@ -55,8 +69,9 @@ fn snapshots_match_replay_random_partitioning() {
 #[test]
 fn snapshots_match_replay_locality_partitioning() {
     let events = trace();
-    let cfg = small_cfg()
-        .with_strategy(PartitionStrategy::Locality { replicate_boundary: false });
+    let cfg = small_cfg().with_strategy(PartitionStrategy::Locality {
+        replicate_boundary: false,
+    });
     let tgi = Tgi::build(cfg, StoreConfig::new(3, 1), &events);
     check_snapshots(&tgi, &events, &sample_times(&events));
 }
@@ -64,8 +79,9 @@ fn snapshots_match_replay_locality_partitioning() {
 #[test]
 fn snapshots_match_replay_with_replication_aux() {
     let events = trace();
-    let cfg = small_cfg()
-        .with_strategy(PartitionStrategy::Locality { replicate_boundary: true });
+    let cfg = small_cfg().with_strategy(PartitionStrategy::Locality {
+        replicate_boundary: true,
+    });
     let tgi = Tgi::build(cfg, StoreConfig::new(3, 1), &events);
     // Aux deltas must not pollute snapshots.
     check_snapshots(&tgi, &events, &sample_times(&events));
@@ -84,12 +100,18 @@ fn snapshots_match_for_various_parallel_fetch_factors() {
 
 #[test]
 fn snapshots_match_across_parameter_grid() {
-    let events: Vec<Event> =
-        WikiGrowth { events: 1_200, seed: 3, ..WikiGrowth::default() }.generate();
+    let events: Vec<Event> = WikiGrowth {
+        events: 1_200,
+        seed: 3,
+        ..WikiGrowth::default()
+    }
+    .generate();
     let end = events.last().unwrap().time;
-    for (l, ps, ns, arity) in
-        [(50usize, 30usize, 1u32, 2usize), (200, 1000, 2, 3), (400, 10, 4, 4)]
-    {
+    for (l, ps, ns, arity) in [
+        (50usize, 30usize, 1u32, 2usize),
+        (200, 1000, 2, 3),
+        (400, 10, 4, 4),
+    ] {
         let cfg = TgiConfig {
             events_per_timespan: 600,
             eventlist_size: l,
@@ -119,7 +141,11 @@ fn node_at_matches_replay() {
         // Check a deterministic sample of nodes, including absent ones.
         let ids: Vec<NodeId> = want.sorted_ids().into_iter().step_by(37).take(30).collect();
         for id in ids {
-            assert_eq!(tgi.node_at(id, t).as_ref(), want.node(id), "node {id} at t={t}");
+            assert_eq!(
+                tgi.node_at(id, t).as_ref(),
+                want.node(id),
+                "node {id} at t={t}"
+            );
         }
         assert_eq!(tgi.node_at(99_999_999, t), None);
     }
@@ -134,12 +160,21 @@ fn node_history_matches_brute_force() {
 
     // Pick nodes with real activity in the range.
     let state = Delta::snapshot_by_replay(&events, end);
-    let sample: Vec<NodeId> = state.sorted_ids().into_iter().step_by(53).take(20).collect();
+    let sample: Vec<NodeId> = state
+        .sorted_ids()
+        .into_iter()
+        .step_by(53)
+        .take(20)
+        .collect();
     for id in sample {
         let h = tgi.node_history(id, range);
         // Brute force: initial state + events touching id in range.
         let want_initial = Delta::snapshot_by_replay(&events, range.start);
-        assert_eq!(h.initial.as_ref(), want_initial.node(id), "initial for {id}");
+        assert_eq!(
+            h.initial.as_ref(),
+            want_initial.node(id),
+            "initial for {id}"
+        );
         let want_events: Vec<&Event> = events
             .iter()
             .filter(|e| {
@@ -165,14 +200,23 @@ fn node_history_matches_brute_force() {
 #[test]
 fn khop_strategies_agree_with_replay_bfs() {
     let events = trace();
-    for strategy in [PartitionStrategy::Random, PartitionStrategy::Locality { replicate_boundary: true }] {
+    for strategy in [
+        PartitionStrategy::Random,
+        PartitionStrategy::Locality {
+            replicate_boundary: true,
+        },
+    ] {
         let cfg = small_cfg().with_strategy(strategy);
         let tgi = Tgi::build(cfg, StoreConfig::new(3, 1), &events);
         let end = events.last().unwrap().time;
         let t = end / 2;
         let want_state = Delta::snapshot_by_replay(&events, t);
-        let centers: Vec<NodeId> =
-            want_state.sorted_ids().into_iter().step_by(101).take(8).collect();
+        let centers: Vec<NodeId> = want_state
+            .sorted_ids()
+            .into_iter()
+            .step_by(101)
+            .take(8)
+            .collect();
         for center in centers {
             for k in [0usize, 1, 2] {
                 let want_ids = bfs_ids(&want_state, center, k);
@@ -197,8 +241,13 @@ fn khop_strategies_agree_with_replay_bfs() {
 
 #[test]
 fn one_hop_history_matches_neighborhood_replay() {
-    let events = LabeledChurn { nodes: 150, edge_events: 1_200, label_flips: 400, seed: 5 }
-        .generate();
+    let events = LabeledChurn {
+        nodes: 150,
+        edge_events: 1_200,
+        label_flips: 400,
+        seed: 5,
+    }
+    .generate();
     let tgi = Tgi::build(
         TgiConfig {
             events_per_timespan: 800,
@@ -250,7 +299,11 @@ fn incremental_append_equals_bulk_build() {
 
     let end = events.last().unwrap().time;
     for t in [0, end / 3, (3 * end) / 5, end] {
-        assert_eq!(incr.snapshot(t), bulk.snapshot(t), "incremental vs bulk at t={t}");
+        assert_eq!(
+            incr.snapshot(t),
+            bulk.snapshot(t),
+            "incremental vs bulk at t={t}"
+        );
     }
     // Node histories spanning the append boundary must see both halves.
     let state = Delta::snapshot_by_replay(&events, end);
@@ -270,7 +323,10 @@ fn version_chains_are_complete_and_sorted() {
     for id in state.sorted_ids().into_iter().step_by(71).take(15) {
         let chain = tgi.version_chain(id);
         assert!(!chain.is_empty(), "node {id} must have a chain");
-        assert!(chain.windows(2).all(|w| w[0].time <= w[1].time), "sorted chain for {id}");
+        assert!(
+            chain.windows(2).all(|w| w[0].time <= w[1].time),
+            "sorted chain for {id}"
+        );
         // Every event touching the node must be covered by some chain
         // entry's chunk (same tsid+chunk appears once per run).
         let touch_times: Vec<Time> = events
@@ -293,7 +349,10 @@ fn empty_history_index_answers_empty() {
     assert!(tgi.snapshot(0).is_empty());
     assert!(tgi.snapshot(1_000_000).is_empty());
     assert_eq!(tgi.node_at(1, 5), None);
-    assert!(tgi.node_history(1, TimeRange::new(0, 100)).events.is_empty());
+    assert!(tgi
+        .node_history(1, TimeRange::new(0, 100))
+        .events
+        .is_empty());
 }
 
 #[test]

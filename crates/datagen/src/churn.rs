@@ -24,7 +24,10 @@ pub fn augment_with_churn(base: &[Event], extra: usize, delete_prob: f64, seed: 
     // Materialize the end state to know which nodes/edges exist.
     let state = Delta::snapshot_by_replay(base, u64::MAX);
     let nodes: Vec<NodeId> = state.sorted_ids();
-    assert!(nodes.len() >= 2, "base trace must contain at least two nodes");
+    assert!(
+        nodes.len() >= 2,
+        "base trace must contain at least two nodes"
+    );
     // Live edge set as (min, max) pairs for uniform deletion.
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     for n in state.iter() {
@@ -51,12 +54,15 @@ pub fn augment_with_churn(base: &[Event], extra: usize, delete_prob: f64, seed: 
                 continue;
             }
             let key = (a.min(b), a.max(b));
-            out.push(Event::new(t, EventKind::AddEdge {
-                src: a,
-                dst: b,
-                weight: 1.0,
-                directed: false,
-            }));
+            out.push(Event::new(
+                t,
+                EventKind::AddEdge {
+                    src: a,
+                    dst: b,
+                    weight: 1.0,
+                    directed: false,
+                },
+            ));
             // Duplicate adds are overwrites; only track once.
             if !edges.contains(&key) {
                 edges.push(key);
@@ -85,8 +91,14 @@ mod tests {
         let base = WikiGrowth::sized(2_000).generate();
         let out = augment_with_churn(&base, 1_000, 0.5, 42);
         let tail = &out[base.len()..];
-        let dels = tail.iter().filter(|e| matches!(e.kind, EventKind::RemoveEdge { .. })).count();
-        let adds = tail.iter().filter(|e| matches!(e.kind, EventKind::AddEdge { .. })).count();
+        let dels = tail
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RemoveEdge { .. }))
+            .count();
+        let adds = tail
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AddEdge { .. }))
+            .count();
         assert!(dels > 100, "expected deletions, got {dels}");
         assert!(adds > 100, "expected additions, got {adds}");
     }

@@ -63,11 +63,14 @@ impl CommunityGraph {
             let c = rng.random_range(0..self.communities);
             membership.push(c);
             events.push(Event::new(t, EventKind::AddNode { id }));
-            events.push(Event::new(t, EventKind::SetNodeAttr {
-                id,
-                key: "community".into(),
-                value: AttrValue::Text(community_name(c)),
-            }));
+            events.push(Event::new(
+                t,
+                EventKind::SetNodeAttr {
+                    id,
+                    key: "community".into(),
+                    value: AttrValue::Text(community_name(c)),
+                },
+            ));
             t += 1;
         }
 
@@ -100,12 +103,15 @@ impl CommunityGraph {
                 list[rng.random_range(0..list.len())]
             };
             if a != b {
-                events.push(Event::new(t, EventKind::AddEdge {
-                    src: a,
-                    dst: b,
-                    weight: 1.0,
-                    directed: false,
-                }));
+                events.push(Event::new(
+                    t,
+                    EventKind::AddEdge {
+                        src: a,
+                        dst: b,
+                        weight: 1.0,
+                        directed: false,
+                    },
+                ));
             }
 
             if step % switch_every == switch_every - 1 {
@@ -120,11 +126,14 @@ impl CommunityGraph {
                 membership[id as usize] = new;
                 members[old].retain(|&x| x != id);
                 members[new].push(id);
-                events.push(Event::new(t, EventKind::SetNodeAttr {
-                    id,
-                    key: "community".into(),
-                    value: AttrValue::Text(community_name(new)),
-                }));
+                events.push(Event::new(
+                    t,
+                    EventKind::SetNodeAttr {
+                        id,
+                        key: "community".into(),
+                        value: AttrValue::Text(community_name(new)),
+                    },
+                ));
             }
         }
         events
@@ -138,11 +147,20 @@ mod tests {
 
     #[test]
     fn all_nodes_labeled() {
-        let ev = CommunityGraph { nodes: 200, edge_events: 500, ..Default::default() }.generate();
+        let ev = CommunityGraph {
+            nodes: 200,
+            edge_events: 500,
+            ..Default::default()
+        }
+        .generate();
         let state = Delta::snapshot_by_replay(&ev, u64::MAX);
         assert_eq!(state.cardinality(), 200);
         for n in state.iter() {
-            assert!(n.attrs.get("community").is_some(), "node {} unlabeled", n.id);
+            assert!(
+                n.attrs.get("community").is_some(),
+                "node {} unlabeled",
+                n.id
+            );
         }
     }
 
@@ -161,10 +179,19 @@ mod tests {
         let mut intra = 0usize;
         let mut inter = 0usize;
         for n in state.iter() {
-            let cn = n.attrs.get("community").and_then(|v| v.as_text()).unwrap().to_owned();
+            let cn = n
+                .attrs
+                .get("community")
+                .and_then(|v| v.as_text())
+                .unwrap()
+                .to_owned();
             for e in &n.edges {
                 let other = state.node(e.nbr).unwrap();
-                let co = other.attrs.get("community").and_then(|v| v.as_text()).unwrap();
+                let co = other
+                    .attrs
+                    .get("community")
+                    .and_then(|v| v.as_text())
+                    .unwrap();
                 if cn == co {
                     intra += 1;
                 } else {
@@ -177,7 +204,12 @@ mod tests {
 
     #[test]
     fn membership_changes_over_time() {
-        let cfg = CommunityGraph { nodes: 100, edge_events: 2_000, switches: 100, ..Default::default() };
+        let cfg = CommunityGraph {
+            nodes: 100,
+            edge_events: 2_000,
+            switches: 100,
+            ..Default::default()
+        };
         let ev = cfg.generate();
         let switches = ev
             .iter()

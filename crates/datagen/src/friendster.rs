@@ -29,14 +29,24 @@ pub struct FriendsterLike {
 
 impl Default for FriendsterLike {
     fn default() -> FriendsterLike {
-        FriendsterLike { nodes: 20_000, edges: 100_000, gamma: 2.5, time_step: 10, seed: 0x5EED_0004 }
+        FriendsterLike {
+            nodes: 20_000,
+            edges: 100_000,
+            gamma: 2.5,
+            time_step: 10,
+            seed: 0x5EED_0004,
+        }
     }
 }
 
 impl FriendsterLike {
     /// Convenience constructor.
     pub fn sized(nodes: usize, edges: usize) -> FriendsterLike {
-        FriendsterLike { nodes, edges, ..FriendsterLike::default() }
+        FriendsterLike {
+            nodes,
+            edges,
+            ..FriendsterLike::default()
+        }
     }
 
     /// Generate the event trace: all node arrivals at t=0, then edge
@@ -88,12 +98,15 @@ impl FriendsterLike {
         pairs.shuffle(&mut rng);
         let mut t = self.time_step;
         for (a, b) in pairs {
-            events.push(Event::new(t, EventKind::AddEdge {
-                src: a,
-                dst: b,
-                weight: 1.0,
-                directed: false,
-            }));
+            events.push(Event::new(
+                t,
+                EventKind::AddEdge {
+                    src: a,
+                    dst: b,
+                    weight: 1.0,
+                    directed: false,
+                },
+            ));
             t += self.time_step;
         }
         events
@@ -116,7 +129,10 @@ mod tests {
 
     #[test]
     fn timestamps_uniformly_spaced() {
-        let g = FriendsterLike { time_step: 7, ..FriendsterLike::sized(100, 300) };
+        let g = FriendsterLike {
+            time_step: 7,
+            ..FriendsterLike::sized(100, 300)
+        };
         let ev = g.generate();
         let edge_times: Vec<u64> = ev
             .iter()

@@ -30,7 +30,12 @@ pub struct LabeledChurn {
 
 impl Default for LabeledChurn {
     fn default() -> LabeledChurn {
-        LabeledChurn { nodes: 1_000, edge_events: 5_000, label_flips: 2_000, seed: 0x5EED_0006 }
+        LabeledChurn {
+            nodes: 1_000,
+            edge_events: 5_000,
+            label_flips: 2_000,
+            seed: 0x5EED_0006,
+        }
     }
 }
 
@@ -44,11 +49,14 @@ impl LabeledChurn {
         for id in 0..self.nodes as NodeId {
             events.push(Event::new(t, EventKind::AddNode { id }));
             let label = LABELS[rng.random_range(0..LABELS.len())];
-            events.push(Event::new(t, EventKind::SetNodeAttr {
-                id,
-                key: "EntityType".into(),
-                value: AttrValue::Text(label.into()),
-            }));
+            events.push(Event::new(
+                t,
+                EventKind::SetNodeAttr {
+                    id,
+                    key: "EntityType".into(),
+                    value: AttrValue::Text(label.into()),
+                },
+            ));
             t += 1;
         }
 
@@ -68,11 +76,14 @@ impl LabeledChurn {
                 flips_left -= 1;
                 let id = rng.random_range(0..self.nodes) as NodeId;
                 let label = LABELS[rng.random_range(0..LABELS.len())];
-                events.push(Event::new(t, EventKind::SetNodeAttr {
-                    id,
-                    key: "EntityType".into(),
-                    value: AttrValue::Text(label.into()),
-                }));
+                events.push(Event::new(
+                    t,
+                    EventKind::SetNodeAttr {
+                        id,
+                        key: "EntityType".into(),
+                        value: AttrValue::Text(label.into()),
+                    },
+                ));
             } else {
                 edges_left -= 1;
                 let a = rng.random_range(0..self.nodes) as NodeId;
@@ -80,12 +91,15 @@ impl LabeledChurn {
                 if a == b {
                     continue;
                 }
-                events.push(Event::new(t, EventKind::AddEdge {
-                    src: a,
-                    dst: b,
-                    weight: 1.0,
-                    directed: false,
-                }));
+                events.push(Event::new(
+                    t,
+                    EventKind::AddEdge {
+                        src: a,
+                        dst: b,
+                        weight: 1.0,
+                        directed: false,
+                    },
+                ));
             }
         }
         events
@@ -99,7 +113,11 @@ mod tests {
 
     #[test]
     fn every_node_has_a_label() {
-        let ev = LabeledChurn { nodes: 300, ..Default::default() }.generate();
+        let ev = LabeledChurn {
+            nodes: 300,
+            ..Default::default()
+        }
+        .generate();
         let state = Delta::snapshot_by_replay(&ev, u64::MAX);
         for n in state.iter() {
             let l = n.attrs.get("EntityType").and_then(|v| v.as_text()).unwrap();
@@ -109,7 +127,12 @@ mod tests {
 
     #[test]
     fn has_requested_flip_volume() {
-        let cfg = LabeledChurn { nodes: 100, edge_events: 1_000, label_flips: 500, seed: 1 };
+        let cfg = LabeledChurn {
+            nodes: 100,
+            edge_events: 1_000,
+            label_flips: 500,
+            seed: 1,
+        };
         let ev = cfg.generate();
         let flips = ev
             .iter()

@@ -59,7 +59,10 @@ impl Default for WikiGrowth {
 impl WikiGrowth {
     /// Convenience constructor for an `events`-sized trace.
     pub fn sized(events: usize) -> WikiGrowth {
-        WikiGrowth { events, ..WikiGrowth::default() }
+        WikiGrowth {
+            events,
+            ..WikiGrowth::default()
+        }
     }
 
     /// Generate the event trace (chronologically sorted).
@@ -97,7 +100,11 @@ impl WikiGrowth {
         while events.len() < self.events {
             // Temporal skew: occasional bursts advance time slowly
             // (many events per tick), quiet periods advance it fast.
-            t += if rng.random::<f64>() < 0.05 { rng.random_range(5..50) } else { 1 };
+            t += if rng.random::<f64>() < 0.05 {
+                rng.random_range(5..50)
+            } else {
+                1
+            };
 
             if rng.random::<f64>() < self.node_arrival_prob {
                 let id = next_id;
@@ -114,12 +121,15 @@ impl WikiGrowth {
                     if target == id {
                         continue;
                     }
-                    events.push(Event::new(t, EventKind::AddEdge {
-                        src: id,
-                        dst: target,
-                        weight: 1.0,
-                        directed: self.directed,
-                    }));
+                    events.push(Event::new(
+                        t,
+                        EventKind::AddEdge {
+                            src: id,
+                            dst: target,
+                            weight: 1.0,
+                            directed: self.directed,
+                        },
+                    ));
                     pool.push(id);
                     pool.push(target);
                     attached += 1;
@@ -130,12 +140,15 @@ impl WikiGrowth {
                 let a = pick(&pool, &mut rng, self.recency_bias, self.recency_window);
                 let b = pick(&pool, &mut rng, self.recency_bias, self.recency_window);
                 if a != b {
-                    events.push(Event::new(t, EventKind::AddEdge {
-                        src: a,
-                        dst: b,
-                        weight: 1.0,
-                        directed: self.directed,
-                    }));
+                    events.push(Event::new(
+                        t,
+                        EventKind::AddEdge {
+                            src: a,
+                            dst: b,
+                            weight: 1.0,
+                            directed: self.directed,
+                        },
+                    ));
                     pool.push(a);
                     pool.push(b);
                 }
@@ -156,7 +169,11 @@ mod tests {
         let a = WikiGrowth::sized(5_000).generate();
         let b = WikiGrowth::sized(5_000).generate();
         assert_eq!(a, b);
-        let c = WikiGrowth { seed: 99, ..WikiGrowth::sized(5_000) }.generate();
+        let c = WikiGrowth {
+            seed: 99,
+            ..WikiGrowth::sized(5_000)
+        }
+        .generate();
         assert_ne!(a, c);
     }
 

@@ -206,7 +206,11 @@ mod tests {
         assert_eq!(a.set("size", AttrValue::Int(10)), None);
         assert_eq!(a.get("color").and_then(|v| v.as_text()), Some("red"));
         let old = a.set("color", "blue".into());
-        assert_eq!(old.and_then(|v| v.as_text().map(|s| s.to_owned())).as_deref(), Some("red"));
+        assert_eq!(
+            old.and_then(|v| v.as_text().map(|s| s.to_owned()))
+                .as_deref(),
+            Some("red")
+        );
         assert_eq!(a.remove("size").and_then(|v| v.as_int()), Some(10));
         assert_eq!(a.remove("size"), None);
         assert_eq!(a.len(), 1);

@@ -47,7 +47,10 @@ pub fn get_varint(buf: &mut &[u8]) -> Result<u64, CodecError> {
     let mut out: u64 = 0;
     for shift in (0..64).step_by(7) {
         let Some((&b, rest)) = buf.split_first() else {
-            return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+            return Err(CodecError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            });
         };
         *buf = rest;
         out |= ((b & 0x7f) as u64) << shift;
@@ -85,7 +88,10 @@ fn get_len(buf: &mut &[u8], what: &'static str) -> Result<usize, CodecError> {
 fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
     let len = get_len(buf, "string")?;
     if buf.len() < len {
-        return Err(CodecError::UnexpectedEof { needed: len, remaining: buf.len() });
+        return Err(CodecError::UnexpectedEof {
+            needed: len,
+            remaining: buf.len(),
+        });
     }
     let (head, rest) = buf.split_at(len);
     *buf = rest;
@@ -98,7 +104,10 @@ fn put_f64(buf: &mut BytesMut, v: f64) {
 
 fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
     if buf.len() < 8 {
-        return Err(CodecError::UnexpectedEof { needed: 8, remaining: buf.len() });
+        return Err(CodecError::UnexpectedEof {
+            needed: 8,
+            remaining: buf.len(),
+        });
     }
     let mut b = *buf;
     let v = b.get_f64_le();
@@ -112,7 +121,10 @@ fn put_f32(buf: &mut BytesMut, v: f32) {
 
 fn get_f32(buf: &mut &[u8]) -> Result<f32, CodecError> {
     if buf.len() < 4 {
-        return Err(CodecError::UnexpectedEof { needed: 4, remaining: buf.len() });
+        return Err(CodecError::UnexpectedEof {
+            needed: 4,
+            remaining: buf.len(),
+        });
     }
     let mut b = *buf;
     let v = b.get_f32_le();
@@ -147,7 +159,10 @@ fn put_attr_value(buf: &mut BytesMut, v: &AttrValue) {
 
 fn get_attr_value(buf: &mut &[u8]) -> Result<AttrValue, CodecError> {
     let Some((&tag, rest)) = buf.split_first() else {
-        return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+        return Err(CodecError::UnexpectedEof {
+            needed: 1,
+            remaining: 0,
+        });
     };
     *buf = rest;
     Ok(match tag {
@@ -156,12 +171,20 @@ fn get_attr_value(buf: &mut &[u8]) -> Result<AttrValue, CodecError> {
         2 => AttrValue::Text(get_str(buf)?),
         3 => {
             let Some((&b, rest)) = buf.split_first() else {
-                return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+                return Err(CodecError::UnexpectedEof {
+                    needed: 1,
+                    remaining: 0,
+                });
             };
             *buf = rest;
             AttrValue::Bool(b != 0)
         }
-        t => return Err(CodecError::BadTag { what: "AttrValue", tag: t }),
+        t => {
+            return Err(CodecError::BadTag {
+                what: "AttrValue",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -220,18 +243,35 @@ pub fn get_static_node(buf: &mut &[u8]) -> Result<StaticNode, CodecError> {
         let nbr = prev.wrapping_add(get_varint(buf)?);
         prev = nbr;
         let Some((&dtag, rest)) = buf.split_first() else {
-            return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+            return Err(CodecError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            });
         };
         *buf = rest;
-        let dir = EdgeDir::from_tag(dtag)
-            .ok_or(CodecError::BadTag { what: "EdgeDir", tag: dtag })?;
+        let dir = EdgeDir::from_tag(dtag).ok_or(CodecError::BadTag {
+            what: "EdgeDir",
+            tag: dtag,
+        })?;
         let weight = get_f32(buf)?;
         let Some((&has_attrs, rest)) = buf.split_first() else {
-            return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+            return Err(CodecError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            });
         };
         *buf = rest;
-        let attrs = if has_attrs != 0 { Some(Box::new(get_attrs(buf)?)) } else { None };
-        edges.push(Neighbor { nbr, dir, weight, attrs });
+        let attrs = if has_attrs != 0 {
+            Some(Box::new(get_attrs(buf)?))
+        } else {
+            None
+        };
+        edges.push(Neighbor {
+            nbr,
+            dir,
+            weight,
+            attrs,
+        });
     }
     let attrs = get_attrs(buf)?;
     Ok(StaticNode { id, edges, attrs })
@@ -258,7 +298,9 @@ pub fn decode_delta(mut buf: &[u8]) -> Result<Delta, CodecError> {
         d.insert(get_static_node(&mut buf)?);
     }
     if !buf.is_empty() {
-        return Err(CodecError::TrailingBytes { remaining: buf.len() });
+        return Err(CodecError::TrailingBytes {
+            remaining: buf.len(),
+        });
     }
     Ok(d)
 }
@@ -277,7 +319,12 @@ fn put_event_kind(buf: &mut BytesMut, k: &EventKind) {
             buf.put_u8(1);
             put_varint(buf, *id);
         }
-        EventKind::AddEdge { src, dst, weight, directed } => {
+        EventKind::AddEdge {
+            src,
+            dst,
+            weight,
+            directed,
+        } => {
             buf.put_u8(2);
             put_varint(buf, *src);
             put_varint(buf, *dst);
@@ -306,7 +353,12 @@ fn put_event_kind(buf: &mut BytesMut, k: &EventKind) {
             put_varint(buf, *id);
             put_str(buf, key);
         }
-        EventKind::SetEdgeAttr { src, dst, key, value } => {
+        EventKind::SetEdgeAttr {
+            src,
+            dst,
+            key,
+            value,
+        } => {
             buf.put_u8(7);
             put_varint(buf, *src);
             put_varint(buf, *dst);
@@ -324,46 +376,85 @@ fn put_event_kind(buf: &mut BytesMut, k: &EventKind) {
 
 fn get_event_kind(buf: &mut &[u8]) -> Result<EventKind, CodecError> {
     let Some((&tag, rest)) = buf.split_first() else {
-        return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+        return Err(CodecError::UnexpectedEof {
+            needed: 1,
+            remaining: 0,
+        });
     };
     *buf = rest;
     Ok(match tag {
-        0 => EventKind::AddNode { id: get_varint(buf)? },
-        1 => EventKind::RemoveNode { id: get_varint(buf)? },
+        0 => EventKind::AddNode {
+            id: get_varint(buf)?,
+        },
+        1 => EventKind::RemoveNode {
+            id: get_varint(buf)?,
+        },
         2 => {
             let src = get_varint(buf)?;
             let dst = get_varint(buf)?;
             let weight = get_f32(buf)?;
             let Some((&d, rest)) = buf.split_first() else {
-                return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+                return Err(CodecError::UnexpectedEof {
+                    needed: 1,
+                    remaining: 0,
+                });
             };
             *buf = rest;
-            EventKind::AddEdge { src, dst, weight, directed: d != 0 }
+            EventKind::AddEdge {
+                src,
+                dst,
+                weight,
+                directed: d != 0,
+            }
         }
-        3 => EventKind::RemoveEdge { src: get_varint(buf)?, dst: get_varint(buf)? },
+        3 => EventKind::RemoveEdge {
+            src: get_varint(buf)?,
+            dst: get_varint(buf)?,
+        },
         4 => {
             let src = get_varint(buf)?;
             let dst = get_varint(buf)?;
-            EventKind::SetEdgeWeight { src, dst, weight: get_f32(buf)? }
+            EventKind::SetEdgeWeight {
+                src,
+                dst,
+                weight: get_f32(buf)?,
+            }
         }
         5 => {
             let id = get_varint(buf)?;
             let key = get_str(buf)?;
-            EventKind::SetNodeAttr { id, key, value: get_attr_value(buf)? }
+            EventKind::SetNodeAttr {
+                id,
+                key,
+                value: get_attr_value(buf)?,
+            }
         }
-        6 => EventKind::RemoveNodeAttr { id: get_varint(buf)?, key: get_str(buf)? },
+        6 => EventKind::RemoveNodeAttr {
+            id: get_varint(buf)?,
+            key: get_str(buf)?,
+        },
         7 => {
             let src = get_varint(buf)?;
             let dst = get_varint(buf)?;
             let key = get_str(buf)?;
-            EventKind::SetEdgeAttr { src, dst, key, value: get_attr_value(buf)? }
+            EventKind::SetEdgeAttr {
+                src,
+                dst,
+                key,
+                value: get_attr_value(buf)?,
+            }
         }
         8 => EventKind::RemoveEdgeAttr {
             src: get_varint(buf)?,
             dst: get_varint(buf)?,
             key: get_str(buf)?,
         },
-        t => return Err(CodecError::BadTag { what: "EventKind", tag: t }),
+        t => {
+            return Err(CodecError::BadTag {
+                what: "EventKind",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -392,7 +483,9 @@ pub fn decode_eventlist(mut buf: &[u8]) -> Result<Eventlist, CodecError> {
         events.push(Event::new(t, get_event_kind(&mut buf)?));
     }
     if !buf.is_empty() {
-        return Err(CodecError::TrailingBytes { remaining: buf.len() });
+        return Err(CodecError::TrailingBytes {
+            remaining: buf.len(),
+        });
     }
     Ok(Eventlist::from_sorted(events))
 }
@@ -426,20 +519,36 @@ mod tests {
     #[test]
     fn varint_eof_detected() {
         let mut slice: &[u8] = &[0x80];
-        assert!(matches!(get_varint(&mut slice), Err(CodecError::UnexpectedEof { .. })));
+        assert!(matches!(
+            get_varint(&mut slice),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
     fn varint_overflow_detected() {
         let bytes = [0xffu8; 11];
         let mut slice: &[u8] = &bytes;
-        assert!(matches!(get_varint(&mut slice), Err(CodecError::VarintOverflow)));
+        assert!(matches!(
+            get_varint(&mut slice),
+            Err(CodecError::VarintOverflow)
+        ));
     }
 
     fn sample_delta() -> Delta {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 1000, weight: 2.5, directed: true });
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 3, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 1000,
+            weight: 2.5,
+            directed: true,
+        });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 3,
+            weight: 1.0,
+            directed: false,
+        });
         d.apply_event(&EventKind::SetNodeAttr {
             id: 1,
             key: "name".into(),
@@ -472,28 +581,65 @@ mod tests {
     fn delta_rejects_trailing_garbage() {
         let mut bytes = encode_delta(&sample_delta()).to_vec();
         bytes.push(0xAB);
-        assert!(matches!(decode_delta(&bytes), Err(CodecError::TrailingBytes { .. })));
+        assert!(matches!(
+            decode_delta(&bytes),
+            Err(CodecError::TrailingBytes { .. })
+        ));
     }
 
     #[test]
     fn eventlist_roundtrip_all_kinds() {
         let events = vec![
             Event::new(1, EventKind::AddNode { id: 7 }),
-            Event::new(2, EventKind::AddEdge { src: 7, dst: 8, weight: 0.5, directed: false }),
-            Event::new(2, EventKind::SetNodeAttr {
-                id: 7,
-                key: "k".into(),
-                value: AttrValue::Bool(true),
-            }),
-            Event::new(3, EventKind::SetEdgeWeight { src: 7, dst: 8, weight: 9.0 }),
-            Event::new(4, EventKind::SetEdgeAttr {
-                src: 7,
-                dst: 8,
-                key: "e".into(),
-                value: AttrValue::Float(0.25),
-            }),
-            Event::new(5, EventKind::RemoveEdgeAttr { src: 7, dst: 8, key: "e".into() }),
-            Event::new(6, EventKind::RemoveNodeAttr { id: 7, key: "k".into() }),
+            Event::new(
+                2,
+                EventKind::AddEdge {
+                    src: 7,
+                    dst: 8,
+                    weight: 0.5,
+                    directed: false,
+                },
+            ),
+            Event::new(
+                2,
+                EventKind::SetNodeAttr {
+                    id: 7,
+                    key: "k".into(),
+                    value: AttrValue::Bool(true),
+                },
+            ),
+            Event::new(
+                3,
+                EventKind::SetEdgeWeight {
+                    src: 7,
+                    dst: 8,
+                    weight: 9.0,
+                },
+            ),
+            Event::new(
+                4,
+                EventKind::SetEdgeAttr {
+                    src: 7,
+                    dst: 8,
+                    key: "e".into(),
+                    value: AttrValue::Float(0.25),
+                },
+            ),
+            Event::new(
+                5,
+                EventKind::RemoveEdgeAttr {
+                    src: 7,
+                    dst: 8,
+                    key: "e".into(),
+                },
+            ),
+            Event::new(
+                6,
+                EventKind::RemoveNodeAttr {
+                    id: 7,
+                    key: "k".into(),
+                },
+            ),
             Event::new(7, EventKind::RemoveEdge { src: 7, dst: 8 }),
             Event::new(8, EventKind::RemoveNode { id: 7 }),
         ];
@@ -523,7 +669,10 @@ mod tests {
         buf.put_u8(99); // invalid kind tag
         assert!(matches!(
             decode_eventlist(&buf),
-            Err(CodecError::BadTag { what: "EventKind", .. })
+            Err(CodecError::BadTag {
+                what: "EventKind",
+                ..
+            })
         ));
     }
 

@@ -43,7 +43,9 @@ pub struct Delta {
 impl Delta {
     /// The empty delta (`∅`).
     pub fn new() -> Delta {
-        Delta { nodes: FxHashMap::default() }
+        Delta {
+            nodes: FxHashMap::default(),
+        }
     }
 
     /// Pre-sized empty delta.
@@ -258,7 +260,10 @@ impl Delta {
             EventKind::AddNode { id } => {
                 if self.nodes.contains_key(id) {
                     if strict {
-                        return Err(DeltaError::AlreadyExists { what: "node", id: *id });
+                        return Err(DeltaError::AlreadyExists {
+                            what: "node",
+                            id: *id,
+                        });
                     }
                 } else {
                     self.nodes.insert(*id, StaticNode::new(*id));
@@ -275,17 +280,28 @@ impl Delta {
                         }
                     }
                     None if strict => {
-                        return Err(DeltaError::UnknownNode { node: *id, context: "RemoveNode" })
+                        return Err(DeltaError::UnknownNode {
+                            node: *id,
+                            context: "RemoveNode",
+                        })
                     }
                     None => {}
                 }
             }
-            EventKind::AddEdge { src, dst, weight, directed } => {
+            EventKind::AddEdge {
+                src,
+                dst,
+                weight,
+                directed,
+            } => {
                 let missing_src = !self.nodes.contains_key(src);
                 let missing_dst = !self.nodes.contains_key(dst);
                 if strict && (missing_src || missing_dst) {
                     let node = if missing_src { *src } else { *dst };
-                    return Err(DeltaError::UnknownNode { node, context: "AddEdge" });
+                    return Err(DeltaError::UnknownNode {
+                        node,
+                        context: "AddEdge",
+                    });
                 }
                 let (d_src, d_dst) = if *directed {
                     (EdgeDir::Out, EdgeDir::In)
@@ -347,7 +363,10 @@ impl Delta {
                     n.attrs.set(key.clone(), value.clone());
                 }
                 None if strict => {
-                    return Err(DeltaError::UnknownNode { node: *id, context: "SetNodeAttr" })
+                    return Err(DeltaError::UnknownNode {
+                        node: *id,
+                        context: "SetNodeAttr",
+                    })
                 }
                 None => {
                     let mut n = StaticNode::new(*id);
@@ -356,13 +375,24 @@ impl Delta {
                 }
             },
             EventKind::RemoveNodeAttr { id, key } => {
-                let removed =
-                    self.nodes.get_mut(id).and_then(|n| n.attrs.remove(key)).is_some();
+                let removed = self
+                    .nodes
+                    .get_mut(id)
+                    .and_then(|n| n.attrs.remove(key))
+                    .is_some();
                 if strict && !removed {
-                    return Err(DeltaError::UnknownNode { node: *id, context: "RemoveNodeAttr" });
+                    return Err(DeltaError::UnknownNode {
+                        node: *id,
+                        context: "RemoveNodeAttr",
+                    });
                 }
             }
-            EventKind::SetEdgeAttr { src, dst, key, value } => {
+            EventKind::SetEdgeAttr {
+                src,
+                dst,
+                key,
+                value,
+            } => {
                 let mut found = false;
                 for (a, b) in [(*src, *dst), (*dst, *src)] {
                     if let Some(n) = self.nodes.get_mut(&a) {
@@ -469,7 +499,9 @@ mod tests {
 
     #[test]
     fn sum_right_bias_and_identity() {
-        let mut d1: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)].into_iter().collect();
+        let mut d1: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)]
+            .into_iter()
+            .collect();
         let d2: Delta = vec![node_with_edge(1, 9)].into_iter().collect();
         d1.sum_assign(&d2);
         assert_eq!(d1.node(1).unwrap().edges[0].nbr, 9, "right side wins");
@@ -483,7 +515,9 @@ mod tests {
     #[test]
     fn sum_is_associative() {
         let a: Delta = vec![node_with_edge(1, 2)].into_iter().collect();
-        let b: Delta = vec![node_with_edge(1, 3), StaticNode::new(2)].into_iter().collect();
+        let b: Delta = vec![node_with_edge(1, 3), StaticNode::new(2)]
+            .into_iter()
+            .collect();
         let c: Delta = vec![StaticNode::new(1)].into_iter().collect();
         let left = a.sum(&b).sum(&c);
         let right = a.sum(&b.sum(&c));
@@ -492,15 +526,21 @@ mod tests {
 
     #[test]
     fn difference_laws() {
-        let d: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)].into_iter().collect();
+        let d: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)]
+            .into_iter()
+            .collect();
         assert!(d.difference(&d).is_empty(), "∆ − ∆ = ∅");
         assert_eq!(d.difference(&Delta::new()), d, "∆ − ∅ = ∆");
     }
 
     #[test]
     fn intersection_requires_identical_value() {
-        let a: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)].into_iter().collect();
-        let b: Delta = vec![node_with_edge(1, 2), node_with_edge(3, 7)].into_iter().collect();
+        let a: Delta = vec![node_with_edge(1, 2), StaticNode::new(3)]
+            .into_iter()
+            .collect();
+        let b: Delta = vec![node_with_edge(1, 2), node_with_edge(3, 7)]
+            .into_iter()
+            .collect();
         let i = a.intersection(&b);
         assert!(i.contains(1), "identical node kept");
         assert!(!i.contains(3), "differing node dropped");
@@ -510,10 +550,20 @@ mod tests {
     #[test]
     fn reconstruction_identity() {
         // child = parent + (child − parent) for parent = ∩ children.
-        let c1: Delta =
-            vec![node_with_edge(1, 2), node_with_edge(2, 1), StaticNode::new(5)].into_iter().collect();
+        let c1: Delta = vec![
+            node_with_edge(1, 2),
+            node_with_edge(2, 1),
+            StaticNode::new(5),
+        ]
+        .into_iter()
+        .collect();
         let mut c2 = c1.clone();
-        c2.apply_event(&EventKind::AddEdge { src: 5, dst: 1, weight: 1.0, directed: false });
+        c2.apply_event(&EventKind::AddEdge {
+            src: 5,
+            dst: 1,
+            weight: 1.0,
+            directed: false,
+        });
         let parent = c1.intersection(&c2);
         for child in [&c1, &c2] {
             let derived = child.difference(&parent);
@@ -533,7 +583,9 @@ mod tests {
 
     #[test]
     fn cardinality_and_size() {
-        let d: Delta = vec![node_with_edge(1, 2), node_with_edge(2, 1)].into_iter().collect();
+        let d: Delta = vec![node_with_edge(1, 2), node_with_edge(2, 1)]
+            .into_iter()
+            .collect();
         assert_eq!(d.cardinality(), 2);
         assert_eq!(d.size(), 4, "2 nodes + 2 edge entries");
     }
@@ -543,7 +595,12 @@ mod tests {
         let mut d = Delta::new();
         d.apply_event(&EventKind::AddNode { id: 1 });
         d.apply_event(&EventKind::AddNode { id: 2 });
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 2.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 2,
+            weight: 2.0,
+            directed: false,
+        });
         assert!(d.node(1).unwrap().has_neighbor(2));
         assert!(d.node(2).unwrap().has_neighbor(1));
         assert_eq!(d.edge_count(), 1);
@@ -552,7 +609,12 @@ mod tests {
     #[test]
     fn apply_directed_edge_sets_directions() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: true });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 2,
+            weight: 1.0,
+            directed: true,
+        });
         assert_eq!(d.node(1).unwrap().edges[0].dir, EdgeDir::Out);
         assert_eq!(d.node(2).unwrap().edges[0].dir, EdgeDir::In);
     }
@@ -560,7 +622,12 @@ mod tests {
     #[test]
     fn remove_node_scrubs_reverse_edges() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 2,
+            weight: 1.0,
+            directed: false,
+        });
         d.apply_event(&EventKind::RemoveNode { id: 2 });
         assert!(!d.contains(2));
         assert_eq!(d.node(1).unwrap().degree(), 0, "dangling edge scrubbed");
@@ -569,7 +636,12 @@ mod tests {
     #[test]
     fn self_loop_single_entry() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 3, dst: 3, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 3,
+            dst: 3,
+            weight: 1.0,
+            directed: false,
+        });
         assert_eq!(d.node(3).unwrap().degree(), 1);
         assert_eq!(d.edge_count(), 1);
         d.apply_event(&EventKind::RemoveEdge { src: 3, dst: 3 });
@@ -585,15 +657,30 @@ mod tests {
             key: "label".into(),
             value: AttrValue::Text("Author".into()),
         });
-        assert_eq!(d.node(1).unwrap().attrs.get("label").and_then(|v| v.as_text()), Some("Author"));
-        d.apply_event(&EventKind::RemoveNodeAttr { id: 1, key: "label".into() });
+        assert_eq!(
+            d.node(1)
+                .unwrap()
+                .attrs
+                .get("label")
+                .and_then(|v| v.as_text()),
+            Some("Author")
+        );
+        d.apply_event(&EventKind::RemoveNodeAttr {
+            id: 1,
+            key: "label".into(),
+        });
         assert!(d.node(1).unwrap().attrs.is_empty());
     }
 
     #[test]
     fn edge_attr_events_touch_both_entries() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 2,
+            weight: 1.0,
+            directed: false,
+        });
         d.apply_event(&EventKind::SetEdgeAttr {
             src: 1,
             dst: 2,
@@ -610,9 +697,16 @@ mod tests {
     #[test]
     fn strict_mode_reports_anomalies() {
         let mut d = Delta::new();
-        assert!(d.apply_event_strict(&EventKind::RemoveNode { id: 4 }).is_err());
         assert!(d
-            .apply_event_strict(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false })
+            .apply_event_strict(&EventKind::RemoveNode { id: 4 })
+            .is_err());
+        assert!(d
+            .apply_event_strict(&EventKind::AddEdge {
+                src: 1,
+                dst: 2,
+                weight: 1.0,
+                directed: false
+            })
             .is_err());
         d.apply_event(&EventKind::AddNode { id: 1 });
         assert!(d.apply_event_strict(&EventKind::AddNode { id: 1 }).is_err());
@@ -621,7 +715,12 @@ mod tests {
     #[test]
     fn forgiving_mode_creates_endpoints() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 8, dst: 9, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 8,
+            dst: 9,
+            weight: 1.0,
+            directed: false,
+        });
         assert!(d.contains(8) && d.contains(9));
     }
 
@@ -645,8 +744,17 @@ mod tests {
     #[test]
     fn set_edge_weight_updates_both_sides() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false });
-        d.apply_event(&EventKind::SetEdgeWeight { src: 2, dst: 1, weight: 7.5 });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 2,
+            weight: 1.0,
+            directed: false,
+        });
+        d.apply_event(&EventKind::SetEdgeWeight {
+            src: 2,
+            dst: 1,
+            weight: 7.5,
+        });
         assert_eq!(d.node(1).unwrap().edges[0].weight, 7.5);
         assert_eq!(d.node(2).unwrap().edges[0].weight, 7.5);
     }

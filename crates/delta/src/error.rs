@@ -9,7 +9,11 @@ pub enum DeltaError {
     /// was applied to (e.g. `AddEdge` before `AddNode`).
     UnknownNode { node: u64, context: &'static str },
     /// An event referenced an edge that does not exist.
-    UnknownEdge { src: u64, dst: u64, context: &'static str },
+    UnknownEdge {
+        src: u64,
+        dst: u64,
+        context: &'static str,
+    },
     /// An event re-created something that already exists.
     AlreadyExists { what: &'static str, id: u64 },
     /// Events were supplied out of chronological order where order is
@@ -59,7 +63,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected EOF: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::VarintOverflow => write!(f, "varint overflow"),
             CodecError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
@@ -82,9 +89,15 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = DeltaError::UnknownNode { node: 7, context: "AddEdge" };
+        let e = DeltaError::UnknownNode {
+            node: 7,
+            context: "AddEdge",
+        };
         assert!(e.to_string().contains("unknown node 7"));
-        let c = CodecError::BadTag { what: "EventKind", tag: 99 };
+        let c = CodecError::BadTag {
+            what: "EventKind",
+            tag: 99,
+        };
         assert!(c.to_string().contains("EventKind"));
     }
 }

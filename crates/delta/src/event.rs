@@ -15,19 +15,41 @@ pub enum EventKind {
     RemoveNode { id: NodeId },
     /// An edge appears. `directed == false` stores `Both` entries on
     /// both endpoints; `true` stores `Out` on `src` and `In` on `dst`.
-    AddEdge { src: NodeId, dst: NodeId, weight: f32, directed: bool },
+    AddEdge {
+        src: NodeId,
+        dst: NodeId,
+        weight: f32,
+        directed: bool,
+    },
     /// An edge disappears.
     RemoveEdge { src: NodeId, dst: NodeId },
     /// The weight of an existing edge changes.
-    SetEdgeWeight { src: NodeId, dst: NodeId, weight: f32 },
+    SetEdgeWeight {
+        src: NodeId,
+        dst: NodeId,
+        weight: f32,
+    },
     /// Set (add or overwrite) a node attribute.
-    SetNodeAttr { id: NodeId, key: String, value: AttrValue },
+    SetNodeAttr {
+        id: NodeId,
+        key: String,
+        value: AttrValue,
+    },
     /// Remove a node attribute.
     RemoveNodeAttr { id: NodeId, key: String },
     /// Set (add or overwrite) an edge attribute.
-    SetEdgeAttr { src: NodeId, dst: NodeId, key: String, value: AttrValue },
+    SetEdgeAttr {
+        src: NodeId,
+        dst: NodeId,
+        key: String,
+        value: AttrValue,
+    },
     /// Remove an edge attribute.
-    RemoveEdgeAttr { src: NodeId, dst: NodeId, key: String },
+    RemoveEdgeAttr {
+        src: NodeId,
+        dst: NodeId,
+        key: String,
+    },
 }
 
 impl EventKind {
@@ -195,12 +217,22 @@ mod tests {
     }
 
     fn edge(t: Time, s: NodeId, d: NodeId) -> Event {
-        Event::new(t, EventKind::AddEdge { src: s, dst: d, weight: 1.0, directed: false })
+        Event::new(
+            t,
+            EventKind::AddEdge {
+                src: s,
+                dst: d,
+                weight: 1.0,
+                directed: false,
+            },
+        )
     }
 
     #[test]
     fn slice_by_time_is_half_open() {
-        let el: Eventlist = vec![ev(1, 1), ev(2, 2), ev(3, 3), ev(5, 5)].into_iter().collect();
+        let el: Eventlist = vec![ev(1, 1), ev(2, 2), ev(3, 3), ev(5, 5)]
+            .into_iter()
+            .collect();
         let s = el.slice_by_time(TimeRange::new(2, 5));
         assert_eq!(s.len(), 2);
         assert_eq!(s[0].time, 2);
@@ -209,7 +241,9 @@ mod tests {
 
     #[test]
     fn filter_by_node_sees_both_endpoints() {
-        let el: Eventlist = vec![edge(1, 1, 2), edge(2, 3, 4), ev(3, 2)].into_iter().collect();
+        let el: Eventlist = vec![edge(1, 1, 2), edge(2, 3, 4), ev(3, 2)]
+            .into_iter()
+            .collect();
         let touching2: Vec<&Event> = el.filter_by_node(2).collect();
         assert_eq!(touching2.len(), 2);
     }
@@ -238,7 +272,11 @@ mod tests {
     fn partitioning_no_duplicate_within_same_partition() {
         let el: Eventlist = vec![edge(1, 2, 4)].into_iter().collect();
         let parts = el.partition_by(2, |id| (id % 2) as u32);
-        assert_eq!(parts[0].len(), 1, "both endpoints in partition 0 -> one copy");
+        assert_eq!(
+            parts[0].len(),
+            1,
+            "both endpoints in partition 0 -> one copy"
+        );
         assert_eq!(parts[1].len(), 0);
     }
 

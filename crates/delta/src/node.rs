@@ -29,12 +29,22 @@ pub struct Neighbor {
 impl Neighbor {
     /// Unweighted, attribute-free neighbor entry.
     pub fn new(nbr: NodeId, dir: EdgeDir) -> Neighbor {
-        Neighbor { nbr, dir, weight: 1.0, attrs: None }
+        Neighbor {
+            nbr,
+            dir,
+            weight: 1.0,
+            attrs: None,
+        }
     }
 
     /// Weighted neighbor entry.
     pub fn weighted(nbr: NodeId, dir: EdgeDir, weight: f32) -> Neighbor {
-        Neighbor { nbr, dir, weight, attrs: None }
+        Neighbor {
+            nbr,
+            dir,
+            weight,
+            attrs: None,
+        }
     }
 
     /// Edge attributes (empty view when none are set).
@@ -44,7 +54,9 @@ impl Neighbor {
 
     /// Set an edge attribute, allocating the attribute box on first use.
     pub fn set_attr(&mut self, key: impl Into<String>, value: crate::attr::AttrValue) {
-        self.attrs.get_or_insert_with(Default::default).set(key, value);
+        self.attrs
+            .get_or_insert_with(Default::default)
+            .set(key, value);
     }
 
     /// Remove an edge attribute.
@@ -76,7 +88,11 @@ pub struct StaticNode {
 impl StaticNode {
     /// A fresh node with no edges or attributes.
     pub fn new(id: NodeId) -> StaticNode {
-        StaticNode { id, edges: Vec::new(), attrs: Attrs::new() }
+        StaticNode {
+            id,
+            edges: Vec::new(),
+            attrs: Attrs::new(),
+        }
     }
 
     /// Number of edge-list entries (the node's degree in the stored
@@ -88,7 +104,8 @@ impl StaticNode {
 
     /// Binary-search the edge-list for `(nbr, dir)`.
     fn edge_pos(&self, nbr: NodeId, dir: EdgeDir) -> Result<usize, usize> {
-        self.edges.binary_search_by(|e| (e.nbr, e.dir).cmp(&(nbr, dir)))
+        self.edges
+            .binary_search_by(|e| (e.nbr, e.dir).cmp(&(nbr, dir)))
     }
 
     /// Look up an edge entry toward `nbr` with direction `dir`.

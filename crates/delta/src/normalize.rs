@@ -44,10 +44,10 @@ pub fn normalize_events(events: &[Event]) -> Vec<Event> {
                     let mut sorted: Vec<NodeId> = nbrs.into_iter().collect();
                     sorted.sort_unstable();
                     for nbr in sorted {
-                        out.push(Event::new(e.time, EventKind::RemoveEdge {
-                            src: *id,
-                            dst: nbr,
-                        }));
+                        out.push(Event::new(
+                            e.time,
+                            EventKind::RemoveEdge { src: *id, dst: nbr },
+                        ));
                         if let Some(s) = adj.get_mut(&nbr) {
                             s.remove(id);
                         }
@@ -87,7 +87,15 @@ mod tests {
     }
 
     fn add(t: u64, s: NodeId, d: NodeId) -> Event {
-        ev(t, EventKind::AddEdge { src: s, dst: d, weight: 1.0, directed: false })
+        ev(
+            t,
+            EventKind::AddEdge {
+                src: s,
+                dst: d,
+                weight: 1.0,
+                directed: false,
+            },
+        )
     }
 
     #[test]
@@ -99,8 +107,14 @@ mod tests {
         ];
         let norm = normalize_events(&events);
         assert_eq!(norm.len(), 5, "two RemoveEdge events inserted");
-        assert!(matches!(norm[2].kind, EventKind::RemoveEdge { src: 1, dst: 2 }));
-        assert!(matches!(norm[3].kind, EventKind::RemoveEdge { src: 1, dst: 3 }));
+        assert!(matches!(
+            norm[2].kind,
+            EventKind::RemoveEdge { src: 1, dst: 2 }
+        ));
+        assert!(matches!(
+            norm[3].kind,
+            EventKind::RemoveEdge { src: 1, dst: 3 }
+        ));
         assert!(matches!(norm[4].kind, EventKind::RemoveNode { id: 1 }));
         assert_eq!(norm[2].time, 5, "expansion keeps the removal's timestamp");
         assert!(is_normalized(&norm));

@@ -80,13 +80,19 @@ impl TimeRange {
     /// The full history `[0, Time::MAX)`.
     #[inline]
     pub fn all() -> TimeRange {
-        TimeRange { start: 0, end: Time::MAX }
+        TimeRange {
+            start: 0,
+            end: Time::MAX,
+        }
     }
 
     /// Single-point range `[t, t+1)`.
     #[inline]
     pub fn at(t: Time) -> TimeRange {
-        TimeRange { start: t, end: t.saturating_add(1) }
+        TimeRange {
+            start: t,
+            end: t.saturating_add(1),
+        }
     }
 
     /// Whether `t` lies in `[start, end)`.

@@ -17,11 +17,20 @@ fn arb_event_kind() -> impl Strategy<Value = EventKind> {
     prop_oneof![
         id.clone().prop_map(|id| EventKind::AddNode { id }),
         id.clone().prop_map(|id| EventKind::RemoveNode { id }),
-        (0u64..24, 0u64..24, 0.0f32..4.0, any::<bool>())
-            .prop_map(|(src, dst, weight, directed)| EventKind::AddEdge { src, dst, weight, directed }),
+        (0u64..24, 0u64..24, 0.0f32..4.0, any::<bool>()).prop_map(
+            |(src, dst, weight, directed)| EventKind::AddEdge {
+                src,
+                dst,
+                weight,
+                directed
+            }
+        ),
         (0u64..24, 0u64..24).prop_map(|(src, dst)| EventKind::RemoveEdge { src, dst }),
-        (0u64..24, 0u64..24, 0.0f32..4.0)
-            .prop_map(|(src, dst, weight)| EventKind::SetEdgeWeight { src, dst, weight }),
+        (0u64..24, 0u64..24, 0.0f32..4.0).prop_map(|(src, dst, weight)| EventKind::SetEdgeWeight {
+            src,
+            dst,
+            weight
+        }),
         (id.clone(), "[a-c]{1,3}", -50i64..50).prop_map(|(id, key, v)| EventKind::SetNodeAttr {
             id,
             key,
@@ -29,10 +38,18 @@ fn arb_event_kind() -> impl Strategy<Value = EventKind> {
         }),
         (id.clone(), "[a-c]{1,3}").prop_map(|(id, key)| EventKind::RemoveNodeAttr { id, key }),
         (0u64..24, 0u64..24, "[a-c]{1,3}", any::<bool>()).prop_map(|(src, dst, key, v)| {
-            EventKind::SetEdgeAttr { src, dst, key, value: AttrValue::Bool(v) }
+            EventKind::SetEdgeAttr {
+                src,
+                dst,
+                key,
+                value: AttrValue::Bool(v),
+            }
         }),
-        (0u64..24, 0u64..24, "[a-c]{1,3}")
-            .prop_map(|(src, dst, key)| EventKind::RemoveEdgeAttr { src, dst, key }),
+        (0u64..24, 0u64..24, "[a-c]{1,3}").prop_map(|(src, dst, key)| EventKind::RemoveEdgeAttr {
+            src,
+            dst,
+            key
+        }),
     ]
 }
 

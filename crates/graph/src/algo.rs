@@ -69,7 +69,9 @@ pub fn local_clustering(g: &Graph, v: u32) -> f64 {
 /// Local clustering coefficient for every node; the workload of the
 /// paper's Fig. 15c TAF experiment.
 pub fn local_clustering_all(g: &Graph) -> Vec<(NodeId, f64)> {
-    (0..g.node_count() as u32).map(|i| (g.id(i), local_clustering(g, i))).collect()
+    (0..g.node_count() as u32)
+        .map(|i| (g.id(i), local_clustering(g, i)))
+        .collect()
 }
 
 /// Average clustering coefficient.
@@ -77,7 +79,9 @@ pub fn average_clustering(g: &Graph) -> f64 {
     if g.node_count() == 0 {
         return 0.0;
     }
-    let total: f64 = (0..g.node_count() as u32).map(|i| local_clustering(g, i)).sum();
+    let total: f64 = (0..g.node_count() as u32)
+        .map(|i| local_clustering(g, i))
+        .sum();
     total / g.node_count() as f64
 }
 
@@ -151,12 +155,12 @@ pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
     for _ in 0..iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling = 0.0;
-        for u in 0..n {
+        for (u, &r) in rank.iter().enumerate() {
             let outs = g.out_neighbors(u as u32);
             if outs.is_empty() {
-                dangling += rank[u];
+                dangling += r;
             } else {
-                let share = rank[u] / outs.len() as f64;
+                let share = r / outs.len() as f64;
                 for &v in outs {
                     next[v as usize] += share;
                 }
@@ -227,10 +231,15 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
 
 /// The set of node-ids within `k` hops of `center` (center included).
 pub fn khop_ids(g: &Graph, center: NodeId, k: usize) -> Vec<NodeId> {
-    let Some(c) = g.idx(center) else { return Vec::new() };
+    let Some(c) = g.idx(center) else {
+        return Vec::new();
+    };
     let dist = bounded_bfs(g, c, k);
-    let mut out: Vec<NodeId> =
-        dist.iter().filter(|(_, &d)| d <= k).map(|(&i, _)| g.id(i)).collect();
+    let mut out: Vec<NodeId> = dist
+        .iter()
+        .filter(|(_, &d)| d <= k)
+        .map(|(&i, _)| g.id(i))
+        .collect();
     out.sort_unstable();
     out
 }
@@ -292,7 +301,12 @@ mod tests {
     fn graph_from_edges(edges: &[(u64, u64)]) -> Graph {
         let mut d = Delta::new();
         for &(s, t) in edges {
-            d.apply_event(&EventKind::AddEdge { src: s, dst: t, weight: 1.0, directed: false });
+            d.apply_event(&EventKind::AddEdge {
+                src: s,
+                dst: t,
+                weight: 1.0,
+                directed: false,
+            });
         }
         Graph::from_delta(d)
     }
@@ -347,14 +361,22 @@ mod tests {
         // Star: all point at node 1.
         let mut d = Delta::new();
         for s in 2..=6u64 {
-            d.apply_event(&EventKind::AddEdge { src: s, dst: 1, weight: 1.0, directed: true });
+            d.apply_event(&EventKind::AddEdge {
+                src: s,
+                dst: 1,
+                weight: 1.0,
+                directed: true,
+            });
         }
         let g = Graph::from_delta(d);
         let pr = pagerank(&g, 0.85, 50);
         let total: f64 = pr.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "mass conservation: {total}");
         let hub = g.idx(1).unwrap() as usize;
-        assert!(pr.iter().enumerate().all(|(i, &x)| i == hub || x <= pr[hub]));
+        assert!(pr
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| i == hub || x <= pr[hub]));
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl Graph {
             for e in &n.edges {
                 // Edges may reference endpoints outside this delta when
                 // the graph was restricted to a partition; skip those.
-                let Some(&j) = index.get(&e.nbr) else { continue };
+                let Some(&j) = index.get(&e.nbr) else {
+                    continue;
+                };
                 if und.last() != Some(&j) {
                     und.push(j);
                 }
@@ -67,7 +69,14 @@ impl Graph {
             out.push(o);
             nodes.push(n);
         }
-        Graph { ids, index, nodes, neighbors, out, edge_count: half_edges / 2 }
+        Graph {
+            ids,
+            index,
+            nodes,
+            neighbors,
+            out,
+            edge_count: half_edges / 2,
+        }
     }
 
     /// Number of vertices.
@@ -149,7 +158,12 @@ mod tests {
         // 1-2-3 triangle, 3-4 tail
         let mut d = Delta::new();
         for (s, t) in [(1, 2), (2, 3), (1, 3), (3, 4)] {
-            d.apply_event(&EventKind::AddEdge { src: s, dst: t, weight: 1.0, directed: false });
+            d.apply_event(&EventKind::AddEdge {
+                src: s,
+                dst: t,
+                weight: 1.0,
+                directed: false,
+            });
         }
         Graph::from_delta(d)
     }
@@ -185,7 +199,12 @@ mod tests {
     #[test]
     fn directed_out_view() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: true });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 2,
+            weight: 1.0,
+            directed: true,
+        });
         let g = Graph::from_delta(d);
         let i1 = g.idx(1).unwrap();
         let i2 = g.idx(2).unwrap();
@@ -200,7 +219,12 @@ mod tests {
         // Node 1 lists neighbor 99 which is not in the delta (restricted
         // partition); the graph must not panic and must skip it.
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 1, dst: 99, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 99,
+            weight: 1.0,
+            directed: false,
+        });
         let restricted = d.restrict(|id| id == 1);
         let g = Graph::from_delta(restricted);
         assert_eq!(g.node_count(), 1);
@@ -217,6 +241,13 @@ mod tests {
             value: "X".into(),
         });
         let g = Graph::from_delta(d);
-        assert_eq!(g.node(5).unwrap().attrs.get("label").and_then(|v| v.as_text()), Some("X"));
+        assert_eq!(
+            g.node(5)
+                .unwrap()
+                .attrs
+                .get("label")
+                .and_then(|v| v.as_text()),
+            Some("X")
+        );
     }
 }

@@ -9,7 +9,12 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         let mut d = Delta::new();
         for (a, b) in edges {
             if a != b {
-                d.apply_event(&EventKind::AddEdge { src: a, dst: b, weight: 1.0, directed: false });
+                d.apply_event(&EventKind::AddEdge {
+                    src: a,
+                    dst: b,
+                    weight: 1.0,
+                    directed: false,
+                });
             }
         }
         Graph::from_delta(d)

@@ -77,15 +77,19 @@ impl CollapsedGraph {
     /// runs once over the full span, then each `sid`'s induced
     /// subgraph is partitioned.
     pub fn induced<F: Fn(NodeId) -> bool>(&self, keep: F) -> CollapsedGraph {
-        let kept: Vec<u32> =
-            (0..self.nodes.len() as u32).filter(|&i| keep(self.nodes[i as usize])).collect();
+        let kept: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&i| keep(self.nodes[i as usize]))
+            .collect();
         let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
         remap.reserve(kept.len());
         for (new_i, &old_i) in kept.iter().enumerate() {
             remap.insert(old_i, new_i as u32);
         }
         let nodes: Vec<NodeId> = kept.iter().map(|&i| self.nodes[i as usize]).collect();
-        let node_weights: Vec<f64> = kept.iter().map(|&i| self.node_weights[i as usize]).collect();
+        let node_weights: Vec<f64> = kept
+            .iter()
+            .map(|&i| self.node_weights[i as usize])
+            .collect();
         let adj: Vec<Vec<(u32, f64)>> = kept
             .iter()
             .map(|&i| {
@@ -100,7 +104,12 @@ impl CollapsedGraph {
         for (i, id) in nodes.iter().enumerate() {
             index.insert(*id, i as u32);
         }
-        CollapsedGraph { nodes, node_weights, adj, index }
+        CollapsedGraph {
+            nodes,
+            node_weights,
+            adj,
+            index,
+        }
     }
 
     /// Collapse a temporal graph over `range`.
@@ -179,9 +188,11 @@ impl CollapsedGraph {
         let mut deg_now: FxHashMap<NodeId, usize> = FxHashMap::default();
         let mut last_t = range.start;
 
-        let open_edge = |key: (NodeId, NodeId), w: f64, t: Time,
-                             live: &mut FxHashMap<(NodeId, NodeId), (Time, f64)>,
-                             maxes: &mut FxHashMap<(NodeId, NodeId), f64>| {
+        let open_edge = |key: (NodeId, NodeId),
+                         w: f64,
+                         t: Time,
+                         live: &mut FxHashMap<(NodeId, NodeId), (Time, f64)>,
+                         maxes: &mut FxHashMap<(NodeId, NodeId), f64>| {
             let entry = maxes.entry(key).or_insert(w);
             if w > *entry {
                 *entry = w;
@@ -205,13 +216,15 @@ impl CollapsedGraph {
             }
         }
 
-        let close_edge = |key: (NodeId, NodeId), t: Time,
-                              live: &mut FxHashMap<(NodeId, NodeId), (Time, f64)>,
-                              integral: &mut FxHashMap<(NodeId, NodeId), f64>| {
-            if let Some((since, w)) = live.remove(&key) {
-                *integral.entry(key).or_insert(0.0) += w * (t.saturating_sub(since)) as f64;
-            }
-        };
+        let close_edge =
+            |key: (NodeId, NodeId),
+             t: Time,
+             live: &mut FxHashMap<(NodeId, NodeId), (Time, f64)>,
+             integral: &mut FxHashMap<(NodeId, NodeId), f64>| {
+                if let Some((since, w)) = live.remove(&key) {
+                    *integral.entry(key).or_insert(0.0) += w * (t.saturating_sub(since)) as f64;
+                }
+            };
 
         for e in events {
             if !range.contains(e.time) {
@@ -231,7 +244,9 @@ impl CollapsedGraph {
                 last_t = e.time;
             }
             match &e.kind {
-                EventKind::AddEdge { src, dst, weight, .. } => {
+                EventKind::AddEdge {
+                    src, dst, weight, ..
+                } => {
                     let key = (*src.min(dst), *src.max(dst));
                     open_edge(key, *weight as f64, e.time, &mut live_since, &mut max_w);
                     *deg_now.entry(*src).or_insert(0) += 1;
@@ -281,15 +296,16 @@ impl CollapsedGraph {
 
         let edges: FxHashMap<(NodeId, NodeId), f64> = match omega {
             Omega::UnionMax => max_w,
-            Omega::UnionMean => {
-                integral.into_iter().map(|(k, v)| (k, v / span)).collect()
-            }
+            Omega::UnionMean => integral.into_iter().map(|(k, v)| (k, v / span)).collect(),
             Omega::Median => unreachable!(),
         };
         let avg_deg: Option<FxHashMap<NodeId, f64>> = match weighting {
-            NodeWeighting::AvgDegree => {
-                Some(deg_integral.into_iter().map(|(k, v)| (k, v / span)).collect())
-            }
+            NodeWeighting::AvgDegree => Some(
+                deg_integral
+                    .into_iter()
+                    .map(|(k, v)| (k, v / span))
+                    .collect(),
+            ),
             _ => None,
         };
         Self::build(all_nodes.into_iter().collect(), edges, weighting, avg_deg)
@@ -313,7 +329,9 @@ impl CollapsedGraph {
             if a == b || *w <= 0.0 {
                 continue;
             }
-            let (Some(&ia), Some(&ib)) = (index.get(a), index.get(b)) else { continue };
+            let (Some(&ia), Some(&ib)) = (index.get(a), index.get(b)) else {
+                continue;
+            };
             adj[ia as usize].push((ib, *w));
             adj[ib as usize].push((ia, *w));
         }
@@ -326,12 +344,19 @@ impl CollapsedGraph {
             .map(|(i, id)| match weighting {
                 NodeWeighting::Uniform => 1.0,
                 NodeWeighting::Degree => adj[i].len() as f64,
-                NodeWeighting::AvgDegree => {
-                    avg_deg.as_ref().and_then(|m| m.get(id)).copied().unwrap_or(0.0)
-                }
+                NodeWeighting::AvgDegree => avg_deg
+                    .as_ref()
+                    .and_then(|m| m.get(id))
+                    .copied()
+                    .unwrap_or(0.0),
             })
             .collect();
-        CollapsedGraph { nodes, node_weights, adj, index }
+        CollapsedGraph {
+            nodes,
+            node_weights,
+            adj,
+            index,
+        }
     }
 }
 
@@ -344,7 +369,15 @@ mod tests {
     }
 
     fn add(t: Time, s: NodeId, d: NodeId, w: f32) -> Event {
-        ev(t, EventKind::AddEdge { src: s, dst: d, weight: w, directed: false })
+        ev(
+            t,
+            EventKind::AddEdge {
+                src: s,
+                dst: d,
+                weight: w,
+                directed: false,
+            },
+        )
     }
 
     fn del(t: Time, s: NodeId, d: NodeId) -> Event {
@@ -354,8 +387,7 @@ mod tests {
     #[test]
     fn union_max_keeps_transient_edges() {
         // Edge (1,2) exists only during [2,5) but must be present.
-        let events =
-            vec![add(2, 1, 2, 3.0), del(5, 1, 2), add(6, 3, 4, 1.0)];
+        let events = vec![add(2, 1, 2, 3.0), del(5, 1, 2), add(6, 3, 4, 1.0)];
         let g = CollapsedGraph::collapse(
             &Delta::new(),
             &events,
@@ -373,8 +405,22 @@ mod tests {
     fn union_max_takes_maximum_weight() {
         let events = vec![
             add(1, 1, 2, 1.0),
-            ev(3, EventKind::SetEdgeWeight { src: 1, dst: 2, weight: 9.0 }),
-            ev(5, EventKind::SetEdgeWeight { src: 1, dst: 2, weight: 2.0 }),
+            ev(
+                3,
+                EventKind::SetEdgeWeight {
+                    src: 1,
+                    dst: 2,
+                    weight: 9.0,
+                },
+            ),
+            ev(
+                5,
+                EventKind::SetEdgeWeight {
+                    src: 1,
+                    dst: 2,
+                    weight: 2.0,
+                },
+            ),
         ];
         let g = CollapsedGraph::collapse(
             &Delta::new(),
@@ -424,7 +470,12 @@ mod tests {
     #[test]
     fn initial_state_is_included() {
         let mut initial = Delta::new();
-        initial.apply_event(&EventKind::AddEdge { src: 7, dst: 8, weight: 2.0, directed: false });
+        initial.apply_event(&EventKind::AddEdge {
+            src: 7,
+            dst: 8,
+            weight: 2.0,
+            directed: false,
+        });
         let g = CollapsedGraph::collapse(
             &initial,
             &[],
@@ -462,6 +513,10 @@ mod tests {
             NodeWeighting::AvgDegree,
         );
         let i1 = g.idx(1).unwrap() as usize;
-        assert!((g.node_weights[i1] - 0.5).abs() < 1e-9, "{}", g.node_weights[i1]);
+        assert!(
+            (g.node_weights[i1] - 0.5).abs() < 1e-9,
+            "{}",
+            g.node_weights[i1]
+        );
     }
 }

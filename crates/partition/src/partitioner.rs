@@ -25,7 +25,10 @@ impl PartitionMap {
     /// map, everything falls through to the hash).
     pub fn random(k: u32) -> PartitionMap {
         assert!(k >= 1);
-        PartitionMap { map: FxHashMap::default(), k }
+        PartitionMap {
+            map: FxHashMap::default(),
+            k,
+        }
     }
 
     /// Wrap an explicit assignment.
@@ -94,7 +97,10 @@ pub struct LocalityPartitioner {
 
 impl Default for LocalityPartitioner {
     fn default() -> LocalityPartitioner {
-        LocalityPartitioner { refine_passes: 2, balance_slack: 1.05 }
+        LocalityPartitioner {
+            refine_passes: 2,
+            balance_slack: 1.05,
+        }
     }
 }
 
@@ -280,12 +286,15 @@ mod tests {
                 for j in (i + 1)..n_per {
                     // sparse-ish cluster: connect if close
                     if j - i <= 3 {
-                        events.push(Event::new(*t, EventKind::AddEdge {
-                            src: base + i,
-                            dst: base + j,
-                            weight: 1.0,
-                            directed: false,
-                        }));
+                        events.push(Event::new(
+                            *t,
+                            EventKind::AddEdge {
+                                src: base + i,
+                                dst: base + j,
+                                weight: 1.0,
+                                directed: false,
+                            },
+                        ));
                         *t += 1;
                     }
                 }
@@ -293,12 +302,15 @@ mod tests {
         };
         clique(0, &mut events, &mut t);
         clique(1000, &mut events, &mut t);
-        events.push(Event::new(t, EventKind::AddEdge {
-            src: 0,
-            dst: 1000,
-            weight: 1.0,
-            directed: false,
-        }));
+        events.push(Event::new(
+            t,
+            EventKind::AddEdge {
+                src: 0,
+                dst: 1000,
+                weight: 1.0,
+                directed: false,
+            },
+        ));
         CollapsedGraph::collapse(
             &Delta::new(),
             &events,

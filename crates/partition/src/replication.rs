@@ -55,7 +55,12 @@ mod tests {
     fn line_graph(n: u64) -> Delta {
         let mut d = Delta::new();
         for i in 0..n - 1 {
-            d.apply_event(&EventKind::AddEdge { src: i, dst: i + 1, weight: 1.0, directed: false });
+            d.apply_event(&EventKind::AddEdge {
+                src: i,
+                dst: i + 1,
+                weight: 1.0,
+                directed: false,
+            });
         }
         d
     }
@@ -81,8 +86,18 @@ mod tests {
     #[test]
     fn no_cut_no_replicas() {
         let mut d = Delta::new();
-        d.apply_event(&EventKind::AddEdge { src: 0, dst: 1, weight: 1.0, directed: false });
-        d.apply_event(&EventKind::AddEdge { src: 10, dst: 11, weight: 1.0, directed: false });
+        d.apply_event(&EventKind::AddEdge {
+            src: 0,
+            dst: 1,
+            weight: 1.0,
+            directed: false,
+        });
+        d.apply_event(&EventKind::AddEdge {
+            src: 10,
+            dst: 11,
+            weight: 1.0,
+            directed: false,
+        });
         let mut m = FxHashMap::default();
         for i in [0u64, 1] {
             m.insert(i, 0);

@@ -88,7 +88,9 @@ pub fn plan_timespans(events: &[Event], events_per_span: usize) -> Vec<Timespan>
 /// Locate the span containing time `t` (spans tile `[0, Time::MAX)`).
 pub fn span_for_time(spans: &[Timespan], t: Time) -> usize {
     debug_assert!(!spans.is_empty());
-    spans.partition_point(|s| s.range.end <= t).min(spans.len() - 1)
+    spans
+        .partition_point(|s| s.range.end <= t)
+        .min(spans.len() - 1)
 }
 
 #[cfg(test)]
@@ -129,8 +131,10 @@ mod tests {
         events.extend((0..10).map(|_| ev(6)));
         let spans = plan_timespans(&events, 5);
         for s in &spans {
-            let times: Vec<Time> =
-                events[s.ev_start..s.ev_end].iter().map(|e| e.time).collect();
+            let times: Vec<Time> = events[s.ev_start..s.ev_end]
+                .iter()
+                .map(|e| e.time)
+                .collect();
             // span boundary never splits a timestamp group
             if s.ev_end < events.len() {
                 assert_ne!(times.last(), Some(&events[s.ev_end].time));

@@ -3,8 +3,8 @@
 
 use hgs_delta::{Delta, Event, EventKind, TimeRange};
 use hgs_partition::{
-    balance, edge_cut_fraction, plan_timespans, CollapsedGraph, LocalityPartitioner,
-    NodeWeighting, Omega, Partitioner, RandomPartitioner,
+    balance, edge_cut_fraction, plan_timespans, CollapsedGraph, LocalityPartitioner, NodeWeighting,
+    Omega, Partitioner, RandomPartitioner,
 };
 use proptest::prelude::*;
 
@@ -29,12 +29,15 @@ fn arb_clustered() -> impl Strategy<Value = Vec<Event>> {
                     let j = rand(per as u64);
                     if j != i {
                         t += 1;
-                        events.push(Event::new(t, EventKind::AddEdge {
-                            src: base + i,
-                            dst: base + j,
-                            weight: 1.0,
-                            directed: false,
-                        }));
+                        events.push(Event::new(
+                            t,
+                            EventKind::AddEdge {
+                                src: base + i,
+                                dst: base + j,
+                                weight: 1.0,
+                                directed: false,
+                            },
+                        ));
                     }
                 }
             }
@@ -45,12 +48,15 @@ fn arb_clustered() -> impl Strategy<Value = Vec<Event>> {
             let b = rand(clusters as u64) * 1000 + rand(per as u64);
             if a != b {
                 t += 1;
-                events.push(Event::new(t, EventKind::AddEdge {
-                    src: a,
-                    dst: b,
-                    weight: 1.0,
-                    directed: false,
-                }));
+                events.push(Event::new(
+                    t,
+                    EventKind::AddEdge {
+                        src: a,
+                        dst: b,
+                        weight: 1.0,
+                        directed: false,
+                    },
+                ));
             }
         }
         events

@@ -47,7 +47,10 @@ fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut out: u64 = 0;
     for shift in (0..64).step_by(7) {
         let Some(&b) = buf.get(*pos) else {
-            return Err(CodecError::UnexpectedEof { needed: 1, remaining: 0 });
+            return Err(CodecError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            });
         };
         *pos += 1;
         out |= ((b & 0x7f) as u64) << shift;
@@ -169,7 +172,10 @@ pub fn decompress(data: &[u8]) -> Result<Bytes, CodecError> {
                 let dist = get_varint(data, &mut pos)? as usize;
                 let len = get_varint(data, &mut pos)? as usize;
                 if dist == 0 || dist > out.len() {
-                    return Err(CodecError::BadTag { what: "lz-distance", tag: 1 });
+                    return Err(CodecError::BadTag {
+                        what: "lz-distance",
+                        tag: 1,
+                    });
                 }
                 let start = out.len() - dist;
                 // Overlapping copy: byte-by-byte is required when
@@ -179,11 +185,19 @@ pub fn decompress(data: &[u8]) -> Result<Bytes, CodecError> {
                     out.push(b);
                 }
             }
-            t => return Err(CodecError::BadTag { what: "lz-op", tag: t }),
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "lz-op",
+                    tag: t,
+                })
+            }
         }
     }
     if out.len() != raw_len {
-        return Err(CodecError::LengthOverflow { what: "lz-output", len: out.len() as u64 });
+        return Err(CodecError::LengthOverflow {
+            what: "lz-output",
+            len: out.len() as u64,
+        });
     }
     Ok(Bytes::from(out))
 }
@@ -261,7 +275,12 @@ mod tests {
         }
         let raw = encode_delta(&d);
         let c = compress(&raw);
-        assert!(c.len() < raw.len(), "deltas should compress: {} vs {}", c.len(), raw.len());
+        assert!(
+            c.len() < raw.len(),
+            "deltas should compress: {} vs {}",
+            c.len(),
+            raw.len()
+        );
         assert_eq!(&decompress(&c).unwrap()[..], &raw[..]);
     }
 

@@ -40,10 +40,10 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> CostModel {
         CostModel {
-            rtt_us: 900.0,          // ~1ms per request round
-            seek_us: 450.0,         // sub-ms random read on Cassandra
-            server_byte_us: 0.012,  // ~80 MB/s per storage node
-            client_byte_us: 0.020,  // ~50 MB/s single-client decode
+            rtt_us: 900.0,         // ~1ms per request round
+            seek_us: 450.0,        // sub-ms random read on Cassandra
+            server_byte_us: 0.012, // ~80 MB/s per storage node
+            client_byte_us: 0.020, // ~50 MB/s single-client decode
         }
     }
 }
@@ -67,8 +67,7 @@ impl CostModel {
         let server_us = per_machine
             .iter()
             .map(|m| {
-                (m.gets + m.scans) as f64 * self.seek_us
-                    + m.bytes_read as f64 * self.server_byte_us
+                (m.gets + m.scans) as f64 * self.seek_us + m.bytes_read as f64 * self.server_byte_us
             })
             .fold(0.0f64, f64::max);
 
@@ -83,7 +82,14 @@ mod tests {
     use super::*;
 
     fn snap(gets: u64, bytes: u64) -> MachineStatsSnapshot {
-        MachineStatsSnapshot { gets, scans: 0, rows_read: gets, bytes_read: bytes, puts: 0, bytes_written: 0 }
+        MachineStatsSnapshot {
+            gets,
+            scans: 0,
+            rows_read: gets,
+            bytes_read: bytes,
+            puts: 0,
+            bytes_written: 0,
+        }
     }
 
     #[test]

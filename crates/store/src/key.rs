@@ -92,13 +92,21 @@ pub struct DeltaKey {
 
 impl DeltaKey {
     pub fn new(tsid: u32, sid: u32, did: u64, pid: u32) -> DeltaKey {
-        DeltaKey { tsid, sid, did, pid }
+        DeltaKey {
+            tsid,
+            sid,
+            did,
+            pid,
+        }
     }
 
     /// Placement key of this delta key.
     #[inline]
     pub fn placement(&self) -> PlacementKey {
-        PlacementKey { tsid: self.tsid, sid: self.sid }
+        PlacementKey {
+            tsid: self.tsid,
+            sid: self.sid,
+        }
     }
 
     /// Order-preserving byte encoding.
@@ -161,7 +169,10 @@ mod tests {
         ];
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
-            assert!(w[0].encode() < w[1].encode(), "byte order must match tuple order");
+            assert!(
+                w[0].encode() < w[1].encode(),
+                "byte order must match tuple order"
+            );
         }
     }
 
@@ -186,8 +197,9 @@ mod tests {
     #[test]
     fn placement_tokens_spread() {
         use std::collections::HashSet;
-        let tokens: HashSet<u64> =
-            (0..32u32).map(|sid| PlacementKey::new(0, sid).token() % 4).collect();
+        let tokens: HashSet<u64> = (0..32u32)
+            .map(|sid| PlacementKey::new(0, sid).token() % 4)
+            .collect();
         assert!(tokens.len() >= 3, "placement should use most machines");
     }
 

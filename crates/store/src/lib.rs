@@ -34,5 +34,5 @@ pub mod store;
 pub use compress::{compress, decompress};
 pub use cost::CostModel;
 pub use key::{DeltaKey, PlacementKey, Table};
-pub use machine::{Machine, MachineStats};
+pub use machine::{Machine, MachineDown, MachineStats};
 pub use store::{SimStore, StoreConfig, StoreError, StoreStatsSnapshot};

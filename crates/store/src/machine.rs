@@ -79,6 +79,11 @@ impl MachineStats {
     }
 }
 
+/// Error returned by reads against a machine that is currently failed
+/// (see [`Machine::set_down`]); the store retries the next replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineDown;
+
 /// One storage machine: an ordered map from namespaced keys to values.
 ///
 /// Keys are `[table_tag] ++ key_bytes`; because the map is ordered,
@@ -136,7 +141,9 @@ impl Machine {
             return false;
         }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_written.fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
         self.data.write().insert(key, value);
         true
     }
@@ -149,38 +156,43 @@ impl Machine {
         self.data.write().remove(key).is_some()
     }
 
-    /// Point lookup. `Err(())` when the machine is down, `Ok(None)`
-    /// when absent.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>, ()> {
+    /// Point lookup. `Err(MachineDown)` when the machine is down,
+    /// `Ok(None)` when absent.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>, MachineDown> {
         if self.is_down() {
-            return Err(());
+            return Err(MachineDown);
         }
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         let guard = self.data.read();
         let out = guard.get(key).cloned();
         if let Some(v) = &out {
             self.stats.rows_read.fetch_add(1, Ordering::Relaxed);
-            self.stats.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+            self.stats
+                .bytes_read
+                .fetch_add(v.len() as u64, Ordering::Relaxed);
         }
         Ok(out)
     }
 
     /// Ordered prefix scan; returns `(key, value)` pairs whose key
     /// starts with `prefix`.
-    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, ()> {
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, MachineDown> {
         if self.is_down() {
-            return Err(());
+            return Err(MachineDown);
         }
         self.stats.scans.fetch_add(1, Ordering::Relaxed);
         let guard = self.data.read();
         let mut out = Vec::new();
-        let range = guard.range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded));
+        let range =
+            guard.range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded));
         for (k, v) in range {
             if !k.starts_with(prefix) {
                 break;
             }
             self.stats.rows_read.fetch_add(1, Ordering::Relaxed);
-            self.stats.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+            self.stats
+                .bytes_read
+                .fetch_add(v.len() as u64, Ordering::Relaxed);
             out.push((k.clone(), v.clone()));
         }
         Ok(out)

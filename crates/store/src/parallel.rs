@@ -39,7 +39,10 @@ where
     let f = &f;
     let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
     std::thread::scope(|s| {
-        let handles: Vec<_> = chunks.into_iter().map(|piece| s.spawn(move || f(piece))).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|piece| s.spawn(move || f(piece)))
+            .collect();
         for h in handles {
             results.push(h.join().expect("parallel fetch worker panicked"));
         }
@@ -75,7 +78,10 @@ where
             .into_iter()
             .map(|bucket| {
                 s.spawn(move || {
-                    bucket.into_iter().map(|(idx, job)| (idx, job())).collect::<Vec<_>>()
+                    bucket
+                        .into_iter()
+                        .map(|(idx, job)| (idx, job()))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -85,7 +91,10 @@ where
             }
         }
     });
-    slots.into_iter().map(|r| r.expect("missing job result")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.expect("missing job result"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -22,13 +22,21 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> StoreConfig {
-        StoreConfig { machines: 4, replication: 1, compress: false }
+        StoreConfig {
+            machines: 4,
+            replication: 1,
+            compress: false,
+        }
     }
 }
 
 impl StoreConfig {
     pub fn new(machines: usize, replication: usize) -> StoreConfig {
-        StoreConfig { machines, replication, compress: false }
+        StoreConfig {
+            machines,
+            replication,
+            compress: false,
+        }
     }
 
     pub fn with_compression(mut self, on: bool) -> StoreConfig {
@@ -77,7 +85,10 @@ impl SimStore {
             (1..=cfg.machines).contains(&cfg.replication),
             "replication must be in 1..=machines"
         );
-        SimStore { cfg, machines: (0..cfg.machines).map(|_| Machine::new()).collect() }
+        SimStore {
+            cfg,
+            machines: (0..cfg.machines).map(|_| Machine::new()).collect(),
+        }
     }
 
     /// Cluster configuration.
@@ -107,7 +118,11 @@ impl SimStore {
     /// Write a row to all replicas of its chunk. Returns the number of
     /// replicas that accepted the write (0 means fully unavailable).
     pub fn put(&self, table: Table, key: &[u8], token: u64, value: Bytes) -> usize {
-        let stored = if self.cfg.compress { compress(&value) } else { value };
+        let stored = if self.cfg.compress {
+            compress(&value)
+        } else {
+            value
+        };
         let nk = Self::namespaced(table, key);
         let mut ok = 0;
         for r in 0..self.cfg.replication {
@@ -127,7 +142,7 @@ impl SimStore {
             match self.machines[m].get(&nk) {
                 Ok(Some(bytes)) => return Ok(Some(self.maybe_decompress(bytes)?)),
                 Ok(None) => return Ok(None),
-                Err(()) => continue,
+                Err(crate::machine::MachineDown) => continue,
             }
         }
         Err(StoreError::Unavailable { table })
@@ -152,7 +167,7 @@ impl SimStore {
                     }
                     return Ok(out);
                 }
-                Err(()) => continue,
+                Err(crate::machine::MachineDown) => continue,
             }
         }
         Err(StoreError::Unavailable { table })
@@ -183,7 +198,10 @@ impl SimStore {
 
     /// Difference of two snapshots (per machine).
     pub fn stats_since(now: &StoreStatsSnapshot, then: &StoreStatsSnapshot) -> StoreStatsSnapshot {
-        now.iter().zip(then.iter()).map(|(a, b)| a.since(b)).collect()
+        now.iter()
+            .zip(then.iter())
+            .map(|(a, b)| a.since(b))
+            .collect()
     }
 
     /// Total stored bytes across machines — the index *size* measure of
@@ -217,8 +235,15 @@ mod tests {
     fn put_get_roundtrip() {
         let s = store(3, 1);
         let k = DeltaKey::new(0, 1, 2, 3);
-        s.put(Table::Deltas, &k.encode(), k.placement().token(), Bytes::from_static(b"v"));
-        let got = s.get(Table::Deltas, &k.encode(), k.placement().token()).unwrap();
+        s.put(
+            Table::Deltas,
+            &k.encode(),
+            k.placement().token(),
+            Bytes::from_static(b"v"),
+        );
+        let got = s
+            .get(Table::Deltas, &k.encode(), k.placement().token())
+            .unwrap();
         assert_eq!(got.as_deref(), Some(&b"v"[..]));
     }
 
@@ -227,8 +252,14 @@ mod tests {
         let s = store(1, 1);
         s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"a"));
         s.put(Table::Versions, b"k", 0, Bytes::from_static(b"b"));
-        assert_eq!(s.get(Table::Deltas, b"k", 0).unwrap().as_deref(), Some(&b"a"[..]));
-        assert_eq!(s.get(Table::Versions, b"k", 0).unwrap().as_deref(), Some(&b"b"[..]));
+        assert_eq!(
+            s.get(Table::Deltas, b"k", 0).unwrap().as_deref(),
+            Some(&b"a"[..])
+        );
+        assert_eq!(
+            s.get(Table::Versions, b"k", 0).unwrap().as_deref(),
+            Some(&b"b"[..])
+        );
     }
 
     #[test]
@@ -237,16 +268,29 @@ mod tests {
         let pk = PlacementKey::new(5, 0);
         for pid in [3u32, 1, 2, 0] {
             let k = DeltaKey::new(5, 0, 9, pid);
-            s.put(Table::Deltas, &k.encode(), pk.token(), Bytes::from(vec![pid as u8]));
+            s.put(
+                Table::Deltas,
+                &k.encode(),
+                pk.token(),
+                Bytes::from(vec![pid as u8]),
+            );
         }
         // A row of another delta on the same placement must not appear.
         let other = DeltaKey::new(5, 0, 10, 0);
-        s.put(Table::Deltas, &other.encode(), pk.token(), Bytes::from_static(b"x"));
+        s.put(
+            Table::Deltas,
+            &other.encode(),
+            pk.token(),
+            Bytes::from_static(b"x"),
+        );
         let rows = s
             .scan_prefix(Table::Deltas, &DeltaKey::delta_prefix(5, 0, 9), pk.token())
             .unwrap();
         assert_eq!(rows.len(), 4);
-        let pids: Vec<u32> = rows.iter().map(|(k, _)| DeltaKey::decode(k).unwrap().pid).collect();
+        let pids: Vec<u32> = rows
+            .iter()
+            .map(|(k, _)| DeltaKey::decode(k).unwrap().pid)
+            .collect();
         assert_eq!(pids, vec![0, 1, 2, 3]);
     }
 
@@ -257,7 +301,10 @@ mod tests {
         s.put(Table::Deltas, b"k", token, Bytes::from_static(b"v"));
         let primary = s.machine_for(token, 0);
         s.fail_machine(primary);
-        assert_eq!(s.get(Table::Deltas, b"k", token).unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(
+            s.get(Table::Deltas, b"k", token).unwrap().as_deref(),
+            Some(&b"v"[..])
+        );
         // Failing the replica too makes the chunk unavailable.
         s.fail_machine(s.machine_for(token, 1));
         assert!(matches!(
@@ -281,8 +328,14 @@ mod tests {
         let s = SimStore::new(StoreConfig::new(1, 1).with_compression(true));
         let value = Bytes::from(b"abcabcabcabcabcabcabcabcabc".repeat(100));
         s.put(Table::Deltas, b"k", 0, value.clone());
-        assert!(s.stored_bytes() < value.len(), "stored form should be smaller");
-        assert_eq!(s.get(Table::Deltas, b"k", 0).unwrap().as_deref(), Some(&value[..]));
+        assert!(
+            s.stored_bytes() < value.len(),
+            "stored form should be smaller"
+        );
+        assert_eq!(
+            s.get(Table::Deltas, b"k", 0).unwrap().as_deref(),
+            Some(&value[..])
+        );
     }
 
     #[test]
@@ -291,7 +344,12 @@ mod tests {
         let s2 = store(4, 2);
         for s in [&s1, &s2] {
             for i in 0..32u64 {
-                s.put(Table::Deltas, &i.to_be_bytes(), i * 7919, Bytes::from(vec![0u8; 100]));
+                s.put(
+                    Table::Deltas,
+                    &i.to_be_bytes(),
+                    i * 7919,
+                    Bytes::from(vec![0u8; 100]),
+                );
             }
         }
         assert_eq!(s2.stored_bytes(), 2 * s1.stored_bytes());
@@ -302,7 +360,12 @@ mod tests {
         let s = store(4, 1);
         for i in 0..4000u64 {
             let pk = PlacementKey::new((i / 64) as u32, (i % 64) as u32);
-            s.put(Table::Deltas, &i.to_be_bytes(), pk.token(), Bytes::from_static(b"v"));
+            s.put(
+                Table::Deltas,
+                &i.to_be_bytes(),
+                pk.token(),
+                Bytes::from_static(b"v"),
+            );
         }
         let rows = s.rows_per_machine();
         let min = *rows.iter().min().unwrap();

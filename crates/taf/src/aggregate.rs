@@ -16,11 +16,15 @@ pub trait TempAggregate {
 
 impl TempAggregate for [(Time, f64)] {
     fn t_max(&self) -> Option<(Time, f64)> {
-        self.iter().copied().reduce(|a, b| if b.1 > a.1 { b } else { a })
+        self.iter()
+            .copied()
+            .reduce(|a, b| if b.1 > a.1 { b } else { a })
     }
 
     fn t_min(&self) -> Option<(Time, f64)> {
-        self.iter().copied().reduce(|a, b| if b.1 < a.1 { b } else { a })
+        self.iter()
+            .copied()
+            .reduce(|a, b| if b.1 < a.1 { b } else { a })
     }
 
     fn t_mean(&self) -> Option<f64> {
@@ -88,7 +92,15 @@ mod tests {
     use super::*;
 
     fn series() -> Vec<(Time, f64)> {
-        vec![(0, 1.0), (10, 3.0), (20, 2.0), (30, 5.0), (40, 4.9), (50, 5.0), (60, 5.0)]
+        vec![
+            (0, 1.0),
+            (10, 3.0),
+            (20, 2.0),
+            (30, 5.0),
+            (40, 4.9),
+            (50, 5.0),
+            (60, 5.0),
+        ]
     }
 
     #[test]

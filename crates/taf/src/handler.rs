@@ -31,7 +31,10 @@ pub struct TgiHandler {
 impl TgiHandler {
     /// Connect with `workers` analytics workers (the paper's `ma`).
     pub fn new(tgi: Arc<Tgi>, workers: usize) -> TgiHandler {
-        TgiHandler { tgi, workers: workers.max(1) }
+        TgiHandler {
+            tgi,
+            workers: workers.max(1),
+        }
     }
 
     /// The underlying index.
@@ -110,7 +113,9 @@ impl SonQuery {
                     chunk
                         .into_iter()
                         .flat_map(|sid| {
-                            tgi.node_histories_for_sid(sid, range).into_iter().map(NodeT::new)
+                            tgi.node_histories_for_sid(sid, range)
+                                .into_iter()
+                                .map(NodeT::new)
                         })
                         .collect()
                 })
@@ -199,8 +204,13 @@ mod tests {
     use hgs_store::StoreConfig;
 
     fn setup() -> (Vec<hgs_delta::Event>, TgiHandler) {
-        let events =
-            LabeledChurn { nodes: 120, edge_events: 900, label_flips: 300, seed: 9 }.generate();
+        let events = LabeledChurn {
+            nodes: 120,
+            edge_events: 900,
+            label_flips: 300,
+            seed: 9,
+        }
+        .generate();
         let tgi = Tgi::build(
             TgiConfig {
                 events_per_timespan: 700,
@@ -238,11 +248,13 @@ mod tests {
             .timeslice(TimeRange::new(end / 2, end + 1))
             .select_ids(vec![1, 2, 3])
             .fetch();
-        let diff =
-            hgs_store::SimStore::stats_since(&h.tgi().store().stats_snapshot(), &before);
+        let diff = hgs_store::SimStore::stats_since(&h.tgi().store().stats_snapshot(), &before);
         let rows: u64 = diff.iter().map(|m| m.rows_read).sum();
         assert_eq!(son.len(), 3);
-        assert!(rows < 200, "pushdown must avoid a full-graph read, rows={rows}");
+        assert!(
+            rows < 200,
+            "pushdown must avoid a full-graph read, rows={rows}"
+        );
     }
 
     #[test]

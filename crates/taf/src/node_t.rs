@@ -64,7 +64,9 @@ impl NodeT {
 
     /// `getNeighborIDsAt(t)`.
     pub fn neighbor_ids_at(&self, t: Time) -> Vec<NodeId> {
-        self.version_at(t).map(|n| n.all_neighbors().collect()).unwrap_or_default()
+        self.version_at(t)
+            .map(|n| n.all_neighbors().collect())
+            .unwrap_or_default()
     }
 
     /// Distinct timepoints at which this node changed.
@@ -85,7 +87,9 @@ impl NodeT {
     pub fn timeslice(&self, sub: TimeRange) -> NodeT {
         let clamped = TimeRange::new(
             sub.start.max(self.start_time()),
-            sub.end.min(self.end_time()).max(sub.start.max(self.start_time())),
+            sub.end
+                .min(self.end_time())
+                .max(sub.start.max(self.start_time())),
         );
         let initial = self.history.state_at(clamped.start);
         let events = self
@@ -95,7 +99,14 @@ impl NodeT {
             .filter(|e| e.time > clamped.start && e.time < clamped.end)
             .cloned()
             .collect();
-        NodeT { history: NodeHistory { id: self.id(), range: clamped, initial, events } }
+        NodeT {
+            history: NodeHistory {
+                id: self.id(),
+                range: clamped,
+                initial,
+                events,
+            },
+        }
     }
 
     /// Keep only the named attributes in every state (the Filter
@@ -122,15 +133,18 @@ impl NodeT {
             .iter()
             .filter(|e| match &e.kind {
                 hgs_delta::EventKind::SetNodeAttr { key, .. }
-                | hgs_delta::EventKind::RemoveNodeAttr { key, .. } => {
-                    keys.contains(&key.as_str())
-                }
+                | hgs_delta::EventKind::RemoveNodeAttr { key, .. } => keys.contains(&key.as_str()),
                 _ => true,
             })
             .cloned()
             .collect();
         NodeT {
-            history: NodeHistory { id: self.id(), range: self.range(), initial, events },
+            history: NodeHistory {
+                id: self.id(),
+                range: self.range(),
+                initial,
+                events,
+            },
         }
     }
 
@@ -154,12 +168,23 @@ mod tests {
             range: TimeRange::new(10, 100),
             initial: Some(initial),
             events: vec![
-                Event::new(20, EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false }),
-                Event::new(40, EventKind::SetNodeAttr {
-                    id: 1,
-                    key: "color".into(),
-                    value: AttrValue::Text("blue".into()),
-                }),
+                Event::new(
+                    20,
+                    EventKind::AddEdge {
+                        src: 1,
+                        dst: 2,
+                        weight: 1.0,
+                        directed: false,
+                    },
+                ),
+                Event::new(
+                    40,
+                    EventKind::SetNodeAttr {
+                        id: 1,
+                        key: "color".into(),
+                        value: AttrValue::Text("blue".into()),
+                    },
+                ),
                 Event::new(60, EventKind::RemoveEdge { src: 1, dst: 2 }),
             ],
         })
@@ -173,7 +198,12 @@ mod tests {
         assert_eq!(v[0].1.as_ref().unwrap().degree(), 0);
         assert_eq!(v[1].1.as_ref().unwrap().degree(), 1);
         assert_eq!(
-            v[2].1.as_ref().unwrap().attrs.get("color").and_then(|a| a.as_text()),
+            v[2].1
+                .as_ref()
+                .unwrap()
+                .attrs
+                .get("color")
+                .and_then(|a| a.as_text()),
             Some("blue")
         );
         assert_eq!(v[3].1.as_ref().unwrap().degree(), 0);
@@ -194,7 +224,11 @@ mod tests {
         let s = n.timeslice(TimeRange::new(30, 50));
         assert_eq!(s.start_time(), 30);
         assert_eq!(s.events().len(), 1, "only the t=40 event remains");
-        assert_eq!(s.initial().unwrap().degree(), 1, "initial reflects t=30 state");
+        assert_eq!(
+            s.initial().unwrap().degree(),
+            1,
+            "initial reflects t=30 state"
+        );
     }
 
     #[test]

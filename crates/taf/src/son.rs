@@ -13,6 +13,11 @@ use hgs_store::parallel::parallel_chunks;
 use crate::aggregate::TempAggregate;
 use crate::node_t::NodeT;
 
+/// Caller-supplied selector of evaluation timepoints for
+/// [`SoN::node_compute_temporal`] (§5.2 "specifying interesting time
+/// points").
+pub type TimepointSelector = dyn Fn(&NodeT) -> Vec<Time> + Sync;
+
 /// A set of temporal nodes over a common time range.
 #[derive(Debug, Clone)]
 pub struct SoN {
@@ -25,7 +30,11 @@ impl SoN {
     /// Assemble from fetched temporal nodes.
     pub fn new(mut nodes: Vec<NodeT>, range: TimeRange, workers: usize) -> SoN {
         nodes.sort_by_key(|n| n.id());
-        SoN { nodes, range, workers: workers.max(1) }
+        SoN {
+            nodes,
+            range,
+            workers: workers.max(1),
+        }
     }
 
     /// Number of temporal nodes.
@@ -61,7 +70,10 @@ impl SoN {
 
     /// Look up one temporal node.
     pub fn get(&self, id: NodeId) -> Option<&NodeT> {
-        self.nodes.binary_search_by_key(&id, |n| n.id()).ok().map(|i| &self.nodes[i])
+        self.nodes
+            .binary_search_by_key(&id, |n| n.id())
+            .ok()
+            .map(|i| &self.nodes[i])
     }
 
     // ------------------------------------------------------------------
@@ -77,7 +89,11 @@ impl SoN {
         let kept = parallel_chunks(self.nodes.clone(), self.workers, |chunk| {
             chunk.into_iter().filter(|n| pred(n)).collect()
         });
-        SoN { nodes: kept, range: self.range, workers: self.workers }
+        SoN {
+            nodes: kept,
+            range: self.range,
+            workers: self.workers,
+        }
     }
 
     /// Selection on an attribute of the *latest* state, e.g.
@@ -85,7 +101,11 @@ impl SoN {
     pub fn select_attr(&self, key: &str, value: &str) -> SoN {
         self.select(|n| {
             n.version_at(n.end_time().saturating_sub(1))
-                .and_then(|s| s.attrs.get(key).and_then(|v| v.as_text().map(|t| t == value)))
+                .and_then(|s| {
+                    s.attrs
+                        .get(key)
+                        .and_then(|v| v.as_text().map(|t| t == value))
+                })
                 .unwrap_or(false)
         })
     }
@@ -96,13 +116,20 @@ impl SoN {
         let nodes = parallel_chunks(self.nodes.clone(), self.workers, |chunk| {
             chunk.into_iter().map(|n| n.timeslice(range)).collect()
         });
-        SoN { nodes, range, workers: self.workers }
+        SoN {
+            nodes,
+            range,
+            workers: self.workers,
+        }
     }
 
     /// Timeslicing to a single timepoint: returns the static states.
     pub fn timeslice_at(&self, t: Time) -> Vec<(NodeId, Option<StaticNode>)> {
         parallel_chunks(self.nodes.clone(), self.workers, |chunk| {
-            chunk.into_iter().map(|n| (n.id(), n.version_at(t))).collect()
+            chunk
+                .into_iter()
+                .map(|n| (n.id(), n.version_at(t)))
+                .collect()
         })
     }
 
@@ -111,7 +138,11 @@ impl SoN {
         let nodes = parallel_chunks(self.nodes.clone(), self.workers, |chunk| {
             chunk.into_iter().map(|n| n.filter_attrs(keys)).collect()
         });
-        SoN { nodes, range: self.range, workers: self.workers }
+        SoN {
+            nodes,
+            range: self.range,
+            workers: self.workers,
+        }
     }
 
     /// **Graph** (operator 3): materialize an in-memory graph of the
@@ -146,7 +177,7 @@ impl SoN {
     pub fn node_compute_temporal<R, F>(
         &self,
         f: F,
-        timepoints: Option<&(dyn Fn(&NodeT) -> Vec<Time> + Sync)>,
+        timepoints: Option<&TimepointSelector>,
     ) -> Vec<(NodeId, Vec<(Time, R)>)>
     where
         R: Send,
@@ -182,13 +213,15 @@ impl SoN {
     {
         let fa: FxHashMap<NodeId, f64> = a.node_compute(&f).into_iter().collect();
         let fb: FxHashMap<NodeId, f64> = b.node_compute(&f).into_iter().collect();
-        let mut ids: Vec<NodeId> =
-            fa.keys().chain(fb.keys()).copied().collect::<Vec<_>>();
+        let mut ids: Vec<NodeId> = fa.keys().chain(fb.keys()).copied().collect::<Vec<_>>();
         ids.sort_unstable();
         ids.dedup();
         ids.into_iter()
             .map(|id| {
-                (id, fa.get(&id).copied().unwrap_or(0.0) - fb.get(&id).copied().unwrap_or(0.0))
+                (
+                    id,
+                    fa.get(&id).copied().unwrap_or(0.0) - fb.get(&id).copied().unwrap_or(0.0),
+                )
             })
             .collect()
     }
@@ -217,7 +250,9 @@ impl SoN {
         F: Fn(&Graph) -> f64 + Sync,
     {
         let ts = self.sample_points(points);
-        ts.into_iter().map(|t| (t, quantity(&self.graph_at(t)))).collect()
+        ts.into_iter()
+            .map(|t| (t, quantity(&self.graph_at(t))))
+            .collect()
     }
 
     /// Evolution at caller-chosen timepoints.
@@ -225,7 +260,10 @@ impl SoN {
     where
         F: Fn(&Graph) -> f64 + Sync,
     {
-        times.iter().map(|&t| (t, quantity(&self.graph_at(t)))).collect()
+        times
+            .iter()
+            .map(|&t| (t, quantity(&self.graph_at(t))))
+            .collect()
     }
 
     /// `points` evenly spaced timepoints across the range (always
@@ -266,12 +304,15 @@ mod tests {
         let events = deg_edges
             .iter()
             .map(|&(t, other)| {
-                Event::new(t, EventKind::AddEdge {
-                    src: id,
-                    dst: other,
-                    weight: 1.0,
-                    directed: false,
-                })
+                Event::new(
+                    t,
+                    EventKind::AddEdge {
+                        src: id,
+                        dst: other,
+                        weight: 1.0,
+                        directed: false,
+                    },
+                )
             })
             .collect();
         NodeT::new(NodeHistory {
@@ -365,8 +406,14 @@ mod tests {
         let son = sample_son();
         let series = son.evolution(hgs_graph::algo::density, 5);
         assert_eq!(series.len(), 5);
-        assert!(series.last().unwrap().1 > series.first().unwrap().1, "graph densifies");
-        assert_eq!(SoN::aggregate_max(&series).unwrap().1, series.last().unwrap().1);
+        assert!(
+            series.last().unwrap().1 > series.first().unwrap().1,
+            "graph densifies"
+        );
+        assert_eq!(
+            SoN::aggregate_max(&series).unwrap().1,
+            series.last().unwrap().1
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct SoTS {
 impl SoTS {
     /// Assemble from fetched temporal subgraphs.
     pub fn new(subs: Vec<SubgraphT>, range: TimeRange, workers: usize) -> SoTS {
-        SoTS { subs, range, workers: workers.max(1) }
+        SoTS {
+            subs,
+            range,
+            workers: workers.max(1),
+        }
     }
 
     /// Number of subgraphs.
@@ -53,7 +57,11 @@ impl SoTS {
         let subs = parallel_chunks(self.subs.clone(), self.workers, |chunk| {
             chunk.into_iter().filter(|s| pred(s)).collect()
         });
-        SoTS { subs, range: self.range, workers: self.workers }
+        SoTS {
+            subs,
+            range: self.range,
+            workers: self.workers,
+        }
     }
 
     /// **NodeCompute**: evaluate `f` on each subgraph's state at one
@@ -64,7 +72,10 @@ impl SoTS {
         F: Fn(&Delta) -> R + Sync,
     {
         parallel_chunks(self.subs.clone(), self.workers, |chunk| {
-            chunk.into_iter().map(|s| (s.root, f(&s.version_at(t)))).collect()
+            chunk
+                .into_iter()
+                .map(|s| (s.root, f(&s.version_at(t))))
+                .collect()
         })
     }
 
@@ -183,16 +194,22 @@ mod tests {
         }
         let members: FxHashSet<NodeId> = [1u64, 2, 3].into_iter().collect();
         let events = vec![
-            Event::new(20, EventKind::SetNodeAttr {
-                id: 2,
-                key: "EntityType".into(),
-                value: AttrValue::Text("Author".into()),
-            }),
-            Event::new(40, EventKind::SetNodeAttr {
-                id: 1,
-                key: "EntityType".into(),
-                value: AttrValue::Text("Venue".into()),
-            }),
+            Event::new(
+                20,
+                EventKind::SetNodeAttr {
+                    id: 2,
+                    key: "EntityType".into(),
+                    value: AttrValue::Text("Author".into()),
+                },
+            ),
+            Event::new(
+                40,
+                EventKind::SetNodeAttr {
+                    id: 1,
+                    key: "EntityType".into(),
+                    value: AttrValue::Text("Venue".into()),
+                },
+            ),
             Event::new(60, EventKind::RemoveNode { id: 3 }),
         ];
         let sub = SubgraphT::new(1, members, initial, events, TimeRange::new(0, 100));

@@ -36,7 +36,13 @@ impl SubgraphT {
     ) -> SubgraphT {
         events.sort_by_key(|e| e.time);
         events.retain(|e| e.time > range.start && e.time < range.end);
-        SubgraphT { root, members, initial, events, range }
+        SubgraphT {
+            root,
+            members,
+            initial,
+            events,
+            range,
+        }
     }
 
     /// Member count.
@@ -87,7 +93,12 @@ impl SubgraphT {
             root: self.root,
             members: self.members.clone(),
             initial: self.initial.clone(),
-            events: self.events.iter().filter(|e| e.time < cutoff).cloned().collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.time < cutoff)
+                .cloned()
+                .collect(),
             range: TimeRange::new(self.range.start, cutoff),
         }
     }
@@ -166,11 +177,32 @@ mod tests {
 
     fn sample() -> SubgraphT {
         let mut initial = Delta::new();
-        initial.apply_event(&EventKind::AddEdge { src: 1, dst: 2, weight: 1.0, directed: false });
+        initial.apply_event(&EventKind::AddEdge {
+            src: 1,
+            dst: 2,
+            weight: 1.0,
+            directed: false,
+        });
         let members: FxHashSet<NodeId> = [1u64, 2, 3].into_iter().collect();
         let events = vec![
-            Event::new(20, EventKind::AddEdge { src: 2, dst: 3, weight: 1.0, directed: false }),
-            Event::new(30, EventKind::AddEdge { src: 2, dst: 99, weight: 1.0, directed: false }),
+            Event::new(
+                20,
+                EventKind::AddEdge {
+                    src: 2,
+                    dst: 3,
+                    weight: 1.0,
+                    directed: false,
+                },
+            ),
+            Event::new(
+                30,
+                EventKind::AddEdge {
+                    src: 2,
+                    dst: 99,
+                    weight: 1.0,
+                    directed: false,
+                },
+            ),
             Event::new(40, EventKind::RemoveEdge { src: 1, dst: 2 }),
         ];
         SubgraphT::new(1, members, initial, events, TimeRange::new(10, 100))

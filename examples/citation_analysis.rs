@@ -32,14 +32,22 @@ fn main() {
     let hub = {
         // the most-cited paper at the end of history
         let snap = tgi.snapshot(end);
-        snap.iter().max_by_key(|n| n.degree()).map(|n| n.id).unwrap()
+        snap.iter()
+            .max_by_key(|n| n.degree())
+            .map(|n| n.id)
+            .unwrap()
     };
     println!("most-cited paper: node {hub}");
     for frac in [4u64, 2, 1] {
         let t = end / frac;
         let cites = tgi
             .node_at(hub, t)
-            .map(|n| n.edges.iter().filter(|e| e.dir == hgs::delta::EdgeDir::In).count())
+            .map(|n| {
+                n.edges
+                    .iter()
+                    .filter(|e| e.dir == hgs::delta::EdgeDir::In)
+                    .count()
+            })
             .unwrap_or(0);
         println!("  citations at t={t:>8}: {cites}");
     }
@@ -50,7 +58,10 @@ fn main() {
     let versions = history.versions();
     println!("degree evolution ({} versions, sampled):", versions.len());
     for (t, state) in versions.iter().step_by(versions.len().div_ceil(8).max(1)) {
-        println!("  t={t:>8}  degree={}", state.as_ref().map(|s| s.degree()).unwrap_or(0));
+        println!(
+            "  t={t:>8}  degree={}",
+            state.as_ref().map(|s| s.degree()).unwrap_or(0)
+        );
     }
 
     // "The most central node last year": betweenness on the recent

@@ -33,10 +33,18 @@ fn main() {
     // Fig. 7b: Timeslice to the analysis window, Filter down to the
     // community attribute, Select each community, Compare.
     let window = TimeRange::new(end / 2, end + 1);
-    let son = handler.son().timeslice(window).fetch().filter_attrs(&["community"]);
+    let son = handler
+        .son()
+        .timeslice(window)
+        .fetch()
+        .filter_attrs(&["community"]);
     let son_a = son.select_attr("community", "A");
     let son_b = son.select_attr("community", "B");
-    println!("community A: {} members; community B: {} members", son_a.len(), son_b.len());
+    println!(
+        "community A: {} members; community B: {} members",
+        son_a.len(),
+        son_b.len()
+    );
 
     // Compare average connectivity (degree at window end) A vs B.
     let diff = SoN::compare(&son_a, &son_b, |n| {
@@ -49,7 +57,11 @@ fn main() {
     // evolution of this community" query of Fig. 1).
     for c in 0..2 {
         let name = community_name(c);
-        let members = handler.son().timeslice(window).fetch().select_attr("community", &name);
+        let members = handler
+            .son()
+            .timeslice(window)
+            .fetch()
+            .select_attr("community", &name);
         let series = members.evolution(algo::density, 6);
         println!("community {name} density evolution:");
         for (t, d) in &series {
@@ -60,11 +72,15 @@ fn main() {
     // Membership churn: who switched communities inside the window?
     let full = handler.son().timeslice(window).fetch();
     let switchers = full.select(|n| {
-        let first = n
-            .initial()
-            .and_then(|s| s.attrs.get("community").and_then(|v| v.as_text().map(String::from)));
+        let first = n.initial().and_then(|s| {
+            s.attrs
+                .get("community")
+                .and_then(|v| v.as_text().map(String::from))
+        });
         let last = n.version_at(end).and_then(|s| {
-            s.attrs.get("community").and_then(|v| v.as_text().map(String::from))
+            s.attrs
+                .get("community")
+                .and_then(|v| v.as_text().map(String::from))
         });
         first.is_some() && last.is_some() && first != last
     });
@@ -72,11 +88,19 @@ fn main() {
     for n in switchers.nodes().iter().take(5) {
         let from = n
             .initial()
-            .and_then(|s| s.attrs.get("community").and_then(|v| v.as_text().map(String::from)))
+            .and_then(|s| {
+                s.attrs
+                    .get("community")
+                    .and_then(|v| v.as_text().map(String::from))
+            })
             .unwrap_or_default();
         let to = n
             .version_at(end)
-            .and_then(|s| s.attrs.get("community").and_then(|v| v.as_text().map(String::from)))
+            .and_then(|s| {
+                s.attrs
+                    .get("community")
+                    .and_then(|v| v.as_text().map(String::from))
+            })
             .unwrap_or_default();
         println!("  node {} moved {from} -> {to}", n.id());
     }

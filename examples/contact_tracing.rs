@@ -31,7 +31,10 @@ fn main() {
         "patient zero {patient_zero}: {} distinct contacts after t={infection_time}",
         nh.neighbors.len()
     );
-    println!("neighborhood changed at {} timepoints", nh.change_times().len());
+    println!(
+        "neighborhood changed at {} timepoints",
+        nh.change_times().len()
+    );
 
     // Temporal BFS: infection can only travel forward in time along
     // edges that exist at (or appear after) the carrier's own
@@ -78,13 +81,21 @@ fn main() {
         }
         frontier = next;
         generations += 1;
-        println!("after generation {generations}: {} exposed", exposed_at.len());
+        println!(
+            "after generation {generations}: {} exposed",
+            exposed_at.len()
+        );
     }
 
     // Compare with the *static* view at the end of history: the
     // temporal trace catches transient contacts a static snapshot
     // misses, and correctly excludes contacts formed before infection.
-    let static_view = tgi.khop(patient_zero, end, generations, hgs::tgi::KhopStrategy::ViaSnapshot);
+    let static_view = tgi.khop(
+        patient_zero,
+        end,
+        generations,
+        hgs::tgi::KhopStrategy::ViaSnapshot,
+    );
     let static_set: FxHashSet<NodeId> = static_view.ids().collect();
     let temporal_set: FxHashSet<NodeId> = exposed_at.keys().copied().collect();
     let only_temporal = temporal_set.difference(&static_set).count();

@@ -49,12 +49,19 @@ fn main() {
     println!(
         "node {hub}: {} changes; final degree {}",
         history.change_count(),
-        history.versions().last().and_then(|(_, s)| s.as_ref().map(|s| s.degree())).unwrap_or(0)
+        history
+            .versions()
+            .last()
+            .and_then(|(_, s)| s.as_ref().map(|s| s.degree()))
+            .unwrap_or(0)
     );
 
     // 5. k-hop neighborhood (Algorithm 4) as of a past time.
     let neighborhood = tgi.khop(hub, then, 2, KhopStrategy::Recursive);
-    println!("2-hop neighborhood of {hub} at t={then}: {} nodes", neighborhood.cardinality());
+    println!(
+        "2-hop neighborhood of {hub} at t={then}: {} nodes",
+        neighborhood.cardinality()
+    );
 
     // 6. TAF: fetch a Set of Temporal Nodes and watch graph density
     //    evolve over ten sample points (Fig. 7c of the paper).

@@ -79,7 +79,10 @@ fn tgi_converges_to_copy_log() {
     let snap = tgi.snapshot_c(end / 2, 1);
     let diff = hgs::store::SimStore::stats_since(&tgi.store().stats_snapshot(), &before);
     let requests: u64 = diff.iter().map(|m| m.gets + m.scans).sum();
-    assert!(requests <= 3, "flat TGI must behave like Copy+Log, got {requests} requests");
+    assert!(
+        requests <= 3,
+        "flat TGI must behave like Copy+Log, got {requests} requests"
+    );
     assert_eq!(snap, Delta::snapshot_by_replay(&events, end / 2));
 }
 
@@ -97,15 +100,27 @@ fn full_pipeline_analytics_match_reference() {
     }
     .generate();
     let end = events.last().unwrap().time;
-    let tgi = Arc::new(Tgi::build(TgiConfig::default(), StoreConfig::new(2, 1), &events));
+    let tgi = Arc::new(Tgi::build(
+        TgiConfig::default(),
+        StoreConfig::new(2, 1),
+        &events,
+    ));
     let handler = TgiHandler::new(tgi, 3);
     let son = handler.son().timeslice(TimeRange::new(0, end + 1)).fetch();
 
     for t in [end / 3, end] {
         let reference = hgs::graph::Graph::from_delta(Delta::snapshot_by_replay(&events, t));
         let via_taf = son.graph_at(t);
-        assert_eq!(via_taf.node_count(), reference.node_count(), "nodes at t={t}");
-        assert_eq!(via_taf.edge_count(), reference.edge_count(), "edges at t={t}");
+        assert_eq!(
+            via_taf.node_count(),
+            reference.node_count(),
+            "nodes at t={t}"
+        );
+        assert_eq!(
+            via_taf.edge_count(),
+            reference.edge_count(),
+            "edges at t={t}"
+        );
         let d1 = algo::density(&via_taf);
         let d2 = algo::density(&reference);
         assert!((d1 - d2).abs() < 1e-12, "density at t={t}");
@@ -126,10 +141,19 @@ fn full_pipeline_analytics_match_reference() {
 
 #[test]
 fn incremental_operator_equals_recompute_on_real_trace() {
-    let events =
-        LabeledChurn { nodes: 200, edge_events: 1_500, label_flips: 800, seed: 21 }.generate();
+    let events = LabeledChurn {
+        nodes: 200,
+        edge_events: 1_500,
+        label_flips: 800,
+        seed: 21,
+    }
+    .generate();
     let end = events.last().unwrap().time;
-    let tgi = Arc::new(Tgi::build(TgiConfig::default(), StoreConfig::new(2, 1), &events));
+    let tgi = Arc::new(Tgi::build(
+        TgiConfig::default(),
+        StoreConfig::new(2, 1),
+        &events,
+    ));
     let handler = TgiHandler::new(tgi, 2);
     let sots = handler
         .sots(2)
@@ -173,7 +197,11 @@ fn store_failure_injection_with_replication_keeps_queries_alive() {
     let want = Delta::snapshot_by_replay(&events, end);
     for failed in 0..4 {
         tgi.store().fail_machine(failed);
-        assert_eq!(tgi.snapshot(end), want, "snapshot with machine {failed} down");
+        assert_eq!(
+            tgi.snapshot(end),
+            want,
+            "snapshot with machine {failed} down"
+        );
         assert_eq!(
             tgi.node_at(0, end),
             want.node(0).cloned(),

@@ -1,0 +1,384 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! Implements only what this workspace uses: a cheaply cloneable
+//! immutable byte buffer ([`Bytes`]), a growable builder
+//! ([`BytesMut`]), and the [`Buf`]/[`BufMut`] traits for the little-
+//! and big-endian accessors the codecs call. Swap for the real crate
+//! when building against a registry.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+// Like the real crate, comparisons and hashing are by *content*, so a
+// `slice()` view equals an owned buffer with the same bytes.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wrap a static byte slice (copies here; the real crate borrows).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-slice sharing the same backing allocation.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == &other[..]
+    }
+}
+
+/// A growable byte buffer, frozen into [`Bytes`] when complete.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty builder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+macro_rules! put_methods {
+    ($($name:ident: $ty:ty => $conv:ident),+ $(,)?) => {
+        $(
+            /// Append the value in the byte order named by the method.
+            fn $name(&mut self, v: $ty) {
+                self.put_slice(&v.$conv());
+            }
+        )+
+    };
+}
+
+/// Write access to a byte buffer (the subset used by the codecs).
+pub trait BufMut {
+    /// Append a slice of bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append another buffer's remaining bytes.
+    fn put<B: AsRef<[u8]>>(&mut self, other: B)
+    where
+        Self: Sized,
+    {
+        self.put_slice(other.as_ref());
+    }
+
+    put_methods! {
+        put_u16: u16 => to_be_bytes,
+        put_u16_le: u16 => to_le_bytes,
+        put_u32: u32 => to_be_bytes,
+        put_u32_le: u32 => to_le_bytes,
+        put_u64: u64 => to_be_bytes,
+        put_u64_le: u64 => to_le_bytes,
+        put_i64: i64 => to_be_bytes,
+        put_i64_le: i64 => to_le_bytes,
+        put_f32: f32 => to_be_bytes,
+        put_f32_le: f32 => to_le_bytes,
+        put_f64: f64 => to_be_bytes,
+        put_f64_le: f64 => to_le_bytes,
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+macro_rules! get_methods {
+    ($($name:ident: $ty:ty => $conv:ident),+ $(,)?) => {
+        $(
+            /// Read the value in the byte order named by the method,
+            /// advancing the cursor. Panics if underfull.
+            fn $name(&mut self) -> $ty {
+                const N: usize = std::mem::size_of::<$ty>();
+                let mut raw = [0u8; N];
+                raw.copy_from_slice(&self.chunk()[..N]);
+                self.advance(N);
+                <$ty>::$conv(raw)
+            }
+        )+
+    };
+}
+
+/// Read access to a byte buffer (the subset used by the codecs).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read a single byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Copy bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    get_methods! {
+        get_u16: u16 => from_be_bytes,
+        get_u16_le: u16 => from_le_bytes,
+        get_u32: u32 => from_be_bytes,
+        get_u32_le: u32 => from_le_bytes,
+        get_u64: u64 => from_be_bytes,
+        get_u64_le: u64 => from_le_bytes,
+        get_i64: i64 => from_be_bytes,
+        get_i64_le: i64 => from_le_bytes,
+        get_f32: f32 => from_be_bytes,
+        get_f32_le: f32 => from_le_bytes,
+        get_f64: f64 => from_be_bytes,
+        get_f64_le: f64 => from_le_bytes,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_f64_le(1.5);
+        b.put_slice(b"xy");
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r, b"xy");
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(&b.slice(1..3)[..], &[2, 3]);
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for [`rand`](https://docs.rs/rand) 0.9.
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64 —
+//! *not* the same stream as the real crate, but deterministic per
+//! seed, which is all the workspace's generators require) plus the
+//! `Rng` / `SeedableRng` / `SliceRandom` surface actually used:
+//! `random::<f64>()`, `random_range(..)`, and `shuffle`.
+
+/// Commonly used traits, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, SeedableRng, SliceRandom};
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator
+    /// (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding support (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Sample one value from the type's standard distribution.
+    fn sample_standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(rng: &mut StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(rng: &mut StdRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi)`.
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($ty:ty),+) => {
+        $(impl UniformInt for $ty {
+            fn sample_range(rng: &mut StdRng, lo: $ty, hi: $ty) -> $ty {
+                assert!(lo < hi, "empty random_range");
+                let span = (hi - lo) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of the plain variant is irrelevant for
+                // workload generation but rejection keeps it exact.
+                let zone = u64::MAX - u64::MAX % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return lo + (v % span) as $ty;
+                    }
+                }
+            }
+        })+
+    };
+}
+
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($ty:ty : $uty:ty),+) => {
+        $(impl UniformInt for $ty {
+            fn sample_range(rng: &mut StdRng, lo: $ty, hi: $ty) -> $ty {
+                assert!(lo < hi, "empty random_range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                let off = <u64 as UniformInt>::sample_range(rng, 0, span);
+                ((lo as i64).wrapping_add(off as i64)) as $ty
+            }
+        })+
+    };
+}
+
+uniform_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+/// The generator interface (the `random`/`random_range` subset).
+pub trait Rng {
+    /// Access the underlying concrete generator.
+    fn as_std(&mut self) -> &mut StdRng;
+
+    /// Sample from the type's standard distribution
+    /// (`random::<f64>()` is uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self.as_std())
+    }
+
+    /// Sample uniformly from a half-open range.
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self.as_std(), range.start, range.end)
+    }
+
+    /// Sample `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl Rng for StdRng {
+    fn as_std(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+/// In-place slice shuffling (the `shuffle` subset of `SliceRandom`).
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
