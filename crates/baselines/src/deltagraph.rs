@@ -102,7 +102,7 @@ impl HistoricalIndex for Tgi {
     }
 
     fn one_hop(&self, nid: NodeId, t: Time) -> Delta {
-        Tgi::khop(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
+        Tgi::khop_with(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
     }
 }
 

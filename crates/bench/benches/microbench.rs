@@ -86,7 +86,7 @@ fn bench_tgi(c: &mut Criterion) {
         bench.iter(|| black_box(tgi.node_history(0, TimeRange::new(0, end + 1))))
     });
     c.bench_function("tgi/khop2_recursive", |bench| {
-        bench.iter(|| black_box(tgi.khop(0, end / 2, 2, KhopStrategy::Recursive)))
+        bench.iter(|| black_box(tgi.khop_with(0, end / 2, 2, KhopStrategy::Recursive)))
     });
 }
 

@@ -67,8 +67,12 @@ fn main() {
             std::hint::black_box(tgi.node_history(id, range));
         }
     });
+    // Naive multipoint (one independent snapshot per time) vs the
+    // shared-path planner behind `Tgi::snapshots`. CI gates on
+    // shared < naive.
     let times = growth_times(&events, 4);
-    let multipoint = time_median(|| tgi.snapshots(&times));
+    let multipoint = time_median(|| times.iter().map(|&t| tgi.snapshot(t)).collect::<Vec<_>>());
+    let multipoint_shared = time_median(|| tgi.snapshots(&times));
 
     let json = format!(
         "{{\n  \
@@ -83,7 +87,8 @@ fn main() {
          \"snapshot_requests\": {requests},\n  \
          \"node_at_x8_secs\": {node_at:.5},\n  \
          \"node_history_x8_secs\": {node_history:.5},\n  \
-         \"multipoint_x4_secs\": {multipoint:.5}\n\
+         \"multipoint_x4_secs\": {multipoint:.5},\n  \
+         \"multipoint_shared_secs\": {multipoint_shared:.5}\n\
          }}\n",
         storage = tgi.storage_bytes(),
         modeled = report.modeled_secs,

@@ -1,0 +1,40 @@
+//! Multipoint-retrieval benchmark: shared-path planner vs naive loop,
+//! emitted as JSON (`BENCH_multipoint.json`) so CI and later PRs can
+//! track the planner's speedup.
+//!
+//! ```text
+//! cargo run --release -p hgs-bench --bin bench_multipoint -- BENCH_multipoint.json
+//! ```
+
+use hgs_bench::experiments::multipoint;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_multipoint.json".to_string());
+    let rows = multipoint();
+    let mut json = String::from("{\n  \"dataset\": \"WikiGrowth\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"k\": {}, \"naive_secs\": {:.5}, \"shared_cold_secs\": {:.5}, \
+             \"shared_secs\": {:.5}, \
+             \"speedup\": {:.2}, \"naive_requests\": {}, \"shared_requests\": {}, \
+             \"shared_round_trips\": {}, \"planned_shared_units\": {}, \
+             \"planned_naive_units\": {}}}{}\n",
+            r.k,
+            r.naive_secs,
+            r.shared_cold_secs,
+            r.shared_secs,
+            r.naive_secs / r.shared_secs.max(1e-9),
+            r.naive_requests,
+            r.shared_requests,
+            r.shared_round_trips,
+            r.planned_shared_units,
+            r.planned_naive_units,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+}

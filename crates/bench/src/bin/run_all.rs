@@ -20,5 +20,6 @@ fn main() {
     e::ablation_arity();
     e::ablation_timespan();
     e::ablation_horizontal();
+    e::multipoint();
     eprintln!("# run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

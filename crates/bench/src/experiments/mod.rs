@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod analytics;
+pub mod multipoint;
 pub mod partitioning;
 pub mod retrieval;
 pub mod table1;
@@ -10,6 +11,7 @@ pub mod versions;
 
 pub use ablation::{ablation_arity, ablation_horizontal, ablation_timespan};
 pub use analytics::{fig15c, fig17};
+pub use multipoint::{multipoint, multipoint_row, MultipointRow};
 pub use partitioning::fig15a;
 pub use retrieval::{fig11, fig12, fig13a, fig13b, fig13c, fig15b};
 pub use table1::table1;

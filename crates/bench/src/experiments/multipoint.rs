@@ -1,0 +1,136 @@
+//! Multipoint snapshot retrieval: shared-path planner vs the naive
+//! per-time loop (§4.6's path-sharing claim, beyond the paper's
+//! single-point figures).
+//!
+//! For growing batch sizes `k`, times are spread across the trace and
+//! retrieved twice: once as `k` independent `snapshot` calls
+//! (refetching the whole root-to-leaf path per time) and once through
+//! [`hgs_core::Tgi::try_snapshots`] (union of paths fetched once per
+//! chunk, grouped scans, clone-at-divergence). Reported per `k`: wall
+//! seconds, store requests and round-trips for both plans, plus the
+//! planner's predicted fetch sharing.
+
+use hgs_core::Tgi;
+use hgs_delta::{Delta, Time};
+use hgs_store::{SimStore, StoreConfig};
+
+use crate::datasets::*;
+use crate::harness::*;
+
+/// One row of the comparison: naive loop vs shared planner at batch
+/// size `k`. `shared_cold_secs` is the first planner execution on an
+/// empty decode cache; `shared_secs` is the steady state (median of
+/// three warm runs), which is what a serving system pays.
+#[derive(Debug, Clone, Copy)]
+pub struct MultipointRow {
+    pub k: usize,
+    pub naive_secs: f64,
+    pub shared_cold_secs: f64,
+    pub shared_secs: f64,
+    pub naive_requests: u64,
+    pub shared_requests: u64,
+    pub shared_round_trips: u64,
+    pub planned_shared_units: usize,
+    pub planned_naive_units: usize,
+}
+
+fn median3(mut xs: [f64; 3]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[1]
+}
+
+/// Measure one batch size on a prepared index. Resets the planner's
+/// decode cache first so `shared_cold_secs` is genuinely cold.
+pub fn multipoint_row(tgi: &mut Tgi, times: &[Time]) -> MultipointRow {
+    tgi.set_plan_cache_capacity(0);
+    tgi.set_plan_cache_capacity(64 << 20);
+    let tgi = &*tgi;
+    let naive = |ts: &[Time]| -> Vec<Delta> { ts.iter().map(|&t| tgi.snapshot(t)).collect() };
+
+    let (shared_snaps, cold_rep) = timed(tgi, 1, || tgi.snapshots(times));
+    let shared_secs =
+        median3([0, 1, 2].map(|_| timed(tgi, 1, || tgi.snapshots(times)).1.wall_secs));
+    let naive_secs = median3([0, 1, 2].map(|_| timed(tgi, 1, || naive(times)).1.wall_secs));
+    let (naive_snaps, naive_rep) = timed(tgi, 1, || naive(times));
+    assert_eq!(naive_snaps, shared_snaps, "planner must match naive");
+
+    let before = tgi.store().stats_snapshot();
+    let (_, shared_rep) = timed(tgi, 1, || tgi.snapshots(times));
+    let diff = SimStore::stats_since(&tgi.store().stats_snapshot(), &before);
+    let shared_round_trips: u64 = diff.iter().map(|m| m.batches).sum();
+
+    let plan = tgi.plan_multipoint(times);
+    MultipointRow {
+        k: times.len(),
+        naive_secs,
+        shared_cold_secs: cold_rep.wall_secs,
+        shared_secs,
+        naive_requests: naive_rep.requests(),
+        shared_requests: shared_rep.requests(),
+        shared_round_trips,
+        planned_shared_units: plan.shared_fetch_units,
+        planned_naive_units: plan.naive_fetch_units,
+    }
+}
+
+/// The multipoint experiment over dataset 1: rows for k in
+/// {2, 4, 8, 16}, printed as TSV and returned for JSON emission.
+pub fn multipoint() -> Vec<MultipointRow> {
+    banner(
+        "Multipoint",
+        "shared-path multipoint retrieval vs naive per-time loop",
+        "m=4 r=1 ps=500 l=500 c=1",
+    );
+    let events = dataset1();
+    let mut tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
+    header(&[
+        "k",
+        "naive_s",
+        "shared_cold_s",
+        "shared_s",
+        "speedup",
+        "naive_reqs",
+        "shared_reqs",
+        "round_trips",
+    ]);
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8, 16] {
+        let times = growth_times(&events, k);
+        let row = multipoint_row(&mut tgi, &times);
+        println!(
+            "{}\t{}\t{}\t{}\t{:.2}\t{}\t{}\t{}",
+            row.k,
+            secs(row.naive_secs),
+            secs(row.shared_cold_secs),
+            secs(row.shared_secs),
+            row.naive_secs / row.shared_secs.max(1e-9),
+            row.naive_requests,
+            row.shared_requests,
+            row.shared_round_trips,
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_datagen::WikiGrowth;
+
+    #[test]
+    fn shared_plan_issues_fewer_requests() {
+        let events = WikiGrowth::sized(4_000).generate();
+        let mut tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
+        let times = growth_times(&events, 4);
+        let row = multipoint_row(&mut tgi, &times);
+        assert!(
+            row.shared_requests < row.naive_requests,
+            "shared {} vs naive {}",
+            row.shared_requests,
+            row.naive_requests
+        );
+        assert!(row.planned_shared_units < row.planned_naive_units);
+        assert!(row.shared_round_trips as usize <= row.planned_shared_units);
+    }
+}

@@ -32,7 +32,7 @@ use hgs_partition::{
     CollapsedGraph, LocalityPartitioner, PartitionMap, Partitioner, RandomPartitioner,
 };
 use hgs_store::key::{node_key, node_placement_token};
-use hgs_store::{CostModel, DeltaKey, PlacementKey, SimStore, StoreConfig, Table};
+use hgs_store::{CostModel, DeltaKey, PlacementKey, SimStore, StoreConfig, StoreError, Table};
 
 use crate::config::{PartitionStrategy, TgiConfig};
 use crate::meta::{
@@ -60,18 +60,97 @@ pub struct Tgi {
     pub(crate) cost: CostModel,
     pub(crate) clients: usize,
     pub(crate) event_count: usize,
+    /// Decoded-row cache for the multipoint planner (index rows are
+    /// write-once, so entries never go stale).
+    pub(crate) plan_cache: crate::query_plan::PlanCache,
+    /// Set when an append failed partway (see
+    /// [`Tgi::try_append_events`]); further appends are refused.
+    pub(crate) poisoned: bool,
+}
+
+/// Errors from the fallible build path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A store write reached zero replicas (or a read-modify-write
+    /// read found every replica down).
+    Store(StoreError),
+    /// A previous `try_append_events` failed partway: some of that
+    /// batch's rows and span-metadata updates are persisted and the
+    /// in-memory tail state has advanced, so retrying the batch on
+    /// this handle would double-apply events. Discard the handle and
+    /// rebuild (or [`Tgi::open`](crate::persist) a fresh one from the
+    /// store once the cluster is healthy).
+    Poisoned,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Store(e) => write!(f, "index write failed: {e}"),
+            BuildError::Poisoned => write!(
+                f,
+                "index poisoned by an earlier failed append; discard this handle and rebuild"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Store(e) => Some(e),
+            BuildError::Poisoned => None,
+        }
+    }
+}
+
+impl From<StoreError> for BuildError {
+    fn from(e: StoreError) -> BuildError {
+        BuildError::Store(e)
+    }
+}
+
+/// Panic with context when a build against a degraded cluster reaches
+/// an infallible API.
+fn unwrap_write<T>(r: Result<T, BuildError>) -> T {
+    r.unwrap_or_else(|e| {
+        panic!("TGI build failed ({e}); use the try_* builder to handle write failures")
+    })
 }
 
 impl Tgi {
     /// Build an index over `events` (chronologically sorted) on a
-    /// fresh simulated cluster.
+    /// fresh simulated cluster. Panics if any index write reaches no
+    /// replica; see [`Tgi::try_build`].
     pub fn build(cfg: TgiConfig, store_cfg: StoreConfig, events: &[Event]) -> Tgi {
-        Tgi::build_on(cfg, Arc::new(SimStore::new(store_cfg)), events)
+        unwrap_write(Tgi::try_build(cfg, store_cfg, events))
+    }
+
+    /// Fallible [`Tgi::build`]: errors with
+    /// [`StoreError::Unavailable`] (wrapped in [`BuildError::Store`])
+    /// if any delta write is accepted by zero replicas — a build
+    /// against a degraded cluster must not silently drop deltas.
+    pub fn try_build(
+        cfg: TgiConfig,
+        store_cfg: StoreConfig,
+        events: &[Event],
+    ) -> Result<Tgi, BuildError> {
+        Tgi::try_build_on(cfg, Arc::new(SimStore::new(store_cfg)), events)
     }
 
     /// Build on an existing store (lets several indexes share a
-    /// cluster in experiments).
+    /// cluster in experiments). Panics on write failure; see
+    /// [`Tgi::try_build_on`].
     pub fn build_on(cfg: TgiConfig, store: Arc<SimStore>, events: &[Event]) -> Tgi {
+        unwrap_write(Tgi::try_build_on(cfg, store, events))
+    }
+
+    /// Fallible [`Tgi::build_on`].
+    pub fn try_build_on(
+        cfg: TgiConfig,
+        store: Arc<SimStore>,
+        events: &[Event],
+    ) -> Result<Tgi, BuildError> {
         cfg.validate();
         let mut tgi = Tgi {
             cfg,
@@ -82,9 +161,11 @@ impl Tgi {
             cost: CostModel::default(),
             clients: 1,
             event_count: 0,
+            plan_cache: crate::query_plan::PlanCache::default(),
+            poisoned: false,
         };
-        tgi.append_events(events);
-        tgi
+        tgi.try_append_events(events)?;
+        Ok(tgi)
     }
 
     /// Append a batch of events. Events must not precede the current
@@ -97,14 +178,36 @@ impl Tgi {
     /// needs the edges *entering* the batch too, so the expansion runs
     /// against the current tail state.
     pub fn append_events(&mut self, events: &[Event]) {
+        unwrap_write(self.try_append_events(events));
+    }
+
+    /// Fallible [`Tgi::append_events`]: surfaces any index write that
+    /// reached zero replicas as [`StoreError::Unavailable`] (wrapped
+    /// in [`BuildError::Store`]). Writes that reach only *some*
+    /// replicas succeed with degraded durability and are counted in
+    /// [`SimStore::partial_put_count`].
+    ///
+    /// An append is **not atomic**: on `Err` some of the batch's rows
+    /// and metadata updates may already be persisted and the
+    /// in-memory tail state may have advanced. The handle is then
+    /// *poisoned* — every further append fails with
+    /// [`BuildError::Poisoned`] (queries remain allowed; they reflect
+    /// whatever was durably written). Recover by rebuilding, or by
+    /// re-opening from the store on a healed cluster.
+    pub fn try_append_events(&mut self, events: &[Event]) -> Result<(), BuildError> {
+        if self.poisoned {
+            return Err(BuildError::Poisoned);
+        }
         let events = &self.normalize_batch(events)[..];
         if events.is_empty() {
             if self.spans.is_empty() {
                 // An index over an empty history still answers queries
                 // (with empty results): materialize one empty span.
-                self.build_span(&[], TimeRange::new(0, Time::MAX));
+                self.poisoned = true;
+                self.build_span(&[], TimeRange::new(0, Time::MAX))?;
+                self.poisoned = false;
             }
-            return;
+            return Ok(());
         }
         assert!(
             events.windows(2).all(|w| w[0].time <= w[1].time),
@@ -117,11 +220,14 @@ impl Tgi {
             self.end_time
         );
 
+        // Everything past this point mutates persisted and in-memory
+        // state; stay poisoned unless the whole batch lands.
+        self.poisoned = true;
         // Close the previous open-ended span at the batch start.
         let mut start = if let Some(last) = self.spans.last_mut() {
             let cut = last.meta.range.start.max(events[0].time);
             last.meta.range = TimeRange::new(last.meta.range.start, cut);
-            self.persist_meta(self.spans.len() - 1);
+            self.persist_meta(self.spans.len() - 1)?;
             cut
         } else {
             0
@@ -132,12 +238,14 @@ impl Tgi {
         for (i, sp) in spans.into_iter().enumerate() {
             let range_end = if i + 1 == n { Time::MAX } else { sp.range.end };
             let range = TimeRange::new(start, range_end);
-            self.build_span(&events[sp.ev_start..sp.ev_end], range);
+            self.build_span(&events[sp.ev_start..sp.ev_end], range)?;
             start = range_end;
         }
         self.end_time = events.last().map(|e| e.time + 1).unwrap_or(self.end_time);
         self.event_count += events.len();
-        self.persist_graph_meta();
+        self.persist_graph_meta()?;
+        self.poisoned = false;
+        Ok(())
     }
 
     /// Normalize a batch against the current tail state: seed the
@@ -200,6 +308,12 @@ impl Tgi {
         self.event_count
     }
 
+    /// Whether an earlier append failed partway, refusing further
+    /// appends (see [`Tgi::try_append_events`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// Total stored bytes (replicas included) — the index-size column
     /// of Table 1.
     pub fn storage_bytes(&self) -> usize {
@@ -221,16 +335,20 @@ impl Tgi {
         self.cost = m;
     }
 
-    pub(crate) fn span_for(&self, t: Time) -> &SpanRuntime {
+    pub(crate) fn span_index_for(&self, t: Time) -> usize {
         let i = self.spans.partition_point(|s| s.meta.range.end <= t);
-        &self.spans[i.min(self.spans.len() - 1)]
+        i.min(self.spans.len() - 1)
+    }
+
+    pub(crate) fn span_for(&self, t: Time) -> &SpanRuntime {
+        &self.spans[self.span_index_for(t)]
     }
 
     // ------------------------------------------------------------------
     // span construction
     // ------------------------------------------------------------------
 
-    fn build_span(&mut self, events: &[Event], range: TimeRange) {
+    fn build_span(&mut self, events: &[Event], range: TimeRange) -> Result<(), StoreError> {
         let cfg = self.cfg;
         let tsid = self.spans.len() as u32;
         let ns = cfg.horizontal_partitions;
@@ -268,24 +386,30 @@ impl Tgi {
             );
             for sid in 0..ns {
                 if replicate {
-                    self.store_aux(tsid, sid, j as u64, &self.tail_state, &maps);
+                    self.store_aux(tsid, sid, j as u64, &self.tail_state, &maps)?;
                 }
                 let did_of = |level: usize, idx: usize| shape_did(&shape, level, idx);
                 let map = &maps[sid as usize];
+                let mut io_err: Option<StoreError> = None;
                 accs[sid as usize].push_leaf(
                     parts[sid as usize].clone(),
                     &mut |level, idx, delta| {
                         let did = did_of(level, idx);
-                        store_micro(&self.store, tsid, sid, did, delta, map);
+                        if io_err.is_none() {
+                            io_err = store_micro(&self.store, tsid, sid, did, delta, map).err();
+                        }
                     },
                 );
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
             }
 
             // Chunk j (if events exist): store partitioned eventlists,
             // collect chain entries, advance the state.
             if let Some(&(s, e)) = chunk_bounds.get(j) {
                 let chunk = &events[s..e];
-                self.store_eventlists(tsid, j as u32, chunk, &maps, &mut chains);
+                self.store_eventlists(tsid, j as u32, chunk, &maps, &mut chains)?;
                 for ev in chunk {
                     self.tail_state.apply_event(&ev.kind);
                 }
@@ -294,10 +418,16 @@ impl Tgi {
         // Finalize trees (store roots and remaining derived deltas).
         for sid in 0..ns {
             let map = &maps[sid as usize];
+            let mut io_err: Option<StoreError> = None;
             accs[sid as usize].finalize(&mut |level, idx, delta| {
                 let did = shape_did(&shape, level, idx);
-                store_micro(&self.store, tsid, sid, did, delta, map);
+                if io_err.is_none() {
+                    io_err = store_micro(&self.store, tsid, sid, did, delta, map).err();
+                }
             });
+            if let Some(e) = io_err {
+                return Err(e);
+            }
         }
 
         // Version chains: read-modify-write per node.
@@ -306,13 +436,18 @@ impl Tgi {
                 entries.sort_by_key(|e| e.time);
                 let key = node_key(nid);
                 let token = node_placement_token(nid);
-                let mut chain = match self.store.get(Table::Versions, &key, token) {
-                    Ok(Some(bytes)) => decode_chain(&bytes).expect("chain decodes"),
-                    _ => Vec::new(),
+                let mut chain = match self.store.get(Table::Versions, &key, token)? {
+                    Some(bytes) => decode_chain(&bytes).expect("chain decodes"),
+                    None => Vec::new(),
                 };
                 chain.extend(entries);
-                self.store
-                    .put(Table::Versions, &key, token, encode_chain(&chain));
+                put_checked(
+                    &self.store,
+                    Table::Versions,
+                    &key,
+                    token,
+                    encode_chain(&chain),
+                )?;
             }
         }
 
@@ -321,12 +456,13 @@ impl Tgi {
             for (sid, map) in maps.iter().enumerate() {
                 let blob = encode_partition_map(map, &self.tail_state, ns, sid as u32);
                 let key = mp_key(tsid, sid as u32);
-                self.store.put(
+                put_checked(
+                    &self.store,
                     Table::Micropartitions,
                     &key,
                     PlacementKey::new(tsid, sid as u32).token(),
                     blob,
-                );
+                )?;
             }
         }
 
@@ -344,7 +480,7 @@ impl Tgi {
             ),
         };
         self.spans.push(SpanRuntime { meta, maps });
-        self.persist_meta(self.spans.len() - 1);
+        self.persist_meta(self.spans.len() - 1)
     }
 
     fn compute_maps(&self, events: &[Event], range: TimeRange, ns: u32) -> Vec<PartitionMap> {
@@ -391,7 +527,7 @@ impl Tgi {
         chunk: &[Event],
         maps: &[PartitionMap],
         chains: &mut FxHashMap<NodeId, Vec<ChainEntry>>,
-    ) {
+    ) -> Result<(), StoreError> {
         let ns = self.cfg.horizontal_partitions;
         // (sid, pid) -> events, in chunk order.
         let mut buckets: FxHashMap<(u32, u32), Vec<Event>> = FxHashMap::default();
@@ -441,16 +577,25 @@ impl Tgi {
         for ((sid, pid), evs) in buckets {
             let el = Eventlist::from_sorted(evs);
             let key = DeltaKey::new(tsid, sid, ELIST_BASE + chunk_idx as u64, pid);
-            self.store.put(
+            put_checked(
+                &self.store,
                 Table::Deltas,
                 &key.encode(),
                 key.placement().token(),
                 encode_eventlist(&el),
-            );
+            )?;
         }
+        Ok(())
     }
 
-    fn store_aux(&self, tsid: u32, sid: u32, leaf: u64, state: &Delta, maps: &[PartitionMap]) {
+    fn store_aux(
+        &self,
+        tsid: u32,
+        sid: u32,
+        leaf: u64,
+        state: &Delta,
+        maps: &[PartitionMap],
+    ) -> Result<(), StoreError> {
         let ns = self.cfg.horizontal_partitions;
         let map = &maps[sid as usize];
         // For each pid of this sid: replicate states of out-of-partition
@@ -472,39 +617,59 @@ impl Tgi {
         }
         for (pid, delta) in aux {
             let key = DeltaKey::new(tsid, sid, AUX_BASE + leaf, pid);
-            self.store.put(
+            put_checked(
+                &self.store,
                 Table::Deltas,
                 &key.encode(),
                 key.placement().token(),
                 encode_delta(&delta),
-            );
+            )?;
         }
+        Ok(())
     }
 
-    fn persist_meta(&self, span_idx: usize) {
+    fn persist_meta(&self, span_idx: usize) -> Result<(), StoreError> {
         let meta = &self.spans[span_idx].meta;
         let key = meta.tsid.to_be_bytes();
-        self.store.put(
+        put_checked(
+            &self.store,
             Table::Timespans,
             &key,
             hgs_delta::hash::hash_u64(meta.tsid as u64),
             meta.encode(),
-        );
+        )
     }
 
-    fn persist_graph_meta(&self) {
+    fn persist_graph_meta(&self) -> Result<(), StoreError> {
         let mut buf = BytesMut::new();
         put_varint(&mut buf, self.spans.len() as u64);
         put_varint(&mut buf, self.end_time);
         put_varint(&mut buf, self.event_count as u64);
-        self.store.put(Table::Graph, b"meta", 0, buf.freeze());
-        self.store.put(
+        put_checked(&self.store, Table::Graph, b"meta", 0, buf.freeze())?;
+        put_checked(
+            &self.store,
             Table::Graph,
             b"config",
             0,
             crate::persist::encode_config(&self.cfg),
-        );
+        )
     }
+}
+
+/// Write a row, surfacing a zero-replica write as
+/// [`StoreError::Unavailable`]: a put the cluster did not accept
+/// anywhere must fail the build, not silently drop a delta.
+fn put_checked(
+    store: &SimStore,
+    table: Table,
+    key: &[u8],
+    token: u64,
+    value: bytes::Bytes,
+) -> Result<(), StoreError> {
+    if store.put(table, key, token, value) == 0 {
+        return Err(StoreError::Unavailable { table });
+    }
+    Ok(())
 }
 
 /// Chunk `events` into runs of ~`l`, never splitting a timestamp
@@ -542,7 +707,14 @@ fn partition_state(state: &Delta, ns: u32) -> Vec<Delta> {
 }
 
 /// Store a delta micro-partitioned by `map`.
-fn store_micro(store: &SimStore, tsid: u32, sid: u32, did: u64, delta: &Delta, map: &PartitionMap) {
+fn store_micro(
+    store: &SimStore,
+    tsid: u32,
+    sid: u32,
+    did: u64,
+    delta: &Delta,
+    map: &PartitionMap,
+) -> Result<(), StoreError> {
     let mut buckets: FxHashMap<u32, Delta> = FxHashMap::default();
     for n in delta.iter() {
         buckets
@@ -552,13 +724,15 @@ fn store_micro(store: &SimStore, tsid: u32, sid: u32, did: u64, delta: &Delta, m
     }
     for (pid, d) in buckets {
         let key = DeltaKey::new(tsid, sid, did, pid);
-        store.put(
+        put_checked(
+            store,
             Table::Deltas,
             &key.encode(),
             key.placement().token(),
             encode_delta(&d),
-        );
+        )?;
     }
+    Ok(())
 }
 
 #[inline]

@@ -25,7 +25,13 @@
 //!
 //! Retrieval (§4.6) implements the paper's Algorithms 1–5: snapshot,
 //! node history, k-hop neighborhood (both strategies), and 1-hop
-//! neighborhood history, all with `c`-way parallel fetch.
+//! neighborhood history, all with `c`-way parallel fetch. Multipoint
+//! snapshot batches go through the shared-path planner
+//! ([`query_plan`]): tree-path rows are fetched once per chunk and
+//! states are cloned only at path divergence points. Every retrieval
+//! and build primitive has a fallible `try_*` variant that surfaces
+//! [`hgs_store::StoreError::Unavailable`] instead of silently
+//! returning partial results (see [`query`] for the contract).
 
 pub mod build;
 pub mod config;
@@ -33,12 +39,14 @@ pub mod costs;
 pub mod meta;
 pub mod persist;
 pub mod query;
+pub mod query_plan;
 pub mod scope;
 pub mod stats;
 
-pub use build::Tgi;
+pub use build::{BuildError, Tgi};
 pub use config::{PartitionStrategy, TgiConfig};
 pub use meta::{TimespanMeta, TreeShape};
 pub use persist::OpenError;
 pub use query::{KhopStrategy, NeighborhoodHistory, NodeHistory};
+pub use query_plan::PlanSummary;
 pub use stats::FetchReport;

@@ -217,6 +217,8 @@ impl Tgi {
             cost: CostModel::default(),
             clients: 1,
             event_count,
+            plan_cache: crate::query_plan::PlanCache::default(),
+            poisoned: false,
         };
         // The tail state (needed for appends) is the latest snapshot.
         if end_time > 0 {

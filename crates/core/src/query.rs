@@ -1,6 +1,24 @@
 //! TGI retrieval — the paper's Query Manager and Algorithms 1–5
 //! (§4.6): snapshot retrieval, node history, k-hop neighborhoods (both
 //! strategies), and 1-hop neighborhood history.
+//!
+//! # Error-handling contract
+//!
+//! Every retrieval primitive comes in two flavours:
+//!
+//! * a fallible `try_*` variant returning
+//!   `Result<_, `[`StoreError`]`>` — when **all** replicas of a chunk
+//!   the query needs are down, the query fails with
+//!   [`StoreError::Unavailable`] instead of silently returning a
+//!   *smaller* graph;
+//! * the classic infallible name (`snapshot`, `node_history`, …),
+//!   which is a thin wrapper that panics on store failure. These are
+//!   for tests, benches and examples running against healthy
+//!   clusters; production callers should use `try_*`.
+//!
+//! A missing *row* (`Ok(None)` / empty scan) is not an error — deltas
+//! that were never written (empty micro-partitions) are legitimately
+//! absent. Only machine unavailability surfaces as `Err`.
 
 use hgs_delta::codec::{decode_delta, decode_eventlist};
 use hgs_delta::{
@@ -8,9 +26,10 @@ use hgs_delta::{
 };
 use hgs_store::key::{node_key, node_placement_token};
 use hgs_store::parallel::parallel_chunks;
-use hgs_store::{DeltaKey, PlacementKey, Table};
+use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 
 use crate::build::{SpanRuntime, Tgi};
+use crate::costs::{access_cost, CostProfile, IndexKind, QueryKind};
 use crate::meta::{decode_chain, sid_of, ChainEntry, AUX_BASE, ELIST_BASE};
 use crate::scope::apply_event_scoped;
 
@@ -130,19 +149,37 @@ impl NeighborhoodHistory {
     }
 }
 
+/// Panic with context on a store failure reaching an infallible API.
+fn unwrap_read<T>(r: Result<T, StoreError>) -> T {
+    r.unwrap_or_else(|e| panic!("TGI read failed ({e}); use the try_* variant to handle failures"))
+}
+
 impl Tgi {
     // ------------------------------------------------------------------
     // Algorithm 1: snapshot retrieval
     // ------------------------------------------------------------------
 
     /// The full graph as of time `t`, fetched with the default client
-    /// parallelism.
+    /// parallelism. Panics if a needed chunk is fully unavailable; see
+    /// [`Tgi::try_snapshot`].
     pub fn snapshot(&self, t: Time) -> Delta {
-        self.snapshot_c(t, self.clients)
+        unwrap_read(self.try_snapshot(t))
+    }
+
+    /// Fallible [`Tgi::snapshot`].
+    pub fn try_snapshot(&self, t: Time) -> Result<Delta, StoreError> {
+        self.try_snapshot_c(t, self.clients)
     }
 
     /// Snapshot with an explicit parallel fetch factor `c`.
     pub fn snapshot_c(&self, t: Time, c: usize) -> Delta {
+        unwrap_read(self.try_snapshot_c(t, c))
+    }
+
+    /// Fallible [`Tgi::snapshot_c`]: errors when all replicas of any
+    /// chunk along the delta path are down, instead of returning a
+    /// silently incomplete graph.
+    pub fn try_snapshot_c(&self, t: Time, c: usize) -> Result<Delta, StoreError> {
         let span = self.span_for(t);
         let meta = &span.meta;
         let tsid = meta.tsid;
@@ -171,20 +208,18 @@ impl Tgi {
         // (sid, did, micro-partition pieces keyed by pid).
         type FetchedDelta = (u32, u64, Vec<(u32, bytes::Bytes)>);
         let store = &self.store;
-        let fetched: Vec<FetchedDelta> = parallel_chunks(jobs, c, |chunk| {
+        let fetched: Vec<Result<FetchedDelta, StoreError>> = parallel_chunks(jobs, c, |chunk| {
             chunk
                 .into_iter()
                 .map(|job| {
                     let prefix = DeltaKey::delta_prefix(tsid, job.sid, job.did);
                     let token = PlacementKey::new(tsid, job.sid).token();
-                    let rows = store
-                        .scan_prefix(Table::Deltas, &prefix, token)
-                        .unwrap_or_default();
+                    let rows = store.scan_prefix(Table::Deltas, &prefix, token)?;
                     let pieces = rows
                         .into_iter()
                         .filter_map(|(k, v)| DeltaKey::decode(&k).map(|dk| (dk.pid, v)))
                         .collect();
-                    (job.sid, job.did, pieces)
+                    Ok((job.sid, job.did, pieces))
                 })
                 .collect()
         });
@@ -193,7 +228,8 @@ impl Tgi {
         // chunk-j events (scoped per micro-partition) up to t.
         let mut per_sid: FxHashMap<u32, FxHashMap<u64, Vec<(u32, bytes::Bytes)>>> =
             FxHashMap::default();
-        for (sid, did, pieces) in fetched {
+        for item in fetched {
+            let (sid, did, pieces) = item?;
             per_sid.entry(sid).or_default().insert(did, pieces);
         }
         let mut out = Delta::new();
@@ -223,12 +259,7 @@ impl Tgi {
             }
             out.sum_assign_owned(state);
         }
-        out
-    }
-
-    /// Multipoint snapshot retrieval: states at each requested time.
-    pub fn snapshots(&self, times: &[Time]) -> Vec<Delta> {
-        times.iter().map(|&t| self.snapshot(t)).collect()
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -239,38 +270,49 @@ impl Tgi {
     /// 1's terms): touches only the node's micro-partition along the
     /// tree path.
     pub fn node_at(&self, nid: NodeId, t: Time) -> Option<StaticNode> {
+        unwrap_read(self.try_node_at(nid, t))
+    }
+
+    /// Fallible [`Tgi::node_at`].
+    pub fn try_node_at(&self, nid: NodeId, t: Time) -> Result<Option<StaticNode>, StoreError> {
         let span = self.span_for(t);
         let ns = self.cfg.horizontal_partitions;
         let sid = sid_of(nid, ns);
         let pid = span.maps[sid as usize].assign(nid);
-        let state = self.fetch_partition_state(span, sid, pid, t);
-        state.node(nid).cloned()
+        let state = self.try_fetch_partition_state(span, sid, pid, t)?;
+        Ok(state.node(nid).cloned())
     }
 
     /// Reconstruct the state of micro-partition `(sid, pid)` as of
-    /// `t`: tree-path micro-deltas + the eventlist chunk, all single
-    /// point lookups.
-    pub(crate) fn fetch_partition_state(
+    /// `t`: tree-path micro-deltas + the eventlist chunk, fetched as
+    /// one batched multi-get (single round-trip; the rows share a
+    /// placement chunk).
+    pub(crate) fn try_fetch_partition_state(
         &self,
         span: &SpanRuntime,
         sid: u32,
         pid: u32,
         t: Time,
-    ) -> Delta {
+    ) -> Result<Delta, StoreError> {
         let meta = &span.meta;
         let tsid = meta.tsid;
         let ns = self.cfg.horizontal_partitions;
         let j = meta.leaf_for_time(t);
         let token = PlacementKey::new(tsid, sid).token();
-        let mut state = Delta::new();
-        for did in meta.shape.path_to_leaf(j) {
-            let key = DeltaKey::new(tsid, sid, did, pid);
-            if let Ok(Some(bytes)) = self.store.get(Table::Deltas, &key.encode(), token) {
-                state.sum_assign_owned(decode_delta(&bytes).expect("stored delta decodes"));
-            }
+        let path = meta.shape.path_to_leaf(j);
+        let mut keys: Vec<[u8; 20]> = Vec::with_capacity(path.len() + 1);
+        for &did in &path {
+            keys.push(DeltaKey::new(tsid, sid, did, pid).encode());
         }
-        let elist_key = DeltaKey::new(tsid, sid, ELIST_BASE + j as u64, pid);
-        if let Ok(Some(bytes)) = self.store.get(Table::Deltas, &elist_key.encode(), token) {
+        keys.push(DeltaKey::new(tsid, sid, ELIST_BASE + j as u64, pid).encode());
+        let refs: Vec<&[u8]> = keys.iter().map(|k| &k[..]).collect();
+        let mut values = self.store.multi_get(Table::Deltas, &refs, token)?;
+        let elist_bytes = values.pop().expect("one value slot per key");
+        let mut state = Delta::new();
+        for bytes in values.into_iter().flatten() {
+            state.sum_assign_owned(decode_delta(&bytes).expect("stored delta decodes"));
+        }
+        if let Some(bytes) = elist_bytes {
             let el = decode_eventlist(&bytes).expect("stored eventlist decodes");
             let map = &span.maps[sid as usize];
             for e in el.events().iter().take_while(|e| e.time <= t) {
@@ -279,16 +321,22 @@ impl Tgi {
                 });
             }
         }
-        state
+        Ok(state)
     }
 
-    fn fetch_elist(&self, tsid: u32, sid: u32, chunk: u32, pid: u32) -> Option<Eventlist> {
+    pub(crate) fn try_fetch_elist(
+        &self,
+        tsid: u32,
+        sid: u32,
+        chunk: u32,
+        pid: u32,
+    ) -> Result<Option<Eventlist>, StoreError> {
         let key = DeltaKey::new(tsid, sid, ELIST_BASE + chunk as u64, pid);
         let token = PlacementKey::new(tsid, sid).token();
-        match self.store.get(Table::Deltas, &key.encode(), token) {
-            Ok(Some(bytes)) => Some(decode_eventlist(&bytes).expect("stored eventlist decodes")),
-            _ => None,
-        }
+        Ok(self
+            .store
+            .get(Table::Deltas, &key.encode(), token)?
+            .map(|bytes| decode_eventlist(&bytes).expect("stored eventlist decodes")))
     }
 
     // ------------------------------------------------------------------
@@ -298,45 +346,73 @@ impl Tgi {
     /// The version chain of a node (empty when chains are disabled or
     /// the node never appeared).
     pub fn version_chain(&self, nid: NodeId) -> Vec<ChainEntry> {
-        match self
+        unwrap_read(self.try_version_chain(nid))
+    }
+
+    /// Fallible [`Tgi::version_chain`].
+    pub fn try_version_chain(&self, nid: NodeId) -> Result<Vec<ChainEntry>, StoreError> {
+        Ok(self
             .store
-            .get(Table::Versions, &node_key(nid), node_placement_token(nid))
-        {
-            Ok(Some(bytes)) => decode_chain(&bytes).expect("stored chain decodes"),
-            _ => Vec::new(),
-        }
+            .get(Table::Versions, &node_key(nid), node_placement_token(nid))?
+            .map(|bytes| decode_chain(&bytes).expect("stored chain decodes"))
+            .unwrap_or_default())
     }
 
     /// Node history over `range` (Algorithm 2): initial state at
     /// `range.start`, then all events touching the node inside the
     /// range, located via the version chain.
     pub fn node_history(&self, nid: NodeId, range: TimeRange) -> NodeHistory {
-        self.node_history_c(nid, range, self.clients)
+        unwrap_read(self.try_node_history(nid, range))
+    }
+
+    /// Fallible [`Tgi::node_history`].
+    pub fn try_node_history(
+        &self,
+        nid: NodeId,
+        range: TimeRange,
+    ) -> Result<NodeHistory, StoreError> {
+        self.try_node_history_c(nid, range, self.clients)
     }
 
     /// [`Tgi::node_history`] with an explicit fetch parallelism.
     pub fn node_history_c(&self, nid: NodeId, range: TimeRange, c: usize) -> NodeHistory {
-        let initial = self.node_at(nid, range.start);
-        let chain = self.version_chain(nid);
+        unwrap_read(self.try_node_history_c(nid, range, c))
+    }
+
+    /// Fallible [`Tgi::node_history_c`].
+    pub fn try_node_history_c(
+        &self,
+        nid: NodeId,
+        range: TimeRange,
+        c: usize,
+    ) -> Result<NodeHistory, StoreError> {
+        let initial = self.try_node_at(nid, range.start)?;
+        let chain = self.try_version_chain(nid)?;
         // Distinct eventlist refs covering (range.start, range.end).
         // A chain entry records the *first* touch in a chunk run, so
         // the last entry at or before range.start may still point to a
-        // chunk holding later in-range events — include it.
+        // chunk holding later in-range events — include it. Chains can
+        // revisit a (tsid, chunk, pid) non-adjacently (a node bouncing
+        // between chunks across spans), so dedup with a set rather
+        // than `Vec::dedup`, which would double-fetch — and
+        // double-count — such refs.
         let boundary = chain.partition_point(|e| e.time <= range.start);
         let from = boundary.saturating_sub(1);
-        let mut refs: Vec<(u32, u32, u32)> = chain[from..]
+        let mut seen: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+        let refs: Vec<(u32, u32, u32)> = chain[from..]
             .iter()
             .filter(|e| e.time < range.end)
             .map(|e| (e.tsid, e.chunk, e.pid))
+            .filter(|r| seen.insert(*r))
             .collect();
-        refs.dedup();
         let ns = self.cfg.horizontal_partitions;
         let sid = sid_of(nid, ns);
-        let lists: Vec<Vec<Event>> = parallel_chunks(refs, c, |chunk| {
+        let lists: Vec<Result<Vec<Event>, StoreError>> = parallel_chunks(refs, c, |chunk| {
             chunk
                 .into_iter()
                 .map(|(tsid, ch, pid)| {
-                    self.fetch_elist(tsid, sid, ch, pid)
+                    Ok(self
+                        .try_fetch_elist(tsid, sid, ch, pid)?
                         .map(|el| {
                             el.events()
                                 .iter()
@@ -346,18 +422,21 @@ impl Tgi {
                                 .cloned()
                                 .collect()
                         })
-                        .unwrap_or_default()
+                        .unwrap_or_default())
                 })
                 .collect()
         });
-        let mut events: Vec<Event> = lists.into_iter().flatten().collect();
+        let mut events: Vec<Event> = Vec::new();
+        for list in lists {
+            events.extend(list?);
+        }
         events.sort_by_key(|e| e.time);
-        NodeHistory {
+        Ok(NodeHistory {
             id: nid,
             range,
             initial,
             events,
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -365,21 +444,86 @@ impl Tgi {
     // ------------------------------------------------------------------
 
     /// The k-hop neighborhood of `center` as of `t`, as a partitioned
-    /// snapshot restricted to the neighborhood's nodes.
-    pub fn khop(&self, center: NodeId, t: Time, k: usize, strategy: KhopStrategy) -> Delta {
+    /// snapshot restricted to the neighborhood's nodes. The fetch
+    /// strategy (Algorithm 3 vs 4) is picked automatically from the
+    /// Table-1 access-cost estimators; use [`Tgi::khop_with`] to force
+    /// one.
+    pub fn khop(&self, center: NodeId, t: Time, k: usize) -> Delta {
+        unwrap_read(self.try_khop(center, t, k))
+    }
+
+    /// Fallible [`Tgi::khop`].
+    pub fn try_khop(&self, center: NodeId, t: Time, k: usize) -> Result<Delta, StoreError> {
+        self.try_khop_with(center, t, k, self.khop_strategy_for(t, k))
+    }
+
+    /// K-hop neighborhood with an explicit strategy (§4.6, Algorithms
+    /// 3 & 4).
+    pub fn khop_with(&self, center: NodeId, t: Time, k: usize, strategy: KhopStrategy) -> Delta {
+        unwrap_read(self.try_khop_with(center, t, k, strategy))
+    }
+
+    /// Fallible [`Tgi::khop_with`].
+    pub fn try_khop_with(
+        &self,
+        center: NodeId,
+        t: Time,
+        k: usize,
+        strategy: KhopStrategy,
+    ) -> Result<Delta, StoreError> {
         match strategy {
-            KhopStrategy::ViaSnapshot => self.khop_via_snapshot(center, t, k),
-            KhopStrategy::Recursive => self.khop_recursive(center, t, k),
+            KhopStrategy::ViaSnapshot => self.try_khop_via_snapshot(center, t, k),
+            KhopStrategy::Recursive => self.try_khop_recursive(center, t, k),
         }
     }
 
-    fn khop_via_snapshot(&self, center: NodeId, t: Time, k: usize) -> Delta {
-        let snap = self.snapshot(t);
-        let keep = bfs_set(&snap, center, k);
-        snap.restrict(|id| keep.contains(&id))
+    /// Pick the cheaper k-hop strategy for this index and `k` by
+    /// evaluating the paper's Table-1 access-cost formulas
+    /// ([`crate::costs::access_cost`]) on the index's current shape:
+    /// the recursive walk costs roughly one micro-partition one-hop
+    /// fetch per frontier node (`~|R|^(k-1)` of them), while the
+    /// via-snapshot plan pays the fixed full-path cost once.
+    pub fn khop_strategy_for(&self, t: Time, k: usize) -> KhopStrategy {
+        let span = self.span_for(t);
+        let s = (self.tail_state.cardinality().max(1)) as f64;
+        let g = (self.event_count.max(1)) as f64;
+        let e = self.cfg.eventlist_size as f64;
+        let h = (span.meta.shape.height().max(1)) as f64;
+        let pid_total: u32 = span.meta.pid_counts.iter().sum();
+        let p = (pid_total as f64 / span.meta.pid_counts.len().max(1) as f64).max(1.0);
+        let r = (2.0 * self.tail_state.edge_count() as f64 / s).max(1.0);
+        let w = CostProfile {
+            g,
+            s,
+            e,
+            h,
+            v: (g / s).max(1.0),
+            r,
+            p,
+            c: (2.0 * g / s).max(1.0),
+        };
+        let (snap_cost, _) = access_cost(IndexKind::Tgi, QueryKind::Snapshot, &w);
+        let (hop_cost, _) = access_cost(IndexKind::Tgi, QueryKind::OneHop, &w);
+        let recursive_cost = hop_cost * r.powi(k.saturating_sub(1) as i32);
+        if recursive_cost <= snap_cost {
+            KhopStrategy::Recursive
+        } else {
+            KhopStrategy::ViaSnapshot
+        }
     }
 
-    fn khop_recursive(&self, center: NodeId, t: Time, k: usize) -> Delta {
+    fn try_khop_via_snapshot(
+        &self,
+        center: NodeId,
+        t: Time,
+        k: usize,
+    ) -> Result<Delta, StoreError> {
+        let snap = self.try_snapshot(t)?;
+        let keep = bfs_set(&snap, center, k);
+        Ok(snap.restrict(|id| keep.contains(&id)))
+    }
+
+    fn try_khop_recursive(&self, center: NodeId, t: Time, k: usize) -> Result<Delta, StoreError> {
         let span = self.span_for(t);
         let meta = &span.meta;
         let ns = self.cfg.horizontal_partitions;
@@ -393,7 +537,7 @@ impl Tgi {
 
         let center_sid = sid_of(center, ns);
         let center_pid = span.maps[center_sid as usize].assign(center);
-        let center_state = self.fetch_partition_state(span, center_sid, center_pid, t);
+        let center_state = self.try_fetch_partition_state(span, center_sid, center_pid, t)?;
         fetched_parts.insert((center_sid, center_pid));
 
         // Auxiliary 1-hop replicas (Fig. 5d): states of boundary
@@ -402,7 +546,7 @@ impl Tgi {
         if meta.has_aux {
             let key = DeltaKey::new(tsid, center_sid, AUX_BASE + j as u64, center_pid);
             let token = PlacementKey::new(tsid, center_sid).token();
-            if let Ok(Some(bytes)) = self.store.get(Table::Deltas, &key.encode(), token) {
+            if let Some(bytes) = self.store.get(Table::Deltas, &key.encode(), token)? {
                 aux = decode_delta(&bytes).expect("stored aux delta decodes");
             }
         }
@@ -413,18 +557,21 @@ impl Tgi {
                        part_states: &mut FxHashMap<(u32, u32), Delta>,
                        fetched_parts: &mut FxHashSet<(u32, u32)>,
                        elist_cache: &mut FxHashMap<(u32, u32), Option<Eventlist>>|
-         -> Option<StaticNode> {
+         -> Result<Option<StaticNode>, StoreError> {
             let sid = sid_of(nid, ns);
             let pid = span.maps[sid as usize].assign(nid);
             if let Some(state) = part_states.get(&(sid, pid)) {
-                return state.node(nid).cloned();
+                return Ok(state.node(nid).cloned());
             }
             // Aux fast path: state at checkpoint + roll forward with the
             // node's own eventlist chunk only.
             if let Some(base) = aux.node(nid) {
-                let el = elist_cache
-                    .entry((sid, pid))
-                    .or_insert_with(|| self.fetch_elist(tsid, sid, j, pid));
+                let el = match elist_cache.entry((sid, pid)) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(self.try_fetch_elist(tsid, sid, j, pid)?)
+                    }
+                };
                 let mut scratch = Delta::new();
                 scratch.insert(base.clone());
                 if let Some(el) = el {
@@ -432,14 +579,14 @@ impl Tgi {
                         apply_event_scoped(&mut scratch, &e.kind, |id| id == nid);
                     }
                 }
-                return scratch.node(nid).cloned();
+                return Ok(scratch.node(nid).cloned());
             }
             // Full micro-partition fetch.
-            let state = self.fetch_partition_state(span, sid, pid, t);
+            let state = self.try_fetch_partition_state(span, sid, pid, t)?;
             fetched_parts.insert((sid, pid));
             let out = state.node(nid).cloned();
             part_states.insert((sid, pid), state);
-            out
+            Ok(out)
         };
 
         let mut frontier: Vec<NodeId> = vec![center];
@@ -449,7 +596,7 @@ impl Tgi {
             let mut next: Vec<NodeId> = Vec::new();
             for nid in frontier.drain(..) {
                 let Some(node) =
-                    resolve(nid, &mut part_states, &mut fetched_parts, &mut elist_cache)
+                    resolve(nid, &mut part_states, &mut fetched_parts, &mut elist_cache)?
                 else {
                     continue;
                 };
@@ -464,7 +611,7 @@ impl Tgi {
             }
             frontier = next;
         }
-        result
+        Ok(result)
     }
 
     // ------------------------------------------------------------------
@@ -475,7 +622,16 @@ impl Tgi {
     /// (Algorithm 5): the center's history plus the history of every
     /// node that is its neighbor at any point in the range.
     pub fn one_hop_history(&self, nid: NodeId, range: TimeRange) -> NeighborhoodHistory {
-        let center = self.node_history(nid, range);
+        unwrap_read(self.try_one_hop_history(nid, range))
+    }
+
+    /// Fallible [`Tgi::one_hop_history`].
+    pub fn try_one_hop_history(
+        &self,
+        nid: NodeId,
+        range: TimeRange,
+    ) -> Result<NeighborhoodHistory, StoreError> {
+        let center = self.try_node_history(nid, range)?;
         let mut nbrs: FxHashSet<NodeId> = FxHashSet::default();
         if let Some(n) = &center.initial {
             nbrs.extend(n.all_neighbors());
@@ -493,17 +649,19 @@ impl Tgi {
         }
         let mut list: Vec<NodeId> = nbrs.into_iter().collect();
         list.sort_unstable();
-        let neighbors = parallel_chunks(list, self.clients, |chunk| {
-            chunk
-                .into_iter()
-                .map(|m| self.node_history(m, range))
-                .collect()
-        });
-        NeighborhoodHistory {
+        let fetched: Vec<Result<NodeHistory, StoreError>> =
+            parallel_chunks(list, self.clients, |chunk| {
+                chunk
+                    .into_iter()
+                    .map(|m| self.try_node_history(m, range))
+                    .collect()
+            });
+        let neighbors = fetched.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(NeighborhoodHistory {
             center,
             neighbors,
             range,
-        }
+        })
     }
 }
 
@@ -528,10 +686,22 @@ impl Tgi {
     /// of the TAF protocol; one call per `sid` reconstructs the whole
     /// `SoN`.
     pub fn node_histories_for_sid(&self, sid: u32, range: TimeRange) -> Vec<NodeHistory> {
+        unwrap_read(self.try_node_histories_for_sid(sid, range))
+    }
+
+    /// Fallible [`Tgi::node_histories_for_sid`]. All eventlist chunks
+    /// a timespan contributes are pulled in one grouped scan (one
+    /// round-trip per span), and store failures are propagated instead
+    /// of silently dropping a span's worth of events.
+    pub fn try_node_histories_for_sid(
+        &self,
+        sid: u32,
+        range: TimeRange,
+    ) -> Result<Vec<NodeHistory>, StoreError> {
         let ns = self.cfg.horizontal_partitions;
         debug_assert!(sid < ns);
         // Initial states: the sid's slice of the snapshot at range.start.
-        let initial = self.sid_state_at(sid, range.start);
+        let initial = self.try_sid_state_at(sid, range.start)?;
         let mut histories: FxHashMap<NodeId, NodeHistory> = FxHashMap::default();
         for n in initial.iter() {
             histories.insert(
@@ -544,7 +714,8 @@ impl Tgi {
                 },
             );
         }
-        // Walk every eventlist chunk overlapping (range.start, range.end).
+        // Walk every eventlist chunk overlapping (range.start,
+        // range.end), one grouped scan per overlapping span.
         for span in &self.spans {
             let meta = &span.meta;
             if !meta.range.overlaps(&range) {
@@ -552,6 +723,7 @@ impl Tgi {
             }
             let map = &span.maps[sid as usize];
             let chunks = meta.checkpoints.len();
+            let mut prefixes: Vec<[u8; 16]> = Vec::new();
             for chunk in 0..chunks {
                 let c_start = meta.checkpoints[chunk];
                 let c_end = meta
@@ -562,12 +734,19 @@ impl Tgi {
                 if c_end <= range.start || c_start >= range.end {
                     continue;
                 }
-                let prefix = DeltaKey::delta_prefix(meta.tsid, sid, ELIST_BASE + chunk as u64);
-                let token = PlacementKey::new(meta.tsid, sid).token();
-                let rows = self
-                    .store
-                    .scan_prefix(Table::Deltas, &prefix, token)
-                    .unwrap_or_default();
+                prefixes.push(DeltaKey::delta_prefix(
+                    meta.tsid,
+                    sid,
+                    ELIST_BASE + chunk as u64,
+                ));
+            }
+            if prefixes.is_empty() {
+                continue;
+            }
+            let refs: Vec<&[u8]> = prefixes.iter().map(|p| &p[..]).collect();
+            let token = PlacementKey::new(meta.tsid, sid).token();
+            let groups = self.store.scan_prefix_batch(Table::Deltas, &refs, token)?;
+            for rows in groups {
                 for (k, v) in rows {
                     let Some(dk) = DeltaKey::decode(&k) else {
                         continue;
@@ -607,46 +786,53 @@ impl Tgi {
             h.events.sort_by_key(|e| e.time);
         }
         out.sort_by_key(|h| h.id);
-        out
+        Ok(out)
     }
 
     /// One horizontal partition's slice of the snapshot at `t`.
     pub fn sid_state_at(&self, sid: u32, t: Time) -> Delta {
+        unwrap_read(self.try_sid_state_at(sid, t))
+    }
+
+    /// Fallible [`Tgi::sid_state_at`]: the whole root-to-leaf path
+    /// plus the eventlist chunk travel as one grouped scan.
+    pub fn try_sid_state_at(&self, sid: u32, t: Time) -> Result<Delta, StoreError> {
         let span = self.span_for(t);
         let meta = &span.meta;
         let tsid = meta.tsid;
         let ns = self.cfg.horizontal_partitions;
         let j = meta.leaf_for_time(t);
         let token = PlacementKey::new(tsid, sid).token();
+        let mut dids = meta.shape.path_to_leaf(j);
+        dids.push(ELIST_BASE + j as u64);
+        let prefixes: Vec<[u8; 16]> = dids
+            .iter()
+            .map(|&did| DeltaKey::delta_prefix(tsid, sid, did))
+            .collect();
+        let refs: Vec<&[u8]> = prefixes.iter().map(|p| &p[..]).collect();
+        let groups = self.store.scan_prefix_batch(Table::Deltas, &refs, token)?;
         let mut state = Delta::new();
-        for did in meta.shape.path_to_leaf(j) {
-            let prefix = DeltaKey::delta_prefix(tsid, sid, did);
-            let rows = self
-                .store
-                .scan_prefix(Table::Deltas, &prefix, token)
-                .unwrap_or_default();
-            for (_, v) in rows {
-                state.sum_assign_owned(decode_delta(&v).expect("stored delta decodes"));
-            }
-        }
-        let prefix = DeltaKey::delta_prefix(tsid, sid, ELIST_BASE + j as u64);
-        let rows = self
-            .store
-            .scan_prefix(Table::Deltas, &prefix, token)
-            .unwrap_or_default();
         let map = &span.maps[sid as usize];
-        for (k, v) in rows {
-            let Some(dk) = DeltaKey::decode(&k) else {
-                continue;
-            };
-            let el = decode_eventlist(&v).expect("stored eventlist decodes");
-            for e in el.events().iter().take_while(|e| e.time <= t) {
-                apply_event_scoped(&mut state, &e.kind, |id| {
-                    sid_of(id, ns) == sid && map.assign(id) == dk.pid
-                });
+        for (&did, rows) in dids.iter().zip(groups) {
+            if did >= ELIST_BASE {
+                for (k, v) in rows {
+                    let Some(dk) = DeltaKey::decode(&k) else {
+                        continue;
+                    };
+                    let el = decode_eventlist(&v).expect("stored eventlist decodes");
+                    for e in el.events().iter().take_while(|e| e.time <= t) {
+                        apply_event_scoped(&mut state, &e.kind, |id| {
+                            sid_of(id, ns) == sid && map.assign(id) == dk.pid
+                        });
+                    }
+                }
+            } else {
+                for (_, v) in rows {
+                    state.sum_assign_owned(decode_delta(&v).expect("stored delta decodes"));
+                }
             }
         }
-        state
+        Ok(state)
     }
 }
 

@@ -1,0 +1,676 @@
+//! Multipoint snapshot retrieval planner (§4.6).
+//!
+//! Temporal queries frequently ask for the graph at *many* time points
+//! (evolution plots, TAF fetches, multipoint analytics). The naive
+//! approach — one [`Tgi::snapshot`] per time — refetches, re-decodes
+//! and re-materializes the entire root-to-leaf delta path for every
+//! point, even though the paths of nearby time points are mostly
+//! identical. This module plans a whole batch of query times at once:
+//!
+//! 1. **Group** the times by timespan and by tree leaf (eventlist
+//!    chunk);
+//! 2. **Union** the root-to-leaf delta ids of all requested leaves per
+//!    `(tsid, sid)` chunk and **fetch** each `(sid, did, pid)` row
+//!    exactly once through the store's grouped-scan API
+//!    ([`hgs_store::SimStore::scan_prefix_batch`] — one round-trip per
+//!    chunk instead of one per delta);
+//! 3. **Decode** each row at most once, ever: decoded rows and the
+//!    materialized per-leaf checkpoint states land in a bounded
+//!    per-index cache ([`Tgi::set_plan_cache_capacity`]). Index rows
+//!    are write-once (spans are append-only), so cached entries can
+//!    never go stale. The fetch itself is *never* skipped — a
+//!    fully-down chunk still surfaces
+//!    [`StoreError::Unavailable`](hgs_store::StoreError) rather than
+//!    being papered over by the cache;
+//! 4. **Materialize** each requested snapshot by cloning the shared
+//!    leaf state at its divergence point and replaying only the
+//!    per-time eventlist suffix (times within one leaf advance a
+//!    single replay cursor and capture states as it passes them).
+//!
+//! Together the shared fetch, the decode cache and the
+//! clone-at-divergence materialization make `k` time points cost about
+//! one shared path walk plus the unavoidable output construction — the
+//! `~1×+ε` behaviour the paper's DeltaGraph ancestry promises, instead
+//! of `k×`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hgs_delta::codec::{decode_delta, decode_eventlist};
+use hgs_delta::{Delta, Eventlist, FxHashMap, FxHashSet, Time};
+use hgs_store::parallel::parallel_chunks;
+use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
+
+use crate::build::{SpanRuntime, Tgi};
+use crate::meta::{sid_of, ELIST_BASE};
+use crate::scope::apply_event_scoped;
+
+/// How much fetch work a multipoint plan shares, before running it.
+///
+/// `shared_fetch_units` counts the distinct `(sid, did)` rows the plan
+/// pulls (each exactly once); `naive_fetch_units` counts what `k`
+/// independent [`Tgi::snapshot`] calls would pull. Their ratio is the
+/// planner's fetch saving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Number of requested time points.
+    pub times: usize,
+    /// Distinct timespans touched.
+    pub span_groups: usize,
+    /// Distinct (timespan, leaf) groups — one eventlist fetch each.
+    pub leaf_groups: usize,
+    /// Distinct (sid, did) fetch units the plan retrieves once.
+    pub shared_fetch_units: usize,
+    /// Fetch units a naive per-time loop would retrieve.
+    pub naive_fetch_units: usize,
+    /// Store round-trips the plan issues (one grouped scan per
+    /// (timespan, sid) chunk).
+    pub round_trips: usize,
+}
+
+/// Cache key: a raw stored row, or a derived whole-leaf state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheKey {
+    /// `(tsid, sid, did, pid)` — one stored row.
+    Row(u32, u32, u64, u32),
+    /// `(tsid, leaf)` — materialized checkpoint state (all sids).
+    Leaf(u32, u32),
+}
+
+/// A cached decode product.
+enum Cached {
+    Delta(Arc<Delta>),
+    Elist(Arc<Eventlist>),
+}
+
+impl Cached {
+    fn weight(&self) -> usize {
+        match self {
+            Cached::Delta(d) => d.cardinality(),
+            Cached::Elist(e) => e.len(),
+        }
+    }
+
+    fn shallow(&self) -> Cached {
+        match self {
+            Cached::Delta(d) => Cached::Delta(d.clone()),
+            Cached::Elist(e) => Cached::Elist(e.clone()),
+        }
+    }
+}
+
+/// Bounded cache of decoded rows and materialized leaf states.
+///
+/// Index rows are write-once (construction appends new timespans and
+/// never rewrites a stored delta), so entries never go stale. The
+/// cache bounds the total *weight* (node descriptions + events) it
+/// retains; when an insert would exceed the budget the cache is
+/// dropped wholesale — crude, but eviction order hardly matters for a
+/// working set that either fits or thrashes.
+pub(crate) struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct PlanCacheInner {
+    map: FxHashMap<CacheKey, Cached>,
+    weight: usize,
+    capacity: usize,
+}
+
+/// Default decode-cache budget: ~1M node descriptions / events.
+const DEFAULT_PLAN_CACHE_WEIGHT: usize = 1 << 20;
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner {
+                map: FxHashMap::default(),
+                weight: 0,
+                capacity: DEFAULT_PLAN_CACHE_WEIGHT,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PlanCache {
+    fn get(&self, key: CacheKey) -> Option<Cached> {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        let hit = inner.map.get(&key).map(Cached::shallow);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn put(&self, key: CacheKey, row: Cached) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if inner.capacity == 0 {
+            return;
+        }
+        let w = row.weight();
+        if inner.weight + w > inner.capacity {
+            inner.map.clear();
+            inner.weight = 0;
+            if w > inner.capacity {
+                return;
+            }
+        }
+        if inner.map.insert(key, row).is_none() {
+            inner.weight += w;
+        }
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.capacity = capacity;
+        if inner.weight > capacity {
+            inner.map.clear();
+            inner.weight = 0;
+        }
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Times of one leaf group: `(output slot, time)`, ascending by time.
+struct LeafGroup {
+    leaf: usize,
+    times: Vec<(usize, Time)>,
+}
+
+/// All leaf groups of one timespan, ascending by leaf index.
+struct SpanGroup {
+    span_idx: usize,
+    leaves: Vec<LeafGroup>,
+}
+
+/// A planned multipoint retrieval (internal representation).
+pub(crate) struct MultipointPlan {
+    groups: Vec<SpanGroup>,
+    n_times: usize,
+}
+
+impl MultipointPlan {
+    pub(crate) fn new(tgi: &Tgi, times: &[Time]) -> MultipointPlan {
+        // span_idx -> leaf -> [(slot, t)], kept ordered so materialized
+        // states distribute deterministically.
+        let mut groups: Vec<SpanGroup> = Vec::new();
+        let mut by_span: FxHashMap<usize, FxHashMap<usize, Vec<(usize, Time)>>> =
+            FxHashMap::default();
+        for (slot, &t) in times.iter().enumerate() {
+            let span_idx = tgi.span_index_for(t);
+            let leaf = tgi.spans[span_idx].meta.leaf_for_time(t);
+            by_span
+                .entry(span_idx)
+                .or_default()
+                .entry(leaf)
+                .or_default()
+                .push((slot, t));
+        }
+        let mut span_ids: Vec<usize> = by_span.keys().copied().collect();
+        span_ids.sort_unstable();
+        for span_idx in span_ids {
+            let leaves_map = by_span.remove(&span_idx).expect("key listed");
+            let mut leaf_ids: Vec<usize> = leaves_map.keys().copied().collect();
+            leaf_ids.sort_unstable();
+            let leaves = leaf_ids
+                .into_iter()
+                .map(|leaf| {
+                    let mut ts = leaves_map[&leaf].clone();
+                    ts.sort_by_key(|&(_, t)| t);
+                    LeafGroup { leaf, times: ts }
+                })
+                .collect();
+            groups.push(SpanGroup { span_idx, leaves });
+        }
+        MultipointPlan {
+            groups,
+            n_times: times.len(),
+        }
+    }
+
+    /// Summarize the plan's sharing against the per-time naive loop.
+    fn summary(&self, tgi: &Tgi) -> PlanSummary {
+        let ns = tgi.cfg.horizontal_partitions as usize;
+        let mut s = PlanSummary {
+            times: self.n_times,
+            span_groups: self.groups.len(),
+            ..PlanSummary::default()
+        };
+        for g in &self.groups {
+            let meta = &tgi.spans[g.span_idx].meta;
+            let mut union: FxHashSet<u64> = FxHashSet::default();
+            for lg in &g.leaves {
+                s.leaf_groups += 1;
+                let path = meta.shape.path_to_leaf(lg.leaf);
+                // Naive: every time refetches its whole path + elist.
+                s.naive_fetch_units += lg.times.len() * ns * (path.len() + 1);
+                union.extend(path);
+                union.insert(ELIST_BASE + lg.leaf as u64);
+            }
+            s.shared_fetch_units += ns * union.len();
+            s.round_trips += ns;
+        }
+        s
+    }
+}
+
+/// Rows of one `(tsid, sid)` batch, grouped by did.
+type RowsByDid = FxHashMap<u64, Vec<(Vec<u8>, bytes::Bytes)>>;
+
+impl Tgi {
+    /// Inspect how a multipoint retrieval over `times` would share
+    /// fetch work (without touching the store).
+    pub fn plan_multipoint(&self, times: &[Time]) -> PlanSummary {
+        MultipointPlan::new(self, times).summary(self)
+    }
+
+    /// Bound the planner's decoded-row/leaf-state cache (in node
+    /// descriptions + events retained; `0` disables caching).
+    pub fn set_plan_cache_capacity(&mut self, weight: usize) {
+        self.plan_cache.set_capacity(weight);
+    }
+
+    /// `(hits, misses)` of the planner's decode cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.plan_cache.stats()
+    }
+
+    /// Multipoint snapshot retrieval through the shared-path planner:
+    /// the graph state at each requested time, in input order.
+    ///
+    /// Equivalent to (and tested against) `times.len()` independent
+    /// [`Tgi::try_snapshot`] calls, but each tree-path delta row is
+    /// fetched once per `(tsid, sid)` chunk and decoded at most once,
+    /// ever; each snapshot is materialized by cloning the shared leaf
+    /// state and replaying only its per-time eventlist suffix. The
+    /// store fetch is never skipped, so failures still surface as
+    /// [`StoreError::Unavailable`](hgs_store::StoreError).
+    pub fn try_snapshots(&self, times: &[Time]) -> Result<Vec<Delta>, StoreError> {
+        let plan = MultipointPlan::new(self, times);
+        let mut out: Vec<Delta> = (0..times.len()).map(|_| Delta::new()).collect();
+        let ns = self.cfg.horizontal_partitions;
+        for group in &plan.groups {
+            let span = &self.spans[group.span_idx];
+            if self.clients <= 1 {
+                self.fill_group_sequential(span, &group.leaves, &mut out)?;
+                continue;
+            }
+            // Parallel clients: each sid fills its own per-time
+            // partials from its chunk's rows; partials are then
+            // move-merged (the first one wholesale).
+            let slots: Vec<usize> = group
+                .leaves
+                .iter()
+                .flat_map(|lg| lg.times.iter().map(|&(slot, _)| slot))
+                .collect();
+            let local: FxHashMap<usize, usize> = slots
+                .iter()
+                .enumerate()
+                .map(|(i, &slot)| (slot, i))
+                .collect();
+            let sids: Vec<u32> = (0..ns).collect();
+            let per_sid: Vec<Result<Vec<Delta>, StoreError>> =
+                parallel_chunks(sids, self.clients, |chunk| {
+                    chunk
+                        .into_iter()
+                        .map(|sid| {
+                            let mut partials: Vec<Delta> =
+                                (0..slots.len()).map(|_| Delta::new()).collect();
+                            self.span_group_fill(span, &group.leaves, sid, &mut partials, |s| {
+                                local[&s]
+                            })?;
+                            Ok(partials)
+                        })
+                        .collect()
+                });
+            for partials in per_sid {
+                for (i, partial) in partials?.into_iter().enumerate() {
+                    let slot = slots[i];
+                    if out[slot].is_empty() {
+                        out[slot] = partial;
+                    } else {
+                        out[slot].sum_assign_owned(partial);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Panicking wrapper over [`Tgi::try_snapshots`]; see the crate's
+    /// error-handling contract.
+    pub fn snapshots(&self, times: &[Time]) -> Vec<Delta> {
+        self.try_snapshots(times)
+            .unwrap_or_else(|e| panic!("TGI multipoint read failed: {e}"))
+    }
+
+    /// Fetch one `(tsid, sid)` chunk's rows for a span group — the
+    /// union of the tree paths of `tree_leaves` plus the eventlist
+    /// chunks of every leaf — in a single grouped scan. Leaves whose
+    /// checkpoint state is already cached are omitted from the tree
+    /// union (their eventlist prefixes still hit the same
+    /// `(tsid, sid)` placement, so a down chunk surfaces either way).
+    fn span_rows(
+        &self,
+        span: &SpanRuntime,
+        leaves: &[LeafGroup],
+        tree_leaves: &[bool],
+        sid: u32,
+    ) -> Result<RowsByDid, StoreError> {
+        let meta = &span.meta;
+        let mut dids: Vec<u64> = Vec::new();
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for (lg, &need_tree) in leaves.iter().zip(tree_leaves) {
+            if need_tree {
+                for did in meta.shape.path_to_leaf(lg.leaf) {
+                    if seen.insert(did) {
+                        dids.push(did);
+                    }
+                }
+            }
+            dids.push(ELIST_BASE + lg.leaf as u64);
+        }
+        let prefixes: Vec<[u8; 16]> = dids
+            .iter()
+            .map(|&did| DeltaKey::delta_prefix(meta.tsid, sid, did))
+            .collect();
+        let refs: Vec<&[u8]> = prefixes.iter().map(|p| &p[..]).collect();
+        let token = PlacementKey::new(meta.tsid, sid).token();
+        let groups = self.store.scan_prefix_batch(Table::Deltas, &refs, token)?;
+        Ok(dids.into_iter().zip(groups).collect())
+    }
+
+    /// Decode a fetched tree row through the cache.
+    fn decoded_delta(&self, tsid: u32, sid: u32, did: u64, pid: u32, bytes: &[u8]) -> Arc<Delta> {
+        let key = CacheKey::Row(tsid, sid, did, pid);
+        match self.plan_cache.get(key) {
+            Some(Cached::Delta(d)) => d,
+            _ => {
+                let d = Arc::new(decode_delta(bytes).expect("stored delta decodes"));
+                self.plan_cache.put(key, Cached::Delta(d.clone()));
+                d
+            }
+        }
+    }
+
+    /// Decode a fetched eventlist row through the cache.
+    fn decoded_elist(
+        &self,
+        tsid: u32,
+        sid: u32,
+        did: u64,
+        pid: u32,
+        bytes: &[u8],
+    ) -> Arc<Eventlist> {
+        let key = CacheKey::Row(tsid, sid, did, pid);
+        match self.plan_cache.get(key) {
+            Some(Cached::Elist(e)) => e,
+            _ => {
+                let e = Arc::new(decode_eventlist(bytes).expect("stored eventlist decodes"));
+                self.plan_cache.put(key, Cached::Elist(e.clone()));
+                e
+            }
+        }
+    }
+
+    /// Sequential (single fetch client) materialization of one span
+    /// group: one grouped scan per sid, then per leaf a shared
+    /// checkpoint state — cached across calls — cloned once per
+    /// requested time and rolled forward by a single replay cursor.
+    fn fill_group_sequential(
+        &self,
+        span: &SpanRuntime,
+        leaves: &[LeafGroup],
+        out: &mut [Delta],
+    ) -> Result<(), StoreError> {
+        let meta = &span.meta;
+        let tsid = meta.tsid;
+        let ns = self.cfg.horizontal_partitions;
+        // Resolve cached checkpoint states first so the grouped scans
+        // only carry the tree paths of leaves that still need
+        // building (the fetch itself never disappears: every
+        // `(tsid, sid)` chunk is still scanned for its eventlists).
+        let bases: Vec<Option<Arc<Delta>>> = leaves
+            .iter()
+            .map(
+                |lg| match self.plan_cache.get(CacheKey::Leaf(tsid, lg.leaf as u32)) {
+                    Some(Cached::Delta(d)) => Some(d),
+                    _ => None,
+                },
+            )
+            .collect();
+        let need_tree: Vec<bool> = bases.iter().map(|b| b.is_none()).collect();
+        let mut per_sid: Vec<RowsByDid> = Vec::with_capacity(ns as usize);
+        for sid in 0..ns {
+            per_sid.push(self.span_rows(span, leaves, &need_tree, sid)?);
+        }
+        for (lg, base) in leaves.iter().zip(bases) {
+            // Shared checkpoint state of this leaf (all sids), cached:
+            // it derives purely from write-once rows.
+            let base = match base {
+                Some(d) => d,
+                None => {
+                    let mut state = Delta::new();
+                    for (sid, rows) in per_sid.iter().enumerate() {
+                        for did in meta.shape.path_to_leaf(lg.leaf) {
+                            let Some(rows) = rows.get(&did) else {
+                                continue;
+                            };
+                            for (k, bytes) in rows {
+                                let Some(dk) = DeltaKey::decode(k) else {
+                                    continue;
+                                };
+                                let d = self.decoded_delta(tsid, sid as u32, did, dk.pid, bytes);
+                                state.sum_assign(&d);
+                            }
+                        }
+                    }
+                    let arc = Arc::new(state);
+                    self.plan_cache.put(
+                        CacheKey::Leaf(tsid, lg.leaf as u32),
+                        Cached::Delta(arc.clone()),
+                    );
+                    arc
+                }
+            };
+            // Eventlist pieces of this leaf, all sids.
+            let elist_did = ELIST_BASE + lg.leaf as u64;
+            let mut pieces: Vec<(u32, u32, Arc<Eventlist>)> = Vec::new();
+            for (sid, rows) in per_sid.iter().enumerate() {
+                let Some(rows) = rows.get(&elist_did) else {
+                    continue;
+                };
+                for (k, bytes) in rows {
+                    let Some(dk) = DeltaKey::decode(k) else {
+                        continue;
+                    };
+                    let el = self.decoded_elist(tsid, sid as u32, elist_did, dk.pid, bytes);
+                    pieces.push((sid as u32, dk.pid, el));
+                }
+            }
+            // Clone at the divergence point (the leaf), then advance
+            // one replay cursor, capturing states as it passes each
+            // requested time.
+            let mut cur: Delta = (*base).clone();
+            let mut cursors = vec![0usize; pieces.len()];
+            for (i, &(slot, t)) in lg.times.iter().enumerate() {
+                for (pi, (sid, pid, el)) in pieces.iter().enumerate() {
+                    let evs = el.events();
+                    while cursors[pi] < evs.len() && evs[cursors[pi]].time <= t {
+                        apply_event_scoped(&mut cur, &evs[cursors[pi]].kind, |id| {
+                            sid_of(id, ns) == *sid && span.maps[*sid as usize].assign(id) == *pid
+                        });
+                        cursors[pi] += 1;
+                    }
+                }
+                if i + 1 == lg.times.len() {
+                    out[slot] = std::mem::take(&mut cur);
+                } else {
+                    out[slot] = cur.clone();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One horizontal partition's contribution to every time of one
+    /// span group, written into `targets[slot_of(slot)]` (the parallel
+    /// fill unit). Rows are distributed in ascending-did order (which
+    /// is root-to-leaf order along every path, preserving delta-sum
+    /// overwrite semantics).
+    fn span_group_fill(
+        &self,
+        span: &SpanRuntime,
+        leaves: &[LeafGroup],
+        sid: u32,
+        targets: &mut [Delta],
+        slot_of: impl Fn(usize) -> usize,
+    ) -> Result<(), StoreError> {
+        let meta = &span.meta;
+        let tsid = meta.tsid;
+        let ns = self.cfg.horizontal_partitions;
+        let all_trees = vec![true; leaves.len()];
+        let rows_by_did = self.span_rows(span, leaves, &all_trees, sid)?;
+        let paths: Vec<Vec<u64>> = leaves
+            .iter()
+            .map(|lg| meta.shape.path_to_leaf(lg.leaf))
+            .collect();
+        let mut tree_dids: Vec<u64> = rows_by_did
+            .keys()
+            .copied()
+            .filter(|&did| did < ELIST_BASE)
+            .collect();
+        tree_dids.sort_unstable();
+        for did in tree_dids {
+            let mut wants: Vec<usize> = Vec::new();
+            for (lg, path) in leaves.iter().zip(&paths) {
+                if path.binary_search(&did).is_ok() {
+                    wants.extend(lg.times.iter().map(|&(slot, _)| slot_of(slot)));
+                }
+            }
+            for (k, bytes) in &rows_by_did[&did] {
+                let Some(dk) = DeltaKey::decode(k) else {
+                    continue;
+                };
+                let decoded = self.decoded_delta(tsid, sid, did, dk.pid, bytes);
+                for &ti in &wants {
+                    targets[ti].sum_assign(&decoded);
+                }
+            }
+        }
+        // Replay: each snapshot applies its leaf's eventlist prefix up
+        // to its own time, scoped per micro-partition.
+        let map = &span.maps[sid as usize];
+        for lg in leaves {
+            let elist_did = ELIST_BASE + lg.leaf as u64;
+            let Some(rows) = rows_by_did.get(&elist_did) else {
+                continue;
+            };
+            for (k, bytes) in rows {
+                let Some(dk) = DeltaKey::decode(k) else {
+                    continue;
+                };
+                let el = self.decoded_elist(tsid, sid, elist_did, dk.pid, bytes);
+                for &(slot, t) in &lg.times {
+                    let state = &mut targets[slot_of(slot)];
+                    for e in el.events().iter().take_while(|e| e.time <= t) {
+                        apply_event_scoped(state, &e.kind, |id| {
+                            sid_of(id, ns) == sid && map.assign(id) == dk.pid
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_delta::Event;
+    use hgs_delta::EventKind;
+
+    /// Planner grouping: duplicate and unsorted times land in the
+    /// right leaf groups with their original output slots.
+    #[test]
+    fn plan_groups_preserve_slots() {
+        let events: Vec<Event> = (0..200u64)
+            .map(|i| Event::new(i, EventKind::AddNode { id: i }))
+            .collect();
+        let tgi = Tgi::build(
+            crate::TgiConfig {
+                events_per_timespan: 200,
+                eventlist_size: 50,
+                partition_size: 50,
+                horizontal_partitions: 1,
+                ..crate::TgiConfig::default()
+            },
+            hgs_store::StoreConfig::new(1, 1),
+            &events,
+        );
+        let times = [150u64, 10, 150, 60];
+        let plan = MultipointPlan::new(&tgi, &times);
+        let slots: Vec<usize> = plan
+            .groups
+            .iter()
+            .flat_map(|g| g.leaves.iter())
+            .flat_map(|lg| lg.times.iter().map(|&(slot, _)| slot))
+            .collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "every slot appears once");
+        let summary = plan.summary(&tgi);
+        assert_eq!(summary.times, 4);
+        assert!(summary.shared_fetch_units <= summary.naive_fetch_units);
+    }
+
+    /// The decode cache is bounded and serves repeat plans.
+    #[test]
+    fn plan_cache_hits_on_repeat_and_respects_capacity() {
+        let events: Vec<Event> = (0..400u64)
+            .map(|i| Event::new(i, EventKind::AddNode { id: i }))
+            .collect();
+        let mut tgi = Tgi::build(
+            crate::TgiConfig {
+                events_per_timespan: 400,
+                eventlist_size: 100,
+                partition_size: 100,
+                horizontal_partitions: 1,
+                ..crate::TgiConfig::default()
+            },
+            hgs_store::StoreConfig::new(1, 1),
+            &events,
+        );
+        let times = [100u64, 300];
+        let first = tgi.try_snapshots(&times).unwrap();
+        let (h0, m0) = tgi.plan_cache_stats();
+        assert_eq!(h0, 0, "cold cache");
+        assert!(m0 > 0);
+        let second = tgi.try_snapshots(&times).unwrap();
+        let (h1, _) = tgi.plan_cache_stats();
+        assert!(h1 > 0, "repeat plan must hit the cache");
+        assert_eq!(first, second);
+        // Disabling the cache keeps results identical.
+        tgi.set_plan_cache_capacity(0);
+        let third = tgi.try_snapshots(&times).unwrap();
+        assert_eq!(first, third);
+        let (h2, _) = tgi.plan_cache_stats();
+        let fourth = tgi.try_snapshots(&times).unwrap();
+        let (h3, _) = tgi.plan_cache_stats();
+        assert_eq!(h2, h3, "disabled cache never hits");
+        assert_eq!(first, fourth);
+    }
+}

@@ -139,9 +139,9 @@ fn khop_of_missing_and_isolated_nodes() {
         hgs_core::KhopStrategy::ViaSnapshot,
         hgs_core::KhopStrategy::Recursive,
     ] {
-        let missing = tgi.khop(123_456_789, t_end, 2, strategy);
+        let missing = tgi.khop_with(123_456_789, t_end, 2, strategy);
         assert!(missing.is_empty(), "missing node via {strategy:?}");
-        let isolated = tgi.khop(999_999, t_end + 1, 2, strategy);
+        let isolated = tgi.khop_with(999_999, t_end + 1, 2, strategy);
         assert_eq!(isolated.cardinality(), 1, "isolated node via {strategy:?}");
     }
 }

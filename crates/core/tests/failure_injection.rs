@@ -1,0 +1,198 @@
+//! Failure injection: when every replica of a chunk a query needs is
+//! down, the `try_*` read path must return
+//! `StoreError::Unavailable` — never a silently *smaller* graph — and
+//! a build against a dead cluster must error instead of dropping
+//! deltas.
+
+use std::sync::Arc;
+
+use hgs_core::{BuildError, Tgi, TgiConfig};
+use hgs_datagen::WikiGrowth;
+use hgs_delta::TimeRange;
+use hgs_store::{SimStore, StoreConfig, StoreError};
+
+fn trace() -> Vec<hgs_delta::Event> {
+    WikiGrowth::sized(3_000).generate()
+}
+
+fn cfg() -> TgiConfig {
+    TgiConfig {
+        events_per_timespan: 1_200,
+        eventlist_size: 150,
+        partition_size: 60,
+        ..TgiConfig::default()
+    }
+}
+
+#[test]
+fn down_chunk_errors_instead_of_shrinking_the_snapshot() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 1), &events);
+    let reference = tgi.try_snapshot(t).expect("healthy cluster");
+
+    // With replication 1, failing any machine that holds part of the
+    // query's delta path must surface as Unavailable. A machine that
+    // happens to hold nothing the query needs may still answer — but
+    // then the answer must be *complete*, never a subset.
+    let mut errors = 0;
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+        match tgi.try_snapshot(t) {
+            Err(StoreError::Unavailable { .. }) => errors += 1,
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(snap) => assert_eq!(
+                snap, reference,
+                "a readable snapshot must never silently shrink"
+            ),
+        }
+        tgi.store().heal_machine(m);
+    }
+    assert!(errors > 0, "no machine failure surfaced as Unavailable");
+    assert_eq!(tgi.try_snapshot(t).unwrap(), reference, "healed cluster");
+}
+
+#[test]
+fn every_read_primitive_surfaces_total_failure() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+    }
+    let range = TimeRange::new(end / 4, (3 * end) / 4);
+    assert!(matches!(
+        tgi.try_snapshot(end / 2),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_snapshots(&[end / 3, end / 2]),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_node_at(0, end / 2),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_node_history(0, range),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_one_hop_history(0, range),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_khop(0, end / 2, 2),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_sid_state_at(0, end / 2),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_node_histories_for_sid(0, range),
+        Err(StoreError::Unavailable { .. })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "TGI read failed")]
+fn infallible_snapshot_panics_rather_than_shrinking() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+    }
+    let _ = tgi.snapshot(end / 2);
+}
+
+#[test]
+fn replication_masks_a_single_machine_failure() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 2), &events);
+    let reference = tgi.try_snapshot(end / 2).unwrap();
+    tgi.store().fail_machine(1);
+    assert_eq!(
+        tgi.try_snapshot(end / 2).unwrap(),
+        reference,
+        "replica failover must keep reads exact"
+    );
+    let shared = tgi.try_snapshots(&[end / 3, end / 2, end]).unwrap();
+    assert_eq!(shared[1], reference);
+}
+
+#[test]
+fn build_against_dead_cluster_errors() {
+    let events = trace();
+    let store = Arc::new(SimStore::new(StoreConfig::new(3, 1)));
+    for m in 0..store.machine_count() {
+        store.fail_machine(m);
+    }
+    assert!(matches!(
+        Tgi::try_build_on(cfg(), store, &events),
+        Err(BuildError::Store(StoreError::Unavailable { .. }))
+    ));
+}
+
+#[test]
+fn failed_append_poisons_the_handle() {
+    let events = trace();
+    let mid = events.len() / 2;
+    let mut tgi =
+        Tgi::try_build(cfg(), StoreConfig::new(3, 1), &events[..mid]).expect("healthy build");
+    assert!(!tgi.is_poisoned());
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+    }
+    assert!(matches!(
+        tgi.try_append_events(&events[mid..]),
+        Err(BuildError::Store(StoreError::Unavailable { .. }))
+    ));
+    assert!(tgi.is_poisoned());
+    // Even on a healed cluster, retrying the batch on this handle
+    // would double-apply events: the append must refuse.
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().heal_machine(m);
+    }
+    assert!(matches!(
+        tgi.try_append_events(&events[mid..]),
+        Err(BuildError::Poisoned)
+    ));
+    // Queries still answer from what was durably written.
+    let end = events[mid - 1].time;
+    assert!(tgi.try_snapshot(end / 2).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "TGI build failed")]
+fn infallible_build_panics_on_dead_cluster() {
+    let events = trace();
+    let store = Arc::new(SimStore::new(StoreConfig::new(3, 1)));
+    for m in 0..store.machine_count() {
+        store.fail_machine(m);
+    }
+    let _ = Tgi::build_on(cfg(), store, &events);
+}
+
+#[test]
+fn degraded_build_succeeds_but_counts_partial_writes() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let store = Arc::new(SimStore::new(StoreConfig::new(4, 2)));
+    store.fail_machine(2);
+    let tgi = Tgi::try_build_on(cfg(), store, &events).expect("one replica is enough to build");
+    assert!(
+        tgi.store().partial_put_count() > 0,
+        "writes that missed the down replica must be accounted"
+    );
+    assert_eq!(tgi.store().failed_put_count(), 0);
+    // The surviving replicas answer exactly.
+    let healthy = Tgi::build(cfg(), StoreConfig::new(4, 2), &events);
+    assert_eq!(
+        tgi.try_snapshot(end / 2).unwrap(),
+        healthy.try_snapshot(end / 2).unwrap()
+    );
+}

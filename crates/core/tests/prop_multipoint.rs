@@ -1,0 +1,165 @@
+//! Multipoint planner equivalence: `try_snapshots` (shared-path
+//! planner, batched fetches, clone-at-divergence) must produce exactly
+//! the same graphs as independent per-time `snapshot` calls, on random
+//! WikiGrowth traces and index shapes.
+
+use hgs_core::{Tgi, TgiConfig};
+use hgs_datagen::WikiGrowth;
+use hgs_delta::{AttrValue, Event, EventKind};
+use hgs_store::{SimStore, StoreConfig};
+use proptest::prelude::*;
+
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    let id = 0u64..40;
+    prop_oneof![
+        3 => id.clone().prop_map(|id| EventKind::AddNode { id }),
+        1 => id.clone().prop_map(|id| EventKind::RemoveNode { id }),
+        5 => (0u64..40, 0u64..40, any::<bool>()).prop_map(|(src, dst, directed)| {
+            EventKind::AddEdge { src, dst, weight: 1.0, directed }
+        }),
+        2 => (0u64..40, 0u64..40).prop_map(|(src, dst)| EventKind::RemoveEdge { src, dst }),
+        2 => (id.clone(), -9i64..9).prop_map(|(id, v)| EventKind::SetNodeAttr {
+            id,
+            key: "k".into(),
+            value: AttrValue::Int(v)
+        }),
+        1 => id.prop_map(|id| EventKind::RemoveNodeAttr { id, key: "k".into() }),
+    ]
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((arb_event_kind(), 0u64..3), 1..300).prop_map(|kinds| {
+        let mut t = 0u64;
+        kinds
+            .into_iter()
+            .map(|(kind, gap)| {
+                t += gap;
+                Event::new(t, kind)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn planner_matches_independent_snapshots(
+        seed in any::<u64>(),
+        n_events in 500usize..2_000,
+        ts in 300usize..900,
+        l in 40usize..160,
+        arity in 2usize..4,
+        ns in 1u32..4,
+        raw_times in prop::collection::vec(0u64..u64::MAX, 1..8),
+    ) {
+        let trace = WikiGrowth { seed, ..WikiGrowth::sized(n_events) }.generate();
+        let end = trace.last().unwrap().time;
+        let cfg = TgiConfig {
+            events_per_timespan: ts.max(l),
+            eventlist_size: l,
+            arity,
+            partition_size: 50,
+            horizontal_partitions: ns,
+            ..TgiConfig::default()
+        };
+        let tgi = Tgi::build(cfg, StoreConfig::new(3, 1), &trace);
+        // Arbitrary times, including duplicates, unsorted, and past
+        // the end of history.
+        let times: Vec<u64> = raw_times.iter().map(|r| r % (end + 2)).collect();
+        let shared = tgi.try_snapshots(&times).unwrap();
+        prop_assert_eq!(shared.len(), times.len());
+        for (t, s) in times.iter().zip(&shared) {
+            let independent = tgi.try_snapshot(*t).unwrap();
+            prop_assert_eq!(s, &independent, "mismatch at t={}", t);
+        }
+        let plan = tgi.plan_multipoint(&times);
+        prop_assert!(plan.shared_fetch_units <= plan.naive_fetch_units);
+    }
+
+    /// Arbitrary histories — node/edge removals, attribute churn,
+    /// duplicated events — through small index shapes: the planner's
+    /// merged-state replay must agree with per-time snapshots, with
+    /// both cold and warm caches and with parallel fetch clients.
+    #[test]
+    fn planner_matches_on_arbitrary_histories(
+        history in arb_history(),
+        l in 5usize..40,
+        ns in 1u32..4,
+        raw_times in prop::collection::vec(0u64..u64::MAX, 1..6),
+        clients in 1usize..4,
+    ) {
+        let end = history.last().map(|e| e.time).unwrap_or(0);
+        let cfg = TgiConfig {
+            events_per_timespan: 120.max(l),
+            eventlist_size: l,
+            partition_size: 10,
+            horizontal_partitions: ns,
+            ..TgiConfig::default()
+        };
+        let mut tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &history);
+        tgi.set_clients(clients);
+        let times: Vec<u64> = raw_times.iter().map(|r| r % (end + 2)).collect();
+        for round in 0..2 {
+            let shared = tgi.try_snapshots(&times).unwrap();
+            for (t, s) in times.iter().zip(&shared) {
+                let independent = tgi.try_snapshot(*t).unwrap();
+                prop_assert_eq!(s, &independent, "round {} t={}", round, t);
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_shares_fetches_and_batches_round_trips() {
+    let trace = WikiGrowth::sized(6_000).generate();
+    let end = trace.last().unwrap().time;
+    let tgi = Tgi::build(
+        TgiConfig {
+            events_per_timespan: 3_000,
+            eventlist_size: 200,
+            partition_size: 100,
+            ..TgiConfig::default()
+        },
+        StoreConfig::new(4, 1),
+        &trace,
+    );
+    let times: Vec<u64> = (1..=4).map(|i| end * i / 4).collect();
+    let plan = tgi.plan_multipoint(&times);
+    assert_eq!(plan.times, 4);
+    assert!(
+        plan.shared_fetch_units < plan.naive_fetch_units,
+        "4 spread times must share path rows: {plan:?}"
+    );
+    // The executed plan issues exactly one grouped-scan round-trip per
+    // (timespan, sid) chunk.
+    let before = tgi.store().stats_snapshot();
+    let snaps = tgi.try_snapshots(&times).unwrap();
+    let diff = SimStore::stats_since(&tgi.store().stats_snapshot(), &before);
+    let batches: u64 = diff.iter().map(|m| m.batches).sum();
+    assert_eq!(batches as usize, plan.round_trips);
+    assert_eq!(snaps.len(), 4);
+}
+
+#[test]
+fn times_in_one_leaf_share_a_single_replay() {
+    let trace = WikiGrowth::sized(2_000).generate();
+    let end = trace.last().unwrap().time;
+    let tgi = Tgi::build(
+        TgiConfig {
+            events_per_timespan: 2_000,
+            eventlist_size: 1_000,
+            partition_size: 100,
+            ..TgiConfig::default()
+        },
+        StoreConfig::new(2, 1),
+        &trace,
+    );
+    // Many times inside one eventlist chunk: one fetch, one replay.
+    let times: Vec<u64> = (0..10).map(|i| end / 2 + i).collect();
+    let plan = tgi.plan_multipoint(&times);
+    assert_eq!(plan.leaf_groups, 1);
+    let shared = tgi.try_snapshots(&times).unwrap();
+    for (t, s) in times.iter().zip(&shared) {
+        assert_eq!(s, &tgi.try_snapshot(*t).unwrap(), "t={t}");
+    }
+}

@@ -220,8 +220,8 @@ fn khop_strategies_agree_with_replay_bfs() {
         for center in centers {
             for k in [0usize, 1, 2] {
                 let want_ids = bfs_ids(&want_state, center, k);
-                let via_snap = tgi.khop(center, t, k, KhopStrategy::ViaSnapshot);
-                let recursive = tgi.khop(center, t, k, KhopStrategy::Recursive);
+                let via_snap = tgi.khop_with(center, t, k, KhopStrategy::ViaSnapshot);
+                let recursive = tgi.khop_with(center, t, k, KhopStrategy::Recursive);
                 let got_snap: FxHashSet<NodeId> = via_snap.ids().collect();
                 let got_rec: FxHashSet<NodeId> = recursive.ids().collect();
                 assert_eq!(got_snap, want_ids, "via-snapshot ids center={center} k={k}");

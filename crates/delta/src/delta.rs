@@ -28,6 +28,8 @@
 //! state representation, with [`Delta::apply_event`] implementing the
 //! event semantics.
 
+use std::sync::Arc;
+
 use crate::error::DeltaError;
 use crate::event::{Event, EventKind};
 use crate::hash::FxHashMap;
@@ -35,9 +37,34 @@ use crate::node::{Neighbor, StaticNode};
 use crate::types::{EdgeDir, NodeId};
 
 /// A set of static node descriptions, keyed by node-id.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Node descriptions are stored behind [`Arc`]s with copy-on-write
+/// mutation: cloning a delta, summing one into another
+/// ([`Delta::sum_assign`]) and the TGI planner's clone-at-divergence
+/// materialization all share descriptions by reference count, and a
+/// description is deep-copied only when a mutation actually touches it
+/// ([`Arc::make_mut`]). The public API is value-oriented throughout —
+/// the sharing is invisible except as speed.
+#[derive(Debug, Clone, Default)]
 pub struct Delta {
-    nodes: FxHashMap<NodeId, StaticNode>,
+    nodes: FxHashMap<NodeId, Arc<StaticNode>>,
+}
+
+impl PartialEq for Delta {
+    fn eq(&self, other: &Delta) -> bool {
+        self.nodes.len() == other.nodes.len()
+            && self.nodes.iter().all(|(id, n)| {
+                other
+                    .nodes
+                    .get(id)
+                    .is_some_and(|m| Arc::ptr_eq(n, m) || n == m)
+            })
+    }
+}
+
+/// Unwrap a node out of its `Arc`, cloning only if it is shared.
+fn unwrap_node(node: Arc<StaticNode>) -> StaticNode {
+    Arc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone())
 }
 
 impl Delta {
@@ -83,13 +110,14 @@ impl Delta {
     /// Look up a node description.
     #[inline]
     pub fn node(&self, id: NodeId) -> Option<&StaticNode> {
-        self.nodes.get(&id)
+        self.nodes.get(&id).map(|n| n.as_ref())
     }
 
-    /// Mutable node lookup.
+    /// Mutable node lookup (copy-on-write: a shared description is
+    /// deep-copied here, exactly once).
     #[inline]
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut StaticNode> {
-        self.nodes.get_mut(&id)
+        self.nodes.get_mut(&id).map(Arc::make_mut)
     }
 
     /// Whether a node description for `id` is present.
@@ -100,17 +128,17 @@ impl Delta {
 
     /// Insert (or replace) a node description.
     pub fn insert(&mut self, node: StaticNode) -> Option<StaticNode> {
-        self.nodes.insert(node.id, node)
+        self.nodes.insert(node.id, Arc::new(node)).map(unwrap_node)
     }
 
     /// Remove a node description.
     pub fn remove(&mut self, id: NodeId) -> Option<StaticNode> {
-        self.nodes.remove(&id)
+        self.nodes.remove(&id).map(unwrap_node)
     }
 
     /// Iterate over node descriptions (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &StaticNode> {
-        self.nodes.values()
+        self.nodes.values().map(|n| n.as_ref())
     }
 
     /// Iterate over node ids (arbitrary order).
@@ -126,9 +154,13 @@ impl Delta {
         v
     }
 
-    /// Drain into the underlying map.
+    /// Drain into a plain id-to-description map (shared descriptions
+    /// are deep-copied out of their `Arc`s).
     pub fn into_nodes(self) -> FxHashMap<NodeId, StaticNode> {
         self.nodes
+            .into_iter()
+            .map(|(id, n)| (id, unwrap_node(n)))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -137,10 +169,11 @@ impl Delta {
 
     /// `self ← self + other` (Definition 4): for ids in both, `other`'s
     /// description wins; ids present in only one side are kept.
+    /// Descriptions are shared by reference count, not deep-copied.
     pub fn sum_assign(&mut self, other: &Delta) {
         self.nodes.reserve(other.nodes.len());
         for (id, n) in &other.nodes {
-            self.nodes.insert(*id, n.clone());
+            self.nodes.insert(*id, Arc::clone(n));
         }
     }
 
@@ -166,8 +199,12 @@ impl Delta {
     pub fn difference(&self, other: &Delta) -> Delta {
         let mut out = Delta::new();
         for (id, n) in &self.nodes {
-            if other.nodes.get(id) != Some(n) {
-                out.nodes.insert(*id, n.clone());
+            let same = other
+                .nodes
+                .get(id)
+                .is_some_and(|m| Arc::ptr_eq(n, m) || n == m);
+            if !same {
+                out.nodes.insert(*id, Arc::clone(n));
             }
         }
         out
@@ -183,8 +220,12 @@ impl Delta {
         };
         let mut out = Delta::new();
         for (id, n) in &small.nodes {
-            if big.nodes.get(id) == Some(n) {
-                out.nodes.insert(*id, n.clone());
+            let same = big
+                .nodes
+                .get(id)
+                .is_some_and(|m| Arc::ptr_eq(n, m) || n == m);
+            if same {
+                out.nodes.insert(*id, Arc::clone(n));
             }
         }
         out
@@ -214,7 +255,7 @@ impl Delta {
     pub fn union(&self, other: &Delta) -> Delta {
         let mut out = other.clone();
         for (id, n) in &self.nodes {
-            out.nodes.insert(*id, n.clone());
+            out.nodes.insert(*id, Arc::clone(n));
         }
         out
     }
@@ -225,7 +266,7 @@ impl Delta {
         let mut out = Delta::new();
         for (id, n) in &self.nodes {
             if keep(*id) {
-                out.nodes.insert(*id, n.clone());
+                out.nodes.insert(*id, Arc::clone(n));
             }
         }
         out
@@ -266,7 +307,7 @@ impl Delta {
                         });
                     }
                 } else {
-                    self.nodes.insert(*id, StaticNode::new(*id));
+                    self.nodes.insert(*id, Arc::new(StaticNode::new(*id)));
                 }
             }
             EventKind::RemoveNode { id } => {
@@ -275,7 +316,7 @@ impl Delta {
                         // Scrub reverse entries so no dangling edges remain.
                         for nbr in node.all_neighbors() {
                             if let Some(n) = self.nodes.get_mut(&nbr) {
-                                n.remove_all_edges_to(*id);
+                                Arc::make_mut(n).remove_all_edges_to(*id);
                             }
                         }
                     }
@@ -308,25 +349,29 @@ impl Delta {
                 } else {
                     (EdgeDir::Both, EdgeDir::Both)
                 };
-                self.nodes
-                    .entry(*src)
-                    .or_insert_with(|| StaticNode::new(*src))
-                    .insert_edge(Neighbor::weighted(*dst, d_src, *weight));
-                if src != dst {
+                Arc::make_mut(
                     self.nodes
-                        .entry(*dst)
-                        .or_insert_with(|| StaticNode::new(*dst))
-                        .insert_edge(Neighbor::weighted(*src, d_dst, *weight));
+                        .entry(*src)
+                        .or_insert_with(|| Arc::new(StaticNode::new(*src))),
+                )
+                .insert_edge(Neighbor::weighted(*dst, d_src, *weight));
+                if src != dst {
+                    Arc::make_mut(
+                        self.nodes
+                            .entry(*dst)
+                            .or_insert_with(|| Arc::new(StaticNode::new(*dst))),
+                    )
+                    .insert_edge(Neighbor::weighted(*src, d_dst, *weight));
                 }
             }
             EventKind::RemoveEdge { src, dst } => {
                 let mut found = false;
                 if let Some(n) = self.nodes.get_mut(src) {
-                    found |= n.remove_all_edges_to(*dst) > 0;
+                    found |= Arc::make_mut(n).remove_all_edges_to(*dst) > 0;
                 }
                 if src != dst {
                     if let Some(n) = self.nodes.get_mut(dst) {
-                        found |= n.remove_all_edges_to(*src) > 0;
+                        found |= Arc::make_mut(n).remove_all_edges_to(*src) > 0;
                     }
                 }
                 if strict && !found {
@@ -341,9 +386,11 @@ impl Delta {
                 let mut found = false;
                 for (a, b) in [(*src, *dst), (*dst, *src)] {
                     if let Some(n) = self.nodes.get_mut(&a) {
-                        for e in n.edges.iter_mut().filter(|e| e.nbr == b) {
-                            e.weight = *weight;
-                            found = true;
+                        if n.edges.iter().any(|e| e.nbr == b) {
+                            for e in Arc::make_mut(n).edges.iter_mut().filter(|e| e.nbr == b) {
+                                e.weight = *weight;
+                                found = true;
+                            }
                         }
                     }
                     if src == dst {
@@ -360,7 +407,7 @@ impl Delta {
             }
             EventKind::SetNodeAttr { id, key, value } => match self.nodes.get_mut(id) {
                 Some(n) => {
-                    n.attrs.set(key.clone(), value.clone());
+                    Arc::make_mut(n).attrs.set(key.clone(), value.clone());
                 }
                 None if strict => {
                     return Err(DeltaError::UnknownNode {
@@ -371,14 +418,15 @@ impl Delta {
                 None => {
                     let mut n = StaticNode::new(*id);
                     n.attrs.set(key.clone(), value.clone());
-                    self.nodes.insert(*id, n);
+                    self.nodes.insert(*id, Arc::new(n));
                 }
             },
             EventKind::RemoveNodeAttr { id, key } => {
                 let removed = self
                     .nodes
                     .get_mut(id)
-                    .and_then(|n| n.attrs.remove(key))
+                    .filter(|n| n.attrs.get(key).is_some())
+                    .and_then(|n| Arc::make_mut(n).attrs.remove(key))
                     .is_some();
                 if strict && !removed {
                     return Err(DeltaError::UnknownNode {
@@ -396,9 +444,11 @@ impl Delta {
                 let mut found = false;
                 for (a, b) in [(*src, *dst), (*dst, *src)] {
                     if let Some(n) = self.nodes.get_mut(&a) {
-                        for e in n.edges.iter_mut().filter(|e| e.nbr == b) {
-                            e.set_attr(key.clone(), value.clone());
-                            found = true;
+                        if n.edges.iter().any(|e| e.nbr == b) {
+                            for e in Arc::make_mut(n).edges.iter_mut().filter(|e| e.nbr == b) {
+                                e.set_attr(key.clone(), value.clone());
+                                found = true;
+                            }
                         }
                     }
                     if src == dst {
@@ -417,8 +467,10 @@ impl Delta {
                 let mut found = false;
                 for (a, b) in [(*src, *dst), (*dst, *src)] {
                     if let Some(n) = self.nodes.get_mut(&a) {
-                        for e in n.edges.iter_mut().filter(|e| e.nbr == b) {
-                            found |= e.remove_attr(key).is_some();
+                        if n.edges.iter().any(|e| e.nbr == b && e.attrs.is_some()) {
+                            for e in Arc::make_mut(n).edges.iter_mut().filter(|e| e.nbr == b) {
+                                found |= e.remove_attr(key).is_some();
+                            }
                         }
                     }
                     if src == dst {

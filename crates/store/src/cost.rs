@@ -14,6 +14,11 @@
 //!   + client_bytes / (c · client_bw)           (deserialization, parallel over c)
 //! ```
 //!
+//! `requests` counts client round-trips: lookups/scans grouped into a
+//! batched request ([`crate::SimStore::multi_get`],
+//! [`crate::SimStore::scan_prefix_batch`]) are charged one round-trip
+//! per batch, while their per-key server-side seek costs remain.
+//!
 //! The constants were calibrated once against the paper's reported
 //! absolute magnitudes (seconds for multi-million-node snapshots on a
 //! small EC2 cluster) and are fixed across all experiments; only the
@@ -58,7 +63,14 @@ impl CostModel {
     /// folded into whichever machine actually served the read.
     pub fn estimate_seconds(&self, per_machine: &[MachineStatsSnapshot], c: usize) -> f64 {
         let c = c.max(1) as f64;
-        let total_requests: u64 = per_machine.iter().map(|m| m.gets + m.scans).sum();
+        // Lookups/scans that travelled inside a batch share that
+        // batch's round-trip: charge the batch once and subtract its
+        // sub-requests from the RTT term (they still pay server-side
+        // seeks below).
+        let total_requests: u64 = per_machine
+            .iter()
+            .map(|m| m.gets + m.scans - m.batched_subrequests + m.batches)
+            .sum();
         let total_bytes: u64 = per_machine.iter().map(|m| m.bytes_read).sum();
 
         let rounds = (total_requests as f64 / c).ceil();
@@ -85,11 +97,34 @@ mod tests {
         MachineStatsSnapshot {
             gets,
             scans: 0,
+            batches: 0,
+            batched_subrequests: 0,
             rows_read: gets,
             bytes_read: bytes,
             puts: 0,
             bytes_written: 0,
         }
+    }
+
+    #[test]
+    fn batched_requests_share_their_round_trip() {
+        let model = CostModel::default();
+        // 100 individual gets vs the same 100 gets grouped into 5
+        // batches: the server work is identical, but the batched plan
+        // pays 5 round-trips instead of 100.
+        let individual = vec![snap(100, 1_000_000)];
+        let mut batched_snap = snap(100, 1_000_000);
+        batched_snap.batches = 5;
+        batched_snap.batched_subrequests = 100;
+        let batched = vec![batched_snap];
+        let t_individual = model.estimate_seconds(&individual, 1);
+        let t_batched = model.estimate_seconds(&batched, 1);
+        assert!(
+            t_batched < t_individual,
+            "batching must reduce modeled latency: {t_batched} vs {t_individual}"
+        );
+        let saved_rounds = (100.0 - 5.0) * model.rtt_us / 1e6;
+        assert!((t_individual - t_batched - saved_rounds).abs() < 1e-9);
     }
 
     #[test]

@@ -17,6 +17,14 @@ pub struct MachineStats {
     pub gets: AtomicU64,
     /// Range scans served.
     pub scans: AtomicU64,
+    /// Batched requests served (one batch = one client round-trip
+    /// regardless of how many keys/prefixes it groups).
+    pub batches: AtomicU64,
+    /// Individual lookups/scans that arrived inside a batch (also
+    /// counted in `gets`/`scans`, preserving `∑∆ 1` semantics; the
+    /// cost model subtracts these and charges the batch one
+    /// round-trip instead).
+    pub batched_subrequests: AtomicU64,
     /// Values returned (scan rows + successful gets).
     pub rows_read: AtomicU64,
     /// Bytes of value data returned (stored, i.e. possibly compressed,
@@ -33,6 +41,8 @@ pub struct MachineStats {
 pub struct MachineStatsSnapshot {
     pub gets: u64,
     pub scans: u64,
+    pub batches: u64,
+    pub batched_subrequests: u64,
     pub rows_read: u64,
     pub bytes_read: u64,
     pub puts: u64,
@@ -46,6 +56,8 @@ impl MachineStatsSnapshot {
         MachineStatsSnapshot {
             gets: self.gets - earlier.gets,
             scans: self.scans - earlier.scans,
+            batches: self.batches - earlier.batches,
+            batched_subrequests: self.batched_subrequests - earlier.batched_subrequests,
             rows_read: self.rows_read - earlier.rows_read,
             bytes_read: self.bytes_read - earlier.bytes_read,
             puts: self.puts - earlier.puts,
@@ -58,6 +70,8 @@ impl MachineStatsSnapshot {
         MachineStatsSnapshot {
             gets: self.gets + other.gets,
             scans: self.scans + other.scans,
+            batches: self.batches + other.batches,
+            batched_subrequests: self.batched_subrequests + other.batched_subrequests,
             rows_read: self.rows_read + other.rows_read,
             bytes_read: self.bytes_read + other.bytes_read,
             puts: self.puts + other.puts,
@@ -71,6 +85,8 @@ impl MachineStats {
         MachineStatsSnapshot {
             gets: self.gets.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_subrequests: self.batched_subrequests.load(Ordering::Relaxed),
             rows_read: self.rows_read.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
@@ -83,6 +99,9 @@ impl MachineStats {
 /// (see [`Machine::set_down`]); the store retries the next replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineDown;
+
+/// Rows returned by a prefix scan: `(namespaced key, value)` pairs.
+pub type ScanRows = Vec<(Vec<u8>, Bytes)>;
 
 /// One storage machine: an ordered map from namespaced keys to values.
 ///
@@ -176,12 +195,70 @@ impl Machine {
 
     /// Ordered prefix scan; returns `(key, value)` pairs whose key
     /// starts with `prefix`.
-    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, MachineDown> {
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<ScanRows, MachineDown> {
         if self.is_down() {
             return Err(MachineDown);
         }
         self.stats.scans.fetch_add(1, Ordering::Relaxed);
         let guard = self.data.read();
+        Ok(self.scan_locked(&guard, prefix))
+    }
+
+    /// Batched point lookups: all keys answered under one lock
+    /// acquisition, accounted as a single batch round-trip (plus one
+    /// logical get per key, preserving `∑∆ 1` semantics).
+    pub fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Bytes>>, MachineDown> {
+        if self.is_down() {
+            return Err(MachineDown);
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .gets
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.stats
+            .batched_subrequests
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let guard = self.data.read();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let v = guard.get(k).cloned();
+            if let Some(v) = &v {
+                self.stats.rows_read.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(v.len() as u64, Ordering::Relaxed);
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Batched prefix scans: one result group per prefix, all served
+    /// under one lock acquisition and accounted as one batch
+    /// round-trip (plus one logical scan per prefix).
+    pub fn scan_prefixes(&self, prefixes: &[Vec<u8>]) -> Result<Vec<ScanRows>, MachineDown> {
+        if self.is_down() {
+            return Err(MachineDown);
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .scans
+            .fetch_add(prefixes.len() as u64, Ordering::Relaxed);
+        self.stats
+            .batched_subrequests
+            .fetch_add(prefixes.len() as u64, Ordering::Relaxed);
+        let guard = self.data.read();
+        Ok(prefixes
+            .iter()
+            .map(|p| self.scan_locked(&guard, p))
+            .collect())
+    }
+
+    fn scan_locked(
+        &self,
+        guard: &BTreeMap<Vec<u8>, Bytes>,
+        prefix: &[u8],
+    ) -> Vec<(Vec<u8>, Bytes)> {
         let mut out = Vec::new();
         let range =
             guard.range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded));
@@ -195,7 +272,7 @@ impl Machine {
                 .fetch_add(v.len() as u64, Ordering::Relaxed);
             out.push((k.clone(), v.clone()));
         }
-        Ok(out)
+        out
     }
 }
 
@@ -240,6 +317,49 @@ mod tests {
         assert!(!m.put(key(0, b"b"), Bytes::from_static(b"v")));
         m.set_down(false);
         assert!(m.get(&key(0, b"a")).is_ok());
+    }
+
+    #[test]
+    fn multi_get_counts_one_batch() {
+        let m = Machine::new();
+        m.put(key(0, b"a"), Bytes::from_static(b"1"));
+        m.put(key(0, b"b"), Bytes::from_static(b"22"));
+        let before = m.stats().snapshot();
+        let got = m
+            .multi_get(&[key(0, b"a"), key(0, b"missing"), key(0, b"b")])
+            .unwrap();
+        assert_eq!(
+            got.iter().map(|v| v.is_some()).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
+        let diff = m.stats().snapshot().since(&before);
+        assert_eq!(diff.batches, 1);
+        assert_eq!(diff.gets, 3);
+        assert_eq!(diff.rows_read, 2);
+        assert_eq!(diff.bytes_read, 3);
+    }
+
+    #[test]
+    fn scan_prefixes_groups_per_prefix() {
+        let m = Machine::new();
+        m.put(key(0, b"aa1"), Bytes::from_static(b"1"));
+        m.put(key(0, b"aa2"), Bytes::from_static(b"2"));
+        m.put(key(0, b"bb1"), Bytes::from_static(b"3"));
+        let before = m.stats().snapshot();
+        let groups = m
+            .scan_prefixes(&[key(0, b"aa"), key(0, b"zz"), key(0, b"bb")])
+            .unwrap();
+        assert_eq!(
+            groups.iter().map(|g| g.len()).collect::<Vec<_>>(),
+            vec![2, 0, 1]
+        );
+        let diff = m.stats().snapshot().since(&before);
+        assert_eq!(diff.batches, 1);
+        assert_eq!(diff.scans, 3);
+        assert_eq!(diff.rows_read, 3);
+        m.set_down(true);
+        assert!(m.scan_prefixes(&[key(0, b"aa")]).is_err());
+        assert!(m.multi_get(&[key(0, b"aa1")]).is_err());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The simulated distributed store: placement, replication,
 //! compression and accounting over a set of [`Machine`]s.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use bytes::Bytes;
 use hgs_delta::CodecError;
 
@@ -75,6 +77,13 @@ pub type StoreStatsSnapshot = Vec<MachineStatsSnapshot>;
 pub struct SimStore {
     cfg: StoreConfig,
     machines: Vec<Machine>,
+    /// Writes that reached some but not all replicas (degraded
+    /// durability — the data survives only while the accepting
+    /// replicas stay up).
+    partial_puts: AtomicU64,
+    /// Writes that reached no replica at all (data loss if the caller
+    /// ignores the zero return).
+    failed_puts: AtomicU64,
 }
 
 impl SimStore {
@@ -88,6 +97,8 @@ impl SimStore {
         SimStore {
             cfg,
             machines: (0..cfg.machines).map(|_| Machine::new()).collect(),
+            partial_puts: AtomicU64::new(0),
+            failed_puts: AtomicU64::new(0),
         }
     }
 
@@ -131,7 +142,23 @@ impl SimStore {
                 ok += 1;
             }
         }
+        if ok == 0 {
+            self.failed_puts.fetch_add(1, Ordering::Relaxed);
+        } else if ok < self.cfg.replication {
+            self.partial_puts.fetch_add(1, Ordering::Relaxed);
+        }
         ok
+    }
+
+    /// Writes that reached only a strict subset of their replicas so
+    /// far (degraded-durability writes).
+    pub fn partial_put_count(&self) -> u64 {
+        self.partial_puts.load(Ordering::Relaxed)
+    }
+
+    /// Writes that reached no replica so far (lost unless retried).
+    pub fn failed_put_count(&self) -> u64 {
+        self.failed_puts.load(Ordering::Relaxed)
     }
 
     /// Point lookup with replica failover.
@@ -164,6 +191,72 @@ impl SimStore {
                     let mut out = Vec::with_capacity(rows.len());
                     for (k, v) in rows {
                         out.push((k[1..].to_vec(), self.maybe_decompress(v)?));
+                    }
+                    return Ok(out);
+                }
+                Err(crate::machine::MachineDown) => continue,
+            }
+        }
+        Err(StoreError::Unavailable { table })
+    }
+
+    /// Batched point lookups with replica failover: all keys share one
+    /// placement token (one chunk), so a single machine answers the
+    /// whole batch in one round-trip.
+    pub fn multi_get(
+        &self,
+        table: Table,
+        keys: &[&[u8]],
+        token: u64,
+    ) -> Result<Vec<Option<Bytes>>, StoreError> {
+        let nks: Vec<Vec<u8>> = keys.iter().map(|k| Self::namespaced(table, k)).collect();
+        for r in 0..self.cfg.replication {
+            let m = self.machine_for(token, r);
+            match self.machines[m].multi_get(&nks) {
+                Ok(values) => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for v in values {
+                        out.push(match v {
+                            Some(bytes) => Some(self.maybe_decompress(bytes)?),
+                            None => None,
+                        });
+                    }
+                    return Ok(out);
+                }
+                Err(crate::machine::MachineDown) => continue,
+            }
+        }
+        Err(StoreError::Unavailable { table })
+    }
+
+    /// Grouped prefix scan with replica failover: one result group per
+    /// prefix, in input order, served by a single machine round-trip
+    /// (all prefixes share one placement token). Keys are returned
+    /// without the table namespace byte. This is the fetch unit of the
+    /// multipoint snapshot planner: the union of a query batch's
+    /// tree-path deltas for one `(tsid, sid)` chunk travels as one
+    /// request.
+    pub fn scan_prefix_batch(
+        &self,
+        table: Table,
+        prefixes: &[&[u8]],
+        token: u64,
+    ) -> Result<Vec<crate::machine::ScanRows>, StoreError> {
+        let nps: Vec<Vec<u8>> = prefixes
+            .iter()
+            .map(|p| Self::namespaced(table, p))
+            .collect();
+        for r in 0..self.cfg.replication {
+            let m = self.machine_for(token, r);
+            match self.machines[m].scan_prefixes(&nps) {
+                Ok(groups) => {
+                    let mut out = Vec::with_capacity(groups.len());
+                    for rows in groups {
+                        let mut group = Vec::with_capacity(rows.len());
+                        for (k, v) in rows {
+                            group.push((k[1..].to_vec(), self.maybe_decompress(v)?));
+                        }
+                        out.push(group);
                     }
                     return Ok(out);
                 }
@@ -388,5 +481,85 @@ mod tests {
     #[should_panic]
     fn invalid_replication_rejected() {
         let _ = SimStore::new(StoreConfig::new(2, 3));
+    }
+
+    #[test]
+    fn scan_prefix_batch_matches_individual_scans() {
+        let s = store(3, 1);
+        let pk = PlacementKey::new(2, 1);
+        for did in 0..4u64 {
+            for pid in 0..3u32 {
+                let k = DeltaKey::new(2, 1, did, pid);
+                s.put(
+                    Table::Deltas,
+                    &k.encode(),
+                    pk.token(),
+                    Bytes::from(vec![did as u8, pid as u8]),
+                );
+            }
+        }
+        let prefixes: Vec<[u8; 16]> = (0..4u64)
+            .map(|did| DeltaKey::delta_prefix(2, 1, did))
+            .collect();
+        let refs: Vec<&[u8]> = prefixes.iter().map(|p| &p[..]).collect();
+        let before = s.stats_snapshot();
+        let groups = s
+            .scan_prefix_batch(Table::Deltas, &refs, pk.token())
+            .unwrap();
+        let diff = SimStore::stats_since(&s.stats_snapshot(), &before);
+        assert_eq!(diff.iter().map(|m| m.batches).sum::<u64>(), 1);
+        for (p, group) in refs.iter().zip(&groups) {
+            let single = s.scan_prefix(Table::Deltas, p, pk.token()).unwrap();
+            assert_eq!(group, &single);
+        }
+    }
+
+    #[test]
+    fn batched_reads_fail_over_and_surface_unavailability() {
+        let s = store(3, 2);
+        let token = 0u64;
+        s.put(Table::Deltas, b"k1", token, Bytes::from_static(b"a"));
+        s.put(Table::Deltas, b"k2", token, Bytes::from_static(b"b"));
+        s.fail_machine(s.machine_for(token, 0));
+        let got = s
+            .multi_get(Table::Deltas, &[b"k1", b"k2", b"nope"], token)
+            .unwrap();
+        assert_eq!(got[0].as_deref(), Some(&b"a"[..]));
+        assert_eq!(got[1].as_deref(), Some(&b"b"[..]));
+        assert_eq!(got[2], None);
+        s.fail_machine(s.machine_for(token, 1));
+        assert!(matches!(
+            s.multi_get(Table::Deltas, &[b"k1"], token),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            s.scan_prefix_batch(Table::Deltas, &[b"k"], token),
+            Err(StoreError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn put_failure_counters_track_degraded_writes() {
+        let s = store(3, 2);
+        let token = 0u64;
+        assert_eq!(
+            s.put(Table::Deltas, b"a", token, Bytes::from_static(b"v")),
+            2
+        );
+        assert_eq!(s.partial_put_count(), 0);
+        assert_eq!(s.failed_put_count(), 0);
+        s.fail_machine(s.machine_for(token, 1));
+        assert_eq!(
+            s.put(Table::Deltas, b"b", token, Bytes::from_static(b"v")),
+            1
+        );
+        assert_eq!(s.partial_put_count(), 1);
+        s.fail_machine(s.machine_for(token, 0));
+        assert_eq!(
+            s.put(Table::Deltas, b"c", token, Bytes::from_static(b"v")),
+            0
+        );
+        assert_eq!(s.failed_put_count(), 1);
+        assert_eq!(s.partial_put_count(), 1);
     }
 }

@@ -163,8 +163,10 @@ impl SotsQuery {
             chunk
                 .into_iter()
                 .map(|root| {
-                    let initial: Delta =
-                        tgi.khop(root, range.start, k, hgs_core::KhopStrategy::Recursive);
+                    // Strategy picked per root from the Table-1 cost
+                    // estimators (recursive for small k, via-snapshot
+                    // for deep neighborhoods).
+                    let initial: Delta = tgi.khop(root, range.start, k);
                     let members: FxHashSet<NodeId> = initial.ids().collect();
                     // Events touching two members are returned by both
                     // members' histories; keep a single copy. An event

@@ -66,7 +66,7 @@ fn main() {
 
     // "The most central node last year": betweenness on the recent
     // 2-hop neighborhood of the hub (exact Brandes on the subgraph).
-    let neighborhood = tgi.khop(hub, end, 2, hgs::tgi::KhopStrategy::Recursive);
+    let neighborhood = tgi.khop(hub, end, 2);
     let g = hgs::graph::Graph::from_delta(neighborhood);
     let bc = algo::betweenness(&g);
     let (best, score) = bc

@@ -90,12 +90,7 @@ fn main() {
     // Compare with the *static* view at the end of history: the
     // temporal trace catches transient contacts a static snapshot
     // misses, and correctly excludes contacts formed before infection.
-    let static_view = tgi.khop(
-        patient_zero,
-        end,
-        generations,
-        hgs::tgi::KhopStrategy::ViaSnapshot,
-    );
+    let static_view = tgi.khop(patient_zero, end, generations);
     let static_set: FxHashSet<NodeId> = static_view.ids().collect();
     let temporal_set: FxHashSet<NodeId> = exposed_at.keys().copied().collect();
     let only_temporal = temporal_set.difference(&static_set).count();

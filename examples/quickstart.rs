@@ -11,7 +11,7 @@ use hgs::delta::TimeRange;
 use hgs::graph::algo;
 use hgs::store::StoreConfig;
 use hgs::taf::TgiHandler;
-use hgs::tgi::{KhopStrategy, Tgi, TgiConfig};
+use hgs::tgi::{Tgi, TgiConfig};
 
 fn main() {
     // 1. A historical trace: 30k events of citation-network-like
@@ -56,8 +56,10 @@ fn main() {
             .unwrap_or(0)
     );
 
-    // 5. k-hop neighborhood (Algorithm 4) as of a past time.
-    let neighborhood = tgi.khop(hub, then, 2, KhopStrategy::Recursive);
+    // 5. k-hop neighborhood as of a past time. The fetch strategy
+    //    (Algorithm 3 vs 4) is picked automatically from the index's
+    //    cost model; `khop_with` forces one explicitly.
+    let neighborhood = tgi.khop(hub, then, 2);
     println!(
         "2-hop neighborhood of {hub} at t={then}: {} nodes",
         neighborhood.cardinality()
