@@ -104,6 +104,33 @@ impl HistoricalIndex for Tgi {
     fn one_hop(&self, nid: NodeId, t: Time) -> Delta {
         Tgi::khop_with(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
     }
+
+    // TGI has a real fallible read path: override the panicking
+    // bridges so a degraded cluster yields `Err` through the trait.
+    fn try_snapshot(&self, t: Time) -> Result<Delta, hgs_store::StoreError> {
+        Tgi::try_snapshot(self, t)
+    }
+
+    fn try_node_at(
+        &self,
+        nid: NodeId,
+        t: Time,
+    ) -> Result<Option<StaticNode>, hgs_store::StoreError> {
+        Tgi::try_node_at(self, nid, t)
+    }
+
+    fn try_node_versions(
+        &self,
+        nid: NodeId,
+        range: TimeRange,
+    ) -> Result<(Option<StaticNode>, Vec<Event>), hgs_store::StoreError> {
+        let h = Tgi::try_node_history(self, nid, range)?;
+        Ok((h.initial, h.events))
+    }
+
+    fn try_one_hop(&self, nid: NodeId, t: Time) -> Result<Delta, hgs_store::StoreError> {
+        Tgi::try_khop_with(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +184,52 @@ mod tests {
         let end = events.last().unwrap().time;
         assert_eq!(idx.snapshot(end), Delta::snapshot_by_replay(&events, end));
         assert_eq!(idx.name(), "tgi");
+    }
+
+    /// The shared fallible trait surface: baselines answer through the
+    /// default bridge; TGI's override turns a dead cluster into `Err`
+    /// where the bridge (or the infallible name) would panic.
+    #[test]
+    fn try_surface_is_shared_and_fallible_for_tgi() {
+        let events = WikiGrowth::sized(800).generate();
+        let tgi = Tgi::build(
+            hgs_core::TgiConfig {
+                events_per_timespan: 500,
+                eventlist_size: 100,
+                partition_size: 80,
+                ..hgs_core::TgiConfig::default()
+            },
+            StoreConfig::new(2, 1),
+            &events,
+        );
+        let log = crate::LogIndex::build(StoreConfig::new(2, 1), &events, 128);
+        let end = events.last().unwrap().time;
+        for idx in [&tgi as &dyn HistoricalIndex, &log] {
+            assert_eq!(
+                idx.try_snapshot(end / 2).expect("healthy cluster"),
+                idx.snapshot(end / 2),
+                "{}: try_snapshot must agree with snapshot",
+                idx.name()
+            );
+            assert_eq!(
+                idx.try_node_at(0, end / 2).expect("healthy cluster"),
+                idx.node_at(0, end / 2),
+                "{}",
+                idx.name()
+            );
+        }
+        // Dead cluster: TGI's override errors instead of panicking.
+        for m in 0..tgi.store().machine_count() {
+            tgi.store().fail_machine(m);
+        }
+        let idx: &dyn HistoricalIndex = &tgi;
+        assert!(matches!(
+            idx.try_snapshot(end / 2),
+            Err(hgs_store::StoreError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            idx.try_node_versions(0, hgs_delta::TimeRange::new(0, end)),
+            Err(hgs_store::StoreError::Unavailable { .. })
+        ));
     }
 }

@@ -1,11 +1,19 @@
 //! The common interface of all historical graph indexes.
 
 use hgs_delta::{Delta, Event, NodeId, StaticNode, Time, TimeRange};
-use hgs_store::SimStore;
+use hgs_store::{SimStore, StoreError};
 use std::sync::Arc;
 
 /// A historical graph index: anything that can answer the paper's
 /// retrieval primitives over an immutable event history.
+///
+/// Every retrieval primitive also has a fallible `try_*` twin so that
+/// baselines and TGI share one error contract in the bench harness.
+/// The default `try_*` implementations are *panicking bridges*: they
+/// delegate to the infallible methods, which on a degraded cluster
+/// panic rather than return `Err`. Indexes with a genuinely fallible
+/// read path (TGI) override them to surface
+/// [`StoreError::Unavailable`] instead.
 pub trait HistoricalIndex {
     /// Short name for experiment output ("log", "copy", ...).
     fn name(&self) -> &'static str;
@@ -22,6 +30,34 @@ pub trait HistoricalIndex {
     /// One node's history over `range`: initial state plus in-range
     /// events touching it.
     fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>);
+
+    /// Fallible [`HistoricalIndex::snapshot`]. Default: panicking
+    /// bridge through the infallible method.
+    fn try_snapshot(&self, t: Time) -> Result<Delta, StoreError> {
+        Ok(self.snapshot(t))
+    }
+
+    /// Fallible [`HistoricalIndex::node_at`]. Default: panicking
+    /// bridge through the infallible method.
+    fn try_node_at(&self, nid: NodeId, t: Time) -> Result<Option<StaticNode>, StoreError> {
+        Ok(self.node_at(nid, t))
+    }
+
+    /// Fallible [`HistoricalIndex::node_versions`]. Default: panicking
+    /// bridge through the infallible method.
+    fn try_node_versions(
+        &self,
+        nid: NodeId,
+        range: TimeRange,
+    ) -> Result<(Option<StaticNode>, Vec<Event>), StoreError> {
+        Ok(self.node_versions(nid, range))
+    }
+
+    /// Fallible [`HistoricalIndex::one_hop`]. Default: panicking
+    /// bridge through the infallible method.
+    fn try_one_hop(&self, nid: NodeId, t: Time) -> Result<Delta, StoreError> {
+        Ok(self.one_hop(nid, t))
+    }
 
     /// Total stored bytes — the index-size column of Table 1.
     fn storage_bytes(&self) -> usize {

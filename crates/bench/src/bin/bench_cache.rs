@@ -1,0 +1,37 @@
+//! Read-cache benchmark: cold vs warm single-point retrieval over
+//! Zipf-repeated working sets, emitted as JSON (`BENCH_cache.json`)
+//! so CI and later PRs can track the cache's warm speedup.
+//!
+//! ```text
+//! cargo run --release -p hgs-bench --bin bench_cache -- BENCH_cache.json
+//! ```
+
+use hgs_bench::experiments::read_cache;
+use hgs_bench::experiments::read_cache::CACHE_BUDGET_BYTES;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cache.json".to_string());
+    let rows = read_cache::read_cache();
+    let mut json = format!(
+        "{{\n  \"dataset\": \"WikiGrowth\",\n  \"budget_bytes\": {CACHE_BUDGET_BYTES},\n  \"rows\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"cold_secs\": {:.5}, \"warm_secs\": {:.5}, \
+             \"speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \"cache_bytes\": {}}}{}\n",
+            r.workload,
+            r.cold_secs,
+            r.warm_secs,
+            r.speedup(),
+            r.hits,
+            r.misses,
+            r.cache_bytes,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+}

@@ -21,5 +21,6 @@ fn main() {
     e::ablation_timespan();
     e::ablation_horizontal();
     e::multipoint();
+    e::read_cache();
     eprintln!("# run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -34,18 +34,17 @@ pub struct MultipointRow {
     pub planned_naive_units: usize,
 }
 
-fn median3(mut xs: [f64; 3]) -> f64 {
-    xs.sort_by(|a, b| a.total_cmp(b));
-    xs[1]
-}
-
-/// Measure one batch size on a prepared index. Resets the planner's
-/// decode cache first so `shared_cold_secs` is genuinely cold.
+/// Measure one batch size on a prepared index. Resets the shared read
+/// cache first so `shared_cold_secs` is genuinely cold. The naive loop
+/// uses the cache-bypassing snapshot path — single-point `snapshot`
+/// now runs through the same planner + cache, so timing it would
+/// measure the cache, not the per-time refetch this row contrasts.
 pub fn multipoint_row(tgi: &mut Tgi, times: &[Time]) -> MultipointRow {
-    tgi.set_plan_cache_capacity(0);
-    tgi.set_plan_cache_capacity(64 << 20);
+    tgi.set_read_cache_budget(0);
+    tgi.set_read_cache_budget(hgs_core::DEFAULT_READ_CACHE_BYTES);
     let tgi = &*tgi;
-    let naive = |ts: &[Time]| -> Vec<Delta> { ts.iter().map(|&t| tgi.snapshot(t)).collect() };
+    let naive =
+        |ts: &[Time]| -> Vec<Delta> { ts.iter().map(|&t| tgi.snapshot_uncached(t)).collect() };
 
     let (shared_snaps, cold_rep) = timed(tgi, 1, || tgi.snapshots(times));
     let shared_secs =

@@ -22,9 +22,23 @@ pub fn secs(v: f64) -> String {
     format!("{v:.4}")
 }
 
-/// Build a TGI over `events` on a fresh cluster.
+/// Median of three timing samples (the experiments' standard
+/// noise-rejection for warm/naive measurements).
+pub fn median3(mut xs: [f64; 3]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[1]
+}
+
+/// Build a TGI over `events` on a fresh cluster, with the read cache
+/// **disabled**: the figure harnesses measure the raw fetch + decode
+/// cost of the index *shape* (the paper's per-query numbers), which a
+/// warm cache would flatten into clone-and-replay time. Cache-centric
+/// experiments (`multipoint`, `read_cache`) re-enable it explicitly
+/// via [`Tgi::set_read_cache_budget`].
 pub fn build_tgi(cfg: TgiConfig, store: StoreConfig, events: &[Event]) -> Tgi {
-    Tgi::build(cfg, store, events)
+    let tgi = Tgi::build(cfg, store, events);
+    tgi.set_read_cache_budget(0);
+    tgi
 }
 
 /// Run `f` and report it through the cost model at client width `c`.

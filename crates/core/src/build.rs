@@ -60,9 +60,10 @@ pub struct Tgi {
     pub(crate) cost: CostModel,
     pub(crate) clients: usize,
     pub(crate) event_count: usize,
-    /// Decoded-row cache for the multipoint planner (index rows are
-    /// write-once, so entries never go stale).
-    pub(crate) plan_cache: crate::query_plan::PlanCache,
+    /// Session-wide byte-budgeted LRU read cache shared by every
+    /// query path (index rows are write-once, so entries never go
+    /// stale); see [`crate::read_cache`].
+    pub(crate) read_cache: crate::read_cache::ReadCache,
     /// Set when an append failed partway (see
     /// [`Tgi::try_append_events`]); further appends are refused.
     pub(crate) poisoned: bool,
@@ -161,7 +162,7 @@ impl Tgi {
             cost: CostModel::default(),
             clients: 1,
             event_count: 0,
-            plan_cache: crate::query_plan::PlanCache::default(),
+            read_cache: crate::read_cache::ReadCache::new(cfg.read_cache_bytes),
             poisoned: false,
         };
         tgi.try_append_events(events)?;

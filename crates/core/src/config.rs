@@ -40,6 +40,11 @@ pub struct TgiConfig {
     pub omega: Omega,
     /// Node weighting for locality partitioning balance.
     pub weighting: NodeWeighting,
+    /// Byte budget of the session-wide read cache (decoded rows and
+    /// materialized checkpoint states, LRU-evicted; `0` disables
+    /// caching). Runtime-tunable via
+    /// [`Tgi::set_read_cache_budget`](crate::build::Tgi).
+    pub read_cache_bytes: usize,
 }
 
 impl Default for TgiConfig {
@@ -54,9 +59,13 @@ impl Default for TgiConfig {
             version_chains: true,
             omega: Omega::UnionMax,
             weighting: NodeWeighting::Uniform,
+            read_cache_bytes: DEFAULT_READ_CACHE_BYTES,
         }
     }
 }
+
+/// Default read-cache budget: 64 MiB of decoded rows and states.
+pub const DEFAULT_READ_CACHE_BYTES: usize = 64 << 20;
 
 impl TgiConfig {
     /// Validate parameter sanity; called by the builder.
@@ -133,6 +142,12 @@ impl TgiConfig {
     /// Set the events-per-timespan (`ts`).
     pub fn with_timespan(mut self, ts: usize) -> TgiConfig {
         self.events_per_timespan = ts;
+        self
+    }
+
+    /// Set the read-cache byte budget (`0` disables caching).
+    pub fn with_read_cache_bytes(mut self, bytes: usize) -> TgiConfig {
+        self.read_cache_bytes = bytes;
         self
     }
 }

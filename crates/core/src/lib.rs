@@ -28,10 +28,17 @@
 //! neighborhood history, all with `c`-way parallel fetch. Multipoint
 //! snapshot batches go through the shared-path planner
 //! ([`query_plan`]): tree-path rows are fetched once per chunk and
-//! states are cloned only at path divergence points. Every retrieval
-//! and build primitive has a fallible `try_*` variant that surfaces
+//! states are cloned only at path divergence points. Single-point
+//! reads run as degenerate one-time plans over the same machinery, so
+//! **every** query path shares one session-wide byte-budgeted LRU
+//! read cache of decoded rows and materialized checkpoint states
+//! ([`read_cache`]; budget via [`TgiConfig::read_cache_bytes`],
+//! counters via [`Tgi::cache_stats`]). Every retrieval and build
+//! primitive has a fallible `try_*` variant that surfaces
 //! [`hgs_store::StoreError::Unavailable`] instead of silently
-//! returning partial results (see [`query`] for the contract).
+//! returning partial results (see [`query`] for the contract); a
+//! cache miss — including one caused by eviction — always re-runs the
+//! fallible fetch.
 
 pub mod build;
 pub mod config;
@@ -40,13 +47,15 @@ pub mod meta;
 pub mod persist;
 pub mod query;
 pub mod query_plan;
+pub mod read_cache;
 pub mod scope;
 pub mod stats;
 
 pub use build::{BuildError, Tgi};
-pub use config::{PartitionStrategy, TgiConfig};
+pub use config::{PartitionStrategy, TgiConfig, DEFAULT_READ_CACHE_BYTES};
 pub use meta::{TimespanMeta, TreeShape};
 pub use persist::OpenError;
 pub use query::{KhopStrategy, NeighborhoodHistory, NodeHistory};
 pub use query_plan::PlanSummary;
+pub use read_cache::CacheStats;
 pub use stats::FetchReport;

@@ -74,6 +74,7 @@ pub(crate) fn encode_config(cfg: &TgiConfig) -> bytes::Bytes {
         NodeWeighting::AvgDegree => 2,
     };
     put_varint(&mut buf, weighting);
+    put_varint(&mut buf, cfg.read_cache_bytes as u64);
     buf.freeze()
 }
 
@@ -123,6 +124,12 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
             })
         }
     };
+    // Descriptors written before the read cache existed omit the
+    // budget; fall back to the default rather than failing the open.
+    let read_cache_bytes = match get_varint(b) {
+        Ok(v) => v as usize,
+        Err(_) => crate::config::DEFAULT_READ_CACHE_BYTES,
+    };
     Ok(TgiConfig {
         events_per_timespan,
         eventlist_size,
@@ -133,6 +140,7 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
         version_chains,
         omega,
         weighting,
+        read_cache_bytes,
     })
 }
 
@@ -217,7 +225,7 @@ impl Tgi {
             cost: CostModel::default(),
             clients: 1,
             event_count,
-            plan_cache: crate::query_plan::PlanCache::default(),
+            read_cache: crate::read_cache::ReadCache::new(cfg.read_cache_bytes),
             poisoned: false,
         };
         // The tail state (needed for appends) is the latest snapshot.

@@ -20,6 +20,8 @@
 //! that were never written (empty micro-partitions) are legitimately
 //! absent. Only machine unavailability surfaces as `Err`.
 
+use std::sync::Arc;
+
 use hgs_delta::codec::{decode_delta, decode_eventlist};
 use hgs_delta::{
     Delta, Event, Eventlist, FxHashMap, FxHashSet, NodeId, StaticNode, Time, TimeRange,
@@ -31,6 +33,7 @@ use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 use crate::build::{SpanRuntime, Tgi};
 use crate::costs::{access_cost, CostProfile, IndexKind, QueryKind};
 use crate::meta::{decode_chain, sid_of, ChainEntry, AUX_BASE, ELIST_BASE};
+use crate::read_cache::{CacheKey, Cached};
 use crate::scope::apply_event_scoped;
 
 /// How to fetch a k-hop neighborhood (§4.6, Algorithms 3 & 4).
@@ -177,9 +180,32 @@ impl Tgi {
     }
 
     /// Fallible [`Tgi::snapshot_c`]: errors when all replicas of any
-    /// chunk along the delta path are down, instead of returning a
-    /// silently incomplete graph.
+    /// chunk the query still has to fetch are down, instead of
+    /// returning a silently incomplete graph.
+    ///
+    /// Runs as a degenerate one-time plan through the multipoint
+    /// machinery ([`Tgi::try_snapshots_c`]), so
+    /// it consults and populates the session-wide read cache: a warm
+    /// repeat pays only the checkpoint-state clone and the eventlist
+    /// replay, never the tree-path fetch + decode. The cache-bypassing
+    /// reference path remains as [`Tgi::try_snapshot_uncached_c`].
     pub fn try_snapshot_c(&self, t: Time, c: usize) -> Result<Delta, StoreError> {
+        let mut out = self.try_snapshots_c(std::slice::from_ref(&t), c)?;
+        Ok(out.pop().expect("one snapshot per requested time"))
+    }
+
+    /// Cache-bypassing [`Tgi::snapshot`]: refetches and re-decodes the
+    /// whole root-to-leaf path, touching neither cached entries nor
+    /// the cache's counters. This is the reference implementation the
+    /// cached paths are tested against, and the honest "cold" baseline
+    /// for benchmarks.
+    pub fn snapshot_uncached(&self, t: Time) -> Delta {
+        unwrap_read(self.try_snapshot_uncached_c(t, self.clients))
+    }
+
+    /// Fallible [`Tgi::snapshot_uncached`] with an explicit parallel
+    /// fetch factor `c`.
+    pub fn try_snapshot_uncached_c(&self, t: Time, c: usize) -> Result<Delta, StoreError> {
         let span = self.span_for(t);
         let meta = &span.meta;
         let tsid = meta.tsid;
@@ -284,9 +310,17 @@ impl Tgi {
     }
 
     /// Reconstruct the state of micro-partition `(sid, pid)` as of
-    /// `t`: tree-path micro-deltas + the eventlist chunk, fetched as
-    /// one batched multi-get (single round-trip; the rows share a
-    /// placement chunk).
+    /// `t`: tree-path micro-deltas + the eventlist chunk, a degenerate
+    /// single-partition chunk plan over the shared read cache.
+    ///
+    /// The checkpoint state (path rows summed, before replay) caches
+    /// under [`CacheKey::Part`]; individual rows cache under
+    /// [`CacheKey::Row`]. Everything still unknown travels in **one**
+    /// batched multi-get (the rows share a placement chunk) — that
+    /// fallible fetch is re-run on every miss, including misses caused
+    /// by eviction, so a down chunk surfaces
+    /// [`StoreError::Unavailable`] instead of a stale or partial
+    /// state.
     pub(crate) fn try_fetch_partition_state(
         &self,
         span: &SpanRuntime,
@@ -298,22 +332,91 @@ impl Tgi {
         let tsid = meta.tsid;
         let ns = self.cfg.horizontal_partitions;
         let j = meta.leaf_for_time(t);
-        let token = PlacementKey::new(tsid, sid).token();
+        let elist_did = ELIST_BASE + j as u64;
         let path = meta.shape.path_to_leaf(j);
-        let mut keys: Vec<[u8; 20]> = Vec::with_capacity(path.len() + 1);
-        for &did in &path {
-            keys.push(DeltaKey::new(tsid, sid, did, pid).encode());
+
+        let part_key = CacheKey::Part(tsid, sid, pid, j as u32);
+        let base = match self.read_cache.get(part_key) {
+            Some(Cached::Delta(d)) => Some(d),
+            _ => None,
+        };
+
+        // Resolve what the cache already holds; everything else goes
+        // into one batched fetch.
+        let mut tree_rows: FxHashMap<u64, Option<Arc<Delta>>> = FxHashMap::default();
+        let mut fetch_dids: Vec<u64> = Vec::new();
+        if base.is_none() {
+            for &did in &path {
+                match self.read_cache.get(CacheKey::Row(tsid, sid, did, pid)) {
+                    Some(Cached::Delta(d)) => {
+                        tree_rows.insert(did, Some(d));
+                    }
+                    Some(Cached::Absent) => {
+                        tree_rows.insert(did, None);
+                    }
+                    _ => fetch_dids.push(did),
+                }
+            }
         }
-        keys.push(DeltaKey::new(tsid, sid, ELIST_BASE + j as u64, pid).encode());
-        let refs: Vec<&[u8]> = keys.iter().map(|k| &k[..]).collect();
-        let mut values = self.store.multi_get(Table::Deltas, &refs, token)?;
-        let elist_bytes = values.pop().expect("one value slot per key");
-        let mut state = Delta::new();
-        for bytes in values.into_iter().flatten() {
-            state.sum_assign_owned(decode_delta(&bytes).expect("stored delta decodes"));
+        let mut elist: Option<Arc<Eventlist>> = None;
+        match self
+            .read_cache
+            .get(CacheKey::Row(tsid, sid, elist_did, pid))
+        {
+            Some(Cached::Elist(e)) => elist = Some(e),
+            Some(Cached::Absent) => {}
+            _ => fetch_dids.push(elist_did),
         }
-        if let Some(bytes) = elist_bytes {
-            let el = decode_eventlist(&bytes).expect("stored eventlist decodes");
+
+        if !fetch_dids.is_empty() {
+            let token = PlacementKey::new(tsid, sid).token();
+            let keys: Vec<[u8; 20]> = fetch_dids
+                .iter()
+                .map(|&did| DeltaKey::new(tsid, sid, did, pid).encode())
+                .collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| &k[..]).collect();
+            let values = self.store.multi_get(Table::Deltas, &refs, token)?;
+            for (&did, bytes) in fetch_dids.iter().zip(values) {
+                match bytes {
+                    Some(bytes) if did == elist_did => {
+                        elist = Some(self.insert_decoded_elist(tsid, sid, did, pid, &bytes));
+                    }
+                    Some(bytes) => {
+                        tree_rows.insert(
+                            did,
+                            Some(self.insert_decoded_delta(tsid, sid, did, pid, &bytes)),
+                        );
+                    }
+                    None => {
+                        // Absence of a write-once row is permanent for
+                        // sealed spans: cache it too.
+                        self.read_cache
+                            .put(CacheKey::Row(tsid, sid, did, pid), Cached::Absent);
+                        if did != elist_did {
+                            tree_rows.insert(did, None);
+                        }
+                    }
+                }
+            }
+        }
+        // Checkpoint state, then the per-time eventlist replay.
+        let mut state = match base {
+            Some(d) => (*d).clone(),
+            None => {
+                let mut s = Delta::new();
+                for &did in &path {
+                    if let Some(Some(d)) = tree_rows.get(&did) {
+                        s.sum_assign(d);
+                    }
+                }
+                if self.read_cache.is_enabled() {
+                    self.read_cache
+                        .put(part_key, Cached::Delta(Arc::new(s.clone())));
+                }
+                s
+            }
+        };
+        if let Some(el) = elist {
             let map = &span.maps[sid as usize];
             for e in el.events().iter().take_while(|e| e.time <= t) {
                 apply_event_scoped(&mut state, &e.kind, |id| {
@@ -324,19 +427,33 @@ impl Tgi {
         Ok(state)
     }
 
+    /// Fetch (or serve from the read cache) one eventlist chunk row.
+    /// A miss re-runs the fallible point lookup; a confirmed-absent
+    /// row is cached as such (write-once rows cannot appear later in a
+    /// sealed span).
     pub(crate) fn try_fetch_elist(
         &self,
         tsid: u32,
         sid: u32,
         chunk: u32,
         pid: u32,
-    ) -> Result<Option<Eventlist>, StoreError> {
-        let key = DeltaKey::new(tsid, sid, ELIST_BASE + chunk as u64, pid);
+    ) -> Result<Option<Arc<Eventlist>>, StoreError> {
+        let did = ELIST_BASE + chunk as u64;
+        let key = CacheKey::Row(tsid, sid, did, pid);
+        match self.read_cache.get(key) {
+            Some(Cached::Elist(e)) => return Ok(Some(e)),
+            Some(Cached::Absent) => return Ok(None),
+            _ => {}
+        }
+        let dk = DeltaKey::new(tsid, sid, did, pid);
         let token = PlacementKey::new(tsid, sid).token();
-        Ok(self
-            .store
-            .get(Table::Deltas, &key.encode(), token)?
-            .map(|bytes| decode_eventlist(&bytes).expect("stored eventlist decodes")))
+        match self.store.get(Table::Deltas, &dk.encode(), token)? {
+            Some(bytes) => Ok(Some(self.insert_decoded_elist(tsid, sid, did, pid, &bytes))),
+            None => {
+                self.read_cache.put(key, Cached::Absent);
+                Ok(None)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -532,8 +649,8 @@ impl Tgi {
 
         let mut fetched_parts: FxHashSet<(u32, u32)> = FxHashSet::default();
         let mut part_states: FxHashMap<(u32, u32), Delta> = FxHashMap::default();
-        let mut elist_cache: FxHashMap<(u32, u32), Option<Eventlist>> = FxHashMap::default();
-        let mut aux: Delta = Delta::new();
+        let mut elist_cache: FxHashMap<(u32, u32), Option<Arc<Eventlist>>> = FxHashMap::default();
+        let mut aux: Arc<Delta> = Arc::new(Delta::new());
 
         let center_sid = sid_of(center, ns);
         let center_pid = span.maps[center_sid as usize].assign(center);
@@ -542,13 +659,29 @@ impl Tgi {
 
         // Auxiliary 1-hop replicas (Fig. 5d): states of boundary
         // neighbors at checkpoint j, to be rolled forward with their
-        // own eventlist chunks.
+        // own eventlist chunks. Aux rows are write-once too, so they
+        // ride the same read cache — held by `Arc`, never deep-copied
+        // (the resolve closure only ever reads `aux.node(..)`).
         if meta.has_aux {
-            let key = DeltaKey::new(tsid, center_sid, AUX_BASE + j as u64, center_pid);
-            let token = PlacementKey::new(tsid, center_sid).token();
-            if let Some(bytes) = self.store.get(Table::Deltas, &key.encode(), token)? {
-                aux = decode_delta(&bytes).expect("stored aux delta decodes");
-            }
+            let did = AUX_BASE + j as u64;
+            let ckey = CacheKey::Row(tsid, center_sid, did, center_pid);
+            aux = match self.read_cache.get(ckey) {
+                Some(Cached::Delta(d)) => d,
+                Some(Cached::Absent) => aux,
+                _ => {
+                    let key = DeltaKey::new(tsid, center_sid, did, center_pid);
+                    let token = PlacementKey::new(tsid, center_sid).token();
+                    match self.store.get(Table::Deltas, &key.encode(), token)? {
+                        Some(bytes) => {
+                            self.insert_decoded_delta(tsid, center_sid, did, center_pid, &bytes)
+                        }
+                        None => {
+                            self.read_cache.put(ckey, Cached::Absent);
+                            aux
+                        }
+                    }
+                }
+            };
         }
         part_states.insert((center_sid, center_pid), center_state);
 
@@ -556,7 +689,7 @@ impl Tgi {
         let resolve = |nid: NodeId,
                        part_states: &mut FxHashMap<(u32, u32), Delta>,
                        fetched_parts: &mut FxHashSet<(u32, u32)>,
-                       elist_cache: &mut FxHashMap<(u32, u32), Option<Eventlist>>|
+                       elist_cache: &mut FxHashMap<(u32, u32), Option<Arc<Eventlist>>>|
          -> Result<Option<StaticNode>, StoreError> {
             let sid = sid_of(nid, ns);
             let pid = span.maps[sid as usize].assign(nid);
@@ -751,7 +884,7 @@ impl Tgi {
                     let Some(dk) = DeltaKey::decode(&k) else {
                         continue;
                     };
-                    let el = decode_eventlist(&v).expect("stored eventlist decodes");
+                    let el = self.decoded_elist(meta.tsid, sid, dk.did, dk.pid, &v);
                     for e in el.events() {
                         if e.time <= range.start || e.time >= range.end {
                             continue;
@@ -819,7 +952,7 @@ impl Tgi {
                     let Some(dk) = DeltaKey::decode(&k) else {
                         continue;
                     };
-                    let el = decode_eventlist(&v).expect("stored eventlist decodes");
+                    let el = self.decoded_elist(tsid, sid, did, dk.pid, &v);
                     for e in el.events().iter().take_while(|e| e.time <= t) {
                         apply_event_scoped(&mut state, &e.kind, |id| {
                             sid_of(id, ns) == sid && map.assign(id) == dk.pid
@@ -827,8 +960,12 @@ impl Tgi {
                     }
                 }
             } else {
-                for (_, v) in rows {
-                    state.sum_assign_owned(decode_delta(&v).expect("stored delta decodes"));
+                for (k, v) in rows {
+                    let Some(dk) = DeltaKey::decode(&k) else {
+                        continue;
+                    };
+                    let d = self.decoded_delta(tsid, sid, did, dk.pid, &v);
+                    state.sum_assign(&d);
                 }
             }
         }

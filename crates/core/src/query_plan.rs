@@ -15,11 +15,12 @@
 //!    ([`hgs_store::SimStore::scan_prefix_batch`] — one round-trip per
 //!    chunk instead of one per delta);
 //! 3. **Decode** each row at most once, ever: decoded rows and the
-//!    materialized per-leaf checkpoint states land in a bounded
-//!    per-index cache ([`Tgi::set_plan_cache_capacity`]). Index rows
-//!    are write-once (spans are append-only), so cached entries can
-//!    never go stale. The fetch itself is *never* skipped — a
-//!    fully-down chunk still surfaces
+//!    materialized per-leaf checkpoint states land in the session-wide
+//!    byte-budgeted LRU [`ReadCache`](crate::read_cache::ReadCache)
+//!    ([`Tgi::set_read_cache_budget`]), shared with every single-point
+//!    query path. Index rows are write-once (spans are append-only),
+//!    so cached entries can never go stale. Each chunk's eventlist
+//!    scan is *never* skipped — a fully-down chunk still surfaces
 //!    [`StoreError::Unavailable`](hgs_store::StoreError) rather than
 //!    being papered over by the cache;
 //! 4. **Materialize** each requested snapshot by cloning the shared
@@ -33,8 +34,7 @@
 //! `~1×+ε` behaviour the paper's DeltaGraph ancestry promises, instead
 //! of `k×`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use hgs_delta::codec::{decode_delta, decode_eventlist};
 use hgs_delta::{Delta, Eventlist, FxHashMap, FxHashSet, Time};
@@ -43,6 +43,7 @@ use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 
 use crate::build::{SpanRuntime, Tgi};
 use crate::meta::{sid_of, ELIST_BASE};
+use crate::read_cache::{CacheKey, Cached};
 use crate::scope::apply_event_scoped;
 
 /// How much fetch work a multipoint plan shares, before running it.
@@ -66,121 +67,6 @@ pub struct PlanSummary {
     /// Store round-trips the plan issues (one grouped scan per
     /// (timespan, sid) chunk).
     pub round_trips: usize,
-}
-
-/// Cache key: a raw stored row, or a derived whole-leaf state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum CacheKey {
-    /// `(tsid, sid, did, pid)` — one stored row.
-    Row(u32, u32, u64, u32),
-    /// `(tsid, leaf)` — materialized checkpoint state (all sids).
-    Leaf(u32, u32),
-}
-
-/// A cached decode product.
-enum Cached {
-    Delta(Arc<Delta>),
-    Elist(Arc<Eventlist>),
-}
-
-impl Cached {
-    fn weight(&self) -> usize {
-        match self {
-            Cached::Delta(d) => d.cardinality(),
-            Cached::Elist(e) => e.len(),
-        }
-    }
-
-    fn shallow(&self) -> Cached {
-        match self {
-            Cached::Delta(d) => Cached::Delta(d.clone()),
-            Cached::Elist(e) => Cached::Elist(e.clone()),
-        }
-    }
-}
-
-/// Bounded cache of decoded rows and materialized leaf states.
-///
-/// Index rows are write-once (construction appends new timespans and
-/// never rewrites a stored delta), so entries never go stale. The
-/// cache bounds the total *weight* (node descriptions + events) it
-/// retains; when an insert would exceed the budget the cache is
-/// dropped wholesale — crude, but eviction order hardly matters for a
-/// working set that either fits or thrashes.
-pub(crate) struct PlanCache {
-    inner: Mutex<PlanCacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-struct PlanCacheInner {
-    map: FxHashMap<CacheKey, Cached>,
-    weight: usize,
-    capacity: usize,
-}
-
-/// Default decode-cache budget: ~1M node descriptions / events.
-const DEFAULT_PLAN_CACHE_WEIGHT: usize = 1 << 20;
-
-impl Default for PlanCache {
-    fn default() -> PlanCache {
-        PlanCache {
-            inner: Mutex::new(PlanCacheInner {
-                map: FxHashMap::default(),
-                weight: 0,
-                capacity: DEFAULT_PLAN_CACHE_WEIGHT,
-            }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-}
-
-impl PlanCache {
-    fn get(&self, key: CacheKey) -> Option<Cached> {
-        let inner = self.inner.lock().expect("plan cache poisoned");
-        let hit = inner.map.get(&key).map(Cached::shallow);
-        if hit.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        hit
-    }
-
-    fn put(&self, key: CacheKey, row: Cached) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
-        if inner.capacity == 0 {
-            return;
-        }
-        let w = row.weight();
-        if inner.weight + w > inner.capacity {
-            inner.map.clear();
-            inner.weight = 0;
-            if w > inner.capacity {
-                return;
-            }
-        }
-        if inner.map.insert(key, row).is_none() {
-            inner.weight += w;
-        }
-    }
-
-    fn set_capacity(&self, capacity: usize) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
-        inner.capacity = capacity;
-        if inner.weight > capacity {
-            inner.map.clear();
-            inner.weight = 0;
-        }
-    }
-
-    fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
-    }
 }
 
 /// Times of one leaf group: `(output slot, time)`, ascending by time.
@@ -276,17 +162,6 @@ impl Tgi {
         MultipointPlan::new(self, times).summary(self)
     }
 
-    /// Bound the planner's decoded-row/leaf-state cache (in node
-    /// descriptions + events retained; `0` disables caching).
-    pub fn set_plan_cache_capacity(&mut self, weight: usize) {
-        self.plan_cache.set_capacity(weight);
-    }
-
-    /// `(hits, misses)` of the planner's decode cache.
-    pub fn plan_cache_stats(&self) -> (u64, u64) {
-        self.plan_cache.stats()
-    }
-
     /// Multipoint snapshot retrieval through the shared-path planner:
     /// the graph state at each requested time, in input order.
     ///
@@ -294,16 +169,23 @@ impl Tgi {
     /// [`Tgi::try_snapshot`] calls, but each tree-path delta row is
     /// fetched once per `(tsid, sid)` chunk and decoded at most once,
     /// ever; each snapshot is materialized by cloning the shared leaf
-    /// state and replaying only its per-time eventlist suffix. The
-    /// store fetch is never skipped, so failures still surface as
-    /// [`StoreError::Unavailable`](hgs_store::StoreError).
+    /// state and replaying only its per-time eventlist suffix. Each
+    /// chunk's eventlist scan is never skipped, so failures still
+    /// surface as [`StoreError::Unavailable`](hgs_store::StoreError).
     pub fn try_snapshots(&self, times: &[Time]) -> Result<Vec<Delta>, StoreError> {
+        self.try_snapshots_c(times, self.clients)
+    }
+
+    /// [`Tgi::try_snapshots`] with an explicit parallel fetch factor
+    /// `c` (the degenerate `times.len() == 1` form of this is what
+    /// [`Tgi::try_snapshot_c`](crate::build::Tgi) runs).
+    pub fn try_snapshots_c(&self, times: &[Time], c: usize) -> Result<Vec<Delta>, StoreError> {
         let plan = MultipointPlan::new(self, times);
         let mut out: Vec<Delta> = (0..times.len()).map(|_| Delta::new()).collect();
         let ns = self.cfg.horizontal_partitions;
         for group in &plan.groups {
             let span = &self.spans[group.span_idx];
-            if self.clients <= 1 {
+            if c <= 1 {
                 self.fill_group_sequential(span, &group.leaves, &mut out)?;
                 continue;
             }
@@ -321,20 +203,19 @@ impl Tgi {
                 .map(|(i, &slot)| (slot, i))
                 .collect();
             let sids: Vec<u32> = (0..ns).collect();
-            let per_sid: Vec<Result<Vec<Delta>, StoreError>> =
-                parallel_chunks(sids, self.clients, |chunk| {
-                    chunk
-                        .into_iter()
-                        .map(|sid| {
-                            let mut partials: Vec<Delta> =
-                                (0..slots.len()).map(|_| Delta::new()).collect();
-                            self.span_group_fill(span, &group.leaves, sid, &mut partials, |s| {
-                                local[&s]
-                            })?;
-                            Ok(partials)
-                        })
-                        .collect()
-                });
+            let per_sid: Vec<Result<Vec<Delta>, StoreError>> = parallel_chunks(sids, c, |chunk| {
+                chunk
+                    .into_iter()
+                    .map(|sid| {
+                        let mut partials: Vec<Delta> =
+                            (0..slots.len()).map(|_| Delta::new()).collect();
+                        self.span_group_fill(span, &group.leaves, sid, &mut partials, |s| {
+                            local[&s]
+                        })?;
+                        Ok(partials)
+                    })
+                    .collect()
+            });
             for partials in per_sid {
                 for (i, partial) in partials?.into_iter().enumerate() {
                     let slot = slots[i];
@@ -392,21 +273,41 @@ impl Tgi {
         Ok(dids.into_iter().zip(groups).collect())
     }
 
-    /// Decode a fetched tree row through the cache.
-    fn decoded_delta(&self, tsid: u32, sid: u32, did: u64, pid: u32, bytes: &[u8]) -> Arc<Delta> {
+    /// Decode a fetched tree row through the read cache.
+    pub(crate) fn decoded_delta(
+        &self,
+        tsid: u32,
+        sid: u32,
+        did: u64,
+        pid: u32,
+        bytes: &[u8],
+    ) -> Arc<Delta> {
         let key = CacheKey::Row(tsid, sid, did, pid);
-        match self.plan_cache.get(key) {
+        match self.read_cache.get(key) {
             Some(Cached::Delta(d)) => d,
-            _ => {
-                let d = Arc::new(decode_delta(bytes).expect("stored delta decodes"));
-                self.plan_cache.put(key, Cached::Delta(d.clone()));
-                d
-            }
+            _ => self.insert_decoded_delta(tsid, sid, did, pid, bytes),
         }
     }
 
-    /// Decode a fetched eventlist row through the cache.
-    fn decoded_elist(
+    /// Decode a tree row and insert it without a prior cache probe —
+    /// for callers that already observed the miss (avoids
+    /// double-counting it and a redundant lock round-trip).
+    pub(crate) fn insert_decoded_delta(
+        &self,
+        tsid: u32,
+        sid: u32,
+        did: u64,
+        pid: u32,
+        bytes: &[u8],
+    ) -> Arc<Delta> {
+        let d = Arc::new(decode_delta(bytes).expect("stored delta decodes"));
+        self.read_cache
+            .put(CacheKey::Row(tsid, sid, did, pid), Cached::Delta(d.clone()));
+        d
+    }
+
+    /// Decode a fetched eventlist row through the read cache.
+    pub(crate) fn decoded_elist(
         &self,
         tsid: u32,
         sid: u32,
@@ -415,14 +316,25 @@ impl Tgi {
         bytes: &[u8],
     ) -> Arc<Eventlist> {
         let key = CacheKey::Row(tsid, sid, did, pid);
-        match self.plan_cache.get(key) {
+        match self.read_cache.get(key) {
             Some(Cached::Elist(e)) => e,
-            _ => {
-                let e = Arc::new(decode_eventlist(bytes).expect("stored eventlist decodes"));
-                self.plan_cache.put(key, Cached::Elist(e.clone()));
-                e
-            }
+            _ => self.insert_decoded_elist(tsid, sid, did, pid, bytes),
         }
+    }
+
+    /// Eventlist twin of [`Tgi::insert_decoded_delta`].
+    pub(crate) fn insert_decoded_elist(
+        &self,
+        tsid: u32,
+        sid: u32,
+        did: u64,
+        pid: u32,
+        bytes: &[u8],
+    ) -> Arc<Eventlist> {
+        let e = Arc::new(decode_eventlist(bytes).expect("stored eventlist decodes"));
+        self.read_cache
+            .put(CacheKey::Row(tsid, sid, did, pid), Cached::Elist(e.clone()));
+        e
     }
 
     /// Sequential (single fetch client) materialization of one span
@@ -445,7 +357,7 @@ impl Tgi {
         let bases: Vec<Option<Arc<Delta>>> = leaves
             .iter()
             .map(
-                |lg| match self.plan_cache.get(CacheKey::Leaf(tsid, lg.leaf as u32)) {
+                |lg| match self.read_cache.get(CacheKey::Leaf(tsid, lg.leaf as u32)) {
                     Some(Cached::Delta(d)) => Some(d),
                     _ => None,
                 },
@@ -478,7 +390,7 @@ impl Tgi {
                         }
                     }
                     let arc = Arc::new(state);
-                    self.plan_cache.put(
+                    self.read_cache.put(
                         CacheKey::Leaf(tsid, lg.leaf as u32),
                         Cached::Delta(arc.clone()),
                     );
@@ -637,13 +549,13 @@ mod tests {
         assert!(summary.shared_fetch_units <= summary.naive_fetch_units);
     }
 
-    /// The decode cache is bounded and serves repeat plans.
+    /// The read cache is byte-bounded and serves repeat plans.
     #[test]
-    fn plan_cache_hits_on_repeat_and_respects_capacity() {
+    fn read_cache_hits_on_repeat_and_respects_budget() {
         let events: Vec<Event> = (0..400u64)
             .map(|i| Event::new(i, EventKind::AddNode { id: i }))
             .collect();
-        let mut tgi = Tgi::build(
+        let tgi = Tgi::build(
             crate::TgiConfig {
                 events_per_timespan: 400,
                 eventlist_size: 100,
@@ -656,21 +568,23 @@ mod tests {
         );
         let times = [100u64, 300];
         let first = tgi.try_snapshots(&times).unwrap();
-        let (h0, m0) = tgi.plan_cache_stats();
-        assert_eq!(h0, 0, "cold cache");
-        assert!(m0 > 0);
+        let s0 = tgi.cache_stats();
+        assert_eq!(s0.hits, 0, "cold cache");
+        assert!(s0.misses > 0);
+        assert!(s0.bytes <= s0.budget);
         let second = tgi.try_snapshots(&times).unwrap();
-        let (h1, _) = tgi.plan_cache_stats();
-        assert!(h1 > 0, "repeat plan must hit the cache");
+        let s1 = tgi.cache_stats();
+        assert!(s1.hits > 0, "repeat plan must hit the cache");
         assert_eq!(first, second);
         // Disabling the cache keeps results identical.
-        tgi.set_plan_cache_capacity(0);
+        tgi.set_read_cache_budget(0);
+        assert_eq!(tgi.cache_stats().bytes, 0, "budget 0 evicts everything");
         let third = tgi.try_snapshots(&times).unwrap();
         assert_eq!(first, third);
-        let (h2, _) = tgi.plan_cache_stats();
+        let s2 = tgi.cache_stats();
         let fourth = tgi.try_snapshots(&times).unwrap();
-        let (h3, _) = tgi.plan_cache_stats();
-        assert_eq!(h2, h3, "disabled cache never hits");
+        let s3 = tgi.cache_stats();
+        assert_eq!(s2.hits, s3.hits, "disabled cache never hits");
         assert_eq!(first, fourth);
     }
 }

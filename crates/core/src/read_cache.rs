@@ -1,0 +1,549 @@
+//! Session-wide, byte-budgeted LRU read cache shared by **every** TGI
+//! query path.
+//!
+//! The paper's retrieval costs (§4.5, Table 1) are dominated by
+//! fetching and decoding root-to-leaf delta paths. Index rows are
+//! write-once — construction appends new timespans and never rewrites
+//! a stored delta — so their decode products can be cached forever
+//! without invalidation. This module holds those products for the
+//! whole session:
+//!
+//! * decoded tree-delta and eventlist rows (`CacheKey::Row`),
+//! * materialized whole-graph leaf checkpoint states
+//!   (`CacheKey::Leaf`, used by snapshot retrieval), and
+//! * materialized micro-partition checkpoint states
+//!   (`CacheKey::Part`, used by `node_at` / k-hop / TAF fetches),
+//!
+//! all under one configurable byte budget
+//! ([`TgiConfig::read_cache_bytes`](crate::TgiConfig), runtime-tunable
+//! via [`Tgi::set_read_cache_budget`]). Eviction is true
+//! least-recently-used — an intrusive doubly-linked list threaded
+//! through a slab, `O(1)` per touch — **never** a wholesale clear, so
+//! a working set one entry over budget degrades by exactly one entry,
+//! not to a zero hit rate.
+//!
+//! # Failure semantics
+//!
+//! A cache *hit* may legitimately skip the store (the entry is an
+//! exact copy of write-once data — morally a local replica). A *miss*
+//! — including a miss caused by eviction — must re-run the original
+//! fallible fetch, so a degraded cluster surfaces
+//! [`StoreError::Unavailable`](hgs_store::StoreError) instead of
+//! being papered over with a stale or partial graph. The query-path
+//! code in [`query`](crate::query) and [`query_plan`](crate::query_plan)
+//! upholds this: nothing is ever synthesized on a miss.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hgs_delta::{Delta, Eventlist, FxHashMap};
+
+use crate::build::Tgi;
+
+/// What one cached entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum CacheKey {
+    /// `(tsid, sid, did, pid)` — one stored row's decode product.
+    Row(u32, u32, u64, u32),
+    /// `(tsid, leaf)` — whole-graph checkpoint state (all sids/pids).
+    Leaf(u32, u32),
+    /// `(tsid, sid, pid, leaf)` — one micro-partition's checkpoint
+    /// state (tree-path rows summed, before eventlist replay).
+    Part(u32, u32, u32, u32),
+}
+
+/// A cached decode product.
+pub(crate) enum Cached {
+    Delta(Arc<Delta>),
+    Elist(Arc<Eventlist>),
+    /// The row is known to be absent from the store (legitimately —
+    /// empty micro-partitions are never written). Absence of a
+    /// write-once row is itself immutable, so it caches safely.
+    Absent,
+}
+
+/// Fixed per-entry bookkeeping charge (key + links + map slot).
+const ENTRY_OVERHEAD: usize = 64;
+
+impl Cached {
+    /// Byte footprint charged against the budget.
+    fn weight(&self) -> usize {
+        ENTRY_OVERHEAD
+            + match self {
+                Cached::Delta(d) => d.weight_bytes(),
+                Cached::Elist(e) => e.weight_bytes(),
+                Cached::Absent => 0,
+            }
+    }
+
+    /// Cheap handle copy (`Arc` clone, not a deep copy).
+    fn shallow(&self) -> Cached {
+        match self {
+            Cached::Delta(d) => Cached::Delta(d.clone()),
+            Cached::Elist(e) => Cached::Elist(e.clone()),
+            Cached::Absent => Cached::Absent,
+        }
+    }
+}
+
+/// Point-in-time counters of the read cache, via [`Tgi::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a store fetch + decode.
+    pub misses: u64,
+    /// Entries inserted since construction.
+    pub insertions: u64,
+    /// Entries evicted (least-recently-used first) to hold the budget.
+    pub evictions: u64,
+    /// Bytes currently retained (always `<= budget`).
+    pub bytes: usize,
+    /// Configured byte budget (`0` disables caching).
+    pub budget: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups so far (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sentinel slab index for "no neighbor".
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: Cached,
+    weight: usize,
+    /// Towards the most-recently-used end.
+    prev: usize,
+    /// Towards the least-recently-used end.
+    next: usize,
+}
+
+/// Slab-backed intrusive LRU list + index. All links are slab indices,
+/// so a touch is pointer surgery, never a re-hash or reallocation.
+struct Inner {
+    map: FxHashMap<CacheKey, usize>,
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot (`NIL` when empty).
+    head: usize,
+    /// Least-recently-used slot (`NIL` when empty).
+    tail: usize,
+    bytes: usize,
+    budget: usize,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let e = self.slots[slot].as_ref().expect("linked slot occupied");
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("prev occupied").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("next occupied").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let e = self.slots[slot].as_mut().expect("pushed slot occupied");
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head].as_mut().expect("head occupied").prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Drop the least-recently-used entry. No-op on an empty cache.
+    fn evict_tail(&mut self) {
+        let slot = self.tail;
+        if slot == NIL {
+            return;
+        }
+        self.unlink(slot);
+        let e = self.slots[slot].take().expect("tail occupied");
+        self.map.remove(&e.key);
+        self.bytes -= e.weight;
+        self.free.push(slot);
+        self.evictions += 1;
+    }
+
+    /// Evict least-recently-used entries until the budget holds.
+    fn enforce_budget(&mut self) {
+        while self.bytes > self.budget && self.tail != NIL {
+            self.evict_tail();
+        }
+    }
+}
+
+/// The session-wide read cache. Shared by reference from every query
+/// path of one [`Tgi`]; all methods take `&self`.
+pub struct ReadCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReadCache {
+    /// Empty cache with the given byte budget (`0` disables caching).
+    pub(crate) fn new(budget: usize) -> ReadCache {
+        ReadCache {
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                bytes: 0,
+                budget,
+                insertions: 0,
+                evictions: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub(crate) fn get(&self, key: CacheKey) -> Option<Cached> {
+        let mut inner = self.inner.lock().expect("read cache poisoned");
+        match inner.map.get(&key).copied() {
+            Some(slot) => {
+                inner.unlink(slot);
+                inner.push_front(slot);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(
+                    inner.slots[slot]
+                        .as_ref()
+                        .expect("hit slot occupied")
+                        .value
+                        .shallow(),
+                )
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, then evict least-recently-used
+    /// entries until the byte budget holds again. An entry larger than
+    /// the whole budget is rejected up front — letting it in would
+    /// evict the entire working set before the entry finally evicted
+    /// itself, recreating the clear-on-overflow pathology this cache
+    /// exists to remove.
+    pub(crate) fn put(&self, key: CacheKey, value: Cached) {
+        let mut inner = self.inner.lock().expect("read cache poisoned");
+        if inner.budget == 0 {
+            return;
+        }
+        let weight = value.weight();
+        if weight > inner.budget {
+            // Drop any smaller stale version of the key; leave the
+            // rest of the working set untouched.
+            if let Some(slot) = inner.map.get(&key).copied() {
+                inner.unlink(slot);
+                let e = inner.slots[slot].take().expect("slot occupied");
+                inner.map.remove(&e.key);
+                inner.bytes -= e.weight;
+                inner.free.push(slot);
+                inner.evictions += 1;
+            }
+            return;
+        }
+        if let Some(slot) = inner.map.get(&key).copied() {
+            // Rows are write-once, so a re-insert carries an identical
+            // value; just refresh recency (and weight, defensively).
+            inner.unlink(slot);
+            inner.push_front(slot);
+            let e = inner.slots[slot].as_mut().expect("refreshed occupied");
+            let old = e.weight;
+            e.value = value;
+            e.weight = weight;
+            inner.bytes = inner.bytes - old + weight;
+        } else {
+            let slot = match inner.free.pop() {
+                Some(s) => s,
+                None => {
+                    inner.slots.push(None);
+                    inner.slots.len() - 1
+                }
+            };
+            inner.slots[slot] = Some(Entry {
+                key,
+                value,
+                weight,
+                prev: NIL,
+                next: NIL,
+            });
+            inner.map.insert(key, slot);
+            inner.push_front(slot);
+            inner.bytes += weight;
+            inner.insertions += 1;
+        }
+        inner.enforce_budget();
+    }
+
+    /// Whether caching is on (`budget > 0`). Lets callers skip
+    /// building a value (e.g. a deep state clone) whose `put` would be
+    /// a guaranteed no-op.
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.inner.lock().expect("read cache poisoned").budget > 0
+    }
+
+    /// Change the byte budget, evicting least-recently-used entries
+    /// (never a wholesale clear) until the new budget holds.
+    pub(crate) fn set_budget(&self, budget: usize) {
+        let mut inner = self.inner.lock().expect("read cache poisoned");
+        inner.budget = budget;
+        inner.enforce_budget();
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("read cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            bytes: inner.bytes,
+            budget: inner.budget,
+        }
+    }
+
+    /// Number of live entries.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner.lock().expect("read cache poisoned").map.len()
+    }
+
+    /// Live keys in most-recently-used-first order.
+    #[cfg(test)]
+    fn keys_mru_first(&self) -> Vec<CacheKey> {
+        let inner = self.inner.lock().expect("read cache poisoned");
+        let mut out = Vec::with_capacity(inner.map.len());
+        let mut cur = inner.head;
+        while cur != NIL {
+            let e = inner.slots[cur].as_ref().expect("walk occupied");
+            out.push(e.key);
+            cur = e.next;
+        }
+        out
+    }
+}
+
+impl Tgi {
+    /// Re-budget the session-wide read cache (in bytes; `0` disables
+    /// caching). Over-budget entries are evicted least-recently-used
+    /// first; retained entries keep serving hits.
+    pub fn set_read_cache_budget(&self, bytes: usize) {
+        self.read_cache.set_budget(bytes);
+    }
+
+    /// Counters of the session-wide read cache: hits, misses,
+    /// insertions, evictions, retained bytes and the configured byte
+    /// budget.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.read_cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_delta::StaticNode;
+    use proptest::prelude::*;
+
+    /// A delta of `n` plain nodes weighs `ENTRY_OVERHEAD + 8n` in the
+    /// cache's accounting — a convenient knob for the tests below.
+    fn delta_entry(n: usize) -> Cached {
+        let mut d = Delta::new();
+        for i in 0..n as u64 {
+            d.insert(StaticNode::new(i));
+        }
+        Cached::Delta(Arc::new(d))
+    }
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey::Row(0, 0, i, 0)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Budget fits exactly three 10-node entries.
+        let w = delta_entry(10).weight();
+        let cache = ReadCache::new(3 * w);
+        for i in 0..3 {
+            cache.put(key(i), delta_entry(10));
+        }
+        assert_eq!(cache.len(), 3);
+        // Touch key 0: key 1 becomes the LRU.
+        assert!(cache.get(key(0)).is_some());
+        cache.put(key(3), delta_entry(10));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(key(1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(key(0)).is_some(), "recently-touched survives");
+        assert!(cache.get(key(2)).is_some());
+        assert!(cache.get(key(3)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= s.budget);
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_incrementally_not_wholesale() {
+        let w = delta_entry(10).weight();
+        let cache = ReadCache::new(4 * w);
+        for i in 0..4 {
+            cache.put(key(i), delta_entry(10));
+        }
+        cache.set_budget(2 * w);
+        // The two most-recently-inserted entries survive — a clear()
+        // would have taken the whole working set down.
+        assert_eq!(cache.keys_mru_first(), vec![key(3), key(2)]);
+        cache.set_budget(0);
+        assert_eq!(cache.len(), 0);
+        // Disabled cache refuses inserts.
+        cache.put(key(9), delta_entry(1));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn oversized_entry_does_not_stick_but_rest_survives() {
+        let w = delta_entry(4).weight();
+        let cache = ReadCache::new(3 * w);
+        cache.put(key(0), delta_entry(4));
+        cache.put(key(1), delta_entry(4));
+        // An entry bigger than the whole budget cannot be retained...
+        cache.put(key(2), delta_entry(1000));
+        assert!(cache.get(key(2)).is_none());
+        // ...and it must not flush the resident working set on its
+        // way through (that would be clear-on-overflow again).
+        assert!(cache.get(key(0)).is_some(), "working set survives");
+        assert!(cache.get(key(1)).is_some(), "working set survives");
+        // The accounting stays within budget.
+        let s = cache.stats();
+        assert!(s.bytes <= s.budget, "{} > {}", s.bytes, s.budget);
+        // Refreshing an existing key with an oversized value drops
+        // that key only.
+        cache.put(key(1), delta_entry(1000));
+        assert!(cache.get(key(1)).is_none(), "oversized refresh drops key");
+        assert!(cache.get(key(0)).is_some(), "other entries untouched");
+    }
+
+    /// Reference LRU model: MRU-first vector of `(key, weight)`.
+    struct Model {
+        entries: Vec<(u64, usize)>,
+        budget: usize,
+    }
+
+    impl Model {
+        fn touch(&mut self, k: u64) -> bool {
+            if let Some(pos) = self.entries.iter().position(|&(e, _)| e == k) {
+                let e = self.entries.remove(pos);
+                self.entries.insert(0, e);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn put(&mut self, k: u64, w: usize) {
+            if self.budget == 0 {
+                return;
+            }
+            if w > self.budget {
+                // Oversized entries are rejected (a stale smaller
+                // version of the key is dropped), never flushed
+                // through the working set.
+                self.entries.retain(|&(e, _)| e != k);
+                return;
+            }
+            if !self.touch(k) {
+                self.entries.insert(0, (k, w));
+            }
+            self.entries[0].1 = w;
+            while self.bytes() > self.budget && !self.entries.is_empty() {
+                self.entries.pop();
+            }
+        }
+
+        fn bytes(&self) -> usize {
+            self.entries.iter().map(|&(_, w)| w).sum()
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Put(u64, usize),
+        Get(u64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u64..24, 0usize..40).prop_map(|(k, n)| Op::Put(k, n)),
+            2 => (0u64..24).prop_map(Op::Get),
+        ]
+    }
+
+    proptest! {
+        /// Under arbitrary insert/lookup sequences the cache (a) never
+        /// exceeds its byte budget, (b) retains exactly what a
+        /// reference LRU model retains, in the same recency order —
+        /// i.e. eviction is least-recently-used-first, not wholesale.
+        #[test]
+        fn matches_reference_lru_and_respects_budget(
+            ops in prop::collection::vec(arb_op(), 1..120),
+            budget_entries in 0usize..12,
+        ) {
+            let unit = delta_entry(0).weight(); // ENTRY_OVERHEAD
+            let budget = budget_entries * (unit + 8 * 20);
+            let cache = ReadCache::new(budget);
+            let mut model = Model { entries: Vec::new(), budget };
+            for op in ops {
+                match op {
+                    Op::Put(k, n) => {
+                        cache.put(key(k), delta_entry(n));
+                        model.put(k, unit + 8 * n);
+                    }
+                    Op::Get(k) => {
+                        let hit = cache.get(key(k)).is_some();
+                        let model_hit = model.touch(k);
+                        prop_assert_eq!(hit, model_hit, "hit mismatch on {}", k);
+                    }
+                }
+                let s = cache.stats();
+                prop_assert!(s.bytes <= s.budget, "over budget: {:?}", s);
+                prop_assert_eq!(s.bytes, model.bytes(), "byte accounting diverged");
+                let got = cache.keys_mru_first();
+                let want: Vec<CacheKey> =
+                    model.entries.iter().map(|&(k, _)| key(k)).collect();
+                prop_assert_eq!(got, want, "retention/recency order diverged");
+            }
+        }
+    }
+}

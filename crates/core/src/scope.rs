@@ -22,19 +22,31 @@ pub fn apply_event_scoped<F: Fn(NodeId) -> bool>(state: &mut Delta, kind: &Event
         EventKind::RemoveNode { id } => {
             if in_scope(*id) {
                 if let Some(node) = state.remove(*id) {
+                    // Scrub reverse entries of *in-scope* neighbors
+                    // only. Out-of-scope neighbors are another
+                    // partition's responsibility (their own eventlist
+                    // piece carries the normalized `RemoveEdge`
+                    // copies); scrubbing them here would make replays
+                    // of several pieces into one shared state depend
+                    // on piece order — a later piece's RemoveNode must
+                    // not undo an earlier piece's re-added edge.
                     for nbr in node.all_neighbors() {
-                        if let Some(n) = state.node_mut(nbr) {
-                            n.remove_all_edges_to(*id);
+                        if in_scope(nbr) {
+                            if let Some(n) = state.node_mut(nbr) {
+                                n.remove_all_edges_to(*id);
+                            }
                         }
                     }
                     return;
                 }
             }
-            // The removed node is out of scope, but in-scope neighbors
-            // still lose their edges to it.
+            // The removed node is absent (or out of scope), but
+            // *in-scope* neighbors still lose their edges to it.
+            // Out-of-scope holders stay untouched for the same reason
+            // as above — their own piece's replay owns their state.
             let holders: Vec<NodeId> = state
                 .iter()
-                .filter(|n| n.has_neighbor(*id))
+                .filter(|n| in_scope(n.id) && n.has_neighbor(*id))
                 .map(|n| n.id)
                 .collect();
             for h in holders {

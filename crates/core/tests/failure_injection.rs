@@ -96,6 +96,76 @@ fn every_read_primitive_surfaces_total_failure() {
     ));
 }
 
+/// The read cache may serve fully-warm reads without touching the
+/// store (its entries are exact copies of write-once rows), but an
+/// *evicted* entry is gone: the next read must re-run the fallible
+/// fetch and surface `Unavailable` when the row's replicas are dead —
+/// never serve a stale or partial graph reconstructed around the gap.
+#[test]
+fn evicted_row_refetch_surfaces_unavailable_not_stale_data() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let nid = 0u64;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
+
+    // Warm the cache with this exact read.
+    let healthy = tgi.try_node_at(nid, t).expect("healthy cluster");
+    assert!(tgi.cache_stats().bytes > 0, "warm cache retains entries");
+
+    // Kill every replica. The warm cache legitimately still answers —
+    // its entries are copies of immutable rows, morally replicas.
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+    }
+    assert_eq!(
+        tgi.try_node_at(nid, t).expect("served from warm cache"),
+        healthy,
+        "a warm hit must serve the exact same state"
+    );
+
+    // Evict the rows (LRU pressure via a zero budget — no wholesale
+    // clear() path exists anymore, this drains the LRU tail-first).
+    tgi.set_read_cache_budget(0);
+    assert_eq!(tgi.cache_stats().bytes, 0);
+    tgi.set_read_cache_budget(hgs_core::DEFAULT_READ_CACHE_BYTES);
+
+    // The re-fetch must fail loudly, not serve stale/partial data.
+    assert!(matches!(
+        tgi.try_node_at(nid, t),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_snapshot(t),
+        Err(StoreError::Unavailable { .. })
+    ));
+
+    // Healed cluster: the same read round-trips to the same answer.
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().heal_machine(m);
+    }
+    assert_eq!(tgi.try_node_at(nid, t).unwrap(), healthy);
+}
+
+/// A warm *snapshot* still notices a dead chunk: the planner's
+/// per-chunk eventlist scan is never skipped, so even a fully-cached
+/// leaf state cannot mask total chunk unavailability.
+#[test]
+fn warm_snapshot_still_surfaces_dead_chunks() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 1), &events);
+    tgi.try_snapshot(t).expect("warm the cache");
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+    }
+    assert!(matches!(
+        tgi.try_snapshot(t),
+        Err(StoreError::Unavailable { .. })
+    ));
+}
+
 #[test]
 #[should_panic(expected = "TGI read failed")]
 fn infallible_snapshot_panics_rather_than_shrinking() {

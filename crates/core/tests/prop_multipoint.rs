@@ -69,7 +69,9 @@ proptest! {
         let shared = tgi.try_snapshots(&times).unwrap();
         prop_assert_eq!(shared.len(), times.len());
         for (t, s) in times.iter().zip(&shared) {
-            let independent = tgi.try_snapshot(*t).unwrap();
+            // `try_snapshot` now runs through the same planner + cache,
+            // so compare against the cache-bypassing reference path.
+            let independent = tgi.try_snapshot_uncached_c(*t, 1).unwrap();
             prop_assert_eq!(s, &independent, "mismatch at t={}", t);
         }
         let plan = tgi.plan_multipoint(&times);
@@ -102,7 +104,7 @@ proptest! {
         for round in 0..2 {
             let shared = tgi.try_snapshots(&times).unwrap();
             for (t, s) in times.iter().zip(&shared) {
-                let independent = tgi.try_snapshot(*t).unwrap();
+                let independent = tgi.try_snapshot_uncached_c(*t, 1).unwrap();
                 prop_assert_eq!(s, &independent, "round {} t={}", round, t);
             }
         }
@@ -160,6 +162,6 @@ fn times_in_one_leaf_share_a_single_replay() {
     assert_eq!(plan.leaf_groups, 1);
     let shared = tgi.try_snapshots(&times).unwrap();
     for (t, s) in times.iter().zip(&shared) {
-        assert_eq!(s, &tgi.try_snapshot(*t).unwrap(), "t={t}");
+        assert_eq!(s, &tgi.try_snapshot_uncached_c(*t, 1).unwrap(), "t={t}");
     }
 }

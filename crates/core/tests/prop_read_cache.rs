@@ -1,0 +1,169 @@
+//! Read-cache equivalence and budget properties over whole indexes:
+//! cached reads (which may skip fetch + decode on hits) must return
+//! exactly what the cache-bypassing reference path returns, on
+//! arbitrary histories, budgets — including budgets tiny enough to
+//! force constant LRU eviction — and repeat patterns; and the cache's
+//! retained bytes must never exceed the configured budget.
+//! (Key-level LRU order properties live in `read_cache.rs` unit
+//! tests, checked against a reference model.)
+
+use hgs_core::{Tgi, TgiConfig};
+use hgs_delta::{AttrValue, Event, EventKind, TimeRange};
+use hgs_store::StoreConfig;
+use proptest::prelude::*;
+
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    let id = 0u64..40;
+    prop_oneof![
+        3 => id.clone().prop_map(|id| EventKind::AddNode { id }),
+        1 => id.clone().prop_map(|id| EventKind::RemoveNode { id }),
+        5 => (0u64..40, 0u64..40, any::<bool>()).prop_map(|(src, dst, directed)| {
+            EventKind::AddEdge { src, dst, weight: 1.0, directed }
+        }),
+        2 => (0u64..40, 0u64..40).prop_map(|(src, dst)| EventKind::RemoveEdge { src, dst }),
+        2 => (id.clone(), -9i64..9).prop_map(|(id, v)| EventKind::SetNodeAttr {
+            id,
+            key: "k".into(),
+            value: AttrValue::Int(v)
+        }),
+        1 => id.prop_map(|id| EventKind::RemoveNodeAttr { id, key: "k".into() }),
+    ]
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((arb_event_kind(), 0u64..3), 1..250).prop_map(|kinds| {
+        let mut t = 0u64;
+        kinds
+            .into_iter()
+            .map(|(kind, gap)| {
+                t += gap;
+                Event::new(t, kind)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cached single-point reads agree with the cache-bypassing
+    /// reference on arbitrary histories, with the budget anywhere
+    /// between "evicts constantly" and "holds everything", over
+    /// repeated rounds (cold then warm), and the cache never exceeds
+    /// its byte budget.
+    #[test]
+    fn cached_reads_match_bypassed_reads(
+        history in arb_history(),
+        l in 5usize..40,
+        ns in 1u32..4,
+        raw_times in prop::collection::vec(0u64..u64::MAX, 1..6),
+        budget_kind in 0usize..3,
+    ) {
+        let end = history.last().map(|e| e.time).unwrap_or(0);
+        // 0: disabled; 1: tiny (forces eviction churn); 2: ample.
+        let budget = [0usize, 4 << 10, 64 << 20][budget_kind];
+        let cfg = TgiConfig {
+            events_per_timespan: 120.max(l),
+            eventlist_size: l,
+            partition_size: 10,
+            horizontal_partitions: ns,
+            read_cache_bytes: budget,
+            ..TgiConfig::default()
+        };
+        let tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &history);
+        // A twin index with caching disabled: identical construction,
+        // every read is a genuine fetch — the bypassed reference for
+        // paths that have no dedicated uncached variant.
+        let nocache = Tgi::build(
+            TgiConfig { read_cache_bytes: 0, ..cfg },
+            StoreConfig::new(2, 1),
+            &history,
+        );
+        let times: Vec<u64> = raw_times.iter().map(|r| r % (end + 2)).collect();
+        for round in 0..2 {
+            for &t in &times {
+                let cached = tgi.try_snapshot(t).unwrap();
+                let reference = tgi.try_snapshot_uncached_c(t, 1).unwrap();
+                prop_assert_eq!(&cached, &reference, "round {} t={}", round, t);
+                for id in [0u64, 7, 23] {
+                    let via_cache = tgi.try_node_at(id, t).unwrap();
+                    prop_assert_eq!(
+                        via_cache.as_ref(),
+                        reference.node(id),
+                        "round {} t={} node {}", round, t, id
+                    );
+                }
+                let s = tgi.cache_stats();
+                prop_assert!(
+                    s.bytes <= s.budget,
+                    "cache exceeded its budget: {:?}", s
+                );
+            }
+            // Histories agree too (elist rows served via the cache).
+            let range = TimeRange::new(end / 3, end + 1);
+            let h = tgi.try_node_history(0, range).unwrap();
+            let h_ref = nocache.try_node_history(0, range).unwrap();
+            prop_assert_eq!(&h, &h_ref, "node_history round {}", round);
+        }
+        if budget == 0 {
+            let s = tgi.cache_stats();
+            prop_assert_eq!(s.bytes, 0, "disabled cache retains nothing");
+            prop_assert_eq!(s.hits, 0, "disabled cache never hits");
+        }
+    }
+}
+
+/// Warm repeats of the same working set are answered from the cache:
+/// the second pass issues (almost) no new store requests beyond the
+/// liveness eventlist scans, and hit counters move.
+#[test]
+fn warm_working_set_hits_the_cache() {
+    let events: Vec<Event> = (0..4_000u64)
+        .map(|i| {
+            Event::new(
+                i,
+                if i % 3 == 0 {
+                    EventKind::AddNode { id: i % 400 }
+                } else {
+                    EventKind::AddEdge {
+                        src: i % 400,
+                        dst: (i * 7) % 400,
+                        weight: 1.0,
+                        directed: false,
+                    }
+                },
+            )
+        })
+        .collect();
+    let tgi = Tgi::build(
+        TgiConfig {
+            events_per_timespan: 2_000,
+            eventlist_size: 250,
+            partition_size: 100,
+            ..TgiConfig::default()
+        },
+        StoreConfig::new(3, 1),
+        &events,
+    );
+    let end = events.last().unwrap().time;
+    let times: Vec<u64> = (1..=4).map(|i| end * i / 4).collect();
+    let cold: Vec<_> = times.iter().map(|&t| tgi.snapshot(t)).collect();
+    let s_cold = tgi.cache_stats();
+    assert!(s_cold.insertions > 0);
+
+    let before = tgi.store().stats_snapshot();
+    let warm: Vec<_> = times.iter().map(|&t| tgi.snapshot(t)).collect();
+    let diff = hgs_store::SimStore::stats_since(&tgi.store().stats_snapshot(), &before);
+    let s_warm = tgi.cache_stats();
+    assert_eq!(cold, warm);
+    assert!(s_warm.hits > s_cold.hits, "warm pass must hit");
+    // Warm snapshots only re-scan eventlist prefixes (the liveness
+    // check); no point lookups and no tree-path scans.
+    let warm_rows: u64 = diff.iter().map(|m| m.rows_read).sum();
+    let cold_rows_estimate = tgi.plan_multipoint(&times).naive_fetch_units as u64;
+    assert!(
+        warm_rows < cold_rows_estimate,
+        "warm pass re-read too much: {warm_rows} vs naive {cold_rows_estimate}"
+    );
+    assert!(s_warm.bytes <= s_warm.budget);
+}

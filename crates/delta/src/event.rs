@@ -81,6 +81,22 @@ impl EventKind {
                 | EventKind::RemoveEdge { .. }
         )
     }
+
+    /// Approximate in-memory footprint in bytes (same accounting as
+    /// [`AttrValue::weight_bytes`]; used by the byte-budgeted read
+    /// cache and the Table-1 storage reproductions).
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            EventKind::AddNode { .. } | EventKind::RemoveNode { .. } => 9,
+            EventKind::AddEdge { .. } => 21,
+            EventKind::RemoveEdge { .. } => 17,
+            EventKind::SetEdgeWeight { .. } => 21,
+            EventKind::SetNodeAttr { key, value, .. } => 9 + key.len() + value.weight_bytes(),
+            EventKind::RemoveNodeAttr { key, .. } => 9 + key.len(),
+            EventKind::SetEdgeAttr { key, value, .. } => 17 + key.len() + value.weight_bytes(),
+            EventKind::RemoveEdgeAttr { key, .. } => 17 + key.len(),
+        }
+    }
 }
 
 /// An atomic change at a specific timepoint (Example 1):
@@ -94,6 +110,11 @@ pub struct Event {
 impl Event {
     pub fn new(time: Time, kind: EventKind) -> Event {
         Event { time, kind }
+    }
+
+    /// Approximate in-memory footprint in bytes (timestamp + payload).
+    pub fn weight_bytes(&self) -> usize {
+        8 + self.kind.weight_bytes()
     }
 }
 
@@ -147,6 +168,12 @@ impl Eventlist {
     /// Consume into the underlying vector.
     pub fn into_events(self) -> Vec<Event> {
         self.events
+    }
+
+    /// Approximate in-memory footprint in bytes (sum of event
+    /// weights), mirroring [`crate::Delta::weight_bytes`].
+    pub fn weight_bytes(&self) -> usize {
+        self.events.iter().map(Event::weight_bytes).sum()
     }
 
     /// The time range `[first, last]` covered, or `None` when empty.

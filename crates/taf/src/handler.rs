@@ -9,12 +9,20 @@
 //! partitions (or node groups) directly from the store shards, and
 //! the results land partitioned across workers without a coordinator
 //! bottleneck.
+//!
+//! Fetches follow the same error-handling contract as the TGI query
+//! layer ([`hgs_core::query`]): `try_fetch()` surfaces
+//! [`StoreError::Unavailable`] when every replica of a chunk the plan
+//! needs is down, instead of panicking mid-analytics; the classic
+//! `fetch()` names remain as panicking wrappers for healthy-cluster
+//! callers.
 
 use std::sync::Arc;
 
-use hgs_core::Tgi;
+use hgs_core::{NodeHistory, Tgi};
 use hgs_delta::{Delta, FxHashSet, NodeId, TimeRange};
 use hgs_store::parallel::parallel_chunks;
+use hgs_store::StoreError;
 
 use crate::node_t::NodeT;
 use crate::son::SoN;
@@ -89,8 +97,18 @@ impl SonQuery {
     }
 
     /// Execute the fetch (the first statement after the specification
-    /// instructions, per §5.2).
+    /// instructions, per §5.2). Panics if a needed chunk is fully
+    /// unavailable; see [`SonQuery::try_fetch`].
     pub fn fetch(self) -> SoN {
+        self.try_fetch()
+            .unwrap_or_else(|e| panic!("TAF SoN fetch failed ({e}); use try_fetch"))
+    }
+
+    /// Fallible [`SonQuery::fetch`]: every worker's store failure is
+    /// propagated, so a degraded cluster yields
+    /// [`StoreError::Unavailable`] instead of a partial SoN (or a
+    /// worker panic).
+    pub fn try_fetch(self) -> Result<SoN, StoreError> {
         let tgi = &self.handler.tgi;
         let workers = self.handler.workers;
         let range = self.range;
@@ -98,30 +116,34 @@ impl SonQuery {
             Some(ids) => {
                 // Select pushdown: per-node history fetches, spread
                 // over the workers.
-                parallel_chunks(ids, workers, |chunk| {
-                    chunk
-                        .into_iter()
-                        .map(|id| NodeT::new(tgi.node_history_c(id, range, 1)))
-                        .collect()
-                })
+                let fetched: Vec<Result<NodeT, StoreError>> =
+                    parallel_chunks(ids, workers, |chunk| {
+                        chunk
+                            .into_iter()
+                            .map(|id| tgi.try_node_history_c(id, range, 1).map(NodeT::new))
+                            .collect()
+                    });
+                fetched.into_iter().collect::<Result<Vec<_>, _>>()?
             }
             None => {
                 // Whole-graph fetch: one job per horizontal partition,
                 // workers pulling directly from the store (Fig. 10).
                 let sids: Vec<u32> = (0..tgi.horizontal_partitions()).collect();
-                parallel_chunks(sids, workers, |chunk| {
-                    chunk
-                        .into_iter()
-                        .flat_map(|sid| {
-                            tgi.node_histories_for_sid(sid, range)
-                                .into_iter()
-                                .map(NodeT::new)
-                        })
-                        .collect()
-                })
+                let fetched: Vec<Result<Vec<NodeHistory>, StoreError>> =
+                    parallel_chunks(sids, workers, |chunk| {
+                        chunk
+                            .into_iter()
+                            .map(|sid| tgi.try_node_histories_for_sid(sid, range))
+                            .collect()
+                    });
+                let mut nodes = Vec::new();
+                for hs in fetched {
+                    nodes.extend(hs?.into_iter().map(NodeT::new));
+                }
+                nodes
             }
         };
-        SoN::new(nodes, range, workers)
+        Ok(SoN::new(nodes, range, workers))
     }
 }
 
@@ -149,24 +171,33 @@ impl SotsQuery {
 
     /// Execute: for each root, fetch its k-hop membership at the range
     /// start, the members' initial states, and the members' in-range
-    /// events.
+    /// events. Panics if a needed chunk is fully unavailable; see
+    /// [`SotsQuery::try_fetch`].
     pub fn fetch(self) -> SoTS {
+        self.try_fetch()
+            .unwrap_or_else(|e| panic!("TAF SoTS fetch failed ({e}); use try_fetch"))
+    }
+
+    /// Fallible [`SotsQuery::fetch`]: surfaces
+    /// [`StoreError::Unavailable`] from any worker's k-hop or history
+    /// fetch instead of panicking mid-analytics.
+    pub fn try_fetch(self) -> Result<SoTS, StoreError> {
         let tgi = &self.handler.tgi;
         let workers = self.handler.workers;
         let range = self.range;
         let k = self.k;
         let roots: Vec<NodeId> = match self.roots {
             Some(r) => r,
-            None => tgi.snapshot(range.start).sorted_ids(),
+            None => tgi.try_snapshot(range.start)?.sorted_ids(),
         };
-        let subs: Vec<SubgraphT> = parallel_chunks(roots, workers, |chunk| {
+        let subs: Vec<Result<SubgraphT, StoreError>> = parallel_chunks(roots, workers, |chunk| {
             chunk
                 .into_iter()
                 .map(|root| {
                     // Strategy picked per root from the Table-1 cost
                     // estimators (recursive for small k, via-snapshot
                     // for deep neighborhoods).
-                    let initial: Delta = tgi.khop(root, range.start, k);
+                    let initial: Delta = tgi.try_khop(root, range.start, k)?;
                     let members: FxHashSet<NodeId> = initial.ids().collect();
                     // Events touching two members are returned by both
                     // members' histories; keep a single copy. An event
@@ -177,7 +208,7 @@ impl SotsQuery {
                     let mut member_list: Vec<NodeId> = members.iter().copied().collect();
                     member_list.sort_unstable();
                     for m in member_list {
-                        let h = tgi.node_history_c(m, range, 1);
+                        let h = tgi.try_node_history_c(m, range, 1)?;
                         for e in h.events {
                             let (a, b) = e.kind.touched();
                             let other = if a == m { b } else { Some(a) };
@@ -189,11 +220,12 @@ impl SotsQuery {
                         }
                         collected.insert(m);
                     }
-                    SubgraphT::new(root, members, initial, events, range)
+                    Ok(SubgraphT::new(root, members, initial, events, range))
                 })
                 .collect()
         });
-        SoTS::new(subs, range, workers)
+        let subs = subs.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(SoTS::new(subs, range, workers))
     }
 }
 
@@ -290,6 +322,41 @@ mod tests {
             let got: FxHashSet<NodeId> = sub.initial().ids().collect();
             assert_eq!(got, want, "membership of root {}", sub.root);
         }
+    }
+
+    #[test]
+    fn try_fetch_surfaces_unavailability_instead_of_panicking() {
+        let (_, h) = setup();
+        let end = h.tgi().end_time();
+        let range = TimeRange::new(0, end.max(2));
+        for m in 0..h.tgi().store().machine_count() {
+            h.tgi().store().fail_machine(m);
+        }
+        assert!(matches!(
+            h.son().timeslice(range).try_fetch(),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            h.son()
+                .timeslice(range)
+                .select_ids(vec![1, 2, 3])
+                .try_fetch(),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            h.sots(1).timeslice(range).roots(vec![0, 1]).try_fetch(),
+            Err(StoreError::Unavailable { .. })
+        ));
+        // Default roots need a snapshot too: still an Err, not a panic.
+        assert!(matches!(
+            h.sots(1).timeslice(range).try_fetch(),
+            Err(StoreError::Unavailable { .. })
+        ));
+        // Healed cluster serves the same fetch again.
+        for m in 0..h.tgi().store().machine_count() {
+            h.tgi().store().heal_machine(m);
+        }
+        assert!(h.son().timeslice(range).try_fetch().is_ok());
     }
 
     #[test]
