@@ -19,14 +19,18 @@ fn main() {
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"cold_secs\": {:.5}, \"warm_secs\": {:.5}, \
-             \"speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \"cache_bytes\": {}}}{}\n",
+            "    {{\"workload\": \"{}\", \"clients\": {}, \"cold_secs\": {:.5}, \
+             \"warm_secs\": {:.5}, \"speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \
+             \"state_hits\": {}, \"state_misses\": {}, \"cache_bytes\": {}}}{}\n",
             r.workload,
+            r.clients,
             r.cold_secs,
             r.warm_secs,
             r.speedup(),
             r.hits,
             r.misses,
+            r.state_hits,
+            r.state_misses,
             r.cache_bytes,
             if i + 1 == rows.len() { "" } else { "," }
         ));

@@ -16,12 +16,13 @@ fn main() {
     let mut json = String::from("{\n  \"dataset\": \"WikiGrowth\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"k\": {}, \"naive_secs\": {:.5}, \"shared_cold_secs\": {:.5}, \
-             \"shared_secs\": {:.5}, \
+            "    {{\"k\": {}, \"clients\": {}, \"naive_secs\": {:.5}, \
+             \"shared_cold_secs\": {:.5}, \"shared_secs\": {:.5}, \
              \"speedup\": {:.2}, \"naive_requests\": {}, \"shared_requests\": {}, \
              \"shared_round_trips\": {}, \"planned_shared_units\": {}, \
              \"planned_naive_units\": {}}}{}\n",
             r.k,
+            r.clients,
             r.naive_secs,
             r.shared_cold_secs,
             r.shared_secs,

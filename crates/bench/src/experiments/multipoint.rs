@@ -24,6 +24,9 @@ use crate::harness::*;
 #[derive(Debug, Clone, Copy)]
 pub struct MultipointRow {
     pub k: usize,
+    /// Parallel fetch clients the shared plan ran with (the naive
+    /// loop is always sequential — it is the per-time reference).
+    pub clients: usize,
     pub naive_secs: f64,
     pub shared_cold_secs: f64,
     pub shared_secs: f64,
@@ -39,28 +42,29 @@ pub struct MultipointRow {
 /// uses the cache-bypassing snapshot path — single-point `snapshot`
 /// now runs through the same planner + cache, so timing it would
 /// measure the cache, not the per-time refetch this row contrasts.
-pub fn multipoint_row(tgi: &mut Tgi, times: &[Time]) -> MultipointRow {
+pub fn multipoint_row(tgi: &mut Tgi, times: &[Time], c: usize) -> MultipointRow {
     tgi.set_read_cache_budget(0);
     tgi.set_read_cache_budget(hgs_core::DEFAULT_READ_CACHE_BYTES);
     let tgi = &*tgi;
     let naive =
         |ts: &[Time]| -> Vec<Delta> { ts.iter().map(|&t| tgi.snapshot_uncached(t)).collect() };
 
-    let (shared_snaps, cold_rep) = timed(tgi, 1, || tgi.snapshots(times));
+    let (shared_snaps, cold_rep) = timed(tgi, c, || tgi.snapshots_c(times, c));
     let shared_secs =
-        median3([0, 1, 2].map(|_| timed(tgi, 1, || tgi.snapshots(times)).1.wall_secs));
+        median3([0, 1, 2].map(|_| timed(tgi, c, || tgi.snapshots_c(times, c)).1.wall_secs));
     let naive_secs = median3([0, 1, 2].map(|_| timed(tgi, 1, || naive(times)).1.wall_secs));
     let (naive_snaps, naive_rep) = timed(tgi, 1, || naive(times));
     assert_eq!(naive_snaps, shared_snaps, "planner must match naive");
 
     let before = tgi.store().stats_snapshot();
-    let (_, shared_rep) = timed(tgi, 1, || tgi.snapshots(times));
+    let (_, shared_rep) = timed(tgi, c, || tgi.snapshots_c(times, c));
     let diff = SimStore::stats_since(&tgi.store().stats_snapshot(), &before);
     let shared_round_trips: u64 = diff.iter().map(|m| m.batches).sum();
 
     let plan = tgi.plan_multipoint(times);
     MultipointRow {
         k: times.len(),
+        clients: c,
         naive_secs,
         shared_cold_secs: cold_rep.wall_secs,
         shared_secs,
@@ -78,12 +82,13 @@ pub fn multipoint() -> Vec<MultipointRow> {
     banner(
         "Multipoint",
         "shared-path multipoint retrieval vs naive per-time loop",
-        "m=4 r=1 ps=500 l=500 c=1",
+        "m=4 r=1 ps=500 l=500, c from HGS_CLIENTS (default 1,2,4)",
     );
     let events = dataset1();
     let mut tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
     header(&[
         "k",
+        "c",
         "naive_s",
         "shared_cold_s",
         "shared_s",
@@ -93,12 +98,11 @@ pub fn multipoint() -> Vec<MultipointRow> {
         "round_trips",
     ]);
     let mut rows = Vec::new();
-    for k in [2usize, 4, 8, 16] {
-        let times = growth_times(&events, k);
-        let row = multipoint_row(&mut tgi, &times);
+    let mut push = |row: MultipointRow| {
         println!(
-            "{}\t{}\t{}\t{}\t{:.2}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{:.2}\t{}\t{}\t{}",
             row.k,
+            row.clients,
             secs(row.naive_secs),
             secs(row.shared_cold_secs),
             secs(row.shared_secs),
@@ -108,6 +112,20 @@ pub fn multipoint() -> Vec<MultipointRow> {
             row.shared_round_trips,
         );
         rows.push(row);
+    };
+    for k in [2usize, 4, 8, 16] {
+        let times = growth_times(&events, k);
+        push(multipoint_row(&mut tgi, &times, 1));
+    }
+    // Clients sweep at a fixed batch size: the work-stealing parallel
+    // fill must keep matching the naive reference at every c (the
+    // equality assert inside `multipoint_row` checks each run).
+    let times = growth_times(&events, 8);
+    for c in clients_sweep() {
+        if c == 1 {
+            continue; // already covered by the k-sweep above
+        }
+        push(multipoint_row(&mut tgi, &times, c));
     }
     rows
 }
@@ -122,7 +140,7 @@ mod tests {
         let events = WikiGrowth::sized(4_000).generate();
         let mut tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
         let times = growth_times(&events, 4);
-        let row = multipoint_row(&mut tgi, &times);
+        let row = multipoint_row(&mut tgi, &times, 1);
         assert!(
             row.shared_requests < row.naive_requests,
             "shared {} vs naive {}",
@@ -131,5 +149,22 @@ mod tests {
         );
         assert!(row.planned_shared_units < row.planned_naive_units);
         assert!(row.shared_round_trips as usize <= row.planned_shared_units);
+    }
+
+    /// The parallel (work-stealing) fill also shares fetches — and the
+    /// row's internal equality assert pins it to the naive reference.
+    #[test]
+    fn parallel_shared_plan_matches_and_shares() {
+        let events = WikiGrowth::sized(4_000).generate();
+        let mut tgi = build_tgi(paper_default_cfg(), StoreConfig::new(4, 1), &events);
+        let times = growth_times(&events, 4);
+        let row = multipoint_row(&mut tgi, &times, 4);
+        assert_eq!(row.clients, 4);
+        assert!(
+            row.shared_requests < row.naive_requests,
+            "shared {} vs naive {}",
+            row.shared_requests,
+            row.naive_requests
+        );
     }
 }

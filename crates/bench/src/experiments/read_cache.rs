@@ -11,14 +11,22 @@
 //! * `snapshot` — single-point [`Tgi::snapshot_c`] at repeated times;
 //! * `node_at` — static-vertex fetches of repeated nodes;
 //! * `taf_node_t` — TAF `node_t` retrievals (SoN select pushdown) of
-//!   repeated nodes over a fixed range.
+//!   repeated nodes over a fixed range;
+//! * `multipoint` — batched [`Tgi::snapshots_c`] at every parallelism
+//!   of the [`clients_sweep`] knob (`HGS_CLIENTS`, default `1,2,4`):
+//!   the parallel fill's per-`(tsid, sid, leaf)` checkpoint-state
+//!   tier must turn warm multi-client batches into eventlist-suffix
+//!   replays (state hits, not just row hits). Parallel results are
+//!   asserted equal to sequential and to the cache-bypassing
+//!   reference before timing starts.
 //!
 //! Reported per workload: cache-disabled (cold/bypassed) wall seconds
 //! per pass, warm wall seconds per pass (median of three, after one
-//! priming pass), and the cache counters. The CI smoke gate asserts
-//! warm < cold; the committed artifact (`BENCH_cache.json`) tracks the
-//! full-size run, where warm single-point snapshots must be ≥ 2x
-//! faster than cold.
+//! priming pass), and the cache counters, row/state hit split
+//! included. The CI smoke gate asserts warm < cold at every clients
+//! setting and `state_hits > 0` for the multipoint rows; the
+//! committed artifact (`BENCH_cache.json`) tracks the full-size run,
+//! where warm single-point snapshots must be ≥ 2x faster than cold.
 
 use std::sync::Arc;
 
@@ -37,10 +45,16 @@ pub const CACHE_BUDGET_BYTES: usize = hgs_core::DEFAULT_READ_CACHE_BYTES;
 #[derive(Debug, Clone, Copy)]
 pub struct CacheRow {
     pub workload: &'static str,
+    /// Parallel fetch clients the workload ran with.
+    pub clients: usize,
     pub cold_secs: f64,
     pub warm_secs: f64,
     pub hits: u64,
     pub misses: u64,
+    /// Checkpoint-state hits (Leaf/SidLeaf/Part tiers) within `hits`.
+    pub state_hits: u64,
+    /// Checkpoint-state misses within `misses`.
+    pub state_misses: u64,
     pub cache_bytes: usize,
 }
 
@@ -84,7 +98,12 @@ pub fn zipf_sequence(n: usize, len: usize, seed: u64) -> Vec<usize> {
 /// warm, hiding most of the contrast). "Warm" re-enables the budget,
 /// primes with one pass, then takes the median of three timed passes;
 /// cache counters are bracketed around the warm phase.
-fn run_workload(tgi: &Tgi, workload: &'static str, mut pass: impl FnMut()) -> CacheRow {
+fn run_workload(
+    tgi: &Tgi,
+    workload: &'static str,
+    clients: usize,
+    mut pass: impl FnMut(),
+) -> CacheRow {
     tgi.set_read_cache_budget(0);
     let cold_secs = median3([0, 1, 2].map(|_| {
         let t0 = std::time::Instant::now();
@@ -108,10 +127,13 @@ fn run_workload(tgi: &Tgi, workload: &'static str, mut pass: impl FnMut()) -> Ca
     );
     CacheRow {
         workload,
+        clients,
         cold_secs,
         warm_secs,
         hits: s1.hits - s0.hits,
         misses: s1.misses - s0.misses,
+        state_hits: s1.state_hits - s0.state_hits,
+        state_misses: s1.state_misses - s0.state_misses,
         cache_bytes: s1.bytes,
     }
 }
@@ -142,40 +164,68 @@ pub fn read_cache() -> Vec<CacheRow> {
     let range = TimeRange::new(end / 4, (3 * end) / 4);
 
     header(&[
-        "workload", "cold_s", "warm_s", "speedup", "hits", "misses", "cache_mb",
+        "workload",
+        "c",
+        "cold_s",
+        "warm_s",
+        "speedup",
+        "hits",
+        "misses",
+        "state_hits",
+        "cache_mb",
     ]);
     let mut rows = Vec::new();
     let mut push = |row: CacheRow| {
         println!(
-            "{}\t{}\t{}\t{:.2}\t{}\t{}\t{:.1}",
+            "{}\t{}\t{}\t{}\t{:.2}\t{}\t{}\t{}\t{:.1}",
             row.workload,
+            row.clients,
             secs(row.cold_secs),
             secs(row.warm_secs),
             row.speedup(),
             row.hits,
             row.misses,
+            row.state_hits,
             row.cache_bytes as f64 / (1 << 20) as f64,
         );
         rows.push(row);
     };
 
-    push(run_workload(&tgi, "snapshot", || {
+    push(run_workload(&tgi, "snapshot", 1, || {
         for &t in &time_seq {
             std::hint::black_box(tgi.snapshot_c(t, 1));
         }
     }));
-    push(run_workload(&tgi, "node_at", || {
+    push(run_workload(&tgi, "node_at", 1, || {
         for &id in &node_seq {
             std::hint::black_box(tgi.node_at(id, end / 2));
         }
     }));
+    // Multipoint batches at every parallelism of the sweep: the warm
+    // runs must land in the per-(tsid, sid, leaf) state tier. Before
+    // timing, pin down correctness: every parallelism must equal the
+    // cache-bypassing reference (and hence each other).
+    let batch = growth_times(&events, 6);
+    let reference: Vec<_> = batch.iter().map(|&t| tgi.snapshot_uncached(t)).collect();
+    for c in clients_sweep() {
+        assert_eq!(
+            tgi.snapshots_c(&batch, c),
+            reference,
+            "parallel (c={c}) multipoint must equal the sequential reference"
+        );
+        let batch = batch.clone();
+        let tgi_ref = &tgi;
+        push(run_workload(&tgi, "multipoint", c, move || {
+            std::hint::black_box(tgi_ref.snapshots_c(&batch, c));
+        }));
+    }
     // TAF node_t: the handler shares the same Tgi, so its fetches ride
     // the same cache. Re-wrap per run to keep borrows simple.
     let shared = Arc::new(tgi);
     {
         let handler = TgiHandler::new(shared.clone(), 1);
         let ids = node_seq.clone();
-        push(run_workload(&shared, "taf_node_t", || {
+        push(run_workload(&shared, "taf_node_t", 1, || {
             let son = handler
                 .son()
                 .timeslice(range)

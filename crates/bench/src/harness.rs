@@ -89,6 +89,27 @@ pub fn paper_default_cfg() -> TgiConfig {
     TgiConfig::default()
 }
 
+/// Parallel-fetch-client sweep for the cache/multipoint experiments:
+/// `HGS_CLIENTS` as a comma-separated list of positive integers
+/// (e.g. `HGS_CLIENTS=1,8`), defaulting to `1,2,4`. A malformed list
+/// panics rather than silently measuring a sweep the operator never
+/// asked for (the rows land in committed bench artifacts).
+pub fn clients_sweep() -> Vec<usize> {
+    match std::env::var("HGS_CLIENTS") {
+        Ok(s) => s
+            .split(',')
+            .map(|p| match p.trim().parse::<usize>() {
+                Ok(c) if c >= 1 => c,
+                _ => panic!(
+                    "HGS_CLIENTS must be a comma-separated list of positive \
+                     integers, got {s:?} (bad entry {p:?})"
+                ),
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,12 +28,15 @@
 //! neighborhood history, all with `c`-way parallel fetch. Multipoint
 //! snapshot batches go through the shared-path planner
 //! ([`query_plan`]): tree-path rows are fetched once per chunk and
-//! states are cloned only at path divergence points. Single-point
-//! reads run as degenerate one-time plans over the same machinery, so
-//! **every** query path shares one session-wide byte-budgeted LRU
-//! read cache of decoded rows and materialized checkpoint states
-//! ([`read_cache`]; budget via [`TgiConfig::read_cache_bytes`],
-//! counters via [`Tgi::cache_stats`]). Every retrieval and build
+//! states are cloned only at path divergence points; with `c > 1` the
+//! fill runs as per-`(sid, leaf)` work items on a work-stealing queue
+//! backed by a per-`(tsid, sid, leaf)` checkpoint-state cache tier.
+//! Single-point reads run as degenerate one-time plans over the same
+//! machinery, so **every** query path shares one session-wide
+//! byte-budgeted LRU read cache of decoded rows and materialized
+//! checkpoint states ([`read_cache`]; budget via
+//! [`TgiConfig::read_cache_bytes`], counters — split into row vs
+//! state hits — via [`Tgi::cache_stats`]). Every retrieval and build
 //! primitive has a fallible `try_*` variant that surfaces
 //! [`hgs_store::StoreError::Unavailable`] instead of silently
 //! returning partial results (see [`query`] for the contract); a

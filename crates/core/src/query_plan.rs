@@ -33,12 +33,31 @@
 //! one shared path walk plus the unavoidable output construction — the
 //! `~1×+ε` behaviour the paper's DeltaGraph ancestry promises, instead
 //! of `k×`.
+//!
+//! # Parallel fill (`clients > 1`)
+//!
+//! With `c` fetch clients the fill is decomposed into one work item
+//! per `(sid, leaf)` pulled from a shared work-stealing queue
+//! ([`hgs_store::parallel::parallel_steal`]): a hot leaf or a skewed
+//! horizontal partition delays only its own item, not a statically
+//! assigned chunk of followers, and the fan-out is clamped to the item
+//! count so degenerate single-point plans never over-spawn. Each item
+//! probes (and on a miss populates) the per-`(tsid, sid, leaf)`
+//! checkpoint-state cache tier
+//! ([`CacheKey::SidLeaf`](crate::read_cache)), so warm multi-client
+//! snapshots replay only eventlist suffixes instead of re-summing
+//! whole tree paths. The sequential path's whole-graph leaf states are
+//! composed from the same per-sid entries, so either path warms the
+//! other. Per-item partials merge into input-indexed output slots
+//! under explicit filled-ness flags — a legitimately *empty* partial
+//! (a sid with no state at `t`) is never conflated with "not yet
+//! filled".
 
 use std::sync::Arc;
 
 use hgs_delta::codec::{decode_delta, decode_eventlist};
 use hgs_delta::{Delta, Eventlist, FxHashMap, FxHashSet, Time};
-use hgs_store::parallel::parallel_chunks;
+use hgs_store::parallel::parallel_steal;
 use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 
 use crate::build::{SpanRuntime, Tgi};
@@ -155,6 +174,17 @@ impl MultipointPlan {
 /// Rows of one `(tsid, sid)` batch, grouped by did.
 type RowsByDid = FxHashMap<u64, Vec<(Vec<u8>, bytes::Bytes)>>;
 
+/// One sid's share of a span group, fetched once (a single grouped
+/// scan) and shared by all of that sid's `(sid, leaf)` work items:
+/// the per-leaf checkpoint states resolved from the cache at fetch
+/// time (held by `Arc`, so later eviction cannot strand a replay
+/// whose tree rows were skipped) plus the scanned rows.
+struct SidGroupFetch {
+    /// Cached checkpoint state per leaf index of the group, if any.
+    bases: Vec<Option<Arc<Delta>>>,
+    rows: RowsByDid,
+}
+
 impl Tgi {
     /// Inspect how a multipoint retrieval over `times` would share
     /// fetch work (without touching the store).
@@ -182,6 +212,12 @@ impl Tgi {
     pub fn try_snapshots_c(&self, times: &[Time], c: usize) -> Result<Vec<Delta>, StoreError> {
         let plan = MultipointPlan::new(self, times);
         let mut out: Vec<Delta> = (0..times.len()).map(|_| Delta::new()).collect();
+        // Explicit per-slot filled-ness for the parallel merge: a
+        // legitimately *empty* first partial (a sid with no state
+        // before `t`) must not be mistaken for "not yet filled", or a
+        // later partial for the same slot would wholesale-overwrite
+        // instead of summing.
+        let mut filled = vec![false; times.len()];
         let ns = self.cfg.horizontal_partitions;
         for group in &plan.groups {
             let span = &self.spans[group.span_idx];
@@ -189,40 +225,66 @@ impl Tgi {
                 self.fill_group_sequential(span, &group.leaves, &mut out)?;
                 continue;
             }
-            // Parallel clients: each sid fills its own per-time
-            // partials from its chunk's rows; partials are then
-            // move-merged (the first one wholesale).
-            let slots: Vec<usize> = group
-                .leaves
-                .iter()
-                .flat_map(|lg| lg.times.iter().map(|&(slot, _)| slot))
+            // Parallel clients: one work item per (sid, leaf) pulled
+            // from a shared work-stealing queue — skewed partitions
+            // and hot leaves no longer gate the group on the slowest
+            // sid. The *fetch* stays batched per sid (one grouped
+            // scan covering all of the group's leaves, exactly like
+            // the sequential path): whichever item of a sid is
+            // claimed first performs it, and the sid's other items
+            // share the result through a `OnceLock`. Cache probes for
+            // the per-sid checkpoint states happen at fetch time and
+            // the resulting `Arc`s ride along, so an eviction between
+            // fetch and replay can never strand an item with rows
+            // that lack its tree path. Items return per-time
+            // partials, merged in deterministic item order; any
+            // failed item fails the whole batch.
+            let tsid = span.meta.tsid;
+            let fetches: Vec<std::sync::OnceLock<Result<SidGroupFetch, StoreError>>> =
+                (0..ns).map(|_| std::sync::OnceLock::new()).collect();
+            // Leaf-major item order spreads the workers' initial
+            // claims across sids, so the per-sid fetches overlap
+            // instead of queueing behind one lock.
+            let items: Vec<(u32, usize)> = (0..group.leaves.len())
+                .flat_map(|li| (0..ns).map(move |sid| (sid, li)))
                 .collect();
-            let local: FxHashMap<usize, usize> = slots
-                .iter()
-                .enumerate()
-                .map(|(i, &slot)| (slot, i))
-                .collect();
-            let sids: Vec<u32> = (0..ns).collect();
-            let per_sid: Vec<Result<Vec<Delta>, StoreError>> = parallel_chunks(sids, c, |chunk| {
-                chunk
-                    .into_iter()
-                    .map(|sid| {
-                        let mut partials: Vec<Delta> =
-                            (0..slots.len()).map(|_| Delta::new()).collect();
-                        self.span_group_fill(span, &group.leaves, sid, &mut partials, |s| {
-                            local[&s]
-                        })?;
-                        Ok(partials)
-                    })
-                    .collect()
-            });
-            for partials in per_sid {
-                for (i, partial) in partials?.into_iter().enumerate() {
-                    let slot = slots[i];
-                    if out[slot].is_empty() {
-                        out[slot] = partial;
+            let per_item: Vec<Result<Vec<Delta>, StoreError>> =
+                parallel_steal(items.clone(), c, |(sid, li)| {
+                    let fetch = fetches[sid as usize].get_or_init(|| {
+                        let bases: Vec<Option<Arc<Delta>>> = group
+                            .leaves
+                            .iter()
+                            .map(|lg| {
+                                let key = CacheKey::SidLeaf(tsid, sid, lg.leaf as u32);
+                                match self.read_cache.get(key) {
+                                    Some(Cached::Delta(d)) => Some(d),
+                                    _ => None,
+                                }
+                            })
+                            .collect();
+                        let need_tree: Vec<bool> = bases.iter().map(|b| b.is_none()).collect();
+                        let rows = self.span_rows(span, &group.leaves, &need_tree, sid)?;
+                        Ok(SidGroupFetch { bases, rows })
+                    });
+                    match fetch {
+                        Ok(f) => self.fill_sid_leaf(
+                            span,
+                            &group.leaves[li],
+                            sid,
+                            f.bases[li].clone(),
+                            &f.rows,
+                        ),
+                        Err(e) => Err(e.clone()),
+                    }
+                });
+            for ((_, li), partials) in items.into_iter().zip(per_item) {
+                let lg = &group.leaves[li];
+                for ((slot, _), partial) in lg.times.iter().zip(partials?) {
+                    if filled[*slot] {
+                        out[*slot].sum_assign_owned(partial);
                     } else {
-                        out[slot].sum_assign_owned(partial);
+                        out[*slot] = partial;
+                        filled[*slot] = true;
                     }
                 }
             }
@@ -234,6 +296,12 @@ impl Tgi {
     /// error-handling contract.
     pub fn snapshots(&self, times: &[Time]) -> Vec<Delta> {
         self.try_snapshots(times)
+            .unwrap_or_else(|e| panic!("TGI multipoint read failed: {e}"))
+    }
+
+    /// Panicking wrapper over [`Tgi::try_snapshots_c`].
+    pub fn snapshots_c(&self, times: &[Time], c: usize) -> Vec<Delta> {
+        self.try_snapshots_c(times, c)
             .unwrap_or_else(|e| panic!("TGI multipoint read failed: {e}"))
     }
 
@@ -354,6 +422,10 @@ impl Tgi {
         // only carry the tree paths of leaves that still need
         // building (the fetch itself never disappears: every
         // `(tsid, sid)` chunk is still scanned for its eventlists).
+        // The whole-graph `Leaf` state is exactly the sum of the
+        // per-sid `SidLeaf` states, so a cache warmed by parallel
+        // fills (which populate the per-sid tier) spares the tree
+        // fetch here too — and vice versa.
         let bases: Vec<Option<Arc<Delta>>> = leaves
             .iter()
             .map(
@@ -363,31 +435,50 @@ impl Tgi {
                 },
             )
             .collect();
-        let need_tree: Vec<bool> = bases.iter().map(|b| b.is_none()).collect();
+        // sid_bases[li][sid]: the per-sid tier, probed only while the
+        // whole-leaf state is absent.
+        let sid_bases: Vec<Vec<Option<Arc<Delta>>>> = leaves
+            .iter()
+            .zip(&bases)
+            .map(|(lg, base)| {
+                if base.is_some() {
+                    vec![None; ns as usize]
+                } else {
+                    (0..ns)
+                        .map(|sid| {
+                            let key = CacheKey::SidLeaf(tsid, sid, lg.leaf as u32);
+                            match self.read_cache.get(key) {
+                                Some(Cached::Delta(d)) => Some(d),
+                                _ => None,
+                            }
+                        })
+                        .collect()
+                }
+            })
+            .collect();
         let mut per_sid: Vec<RowsByDid> = Vec::with_capacity(ns as usize);
         for sid in 0..ns {
+            let need_tree: Vec<bool> = (0..leaves.len())
+                .map(|li| bases[li].is_none() && sid_bases[li][sid as usize].is_none())
+                .collect();
             per_sid.push(self.span_rows(span, leaves, &need_tree, sid)?);
         }
-        for (lg, base) in leaves.iter().zip(bases) {
+        for (li, (lg, base)) in leaves.iter().zip(bases).enumerate() {
             // Shared checkpoint state of this leaf (all sids), cached:
-            // it derives purely from write-once rows.
+            // it derives purely from write-once rows, composed as the
+            // sum of the per-sid states (each built by the same
+            // routine the parallel fill uses and cached in its own
+            // right for it to reuse).
             let base = match base {
                 Some(d) => d,
                 None => {
                     let mut state = Delta::new();
                     for (sid, rows) in per_sid.iter().enumerate() {
-                        for did in meta.shape.path_to_leaf(lg.leaf) {
-                            let Some(rows) = rows.get(&did) else {
-                                continue;
-                            };
-                            for (k, bytes) in rows {
-                                let Some(dk) = DeltaKey::decode(k) else {
-                                    continue;
-                                };
-                                let d = self.decoded_delta(tsid, sid as u32, did, dk.pid, bytes);
-                                state.sum_assign(&d);
-                            }
-                        }
+                        let sid_state = match &sid_bases[li][sid] {
+                            Some(d) => Arc::clone(d),
+                            None => self.build_sid_leaf_state(span, lg.leaf, sid as u32, rows),
+                        };
+                        state.sum_assign(&sid_state);
                     }
                     let arc = Arc::new(state);
                     self.read_cache.put(
@@ -412,100 +503,128 @@ impl Tgi {
                     pieces.push((sid as u32, dk.pid, el));
                 }
             }
-            // Clone at the divergence point (the leaf), then advance
-            // one replay cursor, capturing states as it passes each
-            // requested time.
-            let mut cur: Delta = (*base).clone();
-            let mut cursors = vec![0usize; pieces.len()];
-            for (i, &(slot, t)) in lg.times.iter().enumerate() {
-                for (pi, (sid, pid, el)) in pieces.iter().enumerate() {
-                    let evs = el.events();
-                    while cursors[pi] < evs.len() && evs[cursors[pi]].time <= t {
-                        apply_event_scoped(&mut cur, &evs[cursors[pi]].kind, |id| {
-                            sid_of(id, ns) == *sid && span.maps[*sid as usize].assign(id) == *pid
-                        });
-                        cursors[pi] += 1;
-                    }
-                }
-                if i + 1 == lg.times.len() {
-                    out[slot] = std::mem::take(&mut cur);
-                } else {
-                    out[slot] = cur.clone();
-                }
+            for ((slot, _), state) in lg
+                .times
+                .iter()
+                .zip(self.replay_leaf_times(span, &base, &pieces, &lg.times))
+            {
+                out[*slot] = state;
             }
         }
         Ok(())
     }
 
     /// One horizontal partition's contribution to every time of one
-    /// span group, written into `targets[slot_of(slot)]` (the parallel
-    /// fill unit). Rows are distributed in ascending-did order (which
-    /// is root-to-leaf order along every path, preserving delta-sum
-    /// overwrite semantics).
-    fn span_group_fill(
+    /// leaf group — the parallel fill's work-stealing unit.
+    ///
+    /// `base` is the per-`(tsid, sid, leaf)` checkpoint state as
+    /// resolved from the read cache when this sid's rows were fetched
+    /// (see [`SidGroupFetch`]): on a hit the tree path was dropped
+    /// from the grouped scan entirely and the item replays only this
+    /// sid's eventlist suffix; on a miss the state is rebuilt here
+    /// from (cached) tree-path rows in root-to-leaf order and the
+    /// tier is populated for the next client. The eventlist prefix is
+    /// always scanned, so a down chunk surfaces
+    /// [`StoreError::Unavailable`] even on a fully-warm state.
+    /// Returns one partial per requested time, aligned with
+    /// `lg.times`.
+    fn fill_sid_leaf(
         &self,
         span: &SpanRuntime,
-        leaves: &[LeafGroup],
+        lg: &LeafGroup,
         sid: u32,
-        targets: &mut [Delta],
-        slot_of: impl Fn(usize) -> usize,
-    ) -> Result<(), StoreError> {
-        let meta = &span.meta;
-        let tsid = meta.tsid;
-        let ns = self.cfg.horizontal_partitions;
-        let all_trees = vec![true; leaves.len()];
-        let rows_by_did = self.span_rows(span, leaves, &all_trees, sid)?;
-        let paths: Vec<Vec<u64>> = leaves
-            .iter()
-            .map(|lg| meta.shape.path_to_leaf(lg.leaf))
-            .collect();
-        let mut tree_dids: Vec<u64> = rows_by_did
-            .keys()
-            .copied()
-            .filter(|&did| did < ELIST_BASE)
-            .collect();
-        tree_dids.sort_unstable();
-        for did in tree_dids {
-            let mut wants: Vec<usize> = Vec::new();
-            for (lg, path) in leaves.iter().zip(&paths) {
-                if path.binary_search(&did).is_ok() {
-                    wants.extend(lg.times.iter().map(|&(slot, _)| slot_of(slot)));
-                }
-            }
-            for (k, bytes) in &rows_by_did[&did] {
+        base: Option<Arc<Delta>>,
+        rows: &RowsByDid,
+    ) -> Result<Vec<Delta>, StoreError> {
+        let tsid = span.meta.tsid;
+        let base = match base {
+            Some(d) => d,
+            None => self.build_sid_leaf_state(span, lg.leaf, sid, rows),
+        };
+        // Eventlist pieces of this sid (all pids), then the shared
+        // cursor replay.
+        let elist_did = ELIST_BASE + lg.leaf as u64;
+        let mut pieces: Vec<(u32, u32, Arc<Eventlist>)> = Vec::new();
+        if let Some(rows) = rows.get(&elist_did) {
+            for (k, bytes) in rows {
                 let Some(dk) = DeltaKey::decode(k) else {
                     continue;
                 };
-                let decoded = self.decoded_delta(tsid, sid, did, dk.pid, bytes);
-                for &ti in &wants {
-                    targets[ti].sum_assign(&decoded);
-                }
+                let el = self.decoded_elist(tsid, sid, elist_did, dk.pid, bytes);
+                pieces.push((sid, dk.pid, el));
             }
         }
-        // Replay: each snapshot applies its leaf's eventlist prefix up
-        // to its own time, scoped per micro-partition.
-        let map = &span.maps[sid as usize];
-        for lg in leaves {
-            let elist_did = ELIST_BASE + lg.leaf as u64;
-            let Some(rows) = rows_by_did.get(&elist_did) else {
+        Ok(self.replay_leaf_times(span, &base, &pieces, &lg.times))
+    }
+
+    /// Sum one sid's tree-path rows for `leaf` into a checkpoint
+    /// state and cache it under its `SidLeaf` key. Both fill paths —
+    /// sequential composition and parallel work items — build per-sid
+    /// states through this one routine, so the tier's entries are
+    /// identical whichever path populated them.
+    fn build_sid_leaf_state(
+        &self,
+        span: &SpanRuntime,
+        leaf: usize,
+        sid: u32,
+        rows: &RowsByDid,
+    ) -> Arc<Delta> {
+        let meta = &span.meta;
+        let tsid = meta.tsid;
+        let mut state = Delta::new();
+        for did in meta.shape.path_to_leaf(leaf) {
+            let Some(rows) = rows.get(&did) else {
                 continue;
             };
             for (k, bytes) in rows {
                 let Some(dk) = DeltaKey::decode(k) else {
                     continue;
                 };
-                let el = self.decoded_elist(tsid, sid, elist_did, dk.pid, bytes);
-                for &(slot, t) in &lg.times {
-                    let state = &mut targets[slot_of(slot)];
-                    for e in el.events().iter().take_while(|e| e.time <= t) {
-                        apply_event_scoped(state, &e.kind, |id| {
-                            sid_of(id, ns) == sid && map.assign(id) == dk.pid
-                        });
-                    }
-                }
+                let d = self.decoded_delta(tsid, sid, did, dk.pid, bytes);
+                state.sum_assign(&d);
             }
         }
-        Ok(())
+        let arc = Arc::new(state);
+        self.read_cache.put(
+            CacheKey::SidLeaf(tsid, sid, leaf as u32),
+            Cached::Delta(arc.clone()),
+        );
+        arc
+    }
+
+    /// Clone `base` once at the divergence point (the leaf), then
+    /// advance a single replay cursor per eventlist piece over
+    /// `times` (ascending), capturing one state per time. The shared
+    /// materialization tail of both fill paths.
+    fn replay_leaf_times(
+        &self,
+        span: &SpanRuntime,
+        base: &Delta,
+        pieces: &[(u32, u32, Arc<Eventlist>)],
+        times: &[(usize, Time)],
+    ) -> Vec<Delta> {
+        let ns = self.cfg.horizontal_partitions;
+        let mut cur: Delta = base.clone();
+        let mut cursors = vec![0usize; pieces.len()];
+        let mut out: Vec<Delta> = Vec::with_capacity(times.len());
+        for (i, &(_, t)) in times.iter().enumerate() {
+            for (pi, (sid, pid, el)) in pieces.iter().enumerate() {
+                let map = &span.maps[*sid as usize];
+                let evs = el.events();
+                while cursors[pi] < evs.len() && evs[cursors[pi]].time <= t {
+                    apply_event_scoped(&mut cur, &evs[cursors[pi]].kind, |id| {
+                        sid_of(id, ns) == *sid && map.assign(id) == *pid
+                    });
+                    cursors[pi] += 1;
+                }
+            }
+            if i + 1 == times.len() {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                out.push(cur.clone());
+            }
+        }
+        out
     }
 }
 
@@ -547,6 +666,56 @@ mod tests {
         let summary = plan.summary(&tgi);
         assert_eq!(summary.times, 4);
         assert!(summary.shared_fetch_units <= summary.naive_fetch_units);
+    }
+
+    /// Warm multi-client fills hit the per-`(tsid, sid, leaf)` state
+    /// tier (not just decoded rows), and the tiers are coherent: a
+    /// parallel fill warms the sequential path's leaf composition and
+    /// vice versa.
+    #[test]
+    fn parallel_fill_hits_and_warms_the_state_tier() {
+        let events: Vec<Event> = (0..400u64)
+            .map(|i| Event::new(i, EventKind::AddNode { id: i }))
+            .collect();
+        let tgi = Tgi::build(
+            crate::TgiConfig {
+                events_per_timespan: 400,
+                eventlist_size: 100,
+                partition_size: 50,
+                horizontal_partitions: 2,
+                ..crate::TgiConfig::default()
+            },
+            hgs_store::StoreConfig::new(2, 1),
+            &events,
+        );
+        let times = [120u64, 320];
+        let cold = tgi.try_snapshots_c(&times, 4).unwrap();
+        let s0 = tgi.cache_stats();
+        assert_eq!(s0.state_hits, 0, "cold cache has no state hits");
+        assert!(s0.state_misses > 0, "cold fill probes the state tier");
+        let warm = tgi.try_snapshots_c(&times, 4).unwrap();
+        let s1 = tgi.cache_stats();
+        assert!(
+            s1.state_hits > s0.state_hits,
+            "warm parallel fill must hit per-(tsid, sid, leaf) states: {s1:?}"
+        );
+        assert_eq!(cold, warm);
+        // The sequential path composes its whole-leaf states from the
+        // per-sid entries the parallel fill populated: no row decode
+        // beyond what is already cached, same result.
+        let seq = tgi.try_snapshots_c(&times, 1).unwrap();
+        assert_eq!(seq, warm);
+        let s2 = tgi.cache_stats();
+        assert_eq!(
+            s2.row_misses, s1.row_misses,
+            "sequential pass after a parallel warm-up re-decodes nothing"
+        );
+        // And a sequential warm-up serves later parallel fills.
+        let par = tgi.try_snapshots_c(&times, 4).unwrap();
+        assert_eq!(par, seq);
+        let s3 = tgi.cache_stats();
+        assert_eq!(s3.row_misses, s2.row_misses);
+        assert!(s3.state_hits > s2.state_hits);
     }
 
     /// The read cache is byte-bounded and serves repeat plans.

@@ -10,7 +10,11 @@
 //!
 //! * decoded tree-delta and eventlist rows (`CacheKey::Row`),
 //! * materialized whole-graph leaf checkpoint states
-//!   (`CacheKey::Leaf`, used by snapshot retrieval), and
+//!   (`CacheKey::Leaf`, used by sequential snapshot retrieval),
+//! * per-horizontal-partition leaf checkpoint states
+//!   (`CacheKey::SidLeaf`, the parallel fill's unit — the whole-graph
+//!   `Leaf` entry is exactly the sum of its `SidLeaf` entries, so the
+//!   sequential and parallel paths warm each other), and
 //! * materialized micro-partition checkpoint states
 //!   (`CacheKey::Part`, used by `node_at` / k-hop / TAF fetches),
 //!
@@ -47,9 +51,25 @@ pub(crate) enum CacheKey {
     Row(u32, u32, u64, u32),
     /// `(tsid, leaf)` — whole-graph checkpoint state (all sids/pids).
     Leaf(u32, u32),
+    /// `(tsid, sid, leaf)` — one horizontal partition's checkpoint
+    /// state at a leaf (the sid's tree-path rows summed across pids,
+    /// before eventlist replay). The parallel multipoint fill's unit;
+    /// the whole-graph [`CacheKey::Leaf`] entry is the sum of these.
+    SidLeaf(u32, u32, u32),
     /// `(tsid, sid, pid, leaf)` — one micro-partition's checkpoint
     /// state (tree-path rows summed, before eventlist replay).
     Part(u32, u32, u32, u32),
+}
+
+impl CacheKey {
+    /// Whether this entry is a materialized checkpoint *state*
+    /// (`Leaf` / `SidLeaf` / `Part`) rather than a decoded row —
+    /// states and rows keep separate hit/miss counters so the bench
+    /// and CI gates can see path-replay sharing, not just decode
+    /// sharing.
+    pub(crate) fn is_state(&self) -> bool {
+        !matches!(self, CacheKey::Row(..))
+    }
 }
 
 /// A cached decode product.
@@ -89,10 +109,22 @@ impl Cached {
 /// Point-in-time counters of the read cache, via [`Tgi::cache_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (rows + states).
     pub hits: u64,
-    /// Lookups that fell through to a store fetch + decode.
+    /// Lookups that fell through to a store fetch + decode
+    /// (rows + states).
     pub misses: u64,
+    /// Decoded-row (`Row`) lookups answered from the cache.
+    pub row_hits: u64,
+    /// Decoded-row (`Row`) lookups that missed.
+    pub row_misses: u64,
+    /// Checkpoint-state (`Leaf`/`SidLeaf`/`Part`) lookups answered
+    /// from the cache — a state hit skips a whole tree-path replay,
+    /// not just one decode.
+    pub state_hits: u64,
+    /// Checkpoint-state lookups that missed (the state had to be
+    /// rebuilt from rows).
+    pub state_misses: u64,
     /// Entries inserted since construction.
     pub insertions: u64,
     /// Entries evicted (least-recently-used first) to hold the budget.
@@ -202,8 +234,10 @@ impl Inner {
 /// path of one [`Tgi`]; all methods take `&self`.
 pub struct ReadCache {
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    row_hits: AtomicU64,
+    row_misses: AtomicU64,
+    state_hits: AtomicU64,
+    state_misses: AtomicU64,
 }
 
 impl ReadCache {
@@ -221,19 +255,28 @@ impl ReadCache {
                 insertions: 0,
                 evictions: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            row_hits: AtomicU64::new(0),
+            row_misses: AtomicU64::new(0),
+            state_hits: AtomicU64::new(0),
+            state_misses: AtomicU64::new(0),
         }
     }
 
     /// Look up `key`, promoting it to most-recently-used on a hit.
+    /// Row and checkpoint-state lookups are counted separately (see
+    /// [`CacheStats`]).
     pub(crate) fn get(&self, key: CacheKey) -> Option<Cached> {
         let mut inner = self.inner.lock().expect("read cache poisoned");
+        let (hits, misses) = if key.is_state() {
+            (&self.state_hits, &self.state_misses)
+        } else {
+            (&self.row_hits, &self.row_misses)
+        };
         match inner.map.get(&key).copied() {
             Some(slot) => {
                 inner.unlink(slot);
                 inner.push_front(slot);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                hits.fetch_add(1, Ordering::Relaxed);
                 Some(
                     inner.slots[slot]
                         .as_ref()
@@ -243,7 +286,7 @@ impl ReadCache {
                 )
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -325,9 +368,17 @@ impl ReadCache {
     /// Current counters.
     pub(crate) fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("read cache poisoned");
+        let row_hits = self.row_hits.load(Ordering::Relaxed);
+        let row_misses = self.row_misses.load(Ordering::Relaxed);
+        let state_hits = self.state_hits.load(Ordering::Relaxed);
+        let state_misses = self.state_misses.load(Ordering::Relaxed);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: row_hits + state_hits,
+            misses: row_misses + state_misses,
+            row_hits,
+            row_misses,
+            state_hits,
+            state_misses,
             insertions: inner.insertions,
             evictions: inner.evictions,
             bytes: inner.bytes,
@@ -366,7 +417,11 @@ impl Tgi {
 
     /// Counters of the session-wide read cache: hits, misses,
     /// insertions, evictions, retained bytes and the configured byte
-    /// budget.
+    /// budget. Hits and misses are additionally split into
+    /// decoded-row vs checkpoint-state counters
+    /// ([`CacheStats::row_hits`] / [`CacheStats::state_hits`], …) —
+    /// a state hit spares a whole tree-path replay, not just one
+    /// decode, so the split is what the cache benches gate on.
     pub fn cache_stats(&self) -> CacheStats {
         self.read_cache.stats()
     }
@@ -453,6 +508,29 @@ mod tests {
         cache.put(key(1), delta_entry(1000));
         assert!(cache.get(key(1)).is_none(), "oversized refresh drops key");
         assert!(cache.get(key(0)).is_some(), "other entries untouched");
+    }
+
+    /// Row and checkpoint-state lookups keep separate counters, and
+    /// the headline `hits`/`misses` are always their sum.
+    #[test]
+    fn state_and_row_counters_are_split() {
+        let cache = ReadCache::new(1 << 20);
+        let row = key(1);
+        let state = CacheKey::SidLeaf(0, 2, 3);
+        assert!(state.is_state() && !row.is_state());
+        cache.put(row, delta_entry(2));
+        cache.put(state, delta_entry(2));
+        assert!(cache.get(row).is_some());
+        assert!(cache.get(state).is_some());
+        assert!(cache.get(CacheKey::SidLeaf(0, 9, 9)).is_none());
+        assert!(cache.get(CacheKey::Leaf(0, 9)).is_none());
+        assert!(cache.get(CacheKey::Part(0, 0, 0, 9)).is_none());
+        assert!(cache.get(key(99)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.row_hits, s.row_misses), (1, 1));
+        assert_eq!((s.state_hits, s.state_misses), (1, 3));
+        assert_eq!(s.hits, s.row_hits + s.state_hits);
+        assert_eq!(s.misses, s.row_misses + s.state_misses);
     }
 
     /// Reference LRU model: MRU-first vector of `(key, weight)`.

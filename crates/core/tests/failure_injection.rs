@@ -166,6 +166,48 @@ fn warm_snapshot_still_surfaces_dead_chunks() {
     ));
 }
 
+/// The work-stealing parallel fill must be all-or-nothing: with a
+/// chunk's replicas dead, `try_snapshots_c` surfaces
+/// `StoreError::Unavailable` at *every* fetch parallelism — never a
+/// partial snapshot assembled from the items that did succeed — and
+/// whether a given machine failure is fatal does not depend on `c`.
+#[test]
+fn dead_chunk_mid_steal_surfaces_unavailable_at_every_parallelism() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let times = [end / 4, end / 2, (3 * end) / 4];
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 1), &events);
+    let reference = tgi.try_snapshots_c(&times, 1).expect("healthy cluster");
+    let cs = [1usize, 2, 4, 8];
+    let mut fatal_machines = 0;
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+        let errors = cs
+            .iter()
+            .filter(|&&c| match tgi.try_snapshots_c(&times, c) {
+                Err(StoreError::Unavailable { .. }) => true,
+                Err(other) => panic!("unexpected error kind: {other}"),
+                Ok(snaps) => {
+                    assert_eq!(
+                        snaps, reference,
+                        "a readable batch must be complete (m={m} c={c})"
+                    );
+                    false
+                }
+            })
+            .count();
+        assert!(
+            errors == 0 || errors == cs.len(),
+            "machine {m}: failure must be fatal at every c or none, got {errors}/{}",
+            cs.len()
+        );
+        fatal_machines += usize::from(errors > 0);
+        tgi.store().heal_machine(m);
+    }
+    assert!(fatal_machines > 0, "no machine failure was ever fatal");
+    assert_eq!(tgi.try_snapshots_c(&times, 4).unwrap(), reference);
+}
+
 #[test]
 #[should_panic(expected = "TGI read failed")]
 fn infallible_snapshot_panics_rather_than_shrinking() {

@@ -111,6 +111,106 @@ proptest! {
     }
 }
 
+fn arb_sparse_kind() -> impl Strategy<Value = EventKind> {
+    // Only four distinct node ids: with up to 4 horizontal partitions,
+    // most sids legitimately contribute *empty* partials.
+    let id = 0u64..4;
+    prop_oneof![
+        3 => id.clone().prop_map(|id| EventKind::AddNode { id }),
+        1 => id.clone().prop_map(|id| EventKind::RemoveNode { id }),
+        3 => (0u64..4, 0u64..4).prop_map(|(src, dst)| {
+            EventKind::AddEdge { src, dst, weight: 1.0, directed: false }
+        }),
+        1 => (0u64..4, 0u64..4).prop_map(|(src, dst)| EventKind::RemoveEdge { src, dst }),
+    ]
+}
+
+proptest! {
+    /// Sparse histories over few node ids: some sids hold no state at
+    /// all (their parallel partials are legitimately empty). The merge
+    /// must treat "empty" and "not yet filled" as different things, so
+    /// `c=1`, `c>1` and the cache-bypassing reference all agree —
+    /// warm and cold.
+    #[test]
+    fn parallel_merge_matches_on_sparse_and_empty_sids(
+        history in prop::collection::vec((arb_sparse_kind(), 0u64..3), 1..120)
+            .prop_map(|kinds| {
+                let mut t = 0u64;
+                kinds
+                    .into_iter()
+                    .map(|(kind, gap)| {
+                        t += gap;
+                        Event::new(t, kind)
+                    })
+                    .collect::<Vec<Event>>()
+            }),
+        l in 5usize..30,
+        ns in 2u32..5,
+        raw_times in prop::collection::vec(0u64..u64::MAX, 1..6),
+    ) {
+        let end = history.last().map(|e| e.time).unwrap_or(0);
+        let cfg = TgiConfig {
+            events_per_timespan: 60.max(l),
+            eventlist_size: l,
+            partition_size: 4,
+            horizontal_partitions: ns,
+            ..TgiConfig::default()
+        };
+        let tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &history);
+        let times: Vec<u64> = raw_times.iter().map(|r| r % (end + 2)).collect();
+        let reference: Vec<_> = times
+            .iter()
+            .map(|&t| tgi.try_snapshot_uncached_c(t, 1).unwrap())
+            .collect();
+        for round in 0..2 {
+            for c in [1usize, 2, 4] {
+                let got = tgi.try_snapshots_c(&times, c).unwrap();
+                prop_assert_eq!(&got, &reference, "round {} c={}", round, c);
+            }
+        }
+    }
+}
+
+/// Regression for the partial-merge sentinel: when the first work
+/// items of a slot contribute legitimately empty partials (all of the
+/// single node's state lives in the *last* sid), a later non-empty
+/// partial used to be taken as "first fill" via `is_empty()`. The
+/// explicit filled-ness flags must keep every `c` equal to the
+/// reference.
+#[test]
+fn empty_first_partials_merge_exactly() {
+    let ns = 4u32;
+    // A node id whose sid is the *last* of 4, so sids iterated before
+    // it all produce empty partials.
+    let nid = (0u64..1_000)
+        .find(|&id| hgs_core::meta::sid_of(id, ns) == ns - 1)
+        .expect("some id hashes to the last sid");
+    let events: Vec<Event> = (0..40u64)
+        .flat_map(|i| {
+            [
+                Event::new(4 * i, EventKind::AddNode { id: nid }),
+                Event::new(4 * i + 2, EventKind::RemoveNode { id: nid }),
+            ]
+        })
+        .collect();
+    let cfg = TgiConfig {
+        events_per_timespan: 50,
+        eventlist_size: 8,
+        partition_size: 4,
+        horizontal_partitions: ns,
+        ..TgiConfig::default()
+    };
+    let tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &events);
+    let times: Vec<u64> = vec![0, 41, 81, 121, 159];
+    let reference: Vec<_> = times
+        .iter()
+        .map(|&t| tgi.try_snapshot_uncached_c(t, 1).unwrap())
+        .collect();
+    for c in [1usize, 2, 4, 8] {
+        assert_eq!(tgi.try_snapshots_c(&times, c).unwrap(), reference, "c={c}");
+    }
+}
+
 #[test]
 fn plan_shares_fetches_and_batches_round_trips() {
     let trace = WikiGrowth::sized(6_000).generate();

@@ -98,6 +98,39 @@ fn snapshots_match_for_various_parallel_fetch_factors() {
     }
 }
 
+/// A degenerate plan (single-point read routed through the multipoint
+/// machinery, one horizontal partition → one `(sid, leaf)` work item)
+/// must clamp its fan-out to the item count: no matter how many
+/// clients are requested, the store sees exactly one grouped scan per
+/// read. (That the single-item case also runs inline, with no thread
+/// spawn at all, is asserted in `hgs_store::parallel`'s tests.)
+#[test]
+fn degenerate_single_point_plan_clamps_fanout() {
+    let events = WikiGrowth {
+        events: 1_500,
+        seed: 5,
+        ..WikiGrowth::default()
+    }
+    .generate();
+    let cfg = TgiConfig {
+        events_per_timespan: 2_000,
+        eventlist_size: 200,
+        partition_size: 100,
+        horizontal_partitions: 1,
+        ..TgiConfig::default()
+    };
+    let tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &events);
+    let t = events.last().unwrap().time / 2;
+    let want = tgi.try_snapshot_uncached_c(t, 1).unwrap();
+    for c in [1usize, 4, 16] {
+        let before = tgi.store().stats_snapshot();
+        assert_eq!(tgi.snapshot_c(t, c), want, "c={c}");
+        let diff = hgs_store::SimStore::stats_since(&tgi.store().stats_snapshot(), &before);
+        let batches: u64 = diff.iter().map(|m| m.batches).sum();
+        assert_eq!(batches, 1, "one (sid, leaf) item → one grouped scan, c={c}");
+    }
+}
+
 #[test]
 fn snapshots_match_across_parameter_grid() {
     let events: Vec<Event> = WikiGrowth {

@@ -56,15 +56,25 @@ impl Graph {
                 let Some(&j) = index.get(&e.nbr) else {
                     continue;
                 };
-                if und.last() != Some(&j) {
-                    und.push(j);
-                }
+                und.push(j);
                 if matches!(e.dir, EdgeDir::Out | EdgeDir::Both) {
                     o.push(j);
                 }
                 half_edges += 1;
             }
+            // `StaticNode` keeps its edge-list sorted by `(nbr, dir)`,
+            // which would make adjacent-only dedup sufficient — but
+            // that invariant lives in another crate, so sort here
+            // rather than silently emitting duplicate neighbors (and
+            // corrupting degree-based algorithms) if it ever slips.
+            // The out view needs it even on well-formed input: a node
+            // can legitimately hold both an `Out` and a `Both` entry
+            // toward the same neighbor, which are two out-edges to
+            // one target.
+            und.sort_unstable();
             und.dedup();
+            o.sort_unstable();
+            o.dedup();
             neighbors.push(und);
             out.push(o);
             nodes.push(n);
@@ -173,6 +183,60 @@ mod tests {
         let g = triangle_plus_tail();
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 4);
+    }
+
+    /// Regression: a node holding several edge entries toward the same
+    /// neighbor (one per direction) must collapse to one undirected
+    /// adjacency entry — duplicates would inflate degree-based
+    /// algorithms.
+    #[test]
+    fn duplicate_direction_entries_dedup_in_adjacency() {
+        use hgs_delta::{EdgeDir, Neighbor, StaticNode};
+        let mut d = Delta::new();
+        let mut a = StaticNode::new(1);
+        a.insert_edge(Neighbor::new(2, EdgeDir::In));
+        a.insert_edge(Neighbor::new(2, EdgeDir::Out));
+        a.insert_edge(Neighbor::new(3, EdgeDir::Both));
+        let mut b = StaticNode::new(2);
+        b.insert_edge(Neighbor::new(1, EdgeDir::Out));
+        b.insert_edge(Neighbor::new(1, EdgeDir::In));
+        d.insert(a);
+        d.insert(b);
+        d.insert(StaticNode::new(3));
+        let g = Graph::from_delta(d);
+        let i1 = g.idx(1).unwrap();
+        let i2 = g.idx(2).unwrap();
+        assert_eq!(
+            g.neighbors(i1),
+            &[i2.min(g.idx(3).unwrap()), i2.max(g.idx(3).unwrap())]
+        );
+        assert_eq!(g.neighbors(i2), &[i1]);
+        for (i, _) in g.iter() {
+            let ns = g.neighbors(i);
+            assert!(
+                ns.windows(2).all(|w| w[0] < w[1]),
+                "sorted, unique adjacency"
+            );
+        }
+    }
+
+    /// The directed (out) view dedups too: `Out` + `Both` entries
+    /// toward one neighbor are two out-edges to a single target, and
+    /// listing it twice would skew PageRank-style weight splitting.
+    #[test]
+    fn out_and_both_entries_dedup_in_out_adjacency() {
+        use hgs_delta::{EdgeDir, Neighbor, StaticNode};
+        let mut d = Delta::new();
+        let mut a = StaticNode::new(1);
+        a.insert_edge(Neighbor::new(2, EdgeDir::Out));
+        a.insert_edge(Neighbor::new(2, EdgeDir::Both));
+        d.insert(a);
+        d.insert(StaticNode::new(2));
+        let g = Graph::from_delta(d);
+        let i1 = g.idx(1).unwrap();
+        let i2 = g.idx(2).unwrap();
+        assert_eq!(g.out_neighbors(i1), &[i2], "out view lists 2 once");
+        assert_eq!(g.neighbors(i1), &[i2]);
     }
 
     #[test]

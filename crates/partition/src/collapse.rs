@@ -317,6 +317,8 @@ impl CollapsedGraph {
         weighting: NodeWeighting,
         avg_deg: Option<FxHashMap<NodeId, f64>>,
     ) -> CollapsedGraph {
+        // `nodes` arrives in hash-set iteration order: the sort
+        // immediately before the adjacent-only `dedup` is load-bearing.
         nodes.sort_unstable();
         nodes.dedup();
         let mut index = FxHashMap::default();

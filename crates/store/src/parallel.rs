@@ -8,6 +8,16 @@
 //! deserialization-heavy fetches; for `c` beyond the core count the
 //! cost model (see [`crate::cost`]) supplies the cluster-shaped
 //! estimate.
+//!
+//! [`parallel_steal`] replaces the static split with a shared work
+//! queue: workers pull the next pending item as soon as they finish
+//! their current one, so a skewed item distribution (hot partitions,
+//! fat leaves) no longer gates the whole batch on the unluckiest
+//! chunk. Output order stays deterministic — every item writes its
+//! result into its own input-indexed slot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `f` over `items` split into at most `c` contiguous chunks, each
 /// chunk on its own thread; results are concatenated in input order.
@@ -97,10 +107,69 @@ where
         .collect()
 }
 
+/// Number of worker threads [`parallel_steal`] actually uses for `c`
+/// requested clients over `items` work items: the fan-out is clamped
+/// to the item count, so a degenerate batch (e.g. a single-point
+/// snapshot with one `(sid, leaf)` item) never spawns idle threads.
+#[inline]
+pub fn steal_worker_count(c: usize, items: usize) -> usize {
+    c.max(1).min(items.max(1))
+}
+
+/// Run `f` over every item on up to `c` worker threads pulling from a
+/// shared queue (work-stealing by next-item claim): a worker that
+/// finishes a cheap item immediately claims the next pending one, so
+/// one slow item delays only its own thread, not a statically-assigned
+/// chunk of followers. Results land in input order.
+///
+/// The fan-out is clamped to the item count
+/// ([`steal_worker_count`]); one effective worker (or `c == 1`, or a
+/// single item) runs inline with no thread spawn.
+pub fn parallel_steal<T, R, F>(items: Vec<T>, c: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = steal_worker_count(c, items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let (queue, slots, next, f) = (&queue, &slots, &next, &f);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = queue[i]
+                    .lock()
+                    .expect("work item lock")
+                    .take()
+                    .expect("each item is claimed exactly once");
+                let r = f(item);
+                *slots[i].lock().expect("result slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every claimed item wrote its slot")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn chunks_preserve_order() {
@@ -128,6 +197,56 @@ mod tests {
     fn more_clients_than_items() {
         let out = parallel_chunks(vec![5], 16, |c| c);
         assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn steal_preserves_order_and_runs_everything() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = parallel_steal(items.clone(), 4, |x| x * 3);
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn steal_worker_count_clamps_to_items() {
+        assert_eq!(steal_worker_count(8, 1), 1);
+        assert_eq!(steal_worker_count(8, 3), 3);
+        assert_eq!(steal_worker_count(2, 100), 2);
+        assert_eq!(steal_worker_count(0, 5), 1, "c=0 treated as 1");
+        assert_eq!(steal_worker_count(4, 0), 1, "empty batch still valid");
+    }
+
+    /// A degenerate batch (one item) must run inline on the caller's
+    /// thread — `clients` threads for one `(sid, leaf)` item would be
+    /// pure overhead.
+    #[test]
+    fn steal_single_item_runs_inline() {
+        let caller = std::thread::current().id();
+        let out = parallel_steal(vec![7u64], 16, |x| (x + 1, std::thread::current().id()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 8);
+        assert_eq!(out[0].1, caller, "single work item must not spawn");
+        let empty: Vec<u64> = parallel_steal(Vec::<u64>::new(), 8, |x| x);
+        assert!(empty.is_empty());
+    }
+
+    /// Dynamic claim: a slow head item must not serialize the rest
+    /// behind it the way a contiguous chunk split would.
+    #[test]
+    fn steal_drains_queue_past_a_slow_item() {
+        let done = AtomicUsize::new(0);
+        let out = parallel_steal((0..16usize).collect(), 4, |i| {
+            if i == 0 {
+                // Head item is slow; other workers keep claiming.
+                while done.load(Ordering::SeqCst) < 12 {
+                    std::thread::yield_now();
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+            i * i
+        });
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(done.load(Ordering::SeqCst), 16);
     }
 
     #[test]

@@ -69,9 +69,16 @@ impl NodeT {
             .unwrap_or_default()
     }
 
-    /// Distinct timepoints at which this node changed.
+    /// Distinct timepoints at which this node changed, ascending.
+    ///
+    /// TGI-fetched histories arrive chronologically sorted, but
+    /// [`NodeT::new`] accepts any caller-assembled [`NodeHistory`]
+    /// (e.g. merged from several sources), so sort before dedup —
+    /// `Vec::dedup` alone only removes *adjacent* duplicates and
+    /// would leave repeats of a timestamp that recurs non-adjacently.
     pub fn change_points(&self) -> Vec<Time> {
         let mut ts: Vec<Time> = self.history.events.iter().map(|e| e.time).collect();
+        ts.sort_unstable();
         ts.dedup();
         ts
     }
@@ -246,5 +253,32 @@ mod tests {
         let n = sample();
         assert_eq!(n.change_points(), vec![20, 40, 60]);
         assert_eq!(n.change_count(), 3);
+    }
+
+    /// Regression: a caller-assembled history whose events are not
+    /// chronologically sorted (a timestamp recurring non-adjacently)
+    /// used to leak duplicate change points through the adjacent-only
+    /// `Vec::dedup`.
+    #[test]
+    fn change_points_dedup_non_adjacent_duplicates() {
+        let mk = |t: Time, dst: NodeId| {
+            Event::new(
+                t,
+                EventKind::AddEdge {
+                    src: 1,
+                    dst,
+                    weight: 1.0,
+                    directed: false,
+                },
+            )
+        };
+        let n = NodeT::new(NodeHistory {
+            id: 1,
+            range: TimeRange::new(0, 100),
+            initial: None,
+            // t=20 recurs with t=10 in between: unsorted merge order.
+            events: vec![mk(20, 2), mk(10, 3), mk(20, 4)],
+        });
+        assert_eq!(n.change_points(), vec![10, 20]);
     }
 }

@@ -214,6 +214,8 @@ impl SoN {
         let fa: FxHashMap<NodeId, f64> = a.node_compute(&f).into_iter().collect();
         let fb: FxHashMap<NodeId, f64> = b.node_compute(&f).into_iter().collect();
         let mut ids: Vec<NodeId> = fa.keys().chain(fb.keys()).copied().collect::<Vec<_>>();
+        // Hash-map key order is arbitrary: the sort immediately before
+        // the adjacent-only `dedup` is load-bearing.
         ids.sort_unstable();
         ids.dedup();
         ids.into_iter()

@@ -103,9 +103,15 @@ impl SubgraphT {
         }
     }
 
-    /// Distinct change timepoints.
+    /// Distinct change timepoints, ascending.
+    ///
+    /// `events` is sorted by the constructor, but sort again before
+    /// dedup anyway: `Vec::dedup` only removes *adjacent* duplicates,
+    /// so this stays correct even if a future construction path stops
+    /// guaranteeing chronological order.
     pub fn change_points(&self) -> Vec<Time> {
         let mut ts: Vec<Time> = self.events.iter().map(|e| e.time).collect();
+        ts.sort_unstable();
         ts.dedup();
         ts
     }
@@ -228,6 +234,33 @@ mod tests {
         let v = s.versions();
         assert_eq!(v.len(), 4, "initial + 3 distinct times");
         assert_eq!(s.change_points(), vec![20, 30, 40]);
+    }
+
+    /// Regression companion to the `NodeT::change_points` fix: events
+    /// handed to the constructor out of order (a timestamp recurring
+    /// non-adjacently) must still yield sorted, unique change points.
+    #[test]
+    fn change_points_dedup_unsorted_input() {
+        let members: FxHashSet<NodeId> = [1u64, 2, 3, 4].into_iter().collect();
+        let mk = |t, src, dst| {
+            Event::new(
+                t,
+                EventKind::AddEdge {
+                    src,
+                    dst,
+                    weight: 1.0,
+                    directed: false,
+                },
+            )
+        };
+        let s = SubgraphT::new(
+            1,
+            members,
+            Delta::new(),
+            vec![mk(30, 1, 2), mk(20, 2, 3), mk(30, 3, 4)],
+            TimeRange::new(10, 100),
+        );
+        assert_eq!(s.change_points(), vec![20, 30]);
     }
 
     #[test]
