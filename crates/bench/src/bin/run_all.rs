@@ -22,5 +22,6 @@ fn main() {
     e::ablation_horizontal();
     e::multipoint();
     e::read_cache();
+    e::build_ingest();
     eprintln!("# run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,0 +1,233 @@
+//! Build/ingest benchmark: the batched, parallel write path vs the
+//! seed row-at-a-time sequential construction (§4.4 *Construction and
+//! Update*).
+//!
+//! The trace is split ~80/20 into a bulk build and a streaming append
+//! (the paper's "create an independent TGI with the new events and
+//! merge"). Three write paths are compared on identical events:
+//!
+//! * **seed** — fused sequential encode, one store `put` per encoded
+//!   row (`write_batch_rows = 0`), the pre-batching reference;
+//! * **batched** — per-`sid` span encoding (inline at `c = 1`, on the
+//!   work-stealing queue above; `HGS_CLIENTS` sweep, default
+//!   `1,2,4`), rows buffered and flushed as one `put_batch` round
+//!   trip per machine.
+//!
+//! Before timing, every batched variant's final store is asserted
+//! **byte-identical** to the seed's (row-for-row table/key/value
+//! equality per machine) — the equivalence the write path guarantees.
+//! Reported per variant: build and append wall seconds (median of
+//! three), per-row put count, write-batch round trips, and rows per
+//! batch. The CI smoke gate requires batched round trips ≤ 10% of the
+//! put count and batched `c=1` no slower than seed.
+
+use std::sync::Arc;
+
+use hgs_core::{Tgi, TgiConfig};
+use hgs_delta::Event;
+use hgs_store::{SimStore, StoreConfig};
+
+use crate::datasets::*;
+use crate::harness::*;
+
+/// One write-path variant's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildRow {
+    /// Build parallelism (work-stealing clients for span encoding).
+    pub clients: usize,
+    /// `true` for the seed row-at-a-time reference path.
+    pub seed_path: bool,
+    /// Bulk-build wall seconds (median of three fresh builds).
+    pub build_secs: f64,
+    /// Streaming-append wall seconds for the remaining ~20%.
+    pub append_secs: f64,
+    /// Rows written (one logical put per row per replica).
+    pub puts: u64,
+    /// Batched write round trips across machines (0 on the seed path).
+    pub write_batches: u64,
+}
+
+impl BuildRow {
+    /// Average rows shipped per batched round trip.
+    pub fn rows_per_batch(&self) -> f64 {
+        if self.write_batches == 0 {
+            return 0.0;
+        }
+        self.puts as f64 / self.write_batches as f64
+    }
+}
+
+/// Split a trace at a timestamp-group boundary near `frac` of its
+/// length (appends may not start before the index's end of history).
+pub fn split_for_ingest(events: &[Event], frac: f64) -> usize {
+    let mut split = ((events.len() as f64) * frac) as usize;
+    while split > 0 && split < events.len() && events[split].time <= events[split - 1].time {
+        split += 1;
+    }
+    split.min(events.len())
+}
+
+/// Run one full build + append on a fresh cluster, returning the
+/// handle's store for content checks.
+fn run_once(
+    cfg: TgiConfig,
+    store_cfg: StoreConfig,
+    build_events: &[Event],
+    append_events: &[Event],
+    c: usize,
+) -> (f64, f64, Arc<SimStore>) {
+    let store = Arc::new(SimStore::new(store_cfg));
+    let t0 = std::time::Instant::now();
+    let mut tgi = Tgi::try_build_on_c(cfg, store.clone(), build_events, c).expect("healthy build");
+    let build_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    tgi.try_append_events(append_events)
+        .expect("healthy append");
+    let append_secs = t1.elapsed().as_secs_f64();
+    (build_secs, append_secs, store)
+}
+
+/// Measure one variant: median-of-three timings over fresh clusters,
+/// store stats bracketed over the last run, and that run's store
+/// returned for the equality assertion.
+fn measure_variant(
+    cfg: TgiConfig,
+    store_cfg: StoreConfig,
+    build_events: &[Event],
+    append_events: &[Event],
+    c: usize,
+    seed_path: bool,
+) -> (BuildRow, Arc<SimStore>) {
+    let cfg = if seed_path {
+        cfg.with_write_batch_rows(0)
+    } else {
+        cfg
+    };
+    let mut builds = [0.0f64; 3];
+    let mut appends = [0.0f64; 3];
+    let mut last_store = None;
+    for i in 0..3 {
+        let (b, a, store) = run_once(cfg, store_cfg, build_events, append_events, c);
+        builds[i] = b;
+        appends[i] = a;
+        last_store = Some(store);
+    }
+    let store = last_store.expect("three runs happened");
+    let stats = store.stats_snapshot();
+    let row = BuildRow {
+        clients: c,
+        seed_path,
+        build_secs: median3(builds),
+        append_secs: median3(appends),
+        puts: stats.iter().map(|m| m.puts).sum(),
+        write_batches: stats.iter().map(|m| m.put_batches).sum(),
+    };
+    (row, store)
+}
+
+/// The build/ingest experiment over dataset 1, printed as TSV and
+/// returned for JSON emission: the seed reference row first, then the
+/// batched clients sweep.
+pub fn build_ingest() -> Vec<BuildRow> {
+    banner(
+        "BuildIngest",
+        "batched parallel TGI construction + streaming append vs seed sequential",
+        "m=4 r=1 ps=500 l=500, 80/20 build/append, c from HGS_CLIENTS (default 1,2,4)",
+    );
+    let events = dataset1();
+    let split = split_for_ingest(&events, 0.8);
+    let (build_events, append_events) = events.split_at(split);
+    let cfg = paper_default_cfg();
+    let store_cfg = StoreConfig::new(4, 1);
+
+    header(&[
+        "path",
+        "c",
+        "build_s",
+        "append_s",
+        "puts",
+        "write_batches",
+        "rows_per_batch",
+    ]);
+    let mut rows = Vec::new();
+    let mut push = |row: BuildRow| {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.1}",
+            if row.seed_path { "seed" } else { "batched" },
+            row.clients,
+            secs(row.build_secs),
+            secs(row.append_secs),
+            row.puts,
+            row.write_batches,
+            row.rows_per_batch(),
+        );
+        rows.push(row);
+    };
+
+    let (seed_row, seed_store) =
+        measure_variant(cfg, store_cfg, build_events, append_events, 1, true);
+    let reference = seed_store.content_rows();
+    push(seed_row);
+    for c in clients_sweep() {
+        let (row, store) = measure_variant(cfg, store_cfg, build_events, append_events, c, false);
+        assert_eq!(
+            store.content_rows(),
+            reference,
+            "batched build+ingest (c={c}) must be byte-identical to the seed sequential store"
+        );
+        assert!(
+            row.write_batches > 0 && row.write_batches < row.puts,
+            "batched path (c={c}) must group writes: {} batches for {} puts",
+            row.write_batches,
+            row.puts
+        );
+        push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_datagen::WikiGrowth;
+
+    #[test]
+    fn split_snaps_to_timestamp_boundary() {
+        let ev = WikiGrowth::sized(2_000).generate();
+        let split = split_for_ingest(&ev, 0.8);
+        assert!(split > 0 && split <= ev.len());
+        if split < ev.len() {
+            assert!(
+                ev[split].time > ev[split - 1].time,
+                "split must not divide a timestamp group"
+            );
+        }
+    }
+
+    /// Small-scale end-to-end: batched variants byte-match the seed
+    /// store and issue far fewer write round trips than rows.
+    #[test]
+    fn batched_variants_match_seed_and_group_writes() {
+        let events = WikiGrowth::sized(4_000).generate();
+        let split = split_for_ingest(&events, 0.8);
+        let (build_events, append_events) = events.split_at(split);
+        let cfg = paper_default_cfg();
+        let store_cfg = StoreConfig::new(4, 1);
+        let (seed_row, seed_store) =
+            measure_variant(cfg, store_cfg, build_events, append_events, 1, true);
+        assert_eq!(seed_row.write_batches, 0, "seed path writes row-at-a-time");
+        let reference = seed_store.content_rows();
+        for c in [1usize, 2] {
+            let (row, store) =
+                measure_variant(cfg, store_cfg, build_events, append_events, c, false);
+            assert_eq!(store.content_rows(), reference, "c={c}");
+            assert_eq!(row.puts, seed_row.puts, "same rows, same put count");
+            assert!(
+                row.write_batches * 10 <= row.puts,
+                "c={c}: {} batches for {} puts",
+                row.write_batches,
+                row.puts
+            );
+        }
+    }
+}

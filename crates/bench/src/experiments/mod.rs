@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod analytics;
+pub mod build_ingest;
 pub mod multipoint;
 pub mod partitioning;
 pub mod read_cache;
@@ -12,6 +13,7 @@ pub mod versions;
 
 pub use ablation::{ablation_arity, ablation_horizontal, ablation_timespan};
 pub use analytics::{fig15c, fig17};
+pub use build_ingest::{build_ingest, BuildRow};
 pub use multipoint::{multipoint, multipoint_row, MultipointRow};
 pub use partitioning::fig15a;
 pub use read_cache::{read_cache, zipf_sequence, CacheRow};

@@ -22,6 +22,25 @@
 //! paper's "create an independent TGI with the new events and merge":
 //! new timespans continue the id sequence, the previous last span's
 //! open time range is closed, and version chains are extended.
+//!
+//! ## Write path
+//!
+//! Construction and ingest write at store speed: every encoded row of
+//! a span (tree micro-deltas, eventlists, aux boundary deltas, version
+//! chains, partition maps) is pushed into a [`WriteBuffer`] and
+//! flushed through [`SimStore::put_batch`] — **one round trip per
+//! machine per flush** instead of one per row
+//! ([`TgiConfig::write_batch_rows`] bounds the buffer; `0` restores
+//! the seed row-at-a-time reference path). When the handle's client
+//! width ([`Tgi::set_clients`]) exceeds one, the span's heavy
+//! per-`(sid, pid)` encoding runs as one work item per horizontal
+//! partition on [`hgs_store::parallel::parallel_steal`]: each item
+//! replays the span scoped to its `sid` (full-state replay when aux
+//! boundary replication needs other partitions' node records), builds
+//! its own intersection tree, buckets its eventlists and collects its
+//! (disjoint) version-chain entries; outputs merge in deterministic
+//! `sid` order. Both paths are property-tested to produce byte-for-byte
+//! identical stores.
 
 use std::sync::Arc;
 
@@ -32,7 +51,11 @@ use hgs_partition::{
     CollapsedGraph, LocalityPartitioner, PartitionMap, Partitioner, RandomPartitioner,
 };
 use hgs_store::key::{node_key, node_placement_token};
-use hgs_store::{CostModel, DeltaKey, PlacementKey, SimStore, StoreConfig, StoreError, Table};
+use hgs_store::parallel::{parallel_steal, steal_worker_count};
+use hgs_store::{
+    CostModel, DeltaKey, PlacementKey, PutRow, SimStore, StoreConfig, StoreError, Table,
+    WriteBuffer,
+};
 
 use crate::config::{PartitionStrategy, TgiConfig};
 use crate::meta::{
@@ -152,6 +175,32 @@ impl Tgi {
         store: Arc<SimStore>,
         events: &[Event],
     ) -> Result<Tgi, BuildError> {
+        Tgi::try_build_on_c(cfg, store, events, 1)
+    }
+
+    /// Fallible [`Tgi::build`] with an explicit build parallelism `c`:
+    /// span encoding fans out over `c` work-stealing clients (one work
+    /// item per horizontal partition). Like the read-side `_c` query
+    /// variants, `c` is taken as-is — production callers should prefer
+    /// [`Tgi::set_clients`], which clamps to the host's parallelism.
+    pub fn try_build_c(
+        cfg: TgiConfig,
+        store_cfg: StoreConfig,
+        events: &[Event],
+        c: usize,
+    ) -> Result<Tgi, BuildError> {
+        Tgi::try_build_on_c(cfg, Arc::new(SimStore::new(store_cfg)), events, c)
+    }
+
+    /// Fallible [`Tgi::build_on`] with an explicit build parallelism
+    /// `c` (see [`Tgi::try_build_c`]). The returned handle keeps `c`
+    /// as its client width for queries and further appends.
+    pub fn try_build_on_c(
+        cfg: TgiConfig,
+        store: Arc<SimStore>,
+        events: &[Event],
+        c: usize,
+    ) -> Result<Tgi, BuildError> {
         cfg.validate();
         let mut tgi = Tgi {
             cfg,
@@ -160,7 +209,7 @@ impl Tgi {
             tail_state: Delta::new(),
             end_time: 0,
             cost: CostModel::default(),
-            clients: 1,
+            clients: c.max(1),
             event_count: 0,
             read_cache: crate::read_cache::ReadCache::new(cfg.read_cache_bytes),
             poisoned: false,
@@ -326,9 +375,28 @@ impl Tgi {
         &self.tail_state
     }
 
-    /// Default number of parallel fetch clients used by queries.
+    /// Default number of parallel clients used by queries and by the
+    /// write path's span encoding (`append_events`), **clamped to the
+    /// host's available parallelism**: on a small box an
+    /// over-provisioned `c` only adds thread spawn/teardown overhead
+    /// (the cost model, not wall-clock, answers "what would a bigger
+    /// cluster do"). Explicit-`c` calls (`snapshots_c`,
+    /// `try_build_on_c`) and [`Tgi::set_clients_forced`] bypass the
+    /// clamp.
     pub fn set_clients(&mut self, c: usize) {
+        self.clients = clamp_clients(c);
+    }
+
+    /// [`Tgi::set_clients`] without the host-parallelism clamp — the
+    /// escape hatch for tests and benches that must exercise real
+    /// thread interleavings on boxes with fewer cores than `c`.
+    pub fn set_clients_forced(&mut self, c: usize) {
         self.clients = c.max(1);
+    }
+
+    /// The handle's current client width.
+    pub fn clients(&self) -> usize {
+        self.clients
     }
 
     /// Latency model used for `modeled_secs` in fetch reports.
@@ -350,6 +418,23 @@ impl Tgi {
     // ------------------------------------------------------------------
 
     fn build_span(&mut self, events: &[Event], range: TimeRange) -> Result<(), StoreError> {
+        let store = Arc::clone(&self.store);
+        let mut buf = WriteBuffer::new(&store, self.cfg.write_batch_rows);
+        let result = self.build_span_buffered(events, range, &mut buf);
+        if result.is_err() {
+            // The build already failed; pending rows would only trip
+            // the buffer's lost-write drop guard.
+            buf.abandon();
+        }
+        result
+    }
+
+    fn build_span_buffered(
+        &mut self,
+        events: &[Event],
+        range: TimeRange,
+        buf: &mut WriteBuffer<'_>,
+    ) -> Result<(), StoreError> {
         let cfg = self.cfg;
         let tsid = self.spans.len() as u32;
         let ns = cfg.horizontal_partitions;
@@ -368,70 +453,57 @@ impl Tgi {
         // 2. Partition maps per sid.
         let maps = self.compute_maps(events, range, ns);
         let pid_counts: Vec<u32> = maps.iter().map(|m| m.parts()).collect();
+        let replicate = matches!(
+            cfg.strategy,
+            PartitionStrategy::Locality {
+                replicate_boundary: true
+            }
+        );
 
         // 3-5. Replay the span, emitting leaves / eventlists / aux /
-        // chain entries.
-        let mut accs: Vec<TreeAccumulator> = (0..ns)
-            .map(|_| TreeAccumulator::new(shape.clone()))
-            .collect();
+        // chain entries. The seed reference mode (`write_batch_rows ==
+        // 0`) always runs the fused single pass — the faithful
+        // row-at-a-time baseline. The batched path runs the per-sid
+        // item encode even at width 1 (inline, no threads): scoped
+        // replay clones each checkpoint's state once instead of the
+        // fused pass's partition-then-clone twice, which alone roughly
+        // halves build time. Exception: aux boundary replication at
+        // width 1 stays fused, since per-sid items must then replay
+        // the *full* state each (ns× the work) to see neighbor
+        // records. All paths produce identical rows (property-tested).
+        let workers = steal_worker_count(self.clients, ns as usize);
+        let seed_mode = cfg.write_batch_rows == 0;
         let mut chains: FxHashMap<NodeId, Vec<ChainEntry>> = FxHashMap::default();
-
-        for j in 0..q {
-            // Leaf j: per-sid partitioned snapshot of the current state.
-            let parts = partition_state(&self.tail_state, ns);
-            let replicate = matches!(
-                cfg.strategy,
-                PartitionStrategy::Locality {
-                    replicate_boundary: true
-                }
-            );
-            for sid in 0..ns {
-                if replicate {
-                    self.store_aux(tsid, sid, j as u64, &self.tail_state, &maps)?;
-                }
-                let did_of = |level: usize, idx: usize| shape_did(&shape, level, idx);
-                let map = &maps[sid as usize];
-                let mut io_err: Option<StoreError> = None;
-                accs[sid as usize].push_leaf(
-                    parts[sid as usize].clone(),
-                    &mut |level, idx, delta| {
-                        let did = did_of(level, idx);
-                        if io_err.is_none() {
-                            io_err = store_micro(&self.store, tsid, sid, did, delta, map).err();
-                        }
-                    },
-                );
-                if let Some(e) = io_err {
-                    return Err(e);
-                }
-            }
-
-            // Chunk j (if events exist): store partitioned eventlists,
-            // collect chain entries, advance the state.
-            if let Some(&(s, e)) = chunk_bounds.get(j) {
-                let chunk = &events[s..e];
-                self.store_eventlists(tsid, j as u32, chunk, &maps, &mut chains)?;
-                for ev in chunk {
-                    self.tail_state.apply_event(&ev.kind);
-                }
-            }
-        }
-        // Finalize trees (store roots and remaining derived deltas).
-        for sid in 0..ns {
-            let map = &maps[sid as usize];
-            let mut io_err: Option<StoreError> = None;
-            accs[sid as usize].finalize(&mut |level, idx, delta| {
-                let did = shape_did(&shape, level, idx);
-                if io_err.is_none() {
-                    io_err = store_micro(&self.store, tsid, sid, did, delta, map).err();
-                }
-            });
-            if let Some(e) = io_err {
-                return Err(e);
-            }
+        if seed_mode || (replicate && workers <= 1) {
+            self.encode_span_fused(
+                events,
+                &chunk_bounds,
+                q,
+                &shape,
+                &maps,
+                tsid,
+                replicate,
+                buf,
+                &mut chains,
+            )?;
+        } else {
+            self.encode_span_parallel(
+                events,
+                &chunk_bounds,
+                q,
+                &shape,
+                &maps,
+                tsid,
+                replicate,
+                buf,
+                &mut chains,
+            )?;
         }
 
-        // Version chains: read-modify-write per node.
+        // Version chains: read-modify-write per node, written through
+        // the buffer. Safe against read-own-buffered-write: a node's
+        // chain row is written at most once per span, and the previous
+        // span's rows were flushed before this span began.
         if cfg.version_chains {
             for (nid, mut entries) in chains {
                 entries.sort_by_key(|e| e.time);
@@ -442,13 +514,7 @@ impl Tgi {
                     None => Vec::new(),
                 };
                 chain.extend(entries);
-                put_checked(
-                    &self.store,
-                    Table::Versions,
-                    &key,
-                    token,
-                    encode_chain(&chain),
-                )?;
+                buf.push(Table::Versions, key.to_vec(), token, encode_chain(&chain))?;
             }
         }
 
@@ -457,15 +523,18 @@ impl Tgi {
             for (sid, map) in maps.iter().enumerate() {
                 let blob = encode_partition_map(map, &self.tail_state, ns, sid as u32);
                 let key = mp_key(tsid, sid as u32);
-                put_checked(
-                    &self.store,
+                buf.push(
                     Table::Micropartitions,
-                    &key,
+                    key.to_vec(),
                     PlacementKey::new(tsid, sid as u32).token(),
                     blob,
                 )?;
             }
         }
+
+        // Ship the span's remaining rows before the metadata row that
+        // makes them reachable.
+        buf.flush()?;
 
         let meta = TimespanMeta {
             tsid,
@@ -473,15 +542,162 @@ impl Tgi {
             checkpoints,
             shape,
             pid_counts,
-            has_aux: matches!(
-                cfg.strategy,
-                PartitionStrategy::Locality {
-                    replicate_boundary: true
-                }
-            ),
+            has_aux: replicate,
         };
         self.spans.push(SpanRuntime { meta, maps });
         self.persist_meta(self.spans.len() - 1)
+    }
+
+    /// Seed-structure span encoding: one fused pass that replays the
+    /// span once, pushing each sid's leaf into its accumulator and
+    /// bucketing each chunk's eventlists for all sids together. Rows
+    /// go to the write buffer (which may flush mid-span and surface a
+    /// store error).
+    #[allow(clippy::too_many_arguments)]
+    fn encode_span_fused(
+        &mut self,
+        events: &[Event],
+        chunk_bounds: &[(usize, usize)],
+        q: usize,
+        shape: &TreeShape,
+        maps: &[PartitionMap],
+        tsid: u32,
+        replicate: bool,
+        buf: &mut WriteBuffer<'_>,
+        chains: &mut FxHashMap<NodeId, Vec<ChainEntry>>,
+    ) -> Result<(), StoreError> {
+        let cfg = self.cfg;
+        let ns = cfg.horizontal_partitions;
+        let mut accs: Vec<TreeAccumulator> = (0..ns)
+            .map(|_| TreeAccumulator::new(shape.clone()))
+            .collect();
+        for j in 0..q {
+            // Leaf j: per-sid partitioned snapshot of the current state.
+            let parts = partition_state(&self.tail_state, ns);
+            for sid in 0..ns {
+                if replicate {
+                    let mut emit = |row: PutRow| buf.push_row(row);
+                    emit_aux(tsid, sid, j as u64, &self.tail_state, maps, ns, &mut emit)?;
+                }
+                let map = &maps[sid as usize];
+                let mut io: Result<(), StoreError> = Ok(());
+                accs[sid as usize].push_leaf(
+                    parts[sid as usize].clone(),
+                    &mut |level, idx, delta| {
+                        if io.is_ok() {
+                            let mut emit = |row: PutRow| buf.push_row(row);
+                            io =
+                                emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit);
+                        }
+                    },
+                );
+                io?;
+            }
+
+            // Chunk j (if events exist): emit partitioned eventlists,
+            // collect chain entries, advance the state.
+            if let Some(&(s, e)) = chunk_bounds.get(j) {
+                let chunk = &events[s..e];
+                let buckets = bucket_chunk(
+                    chunk,
+                    maps,
+                    ns,
+                    None,
+                    tsid,
+                    j as u32,
+                    cfg.version_chains,
+                    chains,
+                );
+                let mut emit = |row: PutRow| buf.push_row(row);
+                emit_eventlist_rows(tsid, j as u32, buckets, &mut emit)?;
+                for ev in chunk {
+                    self.tail_state.apply_event(&ev.kind);
+                }
+            }
+        }
+        // Finalize trees (emit roots and remaining derived deltas).
+        for sid in 0..ns {
+            let map = &maps[sid as usize];
+            let mut io: Result<(), StoreError> = Ok(());
+            accs[sid as usize].finalize(&mut |level, idx, delta| {
+                if io.is_ok() {
+                    let mut emit = |row: PutRow| buf.push_row(row);
+                    io = emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit);
+                }
+            });
+            io?;
+        }
+        Ok(())
+    }
+
+    /// Parallel span encoding: one work item per horizontal partition
+    /// on the work-stealing queue ([`parallel_steal`], fan-out clamped
+    /// to `min(clients, ns)`). Each item replays the span restricted
+    /// to its own `sid` (or over the full state when aux boundary
+    /// replication needs other partitions' node records), building its
+    /// intersection tree, eventlist buckets and chain entries
+    /// independently; encoded rows are buffered in-memory per item and
+    /// merged into the write buffer in deterministic `sid` order. The
+    /// driver advances the tail state by the same replay sequence the
+    /// fused path applies, keeping the two paths byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_span_parallel(
+        &mut self,
+        events: &[Event],
+        chunk_bounds: &[(usize, usize)],
+        q: usize,
+        shape: &TreeShape,
+        maps: &[PartitionMap],
+        tsid: u32,
+        replicate: bool,
+        buf: &mut WriteBuffer<'_>,
+        chains: &mut FxHashMap<NodeId, Vec<ChainEntry>>,
+    ) -> Result<(), StoreError> {
+        let cfg = self.cfg;
+        let ns = cfg.horizontal_partitions;
+        // Per-item starting state: the sid's own partition for scoped
+        // replay, or a full-state clone when aux rows must look up
+        // out-of-partition neighbor records.
+        let items: Vec<(u32, Delta)> = if replicate {
+            (0..ns).map(|sid| (sid, self.tail_state.clone())).collect()
+        } else {
+            partition_state(&self.tail_state, ns)
+                .into_iter()
+                .enumerate()
+                .map(|(sid, part)| (sid as u32, part))
+                .collect()
+        };
+        let outputs: Vec<SidSpanOutput> = parallel_steal(items, self.clients, |(sid, state)| {
+            encode_sid_span(SidSpanJob {
+                sid,
+                state,
+                events,
+                chunk_bounds,
+                q,
+                shape,
+                maps,
+                tsid,
+                ns,
+                replicate,
+                version_chains: cfg.version_chains,
+            })
+        });
+        // Advance the tail state with the same apply sequence as the
+        // fused path (identical internal ordering keeps later
+        // normalization deterministic across handles).
+        for ev in events {
+            self.tail_state.apply_event(&ev.kind);
+        }
+        for out in outputs {
+            for row in out.rows {
+                buf.push_row(row)?;
+            }
+            for (nid, entries) in out.chains {
+                let prev = chains.insert(nid, entries);
+                debug_assert!(prev.is_none(), "chain entries are disjoint across sids");
+            }
+        }
+        Ok(())
     }
 
     fn compute_maps(&self, events: &[Event], range: TimeRange, ns: u32) -> Vec<PartitionMap> {
@@ -519,114 +735,6 @@ impl Tgi {
                     .collect()
             }
         }
-    }
-
-    fn store_eventlists(
-        &self,
-        tsid: u32,
-        chunk_idx: u32,
-        chunk: &[Event],
-        maps: &[PartitionMap],
-        chains: &mut FxHashMap<NodeId, Vec<ChainEntry>>,
-    ) -> Result<(), StoreError> {
-        let ns = self.cfg.horizontal_partitions;
-        // (sid, pid) -> events, in chunk order.
-        let mut buckets: FxHashMap<(u32, u32), Vec<Event>> = FxHashMap::default();
-        for ev in chunk {
-            let (a, b) = ev.kind.touched();
-            // Target buckets for this event instance: each distinct
-            // (sid, pid) gets exactly one copy. Comparing bucket keys —
-            // not event values — keeps genuinely duplicated events
-            // (which raw traces do contain) intact.
-            let ta = {
-                let sid = sid_of(a, ns);
-                (sid, maps[sid as usize].assign(a))
-            };
-            let tb = b.filter(|&b| b != a).map(|b| {
-                let sid = sid_of(b, ns);
-                (sid, maps[sid as usize].assign(b))
-            });
-            buckets.entry(ta).or_default().push(ev.clone());
-            if let Some(tb) = tb {
-                if tb != ta {
-                    buckets.entry(tb).or_default().push(ev.clone());
-                }
-            }
-            if self.cfg.version_chains {
-                let mut chain_push = |nid: NodeId, pid: u32| {
-                    let chain = chains.entry(nid).or_default();
-                    if chain.last().map(|e| (e.tsid, e.chunk, e.pid))
-                        != Some((tsid, chunk_idx, pid))
-                    {
-                        chain.push(ChainEntry {
-                            time: ev.time,
-                            tsid,
-                            chunk: chunk_idx,
-                            pid,
-                        });
-                    }
-                };
-                chain_push(a, ta.1);
-                if let Some(b) = b {
-                    if b != a {
-                        let sid = sid_of(b, ns);
-                        chain_push(b, maps[sid as usize].assign(b));
-                    }
-                }
-            }
-        }
-        for ((sid, pid), evs) in buckets {
-            let el = Eventlist::from_sorted(evs);
-            let key = DeltaKey::new(tsid, sid, ELIST_BASE + chunk_idx as u64, pid);
-            put_checked(
-                &self.store,
-                Table::Deltas,
-                &key.encode(),
-                key.placement().token(),
-                encode_eventlist(&el),
-            )?;
-        }
-        Ok(())
-    }
-
-    fn store_aux(
-        &self,
-        tsid: u32,
-        sid: u32,
-        leaf: u64,
-        state: &Delta,
-        maps: &[PartitionMap],
-    ) -> Result<(), StoreError> {
-        let ns = self.cfg.horizontal_partitions;
-        let map = &maps[sid as usize];
-        // For each pid of this sid: replicate states of out-of-partition
-        // 1-hop neighbors.
-        let mut aux: FxHashMap<u32, Delta> = FxHashMap::default();
-        for n in state.iter() {
-            if sid_of(n.id, ns) != sid {
-                continue;
-            }
-            let pid = map.assign(n.id);
-            for nbr in n.all_neighbors() {
-                let same = sid_of(nbr, ns) == sid && map.assign(nbr) == pid;
-                if !same {
-                    if let Some(nbr_state) = state.node(nbr) {
-                        aux.entry(pid).or_default().insert(nbr_state.clone());
-                    }
-                }
-            }
-        }
-        for (pid, delta) in aux {
-            let key = DeltaKey::new(tsid, sid, AUX_BASE + leaf, pid);
-            put_checked(
-                &self.store,
-                Table::Deltas,
-                &key.encode(),
-                key.placement().token(),
-                encode_delta(&delta),
-            )?;
-        }
-        Ok(())
     }
 
     fn persist_meta(&self, span_idx: usize) -> Result<(), StoreError> {
@@ -673,6 +781,261 @@ fn put_checked(
     Ok(())
 }
 
+/// Clamp a requested client width to the host's available
+/// parallelism (never below 1).
+pub(crate) fn clamp_clients(c: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    c.max(1).min(cores)
+}
+
+/// Everything one per-`sid` span-encoding work item needs, borrowed
+/// from the driver (the per-sid starting `state` is owned).
+struct SidSpanJob<'a> {
+    sid: u32,
+    state: Delta,
+    events: &'a [Event],
+    chunk_bounds: &'a [(usize, usize)],
+    q: usize,
+    shape: &'a TreeShape,
+    maps: &'a [PartitionMap],
+    tsid: u32,
+    ns: u32,
+    replicate: bool,
+    version_chains: bool,
+}
+
+/// One work item's encoded output: rows in deterministic emit order,
+/// plus this sid's (globally disjoint) version-chain entries.
+struct SidSpanOutput {
+    rows: Vec<PutRow>,
+    chains: FxHashMap<NodeId, Vec<ChainEntry>>,
+}
+
+/// Encode one horizontal partition's share of a span: replay the
+/// span's events — scoped to the sid's node set, or over the full
+/// state when aux replication needs out-of-partition neighbor records
+/// — pushing each checkpoint's partitioned snapshot into this sid's
+/// intersection tree and bucketing each chunk's eventlists. Purely
+/// in-memory: emitted rows are collected, never written, so work items
+/// cannot observe store failures (the driver's buffered flush does).
+fn encode_sid_span(job: SidSpanJob<'_>) -> SidSpanOutput {
+    let SidSpanJob {
+        sid,
+        mut state,
+        events,
+        chunk_bounds,
+        q,
+        shape,
+        maps,
+        tsid,
+        ns,
+        replicate,
+        version_chains,
+    } = job;
+    let map = &maps[sid as usize];
+    let mut rows: Vec<PutRow> = Vec::new();
+    let mut chains: FxHashMap<NodeId, Vec<ChainEntry>> = FxHashMap::default();
+    let mut acc = TreeAccumulator::new(shape.clone());
+    for j in 0..q {
+        let leaf = if replicate {
+            // Full-state replay: extract this sid's partition for the
+            // leaf and emit its aux boundary rows from the full state.
+            let mut emit = |row: PutRow| -> Result<(), StoreError> {
+                rows.push(row);
+                Ok(())
+            };
+            emit_aux(tsid, sid, j as u64, &state, maps, ns, &mut emit)
+                .expect("in-memory emit cannot fail");
+            let mut part = Delta::new();
+            for n in state.iter() {
+                if sid_of(n.id, ns) == sid {
+                    part.insert(n.clone());
+                }
+            }
+            part
+        } else {
+            state.clone()
+        };
+        acc.push_leaf(leaf, &mut |level, idx, delta| {
+            let mut emit = |row: PutRow| -> Result<(), StoreError> {
+                rows.push(row);
+                Ok(())
+            };
+            emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit)
+                .expect("in-memory emit cannot fail");
+        });
+        if let Some(&(s, e)) = chunk_bounds.get(j) {
+            let chunk = &events[s..e];
+            let buckets = bucket_chunk(
+                chunk,
+                maps,
+                ns,
+                Some(sid),
+                tsid,
+                j as u32,
+                version_chains,
+                &mut chains,
+            );
+            let mut emit = |row: PutRow| -> Result<(), StoreError> {
+                rows.push(row);
+                Ok(())
+            };
+            emit_eventlist_rows(tsid, j as u32, buckets, &mut emit)
+                .expect("in-memory emit cannot fail");
+            if replicate {
+                for ev in chunk {
+                    state.apply_event(&ev.kind);
+                }
+            } else {
+                for ev in chunk {
+                    crate::scope::apply_event_scoped(&mut state, &ev.kind, |id| {
+                        sid_of(id, ns) == sid
+                    });
+                }
+            }
+        }
+    }
+    acc.finalize(&mut |level, idx, delta| {
+        let mut emit = |row: PutRow| -> Result<(), StoreError> {
+            rows.push(row);
+            Ok(())
+        };
+        emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit)
+            .expect("in-memory emit cannot fail");
+    });
+    SidSpanOutput { rows, chains }
+}
+
+/// Bucket one chunk's events into per-`(sid, pid)` eventlists and
+/// collect version-chain entries, optionally restricted to one `sid`
+/// (the per-sid buckets and chain maps of all sids partition the
+/// unrestricted result: an event lands at each endpoint's own sid, and
+/// a node's chain entries are generated only under its own sid's
+/// filter). Each distinct `(sid, pid)` gets exactly one copy of each
+/// event *instance* — comparing bucket keys, not event values, keeps
+/// genuinely duplicated events (which raw traces do contain) intact.
+#[allow(clippy::too_many_arguments)]
+fn bucket_chunk(
+    chunk: &[Event],
+    maps: &[PartitionMap],
+    ns: u32,
+    only_sid: Option<u32>,
+    tsid: u32,
+    chunk_idx: u32,
+    version_chains: bool,
+    chains: &mut FxHashMap<NodeId, Vec<ChainEntry>>,
+) -> FxHashMap<(u32, u32), Vec<Event>> {
+    let want = |sid: u32| only_sid.is_none_or(|s| s == sid);
+    let mut buckets: FxHashMap<(u32, u32), Vec<Event>> = FxHashMap::default();
+    for ev in chunk {
+        let (a, b) = ev.kind.touched();
+        let ta = {
+            let sid = sid_of(a, ns);
+            (sid, maps[sid as usize].assign(a))
+        };
+        let tb = b.filter(|&b| b != a).map(|b| {
+            let sid = sid_of(b, ns);
+            (sid, maps[sid as usize].assign(b))
+        });
+        if want(ta.0) {
+            buckets.entry(ta).or_default().push(ev.clone());
+        }
+        if let Some(tb) = tb {
+            if tb != ta && want(tb.0) {
+                buckets.entry(tb).or_default().push(ev.clone());
+            }
+        }
+        if version_chains {
+            let mut chain_push = |nid: NodeId, pid: u32| {
+                let chain = chains.entry(nid).or_default();
+                if chain.last().map(|e| (e.tsid, e.chunk, e.pid)) != Some((tsid, chunk_idx, pid)) {
+                    chain.push(ChainEntry {
+                        time: ev.time,
+                        tsid,
+                        chunk: chunk_idx,
+                        pid,
+                    });
+                }
+            };
+            if want(ta.0) {
+                chain_push(a, ta.1);
+            }
+            if let Some(b) = b {
+                if b != a {
+                    let sid = sid_of(b, ns);
+                    if want(sid) {
+                        chain_push(b, maps[sid as usize].assign(b));
+                    }
+                }
+            }
+        }
+    }
+    buckets
+}
+
+/// Encode bucketed eventlists as store rows.
+fn emit_eventlist_rows(
+    tsid: u32,
+    chunk_idx: u32,
+    buckets: FxHashMap<(u32, u32), Vec<Event>>,
+    emit: &mut impl FnMut(PutRow) -> Result<(), StoreError>,
+) -> Result<(), StoreError> {
+    for ((sid, pid), evs) in buckets {
+        let el = Eventlist::from_sorted(evs);
+        let key = DeltaKey::new(tsid, sid, ELIST_BASE + chunk_idx as u64, pid);
+        emit(PutRow::new(
+            Table::Deltas,
+            key.encode().to_vec(),
+            key.placement().token(),
+            encode_eventlist(&el),
+        ))?;
+    }
+    Ok(())
+}
+
+/// Emit one sid's aux boundary rows for leaf `leaf`: for each `pid` of
+/// this sid, the replicated states of out-of-partition 1-hop neighbors
+/// (Fig. 5d). Needs the *full* graph state for neighbor lookups.
+#[allow(clippy::too_many_arguments)]
+fn emit_aux(
+    tsid: u32,
+    sid: u32,
+    leaf: u64,
+    state: &Delta,
+    maps: &[PartitionMap],
+    ns: u32,
+    emit: &mut impl FnMut(PutRow) -> Result<(), StoreError>,
+) -> Result<(), StoreError> {
+    let map = &maps[sid as usize];
+    let mut aux: FxHashMap<u32, Delta> = FxHashMap::default();
+    for n in state.iter() {
+        if sid_of(n.id, ns) != sid {
+            continue;
+        }
+        let pid = map.assign(n.id);
+        for nbr in n.all_neighbors() {
+            let same = sid_of(nbr, ns) == sid && map.assign(nbr) == pid;
+            if !same {
+                if let Some(nbr_state) = state.node(nbr) {
+                    aux.entry(pid).or_default().insert(nbr_state.clone());
+                }
+            }
+        }
+    }
+    for (pid, delta) in aux {
+        let key = DeltaKey::new(tsid, sid, AUX_BASE + leaf, pid);
+        emit(PutRow::new(
+            Table::Deltas,
+            key.encode().to_vec(),
+            key.placement().token(),
+            encode_delta(&delta),
+        ))?;
+    }
+    Ok(())
+}
+
 /// Chunk `events` into runs of ~`l`, never splitting a timestamp
 /// group. Returns `(start, end)` index pairs.
 fn chunk_events(events: &[Event], l: usize) -> Vec<(usize, usize)> {
@@ -707,14 +1070,14 @@ fn partition_state(state: &Delta, ns: u32) -> Vec<Delta> {
     parts
 }
 
-/// Store a delta micro-partitioned by `map`.
-fn store_micro(
-    store: &SimStore,
+/// Emit a delta micro-partitioned by `map`.
+fn emit_micro(
     tsid: u32,
     sid: u32,
     did: u64,
     delta: &Delta,
     map: &PartitionMap,
+    emit: &mut impl FnMut(PutRow) -> Result<(), StoreError>,
 ) -> Result<(), StoreError> {
     let mut buckets: FxHashMap<u32, Delta> = FxHashMap::default();
     for n in delta.iter() {
@@ -725,20 +1088,14 @@ fn store_micro(
     }
     for (pid, d) in buckets {
         let key = DeltaKey::new(tsid, sid, did, pid);
-        put_checked(
-            store,
+        emit(PutRow::new(
             Table::Deltas,
-            &key.encode(),
+            key.encode().to_vec(),
             key.placement().token(),
             encode_delta(&d),
-        )?;
+        ))?;
     }
     Ok(())
-}
-
-#[inline]
-fn shape_did(shape: &TreeShape, level: usize, idx: usize) -> u64 {
-    shape.did(level, idx)
 }
 
 /// Key for a persisted partition map blob.
@@ -917,6 +1274,20 @@ mod tests {
         let root = emitted.get(&0).expect("root emitted");
         assert!(root.contains(42), "common node lives in the root");
         assert_eq!(root.cardinality(), 1, "unique nodes are not in the root");
+    }
+
+    #[test]
+    fn set_clients_clamps_to_host_parallelism() {
+        let mut tgi = Tgi::build(TgiConfig::default(), StoreConfig::new(1, 1), &[]);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        tgi.set_clients(10_000);
+        assert!(tgi.clients() <= cores, "clamped to available parallelism");
+        tgi.set_clients(0);
+        assert_eq!(tgi.clients(), 1, "never below one client");
+        tgi.set_clients_forced(10_000);
+        assert_eq!(tgi.clients(), 10_000, "escape hatch skips the clamp");
     }
 
     #[test]

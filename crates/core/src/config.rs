@@ -45,6 +45,13 @@ pub struct TgiConfig {
     /// caching). Runtime-tunable via
     /// [`Tgi::set_read_cache_budget`](crate::build::Tgi).
     pub read_cache_bytes: usize,
+    /// Maximum rows the construction/ingest write buffer accumulates
+    /// before flushing a per-machine batched round trip
+    /// (`SimStore::put_batch`). `0` disables write batching entirely
+    /// and degrades to the seed's row-at-a-time `put` path — the
+    /// sequential reference the build-equivalence tests and the
+    /// `build_ingest` bench compare against.
+    pub write_batch_rows: usize,
 }
 
 impl Default for TgiConfig {
@@ -60,12 +67,20 @@ impl Default for TgiConfig {
             omega: Omega::UnionMax,
             weighting: NodeWeighting::Uniform,
             read_cache_bytes: DEFAULT_READ_CACHE_BYTES,
+            write_batch_rows: DEFAULT_WRITE_BATCH_ROWS,
         }
     }
 }
 
 /// Default read-cache budget: 64 MiB of decoded rows and states.
 pub const DEFAULT_READ_CACHE_BYTES: usize = 64 << 20;
+
+/// Default write-buffer capacity: 8192 encoded rows per flush. A span
+/// flushes at least once at its end regardless. Note this bounds the
+/// *write buffer's* flush cadence, not total build memory: the
+/// per-sid encode stages a whole span's encoded rows in memory before
+/// they reach the buffer (see `encode_span_parallel`).
+pub const DEFAULT_WRITE_BATCH_ROWS: usize = 8192;
 
 impl TgiConfig {
     /// Validate parameter sanity; called by the builder.
@@ -148,6 +163,13 @@ impl TgiConfig {
     /// Set the read-cache byte budget (`0` disables caching).
     pub fn with_read_cache_bytes(mut self, bytes: usize) -> TgiConfig {
         self.read_cache_bytes = bytes;
+        self
+    }
+
+    /// Set the write-buffer flush threshold (`0` disables write
+    /// batching — the seed row-at-a-time reference path).
+    pub fn with_write_batch_rows(mut self, rows: usize) -> TgiConfig {
+        self.write_batch_rows = rows;
         self
     }
 }

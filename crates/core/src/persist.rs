@@ -75,6 +75,11 @@ pub(crate) fn encode_config(cfg: &TgiConfig) -> bytes::Bytes {
     };
     put_varint(&mut buf, weighting);
     put_varint(&mut buf, cfg.read_cache_bytes as u64);
+    // `write_batch_rows` is deliberately NOT persisted: it is an
+    // operational write-path knob (like the handle's client width),
+    // and two indexes built with different buffering must stay
+    // byte-identical on disk — the equivalence property the batched
+    // write path guarantees.
     buf.freeze()
 }
 
@@ -130,6 +135,9 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
         Ok(v) => v as usize,
         Err(_) => crate::config::DEFAULT_READ_CACHE_BYTES,
     };
+    // Not persisted (see `encode_config`): reopened handles write with
+    // the default buffering.
+    let write_batch_rows = crate::config::DEFAULT_WRITE_BATCH_ROWS;
     Ok(TgiConfig {
         events_per_timespan,
         eventlist_size,
@@ -141,6 +149,7 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
         omega,
         weighting,
         read_cache_bytes,
+        write_batch_rows,
     })
 }
 

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use hgs_core::{BuildError, Tgi, TgiConfig};
 use hgs_datagen::WikiGrowth;
 use hgs_delta::TimeRange;
-use hgs_store::{SimStore, StoreConfig, StoreError};
+use hgs_store::{PlacementKey, SimStore, StoreConfig, StoreError};
 
 fn trace() -> Vec<hgs_delta::Event> {
     WikiGrowth::sized(3_000).generate()
@@ -276,6 +276,101 @@ fn failed_append_poisons_the_handle() {
     // Queries still answer from what was durably written.
     let end = events[mid - 1].time;
     assert!(tgi.try_snapshot(end / 2).is_ok());
+}
+
+/// Write-path failure injection for the batched path: a machine dying
+/// before the span's `put_batch` flush must surface
+/// `StoreError::Unavailable` from `try_build` — never a silently
+/// shrunken index — and the whole flushed batch must still be
+/// processed, with the failed/partial put counters accounting for
+/// every row that could not land (rows on healthy machines included
+/// in the puts count).
+#[test]
+fn machine_death_mid_batched_build_surfaces_unavailable_and_accounts_rows() {
+    let events = trace();
+    for c in [1usize, 4] {
+        let store = Arc::new(SimStore::new(StoreConfig::new(4, 1)));
+        // Kill the machine holding span 0 / sid 0's delta chunk and
+        // force small flushes, so the *batched write* itself is what
+        // fails (not an earlier metadata read).
+        store.fail_machine(store.machine_for(PlacementKey::new(0, 0).token(), 0));
+        let before = store.stats_snapshot();
+        let err = Tgi::try_build_on_c(cfg().with_write_batch_rows(32), store.clone(), &events, c)
+            .err()
+            .expect("build with a dead machine must fail");
+        assert!(matches!(
+            err,
+            BuildError::Store(StoreError::Unavailable { .. })
+        ));
+        // Every row of the failed flush is accounted: the batch was
+        // processed to completion, so rows placed on live machines
+        // landed (counted in puts) and every row aimed at the dead
+        // machine is in failed_puts — none simply vanished.
+        let diff = SimStore::stats_since(&store.stats_snapshot(), &before);
+        let live_puts: u64 = diff.iter().map(|m| m.puts).sum();
+        assert!(
+            store.failed_put_count() > 0,
+            "c={c}: dead-machine rows must be counted as failed"
+        );
+        assert!(live_puts > 0, "c={c}: healthy machines' rows still land");
+        assert_eq!(store.partial_put_count(), 0, "r=1 writes cannot be partial");
+    }
+}
+
+/// Same injection against `try_append_events`: the first append lands
+/// healthy, the machine dies, the second append fails loudly and
+/// poisons the handle, and the batch's rows are all accounted.
+#[test]
+fn machine_death_mid_batched_append_surfaces_unavailable_and_accounts_rows() {
+    let events = trace();
+    let mid = events.len() / 2;
+    for c in [1usize, 4] {
+        let store = Arc::new(SimStore::new(StoreConfig::new(4, 1)));
+        let mut tgi = Tgi::try_build_on_c(
+            cfg().with_write_batch_rows(32),
+            store.clone(),
+            &events[..mid],
+            c,
+        )
+        .expect("healthy build");
+        assert_eq!(store.failed_put_count(), 0);
+        let rows_before_failure = store.row_count();
+        // The append continues the timespan sequence: kill the machine
+        // holding the next span's sid-0 delta chunk.
+        let next_tsid = tgi.span_count() as u32;
+        store.fail_machine(store.machine_for(PlacementKey::new(next_tsid, 0).token(), 0));
+        assert!(matches!(
+            tgi.try_append_events(&events[mid..]),
+            Err(BuildError::Store(StoreError::Unavailable { .. }))
+        ));
+        assert!(tgi.is_poisoned(), "c={c}: failed append must poison");
+        assert!(
+            store.failed_put_count() > 0,
+            "c={c}: the dead machine's rows are accounted as failed"
+        );
+        assert!(
+            store.row_count() >= rows_before_failure,
+            "c={c}: a failed batch never un-writes existing rows"
+        );
+        // Replication masks the same failure: the identical append on
+        // an r=2 cluster succeeds with partial-put accounting instead.
+        let store2 = Arc::new(SimStore::new(StoreConfig::new(4, 2)));
+        let mut tgi2 = Tgi::try_build_on_c(
+            cfg().with_write_batch_rows(32),
+            store2.clone(),
+            &events[..mid],
+            c,
+        )
+        .expect("healthy build");
+        store2.fail_machine(store2.machine_for(PlacementKey::new(next_tsid, 0).token(), 0));
+        tgi2.try_append_events(&events[mid..])
+            .expect("one replica is enough");
+        assert!(
+            store2.partial_put_count() > 0,
+            "c={c}: degraded writes must be counted partial"
+        );
+        assert_eq!(store2.failed_put_count(), 0);
+    }
 }
 
 #[test]

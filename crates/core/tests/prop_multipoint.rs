@@ -99,7 +99,9 @@ proptest! {
             ..TgiConfig::default()
         };
         let mut tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &history);
-        tgi.set_clients(clients);
+        // Forced: `set_clients` clamps to the host's cores, which
+        // would silence the parallel path on a small CI box.
+        tgi.set_clients_forced(clients);
         let times: Vec<u64> = raw_times.iter().map(|r| r % (end + 2)).collect();
         for round in 0..2 {
             let shared = tgi.try_snapshots(&times).unwrap();

@@ -102,6 +102,7 @@ mod tests {
             rows_read: gets,
             bytes_read: bytes,
             puts: 0,
+            put_batches: 0,
             bytes_written: 0,
         }
     }

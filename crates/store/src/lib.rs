@@ -30,9 +30,11 @@ pub mod key;
 pub mod machine;
 pub mod parallel;
 pub mod store;
+pub mod write;
 
 pub use compress::{compress, decompress};
 pub use cost::CostModel;
 pub use key::{DeltaKey, PlacementKey, Table};
 pub use machine::{Machine, MachineDown, MachineStats};
-pub use store::{SimStore, StoreConfig, StoreError, StoreStatsSnapshot};
+pub use store::{BatchPutOutcome, PutRow, SimStore, StoreConfig, StoreError, StoreStatsSnapshot};
+pub use write::WriteBuffer;

@@ -32,6 +32,11 @@ pub struct MachineStats {
     pub bytes_read: AtomicU64,
     /// Writes applied.
     pub puts: AtomicU64,
+    /// Batched write requests served (one write batch = one client
+    /// round-trip regardless of how many rows it carries — the
+    /// write-side mirror of `batches`). Rows arriving inside a batch
+    /// are still counted in `puts`, preserving `∑∆ 1` semantics.
+    pub put_batches: AtomicU64,
     /// Bytes of value data written.
     pub bytes_written: AtomicU64,
 }
@@ -46,6 +51,7 @@ pub struct MachineStatsSnapshot {
     pub rows_read: u64,
     pub bytes_read: u64,
     pub puts: u64,
+    pub put_batches: u64,
     pub bytes_written: u64,
 }
 
@@ -61,6 +67,7 @@ impl MachineStatsSnapshot {
             rows_read: self.rows_read - earlier.rows_read,
             bytes_read: self.bytes_read - earlier.bytes_read,
             puts: self.puts - earlier.puts,
+            put_batches: self.put_batches - earlier.put_batches,
             bytes_written: self.bytes_written - earlier.bytes_written,
         }
     }
@@ -75,6 +82,7 @@ impl MachineStatsSnapshot {
             rows_read: self.rows_read + other.rows_read,
             bytes_read: self.bytes_read + other.bytes_read,
             puts: self.puts + other.puts,
+            put_batches: self.put_batches + other.put_batches,
             bytes_written: self.bytes_written + other.bytes_written,
         }
     }
@@ -90,6 +98,7 @@ impl MachineStats {
             rows_read: self.rows_read.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
+            put_batches: self.put_batches.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
     }
@@ -165,6 +174,41 @@ impl Machine {
             .fetch_add(value.len() as u64, Ordering::Relaxed);
         self.data.write().insert(key, value);
         true
+    }
+
+    /// Insert a batch of rows under one lock acquisition, accounted as
+    /// a single write round-trip (`put_batches += 1`) plus one logical
+    /// put per row, mirroring [`Machine::multi_get`]'s read-side
+    /// semantics. A down machine refuses the whole batch atomically —
+    /// either every row lands or none does.
+    pub fn put_batch(&self, rows: Vec<(Vec<u8>, Bytes)>) -> Result<(), MachineDown> {
+        if self.is_down() {
+            return Err(MachineDown);
+        }
+        self.stats.put_batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .puts
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(
+            rows.iter().map(|(_, v)| v.len() as u64).sum::<u64>(),
+            Ordering::Relaxed,
+        );
+        let mut guard = self.data.write();
+        for (k, v) in rows {
+            guard.insert(k, v);
+        }
+        Ok(())
+    }
+
+    /// Full ordered content dump (namespaced keys, stored values) —
+    /// an out-of-band inspection for equality tests, served even when
+    /// the machine is marked down and not counted in the stats.
+    pub fn dump_rows(&self) -> ScanRows {
+        self.data
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Remove a row.
@@ -360,6 +404,40 @@ mod tests {
         m.set_down(true);
         assert!(m.scan_prefixes(&[key(0, b"aa")]).is_err());
         assert!(m.multi_get(&[key(0, b"aa1")]).is_err());
+    }
+
+    #[test]
+    fn put_batch_counts_one_round_trip_and_refuses_when_down() {
+        let m = Machine::new();
+        let before = m.stats().snapshot();
+        m.put_batch(vec![
+            (key(0, b"a"), Bytes::from_static(b"1")),
+            (key(0, b"b"), Bytes::from_static(b"22")),
+            (key(1, b"c"), Bytes::from_static(b"333")),
+        ])
+        .unwrap();
+        let diff = m.stats().snapshot().since(&before);
+        assert_eq!(diff.put_batches, 1);
+        assert_eq!(diff.puts, 3);
+        assert_eq!(diff.bytes_written, 6);
+        assert_eq!(m.get(&key(0, b"b")).unwrap().as_deref(), Some(&b"22"[..]));
+        m.set_down(true);
+        assert!(m
+            .put_batch(vec![(key(0, b"z"), Bytes::from_static(b"v"))])
+            .is_err());
+        assert_eq!(m.dump_rows().len(), 3, "down batch must not land rows");
+    }
+
+    #[test]
+    fn dump_rows_returns_ordered_content() {
+        let m = Machine::new();
+        m.put(key(0, b"b"), Bytes::from_static(b"2"));
+        m.put(key(0, b"a"), Bytes::from_static(b"1"));
+        let rows = m.dump_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].0 < rows[1].0);
+        m.set_down(true);
+        assert_eq!(m.dump_rows().len(), 2, "dump is out-of-band");
     }
 
     #[test]

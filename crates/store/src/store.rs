@@ -72,6 +72,53 @@ impl std::error::Error for StoreError {}
 /// Cluster-wide stats snapshot: one entry per machine.
 pub type StoreStatsSnapshot = Vec<MachineStatsSnapshot>;
 
+/// One row of a write batch: the same `(table, key, token, value)`
+/// quadruple [`SimStore::put`] takes, as a value so whole batches can
+/// be built up and shipped in per-machine round trips.
+#[derive(Debug, Clone)]
+pub struct PutRow {
+    pub table: Table,
+    pub key: Vec<u8>,
+    pub token: u64,
+    pub value: Bytes,
+}
+
+impl PutRow {
+    pub fn new(table: Table, key: Vec<u8>, token: u64, value: Bytes) -> PutRow {
+        PutRow {
+            table,
+            key,
+            token,
+            value,
+        }
+    }
+}
+
+/// Per-row accounting of one [`SimStore::put_batch`]: every row of the
+/// batch lands in exactly one bucket, so
+/// `replicated + partial + failed == rows.len()` always holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchPutOutcome {
+    /// Rows accepted by all `r` replicas.
+    pub replicated: usize,
+    /// Rows accepted by some but not all replicas (degraded
+    /// durability; counted in [`SimStore::partial_put_count`]).
+    pub partial: usize,
+    /// Rows accepted by no replica (counted in
+    /// [`SimStore::failed_put_count`]; lost unless retried).
+    pub failed: usize,
+    /// Table of the first fully-failed row, used by
+    /// [`SimStore::try_put_batch`] to surface the error.
+    pub first_failed_table: Option<Table>,
+}
+
+impl BatchPutOutcome {
+    /// Total rows accounted for by this outcome.
+    pub fn rows(&self) -> usize {
+        self.replicated + self.partial + self.failed
+    }
+}
+
 /// The simulated cluster. Cheap to share behind an `Arc`; all methods
 /// take `&self`.
 pub struct SimStore {
@@ -148,6 +195,89 @@ impl SimStore {
             self.partial_puts.fetch_add(1, Ordering::Relaxed);
         }
         ok
+    }
+
+    /// Write a batch of rows, grouped into **one round trip per
+    /// machine**: every row is routed to all `r` replica machines of
+    /// its placement token, the rows destined to one machine travel
+    /// together as a single [`Machine::put_batch`], and per-row
+    /// replica outcomes are re-assembled afterwards. The whole batch
+    /// is always processed — a dead machine fails only the rows
+    /// placed on it — so the partial/failed put counters account for
+    /// every row, exactly as `rows.len()` individual [`SimStore::put`]
+    /// calls would.
+    pub fn put_batch(&self, rows: Vec<PutRow>) -> BatchPutOutcome {
+        let mut outcome = BatchPutOutcome::default();
+        if rows.is_empty() {
+            return outcome;
+        }
+        // Namespace + compress each row once, up front.
+        let prepared: Vec<(Table, Vec<u8>, u64, Bytes)> = rows
+            .into_iter()
+            .map(|row| {
+                let stored = if self.cfg.compress {
+                    compress(&row.value)
+                } else {
+                    row.value
+                };
+                (
+                    row.table,
+                    Self::namespaced(row.table, &row.key),
+                    row.token,
+                    stored,
+                )
+            })
+            .collect();
+        // Group row indices per destination machine (all replicas of a
+        // row, merged with every other row landing on that machine).
+        let mut per_machine: Vec<Vec<usize>> = vec![Vec::new(); self.machines.len()];
+        for (i, &(_, _, token, _)) in prepared.iter().enumerate() {
+            for r in 0..self.cfg.replication {
+                per_machine[self.machine_for(token, r)].push(i);
+            }
+        }
+        let mut ok = vec![0usize; prepared.len()];
+        for (m, idxs) in per_machine.into_iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let batch: Vec<(Vec<u8>, Bytes)> = idxs
+                .iter()
+                .map(|&i| (prepared[i].1.clone(), prepared[i].3.clone()))
+                .collect();
+            if self.machines[m].put_batch(batch).is_ok() {
+                for &i in &idxs {
+                    ok[i] += 1;
+                }
+            }
+        }
+        for (i, &(table, _, _, _)) in prepared.iter().enumerate() {
+            if ok[i] == 0 {
+                self.failed_puts.fetch_add(1, Ordering::Relaxed);
+                outcome.failed += 1;
+                outcome.first_failed_table.get_or_insert(table);
+            } else if ok[i] < self.cfg.replication {
+                self.partial_puts.fetch_add(1, Ordering::Relaxed);
+                outcome.partial += 1;
+            } else {
+                outcome.replicated += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Fallible [`SimStore::put_batch`]: the whole batch is still
+    /// processed (rows on healthy machines land, counters account for
+    /// every row), then any row that reached **zero** replicas
+    /// surfaces as [`StoreError::Unavailable`] — a batched write the
+    /// cluster did not accept anywhere must fail the caller, not
+    /// silently shrink the index.
+    pub fn try_put_batch(&self, rows: Vec<PutRow>) -> Result<BatchPutOutcome, StoreError> {
+        let outcome = self.put_batch(rows);
+        match outcome.first_failed_table {
+            Some(table) => Err(StoreError::Unavailable { table }),
+            None => Ok(outcome),
+        }
     }
 
     /// Writes that reached only a strict subset of their replicas so
@@ -312,6 +442,15 @@ impl SimStore {
     /// Per-machine row counts; used to check placement balance.
     pub fn rows_per_machine(&self) -> Vec<usize> {
         self.machines.iter().map(|m| m.row_count()).collect()
+    }
+
+    /// Full per-machine content dump (namespaced keys, stored values),
+    /// out-of-band: served even from down machines and not counted in
+    /// the stats. This is the oracle of the build-equivalence property
+    /// tests — two stores are interchangeable iff their dumps are
+    /// row-for-row identical.
+    pub fn content_rows(&self) -> Vec<crate::machine::ScanRows> {
+        self.machines.iter().map(|m| m.dump_rows()).collect()
     }
 }
 
@@ -536,6 +675,130 @@ mod tests {
             s.scan_prefix_batch(Table::Deltas, &[b"k"], token),
             Err(StoreError::Unavailable { .. })
         ));
+    }
+
+    #[test]
+    fn put_batch_matches_individual_puts_and_counts_machine_round_trips() {
+        let individual = store(3, 1);
+        let batched = store(3, 1);
+        let rows: Vec<PutRow> = (0..24u64)
+            .map(|i| {
+                PutRow::new(
+                    Table::Deltas,
+                    i.to_be_bytes().to_vec(),
+                    i * 7919,
+                    Bytes::from(vec![i as u8; 8]),
+                )
+            })
+            .collect();
+        for r in &rows {
+            individual.put(r.table, &r.key, r.token, r.value.clone());
+        }
+        let before = batched.stats_snapshot();
+        let outcome = batched.try_put_batch(rows.clone()).unwrap();
+        assert_eq!(outcome.replicated, rows.len());
+        assert_eq!(outcome.rows(), rows.len());
+        let diff = SimStore::stats_since(&batched.stats_snapshot(), &before);
+        let put_batches: u64 = diff.iter().map(|m| m.put_batches).sum();
+        let puts: u64 = diff.iter().map(|m| m.puts).sum();
+        assert_eq!(puts, rows.len() as u64, "one logical put per row");
+        assert!(
+            put_batches <= batched.machine_count() as u64,
+            "at most one round trip per machine, got {put_batches}"
+        );
+        assert_eq!(
+            individual.content_rows(),
+            batched.content_rows(),
+            "batched writes must place identical content"
+        );
+    }
+
+    #[test]
+    fn put_batch_replicates_like_put() {
+        let s = store(4, 2);
+        s.try_put_batch(vec![PutRow::new(
+            Table::Deltas,
+            b"k".to_vec(),
+            3,
+            Bytes::from_static(b"v"),
+        )])
+        .unwrap();
+        s.fail_machine(s.machine_for(3, 0));
+        assert_eq!(
+            s.get(Table::Deltas, b"k", 3).unwrap().as_deref(),
+            Some(&b"v"[..]),
+            "batched write must reach every replica"
+        );
+    }
+
+    #[test]
+    fn put_batch_processes_whole_batch_and_accounts_every_row() {
+        let s = store(3, 1);
+        // Tokens 0, 1, 2 land on distinct machines; kill machine of
+        // token 1.
+        let dead = s.machine_for(1, 0);
+        s.fail_machine(dead);
+        let rows: Vec<PutRow> = (0..9u64)
+            .map(|i| {
+                PutRow::new(
+                    Table::Deltas,
+                    i.to_be_bytes().to_vec(),
+                    i % 3,
+                    Bytes::from_static(b"v"),
+                )
+            })
+            .collect();
+        let outcome = s.put_batch(rows);
+        assert_eq!(outcome.failed, 3, "every row of the dead machine fails");
+        assert_eq!(outcome.replicated, 6, "healthy machines' rows all land");
+        assert_eq!(outcome.partial, 0);
+        assert_eq!(outcome.rows(), 9, "every row is accounted exactly once");
+        assert_eq!(s.failed_put_count(), 3);
+        assert_eq!(s.row_count(), 6);
+        assert!(matches!(
+            s.try_put_batch(vec![PutRow::new(
+                Table::Versions,
+                b"x".to_vec(),
+                1,
+                Bytes::from_static(b"v")
+            )]),
+            Err(StoreError::Unavailable {
+                table: Table::Versions
+            })
+        ));
+    }
+
+    #[test]
+    fn put_batch_counts_partial_replication() {
+        let s = store(3, 2);
+        s.fail_machine(s.machine_for(0, 1));
+        let outcome = s.put_batch(vec![PutRow::new(
+            Table::Deltas,
+            b"k".to_vec(),
+            0,
+            Bytes::from_static(b"v"),
+        )]);
+        assert_eq!(outcome.partial, 1);
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(s.partial_put_count(), 1);
+    }
+
+    #[test]
+    fn batched_compression_is_transparent() {
+        let s = SimStore::new(StoreConfig::new(1, 1).with_compression(true));
+        let value = Bytes::from(b"abcabcabcabcabcabcabcabcabc".repeat(100));
+        s.try_put_batch(vec![PutRow::new(
+            Table::Deltas,
+            b"k".to_vec(),
+            0,
+            value.clone(),
+        )])
+        .unwrap();
+        assert!(s.stored_bytes() < value.len());
+        assert_eq!(
+            s.get(Table::Deltas, b"k", 0).unwrap().as_deref(),
+            Some(&value[..])
+        );
     }
 
     #[test]
