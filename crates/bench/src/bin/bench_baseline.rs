@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use hgs_bench::{build_tgi, growth_times, paper_default_cfg, sample_nodes, timed};
 use hgs_datagen::WikiGrowth;
+use hgs_delta::codec::decoded_bytes;
 use hgs_delta::TimeRange;
 use hgs_store::StoreConfig;
 
@@ -67,6 +68,24 @@ fn main() {
             std::hint::black_box(tgi.node_history(id, range));
         }
     });
+
+    // Decode-path rows: cold wall time plus codec bytes materialized
+    // (the cache is still off, so every query decodes stored rows; see
+    // bench_decode for the row-wise vs columnar comparison).
+    let decode_cold = time_median(|| tgi.snapshot_c(end / 2, 1));
+    let node_at_cold = time_median(|| {
+        for &id in &nodes {
+            std::hint::black_box(tgi.node_at(id, end / 2));
+        }
+    });
+    let b0 = decoded_bytes();
+    std::hint::black_box(tgi.snapshot_c(end / 2, 1));
+    let snapshot_bytes = decoded_bytes() - b0;
+    let b0 = decoded_bytes();
+    for &id in &nodes {
+        std::hint::black_box(tgi.node_at(id, end / 2));
+    }
+    let node_at_bytes = (decoded_bytes() - b0) / nodes.len() as u64;
     // Naive multipoint (one independent cache-bypassing snapshot per
     // time) vs the shared-path planner behind `Tgi::snapshots`. CI
     // gates on shared < naive. `build_tgi` disables the read cache so
@@ -95,6 +114,10 @@ fn main() {
          \"snapshot_requests\": {requests},\n  \
          \"node_at_x8_secs\": {node_at:.5},\n  \
          \"node_history_x8_secs\": {node_history:.5},\n  \
+         \"decode_cold_secs\": {decode_cold:.5},\n  \
+         \"node_at_cold_secs\": {node_at_cold:.5},\n  \
+         \"snapshot_bytes_decoded\": {snapshot_bytes},\n  \
+         \"node_at_bytes_decoded_per_query\": {node_at_bytes},\n  \
          \"multipoint_x4_secs\": {multipoint:.5},\n  \
          \"multipoint_shared_secs\": {multipoint_shared:.5}\n\
          }}\n",

@@ -1,0 +1,34 @@
+//! Decode-path benchmark: bytes materialized and wall time per query,
+//! row-wise vs columnar storage layout, emitted as JSON
+//! (`BENCH_decode.json`) so CI and later PRs can track the columnar
+//! layout's decode savings.
+//!
+//! ```text
+//! cargo run --release -p hgs-bench --bin bench_decode -- BENCH_decode.json
+//! ```
+
+use hgs_bench::experiments::decode;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_decode.json".to_string());
+    let rows = decode::decode();
+    let mut json = String::from("{\n  \"dataset\": \"WikiGrowth\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"workload\": \"{}\", \"secs\": {:.5}, \
+             \"bytes_decoded\": {}, \"queries\": {}, \"bytes_per_query\": {}}}{}\n",
+            r.layout,
+            r.workload,
+            r.secs,
+            r.bytes_decoded,
+            r.queries,
+            r.bytes_per_query(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+}

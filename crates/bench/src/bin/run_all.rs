@@ -23,5 +23,6 @@ fn main() {
     e::multipoint();
     e::read_cache();
     e::build_ingest();
+    e::decode();
     eprintln!("# run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

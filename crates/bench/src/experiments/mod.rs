@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod analytics;
 pub mod build_ingest;
+pub mod decode;
 pub mod multipoint;
 pub mod partitioning;
 pub mod read_cache;
@@ -14,6 +15,7 @@ pub mod versions;
 pub use ablation::{ablation_arity, ablation_horizontal, ablation_timespan};
 pub use analytics::{fig15c, fig17};
 pub use build_ingest::{build_ingest, BuildRow};
+pub use decode::{decode, DecodeRow};
 pub use multipoint::{multipoint, multipoint_row, MultipointRow};
 pub use partitioning::fig15a;
 pub use read_cache::{read_cache, zipf_sequence, CacheRow};

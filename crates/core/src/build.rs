@@ -46,11 +46,12 @@ use std::sync::Arc;
 
 use bytes::BytesMut;
 use hgs_delta::codec::{encode_delta, encode_eventlist, put_varint};
-use hgs_delta::{Delta, Event, Eventlist, FxHashMap, NodeId, Time, TimeRange};
+use hgs_delta::columnar::{encode_columnar_delta, encode_columnar_eventlist};
+use hgs_delta::{Delta, Event, Eventlist, FxHashMap, NodeId, StorageLayout, Time, TimeRange};
 use hgs_partition::{
     CollapsedGraph, LocalityPartitioner, PartitionMap, Partitioner, RandomPartitioner,
 };
-use hgs_store::key::{node_key, node_placement_token};
+use hgs_store::key::{chain_key, node_placement_token};
 use hgs_store::parallel::{parallel_steal, steal_worker_count};
 use hgs_store::{
     CostModel, DeltaKey, PlacementKey, PutRow, SimStore, StoreConfig, StoreError, Table,
@@ -59,8 +60,24 @@ use hgs_store::{
 
 use crate::config::{PartitionStrategy, TgiConfig};
 use crate::meta::{
-    decode_chain, encode_chain, sid_of, ChainEntry, TimespanMeta, TreeShape, AUX_BASE, ELIST_BASE,
+    encode_chain, sid_of, ChainEntry, TimespanMeta, TreeShape, AUX_BASE, ELIST_BASE,
 };
+
+/// Encode a delta row in the configured physical layout.
+fn encode_delta_value(layout: StorageLayout, d: &Delta) -> bytes::Bytes {
+    match layout {
+        StorageLayout::RowWise => encode_delta(d),
+        StorageLayout::Columnar => encode_columnar_delta(d),
+    }
+}
+
+/// Encode an eventlist row in the configured physical layout.
+fn encode_elist_value(layout: StorageLayout, el: &Eventlist) -> bytes::Bytes {
+    match layout {
+        StorageLayout::RowWise => encode_eventlist(el),
+        StorageLayout::Columnar => encode_columnar_eventlist(el),
+    }
+}
 
 /// Runtime state of one built timespan.
 pub(crate) struct SpanRuntime {
@@ -95,8 +112,7 @@ pub struct Tgi {
 /// Errors from the fallible build path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
-    /// A store write reached zero replicas (or a read-modify-write
-    /// read found every replica down).
+    /// A store write reached zero replicas.
     Store(StoreError),
     /// A previous `try_append_events` failed partway: some of that
     /// batch's rows and span-metadata updates are persisted and the
@@ -500,21 +516,23 @@ impl Tgi {
             )?;
         }
 
-        // Version chains: read-modify-write per node, written through
-        // the buffer. Safe against read-own-buffered-write: a node's
-        // chain row is written at most once per span, and the previous
-        // span's rows were flushed before this span began.
+        // Version chains: one append-only chain-delta row per touched
+        // node, keyed `(nid, tsid)`. No read-modify-write: the row is
+        // fresh by construction (each span has a distinct `tsid`), so
+        // extending a chain never rereads or rewrites earlier rows —
+        // a mid-write failure leaves old chains fully intact and at
+        // worst omits whole per-span segments, never half of one.
+        // Query-side, a prefix scan by `nid` concatenates the segments
+        // in `tsid` (chronological) order.
         if cfg.version_chains {
             for (nid, mut entries) in chains {
                 entries.sort_by_key(|e| e.time);
-                let key = node_key(nid);
-                let token = node_placement_token(nid);
-                let mut chain = match self.store.get(Table::Versions, &key, token)? {
-                    Some(bytes) => decode_chain(&bytes).expect("chain decodes"),
-                    None => Vec::new(),
-                };
-                chain.extend(entries);
-                buf.push(Table::Versions, key.to_vec(), token, encode_chain(&chain))?;
+                buf.push(
+                    Table::Versions,
+                    chain_key(nid, tsid).to_vec(),
+                    node_placement_token(nid),
+                    encode_chain(&entries),
+                )?;
             }
         }
 
@@ -577,7 +595,16 @@ impl Tgi {
             for sid in 0..ns {
                 if replicate {
                     let mut emit = |row: PutRow| buf.push_row(row);
-                    emit_aux(tsid, sid, j as u64, &self.tail_state, maps, ns, &mut emit)?;
+                    emit_aux(
+                        cfg.layout,
+                        tsid,
+                        sid,
+                        j as u64,
+                        &self.tail_state,
+                        maps,
+                        ns,
+                        &mut emit,
+                    )?;
                 }
                 let map = &maps[sid as usize];
                 let mut io: Result<(), StoreError> = Ok(());
@@ -586,8 +613,15 @@ impl Tgi {
                     &mut |level, idx, delta| {
                         if io.is_ok() {
                             let mut emit = |row: PutRow| buf.push_row(row);
-                            io =
-                                emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit);
+                            io = emit_micro(
+                                cfg.layout,
+                                tsid,
+                                sid,
+                                shape.did(level, idx),
+                                delta,
+                                map,
+                                &mut emit,
+                            );
                         }
                     },
                 );
@@ -609,7 +643,7 @@ impl Tgi {
                     chains,
                 );
                 let mut emit = |row: PutRow| buf.push_row(row);
-                emit_eventlist_rows(tsid, j as u32, buckets, &mut emit)?;
+                emit_eventlist_rows(cfg.layout, tsid, j as u32, buckets, &mut emit)?;
                 for ev in chunk {
                     self.tail_state.apply_event(&ev.kind);
                 }
@@ -622,7 +656,15 @@ impl Tgi {
             accs[sid as usize].finalize(&mut |level, idx, delta| {
                 if io.is_ok() {
                     let mut emit = |row: PutRow| buf.push_row(row);
-                    io = emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit);
+                    io = emit_micro(
+                        cfg.layout,
+                        tsid,
+                        sid,
+                        shape.did(level, idx),
+                        delta,
+                        map,
+                        &mut emit,
+                    );
                 }
             });
             io?;
@@ -680,6 +722,7 @@ impl Tgi {
                 ns,
                 replicate,
                 version_chains: cfg.version_chains,
+                layout: cfg.layout,
             })
         });
         // Advance the tail state with the same apply sequence as the
@@ -804,6 +847,7 @@ struct SidSpanJob<'a> {
     ns: u32,
     replicate: bool,
     version_chains: bool,
+    layout: StorageLayout,
 }
 
 /// One work item's encoded output: rows in deterministic emit order,
@@ -833,6 +877,7 @@ fn encode_sid_span(job: SidSpanJob<'_>) -> SidSpanOutput {
         ns,
         replicate,
         version_chains,
+        layout,
     } = job;
     let map = &maps[sid as usize];
     let mut rows: Vec<PutRow> = Vec::new();
@@ -846,7 +891,7 @@ fn encode_sid_span(job: SidSpanJob<'_>) -> SidSpanOutput {
                 rows.push(row);
                 Ok(())
             };
-            emit_aux(tsid, sid, j as u64, &state, maps, ns, &mut emit)
+            emit_aux(layout, tsid, sid, j as u64, &state, maps, ns, &mut emit)
                 .expect("in-memory emit cannot fail");
             let mut part = Delta::new();
             for n in state.iter() {
@@ -863,8 +908,16 @@ fn encode_sid_span(job: SidSpanJob<'_>) -> SidSpanOutput {
                 rows.push(row);
                 Ok(())
             };
-            emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit)
-                .expect("in-memory emit cannot fail");
+            emit_micro(
+                layout,
+                tsid,
+                sid,
+                shape.did(level, idx),
+                delta,
+                map,
+                &mut emit,
+            )
+            .expect("in-memory emit cannot fail");
         });
         if let Some(&(s, e)) = chunk_bounds.get(j) {
             let chunk = &events[s..e];
@@ -882,7 +935,7 @@ fn encode_sid_span(job: SidSpanJob<'_>) -> SidSpanOutput {
                 rows.push(row);
                 Ok(())
             };
-            emit_eventlist_rows(tsid, j as u32, buckets, &mut emit)
+            emit_eventlist_rows(layout, tsid, j as u32, buckets, &mut emit)
                 .expect("in-memory emit cannot fail");
             if replicate {
                 for ev in chunk {
@@ -902,8 +955,16 @@ fn encode_sid_span(job: SidSpanJob<'_>) -> SidSpanOutput {
             rows.push(row);
             Ok(())
         };
-        emit_micro(tsid, sid, shape.did(level, idx), delta, map, &mut emit)
-            .expect("in-memory emit cannot fail");
+        emit_micro(
+            layout,
+            tsid,
+            sid,
+            shape.did(level, idx),
+            delta,
+            map,
+            &mut emit,
+        )
+        .expect("in-memory emit cannot fail");
     });
     SidSpanOutput { rows, chains }
 }
@@ -977,6 +1038,7 @@ fn bucket_chunk(
 
 /// Encode bucketed eventlists as store rows.
 fn emit_eventlist_rows(
+    layout: StorageLayout,
     tsid: u32,
     chunk_idx: u32,
     buckets: FxHashMap<(u32, u32), Vec<Event>>,
@@ -989,7 +1051,7 @@ fn emit_eventlist_rows(
             Table::Deltas,
             key.encode().to_vec(),
             key.placement().token(),
-            encode_eventlist(&el),
+            encode_elist_value(layout, &el),
         ))?;
     }
     Ok(())
@@ -1000,6 +1062,7 @@ fn emit_eventlist_rows(
 /// (Fig. 5d). Needs the *full* graph state for neighbor lookups.
 #[allow(clippy::too_many_arguments)]
 fn emit_aux(
+    layout: StorageLayout,
     tsid: u32,
     sid: u32,
     leaf: u64,
@@ -1030,7 +1093,7 @@ fn emit_aux(
             Table::Deltas,
             key.encode().to_vec(),
             key.placement().token(),
-            encode_delta(&delta),
+            encode_delta_value(layout, &delta),
         ))?;
     }
     Ok(())
@@ -1071,7 +1134,9 @@ fn partition_state(state: &Delta, ns: u32) -> Vec<Delta> {
 }
 
 /// Emit a delta micro-partitioned by `map`.
+#[allow(clippy::too_many_arguments)]
 fn emit_micro(
+    layout: StorageLayout,
     tsid: u32,
     sid: u32,
     did: u64,
@@ -1092,7 +1157,7 @@ fn emit_micro(
             Table::Deltas,
             key.encode().to_vec(),
             key.placement().token(),
-            encode_delta(&d),
+            encode_delta_value(layout, &d),
         ))?;
     }
     Ok(())

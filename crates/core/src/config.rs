@@ -1,6 +1,7 @@
 //! TGI configuration — the tuning knobs of §4.4's construction
 //! parameters, using the paper's notation.
 
+use hgs_delta::StorageLayout;
 use hgs_partition::{NodeWeighting, Omega};
 
 /// Micro-delta partitioning strategy (§4.5).
@@ -52,6 +53,12 @@ pub struct TgiConfig {
     /// sequential reference the build-equivalence tests and the
     /// `build_ingest` bench compare against.
     pub write_batch_rows: usize,
+    /// Physical row format for eventlist/delta rows
+    /// ([`StorageLayout::Columnar`] stores per-column LZSS segments
+    /// decoded lazily; [`StorageLayout::RowWise`] is the original
+    /// interleaved format). Persisted with the index — rows are not
+    /// self-describing.
+    pub layout: StorageLayout,
 }
 
 impl Default for TgiConfig {
@@ -68,6 +75,7 @@ impl Default for TgiConfig {
             weighting: NodeWeighting::Uniform,
             read_cache_bytes: DEFAULT_READ_CACHE_BYTES,
             write_batch_rows: DEFAULT_WRITE_BATCH_ROWS,
+            layout: StorageLayout::Columnar,
         }
     }
 }
@@ -170,6 +178,12 @@ impl TgiConfig {
     /// batching — the seed row-at-a-time reference path).
     pub fn with_write_batch_rows(mut self, rows: usize) -> TgiConfig {
         self.write_batch_rows = rows;
+        self
+    }
+
+    /// Set the physical row layout.
+    pub fn with_layout(mut self, layout: StorageLayout) -> TgiConfig {
+        self.layout = layout;
         self
     }
 }

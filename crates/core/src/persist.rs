@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use bytes::BytesMut;
 use hgs_delta::codec::{get_varint, put_varint};
-use hgs_delta::{CodecError, FxHashMap, NodeId, Time};
+use hgs_delta::{CodecError, FxHashMap, NodeId, StorageLayout, Time};
 use hgs_partition::{NodeWeighting, Omega, PartitionMap};
 use hgs_store::{CostModel, SimStore, StoreError, Table};
 
@@ -80,6 +80,11 @@ pub(crate) fn encode_config(cfg: &TgiConfig) -> bytes::Bytes {
     // and two indexes built with different buffering must stay
     // byte-identical on disk — the equivalence property the batched
     // write path guarantees.
+    let layout = match cfg.layout {
+        StorageLayout::RowWise => 0u64,
+        StorageLayout::Columnar => 1,
+    };
+    put_varint(&mut buf, layout);
     buf.freeze()
 }
 
@@ -138,6 +143,18 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
     // Not persisted (see `encode_config`): reopened handles write with
     // the default buffering.
     let write_batch_rows = crate::config::DEFAULT_WRITE_BATCH_ROWS;
+    // Descriptors written before the columnar layout existed are
+    // row-wise by construction.
+    let layout = match get_varint(b) {
+        Ok(0) | Err(_) => StorageLayout::RowWise,
+        Ok(1) => StorageLayout::Columnar,
+        Ok(t) => {
+            return Err(CodecError::BadTag {
+                what: "StorageLayout",
+                tag: t as u8,
+            })
+        }
+    };
     Ok(TgiConfig {
         events_per_timespan,
         eventlist_size,
@@ -150,6 +167,7 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
         weighting,
         read_cache_bytes,
         write_batch_rows,
+        layout,
     })
 }
 
@@ -257,6 +275,7 @@ mod tests {
             TgiConfig::default().with_strategy(PartitionStrategy::Locality {
                 replicate_boundary: true,
             }),
+            TgiConfig::default().with_layout(StorageLayout::RowWise),
         ] {
             let back = decode_config(&encode_config(&cfg)).unwrap();
             assert_eq!(format!("{cfg:?}"), format!("{back:?}"));

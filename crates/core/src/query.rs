@@ -22,11 +22,11 @@
 
 use std::sync::Arc;
 
-use hgs_delta::codec::{decode_delta, decode_eventlist};
 use hgs_delta::{
-    Delta, Event, Eventlist, FxHashMap, FxHashSet, NodeId, StaticNode, Time, TimeRange,
+    ColumnarDelta, ColumnarEventlist, Delta, Event, Eventlist, FxHashMap, FxHashSet, NodeId,
+    StaticNode, StorageLayout, Time, TimeRange,
 };
-use hgs_store::key::{node_key, node_placement_token};
+use hgs_store::key::{chain_prefix, node_placement_token};
 use hgs_store::parallel::parallel_chunks;
 use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 
@@ -157,6 +157,50 @@ fn unwrap_read<T>(r: Result<T, StoreError>) -> T {
     r.unwrap_or_else(|e| panic!("TGI read failed ({e}); use the try_* variant to handle failures"))
 }
 
+/// A fetched delta row in whichever representation the cache holds:
+/// fully decoded, or a lazily-decoded columnar row that answers
+/// single-node record probes from its node-index column alone.
+#[derive(Clone)]
+pub(crate) enum DeltaHandle {
+    Full(Arc<Delta>),
+    Col(Arc<ColumnarDelta>),
+}
+
+impl DeltaHandle {
+    /// The stored record of `nid` in this row, if any.
+    fn record(&self, nid: NodeId) -> Option<StaticNode> {
+        match self {
+            DeltaHandle::Full(d) => d.node(nid).cloned(),
+            DeltaHandle::Col(c) => c.node_record(nid).expect("stored delta decodes"),
+        }
+    }
+}
+
+/// A fetched eventlist row in whichever representation the cache
+/// holds. Node-scoped callers pull only the events touching one node,
+/// which a columnar row answers without materializing the payload
+/// columns of events the node never touches.
+#[derive(Clone)]
+pub(crate) enum ElistHandle {
+    Full(Arc<Eventlist>),
+    Col(Arc<ColumnarEventlist>),
+}
+
+impl ElistHandle {
+    /// Chronological events touching `nid`.
+    fn events_touching(&self, nid: NodeId) -> Vec<Event> {
+        match self {
+            ElistHandle::Full(el) => el
+                .events()
+                .iter()
+                .filter(|e| touches(e, nid))
+                .cloned()
+                .collect(),
+            ElistHandle::Col(c) => c.events_touching(nid).expect("stored eventlist decodes"),
+        }
+    }
+}
+
 impl Tgi {
     // ------------------------------------------------------------------
     // Algorithm 1: snapshot retrieval
@@ -267,7 +311,7 @@ impl Tgi {
             for &did in &path {
                 if let Some(pieces) = by_did.remove(&did) {
                     for (_pid, bytes) in pieces {
-                        let d = decode_delta(&bytes).expect("stored delta decodes");
+                        let d = self.decode_delta_blob(&bytes);
                         state.sum_assign_owned(d);
                     }
                 }
@@ -275,7 +319,7 @@ impl Tgi {
             if let Some(pieces) = by_did.remove(&(ELIST_BASE + j as u64)) {
                 let map = &span.maps[sid as usize];
                 for (pid, bytes) in pieces {
-                    let el = decode_eventlist(&bytes).expect("stored eventlist decodes");
+                    let el = self.decode_elist_blob(&bytes);
                     for e in el.events().iter().take_while(|e| e.time <= t) {
                         apply_event_scoped(&mut state, &e.kind, |id| {
                             sid_of(id, ns) == sid && map.assign(id) == pid
@@ -305,8 +349,124 @@ impl Tgi {
         let ns = self.cfg.horizontal_partitions;
         let sid = sid_of(nid, ns);
         let pid = span.maps[sid as usize].assign(nid);
+        if self.cfg.layout == StorageLayout::Columnar {
+            return self.try_node_at_pruned(span, nid, sid, pid, t);
+        }
         let state = self.try_fetch_partition_state(span, sid, pid, t)?;
         Ok(state.node(nid).cloned())
+    }
+
+    /// Column-pruned static-vertex fetch (columnar layout only).
+    ///
+    /// The id-wise delta sum is right-biased — a later path delta's
+    /// record for a node *replaces* any earlier one — so the node's
+    /// checkpoint record is simply the record in the **last** path
+    /// delta containing it. Walking the path leaf-most first, each
+    /// columnar row answers "do you hold this node?" from its node
+    /// index column alone; only the one winning record slice is ever
+    /// parsed, and rows not containing the node decode nothing else.
+    /// The eventlist roll-forward likewise materializes only the
+    /// events touching the node (normalization expands `RemoveNode`
+    /// into explicit `RemoveEdge`s, so those events are sufficient).
+    fn try_node_at_pruned(
+        &self,
+        span: &SpanRuntime,
+        nid: NodeId,
+        sid: u32,
+        pid: u32,
+        t: Time,
+    ) -> Result<Option<StaticNode>, StoreError> {
+        let meta = &span.meta;
+        let tsid = meta.tsid;
+        let j = meta.leaf_for_time(t);
+        let mut scratch = Delta::new();
+        // A checkpoint state materialized by a full-replay path
+        // already holds the summed record — use it instead of walking.
+        match self
+            .read_cache
+            .get(CacheKey::Part(tsid, sid, pid, j as u32))
+        {
+            Some(Cached::Delta(d)) => {
+                if let Some(n) = d.node(nid) {
+                    scratch.insert(n.clone());
+                }
+            }
+            _ => {
+                let path = meta.shape.path_to_leaf(j);
+                for &did in path.iter().rev() {
+                    if let Some(h) = self.try_fetch_delta_handle(tsid, sid, did, pid)? {
+                        if let Some(n) = h.record(nid) {
+                            scratch.insert(n);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(el) = self.try_fetch_elist(tsid, sid, j as u32, pid)? {
+            for e in el
+                .events_touching(nid)
+                .into_iter()
+                .take_while(|e| e.time <= t)
+            {
+                apply_event_scoped(&mut scratch, &e.kind, |id| id == nid);
+            }
+        }
+        Ok(scratch.node(nid).cloned())
+    }
+
+    /// Fetch (or serve from the read cache) one tree-delta row as a
+    /// [`DeltaHandle`] — under the columnar layout a cache miss parses
+    /// only the row header, deferring column decodes to the caller's
+    /// actual probes.
+    fn try_fetch_delta_handle(
+        &self,
+        tsid: u32,
+        sid: u32,
+        did: u64,
+        pid: u32,
+    ) -> Result<Option<DeltaHandle>, StoreError> {
+        let key = CacheKey::Row(tsid, sid, did, pid);
+        match self.read_cache.get(key) {
+            Some(Cached::Delta(d)) => return Ok(Some(DeltaHandle::Full(d))),
+            Some(Cached::ColDelta(c)) => return Ok(Some(DeltaHandle::Col(c))),
+            Some(Cached::Absent) => return Ok(None),
+            _ => {}
+        }
+        let dk = DeltaKey::new(tsid, sid, did, pid);
+        let token = PlacementKey::new(tsid, sid).token();
+        match self.store.get(Table::Deltas, &dk.encode(), token)? {
+            Some(bytes) => Ok(Some(self.insert_delta_handle(tsid, sid, did, pid, bytes))),
+            None => {
+                self.read_cache.put(key, Cached::Absent);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Cache a freshly fetched delta row in its layout-native handle
+    /// form: row-wise rows decode eagerly, columnar rows stay lazy.
+    fn insert_delta_handle(
+        &self,
+        tsid: u32,
+        sid: u32,
+        did: u64,
+        pid: u32,
+        bytes: bytes::Bytes,
+    ) -> DeltaHandle {
+        match self.cfg.layout {
+            StorageLayout::RowWise => {
+                DeltaHandle::Full(self.insert_decoded_delta(tsid, sid, did, pid, &bytes))
+            }
+            StorageLayout::Columnar => {
+                let c = Arc::new(ColumnarDelta::parse(bytes).expect("stored delta decodes"));
+                self.read_cache.put(
+                    CacheKey::Row(tsid, sid, did, pid),
+                    Cached::ColDelta(c.clone()),
+                );
+                DeltaHandle::Col(c)
+            }
+        }
     }
 
     /// Reconstruct the state of micro-partition `(sid, pid)` as of
@@ -427,28 +587,42 @@ impl Tgi {
         Ok(state)
     }
 
-    /// Fetch (or serve from the read cache) one eventlist chunk row.
-    /// A miss re-runs the fallible point lookup; a confirmed-absent
-    /// row is cached as such (write-once rows cannot appear later in a
-    /// sealed span).
+    /// Fetch (or serve from the read cache) one eventlist chunk row as
+    /// an [`ElistHandle`]. A miss re-runs the fallible point lookup; a
+    /// confirmed-absent row is cached as such (write-once rows cannot
+    /// appear later in a sealed span). Under the columnar layout a
+    /// miss parses only the row header — the node-scoped callers of
+    /// this path then decode just the columns their probes touch.
     pub(crate) fn try_fetch_elist(
         &self,
         tsid: u32,
         sid: u32,
         chunk: u32,
         pid: u32,
-    ) -> Result<Option<Arc<Eventlist>>, StoreError> {
+    ) -> Result<Option<ElistHandle>, StoreError> {
         let did = ELIST_BASE + chunk as u64;
         let key = CacheKey::Row(tsid, sid, did, pid);
         match self.read_cache.get(key) {
-            Some(Cached::Elist(e)) => return Ok(Some(e)),
+            Some(Cached::Elist(e)) => return Ok(Some(ElistHandle::Full(e))),
+            Some(Cached::ColElist(c)) => return Ok(Some(ElistHandle::Col(c))),
             Some(Cached::Absent) => return Ok(None),
             _ => {}
         }
         let dk = DeltaKey::new(tsid, sid, did, pid);
         let token = PlacementKey::new(tsid, sid).token();
         match self.store.get(Table::Deltas, &dk.encode(), token)? {
-            Some(bytes) => Ok(Some(self.insert_decoded_elist(tsid, sid, did, pid, &bytes))),
+            Some(bytes) => Ok(Some(match self.cfg.layout {
+                StorageLayout::RowWise => {
+                    ElistHandle::Full(self.insert_decoded_elist(tsid, sid, did, pid, &bytes))
+                }
+                StorageLayout::Columnar => {
+                    let c = Arc::new(
+                        ColumnarEventlist::parse(bytes).expect("stored eventlist decodes"),
+                    );
+                    self.read_cache.put(key, Cached::ColElist(c.clone()));
+                    ElistHandle::Col(c)
+                }
+            })),
             None => {
                 self.read_cache.put(key, Cached::Absent);
                 Ok(None)
@@ -466,13 +640,23 @@ impl Tgi {
         unwrap_read(self.try_version_chain(nid))
     }
 
-    /// Fallible [`Tgi::version_chain`].
+    /// Fallible [`Tgi::version_chain`]: one prefix scan over the
+    /// node's append-only chain-delta rows, concatenated in key (i.e.
+    /// `tsid`, i.e. chronological) order. A legacy whole-chain row —
+    /// keyed by the bare 8-byte node key — matches the same prefix and
+    /// sorts before every `(nid, tsid)` row, so indexes written by the
+    /// old read-modify-write path still read correctly.
     pub fn try_version_chain(&self, nid: NodeId) -> Result<Vec<ChainEntry>, StoreError> {
-        Ok(self
-            .store
-            .get(Table::Versions, &node_key(nid), node_placement_token(nid))?
-            .map(|bytes| decode_chain(&bytes).expect("stored chain decodes"))
-            .unwrap_or_default())
+        let rows = self.store.scan_prefix(
+            Table::Versions,
+            &chain_prefix(nid),
+            node_placement_token(nid),
+        )?;
+        let mut chain = Vec::new();
+        for (_key, bytes) in rows {
+            chain.extend(decode_chain(&bytes).expect("stored chain decodes"));
+        }
+        Ok(chain)
     }
 
     /// Node history over `range` (Algorithm 2): initial state at
@@ -531,12 +715,9 @@ impl Tgi {
                     Ok(self
                         .try_fetch_elist(tsid, sid, ch, pid)?
                         .map(|el| {
-                            el.events()
-                                .iter()
-                                .filter(|e| {
-                                    e.time > range.start && e.time < range.end && touches(e, nid)
-                                })
-                                .cloned()
+                            el.events_touching(nid)
+                                .into_iter()
+                                .filter(|e| e.time > range.start && e.time < range.end)
                                 .collect()
                         })
                         .unwrap_or_default())
@@ -649,8 +830,8 @@ impl Tgi {
 
         let mut fetched_parts: FxHashSet<(u32, u32)> = FxHashSet::default();
         let mut part_states: FxHashMap<(u32, u32), Delta> = FxHashMap::default();
-        let mut elist_cache: FxHashMap<(u32, u32), Option<Arc<Eventlist>>> = FxHashMap::default();
-        let mut aux: Arc<Delta> = Arc::new(Delta::new());
+        let mut elist_cache: FxHashMap<(u32, u32), Option<ElistHandle>> = FxHashMap::default();
+        let mut aux: Option<DeltaHandle> = None;
 
         let center_sid = sid_of(center, ns);
         let center_pid = span.maps[center_sid as usize].assign(center);
@@ -666,18 +847,19 @@ impl Tgi {
             let did = AUX_BASE + j as u64;
             let ckey = CacheKey::Row(tsid, center_sid, did, center_pid);
             aux = match self.read_cache.get(ckey) {
-                Some(Cached::Delta(d)) => d,
-                Some(Cached::Absent) => aux,
+                Some(Cached::Delta(d)) => Some(DeltaHandle::Full(d)),
+                Some(Cached::ColDelta(c)) => Some(DeltaHandle::Col(c)),
+                Some(Cached::Absent) => None,
                 _ => {
                     let key = DeltaKey::new(tsid, center_sid, did, center_pid);
                     let token = PlacementKey::new(tsid, center_sid).token();
                     match self.store.get(Table::Deltas, &key.encode(), token)? {
                         Some(bytes) => {
-                            self.insert_decoded_delta(tsid, center_sid, did, center_pid, &bytes)
+                            Some(self.insert_delta_handle(tsid, center_sid, did, center_pid, bytes))
                         }
                         None => {
                             self.read_cache.put(ckey, Cached::Absent);
-                            aux
+                            None
                         }
                     }
                 }
@@ -689,7 +871,7 @@ impl Tgi {
         let resolve = |nid: NodeId,
                        part_states: &mut FxHashMap<(u32, u32), Delta>,
                        fetched_parts: &mut FxHashSet<(u32, u32)>,
-                       elist_cache: &mut FxHashMap<(u32, u32), Option<Arc<Eventlist>>>|
+                       elist_cache: &mut FxHashMap<(u32, u32), Option<ElistHandle>>|
          -> Result<Option<StaticNode>, StoreError> {
             let sid = sid_of(nid, ns);
             let pid = span.maps[sid as usize].assign(nid);
@@ -697,8 +879,10 @@ impl Tgi {
                 return Ok(state.node(nid).cloned());
             }
             // Aux fast path: state at checkpoint + roll forward with the
-            // node's own eventlist chunk only.
-            if let Some(base) = aux.node(nid) {
+            // node's own eventlist chunk only (columnar rows answer the
+            // record probe and the touching-events pull without
+            // materializing unrelated columns).
+            if let Some(base) = aux.as_ref().and_then(|a| a.record(nid)) {
                 let el = match elist_cache.entry((sid, pid)) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(slot) => {
@@ -706,9 +890,13 @@ impl Tgi {
                     }
                 };
                 let mut scratch = Delta::new();
-                scratch.insert(base.clone());
+                scratch.insert(base);
                 if let Some(el) = el {
-                    for e in el.events().iter().take_while(|e| e.time <= t) {
+                    for e in el
+                        .events_touching(nid)
+                        .into_iter()
+                        .take_while(|e| e.time <= t)
+                    {
                         apply_event_scoped(&mut scratch, &e.kind, |id| id == nid);
                     }
                 }

@@ -56,7 +56,9 @@
 use std::sync::Arc;
 
 use hgs_delta::codec::{decode_delta, decode_eventlist};
-use hgs_delta::{Delta, Eventlist, FxHashMap, FxHashSet, Time};
+use hgs_delta::{
+    ColumnarDelta, ColumnarEventlist, Delta, Eventlist, FxHashMap, FxHashSet, StorageLayout, Time,
+};
 use hgs_store::parallel::parallel_steal;
 use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 
@@ -341,14 +343,41 @@ impl Tgi {
         Ok(dids.into_iter().zip(groups).collect())
     }
 
+    /// Fully decode a stored delta row in the index's physical layout
+    /// (no cache involvement): the full-replay paths' decoder and the
+    /// uncached reference path's.
+    pub(crate) fn decode_delta_blob(&self, bytes: &bytes::Bytes) -> Delta {
+        match self.cfg.layout {
+            StorageLayout::RowWise => decode_delta(bytes).expect("stored delta decodes"),
+            StorageLayout::Columnar => ColumnarDelta::parse(bytes.clone())
+                .and_then(|c| c.to_delta())
+                .expect("stored delta decodes"),
+        }
+    }
+
+    /// Eventlist twin of [`Tgi::decode_delta_blob`].
+    pub(crate) fn decode_elist_blob(&self, bytes: &bytes::Bytes) -> Eventlist {
+        match self.cfg.layout {
+            StorageLayout::RowWise => decode_eventlist(bytes).expect("stored eventlist decodes"),
+            StorageLayout::Columnar => ColumnarEventlist::parse(bytes.clone())
+                .and_then(|c| c.to_eventlist())
+                .expect("stored eventlist decodes"),
+        }
+    }
+
     /// Decode a fetched tree row through the read cache.
+    ///
+    /// Full-replay callers need the whole delta, so a lazily-decoded
+    /// columnar entry left by a node-scoped path does not satisfy the
+    /// probe: the row is re-decoded in full and the entry refreshed to
+    /// the materialized form (write-once rows make this safe).
     pub(crate) fn decoded_delta(
         &self,
         tsid: u32,
         sid: u32,
         did: u64,
         pid: u32,
-        bytes: &[u8],
+        bytes: &bytes::Bytes,
     ) -> Arc<Delta> {
         let key = CacheKey::Row(tsid, sid, did, pid);
         match self.read_cache.get(key) {
@@ -366,22 +395,23 @@ impl Tgi {
         sid: u32,
         did: u64,
         pid: u32,
-        bytes: &[u8],
+        bytes: &bytes::Bytes,
     ) -> Arc<Delta> {
-        let d = Arc::new(decode_delta(bytes).expect("stored delta decodes"));
+        let d = Arc::new(self.decode_delta_blob(bytes));
         self.read_cache
             .put(CacheKey::Row(tsid, sid, did, pid), Cached::Delta(d.clone()));
         d
     }
 
-    /// Decode a fetched eventlist row through the read cache.
+    /// Decode a fetched eventlist row through the read cache (see
+    /// [`Tgi::decoded_delta`] for the columnar-entry refresh rule).
     pub(crate) fn decoded_elist(
         &self,
         tsid: u32,
         sid: u32,
         did: u64,
         pid: u32,
-        bytes: &[u8],
+        bytes: &bytes::Bytes,
     ) -> Arc<Eventlist> {
         let key = CacheKey::Row(tsid, sid, did, pid);
         match self.read_cache.get(key) {
@@ -397,9 +427,9 @@ impl Tgi {
         sid: u32,
         did: u64,
         pid: u32,
-        bytes: &[u8],
+        bytes: &bytes::Bytes,
     ) -> Arc<Eventlist> {
-        let e = Arc::new(decode_eventlist(bytes).expect("stored eventlist decodes"));
+        let e = Arc::new(self.decode_elist_blob(bytes));
         self.read_cache
             .put(CacheKey::Row(tsid, sid, did, pid), Cached::Elist(e.clone()));
         e

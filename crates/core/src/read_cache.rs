@@ -40,7 +40,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use hgs_delta::{Delta, Eventlist, FxHashMap};
+use hgs_delta::{ColumnarDelta, ColumnarEventlist, Delta, Eventlist, FxHashMap};
 
 use crate::build::Tgi;
 
@@ -76,6 +76,12 @@ impl CacheKey {
 pub(crate) enum Cached {
     Delta(Arc<Delta>),
     Elist(Arc<Eventlist>),
+    /// A lazily-decoded columnar delta row: all memoized column
+    /// materializations share the row's single backing buffer.
+    ColDelta(Arc<ColumnarDelta>),
+    /// A lazily-decoded columnar eventlist row (see
+    /// [`Cached::ColDelta`]).
+    ColElist(Arc<ColumnarEventlist>),
     /// The row is known to be absent from the store (legitimately —
     /// empty micro-partitions are never written). Absence of a
     /// write-once row is itself immutable, so it caches safely.
@@ -87,11 +93,21 @@ const ENTRY_OVERHEAD: usize = 64;
 
 impl Cached {
     /// Byte footprint charged against the budget.
+    ///
+    /// Columnar entries charge the shared backing buffer **once** plus
+    /// the total decompressed size of every column segment (known up
+    /// front from the LZSS length prefixes): the charge is fixed when
+    /// the entry is inserted and already covers any column the entry
+    /// later materializes, so lazy decodes never grow an entry past
+    /// its accounted weight and the backing `Bytes` is never counted
+    /// per-column.
     fn weight(&self) -> usize {
         ENTRY_OVERHEAD
             + match self {
                 Cached::Delta(d) => d.weight_bytes(),
                 Cached::Elist(e) => e.weight_bytes(),
+                Cached::ColDelta(c) => c.backing_len() + c.raw_len_total(),
+                Cached::ColElist(c) => c.backing_len() + c.raw_len_total(),
                 Cached::Absent => 0,
             }
     }
@@ -101,6 +117,8 @@ impl Cached {
         match self {
             Cached::Delta(d) => Cached::Delta(d.clone()),
             Cached::Elist(e) => Cached::Elist(e.clone()),
+            Cached::ColDelta(c) => Cached::ColDelta(c.clone()),
+            Cached::ColElist(c) => Cached::ColElist(c.clone()),
             Cached::Absent => Cached::Absent,
         }
     }

@@ -8,7 +8,7 @@
 //! tests, checked against a reference model.)
 
 use hgs_core::{Tgi, TgiConfig};
-use hgs_delta::{AttrValue, Event, EventKind, TimeRange};
+use hgs_delta::{AttrValue, Event, EventKind, StorageLayout, TimeRange};
 use hgs_store::StoreConfig;
 use proptest::prelude::*;
 
@@ -58,16 +58,23 @@ proptest! {
         ns in 1u32..4,
         raw_times in prop::collection::vec(0u64..u64::MAX, 1..6),
         budget_kind in 0usize..3,
+        columnar in any::<bool>(),
     ) {
         let end = history.last().map(|e| e.time).unwrap_or(0);
         // 0: disabled; 1: tiny (forces eviction churn); 2: ample.
         let budget = [0usize, 4 << 10, 64 << 20][budget_kind];
+        let layout = if columnar {
+            StorageLayout::Columnar
+        } else {
+            StorageLayout::RowWise
+        };
         let cfg = TgiConfig {
             events_per_timespan: 120.max(l),
             eventlist_size: l,
             partition_size: 10,
             horizontal_partitions: ns,
             read_cache_bytes: budget,
+            layout,
             ..TgiConfig::default()
         };
         let tgi = Tgi::build(cfg, StoreConfig::new(2, 1), &history);
@@ -166,4 +173,72 @@ fn warm_working_set_hits_the_cache() {
         "warm pass re-read too much: {warm_rows} vs naive {cold_rows_estimate}"
     );
     assert!(s_warm.bytes <= s_warm.budget);
+}
+
+/// Columnar cache entries hold `Bytes` sub-slices of one shared
+/// backing slab per row. The cache charges each entry its fixed
+/// worst-case weight (backing + fully-decoded columns) exactly once
+/// at insert, so interleaving pruned reads (which cache shared-slab
+/// `ColDelta`/`ColElist` entries) with full replays (which replace
+/// them with decoded entries) can never drift the byte ledger: the
+/// retained total stays within budget through arbitrary churn, and
+/// draining the LRU returns it to exactly zero.
+#[test]
+fn columnar_column_sharing_respects_budget() {
+    let events: Vec<Event> = (0..6_000u64)
+        .map(|i| {
+            Event::new(
+                i,
+                if i % 3 == 0 {
+                    EventKind::AddNode { id: i % 300 }
+                } else {
+                    EventKind::AddEdge {
+                        src: i % 300,
+                        dst: (i * 11) % 300,
+                        weight: 1.0,
+                        directed: false,
+                    }
+                },
+            )
+        })
+        .collect();
+    let end = events.last().unwrap().time;
+    for budget in [8usize << 10, 256 << 10, 64 << 20] {
+        let tgi = Tgi::build(
+            TgiConfig {
+                events_per_timespan: 1_500,
+                eventlist_size: 200,
+                partition_size: 60,
+                read_cache_bytes: budget,
+                ..TgiConfig::default()
+            },
+            StoreConfig::new(2, 1),
+            &events,
+        );
+        // Pruned reads first: node_at/node_history cache parsed
+        // columnar entries whose column slices share one slab.
+        for nid in 0..24u64 {
+            let _ = tgi.node_at(nid, end / 2);
+            let _ = tgi.node_history(nid, TimeRange::new(0, end + 1));
+            let s = tgi.cache_stats();
+            assert!(s.bytes <= s.budget, "budget {budget}: {s:?}");
+        }
+        // Full replays over the same rows: entries flip from columnar
+        // to fully-decoded representations in place.
+        for t in [end / 4, end / 2, end] {
+            let _ = tgi.snapshot(t);
+            let s = tgi.cache_stats();
+            assert!(s.bytes <= s.budget, "budget {budget}: {s:?}");
+        }
+        // And back to pruned reads against the now-decoded entries.
+        for nid in 0..24u64 {
+            let _ = tgi.node_at(nid, end);
+            let s = tgi.cache_stats();
+            assert!(s.bytes <= s.budget, "budget {budget}: {s:?}");
+        }
+        // Draining the LRU releases every charged byte: the ledger
+        // balances only if shared slabs were counted once.
+        tgi.set_read_cache_budget(0);
+        assert_eq!(tgi.cache_stats().bytes, 0, "budget {budget}: drain leak");
+    }
 }

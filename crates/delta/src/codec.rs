@@ -12,6 +12,8 @@
 //! signed, little-endian IEEE-754 for floats, length-prefixed UTF-8
 //! strings, one tag byte per enum.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::attr::{AttrValue, Attrs};
@@ -23,7 +25,24 @@ use crate::types::EdgeDir;
 
 /// Sanity cap for decoded collection lengths (guards against corrupt
 /// length prefixes allocating unbounded memory).
-const MAX_LEN: u64 = 1 << 32;
+pub(crate) const MAX_LEN: u64 = 1 << 32;
+
+/// Process-global count of value bytes materialized by decoding:
+/// whole-row bytes for the row-wise codec, decompressed segment bytes
+/// for the columnar codec. The decode benches report per-query deltas
+/// of this counter.
+static DECODED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes decoded by this process so far (row-wise rows plus
+/// columnar segments actually materialized).
+pub fn decoded_bytes() -> u64 {
+    DECODED_BYTES.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn note_decoded(n: usize) {
+    DECODED_BYTES.fetch_add(n as u64, Ordering::Relaxed);
+}
 
 // ----------------------------------------------------------------------
 // primitives
@@ -43,7 +62,21 @@ pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
 }
 
 /// Read an LEB128 varint.
+#[inline]
 pub fn get_varint(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    // Fast path: single-byte varints dominate every column (delta
+    // timestamps, dictionary indexes, small lengths).
+    if let Some((&b, rest)) = buf.split_first() {
+        if b & 0x80 == 0 {
+            *buf = rest;
+            return Ok(b as u64);
+        }
+    }
+    get_varint_slow(buf)
+}
+
+#[cold]
+fn get_varint_slow(buf: &mut &[u8]) -> Result<u64, CodecError> {
     let mut out: u64 = 0;
     for shift in (0..64).step_by(7) {
         let Some((&b, rest)) = buf.split_first() else {
@@ -72,12 +105,12 @@ pub fn get_zigzag(buf: &mut &[u8]) -> Result<i64, CodecError> {
     Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     put_varint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_len(buf: &mut &[u8], what: &'static str) -> Result<usize, CodecError> {
+pub(crate) fn get_len(buf: &mut &[u8], what: &'static str) -> Result<usize, CodecError> {
     let len = get_varint(buf)?;
     if len > MAX_LEN {
         return Err(CodecError::LengthOverflow { what, len });
@@ -85,7 +118,7 @@ fn get_len(buf: &mut &[u8], what: &'static str) -> Result<usize, CodecError> {
     Ok(len as usize)
 }
 
-fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+pub(crate) fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
     let len = get_len(buf, "string")?;
     if buf.len() < len {
         return Err(CodecError::UnexpectedEof {
@@ -98,11 +131,11 @@ fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
     String::from_utf8(head.to_vec()).map_err(|_| CodecError::BadUtf8)
 }
 
-fn put_f64(buf: &mut BytesMut, v: f64) {
+pub(crate) fn put_f64(buf: &mut BytesMut, v: f64) {
     buf.put_f64_le(v);
 }
 
-fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
+pub(crate) fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
     if buf.len() < 8 {
         return Err(CodecError::UnexpectedEof {
             needed: 8,
@@ -115,11 +148,11 @@ fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
     Ok(v)
 }
 
-fn put_f32(buf: &mut BytesMut, v: f32) {
+pub(crate) fn put_f32(buf: &mut BytesMut, v: f32) {
     buf.put_f32_le(v);
 }
 
-fn get_f32(buf: &mut &[u8]) -> Result<f32, CodecError> {
+pub(crate) fn get_f32(buf: &mut &[u8]) -> Result<f32, CodecError> {
     if buf.len() < 4 {
         return Err(CodecError::UnexpectedEof {
             needed: 4,
@@ -136,7 +169,7 @@ fn get_f32(buf: &mut &[u8]) -> Result<f32, CodecError> {
 // attributes
 // ----------------------------------------------------------------------
 
-fn put_attr_value(buf: &mut BytesMut, v: &AttrValue) {
+pub(crate) fn put_attr_value(buf: &mut BytesMut, v: &AttrValue) {
     match v {
         AttrValue::Int(i) => {
             buf.put_u8(0);
@@ -157,7 +190,7 @@ fn put_attr_value(buf: &mut BytesMut, v: &AttrValue) {
     }
 }
 
-fn get_attr_value(buf: &mut &[u8]) -> Result<AttrValue, CodecError> {
+pub(crate) fn get_attr_value(buf: &mut &[u8]) -> Result<AttrValue, CodecError> {
     let Some((&tag, rest)) = buf.split_first() else {
         return Err(CodecError::UnexpectedEof {
             needed: 1,
@@ -292,6 +325,7 @@ pub fn encode_delta(d: &Delta) -> Bytes {
 
 /// Decode a delta; rejects trailing bytes.
 pub fn decode_delta(mut buf: &[u8]) -> Result<Delta, CodecError> {
+    note_decoded(buf.len());
     let n = get_len(&mut buf, "delta")?;
     let mut d = Delta::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -474,6 +508,7 @@ pub fn encode_eventlist(el: &Eventlist) -> Bytes {
 
 /// Decode an eventlist; rejects trailing bytes.
 pub fn decode_eventlist(mut buf: &[u8]) -> Result<Eventlist, CodecError> {
+    note_decoded(buf.len());
     let n = get_len(&mut buf, "eventlist")?;
     let mut events = Vec::with_capacity(n.min(1 << 20));
     let mut prev = 0u64;

@@ -1,0 +1,1506 @@
+//! Columnar storage layout for eventlists and deltas.
+//!
+//! The row-wise codec ([`crate::codec`]) interleaves every field of
+//! every event/node, so a reader pays full decode cost even when it
+//! only needs one node's structural history. This module stores the
+//! same data as **separately LZSS-compressed column segments** behind
+//! one backing [`Bytes`] value:
+//!
+//! * an eventlist row holds a node-id dictionary, a delta-varint
+//!   timestamp column, a kind-tag column, dictionary-index id columns,
+//!   and payload columns (edge weights, interned attribute keys,
+//!   attribute values);
+//! * a delta row holds a sorted node-id column, a record-length
+//!   column, an interned attribute-key dictionary, and a concatenated
+//!   per-node record segment; full replays stream ids + records only
+//!   (records are self-delimiting), while pruned per-node lookups
+//!   binary-search ids and use the length column to slice one record.
+//!
+//! Segments are decompressed lazily and memoized, so a query
+//! materializes only the columns it touches: a `node_at` probe whose
+//! node is absent from the dictionary stops after the dictionary
+//! segment; a structural replay never decompresses attribute values.
+//! Every decompressed segment is charged to
+//! [`crate::codec::decoded_bytes`], which is how the decode benches
+//! compare layouts honestly.
+//!
+//! Corrupt input is an error, never a panic: all lengths are validated
+//! against the codec's `MAX_LEN` cap before allocation, segment ranges
+//! are bounds-checked against the backing buffer, and dictionary
+//! indexes are range-checked on use.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::attr::{AttrValue, Attrs};
+use crate::codec::{
+    get_attr_value, get_f32, get_len, get_str, get_varint, note_decoded, put_attr_value, put_f32,
+    put_str, put_varint,
+};
+use crate::compress::{compress, decompress, decompressed_len};
+use crate::delta::Delta;
+use crate::error::CodecError;
+use crate::event::{Event, EventKind, Eventlist};
+use crate::node::{Neighbor, StaticNode};
+use crate::types::{EdgeDir, NodeId, Time};
+
+/// Which physical row format index rows are written in.
+///
+/// The layout is a build-time property of the whole index (persisted
+/// with the configuration; rows are not self-describing) — both
+/// layouts answer every query identically, which the cross-layout
+/// equality suite verifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageLayout {
+    /// The original interleaved tag-byte format of [`crate::codec`].
+    RowWise,
+    /// Per-column LZSS-compressed segments, decoded lazily.
+    Columnar,
+}
+
+const ELIST_MAGIC: u8 = 0xC1;
+const DELTA_MAGIC: u8 = 0xC2;
+
+const ELIST_SEGS: usize = 8;
+const SEG_NODE_DICT: usize = 0;
+const SEG_TIMES: usize = 1;
+const SEG_KINDS: usize = 2;
+const SEG_IDS: usize = 3;
+const SEG_WEIGHTS: usize = 4;
+const SEG_KEY_DICT: usize = 5;
+const SEG_ATTR_KEYS: usize = 6;
+const SEG_ATTR_VALS: usize = 7;
+
+const DELTA_SEGS: usize = 4;
+const SEG_NODE_IDS: usize = 0;
+const SEG_RECORD_LENS: usize = 1;
+const SEG_DKEY_DICT: usize = 2;
+const SEG_RECORDS: usize = 3;
+
+// ----------------------------------------------------------------------
+// kind-tag helpers (tags match the row-wise codec's event tags)
+// ----------------------------------------------------------------------
+
+fn kind_tag(k: &EventKind) -> u8 {
+    match k {
+        EventKind::AddNode { .. } => 0,
+        EventKind::RemoveNode { .. } => 1,
+        EventKind::AddEdge { .. } => 2,
+        EventKind::RemoveEdge { .. } => 3,
+        EventKind::SetEdgeWeight { .. } => 4,
+        EventKind::SetNodeAttr { .. } => 5,
+        EventKind::RemoveNodeAttr { .. } => 6,
+        EventKind::SetEdgeAttr { .. } => 7,
+        EventKind::RemoveEdgeAttr { .. } => 8,
+    }
+}
+
+/// Tags whose events reference two node ids.
+#[inline]
+fn has_two_ids(tag: u8) -> bool {
+    matches!(tag, 2 | 3 | 4 | 7 | 8)
+}
+
+/// Tags that consume one entry of the weights column.
+#[inline]
+fn has_weight(tag: u8) -> bool {
+    matches!(tag, 2 | 4)
+}
+
+/// Tags that consume one entry of the attr-key column.
+#[inline]
+fn has_attr_key(tag: u8) -> bool {
+    matches!(tag, 5..=8)
+}
+
+/// Tags that consume one entry of the attr-value column.
+#[inline]
+fn has_attr_val(tag: u8) -> bool {
+    matches!(tag, 5 | 7)
+}
+
+fn attr_key_of(k: &EventKind) -> Option<&str> {
+    match k {
+        EventKind::SetNodeAttr { key, .. }
+        | EventKind::RemoveNodeAttr { key, .. }
+        | EventKind::SetEdgeAttr { key, .. }
+        | EventKind::RemoveEdgeAttr { key, .. } => Some(key),
+        _ => None,
+    }
+}
+
+#[inline]
+fn dict_idx<T: Ord>(dict: &[T], v: &T) -> u64 {
+    dict.binary_search(v)
+        .expect("value interned at encode time") as u64
+}
+
+fn dict_node(dict: &[NodeId], idx: u32) -> Result<NodeId, CodecError> {
+    dict.get(idx as usize)
+        .copied()
+        .ok_or(CodecError::LengthOverflow {
+            what: "node-dict-index",
+            len: idx as u64,
+        })
+}
+
+// ----------------------------------------------------------------------
+// shared header: magic, count, per-segment compressed lengths
+// ----------------------------------------------------------------------
+
+/// Per-segment policy marker: never emit an LZSS stream for this
+/// segment (see `assemble`).
+const NEVER_COMPRESS: usize = usize::MAX;
+
+fn assemble(magic: u8, count: usize, segs: &[&[u8]], min_save_num: &[usize]) -> Bytes {
+    // Adaptive per-segment compression: keep the LZSS stream only when
+    // it buys the segment's required saving (`min_save_num[i]` / 16 of
+    // its bytes); otherwise store the segment raw, which decodes as a
+    // zero-copy sub-slice of the backing buffer. Encoders pass
+    // [`NEVER_COMPRESS`] for segments whose decompression time a cold
+    // full replay cannot afford. The per-segment length varint carries
+    // the choice in its low bit: `(stored_len << 1) | compressed`.
+    let comp: Vec<Option<Bytes>> = segs
+        .iter()
+        .zip(min_save_num)
+        .map(|(s, &num)| {
+            if num == NEVER_COMPRESS {
+                return None;
+            }
+            let c = compress(s);
+            (c.len() <= s.len() - s.len() / 16 * num).then_some(c)
+        })
+        .collect();
+    let total: usize = segs
+        .iter()
+        .zip(&comp)
+        .map(|(s, c)| c.as_ref().map_or(s.len(), |c| c.len()))
+        .sum();
+    let mut out = BytesMut::with_capacity(total + 8 + 2 * segs.len());
+    out.put_u8(magic);
+    put_varint(&mut out, count as u64);
+    put_varint(&mut out, segs.len() as u64);
+    for (s, c) in segs.iter().zip(&comp) {
+        match c {
+            Some(c) => put_varint(&mut out, (c.len() as u64) << 1 | 1),
+            None => put_varint(&mut out, (s.len() as u64) << 1),
+        }
+    }
+    for (s, c) in segs.iter().zip(&comp) {
+        out.put_slice(c.as_deref().unwrap_or(s));
+    }
+    out.freeze()
+}
+
+/// Parse the common header and bounds-check every segment range. Also
+/// peeks each compressed segment's decompressed length (O(1) thanks
+/// to the LZSS raw-length prefix) so cache weight is known before any
+/// lazy decode; raw-stored segments report their stored length.
+#[allow(clippy::type_complexity)]
+fn parse_header(
+    backing: &Bytes,
+    magic: u8,
+    n_segs: usize,
+    what: &'static str,
+) -> Result<(usize, Vec<Range<usize>>, Vec<usize>, Vec<bool>), CodecError> {
+    let mut buf: &[u8] = backing;
+    let Some((&tag, rest)) = buf.split_first() else {
+        return Err(CodecError::UnexpectedEof {
+            needed: 1,
+            remaining: 0,
+        });
+    };
+    buf = rest;
+    if tag != magic {
+        return Err(CodecError::BadTag { what, tag });
+    }
+    let count = get_len(&mut buf, what)?;
+    let got_segs = get_len(&mut buf, "segment-count")?;
+    if got_segs != n_segs {
+        return Err(CodecError::LengthOverflow {
+            what: "segment-count",
+            len: got_segs as u64,
+        });
+    }
+    let mut lens = Vec::with_capacity(n_segs);
+    for _ in 0..n_segs {
+        // Low bit: segment is LZSS-compressed; high bits: stored size.
+        let lv = get_len(&mut buf, "segment")?;
+        lens.push((lv >> 1, lv & 1 == 1));
+    }
+    let mut pos = backing.len() - buf.len();
+    let mut segs = Vec::with_capacity(n_segs);
+    let mut raw_lens = Vec::with_capacity(n_segs);
+    let mut comp = Vec::with_capacity(n_segs);
+    for (len, compressed) in lens {
+        let end = pos.checked_add(len).ok_or(CodecError::LengthOverflow {
+            what: "segment",
+            len: len as u64,
+        })?;
+        if end > backing.len() {
+            return Err(CodecError::UnexpectedEof {
+                needed: len,
+                remaining: backing.len() - pos,
+            });
+        }
+        let raw = if compressed {
+            let mut head: &[u8] = &backing[pos..end];
+            // `get_len` re-applies the MAX_LEN cap to the raw length,
+            // so a corrupt prefix cannot make a lazy decode
+            // over-allocate.
+            let raw = get_len(&mut head, "segment-raw")?;
+            debug_assert_eq!(raw, decompressed_len(&backing[pos..end]).unwrap_or(raw));
+            raw
+        } else {
+            len
+        };
+        segs.push(pos..end);
+        raw_lens.push(raw);
+        comp.push(compressed);
+        pos = end;
+    }
+    if pos != backing.len() {
+        return Err(CodecError::TrailingBytes {
+            remaining: backing.len() - pos,
+        });
+    }
+    Ok((count, segs, raw_lens, comp))
+}
+
+// ----------------------------------------------------------------------
+// columnar eventlists
+// ----------------------------------------------------------------------
+
+/// Serialize an eventlist in the columnar layout.
+pub fn encode_columnar_eventlist(el: &Eventlist) -> Bytes {
+    let events = el.events();
+    let mut nids: Vec<NodeId> = Vec::with_capacity(events.len() * 2);
+    let mut keys: Vec<&str> = Vec::new();
+    for e in events {
+        let (a, b) = e.kind.touched();
+        nids.push(a);
+        if let Some(b) = b {
+            nids.push(b);
+        }
+        if let Some(k) = attr_key_of(&e.kind) {
+            keys.push(k);
+        }
+    }
+    nids.sort_unstable();
+    nids.dedup();
+    keys.sort_unstable();
+    keys.dedup();
+
+    let mut node_dict = BytesMut::new();
+    put_varint(&mut node_dict, nids.len() as u64);
+    let mut prev = 0u64;
+    for &id in &nids {
+        put_varint(&mut node_dict, id.wrapping_sub(prev));
+        prev = id;
+    }
+
+    let mut key_dict = BytesMut::new();
+    put_varint(&mut key_dict, keys.len() as u64);
+    for k in &keys {
+        put_str(&mut key_dict, k);
+    }
+
+    let mut times = BytesMut::with_capacity(events.len() * 2);
+    let mut kinds = BytesMut::with_capacity(events.len());
+    let mut ids = BytesMut::with_capacity(events.len() * 2);
+    let mut weights = BytesMut::new();
+    let mut attr_keys = BytesMut::new();
+    let mut attr_vals = BytesMut::new();
+    let mut prev_t = 0u64;
+    for e in events {
+        put_varint(&mut times, e.time.wrapping_sub(prev_t));
+        prev_t = e.time;
+        kinds.put_u8(kind_tag(&e.kind));
+        let (a, b) = e.kind.touched();
+        put_varint(&mut ids, dict_idx(&nids, &a));
+        if let Some(b) = b {
+            put_varint(&mut ids, dict_idx(&nids, &b));
+        }
+        match &e.kind {
+            EventKind::AddEdge {
+                weight, directed, ..
+            } => {
+                put_f32(&mut weights, *weight);
+                weights.put_u8(*directed as u8);
+            }
+            EventKind::SetEdgeWeight { weight, .. } => {
+                put_f32(&mut weights, *weight);
+                weights.put_u8(0);
+            }
+            _ => {}
+        }
+        if let Some(k) = attr_key_of(&e.kind) {
+            put_varint(&mut attr_keys, dict_idx(&keys, &k));
+        }
+        match &e.kind {
+            EventKind::SetNodeAttr { value, .. } | EventKind::SetEdgeAttr { value, .. } => {
+                put_attr_value(&mut attr_vals, value);
+            }
+            _ => {}
+        }
+    }
+
+    assemble(
+        ELIST_MAGIC,
+        events.len(),
+        &[
+            &node_dict, &times, &kinds, &ids, &weights, &key_dict, &attr_keys, &attr_vals,
+        ],
+        &{
+            // Role-aware policy, mirroring the delta encoder below: the
+            // columns a structural replay always streams (times, kinds,
+            // ids) stay raw so a cold snapshot never pays decompression
+            // the row-wise baseline doesn't; dictionary and payload
+            // columns — where the textual redundancy lives — compress
+            // adaptively. Weights qualify too: repeated defaults make
+            // it a run-length column that LZSS restores at memcpy
+            // speed.
+            let mut min_save = [NEVER_COMPRESS; ELIST_SEGS];
+            min_save[SEG_NODE_DICT] = 1;
+            min_save[SEG_WEIGHTS] = 1;
+            min_save[SEG_KEY_DICT] = 1;
+            min_save[SEG_ATTR_KEYS] = 1;
+            min_save[SEG_ATTR_VALS] = 1;
+            min_save
+        },
+    )
+}
+
+/// The cheap always-decoded columns: timestamps, kind tags and
+/// dictionary-index id pairs (second index is `u32::MAX` filler for
+/// single-node kinds).
+#[derive(Debug)]
+struct CoreColumns {
+    times: Vec<Time>,
+    kinds: Vec<u8>,
+    ids: Vec<(u32, u32)>,
+}
+
+/// A parsed columnar eventlist row: one backing buffer, per-segment
+/// sub-ranges, and lazily decoded (memoized) columns.
+#[derive(Debug)]
+pub struct ColumnarEventlist {
+    backing: Bytes,
+    n_events: usize,
+    segs: [Range<usize>; ELIST_SEGS],
+    raw_lens: [usize; ELIST_SEGS],
+    comp: [bool; ELIST_SEGS],
+    node_dict: OnceLock<Result<Vec<NodeId>, CodecError>>,
+    core: OnceLock<Result<CoreColumns, CodecError>>,
+    weights: OnceLock<Result<Vec<(f32, bool)>, CodecError>>,
+    key_dict: OnceLock<Result<Vec<String>, CodecError>>,
+    attr_keys: OnceLock<Result<Vec<u32>, CodecError>>,
+    attr_vals: OnceLock<Result<Vec<AttrValue>, CodecError>>,
+}
+
+impl ColumnarEventlist {
+    /// Parse the header of an encoded row. Only the header is read;
+    /// column segments stay compressed until first use.
+    pub fn parse(backing: Bytes) -> Result<ColumnarEventlist, CodecError> {
+        let (n_events, segs, raw_lens, comp) =
+            parse_header(&backing, ELIST_MAGIC, ELIST_SEGS, "columnar-eventlist")?;
+        Ok(ColumnarEventlist {
+            backing,
+            n_events,
+            segs: segs.try_into().expect("segment count checked"),
+            raw_lens: raw_lens.try_into().expect("segment count checked"),
+            comp: comp.try_into().expect("segment count checked"),
+            node_dict: OnceLock::new(),
+            core: OnceLock::new(),
+            weights: OnceLock::new(),
+            key_dict: OnceLock::new(),
+            attr_keys: OnceLock::new(),
+            attr_vals: OnceLock::new(),
+        })
+    }
+
+    /// Number of events in the row.
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// Size of the shared backing buffer.
+    pub fn backing_len(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// Sum of all segments' decompressed lengths — the upper bound of
+    /// what lazy decoding can ever materialize. Known without
+    /// decompressing anything; the read cache charges this up front.
+    pub fn raw_len_total(&self) -> usize {
+        self.raw_lens.iter().sum()
+    }
+
+    fn decode_seg(&self, i: usize) -> Result<Bytes, CodecError> {
+        let raw = if self.comp[i] {
+            decompress(&self.backing[self.segs[i].clone()])?
+        } else {
+            // Raw-stored segment: a zero-copy sub-slice of the
+            // shared backing buffer.
+            self.backing.slice(self.segs[i].clone())
+        };
+        note_decoded(raw.len());
+        Ok(raw)
+    }
+
+    fn node_dict(&self) -> Result<&[NodeId], CodecError> {
+        self.node_dict
+            .get_or_init(|| {
+                let raw = self.decode_seg(SEG_NODE_DICT)?;
+                let mut b: &[u8] = &raw;
+                let n = get_len(&mut b, "node-dict")?;
+                let mut out = Vec::with_capacity(n.min(1 << 20));
+                let mut prev = 0u64;
+                for _ in 0..n {
+                    prev = prev.wrapping_add(get_varint(&mut b)?);
+                    out.push(prev);
+                }
+                if !b.is_empty() {
+                    return Err(CodecError::TrailingBytes { remaining: b.len() });
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(|e| e.clone())
+    }
+
+    fn core(&self) -> Result<&CoreColumns, CodecError> {
+        self.core
+            .get_or_init(|| {
+                let n = self.n_events;
+                let raw = self.decode_seg(SEG_TIMES)?;
+                let mut b: &[u8] = &raw;
+                let mut times = Vec::with_capacity(n.min(1 << 20));
+                let mut prev = 0u64;
+                for _ in 0..n {
+                    prev = prev.wrapping_add(get_varint(&mut b)?);
+                    times.push(prev);
+                }
+                if !b.is_empty() {
+                    return Err(CodecError::TrailingBytes { remaining: b.len() });
+                }
+
+                let kraw = self.decode_seg(SEG_KINDS)?;
+                if kraw.len() != n {
+                    return Err(CodecError::UnexpectedEof {
+                        needed: n,
+                        remaining: kraw.len(),
+                    });
+                }
+                let kinds: Vec<u8> = kraw.to_vec();
+                for &t in &kinds {
+                    if t > 8 {
+                        return Err(CodecError::BadTag {
+                            what: "EventKind",
+                            tag: t,
+                        });
+                    }
+                }
+
+                let iraw = self.decode_seg(SEG_IDS)?;
+                let mut b: &[u8] = &iraw;
+                let mut ids = Vec::with_capacity(n.min(1 << 20));
+                for &t in &kinds {
+                    let a = get_varint(&mut b)?;
+                    let bb = if has_two_ids(t) {
+                        get_varint(&mut b)?
+                    } else {
+                        u32::MAX as u64
+                    };
+                    if a > u32::MAX as u64 || bb > u32::MAX as u64 {
+                        return Err(CodecError::LengthOverflow {
+                            what: "node-dict-index",
+                            len: a.max(bb),
+                        });
+                    }
+                    ids.push((a as u32, bb as u32));
+                }
+                if !b.is_empty() {
+                    return Err(CodecError::TrailingBytes { remaining: b.len() });
+                }
+                Ok(CoreColumns { times, kinds, ids })
+            })
+            .as_ref()
+            .map_err(|e| e.clone())
+    }
+
+    fn weights(&self) -> Result<&[(f32, bool)], CodecError> {
+        self.weights
+            .get_or_init(|| {
+                let raw = self.decode_seg(SEG_WEIGHTS)?;
+                let mut b: &[u8] = &raw;
+                let mut out = Vec::with_capacity((raw.len() / 5).min(1 << 20));
+                while !b.is_empty() {
+                    let w = get_f32(&mut b)?;
+                    let Some((&flag, rest)) = b.split_first() else {
+                        return Err(CodecError::UnexpectedEof {
+                            needed: 1,
+                            remaining: 0,
+                        });
+                    };
+                    b = rest;
+                    out.push((w, flag != 0));
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(|e| e.clone())
+    }
+
+    fn key_dict(&self) -> Result<&[String], CodecError> {
+        self.key_dict
+            .get_or_init(|| {
+                let raw = self.decode_seg(SEG_KEY_DICT)?;
+                let mut b: &[u8] = &raw;
+                let n = get_len(&mut b, "key-dict")?;
+                let mut out = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    out.push(get_str(&mut b)?);
+                }
+                if !b.is_empty() {
+                    return Err(CodecError::TrailingBytes { remaining: b.len() });
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(|e| e.clone())
+    }
+
+    fn attr_keys(&self) -> Result<&[u32], CodecError> {
+        self.attr_keys
+            .get_or_init(|| {
+                let raw = self.decode_seg(SEG_ATTR_KEYS)?;
+                let mut b: &[u8] = &raw;
+                let mut out = Vec::with_capacity((raw.len()).min(1 << 20));
+                while !b.is_empty() {
+                    let idx = get_varint(&mut b)?;
+                    if idx > u32::MAX as u64 {
+                        return Err(CodecError::LengthOverflow {
+                            what: "key-dict-index",
+                            len: idx,
+                        });
+                    }
+                    out.push(idx as u32);
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(|e| e.clone())
+    }
+
+    fn attr_vals(&self) -> Result<&[AttrValue], CodecError> {
+        self.attr_vals
+            .get_or_init(|| {
+                let raw = self.decode_seg(SEG_ATTR_VALS)?;
+                let mut b: &[u8] = &raw;
+                let mut out = Vec::new();
+                while !b.is_empty() {
+                    out.push(get_attr_value(&mut b)?);
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(|e| e.clone())
+    }
+
+    fn attr_key_at(&self, ord: usize) -> Result<String, CodecError> {
+        let idx = *self
+            .attr_keys()?
+            .get(ord)
+            .ok_or(CodecError::UnexpectedEof {
+                needed: ord + 1,
+                remaining: 0,
+            })?;
+        self.key_dict()?
+            .get(idx as usize)
+            .cloned()
+            .ok_or(CodecError::LengthOverflow {
+                what: "key-dict-index",
+                len: idx as u64,
+            })
+    }
+
+    fn build_kind(
+        &self,
+        tag: u8,
+        a: NodeId,
+        b: Option<NodeId>,
+        w_ord: usize,
+        ak_ord: usize,
+        av_ord: usize,
+    ) -> Result<EventKind, CodecError> {
+        let two = |b: Option<NodeId>| {
+            b.ok_or(CodecError::BadTag {
+                what: "EventKind",
+                tag,
+            })
+        };
+        let weight = |ord: usize| -> Result<(f32, bool), CodecError> {
+            self.weights()?
+                .get(ord)
+                .copied()
+                .ok_or(CodecError::UnexpectedEof {
+                    needed: ord + 1,
+                    remaining: 0,
+                })
+        };
+        let attr_val = |ord: usize| -> Result<AttrValue, CodecError> {
+            self.attr_vals()?
+                .get(ord)
+                .cloned()
+                .ok_or(CodecError::UnexpectedEof {
+                    needed: ord + 1,
+                    remaining: 0,
+                })
+        };
+        Ok(match tag {
+            0 => EventKind::AddNode { id: a },
+            1 => EventKind::RemoveNode { id: a },
+            2 => {
+                let (w, directed) = weight(w_ord)?;
+                EventKind::AddEdge {
+                    src: a,
+                    dst: two(b)?,
+                    weight: w,
+                    directed,
+                }
+            }
+            3 => EventKind::RemoveEdge {
+                src: a,
+                dst: two(b)?,
+            },
+            4 => EventKind::SetEdgeWeight {
+                src: a,
+                dst: two(b)?,
+                weight: weight(w_ord)?.0,
+            },
+            5 => EventKind::SetNodeAttr {
+                id: a,
+                key: self.attr_key_at(ak_ord)?,
+                value: attr_val(av_ord)?,
+            },
+            6 => EventKind::RemoveNodeAttr {
+                id: a,
+                key: self.attr_key_at(ak_ord)?,
+            },
+            7 => EventKind::SetEdgeAttr {
+                src: a,
+                dst: two(b)?,
+                key: self.attr_key_at(ak_ord)?,
+                value: attr_val(av_ord)?,
+            },
+            8 => EventKind::RemoveEdgeAttr {
+                src: a,
+                dst: two(b)?,
+                key: self.attr_key_at(ak_ord)?,
+            },
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "EventKind",
+                    tag: t,
+                })
+            }
+        })
+    }
+
+    fn materialize(&self, filter: Option<NodeId>) -> Result<Vec<Event>, CodecError> {
+        if let Some(nid) = filter {
+            // Dictionary miss: nothing past the dictionary is decoded.
+            if self.node_dict()?.binary_search(&nid).is_err() {
+                return Ok(Vec::new());
+            }
+        }
+        let dict = self.node_dict()?;
+        let core = self.core()?;
+        let mut out = Vec::with_capacity(if filter.is_some() { 8 } else { self.n_events });
+        let (mut w_ord, mut ak_ord, mut av_ord) = (0usize, 0usize, 0usize);
+        for i in 0..self.n_events {
+            let tag = core.kinds[i];
+            let (ia, ib) = core.ids[i];
+            let a = dict_node(dict, ia)?;
+            let b = if has_two_ids(tag) {
+                Some(dict_node(dict, ib)?)
+            } else {
+                None
+            };
+            let wanted = match filter {
+                None => true,
+                Some(nid) => a == nid || b == Some(nid),
+            };
+            if wanted {
+                let kind = self.build_kind(tag, a, b, w_ord, ak_ord, av_ord)?;
+                out.push(Event::new(core.times[i], kind));
+            }
+            if has_weight(tag) {
+                w_ord += 1;
+            }
+            if has_attr_key(tag) {
+                ak_ord += 1;
+            }
+            if has_attr_val(tag) {
+                av_ord += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `nid` appears in this row's node dictionary (decodes
+    /// only the dictionary segment).
+    pub fn contains_node(&self, nid: NodeId) -> Result<bool, CodecError> {
+        Ok(self.node_dict()?.binary_search(&nid).is_ok())
+    }
+
+    /// Events touching `nid`, in order. Decodes the dictionary plus —
+    /// only on a dictionary hit — the core columns, and payload
+    /// columns only if a touching event carries that payload.
+    pub fn events_touching(&self, nid: NodeId) -> Result<Vec<Event>, CodecError> {
+        self.materialize(Some(nid))
+    }
+
+    /// Decode every column and reassemble the full eventlist.
+    ///
+    /// Full materialization streams all column cursors in one pass —
+    /// no memoized column vectors, no per-event ordinal lookups — so a
+    /// cold full replay costs what the row-wise decoder costs plus the
+    /// (adaptive) per-segment decompression.
+    pub fn to_eventlist(&self) -> Result<Eventlist, CodecError> {
+        let dict = self.node_dict()?;
+        let key_dict = self.key_dict()?;
+        let n = self.n_events;
+        let traw = self.decode_seg(SEG_TIMES)?;
+        let kraw = self.decode_seg(SEG_KINDS)?;
+        let iraw = self.decode_seg(SEG_IDS)?;
+        let wraw = self.decode_seg(SEG_WEIGHTS)?;
+        let akraw = self.decode_seg(SEG_ATTR_KEYS)?;
+        let avraw = self.decode_seg(SEG_ATTR_VALS)?;
+        if kraw.len() != n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: kraw.len(),
+            });
+        }
+        let mut tb: &[u8] = &traw;
+        let mut ib: &[u8] = &iraw;
+        let mut wb: &[u8] = &wraw;
+        let mut akb: &[u8] = &akraw;
+        let mut avb: &[u8] = &avraw;
+        let one = |b: &mut &[u8], dict: &[NodeId]| -> Result<NodeId, CodecError> {
+            let idx = get_varint(b)?;
+            dict.get(idx as usize)
+                .copied()
+                .ok_or(CodecError::LengthOverflow {
+                    what: "node-dict-index",
+                    len: idx,
+                })
+        };
+        let key = |b: &mut &[u8]| -> Result<String, CodecError> {
+            let idx = get_varint(b)?;
+            key_dict
+                .get(idx as usize)
+                .cloned()
+                .ok_or(CodecError::LengthOverflow {
+                    what: "key-dict-index",
+                    len: idx,
+                })
+        };
+        let flag = |b: &mut &[u8]| -> Result<bool, CodecError> {
+            let Some((&f, rest)) = b.split_first() else {
+                return Err(CodecError::UnexpectedEof {
+                    needed: 1,
+                    remaining: 0,
+                });
+            };
+            *b = rest;
+            Ok(f != 0)
+        };
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0u64;
+        for &tag in kraw.iter() {
+            // Checked, not wrapping: a corrupt gap that overflows the
+            // clock is an error, never an out-of-order eventlist.
+            t = t
+                .checked_add(get_varint(&mut tb)?)
+                .ok_or(CodecError::VarintOverflow)?;
+            let a = one(&mut ib, dict)?;
+            let kind = match tag {
+                0 => EventKind::AddNode { id: a },
+                1 => EventKind::RemoveNode { id: a },
+                2 => EventKind::AddEdge {
+                    src: a,
+                    dst: one(&mut ib, dict)?,
+                    weight: get_f32(&mut wb)?,
+                    directed: flag(&mut wb)?,
+                },
+                3 => EventKind::RemoveEdge {
+                    src: a,
+                    dst: one(&mut ib, dict)?,
+                },
+                4 => {
+                    let dst = one(&mut ib, dict)?;
+                    let weight = get_f32(&mut wb)?;
+                    flag(&mut wb)?;
+                    EventKind::SetEdgeWeight {
+                        src: a,
+                        dst,
+                        weight,
+                    }
+                }
+                5 => EventKind::SetNodeAttr {
+                    id: a,
+                    key: key(&mut akb)?,
+                    value: get_attr_value(&mut avb)?,
+                },
+                6 => EventKind::RemoveNodeAttr {
+                    id: a,
+                    key: key(&mut akb)?,
+                },
+                7 => {
+                    let dst = one(&mut ib, dict)?;
+                    EventKind::SetEdgeAttr {
+                        src: a,
+                        dst,
+                        key: key(&mut akb)?,
+                        value: get_attr_value(&mut avb)?,
+                    }
+                }
+                8 => {
+                    let dst = one(&mut ib, dict)?;
+                    EventKind::RemoveEdgeAttr {
+                        src: a,
+                        dst,
+                        key: key(&mut akb)?,
+                    }
+                }
+                bad => {
+                    return Err(CodecError::BadTag {
+                        what: "EventKind",
+                        tag: bad,
+                    })
+                }
+            };
+            out.push(Event::new(t, kind));
+        }
+        if !tb.is_empty() || !ib.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: tb.len() + ib.len(),
+            });
+        }
+        Ok(Eventlist::from_sorted(out))
+    }
+}
+
+// ----------------------------------------------------------------------
+// columnar deltas
+// ----------------------------------------------------------------------
+
+fn put_interned_attrs(buf: &mut BytesMut, attrs: &Attrs, keys: &[&str]) {
+    put_varint(buf, attrs.len() as u64);
+    for (k, v) in attrs.iter() {
+        put_varint(buf, dict_idx(keys, &k));
+        put_attr_value(buf, v);
+    }
+}
+
+fn get_interned_attrs(buf: &mut &[u8], keys: &[String]) -> Result<Attrs, CodecError> {
+    let n = get_len(buf, "attrs")?;
+    let mut pairs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let idx = get_varint(buf)?;
+        let k = keys
+            .get(idx as usize)
+            .cloned()
+            .ok_or(CodecError::LengthOverflow {
+                what: "key-dict-index",
+                len: idx,
+            })?;
+        pairs.push((k, get_attr_value(buf)?));
+    }
+    Ok(Attrs::from_pairs(pairs))
+}
+
+fn put_record(buf: &mut BytesMut, n: &StaticNode, keys: &[&str]) {
+    put_varint(buf, n.edges.len() as u64);
+    let mut prev = 0u64;
+    for e in &n.edges {
+        put_varint(buf, e.nbr.wrapping_sub(prev));
+        prev = e.nbr;
+        buf.put_u8(e.dir.tag());
+        put_f32(buf, e.weight);
+        match &e.attrs {
+            Some(a) => {
+                buf.put_u8(1);
+                put_interned_attrs(buf, a, keys);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    put_interned_attrs(buf, &n.attrs, keys);
+}
+
+fn parse_record(id: NodeId, mut buf: &[u8], keys: &[String]) -> Result<StaticNode, CodecError> {
+    let node = parse_record_from(id, &mut buf, keys)?;
+    if !buf.is_empty() {
+        return Err(CodecError::TrailingBytes {
+            remaining: buf.len(),
+        });
+    }
+    Ok(node)
+}
+
+/// Parse one record from a running cursor; records are
+/// self-delimiting, so the caller needs no length column.
+fn parse_record_from(id: NodeId, b: &mut &[u8], keys: &[String]) -> Result<StaticNode, CodecError> {
+    let n_edges = get_len(b, "edges")?;
+    let mut edges = Vec::with_capacity(n_edges.min(1 << 16));
+    let mut prev = 0u64;
+    for _ in 0..n_edges {
+        let nbr = prev.wrapping_add(get_varint(b)?);
+        prev = nbr;
+        let Some((&dtag, rest)) = b.split_first() else {
+            return Err(CodecError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            });
+        };
+        *b = rest;
+        let dir = EdgeDir::from_tag(dtag).ok_or(CodecError::BadTag {
+            what: "EdgeDir",
+            tag: dtag,
+        })?;
+        let weight = get_f32(b)?;
+        let Some((&has_attrs, rest)) = b.split_first() else {
+            return Err(CodecError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            });
+        };
+        *b = rest;
+        let attrs = if has_attrs != 0 {
+            Some(Box::new(get_interned_attrs(b, keys)?))
+        } else {
+            None
+        };
+        edges.push(Neighbor {
+            nbr,
+            dir,
+            weight,
+            attrs,
+        });
+    }
+    let attrs = get_interned_attrs(b, keys)?;
+    Ok(StaticNode { id, edges, attrs })
+}
+
+/// Serialize a delta in the columnar layout: sorted node-id and
+/// record-length columns, interned attribute-key dictionary,
+/// concatenated per-node records.
+pub fn encode_columnar_delta(d: &Delta) -> Bytes {
+    let ids = d.sorted_ids();
+    let mut keys: Vec<&str> = Vec::new();
+    for n in d.iter() {
+        for (k, _) in n.attrs.iter() {
+            keys.push(k);
+        }
+        for e in &n.edges {
+            if let Some(a) = &e.attrs {
+                for (k, _) in a.iter() {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+
+    let mut key_dict = BytesMut::new();
+    put_varint(&mut key_dict, keys.len() as u64);
+    for k in &keys {
+        put_str(&mut key_dict, k);
+    }
+
+    let mut id_col = BytesMut::with_capacity(ids.len() * 2);
+    let mut len_col = BytesMut::with_capacity(ids.len() * 2);
+    let mut records = BytesMut::new();
+    let mut prev = 0u64;
+    for &id in &ids {
+        let start = records.len();
+        put_record(&mut records, d.node(id).expect("id from sorted_ids"), &keys);
+        put_varint(&mut id_col, id.wrapping_sub(prev));
+        prev = id;
+        put_varint(&mut len_col, (records.len() - start) as u64);
+    }
+
+    // The record and node-id columns carry the bulk of every cold
+    // full replay, and the row-wise baseline they compete with stores
+    // its rows uncompressed — so they stay raw (zero-copy sub-slices
+    // at decode time; `NEVER_COMPRESS`) rather than trading replay
+    // wall time for ~20% fewer stored bytes. Store-level whole-row
+    // compression can still be layered on when storage is the
+    // priority. The length and key-dictionary columns are off the
+    // full-replay path, so any saving is welcome there.
+    let mut min_save = [1; DELTA_SEGS];
+    min_save[SEG_RECORDS] = NEVER_COMPRESS;
+    min_save[SEG_NODE_IDS] = NEVER_COMPRESS;
+    assemble(
+        DELTA_MAGIC,
+        ids.len(),
+        &[&id_col, &len_col, &key_dict, &records],
+        &min_save,
+    )
+}
+
+/// A parsed columnar delta row: node-id + record-length columns, key
+/// dictionary, and record segment, decoded lazily. Supports per-node
+/// record extraction without parsing unrelated records, and skips the
+/// record segment entirely when the probed node is absent from the
+/// id column.
+/// Lazily-built record index: each present node id mapped to its
+/// record's byte range within the (decoded) record segment.
+type RecordIndex = Vec<(NodeId, Range<usize>)>;
+
+#[derive(Debug)]
+pub struct ColumnarDelta {
+    backing: Bytes,
+    n_nodes: usize,
+    segs: [Range<usize>; DELTA_SEGS],
+    raw_lens: [usize; DELTA_SEGS],
+    comp: [bool; DELTA_SEGS],
+    index: OnceLock<Result<RecordIndex, CodecError>>,
+    key_dict: OnceLock<Result<Vec<String>, CodecError>>,
+    records: OnceLock<Result<Bytes, CodecError>>,
+}
+
+impl ColumnarDelta {
+    /// Parse the header of an encoded row (segments stay compressed).
+    pub fn parse(backing: Bytes) -> Result<ColumnarDelta, CodecError> {
+        let (n_nodes, segs, raw_lens, comp) =
+            parse_header(&backing, DELTA_MAGIC, DELTA_SEGS, "columnar-delta")?;
+        Ok(ColumnarDelta {
+            backing,
+            n_nodes,
+            segs: segs.try_into().expect("segment count checked"),
+            raw_lens: raw_lens.try_into().expect("segment count checked"),
+            comp: comp.try_into().expect("segment count checked"),
+            index: OnceLock::new(),
+            key_dict: OnceLock::new(),
+            records: OnceLock::new(),
+        })
+    }
+
+    /// Number of node records in the row.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Size of the shared backing buffer.
+    pub fn backing_len(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// Sum of all segments' decompressed lengths (see
+    /// [`ColumnarEventlist::raw_len_total`]).
+    pub fn raw_len_total(&self) -> usize {
+        self.raw_lens.iter().sum()
+    }
+
+    fn decode_seg(&self, i: usize) -> Result<Bytes, CodecError> {
+        let raw = if self.comp[i] {
+            decompress(&self.backing[self.segs[i].clone()])?
+        } else {
+            // Raw-stored segment: a zero-copy sub-slice of the
+            // shared backing buffer.
+            self.backing.slice(self.segs[i].clone())
+        };
+        note_decoded(raw.len());
+        Ok(raw)
+    }
+
+    fn index(&self) -> Result<&[(NodeId, Range<usize>)], CodecError> {
+        self.index
+            .get_or_init(|| {
+                let ids_raw = self.decode_seg(SEG_NODE_IDS)?;
+                let lens_raw = self.decode_seg(SEG_RECORD_LENS)?;
+                let mut ib: &[u8] = &ids_raw;
+                let mut lb: &[u8] = &lens_raw;
+                let mut out = Vec::with_capacity(self.n_nodes.min(1 << 20));
+                let mut prev = 0u64;
+                let mut off = 0usize;
+                for _ in 0..self.n_nodes {
+                    prev = prev.wrapping_add(get_varint(&mut ib)?);
+                    let len = get_len(&mut lb, "record")?;
+                    let end = off.checked_add(len).ok_or(CodecError::LengthOverflow {
+                        what: "record",
+                        len: len as u64,
+                    })?;
+                    out.push((prev, off..end));
+                    off = end;
+                }
+                if !ib.is_empty() || !lb.is_empty() {
+                    return Err(CodecError::TrailingBytes {
+                        remaining: ib.len() + lb.len(),
+                    });
+                }
+                // Record extents must exactly tile the record segment
+                // (checked against the peeked raw length, so corrupt
+                // indexes are caught before the segment is decoded).
+                if off != self.raw_lens[SEG_RECORDS] {
+                    return Err(CodecError::LengthOverflow {
+                        what: "record-extent",
+                        len: off as u64,
+                    });
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(|e| e.clone())
+    }
+
+    fn key_dict(&self) -> Result<&[String], CodecError> {
+        self.key_dict
+            .get_or_init(|| {
+                let raw = self.decode_seg(SEG_DKEY_DICT)?;
+                let mut b: &[u8] = &raw;
+                let n = get_len(&mut b, "key-dict")?;
+                let mut out = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    out.push(get_str(&mut b)?);
+                }
+                if !b.is_empty() {
+                    return Err(CodecError::TrailingBytes { remaining: b.len() });
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map(|v| v.as_slice())
+            .map_err(|e| e.clone())
+    }
+
+    fn records(&self) -> Result<&Bytes, CodecError> {
+        self.records
+            .get_or_init(|| self.decode_seg(SEG_RECORDS))
+            .as_ref()
+            .map_err(|e| e.clone())
+    }
+
+    /// Whether a record for `nid` is present (decodes only the index).
+    pub fn contains(&self, nid: NodeId) -> Result<bool, CodecError> {
+        Ok(self.index()?.binary_search_by_key(&nid, |e| e.0).is_ok())
+    }
+
+    /// Extract the record for one node, or `None` if absent. On an
+    /// index miss neither the record segment nor the key dictionary is
+    /// decoded; on a hit only `nid`'s record slice is parsed.
+    pub fn node_record(&self, nid: NodeId) -> Result<Option<StaticNode>, CodecError> {
+        let index = self.index()?;
+        let Ok(i) = index.binary_search_by_key(&nid, |e| e.0) else {
+            return Ok(None);
+        };
+        let range = index[i].1.clone();
+        let records = self.records()?;
+        let keys = self.key_dict()?;
+        parse_record(nid, &records[range], keys).map(Some)
+    }
+
+    /// Decode every record and reassemble the full delta.
+    ///
+    /// Streams the id and record cursors in lockstep — records are
+    /// self-delimiting, so the record-length column is never touched
+    /// and a cold full replay pays exactly the row-wise parse plus one
+    /// id varint per node.
+    pub fn to_delta(&self) -> Result<Delta, CodecError> {
+        let keys = self.key_dict()?;
+        let iraw = self.decode_seg(SEG_NODE_IDS)?;
+        let rraw = self.decode_seg(SEG_RECORDS)?;
+        let mut ib: &[u8] = &iraw;
+        let mut rb: &[u8] = &rraw;
+        let mut d = Delta::with_capacity(self.n_nodes.min(1 << 20));
+        let mut prev = 0u64;
+        for _ in 0..self.n_nodes {
+            prev = prev.wrapping_add(get_varint(&mut ib)?);
+            d.insert(parse_record_from(prev, &mut rb, keys)?);
+        }
+        if !ib.is_empty() || !rb.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: ib.len() + rb.len(),
+            });
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_delta, encode_eventlist};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::new(1, EventKind::AddNode { id: 7 }),
+            Event::new(
+                2,
+                EventKind::AddEdge {
+                    src: 7,
+                    dst: 8,
+                    weight: 0.5,
+                    directed: true,
+                },
+            ),
+            Event::new(
+                2,
+                EventKind::SetNodeAttr {
+                    id: 7,
+                    key: "k".into(),
+                    value: AttrValue::Bool(true),
+                },
+            ),
+            Event::new(
+                3,
+                EventKind::SetEdgeWeight {
+                    src: 7,
+                    dst: 8,
+                    weight: 9.0,
+                },
+            ),
+            Event::new(
+                4,
+                EventKind::SetEdgeAttr {
+                    src: 7,
+                    dst: 8,
+                    key: "e".into(),
+                    value: AttrValue::Float(0.25),
+                },
+            ),
+            Event::new(
+                5,
+                EventKind::RemoveEdgeAttr {
+                    src: 7,
+                    dst: 8,
+                    key: "e".into(),
+                },
+            ),
+            Event::new(
+                6,
+                EventKind::RemoveNodeAttr {
+                    id: 7,
+                    key: "k".into(),
+                },
+            ),
+            Event::new(7, EventKind::RemoveEdge { src: 7, dst: 8 }),
+            Event::new(8, EventKind::RemoveNode { id: 7 }),
+            Event::new(9, EventKind::AddNode { id: 40 }),
+        ]
+    }
+
+    #[test]
+    fn eventlist_roundtrip_all_kinds() {
+        let el = Eventlist::from_sorted(sample_events());
+        let enc = encode_columnar_eventlist(&el);
+        let col = ColumnarEventlist::parse(enc).unwrap();
+        assert_eq!(col.n_events(), el.len());
+        assert_eq!(col.to_eventlist().unwrap(), el);
+    }
+
+    #[test]
+    fn events_touching_matches_filter_by_node() {
+        let el = Eventlist::from_sorted(sample_events());
+        let col = ColumnarEventlist::parse(encode_columnar_eventlist(&el)).unwrap();
+        for nid in [7u64, 8, 40, 999] {
+            let want: Vec<Event> = el.filter_by_node(nid).cloned().collect();
+            assert_eq!(col.events_touching(nid).unwrap(), want, "nid {nid}");
+        }
+    }
+
+    #[test]
+    fn dictionary_miss_decodes_only_the_dictionary() {
+        let el = Eventlist::from_sorted(sample_events());
+        let col = ColumnarEventlist::parse(encode_columnar_eventlist(&el)).unwrap();
+        let before = crate::codec::decoded_bytes();
+        assert!(col.events_touching(12345).unwrap().is_empty());
+        let decoded = crate::codec::decoded_bytes() - before;
+        assert!(
+            (decoded as usize) <= col.raw_lens[SEG_NODE_DICT],
+            "miss decoded {decoded} bytes, dict is {}",
+            col.raw_lens[SEG_NODE_DICT]
+        );
+        assert!((decoded as usize) < col.raw_len_total());
+    }
+
+    #[test]
+    fn structural_filter_skips_attr_value_column() {
+        // Node 40's only event is AddNode: materializing its history
+        // must not decompress weights or attribute columns.
+        let el = Eventlist::from_sorted(sample_events());
+        let col = ColumnarEventlist::parse(encode_columnar_eventlist(&el)).unwrap();
+        let before = crate::codec::decoded_bytes();
+        assert_eq!(col.events_touching(40).unwrap().len(), 1);
+        let decoded = (crate::codec::decoded_bytes() - before) as usize;
+        let core: usize = [SEG_NODE_DICT, SEG_TIMES, SEG_KINDS, SEG_IDS]
+            .iter()
+            .map(|&i| col.raw_lens[i])
+            .sum();
+        assert!(decoded <= core, "decoded {decoded} > core columns {core}");
+    }
+
+    #[test]
+    fn empty_eventlist_roundtrip() {
+        let el = Eventlist::new();
+        let col = ColumnarEventlist::parse(encode_columnar_eventlist(&el)).unwrap();
+        assert_eq!(col.to_eventlist().unwrap(), el);
+        assert!(col.events_touching(1).unwrap().is_empty());
+    }
+
+    fn sample_delta() -> Delta {
+        let mut d = Delta::new();
+        for i in 0..20u64 {
+            d.apply_event(&EventKind::AddEdge {
+                src: i,
+                dst: (i * 3) % 20,
+                weight: i as f32,
+                directed: i % 2 == 0,
+            });
+            d.apply_event(&EventKind::SetNodeAttr {
+                id: i,
+                key: "entity".into(),
+                value: AttrValue::Text(format!("n{i}")),
+            });
+        }
+        d.apply_event(&EventKind::SetEdgeAttr {
+            src: 1,
+            dst: 3,
+            key: "since".into(),
+            value: AttrValue::Int(1999),
+        });
+        d
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let d = sample_delta();
+        let col = ColumnarDelta::parse(encode_columnar_delta(&d)).unwrap();
+        assert_eq!(col.n_nodes(), d.cardinality());
+        assert_eq!(col.to_delta().unwrap(), d);
+    }
+
+    #[test]
+    fn node_record_extracts_single_nodes() {
+        let d = sample_delta();
+        let col = ColumnarDelta::parse(encode_columnar_delta(&d)).unwrap();
+        for nid in 0..20u64 {
+            assert_eq!(col.node_record(nid).unwrap().as_ref(), d.node(nid));
+        }
+        assert_eq!(col.node_record(999).unwrap(), None);
+    }
+
+    #[test]
+    fn index_miss_skips_record_segment() {
+        let d = sample_delta();
+        let col = ColumnarDelta::parse(encode_columnar_delta(&d)).unwrap();
+        let before = crate::codec::decoded_bytes();
+        assert!(!col.contains(999).unwrap());
+        assert_eq!(col.node_record(999).unwrap(), None);
+        let decoded = (crate::codec::decoded_bytes() - before) as usize;
+        assert!(decoded <= col.raw_lens[SEG_NODE_IDS] + col.raw_lens[SEG_RECORD_LENS]);
+        assert!(decoded < col.raw_len_total());
+    }
+
+    #[test]
+    fn empty_delta_roundtrip() {
+        let col = ColumnarDelta::parse(encode_columnar_delta(&Delta::new())).unwrap();
+        assert_eq!(col.to_delta().unwrap(), Delta::new());
+        assert_eq!(col.node_record(0).unwrap(), None);
+    }
+
+    #[test]
+    fn interning_beats_rowwise_on_repeated_keys() {
+        let d = sample_delta();
+        let col = encode_columnar_delta(&d);
+        let row = encode_delta(&d);
+        // The columnar row as a whole is compressed, so it should not
+        // be drastically larger than the row-wise encoding.
+        assert!(
+            col.len() < row.len() * 2,
+            "columnar {} vs row-wise {}",
+            col.len(),
+            row.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_headers_error_not_panic() {
+        let el = Eventlist::from_sorted(sample_events());
+        let enc = encode_columnar_eventlist(&el);
+        // Wrong magic.
+        let mut bad = enc.to_vec();
+        bad[0] = 0x77;
+        assert!(ColumnarEventlist::parse(Bytes::from(bad)).is_err());
+        // Row-wise bytes fed to the columnar parser.
+        let row = encode_eventlist(&el);
+        assert!(ColumnarEventlist::parse(row).is_err());
+        // Truncations anywhere must parse-fail or decode-fail.
+        for cut in 0..enc.len() {
+            let t = enc.slice(..cut);
+            if let Ok(col) = ColumnarEventlist::parse(t) {
+                let _ = col.to_eventlist();
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_delta_headers_error_not_panic() {
+        let enc = encode_columnar_delta(&sample_delta());
+        let mut bad = enc.to_vec();
+        bad[0] = 0x00;
+        assert!(ColumnarDelta::parse(Bytes::from(bad)).is_err());
+        for cut in 0..enc.len() {
+            let t = enc.slice(..cut);
+            if let Ok(col) = ColumnarDelta::parse(t) {
+                let _ = col.to_delta();
+                let _ = col.node_record(3);
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected_before_allocation() {
+        // Hand-craft a header claiming a ludicrous event count and a
+        // segment whose raw length exceeds MAX_LEN.
+        let mut buf = BytesMut::new();
+        buf.put_u8(ELIST_MAGIC);
+        put_varint(&mut buf, u64::MAX); // event count
+        assert!(matches!(
+            ColumnarEventlist::parse(buf.freeze()),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+
+        let mut seg = BytesMut::new();
+        put_varint(&mut seg, u64::MAX); // fake raw_len prefix
+        let mut buf = BytesMut::new();
+        buf.put_u8(ELIST_MAGIC);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, ELIST_SEGS as u64);
+        for _ in 0..ELIST_SEGS {
+            // Compressed flag set: the raw-length prefix is consulted.
+            put_varint(&mut buf, (seg.len() as u64) << 1 | 1);
+        }
+        for _ in 0..ELIST_SEGS {
+            buf.put_slice(&seg);
+        }
+        assert!(matches!(
+            ColumnarEventlist::parse(buf.freeze()),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+}

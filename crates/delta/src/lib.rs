@@ -25,6 +25,8 @@
 
 pub mod attr;
 pub mod codec;
+pub mod columnar;
+pub mod compress;
 pub mod delta;
 pub mod error;
 pub mod event;
@@ -34,6 +36,7 @@ pub mod normalize;
 pub mod types;
 
 pub use attr::{AttrValue, Attrs};
+pub use columnar::{ColumnarDelta, ColumnarEventlist, StorageLayout};
 pub use delta::Delta;
 pub use error::{CodecError, DeltaError};
 pub use event::{Event, EventKind, Eventlist};

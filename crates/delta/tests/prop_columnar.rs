@@ -1,0 +1,235 @@
+//! Property-based tests for the columnar eventlist / delta codec.
+//!
+//! Two families:
+//!  * roundtrip — encode → parse → materialize reproduces the input
+//!    exactly, and the pruned accessors (`events_touching`,
+//!    `node_record`) agree with filtering the full decode;
+//!  * hardening — truncated or bit-flipped rows must surface
+//!    `CodecError` (or decode to *something*), never panic and never
+//!    attempt oversized allocations, no matter which column the
+//!    corruption lands in.
+
+use hgs_delta::columnar::{
+    encode_columnar_delta, encode_columnar_eventlist, ColumnarDelta, ColumnarEventlist,
+};
+use hgs_delta::{AttrValue, Delta, Event, EventKind, Eventlist, NodeId};
+use proptest::prelude::*;
+
+/// Every attribute value type, so the value column exercises all tags.
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-100i64..100).prop_map(AttrValue::Int),
+        (-4.0f64..4.0).prop_map(AttrValue::Float),
+        "[a-z]{0,6}".prop_map(AttrValue::Text),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+/// Every event kind (all nine tags), small id universe so dictionary
+/// interning actually dedups and re-adds/removals interact.
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    let id = 0u64..24;
+    prop_oneof![
+        id.clone().prop_map(|id| EventKind::AddNode { id }),
+        id.clone().prop_map(|id| EventKind::RemoveNode { id }),
+        (0u64..24, 0u64..24, 0.0f32..4.0, any::<bool>()).prop_map(
+            |(src, dst, weight, directed)| EventKind::AddEdge {
+                src,
+                dst,
+                weight,
+                directed
+            }
+        ),
+        (0u64..24, 0u64..24).prop_map(|(src, dst)| EventKind::RemoveEdge { src, dst }),
+        (0u64..24, 0u64..24, 0.0f32..4.0).prop_map(|(src, dst, weight)| EventKind::SetEdgeWeight {
+            src,
+            dst,
+            weight
+        }),
+        (id.clone(), "[a-c]{1,3}", arb_attr_value())
+            .prop_map(|(id, key, value)| { EventKind::SetNodeAttr { id, key, value } }),
+        (id.clone(), "[a-c]{1,3}").prop_map(|(id, key)| EventKind::RemoveNodeAttr { id, key }),
+        (0u64..24, 0u64..24, "[a-c]{1,3}", arb_attr_value()).prop_map(|(src, dst, key, value)| {
+            EventKind::SetEdgeAttr {
+                src,
+                dst,
+                key,
+                value,
+            }
+        }),
+        (0u64..24, 0u64..24, "[a-c]{1,3}").prop_map(|(src, dst, key)| EventKind::RemoveEdgeAttr {
+            src,
+            dst,
+            key
+        }),
+    ]
+}
+
+fn arb_history(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((arb_event_kind(), 0u64..4), 0..max).prop_map(|kinds| {
+        let mut t = 0u64;
+        kinds
+            .into_iter()
+            .map(|(kind, gap)| {
+                t += gap;
+                Event::new(t, kind)
+            })
+            .collect()
+    })
+}
+
+fn arb_delta() -> impl Strategy<Value = Delta> {
+    arb_history(60).prop_map(|events| {
+        let mut d = Delta::new();
+        for e in &events {
+            d.apply_event(&e.kind);
+        }
+        d
+    })
+}
+
+/// Reference filter matching the columnar pruned read: the event's
+/// primary id or (when present) second id equals `nid`.
+fn touches(kind: &EventKind, nid: NodeId) -> bool {
+    match kind {
+        EventKind::AddNode { id }
+        | EventKind::RemoveNode { id }
+        | EventKind::SetNodeAttr { id, .. }
+        | EventKind::RemoveNodeAttr { id, .. } => *id == nid,
+        EventKind::AddEdge { src, dst, .. }
+        | EventKind::RemoveEdge { src, dst }
+        | EventKind::SetEdgeWeight { src, dst, .. }
+        | EventKind::SetEdgeAttr { src, dst, .. }
+        | EventKind::RemoveEdgeAttr { src, dst, .. } => *src == nid || *dst == nid,
+    }
+}
+
+/// Drive every decode path of a (possibly corrupt) eventlist row; the
+/// only acceptable outcomes are `Ok` or `CodecError` — never a panic.
+fn exercise_eventlist(bytes: bytes::Bytes) {
+    let col = match ColumnarEventlist::parse(bytes) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let _ = col.to_eventlist();
+    for nid in 0..4u64 {
+        let _ = col.contains_node(nid);
+        let _ = col.events_touching(nid);
+    }
+}
+
+/// Same for a delta row.
+fn exercise_delta(bytes: bytes::Bytes) {
+    let col = match ColumnarDelta::parse(bytes) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let _ = col.to_delta();
+    for nid in 0..4u64 {
+        let _ = col.contains(nid);
+        let _ = col.node_record(nid);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn eventlist_roundtrip(events in arb_history(80)) {
+        let el = Eventlist::from_sorted(events);
+        let bytes = encode_columnar_eventlist(&el);
+        let col = ColumnarEventlist::parse(bytes).unwrap();
+        prop_assert_eq!(col.n_events(), el.events().len());
+        prop_assert_eq!(col.to_eventlist().unwrap(), el);
+    }
+
+    #[test]
+    fn eventlist_pruned_read_matches_filtered_full_read(
+        events in arb_history(80),
+        nid in 0u64..26,
+    ) {
+        let el = Eventlist::from_sorted(events);
+        let col = ColumnarEventlist::parse(encode_columnar_eventlist(&el)).unwrap();
+        let want: Vec<Event> = el
+            .events()
+            .iter()
+            .filter(|e| touches(&e.kind, nid))
+            .cloned()
+            .collect();
+        prop_assert_eq!(col.contains_node(nid).unwrap(), !want.is_empty());
+        prop_assert_eq!(col.events_touching(nid).unwrap(), want);
+    }
+
+    #[test]
+    fn delta_roundtrip(d in arb_delta()) {
+        let col = ColumnarDelta::parse(encode_columnar_delta(&d)).unwrap();
+        prop_assert_eq!(col.n_nodes(), d.cardinality());
+        prop_assert_eq!(col.to_delta().unwrap(), d);
+    }
+
+    #[test]
+    fn delta_point_read_matches_full_read(d in arb_delta(), nid in 0u64..26) {
+        let col = ColumnarDelta::parse(encode_columnar_delta(&d)).unwrap();
+        prop_assert_eq!(col.contains(nid).unwrap(), d.node(nid).is_some());
+        let got = col.node_record(nid).unwrap();
+        prop_assert_eq!(got.as_ref(), d.node(nid));
+    }
+
+    #[test]
+    fn truncated_eventlist_never_panics(events in arb_history(40), cut in 0.0f64..1.0) {
+        let bytes = encode_columnar_eventlist(&Eventlist::from_sorted(events));
+        let keep = (bytes.len() as f64 * cut) as usize;
+        exercise_eventlist(bytes.slice(..keep));
+    }
+
+    #[test]
+    fn bitflipped_eventlist_never_panics(
+        events in arb_history(40),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let bytes = encode_columnar_eventlist(&Eventlist::from_sorted(events));
+        let mut raw = bytes.to_vec();
+        if raw.is_empty() {
+            return Ok(());
+        }
+        let i = ((raw.len() - 1) as f64 * pos) as usize;
+        raw[i] ^= 1 << bit;
+        exercise_eventlist(bytes::Bytes::from(raw));
+    }
+
+    #[test]
+    fn truncated_delta_never_panics(d in arb_delta(), cut in 0.0f64..1.0) {
+        let bytes = encode_columnar_delta(&d);
+        let keep = (bytes.len() as f64 * cut) as usize;
+        exercise_delta(bytes.slice(..keep));
+    }
+
+    #[test]
+    fn bitflipped_delta_never_panics(d in arb_delta(), pos in 0.0f64..1.0, bit in 0u8..8) {
+        let bytes = encode_columnar_delta(&d);
+        let mut raw = bytes.to_vec();
+        if raw.is_empty() {
+            return Ok(());
+        }
+        let i = ((raw.len() - 1) as f64 * pos) as usize;
+        raw[i] ^= 1 << bit;
+        exercise_delta(bytes::Bytes::from(raw));
+    }
+
+    /// Corruption confined to a *payload* column must not break parsing
+    /// or reads of other columns: flip a byte in the trailing half of
+    /// the row (past the header + early segments) and require that the
+    /// timestamp/kind columns still decode or fail cleanly.
+    #[test]
+    fn late_corruption_is_isolated(events in arb_history(40), pos in 0.5f64..1.0, bit in 0u8..8) {
+        let bytes = encode_columnar_eventlist(&Eventlist::from_sorted(events));
+        let mut raw = bytes.to_vec();
+        if raw.len() < 4 {
+            return Ok(());
+        }
+        let i = ((raw.len() - 1) as f64 * pos) as usize;
+        raw[i] ^= 1 << bit;
+        exercise_eventlist(bytes::Bytes::from(raw));
+    }
+}

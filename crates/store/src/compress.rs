@@ -1,292 +1,9 @@
-//! In-house LZSS byte compression.
+//! In-house LZSS byte compression — re-exported from `hgs_delta`.
 //!
-//! The paper evaluates Cassandra's block compression on serialized
-//! deltas (Fig. 13a) and finds the net latency effect negligible. To
-//! reproduce that experiment without adding a compression dependency,
-//! this module implements a small LZSS variant: greedy longest-match
-//! search over a 32 KiB sliding window using a hash-chain index,
-//! emitting varint-encoded (distance, length) matches and literal runs.
-//!
-//! Wire format: `[varint raw_len]` then a sequence of ops:
-//! * `0x00 [varint n] [n bytes]` — literal run;
-//! * `0x01 [varint dist] [varint len]` — copy `len` bytes from `dist`
-//!   bytes back (overlapping copies allowed, as usual for LZ).
-//!
-//! Serialized deltas are full of small varint-delta-encoded integers
-//! and repeated attribute keys, which this catches well (typically
-//! 1.5–3x on our workloads).
+//! The implementation lives in [`hgs_delta::compress`] so the columnar
+//! codec (`hgs_delta::columnar`) can compress per-column segments
+//! without a dependency cycle; this module keeps the store-side paths
+//! (`StoreConfig::compress`, the Fig. 13a reproduction) working
+//! unchanged.
 
-use bytes::{BufMut, Bytes, BytesMut};
-use hgs_delta::CodecError;
-
-const WINDOW: usize = 32 * 1024;
-const MIN_MATCH: usize = 4;
-const MAX_MATCH: usize = 1024;
-const MAX_CHAIN: usize = 32;
-const HASH_BITS: u32 = 15;
-
-#[inline]
-fn hash4(data: &[u8]) -> usize {
-    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
-    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
-}
-
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            return;
-        }
-        buf.put_u8(byte | 0x80);
-    }
-}
-
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
-    let mut out: u64 = 0;
-    for shift in (0..64).step_by(7) {
-        let Some(&b) = buf.get(*pos) else {
-            return Err(CodecError::UnexpectedEof {
-                needed: 1,
-                remaining: 0,
-            });
-        };
-        *pos += 1;
-        out |= ((b & 0x7f) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Ok(out);
-        }
-    }
-    Err(CodecError::VarintOverflow)
-}
-
-/// Compress `data`. The output starts with the raw length, so
-/// [`decompress`] can pre-allocate exactly.
-pub fn compress(data: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(data.len() / 2 + 16);
-    put_varint(&mut out, data.len() as u64);
-    if data.len() < MIN_MATCH {
-        if !data.is_empty() {
-            out.put_u8(0);
-            put_varint(&mut out, data.len() as u64);
-            out.put_slice(data);
-        }
-        return out.freeze();
-    }
-
-    // head[h] = most recent position with hash h; prev[i % WINDOW] = the
-    // position before i in the same chain.
-    let mut head = vec![usize::MAX; 1 << HASH_BITS];
-    let mut prev = vec![usize::MAX; WINDOW];
-
-    let mut lit_start = 0usize;
-    let mut i = 0usize;
-
-    macro_rules! flush_literals {
-        ($upto:expr) => {
-            if lit_start < $upto {
-                out.put_u8(0);
-                put_varint(&mut out, ($upto - lit_start) as u64);
-                out.put_slice(&data[lit_start..$upto]);
-            }
-        };
-    }
-
-    while i + MIN_MATCH <= data.len() {
-        let h = hash4(&data[i..]);
-        let mut cand = head[h];
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-        let limit = (data.len() - i).min(MAX_MATCH);
-        let mut chain = 0;
-        while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
-            if cand < i {
-                let mut l = 0usize;
-                let max = limit;
-                while l < max && data[cand + l] == data[i + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_dist = i - cand;
-                    if l == limit {
-                        break;
-                    }
-                }
-            }
-            let nxt = prev[cand % WINDOW];
-            if nxt == usize::MAX || nxt >= cand {
-                break;
-            }
-            cand = nxt;
-            chain += 1;
-        }
-
-        if best_len >= MIN_MATCH {
-            flush_literals!(i);
-            out.put_u8(1);
-            put_varint(&mut out, best_dist as u64);
-            put_varint(&mut out, best_len as u64);
-            // Index all the positions the match covers.
-            let end = i + best_len;
-            while i < end && i + MIN_MATCH <= data.len() {
-                let h2 = hash4(&data[i..]);
-                prev[i % WINDOW] = head[h2];
-                head[h2] = i;
-                i += 1;
-            }
-            i = end;
-            lit_start = i;
-        } else {
-            prev[i % WINDOW] = head[h];
-            head[h] = i;
-            i += 1;
-        }
-    }
-    flush_literals!(data.len());
-    out.freeze()
-}
-
-/// Decompress data produced by [`compress`].
-pub fn decompress(data: &[u8]) -> Result<Bytes, CodecError> {
-    let mut pos = 0usize;
-    let raw_len = get_varint(data, &mut pos)? as usize;
-    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
-    while pos < data.len() {
-        let tag = data[pos];
-        pos += 1;
-        match tag {
-            0 => {
-                let n = get_varint(data, &mut pos)? as usize;
-                if pos + n > data.len() {
-                    return Err(CodecError::UnexpectedEof {
-                        needed: n,
-                        remaining: data.len() - pos,
-                    });
-                }
-                out.extend_from_slice(&data[pos..pos + n]);
-                pos += n;
-            }
-            1 => {
-                let dist = get_varint(data, &mut pos)? as usize;
-                let len = get_varint(data, &mut pos)? as usize;
-                if dist == 0 || dist > out.len() {
-                    return Err(CodecError::BadTag {
-                        what: "lz-distance",
-                        tag: 1,
-                    });
-                }
-                let start = out.len() - dist;
-                // Overlapping copy: byte-by-byte is required when
-                // len > dist (run-length style matches).
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
-                }
-            }
-            t => {
-                return Err(CodecError::BadTag {
-                    what: "lz-op",
-                    tag: t,
-                })
-            }
-        }
-    }
-    if out.len() != raw_len {
-        return Err(CodecError::LengthOverflow {
-            what: "lz-output",
-            len: out.len() as u64,
-        });
-    }
-    Ok(Bytes::from(out))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn roundtrip(data: &[u8]) {
-        let c = compress(data);
-        let d = decompress(&c).unwrap();
-        assert_eq!(&d[..], data);
-    }
-
-    #[test]
-    fn empty_and_tiny() {
-        roundtrip(b"");
-        roundtrip(b"a");
-        roundtrip(b"abc");
-    }
-
-    #[test]
-    fn no_repeats() {
-        let data: Vec<u8> = (0..=255u8).collect();
-        roundtrip(&data);
-    }
-
-    #[test]
-    fn highly_repetitive_compresses() {
-        let data = b"abcdabcdabcdabcdabcdabcdabcdabcdabcdabcd".repeat(50);
-        let c = compress(&data);
-        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
-        roundtrip(&data);
-    }
-
-    #[test]
-    fn run_length_overlap() {
-        let data = vec![7u8; 10_000];
-        let c = compress(&data);
-        assert!(c.len() < 100);
-        roundtrip(&data);
-    }
-
-    #[test]
-    fn pseudo_random_survives() {
-        // xorshift noise: barely compressible; must still roundtrip.
-        let mut x: u64 = 0x2545F4914F6CDD1D;
-        let data: Vec<u8> = (0..50_000)
-            .map(|_| {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                (x & 0xff) as u8
-            })
-            .collect();
-        roundtrip(&data);
-    }
-
-    #[test]
-    fn serialized_delta_compresses() {
-        use hgs_delta::{codec::encode_delta, Delta, EventKind};
-        let mut d = Delta::new();
-        for i in 0..500u64 {
-            d.apply_event(&EventKind::AddEdge {
-                src: i % 40,
-                dst: (i * 7) % 40,
-                weight: 1.0,
-                directed: false,
-            });
-            d.apply_event(&EventKind::SetNodeAttr {
-                id: i % 40,
-                key: "entity_type".into(),
-                value: hgs_delta::AttrValue::Text("Author".into()),
-            });
-        }
-        let raw = encode_delta(&d);
-        let c = compress(&raw);
-        assert!(
-            c.len() < raw.len(),
-            "deltas should compress: {} vs {}",
-            c.len(),
-            raw.len()
-        );
-        assert_eq!(&decompress(&c).unwrap()[..], &raw[..]);
-    }
-
-    #[test]
-    fn corrupt_input_is_an_error_not_a_panic() {
-        assert!(decompress(&[0x05, 0x01, 0x09]).is_err());
-        assert!(decompress(&[0x02, 0x01, 0xff, 0x10, 0x10]).is_err());
-    }
-}
+pub use hgs_delta::compress::{compress, decompress, decompressed_len};

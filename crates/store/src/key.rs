@@ -148,6 +148,24 @@ pub fn node_key(nid: u64) -> [u8; 8] {
     nid.to_be_bytes()
 }
 
+/// Key of one append-only chain-delta row in the `Versions` table:
+/// `nid ++ tsid`, both big-endian, so a prefix scan by `nid` yields
+/// the per-timespan chain segments in tsid (i.e. chronological) order.
+/// The build path writes one such row per `(node, timespan)` instead
+/// of read-modify-writing a whole-chain row.
+pub fn chain_key(nid: u64, tsid: u32) -> [u8; 12] {
+    let mut out = [0u8; 12];
+    out[0..8].copy_from_slice(&nid.to_be_bytes());
+    out[8..12].copy_from_slice(&tsid.to_be_bytes());
+    out
+}
+
+/// Prefix matching every chain-delta row of one node (also matches a
+/// legacy whole-chain row keyed by the bare 8-byte node key).
+pub fn chain_prefix(nid: u64) -> [u8; 8] {
+    node_key(nid)
+}
+
 /// Placement token for node-keyed tables (hash-spread over machines).
 pub fn node_placement_token(nid: u64) -> u64 {
     hgs_delta::hash::hash_u64(nid ^ 0xABCD_EF01_2345_6789)
@@ -201,6 +219,23 @@ mod tests {
             .map(|sid| PlacementKey::new(0, sid).token() % 4)
             .collect();
         assert!(tokens.len() >= 3, "placement should use most machines");
+    }
+
+    #[test]
+    fn chain_keys_scan_in_tsid_order_under_node_prefix() {
+        let keys: Vec<[u8; 12]> = [0u32, 1, 7, 300]
+            .iter()
+            .map(|&t| chain_key(42, t))
+            .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "tsid order must match byte order");
+        }
+        for k in &keys {
+            assert!(k.starts_with(&chain_prefix(42)));
+        }
+        assert!(!chain_key(43, 0).starts_with(&chain_prefix(42)));
+        // A legacy whole-chain row (bare node key) matches the prefix.
+        assert!(node_key(42).starts_with(&chain_prefix(42)));
     }
 
     #[test]
