@@ -48,6 +48,7 @@ impl CopyIndex {
                 i += 1;
             }
             times.push(t);
+            // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy baseline is the paper's comparison target, not a batched hot path")
             store.put(
                 Table::Deltas,
                 &Self::key(t),
@@ -83,6 +84,7 @@ impl HistoricalIndex for CopyIndex {
             Some(c) => {
                 let bytes = self
                     .store
+                    // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy baseline is the paper's comparison target, not a batched hot path")
                     .get(Table::Deltas, &Self::key(c), Self::token(c))
                     .expect("store up")
                     .expect("snapshot exists");

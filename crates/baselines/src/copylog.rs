@@ -59,6 +59,7 @@ impl CopyLogIndex {
                 e
             };
             checkpoints.push(if start == 0 { 0 } else { events[start].time });
+            // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy+Log baseline is the paper's comparison target, not a batched hot path")
             store.put(
                 Table::Deltas,
                 &Self::key(SNAP_TAG, i),
@@ -66,6 +67,7 @@ impl CopyLogIndex {
                 encode_delta(&state),
             );
             let el = Eventlist::from_sorted(events[start..end].to_vec());
+            // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy+Log baseline is the paper's comparison target, not a batched hot path")
             store.put(
                 Table::Deltas,
                 &Self::key(ELIST_TAG, i),
@@ -80,6 +82,7 @@ impl CopyLogIndex {
         }
         if checkpoints.is_empty() {
             checkpoints.push(0);
+            // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy+Log baseline is the paper's comparison target, not a batched hot path")
             store.put(
                 Table::Deltas,
                 &Self::key(SNAP_TAG, 0),
@@ -99,6 +102,7 @@ impl CopyLogIndex {
     fn fetch_snapshot(&self, i: usize) -> Delta {
         match self
             .store
+            // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy+Log baseline is the paper's comparison target, not a batched hot path")
             .get(Table::Deltas, &Self::key(SNAP_TAG, i), Self::token(i))
         {
             Ok(Some(bytes)) => decode_delta(&bytes).expect("stored snapshot decodes"),
@@ -109,6 +113,7 @@ impl CopyLogIndex {
     fn fetch_elist(&self, i: usize) -> Option<Eventlist> {
         match self
             .store
+            // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy+Log baseline is the paper's comparison target, not a batched hot path")
             .get(Table::Deltas, &Self::key(ELIST_TAG, i), Self::token(i))
         {
             Ok(Some(bytes)) => Some(decode_eventlist(&bytes).expect("stored eventlist decodes")),

@@ -37,9 +37,10 @@ impl TreeShape {
     pub fn new(leaves: usize, arity: usize) -> TreeShape {
         assert!(leaves >= 1 && arity >= 2);
         let mut level_sizes = vec![leaves];
-        while *level_sizes.last().unwrap() > 1 {
-            let prev = *level_sizes.last().unwrap();
-            level_sizes.push(prev.div_ceil(arity));
+        let mut cur = leaves;
+        while cur > 1 {
+            cur = cur.div_ceil(arity);
+            level_sizes.push(cur);
         }
         // dids: root level first (did 0), descending to leaves.
         let mut level_offsets = vec![0u64; level_sizes.len()];

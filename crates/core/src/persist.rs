@@ -194,6 +194,7 @@ impl Tgi {
     pub fn open(store: Arc<SimStore>) -> Result<Tgi, OpenError> {
         // Global descriptor.
         let meta_row = store
+            // hgs-lint: allow(batched-store-discipline, "open() bootstrap reads one singleton metadata row; nothing to batch")
             .get(Table::Graph, b"meta", 0)
             .map_err(OpenError::Store)?
             .ok_or(OpenError::NotFound)?;
@@ -203,6 +204,7 @@ impl Tgi {
         let end_time: Time = get_varint(b).map_err(OpenError::Corrupt)?;
         let event_count = get_varint(b).map_err(OpenError::Corrupt)? as usize;
         let cfg_row = store
+            // hgs-lint: allow(batched-store-discipline, "open() bootstrap reads one singleton config row; nothing to batch")
             .get(Table::Graph, b"config", 0)
             .map_err(OpenError::Store)?
             .ok_or(OpenError::NotFound)?;
@@ -212,6 +214,7 @@ impl Tgi {
         let mut spans = Vec::with_capacity(span_count);
         for tsid in 0..span_count as u32 {
             let row = store
+                // hgs-lint: allow(batched-store-discipline, "open() reads one descriptor row per span, once at startup; not a query path")
                 .get(
                     Table::Timespans,
                     &tsid.to_be_bytes(),
@@ -232,6 +235,7 @@ impl Tgi {
                         let key = mp_key(tsid, sid);
                         let token = hgs_store::PlacementKey::new(tsid, sid).token();
                         let blob = store
+                            // hgs-lint: allow(batched-store-discipline, "open() reads one partition-map row per (tsid, sid), once at startup; not a query path")
                             .get(Table::Micropartitions, &key, token)
                             .map_err(OpenError::Store)?
                             .ok_or(OpenError::NotFound)?;

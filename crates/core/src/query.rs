@@ -154,6 +154,7 @@ impl NeighborhoodHistory {
 
 /// Panic with context on a store failure reaching an infallible API.
 fn unwrap_read<T>(r: Result<T, StoreError>) -> T {
+    // hgs-lint: allow(no-panic-in-try, "documented panic bridge of the infallible query API; try_* variants surface StoreError")
     r.unwrap_or_else(|e| panic!("TGI read failed ({e}); use the try_* variant to handle failures"))
 }
 
@@ -167,11 +168,13 @@ pub(crate) enum DeltaHandle {
 }
 
 impl DeltaHandle {
-    /// The stored record of `nid` in this row, if any.
-    fn record(&self, nid: NodeId) -> Option<StaticNode> {
+    /// The stored record of `nid` in this row, if any. A columnar row
+    /// decodes its node-index column here, so corruption surfaces as
+    /// [`StoreError::Corrupt`] instead of a panic.
+    fn record(&self, nid: NodeId) -> Result<Option<StaticNode>, StoreError> {
         match self {
-            DeltaHandle::Full(d) => d.node(nid).cloned(),
-            DeltaHandle::Col(c) => c.node_record(nid).expect("stored delta decodes"),
+            DeltaHandle::Full(d) => Ok(d.node(nid).cloned()),
+            DeltaHandle::Col(c) => c.node_record(nid).map_err(StoreError::Corrupt),
         }
     }
 }
@@ -187,16 +190,18 @@ pub(crate) enum ElistHandle {
 }
 
 impl ElistHandle {
-    /// Chronological events touching `nid`.
-    fn events_touching(&self, nid: NodeId) -> Vec<Event> {
+    /// Chronological events touching `nid`. A columnar row decodes its
+    /// payload columns here, so corruption surfaces as
+    /// [`StoreError::Corrupt`] instead of a panic.
+    fn events_touching(&self, nid: NodeId) -> Result<Vec<Event>, StoreError> {
         match self {
-            ElistHandle::Full(el) => el
+            ElistHandle::Full(el) => Ok(el
                 .events()
                 .iter()
                 .filter(|e| touches(e, nid))
                 .cloned()
-                .collect(),
-            ElistHandle::Col(c) => c.events_touching(nid).expect("stored eventlist decodes"),
+                .collect()),
+            ElistHandle::Col(c) => c.events_touching(nid).map_err(StoreError::Corrupt),
         }
     }
 }
@@ -235,6 +240,7 @@ impl Tgi {
     /// reference path remains as [`Tgi::try_snapshot_uncached_c`].
     pub fn try_snapshot_c(&self, t: Time, c: usize) -> Result<Delta, StoreError> {
         let mut out = self.try_snapshots_c(std::slice::from_ref(&t), c)?;
+        // hgs-lint: allow(no-panic-in-try, "try_snapshots_c returns exactly one state per requested time")
         Ok(out.pop().expect("one snapshot per requested time"))
     }
 
@@ -284,6 +290,7 @@ impl Tgi {
                 .map(|job| {
                     let prefix = DeltaKey::delta_prefix(tsid, job.sid, job.did);
                     let token = PlacementKey::new(tsid, job.sid).token();
+                    // hgs-lint: allow(batched-store-discipline, "uncached reference path kept deliberately plan-free as the correctness oracle for the planned path")
                     let rows = store.scan_prefix(Table::Deltas, &prefix, token)?;
                     let pieces = rows
                         .into_iter()
@@ -311,15 +318,16 @@ impl Tgi {
             for &did in &path {
                 if let Some(pieces) = by_did.remove(&did) {
                     for (_pid, bytes) in pieces {
-                        let d = self.decode_delta_blob(&bytes);
+                        let d = self.decode_delta_blob(&bytes)?;
                         state.sum_assign_owned(d);
                     }
                 }
             }
             if let Some(pieces) = by_did.remove(&(ELIST_BASE + j as u64)) {
+                // hgs-lint: allow(no-panic-in-try, "sid enumerates 0..ns and span.maps holds ns entries")
                 let map = &span.maps[sid as usize];
                 for (pid, bytes) in pieces {
-                    let el = self.decode_elist_blob(&bytes);
+                    let el = self.decode_elist_blob(&bytes)?;
                     for e in el.events().iter().take_while(|e| e.time <= t) {
                         apply_event_scoped(&mut state, &e.kind, |id| {
                             sid_of(id, ns) == sid && map.assign(id) == pid
@@ -348,6 +356,7 @@ impl Tgi {
         let span = self.span_for(t);
         let ns = self.cfg.horizontal_partitions;
         let sid = sid_of(nid, ns);
+        // hgs-lint: allow(no-panic-in-try, "sid_of returns sid < ns and span.maps holds ns entries")
         let pid = span.maps[sid as usize].assign(nid);
         if self.cfg.layout == StorageLayout::Columnar {
             return self.try_node_at_pruned(span, nid, sid, pid, t);
@@ -395,7 +404,7 @@ impl Tgi {
                 let path = meta.shape.path_to_leaf(j);
                 for &did in path.iter().rev() {
                     if let Some(h) = self.try_fetch_delta_handle(tsid, sid, did, pid)? {
-                        if let Some(n) = h.record(nid) {
+                        if let Some(n) = h.record(nid)? {
                             scratch.insert(n);
                             break;
                         }
@@ -405,7 +414,7 @@ impl Tgi {
         }
         if let Some(el) = self.try_fetch_elist(tsid, sid, j as u32, pid)? {
             for e in el
-                .events_touching(nid)
+                .events_touching(nid)?
                 .into_iter()
                 .take_while(|e| e.time <= t)
             {
@@ -435,8 +444,9 @@ impl Tgi {
         }
         let dk = DeltaKey::new(tsid, sid, did, pid);
         let token = PlacementKey::new(tsid, sid).token();
+        // hgs-lint: allow(batched-store-discipline, "cache-miss point read of one (tsid, sid, did, pid) row; callers batch across rows, not within one")
         match self.store.get(Table::Deltas, &dk.encode(), token)? {
-            Some(bytes) => Ok(Some(self.insert_delta_handle(tsid, sid, did, pid, bytes))),
+            Some(bytes) => Ok(Some(self.insert_delta_handle(tsid, sid, did, pid, bytes)?)),
             None => {
                 self.read_cache.put(key, Cached::Absent);
                 Ok(None)
@@ -453,20 +463,20 @@ impl Tgi {
         did: u64,
         pid: u32,
         bytes: bytes::Bytes,
-    ) -> DeltaHandle {
-        match self.cfg.layout {
+    ) -> Result<DeltaHandle, StoreError> {
+        Ok(match self.cfg.layout {
             StorageLayout::RowWise => {
-                DeltaHandle::Full(self.insert_decoded_delta(tsid, sid, did, pid, &bytes))
+                DeltaHandle::Full(self.insert_decoded_delta(tsid, sid, did, pid, &bytes)?)
             }
             StorageLayout::Columnar => {
-                let c = Arc::new(ColumnarDelta::parse(bytes).expect("stored delta decodes"));
+                let c = Arc::new(ColumnarDelta::parse(bytes).map_err(StoreError::Corrupt)?);
                 self.read_cache.put(
                     CacheKey::Row(tsid, sid, did, pid),
                     Cached::ColDelta(c.clone()),
                 );
                 DeltaHandle::Col(c)
             }
-        }
+        })
     }
 
     /// Reconstruct the state of micro-partition `(sid, pid)` as of
@@ -539,12 +549,12 @@ impl Tgi {
             for (&did, bytes) in fetch_dids.iter().zip(values) {
                 match bytes {
                     Some(bytes) if did == elist_did => {
-                        elist = Some(self.insert_decoded_elist(tsid, sid, did, pid, &bytes));
+                        elist = Some(self.insert_decoded_elist(tsid, sid, did, pid, &bytes)?);
                     }
                     Some(bytes) => {
                         tree_rows.insert(
                             did,
-                            Some(self.insert_decoded_delta(tsid, sid, did, pid, &bytes)),
+                            Some(self.insert_decoded_delta(tsid, sid, did, pid, &bytes)?),
                         );
                     }
                     None => {
@@ -577,6 +587,7 @@ impl Tgi {
             }
         };
         if let Some(el) = elist {
+            // hgs-lint: allow(no-panic-in-try, "sid_of returns sid < ns and span.maps holds ns entries")
             let map = &span.maps[sid as usize];
             for e in el.events().iter().take_while(|e| e.time <= t) {
                 apply_event_scoped(&mut state, &e.kind, |id| {
@@ -610,15 +621,14 @@ impl Tgi {
         }
         let dk = DeltaKey::new(tsid, sid, did, pid);
         let token = PlacementKey::new(tsid, sid).token();
+        // hgs-lint: allow(batched-store-discipline, "cache-miss point read of one (tsid, sid, did, pid) row; callers batch across rows, not within one")
         match self.store.get(Table::Deltas, &dk.encode(), token)? {
             Some(bytes) => Ok(Some(match self.cfg.layout {
                 StorageLayout::RowWise => {
-                    ElistHandle::Full(self.insert_decoded_elist(tsid, sid, did, pid, &bytes))
+                    ElistHandle::Full(self.insert_decoded_elist(tsid, sid, did, pid, &bytes)?)
                 }
                 StorageLayout::Columnar => {
-                    let c = Arc::new(
-                        ColumnarEventlist::parse(bytes).expect("stored eventlist decodes"),
-                    );
+                    let c = Arc::new(ColumnarEventlist::parse(bytes).map_err(StoreError::Corrupt)?);
                     self.read_cache.put(key, Cached::ColElist(c.clone()));
                     ElistHandle::Col(c)
                 }
@@ -647,6 +657,7 @@ impl Tgi {
     /// sorts before every `(nid, tsid)` row, so indexes written by the
     /// old read-modify-write path still read correctly.
     pub fn try_version_chain(&self, nid: NodeId) -> Result<Vec<ChainEntry>, StoreError> {
+        // hgs-lint: allow(batched-store-discipline, "one prefix scan per node is the version chain's native access (Algorithm 2 batches across chunks)")
         let rows = self.store.scan_prefix(
             Table::Versions,
             &chain_prefix(nid),
@@ -654,7 +665,7 @@ impl Tgi {
         )?;
         let mut chain = Vec::new();
         for (_key, bytes) in rows {
-            chain.extend(decode_chain(&bytes).expect("stored chain decodes"));
+            chain.extend(decode_chain(&bytes).map_err(StoreError::Corrupt)?);
         }
         Ok(chain)
     }
@@ -700,6 +711,7 @@ impl Tgi {
         let boundary = chain.partition_point(|e| e.time <= range.start);
         let from = boundary.saturating_sub(1);
         let mut seen: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+        // hgs-lint: allow(no-panic-in-try, "partition_point + saturating_sub keep `from` within chain.len()")
         let refs: Vec<(u32, u32, u32)> = chain[from..]
             .iter()
             .filter(|e| e.time < range.end)
@@ -712,15 +724,14 @@ impl Tgi {
             chunk
                 .into_iter()
                 .map(|(tsid, ch, pid)| {
-                    Ok(self
-                        .try_fetch_elist(tsid, sid, ch, pid)?
-                        .map(|el| {
-                            el.events_touching(nid)
-                                .into_iter()
-                                .filter(|e| e.time > range.start && e.time < range.end)
-                                .collect()
-                        })
-                        .unwrap_or_default())
+                    Ok(match self.try_fetch_elist(tsid, sid, ch, pid)? {
+                        Some(el) => el
+                            .events_touching(nid)?
+                            .into_iter()
+                            .filter(|e| e.time > range.start && e.time < range.end)
+                            .collect(),
+                        None => Vec::new(),
+                    })
                 })
                 .collect()
         });
@@ -834,6 +845,7 @@ impl Tgi {
         let mut aux: Option<DeltaHandle> = None;
 
         let center_sid = sid_of(center, ns);
+        // hgs-lint: allow(no-panic-in-try, "sid_of returns sid < ns and span.maps holds ns entries")
         let center_pid = span.maps[center_sid as usize].assign(center);
         let center_state = self.try_fetch_partition_state(span, center_sid, center_pid, t)?;
         fetched_parts.insert((center_sid, center_pid));
@@ -853,10 +865,11 @@ impl Tgi {
                 _ => {
                     let key = DeltaKey::new(tsid, center_sid, did, center_pid);
                     let token = PlacementKey::new(tsid, center_sid).token();
+                    // hgs-lint: allow(batched-store-discipline, "cache-miss point read of the single aux row of this k-hop center; nothing to batch")
                     match self.store.get(Table::Deltas, &key.encode(), token)? {
-                        Some(bytes) => {
-                            Some(self.insert_delta_handle(tsid, center_sid, did, center_pid, bytes))
-                        }
+                        Some(bytes) => Some(
+                            self.insert_delta_handle(tsid, center_sid, did, center_pid, bytes)?,
+                        ),
                         None => {
                             self.read_cache.put(ckey, Cached::Absent);
                             None
@@ -874,6 +887,7 @@ impl Tgi {
                        elist_cache: &mut FxHashMap<(u32, u32), Option<ElistHandle>>|
          -> Result<Option<StaticNode>, StoreError> {
             let sid = sid_of(nid, ns);
+            // hgs-lint: allow(no-panic-in-try, "sid_of returns sid < ns and span.maps holds ns entries")
             let pid = span.maps[sid as usize].assign(nid);
             if let Some(state) = part_states.get(&(sid, pid)) {
                 return Ok(state.node(nid).cloned());
@@ -882,7 +896,11 @@ impl Tgi {
             // node's own eventlist chunk only (columnar rows answer the
             // record probe and the touching-events pull without
             // materializing unrelated columns).
-            if let Some(base) = aux.as_ref().and_then(|a| a.record(nid)) {
+            let aux_base = match aux.as_ref() {
+                Some(a) => a.record(nid)?,
+                None => None,
+            };
+            if let Some(base) = aux_base {
                 let el = match elist_cache.entry((sid, pid)) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(slot) => {
@@ -893,7 +911,7 @@ impl Tgi {
                 scratch.insert(base);
                 if let Some(el) = el {
                     for e in el
-                        .events_touching(nid)
+                        .events_touching(nid)?
                         .into_iter()
                         .take_while(|e| e.time <= t)
                     {
@@ -1042,10 +1060,12 @@ impl Tgi {
             if !meta.range.overlaps(&range) {
                 continue;
             }
+            // hgs-lint: allow(no-panic-in-try, "sid enumerates 0..ns and span.maps holds ns entries")
             let map = &span.maps[sid as usize];
             let chunks = meta.checkpoints.len();
             let mut prefixes: Vec<[u8; 16]> = Vec::new();
             for chunk in 0..chunks {
+                // hgs-lint: allow(no-panic-in-try, "chunk enumerates 0..meta.checkpoints.len()")
                 let c_start = meta.checkpoints[chunk];
                 let c_end = meta
                     .checkpoints
@@ -1072,7 +1092,7 @@ impl Tgi {
                     let Some(dk) = DeltaKey::decode(&k) else {
                         continue;
                     };
-                    let el = self.decoded_elist(meta.tsid, sid, dk.did, dk.pid, &v);
+                    let el = self.decoded_elist(meta.tsid, sid, dk.did, dk.pid, &v)?;
                     for e in el.events() {
                         if e.time <= range.start || e.time >= range.end {
                             continue;
@@ -1133,6 +1153,7 @@ impl Tgi {
         let refs: Vec<&[u8]> = prefixes.iter().map(|p| &p[..]).collect();
         let groups = self.store.scan_prefix_batch(Table::Deltas, &refs, token)?;
         let mut state = Delta::new();
+        // hgs-lint: allow(no-panic-in-try, "sid is validated against ns by the caller and span.maps holds ns entries")
         let map = &span.maps[sid as usize];
         for (&did, rows) in dids.iter().zip(groups) {
             if did >= ELIST_BASE {
@@ -1140,7 +1161,7 @@ impl Tgi {
                     let Some(dk) = DeltaKey::decode(&k) else {
                         continue;
                     };
-                    let el = self.decoded_elist(tsid, sid, did, dk.pid, &v);
+                    let el = self.decoded_elist(tsid, sid, did, dk.pid, &v)?;
                     for e in el.events().iter().take_while(|e| e.time <= t) {
                         apply_event_scoped(&mut state, &e.kind, |id| {
                             sid_of(id, ns) == sid && map.assign(id) == dk.pid
@@ -1152,7 +1173,7 @@ impl Tgi {
                     let Some(dk) = DeltaKey::decode(&k) else {
                         continue;
                     };
-                    let d = self.decoded_delta(tsid, sid, did, dk.pid, &v);
+                    let d = self.decoded_delta(tsid, sid, did, dk.pid, &v)?;
                     state.sum_assign(&d);
                 }
             }

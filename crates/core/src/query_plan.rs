@@ -128,6 +128,7 @@ impl MultipointPlan {
         let mut span_ids: Vec<usize> = by_span.keys().copied().collect();
         span_ids.sort_unstable();
         for span_idx in span_ids {
+            // hgs-lint: allow(no-panic-in-try, "span_ids are by_span's own keys, each removed exactly once")
             let leaves_map = by_span.remove(&span_idx).expect("key listed");
             let mut leaf_ids: Vec<usize> = leaves_map.keys().copied().collect();
             leaf_ids.sort_unstable();
@@ -222,6 +223,7 @@ impl Tgi {
         let mut filled = vec![false; times.len()];
         let ns = self.cfg.horizontal_partitions;
         for group in &plan.groups {
+            // hgs-lint: allow(no-panic-in-try, "plan groups carry span_idx values produced by enumerating self.spans")
             let span = &self.spans[group.span_idx];
             if c <= 1 {
                 self.fill_group_sequential(span, &group.leaves, &mut out)?;
@@ -252,6 +254,7 @@ impl Tgi {
                 .collect();
             let per_item: Vec<Result<Vec<Delta>, StoreError>> =
                 parallel_steal(items.clone(), c, |(sid, li)| {
+                    // hgs-lint: allow(no-panic-in-try, "work items carry sid < ns and fetches holds ns entries")
                     let fetch = fetches[sid as usize].get_or_init(|| {
                         let bases: Vec<Option<Arc<Delta>>> = group
                             .leaves
@@ -271,8 +274,10 @@ impl Tgi {
                     match fetch {
                         Ok(f) => self.fill_sid_leaf(
                             span,
+                            // hgs-lint: allow(no-panic-in-try, "li enumerates group.leaves; the fetch built one base slot per leaf")
                             &group.leaves[li],
                             sid,
+                            // hgs-lint: allow(no-panic-in-try, "li enumerates group.leaves; the fetch built one base slot per leaf")
                             f.bases[li].clone(),
                             &f.rows,
                         ),
@@ -280,12 +285,17 @@ impl Tgi {
                     }
                 });
             for ((_, li), partials) in items.into_iter().zip(per_item) {
+                // hgs-lint: allow(no-panic-in-try, "slot indices were assigned by the planner from times.len()")
                 let lg = &group.leaves[li];
                 for ((slot, _), partial) in lg.times.iter().zip(partials?) {
+                    // hgs-lint: allow(no-panic-in-try, "slot indices were assigned by the planner from times.len()")
                     if filled[*slot] {
+                        // hgs-lint: allow(no-panic-in-try, "slot indices were assigned by the planner from times.len()")
                         out[*slot].sum_assign_owned(partial);
                     } else {
+                        // hgs-lint: allow(no-panic-in-try, "slot indices were assigned by the planner from times.len()")
                         out[*slot] = partial;
+                        // hgs-lint: allow(no-panic-in-try, "slot indices were assigned by the planner from times.len()")
                         filled[*slot] = true;
                     }
                 }
@@ -298,12 +308,14 @@ impl Tgi {
     /// error-handling contract.
     pub fn snapshots(&self, times: &[Time]) -> Vec<Delta> {
         self.try_snapshots(times)
+            // hgs-lint: allow(no-panic-in-try, "documented panic bridge of the infallible query API; try_snapshots surfaces StoreError")
             .unwrap_or_else(|e| panic!("TGI multipoint read failed: {e}"))
     }
 
     /// Panicking wrapper over [`Tgi::try_snapshots_c`].
     pub fn snapshots_c(&self, times: &[Time], c: usize) -> Vec<Delta> {
         self.try_snapshots_c(times, c)
+            // hgs-lint: allow(no-panic-in-try, "documented panic bridge of the infallible query API; try_snapshots_c surfaces StoreError")
             .unwrap_or_else(|e| panic!("TGI multipoint read failed: {e}"))
     }
 
@@ -345,24 +357,28 @@ impl Tgi {
 
     /// Fully decode a stored delta row in the index's physical layout
     /// (no cache involvement): the full-replay paths' decoder and the
-    /// uncached reference path's.
-    pub(crate) fn decode_delta_blob(&self, bytes: &bytes::Bytes) -> Delta {
+    /// uncached reference path's. A row that fails to decode surfaces
+    /// [`StoreError::Corrupt`] through the `try_*` surface instead of
+    /// panicking mid-query.
+    pub(crate) fn decode_delta_blob(&self, bytes: &bytes::Bytes) -> Result<Delta, StoreError> {
         match self.cfg.layout {
-            StorageLayout::RowWise => decode_delta(bytes).expect("stored delta decodes"),
-            StorageLayout::Columnar => ColumnarDelta::parse(bytes.clone())
-                .and_then(|c| c.to_delta())
-                .expect("stored delta decodes"),
+            StorageLayout::RowWise => decode_delta(bytes),
+            StorageLayout::Columnar => {
+                ColumnarDelta::parse(bytes.clone()).and_then(|c| c.to_delta())
+            }
         }
+        .map_err(StoreError::Corrupt)
     }
 
     /// Eventlist twin of [`Tgi::decode_delta_blob`].
-    pub(crate) fn decode_elist_blob(&self, bytes: &bytes::Bytes) -> Eventlist {
+    pub(crate) fn decode_elist_blob(&self, bytes: &bytes::Bytes) -> Result<Eventlist, StoreError> {
         match self.cfg.layout {
-            StorageLayout::RowWise => decode_eventlist(bytes).expect("stored eventlist decodes"),
-            StorageLayout::Columnar => ColumnarEventlist::parse(bytes.clone())
-                .and_then(|c| c.to_eventlist())
-                .expect("stored eventlist decodes"),
+            StorageLayout::RowWise => decode_eventlist(bytes),
+            StorageLayout::Columnar => {
+                ColumnarEventlist::parse(bytes.clone()).and_then(|c| c.to_eventlist())
+            }
         }
+        .map_err(StoreError::Corrupt)
     }
 
     /// Decode a fetched tree row through the read cache.
@@ -378,10 +394,10 @@ impl Tgi {
         did: u64,
         pid: u32,
         bytes: &bytes::Bytes,
-    ) -> Arc<Delta> {
+    ) -> Result<Arc<Delta>, StoreError> {
         let key = CacheKey::Row(tsid, sid, did, pid);
         match self.read_cache.get(key) {
-            Some(Cached::Delta(d)) => d,
+            Some(Cached::Delta(d)) => Ok(d),
             _ => self.insert_decoded_delta(tsid, sid, did, pid, bytes),
         }
     }
@@ -396,11 +412,11 @@ impl Tgi {
         did: u64,
         pid: u32,
         bytes: &bytes::Bytes,
-    ) -> Arc<Delta> {
-        let d = Arc::new(self.decode_delta_blob(bytes));
+    ) -> Result<Arc<Delta>, StoreError> {
+        let d = Arc::new(self.decode_delta_blob(bytes)?);
         self.read_cache
             .put(CacheKey::Row(tsid, sid, did, pid), Cached::Delta(d.clone()));
-        d
+        Ok(d)
     }
 
     /// Decode a fetched eventlist row through the read cache (see
@@ -412,10 +428,10 @@ impl Tgi {
         did: u64,
         pid: u32,
         bytes: &bytes::Bytes,
-    ) -> Arc<Eventlist> {
+    ) -> Result<Arc<Eventlist>, StoreError> {
         let key = CacheKey::Row(tsid, sid, did, pid);
         match self.read_cache.get(key) {
-            Some(Cached::Elist(e)) => e,
+            Some(Cached::Elist(e)) => Ok(e),
             _ => self.insert_decoded_elist(tsid, sid, did, pid, bytes),
         }
     }
@@ -428,11 +444,11 @@ impl Tgi {
         did: u64,
         pid: u32,
         bytes: &bytes::Bytes,
-    ) -> Arc<Eventlist> {
-        let e = Arc::new(self.decode_elist_blob(bytes));
+    ) -> Result<Arc<Eventlist>, StoreError> {
+        let e = Arc::new(self.decode_elist_blob(bytes)?);
         self.read_cache
             .put(CacheKey::Row(tsid, sid, did, pid), Cached::Elist(e.clone()));
-        e
+        Ok(e)
     }
 
     /// Sequential (single fetch client) materialization of one span
@@ -506,7 +522,7 @@ impl Tgi {
                     for (sid, rows) in per_sid.iter().enumerate() {
                         let sid_state = match &sid_bases[li][sid] {
                             Some(d) => Arc::clone(d),
-                            None => self.build_sid_leaf_state(span, lg.leaf, sid as u32, rows),
+                            None => self.build_sid_leaf_state(span, lg.leaf, sid as u32, rows)?,
                         };
                         state.sum_assign(&sid_state);
                     }
@@ -529,7 +545,7 @@ impl Tgi {
                     let Some(dk) = DeltaKey::decode(k) else {
                         continue;
                     };
-                    let el = self.decoded_elist(tsid, sid as u32, elist_did, dk.pid, bytes);
+                    let el = self.decoded_elist(tsid, sid as u32, elist_did, dk.pid, bytes)?;
                     pieces.push((sid as u32, dk.pid, el));
                 }
             }
@@ -569,7 +585,7 @@ impl Tgi {
         let tsid = span.meta.tsid;
         let base = match base {
             Some(d) => d,
-            None => self.build_sid_leaf_state(span, lg.leaf, sid, rows),
+            None => self.build_sid_leaf_state(span, lg.leaf, sid, rows)?,
         };
         // Eventlist pieces of this sid (all pids), then the shared
         // cursor replay.
@@ -580,7 +596,7 @@ impl Tgi {
                 let Some(dk) = DeltaKey::decode(k) else {
                     continue;
                 };
-                let el = self.decoded_elist(tsid, sid, elist_did, dk.pid, bytes);
+                let el = self.decoded_elist(tsid, sid, elist_did, dk.pid, bytes)?;
                 pieces.push((sid, dk.pid, el));
             }
         }
@@ -598,7 +614,7 @@ impl Tgi {
         leaf: usize,
         sid: u32,
         rows: &RowsByDid,
-    ) -> Arc<Delta> {
+    ) -> Result<Arc<Delta>, StoreError> {
         let meta = &span.meta;
         let tsid = meta.tsid;
         let mut state = Delta::new();
@@ -610,7 +626,7 @@ impl Tgi {
                 let Some(dk) = DeltaKey::decode(k) else {
                     continue;
                 };
-                let d = self.decoded_delta(tsid, sid, did, dk.pid, bytes);
+                let d = self.decoded_delta(tsid, sid, did, dk.pid, bytes)?;
                 state.sum_assign(&d);
             }
         }
@@ -619,7 +635,7 @@ impl Tgi {
             CacheKey::SidLeaf(tsid, sid, leaf as u32),
             Cached::Delta(arc.clone()),
         );
-        arc
+        Ok(arc)
     }
 
     /// Clone `base` once at the divergence point (the leaf), then

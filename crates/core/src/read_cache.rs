@@ -38,7 +38,9 @@
 //! upholds this: nothing is ever synthesized on a miss.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use hgs_delta::{ColumnarDelta, ColumnarEventlist, Delta, Eventlist, FxHashMap};
 
@@ -195,30 +197,52 @@ struct Inner {
 }
 
 impl Inner {
+    /// The entry in `slot`. Every slot index flowing in here came from
+    /// `map` or a list link, both of which only ever hold occupied
+    /// slots — an empty `Option` is a corrupted slab, not a recoverable
+    /// condition.
+    fn entry(&self, slot: usize) -> &Entry {
+        // hgs-lint: allow(no-panic-in-try, "slab invariant: map/list indices always point at occupied slots")
+        self.slots[slot].as_ref().expect("linked slot occupied")
+    }
+
+    /// Mutable twin of [`Inner::entry`], same slab invariant.
+    fn entry_mut(&mut self, slot: usize) -> &mut Entry {
+        // hgs-lint: allow(no-panic-in-try, "slab invariant: map/list indices always point at occupied slots")
+        self.slots[slot].as_mut().expect("linked slot occupied")
+    }
+
+    /// Take the entry out of `slot`, freeing it. Same slab invariant
+    /// as [`Inner::entry`].
+    fn take_entry(&mut self, slot: usize) -> Entry {
+        // hgs-lint: allow(no-panic-in-try, "slab invariant: map/list indices always point at occupied slots")
+        self.slots[slot].take().expect("linked slot occupied")
+    }
+
     fn unlink(&mut self, slot: usize) {
         let (prev, next) = {
-            let e = self.slots[slot].as_ref().expect("linked slot occupied");
+            let e = self.entry(slot);
             (e.prev, e.next)
         };
         match prev {
             NIL => self.head = next,
-            p => self.slots[p].as_mut().expect("prev occupied").next = next,
+            p => self.entry_mut(p).next = next,
         }
         match next {
             NIL => self.tail = prev,
-            n => self.slots[n].as_mut().expect("next occupied").prev = prev,
+            n => self.entry_mut(n).prev = prev,
         }
     }
 
     fn push_front(&mut self, slot: usize) {
         let old_head = self.head;
         {
-            let e = self.slots[slot].as_mut().expect("pushed slot occupied");
+            let e = self.entry_mut(slot);
             e.prev = NIL;
             e.next = old_head;
         }
         if old_head != NIL {
-            self.slots[old_head].as_mut().expect("head occupied").prev = slot;
+            self.entry_mut(old_head).prev = slot;
         }
         self.head = slot;
         if self.tail == NIL {
@@ -233,7 +257,7 @@ impl Inner {
             return;
         }
         self.unlink(slot);
-        let e = self.slots[slot].take().expect("tail occupied");
+        let e = self.take_entry(slot);
         self.map.remove(&e.key);
         self.bytes -= e.weight;
         self.free.push(slot);
@@ -284,7 +308,7 @@ impl ReadCache {
     /// Row and checkpoint-state lookups are counted separately (see
     /// [`CacheStats`]).
     pub(crate) fn get(&self, key: CacheKey) -> Option<Cached> {
-        let mut inner = self.inner.lock().expect("read cache poisoned");
+        let mut inner = self.inner.lock();
         let (hits, misses) = if key.is_state() {
             (&self.state_hits, &self.state_misses)
         } else {
@@ -295,13 +319,7 @@ impl ReadCache {
                 inner.unlink(slot);
                 inner.push_front(slot);
                 hits.fetch_add(1, Ordering::Relaxed);
-                Some(
-                    inner.slots[slot]
-                        .as_ref()
-                        .expect("hit slot occupied")
-                        .value
-                        .shallow(),
-                )
+                Some(inner.entry(slot).value.shallow())
             }
             None => {
                 misses.fetch_add(1, Ordering::Relaxed);
@@ -317,7 +335,7 @@ impl ReadCache {
     /// itself, recreating the clear-on-overflow pathology this cache
     /// exists to remove.
     pub(crate) fn put(&self, key: CacheKey, value: Cached) {
-        let mut inner = self.inner.lock().expect("read cache poisoned");
+        let mut inner = self.inner.lock();
         if inner.budget == 0 {
             return;
         }
@@ -327,7 +345,7 @@ impl ReadCache {
             // rest of the working set untouched.
             if let Some(slot) = inner.map.get(&key).copied() {
                 inner.unlink(slot);
-                let e = inner.slots[slot].take().expect("slot occupied");
+                let e = inner.take_entry(slot);
                 inner.map.remove(&e.key);
                 inner.bytes -= e.weight;
                 inner.free.push(slot);
@@ -340,7 +358,7 @@ impl ReadCache {
             // value; just refresh recency (and weight, defensively).
             inner.unlink(slot);
             inner.push_front(slot);
-            let e = inner.slots[slot].as_mut().expect("refreshed occupied");
+            let e = inner.entry_mut(slot);
             let old = e.weight;
             e.value = value;
             e.weight = weight;
@@ -372,20 +390,20 @@ impl ReadCache {
     /// building a value (e.g. a deep state clone) whose `put` would be
     /// a guaranteed no-op.
     pub(crate) fn is_enabled(&self) -> bool {
-        self.inner.lock().expect("read cache poisoned").budget > 0
+        self.inner.lock().budget > 0
     }
 
     /// Change the byte budget, evicting least-recently-used entries
     /// (never a wholesale clear) until the new budget holds.
     pub(crate) fn set_budget(&self, budget: usize) {
-        let mut inner = self.inner.lock().expect("read cache poisoned");
+        let mut inner = self.inner.lock();
         inner.budget = budget;
         inner.enforce_budget();
     }
 
     /// Current counters.
     pub(crate) fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("read cache poisoned");
+        let inner = self.inner.lock();
         let row_hits = self.row_hits.load(Ordering::Relaxed);
         let row_misses = self.row_misses.load(Ordering::Relaxed);
         let state_hits = self.state_hits.load(Ordering::Relaxed);
@@ -407,17 +425,17 @@ impl ReadCache {
     /// Number of live entries.
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.inner.lock().expect("read cache poisoned").map.len()
+        self.inner.lock().map.len()
     }
 
     /// Live keys in most-recently-used-first order.
     #[cfg(test)]
     fn keys_mru_first(&self) -> Vec<CacheKey> {
-        let inner = self.inner.lock().expect("read cache poisoned");
+        let inner = self.inner.lock();
         let mut out = Vec::with_capacity(inner.map.len());
         let mut cur = inner.head;
         while cur != NIL {
-            let e = inner.slots[cur].as_ref().expect("walk occupied");
+            let e = inner.entry(cur);
             out.push(e.key);
             cur = e.next;
         }

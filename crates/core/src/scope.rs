@@ -142,6 +142,7 @@ fn ensure(state: &mut Delta, id: NodeId) -> &mut StaticNode {
     if !state.contains(id) {
         state.insert(StaticNode::new(id));
     }
+    // hgs-lint: allow(no-panic-in-try, "the node was inserted two lines above when absent")
     state.node_mut(id).expect("just inserted")
 }
 

@@ -28,6 +28,7 @@ fn snapshots_at_every_event_timestamp() {
     .generate();
     let tgi = Tgi::build(cfg(), StoreConfig::new(2, 1), &events);
     let mut times: Vec<Time> = events.iter().map(|e| e.time).collect();
+    times.sort_unstable();
     times.dedup();
     for &t in &times {
         for probe in [t.saturating_sub(1), t, t + 1] {

@@ -1,0 +1,80 @@
+//! Corruption injection: a stored row whose bytes no longer decode
+//! must surface as `StoreError::Corrupt` through the `try_*` read
+//! path — never panic inside a caller that opted into `Result`. The
+//! decode sites used to `.expect("stored delta decodes")` straight
+//! through `try_snapshot`; this pins the contract that replaced them.
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use hgs_core::{Tgi, TgiConfig};
+use hgs_datagen::WikiGrowth;
+use hgs_delta::TimeRange;
+use hgs_store::{SimStore, StoreConfig, StoreError, Table};
+
+fn trace() -> Vec<hgs_delta::Event> {
+    WikiGrowth::sized(3_000).generate()
+}
+
+fn cfg() -> TgiConfig {
+    TgiConfig {
+        events_per_timespan: 1_200,
+        eventlist_size: 150,
+        partition_size: 60,
+        ..TgiConfig::default()
+    }
+}
+
+/// Overwrite every row of `table` with bytes that fail decoding.
+/// Rows are rewritten under every placement token so each replica of
+/// each chunk serves the garbage, whichever machine a read lands on.
+fn corrupt_table(store: &SimStore, table: Table) -> usize {
+    let tag = table.tag();
+    let mut keys: BTreeSet<Vec<u8>> = BTreeSet::new();
+    for rows in store.content_rows() {
+        for (nk, _) in rows {
+            if nk.first() == Some(&tag) {
+                keys.insert(nk[1..].to_vec());
+            }
+        }
+    }
+    let garbage = Bytes::from_static(b"\xff\xfenot a decodable row");
+    for key in &keys {
+        for token in 0..store.machine_count() as u64 {
+            store.put(table, key, token, garbage.clone());
+        }
+    }
+    keys.len()
+}
+
+#[test]
+fn corrupt_delta_rows_surface_corrupt_not_panic() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 2), &events);
+
+    // Corrupt before the first read: the read cache is cold, so every
+    // query below must hit the store and trip the decode.
+    let n = corrupt_table(tgi.store(), Table::Deltas);
+    assert!(n > 0, "the build must have written delta rows");
+
+    assert!(matches!(tgi.try_snapshot(t), Err(StoreError::Corrupt(_))));
+    assert!(matches!(tgi.try_node_at(0, t), Err(StoreError::Corrupt(_))));
+    assert!(matches!(
+        tgi.try_node_history(0, TimeRange::new(end / 4, (3 * end) / 4)),
+        Err(StoreError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn corrupt_version_chain_surfaces_corrupt_not_panic() {
+    let events = trace();
+    let tgi = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
+    let n = corrupt_table(tgi.store(), Table::Versions);
+    assert!(n > 0, "the build must have written version chains");
+    assert!(matches!(
+        tgi.try_version_chain(0),
+        Err(StoreError::Corrupt(_))
+    ));
+}

@@ -381,6 +381,7 @@ fn infallible_build_panics_on_dead_cluster() {
     for m in 0..store.machine_count() {
         store.fail_machine(m);
     }
+    // hgs-lint: allow(no-swallowed-result, "should_panic test: the expected panic means no value is ever produced")
     let _ = Tgi::build_on(cfg(), store, &events);
 }
 

@@ -318,6 +318,7 @@ pub fn encode_delta(d: &Delta) -> Bytes {
     let ids = d.sorted_ids();
     put_varint(&mut buf, ids.len() as u64);
     for id in ids {
+        // hgs-lint: allow(no-panic-in-try, "sorted_ids yields only ids present in this delta")
         put_static_node(&mut buf, d.node(id).expect("id from sorted_ids"));
     }
     buf.freeze()

@@ -134,6 +134,7 @@ fn attr_key_of(k: &EventKind) -> Option<&str> {
 #[inline]
 fn dict_idx<T: Ord>(dict: &[T], v: &T) -> u64 {
     dict.binary_search(v)
+        // hgs-lint: allow(no-panic-in-try, "every looked-up value was interned into this dict during the same encode")
         .expect("value interned at encode time") as u64
 }
 
@@ -409,8 +410,11 @@ impl ColumnarEventlist {
         Ok(ColumnarEventlist {
             backing,
             n_events,
+            // hgs-lint: allow(no-panic-in-try, "segment vec length was checked against the fixed column count above")
             segs: segs.try_into().expect("segment count checked"),
+            // hgs-lint: allow(no-panic-in-try, "segment vec length was checked against the fixed column count above")
             raw_lens: raw_lens.try_into().expect("segment count checked"),
+            // hgs-lint: allow(no-panic-in-try, "segment vec length was checked against the fixed column count above")
             comp: comp.try_into().expect("segment count checked"),
             node_dict: OnceLock::new(),
             core: OnceLock::new(),
@@ -1036,6 +1040,7 @@ pub fn encode_columnar_delta(d: &Delta) -> Bytes {
     let mut prev = 0u64;
     for &id in &ids {
         let start = records.len();
+        // hgs-lint: allow(no-panic-in-try, "sorted_ids yields only ids present in this delta")
         put_record(&mut records, d.node(id).expect("id from sorted_ids"), &keys);
         put_varint(&mut id_col, id.wrapping_sub(prev));
         prev = id;
@@ -1090,8 +1095,11 @@ impl ColumnarDelta {
         Ok(ColumnarDelta {
             backing,
             n_nodes,
+            // hgs-lint: allow(no-panic-in-try, "segment vec length was checked against the fixed column count above")
             segs: segs.try_into().expect("segment count checked"),
+            // hgs-lint: allow(no-panic-in-try, "segment vec length was checked against the fixed column count above")
             raw_lens: raw_lens.try_into().expect("segment count checked"),
+            // hgs-lint: allow(no-panic-in-try, "segment vec length was checked against the fixed column count above")
             comp: comp.try_into().expect("segment count checked"),
             index: OnceLock::new(),
             key_dict: OnceLock::new(),

@@ -230,6 +230,7 @@ pub fn decompress(data: &[u8]) -> Result<Bytes, CodecError> {
                     let mut copied = 0usize;
                     while copied < len {
                         let word: [u8; 8] =
+                            // hgs-lint: allow(no-panic-in-try, "the copied word slice is exactly 8 bytes by construction")
                             out[start + copied..start + copied + 8].try_into().unwrap();
                         out[w + copied..w + copied + 8].copy_from_slice(&word);
                         copied += 8;

@@ -1,0 +1,116 @@
+//! Human and machine rendering of a workspace lint run.
+
+use crate::rules::{Allow, Finding};
+
+/// Aggregated result of linting every file in the workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    /// Every allow annotation seen, with the file it lives in.
+    pub allows: Vec<(String, Allow)>,
+}
+
+impl WorkspaceReport {
+    /// True when the workspace is clean (CI gates on this).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Allow annotations that suppressed at least one finding.
+    pub fn allows_used(&self) -> usize {
+        self.allows.iter().filter(|(_, a)| a.used).count()
+    }
+}
+
+/// Plain-text report: one `file:line: [rule] message` per finding.
+pub fn render_text(r: &WorkspaceReport) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "hgs-lint: {} finding(s) across {} file(s), {} allow annotation(s) in effect\n",
+        r.findings.len(),
+        r.files_scanned,
+        r.allows_used(),
+    ));
+    out
+}
+
+/// Machine-readable report for CI (`hgs-lint --json`).
+pub fn render_json(r: &WorkspaceReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    out.push_str(&format!("  \"findings_total\": {},\n", r.findings.len()));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in r.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            if i + 1 < r.findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"allows\": [\n");
+    for (i, (file, a)) in r.allows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}, \"used\": {}}}{}\n",
+            json_str(&a.rule),
+            json_str(file),
+            a.line,
+            json_str(&a.reason),
+            a.used,
+            if i + 1 < r.allows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (the only serialization this binary
+/// needs; a JSON dependency would defeat "nothing new to vendor").
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn clean_report_renders() {
+        let r = WorkspaceReport {
+            files_scanned: 3,
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+        assert!(render_text(&r).contains("0 finding(s) across 3 file(s)"));
+        assert!(render_json(&r).contains("\"findings_total\": 0"));
+    }
+}

@@ -1,0 +1,593 @@
+//! The repo-invariant rules and the allow-annotation mechanism.
+//!
+//! Every rule here exists because a past PR shipped (or nearly
+//! shipped) the bug it catches; `RULES.md` carries the catalog with
+//! the history. The engine is token-based (see [`crate::scan`]), so
+//! rules are heuristics with a deliberate bias: prefer a false
+//! positive that costs one annotated `hgs-lint: allow(...)` over a
+//! false negative that costs a review cycle.
+
+use crate::scan::{scan, Scanned, TokKind, Token};
+
+/// Every rule the engine can fire, in report order.
+pub const RULES: &[&str] = &[
+    "sorted-dedup",
+    "no-panic-in-try",
+    "batched-store-discipline",
+    "no-swallowed-result",
+    "unused-allow",
+    "malformed-allow",
+];
+
+/// Crates whose non-test library code is held to the
+/// `no-panic-in-try` discipline even outside `try_*` fns.
+const PANIC_STRICT_CRATES: &[&str] = &["delta", "store", "core"];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+/// Where a file sits in the workspace, which decides rule scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of some crate: production library/binary code.
+    Lib,
+    /// `tests/`, `benches/` or `examples/`: panics and raw store
+    /// traffic are legitimate there.
+    TestLike,
+}
+
+/// Per-file context handed to the engine alongside the source text.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, used in findings.
+    pub rel_path: String,
+    /// The `crates/<dir>` component, e.g. `core`; `None` for the
+    /// umbrella crate and top-level `tests/`/`examples/`.
+    pub crate_dir: Option<String>,
+    pub kind: FileKind,
+}
+
+impl FileCtx {
+    /// Classify a workspace-relative path (`None` for non-Rust or
+    /// out-of-scope files such as the vendored shims and the lint's
+    /// own violation fixtures).
+    pub fn classify(rel_path: &str) -> Option<FileCtx> {
+        if !rel_path.ends_with(".rs") {
+            return None;
+        }
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        if parts.first() == Some(&"vendor") || parts.first() == Some(&"target") {
+            return None;
+        }
+        if rel_path.starts_with("crates/lint/tests/fixtures/") {
+            return None; // deliberate violations used by the lint's own tests
+        }
+        let (crate_dir, rest) = if parts.first() == Some(&"crates") && parts.len() >= 3 {
+            (Some(parts[1].to_string()), &parts[2..])
+        } else {
+            (None, &parts[..])
+        };
+        let kind = match rest.first().copied() {
+            Some("src") => FileKind::Lib,
+            Some("tests") | Some("benches") | Some("examples") => FileKind::TestLike,
+            _ => return None,
+        };
+        Some(FileCtx {
+            rel_path: rel_path.to_string(),
+            crate_dir,
+            kind,
+        })
+    }
+}
+
+/// A parsed `// hgs-lint: allow(<rule>, "<reason>")` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the annotation itself sits on.
+    pub line: u32,
+    /// Line of code the annotation suppresses findings on.
+    pub target_line: u32,
+    pub rule: String,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// Full per-file lint result: surviving findings plus the allow table
+/// (used and unused alike) for reporting.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<Allow>,
+}
+
+// ----------------------------------------------------------------------
+// token contexts: which fn / test scope each token sits in
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+struct FnInfo {
+    name: String,
+    /// Token index of the body's opening `{`.
+    body_start: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TokCtx {
+    /// Innermost enclosing fn, as an index into the fns table.
+    fn_id: Option<usize>,
+    /// True under `#[test]`, `#[cfg(test)]` or a `mod tests`.
+    in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ScopeKind {
+    Fn(usize),
+    Other,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    kind: ScopeKind,
+    depth: u32,
+    is_test: bool,
+}
+
+struct Contexts {
+    per_token: Vec<TokCtx>,
+    fns: Vec<FnInfo>,
+}
+
+/// Single forward pass assigning every token its enclosing fn and
+/// test-ness. Heuristic item tracking: `#[test]` / `#[cfg(... test
+/// ...)]` (but not `cfg(not(test))`) marks the next `fn`/`mod`;
+/// `mod tests`/`mod test` counts as test scope on its own.
+fn contexts(toks: &[Token]) -> Contexts {
+    let mut per_token = Vec::with_capacity(toks.len());
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut pending_test = false;
+    // A fn/mod header seen, waiting for its `{` (or dropped at `;`).
+    let mut pending_scope: Option<(ScopeKind, bool)> = None;
+    let mut pending_fn_name: Option<String> = None;
+    // Inside an attribute: (bracket depth, saw `test`, saw `not`).
+    let mut attr: Option<(i32, bool, bool)> = None;
+
+    for (i, tok) in toks.iter().enumerate() {
+        per_token.push(TokCtx {
+            fn_id: stack.iter().rev().find_map(|s| match s.kind {
+                ScopeKind::Fn(id) => Some(id),
+                ScopeKind::Other => None,
+            }),
+            in_test: stack.iter().any(|s| s.is_test),
+        });
+
+        if let Some((bdepth, has_test, has_not)) = attr.as_mut() {
+            match &tok.kind {
+                TokKind::Punct('[') => *bdepth += 1,
+                TokKind::Punct(']') => {
+                    *bdepth -= 1;
+                    if *bdepth == 0 {
+                        if *has_test && !*has_not {
+                            pending_test = true;
+                        }
+                        attr = None;
+                    }
+                }
+                TokKind::Ident(s) if s == "test" => *has_test = true,
+                TokKind::Ident(s) if s == "not" => *has_not = true,
+                _ => {}
+            }
+            continue;
+        }
+
+        match &tok.kind {
+            TokKind::Punct('#')
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+                    || (toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct('['))) =>
+            {
+                // `#[...]` / `#![...]`: scan its idents for `test`.
+                attr = Some((0, false, false));
+            }
+            TokKind::Ident(kw) if kw == "fn" => {
+                // Only a real item header (`fn name`), not an `fn(..)`
+                // pointer type.
+                if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                    pending_scope = Some((ScopeKind::Fn(usize::MAX), pending_test));
+                    pending_fn_name = Some(name.to_string());
+                    pending_test = false;
+                }
+            }
+            TokKind::Ident(kw) if kw == "mod" => {
+                let name = toks.get(i + 1).and_then(|t| t.ident()).unwrap_or("");
+                let is_test = pending_test || name == "tests" || name == "test";
+                pending_scope = Some((ScopeKind::Other, is_test));
+                pending_test = false;
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+                let scope = match pending_scope.take() {
+                    Some((ScopeKind::Fn(_), is_test)) => {
+                        let id = fns.len();
+                        fns.push(FnInfo {
+                            name: pending_fn_name.take().unwrap_or_default(),
+                            body_start: i,
+                        });
+                        Scope {
+                            kind: ScopeKind::Fn(id),
+                            depth,
+                            is_test,
+                        }
+                    }
+                    Some((ScopeKind::Other, is_test)) => Scope {
+                        kind: ScopeKind::Other,
+                        depth,
+                        is_test,
+                    },
+                    None => Scope {
+                        kind: ScopeKind::Other,
+                        depth,
+                        is_test: false,
+                    },
+                };
+                stack.push(scope);
+            }
+            TokKind::Punct('}') => {
+                if stack.last().is_some_and(|s| s.depth == depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+                pending_test = false;
+            }
+            TokKind::Punct(';') => {
+                // Bodyless item (trait fn, use, struct...): drop any
+                // pending header and stale attribute marks.
+                pending_scope = None;
+                pending_fn_name = None;
+                pending_test = false;
+            }
+            _ => {}
+        }
+    }
+    Contexts { per_token, fns }
+}
+
+// ----------------------------------------------------------------------
+// allow annotations
+// ----------------------------------------------------------------------
+
+/// Parse every `hgs-lint:` line comment; malformed ones become
+/// findings immediately.
+fn parse_allows(scanned: &Scanned, ctx: &FileCtx, findings: &mut Vec<Finding>) -> Vec<Allow> {
+    let code_lines = scanned.code_lines();
+    let mut allows = Vec::new();
+    for c in &scanned.comments {
+        // Doc comments (`///` and `//!` leave a leading `/` or `!` in
+        // the scanned text) are prose — only a plain `//` comment that
+        // *starts* with `hgs-lint` is an annotation.
+        if c.text.starts_with('/') || c.text.starts_with('!') || !c.text.starts_with("hgs-lint") {
+            continue;
+        }
+        match parse_allow_text(&c.text) {
+            Ok((rule, reason)) => {
+                let target_line = if code_lines.contains(&c.line) {
+                    c.line // trailing comment: suppress on its own line
+                } else {
+                    // Standalone: suppress on the next code line.
+                    match code_lines.range(c.line + 1..).next() {
+                        Some(&l) => l,
+                        None => c.line,
+                    }
+                };
+                allows.push(Allow {
+                    line: c.line,
+                    target_line,
+                    rule,
+                    reason,
+                    used: false,
+                });
+            }
+            Err(why) => findings.push(Finding {
+                rule: "malformed-allow",
+                file: ctx.rel_path.clone(),
+                line: c.line,
+                message: format!("malformed hgs-lint annotation: {why}"),
+            }),
+        }
+    }
+    allows
+}
+
+/// Parse `hgs-lint: allow(<rule>, "<reason>")` out of a comment body.
+fn parse_allow_text(text: &str) -> Result<(String, String), String> {
+    let rest = text
+        .split_once("hgs-lint")
+        .map(|(_, r)| r)
+        .unwrap_or(text)
+        .trim_start();
+    let rest = rest
+        .strip_prefix(':')
+        .ok_or("expected `hgs-lint: allow(<rule>, \"<reason>\")`")?
+        .trim_start();
+    let rest = rest
+        .strip_prefix("allow(")
+        .ok_or("expected `allow(<rule>, \"<reason>\")` after `hgs-lint:`")?;
+    let (rule, rest) = rest
+        .split_once(',')
+        .ok_or("expected a rule name followed by `, \"<reason>\"`")?;
+    let rule = rule.trim();
+    if !RULES.contains(&rule) {
+        return Err(format!(
+            "unknown rule `{rule}` (known: {})",
+            RULES.join(", ")
+        ));
+    }
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or("the justification must be a quoted string")?;
+    let (reason, tail) = rest
+        .split_once('"')
+        .ok_or("unterminated justification string")?;
+    if reason.trim().is_empty() {
+        return Err("the justification must not be empty".to_string());
+    }
+    if !tail.trim_start().starts_with(')') {
+        return Err("expected `)` closing the allow".to_string());
+    }
+    Ok((rule.to_string(), reason.trim().to_string()))
+}
+
+// ----------------------------------------------------------------------
+// the rules
+// ----------------------------------------------------------------------
+
+/// Keywords that can directly precede a `[` without forming an index
+/// expression (slice patterns, array literals after `return`, ...).
+const NON_RECEIVER_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "as", "move", "box", "while",
+    "for", "where", "impl", "dyn", "const", "static", "break", "continue", "yield", "await",
+];
+
+/// Run every rule over one file.
+pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
+    let scanned = scan(src);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows = parse_allows(&scanned, ctx, &mut findings);
+    let cx = contexts(&scanned.tokens);
+    let toks = &scanned.tokens;
+
+    let strict_panic_crate = ctx.kind == FileKind::Lib
+        && ctx
+            .crate_dir
+            .as_deref()
+            .is_some_and(|c| PANIC_STRICT_CRATES.contains(&c));
+    let store_exempt = ctx.crate_dir.as_deref() == Some("store") && ctx.kind == FileKind::Lib;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let tcx = cx.per_token[i];
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+        let in_try_fn = tcx
+            .fn_id
+            .is_some_and(|f| cx.fns[f].name.starts_with("try_"));
+
+        // ---- sorted-dedup: applies everywhere, tests included -------
+        if let Some(name) = t.ident() {
+            if (name == "dedup" || name == "dedup_by" || name == "dedup_by_key")
+                && prev.is_some_and(|p| p.is_punct('.'))
+                && next.is_some_and(|n| n.is_punct('('))
+            {
+                let proven = tcx.fn_id.is_some_and(|f| {
+                    let start = cx.fns[f].body_start;
+                    toks[start..i].windows(2).any(|w| {
+                        w[0].is_punct('.') && w[1].ident().is_some_and(|s| s.starts_with("sort"))
+                    })
+                });
+                if !proven {
+                    findings.push(Finding {
+                        rule: "sorted-dedup",
+                        file: ctx.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`.{name}()` removes only *adjacent* duplicates but no \
+                             sort call precedes it in this fn; sort first or \
+                             annotate the sortedness invariant"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // ---- no-panic-in-try ----------------------------------------
+        if !tcx.in_test && ctx.kind == FileKind::Lib {
+            let panic_scope = in_try_fn || strict_panic_crate;
+            if panic_scope {
+                if let Some(name) = t.ident() {
+                    let method_panic = (name == "unwrap" || name == "expect")
+                        && prev.is_some_and(|p| p.is_punct('.'))
+                        && next.is_some_and(|n| n.is_punct('('));
+                    let macro_panic =
+                        matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                            && next.is_some_and(|n| n.is_punct('!'));
+                    if method_panic || macro_panic {
+                        let what = if method_panic {
+                            format!(".{name}()")
+                        } else {
+                            format!("{name}!")
+                        };
+                        let scope = if in_try_fn {
+                            format!(
+                                "inside fallible `{}`",
+                                cx.fns[tcx.fn_id.unwrap_or_default()].name
+                            )
+                        } else {
+                            "in panic-strict library code".to_string()
+                        };
+                        findings.push(Finding {
+                            rule: "no-panic-in-try",
+                            file: ctx.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "{what} {scope}; surface an error or annotate the \
+                                 audited invariant"
+                            ),
+                        });
+                    }
+                }
+            }
+            // Slice indexing only inside the fallible surface itself.
+            if in_try_fn && t.is_punct('[') {
+                let is_index = prev.is_some_and(|p| match &p.kind {
+                    TokKind::Ident(s) => !NON_RECEIVER_KEYWORDS.contains(&s.as_str()),
+                    TokKind::Punct(c) => *c == ']' || *c == ')',
+                });
+                if is_index && !is_full_range_index(toks, i) {
+                    findings.push(Finding {
+                        rule: "no-panic-in-try",
+                        file: ctx.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "slice/array indexing inside fallible `{}` can panic \
+                             out-of-bounds; use `.get()` or annotate the audited \
+                             bound",
+                            cx.fns[tcx.fn_id.unwrap_or_default()].name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // ---- batched-store-discipline -------------------------------
+        if !tcx.in_test && ctx.kind == FileKind::Lib && !store_exempt {
+            if let Some(name) = t.ident() {
+                let is_call =
+                    prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('('));
+                let fires = if name == "scan_prefix" {
+                    is_call
+                } else if name == "get" || name == "put" {
+                    is_call && i >= 2 && toks[i - 2].ident() == Some("store")
+                } else {
+                    false
+                };
+                if fires {
+                    findings.push(Finding {
+                        rule: "batched-store-discipline",
+                        file: ctx.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "raw store round trip `.{name}(...)` outside hgs-store; \
+                             hot paths must use `multi_get`/`scan_prefix_batch`/\
+                             `WriteBuffer`, reference paths must be annotated"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // ---- no-swallowed-result ------------------------------------
+        if t.ident() == Some("let")
+            && next.and_then(|n| n.ident()) == Some("_")
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            if let Some(hit) = swallowed_store_op(toks, i + 3) {
+                findings.push(Finding {
+                    rule: "no-swallowed-result",
+                    file: ctx.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`let _ =` discards the result of store/cache operation \
+                         `{hit}`; handle or propagate it"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Suppress findings that carry a matching allow on their line.
+    findings.retain(|f| {
+        if f.rule == "malformed-allow" {
+            return true;
+        }
+        for a in allows.iter_mut() {
+            if a.rule == f.rule && a.target_line == f.line {
+                a.used = true;
+                return false;
+            }
+        }
+        true
+    });
+
+    // Unused allows are themselves violations: annotations must not rot.
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding {
+                rule: "unused-allow",
+                file: ctx.rel_path.clone(),
+                line: a.line,
+                message: format!(
+                    "allow({}) no longer suppresses any finding on line {}; \
+                     remove the stale annotation",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    FileReport { findings, allows }
+}
+
+/// True when `toks[open]` is a `[` whose contents are exactly `..`
+/// (full-range slicing never panics).
+fn is_full_range_index(toks: &[Token], open: usize) -> bool {
+    toks.get(open + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(open + 2).is_some_and(|t| t.is_punct('.'))
+        && toks.get(open + 3).is_some_and(|t| t.is_punct(']'))
+}
+
+/// Scan the right-hand side of a `let _ =` (from `start` to the
+/// statement's `;`) for store/cache operations; returns the matched
+/// name.
+fn swallowed_store_op(toks: &[Token], start: usize) -> Option<String> {
+    const RECEIVERS: &[&str] = &["store", "cache", "buffer"];
+    const METHODS: &[&str] = &[
+        "put",
+        "put_batch",
+        "try_put_batch",
+        "multi_get",
+        "scan_prefix",
+        "scan_prefix_batch",
+        "flush",
+    ];
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => depth -= 1,
+            TokKind::Punct(';') if depth <= 0 => return None,
+            TokKind::Ident(s) => {
+                if RECEIVERS.contains(&s.as_str()) {
+                    return Some(s.clone());
+                }
+                if METHODS.contains(&s.as_str()) && j > 0 && toks[j - 1].is_punct('.') {
+                    return Some(format!(".{s}()"));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}

@@ -1,0 +1,319 @@
+//! Comment- and string-aware tokenizer for the repo linter.
+//!
+//! This is deliberately *not* a Rust parser: `hgs-lint` must stay
+//! dependency-free (no `syn`, nothing new to vendor), so the scanner
+//! only knows enough of the lexical grammar to (a) never mistake the
+//! inside of a string, char literal or comment for code, and (b) hand
+//! the rule engine a flat token stream with accurate line numbers.
+//! Line comments are kept separately so the allow-annotation parser
+//! can read them.
+
+/// One lexical token of the blanked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// Token payload: identifiers/keywords/number literals keep their
+/// text, everything else is a single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    Ident(String),
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            TokKind::Punct(_) => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A `//` comment, with the text after the slashes (trimmed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment body without the leading `//`, trimmed.
+    pub text: String,
+}
+
+/// Scanner output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+impl Scanned {
+    /// 1-based lines that carry at least one code token.
+    pub fn code_lines(&self) -> std::collections::BTreeSet<u32> {
+        self.tokens.iter().map(|t| t.line).collect()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`, blanking comments and literal contents.
+pub fn scan(src: &str) -> Scanned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Scanned::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    // Consume chars[i..j), counting newlines.
+    macro_rules! advance_to {
+        ($j:expr) => {{
+            let j = $j;
+            for &c in &chars[i..j] {
+                if c == '\n' {
+                    line += 1;
+                }
+            }
+            i = j;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start_line = line;
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[i + 2..j].iter().collect();
+                out.comments.push(LineComment {
+                    line: start_line,
+                    text: text.trim().to_string(),
+                });
+                advance_to!(j);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comments, skipped entirely.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                advance_to!(j);
+            }
+            '"' => {
+                advance_to!(skip_string(&chars, i));
+            }
+            '\'' => {
+                // Char literal vs lifetime/label.
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: find the closing quote.
+                    let mut j = i + 2;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    advance_to!(j.saturating_add(1).min(chars.len()));
+                } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                    advance_to!(i + 3); // 'a'
+                } else {
+                    i += 1; // lifetime: drop the quote, lex the ident normally
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                // String-literal prefixes: r"", r#""#, b"", br"", b''.
+                let next = chars.get(j).copied();
+                let prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb");
+                if prefix && (next == Some('"') || next == Some('#')) {
+                    let raw = word.contains('r');
+                    if let Some(end) = skip_prefixed_string(&chars, j, raw) {
+                        advance_to!(end);
+                        continue;
+                    }
+                    // `r#ident` raw identifier: fall through, emit as ident.
+                }
+                if word == "b" && next == Some('\'') {
+                    // Byte char literal b'x' / b'\n'.
+                    let mut k = j + 1;
+                    if chars.get(k) == Some(&'\\') {
+                        k += 1;
+                    }
+                    while k < chars.len() && chars[k] != '\'' {
+                        k += 1;
+                    }
+                    advance_to!(k.saturating_add(1).min(chars.len()));
+                    continue;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Ident(word),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < chars.len() && (is_ident_continue(chars[j])) {
+                    j += 1;
+                }
+                // Fractional part, but not the `..` of a range.
+                if chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    j += 2;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                }
+                let word: String = chars[i..j].iter().collect();
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Ident(word),
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a plain `"..."` string starting at the opening quote; returns
+/// the index just past the closing quote.
+fn skip_string(chars: &[char], start: usize) -> usize {
+    let mut j = start + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a prefixed string whose prefix identifier has just been lexed:
+/// `j` points at `"` or the first `#`. Returns the index past the
+/// closing delimiter, or `None` if this is not actually a string
+/// (e.g. a raw identifier `r#foo`).
+fn skip_prefixed_string(chars: &[char], j: usize, raw: bool) -> Option<usize> {
+    if !raw {
+        // b"..." — escapes apply.
+        return Some(skip_string(chars, j));
+    }
+    let mut hashes = 0usize;
+    let mut k = j;
+    while chars.get(k) == Some(&'#') {
+        hashes += 1;
+        k += 1;
+    }
+    if chars.get(k) != Some(&'"') {
+        return None; // raw identifier, not a string
+    }
+    k += 1;
+    // Scan for `"` followed by `hashes` hash marks; no escapes.
+    while k < chars.len() {
+        if chars[k] == '"' {
+            let mut h = 0usize;
+            while h < hashes && chars.get(k + 1 + h) == Some(&'#') {
+                h += 1;
+            }
+            if h == hashes {
+                return Some(k + 1 + hashes);
+            }
+        }
+        k += 1;
+    }
+    Some(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r##"
+            let x = "dedup inside a string"; // .dedup() in a comment
+            /* block .dedup() comment */
+            let y = r#"raw .dedup()"#;
+            let z = b"bytes .dedup()";
+            v.dedup();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "dedup").count(), 1);
+        let s = scan(src);
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains(".dedup() in a comment"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(c: char) -> bool { c == 'x' || c == '\\n' }";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string())); // lifetime ident survives
+        assert!(!ids.contains(&"x".to_string())); // char literal blanked
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\n\nb\nc";
+        let s = scan(src);
+        let lines: Vec<u32> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let src = "let s = \"one\ntwo\nthree\";\nafter";
+        let s = scan(src);
+        let after = s.tokens.iter().find(|t| t.ident() == Some("after"));
+        assert_eq!(after.map(|t| t.line), Some(4));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixture-driven rule tests: each file under `tests/fixtures/` is a
+//! known-violations specimen annotated with `FIRES:<rule>` markers on
+//! the exact lines the engine must report (and `FIRES-STRICT:<rule>`
+//! for findings that only apply under a panic-strict crate context).
+//! A test fails on a missing finding, an extra finding, or a finding
+//! on the wrong line.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use hgs_lint::{lint_source, FileCtx};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn ctx(rel: &str) -> FileCtx {
+    FileCtx::classify(rel).unwrap_or_else(|| panic!("{rel} must classify as lintable"))
+}
+
+/// Expected `(line, rule)` pairs from the fixture's inline markers.
+fn expected(src: &str, strict: bool) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        // The two tags are disjoint as substrings (`FIRES:` never
+        // occurs inside `FIRES-STRICT:`), so a plain find per tag is
+        // unambiguous.
+        for (tag, applies) in [("FIRES:", true), ("FIRES-STRICT:", strict)] {
+            let mut rest = line;
+            while let Some(pos) = rest.find(tag) {
+                let after = &rest[pos + tag.len()..];
+                let rule: String = after
+                    .chars()
+                    .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                    .collect();
+                assert!(!rule.is_empty(), "bad marker on line {lineno}: {line}");
+                if applies {
+                    out.insert((lineno, rule));
+                }
+                rest = after;
+            }
+        }
+    }
+    out
+}
+
+fn check(name: &str, rel: &str, strict: bool) {
+    let src = fixture(name);
+    let report = lint_source(&src, &ctx(rel));
+    let got: BTreeSet<(u32, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    let want = expected(&src, strict);
+    assert_eq!(
+        got, want,
+        "{name} linted as {rel}: findings diverge from the FIRES markers\nreported: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn sorted_dedup_fixture() {
+    check("sorted_dedup.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn no_panic_fixture_in_strict_crate() {
+    // `crates/core` is panic-strict: the panic family fires in all
+    // non-test lib code, not just `try_*` fns.
+    check("no_panic.rs", "crates/core/src/fixture.rs", true);
+}
+
+#[test]
+fn no_panic_fixture_in_relaxed_crate() {
+    // Elsewhere only the fallible `try_*` surface is held to it.
+    check("no_panic.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn batched_store_fixture() {
+    check("batched_store.rs", "crates/core/src/fixture.rs", true);
+}
+
+#[test]
+fn batched_store_rule_is_off_inside_the_store_crate() {
+    // The store crate implements the primitives the rule polices, so
+    // raw calls there are fine — and the fixture's allow annotation,
+    // now suppressing nothing, must itself be flagged as stale.
+    let src = fixture("batched_store.rs");
+    let report = lint_source(&src, &ctx("crates/store/src/fixture.rs"));
+    let allow_line = src
+        .lines()
+        .position(|l| l.contains("hgs-lint: allow(batched-store-discipline"))
+        .map(|i| (i + 1) as u32)
+        .expect("fixture carries one batched-store allow");
+    let got: Vec<(u32, &str)> = report.findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(got, vec![(allow_line, "unused-allow")]);
+}
+
+#[test]
+fn swallowed_result_fixture() {
+    check("swallowed_result.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn allow_hygiene_fixture() {
+    check("allows.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn fixtures_are_excluded_from_workspace_discovery() {
+    // The specimens deliberately violate every rule; discovery must
+    // skip them or the self-check gate could never pass.
+    assert!(FileCtx::classify("crates/lint/tests/fixtures/no_panic.rs").is_none());
+    // ...while this driver itself stays in scope.
+    assert!(FileCtx::classify("crates/lint/tests/fixtures.rs").is_some());
+}

@@ -1,0 +1,30 @@
+// Fixture for the annotation-hygiene rules: `unused-allow` (a
+// suppression that no longer suppresses anything) and
+// `malformed-allow` (an annotation the parser rejects). Both report on
+// the annotation's own line, so the markers sit inline.
+
+pub fn stale_allow() -> u64 {
+    // hgs-lint: allow(sorted-dedup, "this fn used to dedup a scan result") FIRES:unused-allow
+    42
+}
+
+// hgs-lint: allow(not-a-rule, "unknown rule name") FIRES:malformed-allow
+pub fn unknown_rule() -> u64 {
+    43
+}
+
+// hgs-lint: allow(sorted-dedup) FIRES:malformed-allow
+pub fn missing_reason() -> u64 {
+    44
+}
+
+// hgs-lint: allow(sorted-dedup, "") FIRES:malformed-allow
+pub fn empty_reason() -> u64 {
+    45
+}
+
+pub fn used_allow(mut v: Vec<u64>) -> Vec<u64> {
+    // hgs-lint: allow(sorted-dedup, "input is a sorted id list")
+    v.dedup();
+    v
+}

@@ -1,0 +1,47 @@
+// Fixture for the `no-panic-in-try` rule. Linted twice by the driver:
+// once as `crates/core/src/...` (panic-strict crate: the panic family
+// fires everywhere in non-test lib code) and once as
+// `crates/graph/src/...` (fires only inside `try_*` fns). Plain
+// markers fire in both contexts; the STRICT variant only under the
+// panic-strict context.
+
+pub fn try_unwrap_in_fallible(v: &[u64]) -> Result<u64, ()> {
+    let first = v.first().unwrap(); // FIRES:no-panic-in-try
+    Ok(*first)
+}
+
+pub fn try_index_in_fallible(v: &[u64]) -> Result<u64, ()> {
+    Ok(v[0]) // FIRES:no-panic-in-try
+}
+
+pub fn try_full_range_is_fine(v: &[u64]) -> Result<usize, ()> {
+    Ok(v[..].len()) // clean: full-range slicing never panics
+}
+
+pub fn try_macro_panic() -> Result<(), ()> {
+    unreachable!() // FIRES:no-panic-in-try
+}
+
+pub fn plain_expect(v: &[u64]) -> u64 {
+    *v.first().expect("non-empty") // FIRES-STRICT:no-panic-in-try
+}
+
+pub fn plain_index(v: &[u64]) -> u64 {
+    v[0] // clean: indexing is only checked inside try_* fns
+}
+
+pub fn try_allowed(v: &[u64]) -> Result<u64, ()> {
+    // hgs-lint: allow(no-panic-in-try, "caller validated the slice is non-empty")
+    Ok(v[0])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn try_panics_in_tests_are_fine() {
+        fn try_helper(v: &[u64]) -> Result<u64, ()> {
+            Ok(*v.first().unwrap()) // clean: test code is exempt
+        }
+        assert_eq!(try_helper(&[7]), Ok(7));
+    }
+}

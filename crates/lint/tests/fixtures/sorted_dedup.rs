@@ -1,0 +1,40 @@
+// Fixture for the `sorted-dedup` rule. Never compiled — the driver in
+// tests/fixtures.rs lints this text and asserts that exactly the
+// marker-carrying lines (and nothing else) are reported.
+
+pub fn unproven(mut v: Vec<u64>) -> Vec<u64> {
+    v.dedup(); // FIRES:sorted-dedup
+    v
+}
+
+pub fn unproven_by_key(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.dedup_by_key(|p| p.0); // FIRES:sorted-dedup
+    v
+}
+
+pub fn sorted_first(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup(); // clean: a sort call precedes it in this fn
+    v
+}
+
+pub fn allowed(mut v: Vec<u64>) -> Vec<u64> {
+    // hgs-lint: allow(sorted-dedup, "rows arrive in key order from the prefix scan")
+    v.dedup();
+    v
+}
+
+pub fn allowed_trailing(mut v: Vec<u64>) -> Vec<u64> {
+    v.dedup(); // hgs-lint: allow(sorted-dedup, "rows arrive in key order from the prefix scan")
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dedup_in_tests_is_still_checked() {
+        let mut v = vec![2u64, 1, 2];
+        v.dedup(); // FIRES:sorted-dedup
+        assert_eq!(v.len(), 3);
+    }
+}

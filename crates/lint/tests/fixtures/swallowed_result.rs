@@ -1,0 +1,23 @@
+// Fixture for the `no-swallowed-result` rule.
+
+pub fn discarded_write(store: &Store, rows: Vec<Row>) {
+    let _ = store.put_batch(Table::Deltas, rows); // FIRES:no-swallowed-result
+}
+
+pub fn discarded_flush(buffer: &mut WriteBuffer) {
+    let _ = buffer.flush(); // FIRES:no-swallowed-result
+}
+
+pub fn bound_and_checked(store: &Store, rows: Vec<Row>) -> usize {
+    let written = store.put_batch(Table::Deltas, rows);
+    written // clean: the result is used
+}
+
+pub fn unrelated_discard(x: u64) {
+    let _ = x.checked_add(1); // clean: not a store/cache/buffer op
+}
+
+pub fn allowed_discard(store: &Store, rows: Vec<Row>) {
+    // hgs-lint: allow(no-swallowed-result, "warm-up write; the bench only times the reads")
+    let _ = store.put_batch(Table::Deltas, rows);
+}
