@@ -1,0 +1,33 @@
+//! Secondary-index benchmark: label/attribute predicate queries from
+//! the change-point rows vs snapshot materialization, emitted as JSON
+//! (`BENCH_labels.json`) so CI and later PRs can track the index's
+//! decode and latency savings.
+//!
+//! ```text
+//! cargo run --release -p hgs-bench --bin bench_labels -- BENCH_labels.json
+//! ```
+
+use hgs_bench::experiments::labels;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_labels.json".to_string());
+    let rows = labels::labels();
+    let mut json = String::from("{\n  \"dataset\": \"SkewedLabels\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"workload\": \"{}\", \"secs\": {:.5}, \
+             \"bytes_decoded\": {}, \"queries\": {}}}{}\n",
+            r.mode,
+            r.workload,
+            r.secs,
+            r.bytes_decoded,
+            r.queries,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+}

@@ -24,5 +24,6 @@ fn main() {
     e::read_cache();
     e::build_ingest();
     e::decode();
+    e::labels();
     eprintln!("# run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

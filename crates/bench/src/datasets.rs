@@ -6,7 +6,7 @@
 //! *relative* size, preserving shape). Sizes can be scaled further
 //! via the `HGS_SCALE` environment variable (default 1.0).
 
-use hgs_datagen::{augment_with_churn, FriendsterLike, LabeledChurn, WikiGrowth};
+use hgs_datagen::{augment_with_churn, FriendsterLike, LabeledChurn, SkewedLabels, WikiGrowth};
 use hgs_delta::Event;
 
 /// Global scale factor from `HGS_SCALE` (e.g. `HGS_SCALE=0.2` for a
@@ -77,6 +77,18 @@ pub fn dataset_labeled() -> Vec<Event> {
     .generate()
 }
 
+/// Zipf-skewed labeled trace with hot, tail, and guaranteed-dead
+/// label terms, for the secondary-index experiment.
+pub fn dataset_skewed() -> Vec<Event> {
+    SkewedLabels {
+        nodes: scaled(4_000).min(8_000),
+        edge_events: scaled(20_000),
+        attr_churn: scaled(10_000),
+        ..SkewedLabels::default()
+    }
+    .generate()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +100,7 @@ mod tests {
             ("d1", dataset1()),
             ("d4", dataset4()),
             ("lab", dataset_labeled()),
+            ("skew", dataset_skewed()),
         ] {
             assert!(!ev.is_empty(), "{name}");
             assert!(

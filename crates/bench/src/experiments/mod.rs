@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod analytics;
 pub mod build_ingest;
 pub mod decode;
+pub mod labels;
 pub mod multipoint;
 pub mod partitioning;
 pub mod read_cache;
@@ -16,6 +17,7 @@ pub use ablation::{ablation_arity, ablation_horizontal, ablation_timespan};
 pub use analytics::{fig15c, fig17};
 pub use build_ingest::{build_ingest, BuildRow};
 pub use decode::{decode, DecodeRow};
+pub use labels::{labels, LabelRow};
 pub use multipoint::{multipoint, multipoint_row, MultipointRow};
 pub use partitioning::fig15a;
 pub use read_cache::{read_cache, zipf_sequence, CacheRow};

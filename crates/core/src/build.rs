@@ -51,7 +51,7 @@ use hgs_delta::{Delta, Event, Eventlist, FxHashMap, NodeId, StorageLayout, Time,
 use hgs_partition::{
     CollapsedGraph, LocalityPartitioner, PartitionMap, Partitioner, RandomPartitioner,
 };
-use hgs_store::key::{chain_key, node_placement_token};
+use hgs_store::key::{chain_key, node_placement_token, term_key, term_token};
 use hgs_store::parallel::{parallel_steal, steal_worker_count};
 use hgs_store::{
     CostModel, DeltaKey, PlacementKey, PutRow, SimStore, StoreConfig, StoreError, Table,
@@ -495,6 +495,13 @@ impl Tgi {
         // records. All paths produce identical rows (property-tested).
         let workers = steal_worker_count(self.clients, ns as usize);
         let seed_mode = cfg.write_batch_rows == 0;
+        // Secondary-index rows are collected from the pre-span tail
+        // state plus the span's events — one in-memory pass, identical
+        // for the fused and parallel encode paths (which advance the
+        // tail state below), pushed into the same buffered flush.
+        let index_rows = cfg.secondary_indexes.then(|| {
+            crate::attr_index::collect_span_index_rows(&self.tail_state, events, range.start)
+        });
         let mut chains: FxHashMap<NodeId, Vec<ChainEntry>> = FxHashMap::default();
         if seed_mode || (replicate && workers <= 1) {
             self.encode_span_fused(
@@ -538,6 +545,28 @@ impl Tgi {
                     chain_key(nid, tsid).to_vec(),
                     node_placement_token(nid),
                     encode_chain(&entries),
+                )?;
+            }
+        }
+
+        // Secondary temporal indexes: one self-contained change-point
+        // row per (term, span), batched with everything else — zero
+        // extra round trips per span.
+        if let Some(rows) = index_rows {
+            for (term, blob) in rows.value_rows {
+                buf.push(
+                    Table::AttrIndex,
+                    term_key(hgs_delta::TERM_KIND_VALUE, &term, tsid),
+                    term_token(hgs_delta::TERM_KIND_VALUE, &term),
+                    blob,
+                )?;
+            }
+            for (term, blob) in rows.key_rows {
+                buf.push(
+                    Table::AttrIndex,
+                    term_key(hgs_delta::TERM_KIND_KEY, &term, tsid),
+                    term_token(hgs_delta::TERM_KIND_KEY, &term),
+                    blob,
                 )?;
             }
         }

@@ -59,6 +59,13 @@ pub struct TgiConfig {
     /// interleaved format). Persisted with the index — rows are not
     /// self-describing.
     pub layout: StorageLayout,
+    /// Maintain the secondary temporal indexes: per-term change-point
+    /// rows in the `AttrIndex` table that answer label/attribute
+    /// predicate queries without materializing a snapshot
+    /// (`Tgi::try_nodes_with_label_at` and friends). Persisted with the
+    /// index — the query path must know whether the rows exist.
+    /// Disabling falls back to explicit snapshot materialization.
+    pub secondary_indexes: bool,
 }
 
 impl Default for TgiConfig {
@@ -76,6 +83,7 @@ impl Default for TgiConfig {
             read_cache_bytes: DEFAULT_READ_CACHE_BYTES,
             write_batch_rows: DEFAULT_WRITE_BATCH_ROWS,
             layout: StorageLayout::Columnar,
+            secondary_indexes: true,
         }
     }
 }
@@ -186,6 +194,12 @@ impl TgiConfig {
         self.layout = layout;
         self
     }
+
+    /// Enable or disable the secondary temporal indexes.
+    pub fn with_secondary_indexes(mut self, on: bool) -> TgiConfig {
+        self.secondary_indexes = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -240,5 +254,7 @@ mod tests {
                 replicate_boundary: true
             }
         ));
+        assert!(c.secondary_indexes, "secondary indexes default on");
+        assert!(!c.with_secondary_indexes(false).secondary_indexes);
     }
 }

@@ -43,6 +43,7 @@
 //! cache miss — including one caused by eviction — always re-runs the
 //! fallible fetch.
 
+pub mod attr_index;
 pub mod build;
 pub mod config;
 pub mod costs;
@@ -54,6 +55,7 @@ pub mod read_cache;
 pub mod scope;
 pub mod stats;
 
+pub use attr_index::LABEL_KEY;
 pub use build::{BuildError, Tgi};
 pub use config::{PartitionStrategy, TgiConfig, DEFAULT_READ_CACHE_BYTES};
 pub use meta::{TimespanMeta, TreeShape};

@@ -85,6 +85,7 @@ pub(crate) fn encode_config(cfg: &TgiConfig) -> bytes::Bytes {
         StorageLayout::Columnar => 1,
     };
     put_varint(&mut buf, layout);
+    put_varint(&mut buf, cfg.secondary_indexes as u64);
     buf.freeze()
 }
 
@@ -155,6 +156,12 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
             })
         }
     };
+    // Descriptors written before the secondary indexes existed never
+    // wrote index rows; the reopened handle must treat them as off.
+    let secondary_indexes = match get_varint(b) {
+        Ok(v) => v != 0,
+        Err(_) => false,
+    };
     Ok(TgiConfig {
         events_per_timespan,
         eventlist_size,
@@ -168,6 +175,7 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
         read_cache_bytes,
         write_batch_rows,
         layout,
+        secondary_indexes,
     })
 }
 
@@ -280,6 +288,7 @@ mod tests {
                 replicate_boundary: true,
             }),
             TgiConfig::default().with_layout(StorageLayout::RowWise),
+            TgiConfig::default().with_secondary_indexes(false),
         ] {
             let back = decode_config(&encode_config(&cfg)).unwrap();
             assert_eq!(format!("{cfg:?}"), format!("{back:?}"));

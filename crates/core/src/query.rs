@@ -153,7 +153,7 @@ impl NeighborhoodHistory {
 }
 
 /// Panic with context on a store failure reaching an infallible API.
-fn unwrap_read<T>(r: Result<T, StoreError>) -> T {
+pub(crate) fn unwrap_read<T>(r: Result<T, StoreError>) -> T {
     // hgs-lint: allow(no-panic-in-try, "documented panic bridge of the infallible query API; try_* variants surface StoreError")
     r.unwrap_or_else(|e| panic!("TGI read failed ({e}); use the try_* variant to handle failures"))
 }
@@ -436,7 +436,7 @@ impl Tgi {
         pid: u32,
     ) -> Result<Option<DeltaHandle>, StoreError> {
         let key = CacheKey::Row(tsid, sid, did, pid);
-        match self.read_cache.get(key) {
+        match self.read_cache.get(key.clone()) {
             Some(Cached::Delta(d)) => return Ok(Some(DeltaHandle::Full(d))),
             Some(Cached::ColDelta(c)) => return Ok(Some(DeltaHandle::Col(c))),
             Some(Cached::Absent) => return Ok(None),
@@ -506,7 +506,7 @@ impl Tgi {
         let path = meta.shape.path_to_leaf(j);
 
         let part_key = CacheKey::Part(tsid, sid, pid, j as u32);
-        let base = match self.read_cache.get(part_key) {
+        let base = match self.read_cache.get(part_key.clone()) {
             Some(Cached::Delta(d)) => Some(d),
             _ => None,
         };
@@ -613,7 +613,7 @@ impl Tgi {
     ) -> Result<Option<ElistHandle>, StoreError> {
         let did = ELIST_BASE + chunk as u64;
         let key = CacheKey::Row(tsid, sid, did, pid);
-        match self.read_cache.get(key) {
+        match self.read_cache.get(key.clone()) {
             Some(Cached::Elist(e)) => return Ok(Some(ElistHandle::Full(e))),
             Some(Cached::ColElist(c)) => return Ok(Some(ElistHandle::Col(c))),
             Some(Cached::Absent) => return Ok(None),
@@ -858,7 +858,7 @@ impl Tgi {
         if meta.has_aux {
             let did = AUX_BASE + j as u64;
             let ckey = CacheKey::Row(tsid, center_sid, did, center_pid);
-            aux = match self.read_cache.get(ckey) {
+            aux = match self.read_cache.get(ckey.clone()) {
                 Some(Cached::Delta(d)) => Some(DeltaHandle::Full(d)),
                 Some(Cached::ColDelta(c)) => Some(DeltaHandle::Col(c)),
                 Some(Cached::Absent) => None,

@@ -47,10 +47,16 @@ use hgs_delta::{ColumnarDelta, ColumnarEventlist, Delta, Eventlist, FxHashMap};
 use crate::build::Tgi;
 
 /// What one cached entry describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Clone` but deliberately not `Copy`: the secondary-index variant
+/// carries its term bytes (an `Arc<[u8]>`, so clones are cheap).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) enum CacheKey {
     /// `(tsid, sid, did, pid)` — one stored row's decode product.
     Row(u32, u32, u64, u32),
+    /// `(tsid, kind, term)` — one secondary-index row's decoded
+    /// change-point list (see [`crate::attr_index`]).
+    Term(u32, u8, Arc<[u8]>),
     /// `(tsid, leaf)` — whole-graph checkpoint state (all sids/pids).
     Leaf(u32, u32),
     /// `(tsid, sid, leaf)` — one horizontal partition's checkpoint
@@ -70,7 +76,7 @@ impl CacheKey {
     /// and CI gates can see path-replay sharing, not just decode
     /// sharing.
     pub(crate) fn is_state(&self) -> bool {
-        !matches!(self, CacheKey::Row(..))
+        !matches!(self, CacheKey::Row(..) | CacheKey::Term(..))
     }
 }
 
@@ -84,6 +90,10 @@ pub(crate) enum Cached {
     /// A lazily-decoded columnar eventlist row (see
     /// [`Cached::ColDelta`]).
     ColElist(Arc<ColumnarEventlist>),
+    /// A decoded value-term change-point row of the secondary index.
+    TermPoints(Arc<Vec<hgs_delta::TermPoint>>),
+    /// A decoded key-term set-point row of the secondary index.
+    KeyPoints(Arc<Vec<hgs_delta::KeyPoint>>),
     /// The row is known to be absent from the store (legitimately —
     /// empty micro-partitions are never written). Absence of a
     /// write-once row is itself immutable, so it caches safely.
@@ -110,6 +120,8 @@ impl Cached {
                 Cached::Elist(e) => e.weight_bytes(),
                 Cached::ColDelta(c) => c.backing_len() + c.raw_len_total(),
                 Cached::ColElist(c) => c.backing_len() + c.raw_len_total(),
+                Cached::TermPoints(p) => hgs_delta::attr_index::term_points_weight(p),
+                Cached::KeyPoints(p) => hgs_delta::attr_index::key_points_weight(p),
                 Cached::Absent => 0,
             }
     }
@@ -121,6 +133,8 @@ impl Cached {
             Cached::Elist(e) => Cached::Elist(e.clone()),
             Cached::ColDelta(c) => Cached::ColDelta(c.clone()),
             Cached::ColElist(c) => Cached::ColElist(c.clone()),
+            Cached::TermPoints(p) => Cached::TermPoints(p.clone()),
+            Cached::KeyPoints(p) => Cached::KeyPoints(p.clone()),
             Cached::Absent => Cached::Absent,
         }
     }
@@ -372,7 +386,7 @@ impl ReadCache {
                 }
             };
             inner.slots[slot] = Some(Entry {
-                key,
+                key: key.clone(),
                 value,
                 weight,
                 prev: NIL,
@@ -436,7 +450,7 @@ impl ReadCache {
         let mut cur = inner.head;
         while cur != NIL {
             let e = inner.entry(cur);
-            out.push(e.key);
+            out.push(e.key.clone());
             cur = e.next;
         }
         out
@@ -552,18 +566,29 @@ mod tests {
     fn state_and_row_counters_are_split() {
         let cache = ReadCache::new(1 << 20);
         let row = key(1);
+        let term = CacheKey::Term(0, 0, Arc::from(&b"EntityType"[..]));
         let state = CacheKey::SidLeaf(0, 2, 3);
-        assert!(state.is_state() && !row.is_state());
-        cache.put(row, delta_entry(2));
-        cache.put(state, delta_entry(2));
+        assert!(state.is_state() && !row.is_state() && !term.is_state());
+        cache.put(row.clone(), delta_entry(2));
+        cache.put(
+            term.clone(),
+            Cached::TermPoints(Arc::new(vec![hgs_delta::TermPoint {
+                time: 0,
+                nid: 1,
+                carry: false,
+                became: true,
+            }])),
+        );
+        cache.put(state.clone(), delta_entry(2));
         assert!(cache.get(row).is_some());
+        assert!(cache.get(term).is_some());
         assert!(cache.get(state).is_some());
         assert!(cache.get(CacheKey::SidLeaf(0, 9, 9)).is_none());
         assert!(cache.get(CacheKey::Leaf(0, 9)).is_none());
         assert!(cache.get(CacheKey::Part(0, 0, 0, 9)).is_none());
         assert!(cache.get(key(99)).is_none());
         let s = cache.stats();
-        assert_eq!((s.row_hits, s.row_misses), (1, 1));
+        assert_eq!((s.row_hits, s.row_misses), (2, 1));
         assert_eq!((s.state_hits, s.state_misses), (1, 3));
         assert_eq!(s.hits, s.row_hits + s.state_hits);
         assert_eq!(s.misses, s.row_misses + s.state_misses);

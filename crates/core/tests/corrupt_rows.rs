@@ -78,3 +78,36 @@ fn corrupt_version_chain_surfaces_corrupt_not_panic() {
         Err(StoreError::Corrupt(_))
     ));
 }
+
+#[test]
+fn corrupt_attr_index_rows_surface_corrupt_not_panic() {
+    let events = hgs_datagen::SkewedLabels {
+        nodes: 200,
+        edge_events: 1_000,
+        attr_churn: 500,
+        ..Default::default()
+    }
+    .generate();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
+    let n = corrupt_table(tgi.store(), Table::AttrIndex);
+    assert!(n > 0, "the build must have written secondary-index rows");
+
+    assert!(matches!(
+        tgi.try_nodes_with_label_at("Label00", t),
+        Err(StoreError::Corrupt(_))
+    ));
+    assert!(matches!(
+        tgi.try_attr_history(0, hgs_core::LABEL_KEY),
+        Err(StoreError::Corrupt(_))
+    ));
+    // The materialization path reads other tables and still answers.
+    assert!(tgi
+        .try_nodes_matching_at_materialized(
+            hgs_core::LABEL_KEY,
+            &hgs_delta::AttrValue::Text("Label00".into()),
+            t,
+        )
+        .is_ok());
+}

@@ -404,3 +404,93 @@ fn degraded_build_succeeds_but_counts_partial_writes() {
         healthy.try_snapshot(end / 2).unwrap()
     );
 }
+
+#[test]
+fn label_index_reads_surface_total_failure_and_heal() {
+    let events = hgs_datagen::SkewedLabels {
+        nodes: 200,
+        edge_events: 1_000,
+        attr_churn: 500,
+        ..Default::default()
+    }
+    .generate();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().fail_machine(m);
+    }
+    assert!(matches!(
+        tgi.try_nodes_with_label_at("Label00", t),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_nodes_matching_at(
+            hgs_datagen::CHURN_KEY,
+            &hgs_delta::AttrValue::Text("A".into()),
+            t
+        ),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        tgi.try_attr_history(0, hgs_core::LABEL_KEY),
+        Err(StoreError::Unavailable { .. })
+    ));
+    for m in 0..tgi.store().machine_count() {
+        tgi.store().heal_machine(m);
+    }
+    // Healed: indexed answers agree with the materialized oracle.
+    let got = tgi.try_nodes_with_label_at("Label00", t).expect("healed");
+    let want = tgi
+        .try_nodes_matching_at_materialized(
+            hgs_core::LABEL_KEY,
+            &hgs_delta::AttrValue::Text("Label00".into()),
+            t,
+        )
+        .expect("healed oracle");
+    assert_eq!(got, want);
+    assert!(
+        !got.is_empty(),
+        "the hot label matches someone at mid-trace"
+    );
+}
+
+#[test]
+fn disabled_index_fallback_is_explicit_never_silent() {
+    let events = hgs_datagen::SkewedLabels {
+        nodes: 200,
+        edge_events: 1_000,
+        attr_churn: 500,
+        ..Default::default()
+    }
+    .generate();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let off = Tgi::build(
+        cfg().with_secondary_indexes(false),
+        StoreConfig::new(3, 1),
+        &events,
+    );
+    // The fallback materializes a snapshot; on a dead cluster that
+    // must error — never return an empty match set.
+    for m in 0..off.store().machine_count() {
+        off.store().fail_machine(m);
+    }
+    assert!(matches!(
+        off.try_nodes_with_label_at("Label00", t),
+        Err(StoreError::Unavailable { .. })
+    ));
+    assert!(matches!(
+        off.try_attr_history(0, hgs_core::LABEL_KEY),
+        Err(StoreError::Unavailable { .. })
+    ));
+    for m in 0..off.store().machine_count() {
+        off.store().heal_machine(m);
+    }
+    // Healed, the fallback answers the same as an indexed build.
+    let on = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
+    assert_eq!(
+        off.try_nodes_with_label_at("Label00", t).expect("fallback"),
+        on.try_nodes_with_label_at("Label00", t).expect("indexed"),
+    );
+}

@@ -28,5 +28,5 @@ pub mod wiki;
 pub use churn::augment_with_churn;
 pub use community::CommunityGraph;
 pub use friendster::FriendsterLike;
-pub use labels::LabeledChurn;
+pub use labels::{LabeledChurn, SkewedLabels, CHURN_KEY, DEAD_LABEL};
 pub use wiki::WikiGrowth;

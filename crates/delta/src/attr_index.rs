@@ -1,0 +1,365 @@
+//! Secondary temporal index rows: per-term change-point lists.
+//!
+//! A *term* is either an attribute `(key, value)` pair (kind
+//! [`TERM_KIND_VALUE`]) or a bare attribute key (kind [`TERM_KIND_KEY`]).
+//! For every timespan the build emits one row per term seen in (or
+//! carried into) the span:
+//!
+//! * value-term rows hold `(time, nid, became)` change points — the
+//!   interval endpoints at which a node started or stopped holding
+//!   `key == value`;
+//! * key-term rows hold `(time, nid, Option<AttrValue>)` set points —
+//!   the full per-node value history of `key`, `None` meaning the key
+//!   was cleared (attribute removal or node removal).
+//!
+//! Rows are **self-contained per span**: the state carried in from
+//! earlier spans is replayed as change points stamped at the span's
+//! start time and flagged `carry`, so a point query touches exactly one
+//! `(term, tsid)` row. Cross-span history queries concatenate rows and
+//! drop the carry points (they duplicate transitions already recorded
+//! in earlier spans).
+//!
+//! The wire format mirrors the version-chain codec: a varint count
+//! followed by delta-encoded times, varint node-ids and a flag byte
+//! (plus the optional value for key-term rows). Decoders feed the whole
+//! blob to the crate-wide decoded-byte counter before parsing, reject
+//! trailing bytes, and never panic on malformed input.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::attr::AttrValue;
+use crate::codec::{
+    get_attr_value, get_len, get_varint, note_decoded, put_attr_value, put_str, put_varint,
+};
+use crate::error::CodecError;
+use crate::hash::FxHashSet;
+use crate::types::{NodeId, Time};
+
+/// Term kind tag for attribute `(key, value)` membership rows.
+pub const TERM_KIND_VALUE: u8 = 0;
+/// Term kind tag for bare attribute-key value-history rows.
+pub const TERM_KIND_KEY: u8 = 1;
+
+/// One endpoint of a `key == value` membership interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermPoint {
+    /// Event time of the transition (span start time for carry points).
+    pub time: Time,
+    /// Node whose membership changed.
+    pub nid: NodeId,
+    /// True for points that replay state carried in from earlier spans.
+    pub carry: bool,
+    /// True when the node started matching the term, false when it
+    /// stopped.
+    pub became: bool,
+}
+
+/// One set point in the per-key value history of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyPoint {
+    /// Event time of the set/clear (span start time for carry points).
+    pub time: Time,
+    /// Node whose attribute changed.
+    pub nid: NodeId,
+    /// True for points that replay state carried in from earlier spans.
+    pub carry: bool,
+    /// New value of the key; `None` means the key was cleared.
+    pub value: Option<AttrValue>,
+}
+
+/// Serialized bytes identifying a `(key, value)` term. Length-prefixed
+/// so distinct `(key, value)` pairs never collide byte-wise.
+pub fn value_term(key: &str, value: &AttrValue) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    put_str(&mut buf, key);
+    put_attr_value(&mut buf, value);
+    buf.to_vec()
+}
+
+/// Serialized bytes identifying a bare attribute-key term.
+pub fn key_term(key: &str) -> Vec<u8> {
+    key.as_bytes().to_vec()
+}
+
+const CARRY_FLAG: u64 = 0b10;
+const TRUTH_FLAG: u64 = 0b01;
+
+/// Encode a value-term change-point row. Points must be sorted by time
+/// (carry points first; they share the span start time).
+pub fn encode_term_points(points: &[TermPoint]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + points.len() * 4);
+    put_varint(&mut buf, points.len() as u64);
+    let mut prev_time = 0u64;
+    for p in points {
+        put_varint(&mut buf, p.time.wrapping_sub(prev_time));
+        prev_time = p.time;
+        put_varint(&mut buf, p.nid);
+        let flags = (u64::from(p.carry) << 1) | u64::from(p.became);
+        put_varint(&mut buf, flags);
+    }
+    buf.freeze()
+}
+
+/// Decode a value-term change-point row.
+pub fn decode_term_points(buf: &[u8]) -> Result<Vec<TermPoint>, CodecError> {
+    note_decoded(buf.len());
+    let mut buf = buf;
+    let n = get_len(&mut buf, "term points")?;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut time = 0u64;
+    for _ in 0..n {
+        time = time.wrapping_add(get_varint(&mut buf)?);
+        let nid = get_varint(&mut buf)?;
+        let flags = get_varint(&mut buf)?;
+        if flags & !(CARRY_FLAG | TRUTH_FLAG) != 0 {
+            return Err(CodecError::BadTag {
+                what: "term point flags",
+                tag: (flags & 0xff) as u8,
+            });
+        }
+        out.push(TermPoint {
+            time,
+            nid,
+            carry: flags & CARRY_FLAG != 0,
+            became: flags & TRUTH_FLAG != 0,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(CodecError::TrailingBytes {
+            remaining: buf.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Encode a key-term set-point row. Points must be sorted by time
+/// (carry points first; they share the span start time).
+pub fn encode_key_points(points: &[KeyPoint]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + points.len() * 8);
+    put_varint(&mut buf, points.len() as u64);
+    let mut prev_time = 0u64;
+    for p in points {
+        put_varint(&mut buf, p.time.wrapping_sub(prev_time));
+        prev_time = p.time;
+        put_varint(&mut buf, p.nid);
+        let flags = (u64::from(p.carry) << 1) | u64::from(p.value.is_some());
+        put_varint(&mut buf, flags);
+        if let Some(v) = &p.value {
+            put_attr_value(&mut buf, v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a key-term set-point row.
+pub fn decode_key_points(buf: &[u8]) -> Result<Vec<KeyPoint>, CodecError> {
+    note_decoded(buf.len());
+    let mut buf = buf;
+    let n = get_len(&mut buf, "key points")?;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut time = 0u64;
+    for _ in 0..n {
+        time = time.wrapping_add(get_varint(&mut buf)?);
+        let nid = get_varint(&mut buf)?;
+        let flags = get_varint(&mut buf)?;
+        if flags & !(CARRY_FLAG | TRUTH_FLAG) != 0 {
+            return Err(CodecError::BadTag {
+                what: "key point flags",
+                tag: (flags & 0xff) as u8,
+            });
+        }
+        let value = if flags & TRUTH_FLAG != 0 {
+            Some(get_attr_value(&mut buf)?)
+        } else {
+            None
+        };
+        out.push(KeyPoint {
+            time,
+            nid,
+            carry: flags & CARRY_FLAG != 0,
+            value,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(CodecError::TrailingBytes {
+            remaining: buf.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Replay a value-term row up to (and including) `t`, returning the
+/// sorted node-ids matching the term at `t`. The cut point is found by
+/// binary search; only the prefix of points at or before `t` is
+/// replayed.
+pub fn matching_at(points: &[TermPoint], t: Time) -> Vec<NodeId> {
+    let cut = points.partition_point(|p| p.time <= t);
+    let mut set = FxHashSet::default();
+    for p in &points[..cut] {
+        if p.became {
+            set.insert(p.nid);
+        } else {
+            set.remove(&p.nid);
+        }
+    }
+    let mut out: Vec<NodeId> = set.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// In-memory weight of a decoded value-term row, for cache accounting.
+pub fn term_points_weight(points: &[TermPoint]) -> usize {
+    std::mem::size_of::<Vec<TermPoint>>() + std::mem::size_of_val(points)
+}
+
+/// In-memory weight of a decoded key-term row, for cache accounting.
+pub fn key_points_weight(points: &[KeyPoint]) -> usize {
+    std::mem::size_of::<Vec<KeyPoint>>()
+        + points
+            .iter()
+            .map(|p| {
+                std::mem::size_of::<KeyPoint>()
+                    + p.value.as_ref().map_or(0, AttrValue::weight_bytes)
+            })
+            .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_term_points() -> Vec<TermPoint> {
+        vec![
+            TermPoint {
+                time: 10,
+                nid: 1,
+                carry: true,
+                became: true,
+            },
+            TermPoint {
+                time: 10,
+                nid: 7,
+                carry: true,
+                became: true,
+            },
+            TermPoint {
+                time: 12,
+                nid: 7,
+                carry: false,
+                became: false,
+            },
+            TermPoint {
+                time: 15,
+                nid: u64::MAX,
+                carry: false,
+                became: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn term_points_roundtrip() {
+        let pts = sample_term_points();
+        let enc = encode_term_points(&pts);
+        assert_eq!(decode_term_points(&enc).unwrap(), pts);
+    }
+
+    #[test]
+    fn key_points_roundtrip() {
+        let pts = vec![
+            KeyPoint {
+                time: 10,
+                nid: 3,
+                carry: true,
+                value: Some(AttrValue::Text("Author".into())),
+            },
+            KeyPoint {
+                time: 11,
+                nid: 3,
+                carry: false,
+                value: Some(AttrValue::Int(-4)),
+            },
+            KeyPoint {
+                time: 19,
+                nid: 3,
+                carry: false,
+                value: None,
+            },
+        ];
+        let enc = encode_key_points(&pts);
+        assert_eq!(decode_key_points(&enc).unwrap(), pts);
+    }
+
+    #[test]
+    fn empty_rows_roundtrip() {
+        assert_eq!(decode_term_points(&encode_term_points(&[])).unwrap(), []);
+        assert_eq!(decode_key_points(&encode_key_points(&[])).unwrap(), []);
+    }
+
+    #[test]
+    fn matching_replays_prefix_only() {
+        let pts = sample_term_points();
+        assert_eq!(matching_at(&pts, 9), Vec::<NodeId>::new());
+        assert_eq!(matching_at(&pts, 10), vec![1, 7]);
+        assert_eq!(matching_at(&pts, 12), vec![1]);
+        assert_eq!(matching_at(&pts, 99), vec![1, u64::MAX]);
+    }
+
+    #[test]
+    fn truncated_rows_error_without_panic() {
+        let pts = sample_term_points();
+        let enc = encode_term_points(&pts);
+        for cut in 1..enc.len() {
+            assert!(decode_term_points(&enc[..cut]).is_err(), "cut {cut}");
+        }
+        let kp = vec![KeyPoint {
+            time: 4,
+            nid: 9,
+            carry: false,
+            value: Some(AttrValue::Text("x".into())),
+        }];
+        let enc = encode_key_points(&kp);
+        for cut in 1..enc.len() {
+            assert!(decode_key_points(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = encode_term_points(&sample_term_points()).to_vec();
+        enc.push(0);
+        assert!(matches!(
+            decode_term_points(&enc),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 5); // time
+        put_varint(&mut buf, 2); // nid
+        put_varint(&mut buf, 0b100); // unknown flag bit
+        assert!(matches!(
+            decode_term_points(&buf),
+            Err(CodecError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn value_terms_never_collide() {
+        // Length prefixes keep (key, value) splits unambiguous.
+        let a = value_term("ab", &AttrValue::Text("c".into()));
+        let b = value_term("a", &AttrValue::Text("bc".into()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn decoding_counts_bytes() {
+        let enc = encode_term_points(&sample_term_points());
+        let before = crate::codec::decoded_bytes();
+        decode_term_points(&enc).unwrap();
+        assert_eq!(crate::codec::decoded_bytes() - before, enc.len() as u64);
+    }
+}

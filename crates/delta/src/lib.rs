@@ -24,6 +24,7 @@
 //! built out of these primitives.
 
 pub mod attr;
+pub mod attr_index;
 pub mod codec;
 pub mod columnar;
 pub mod compress;
@@ -36,6 +37,7 @@ pub mod normalize;
 pub mod types;
 
 pub use attr::{AttrValue, Attrs};
+pub use attr_index::{KeyPoint, TermPoint, TERM_KIND_KEY, TERM_KIND_VALUE};
 pub use columnar::{ColumnarDelta, ColumnarEventlist, StorageLayout};
 pub use delta::Delta;
 pub use error::{CodecError, DeltaError};

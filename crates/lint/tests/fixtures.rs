@@ -104,6 +104,11 @@ fn batched_store_rule_is_off_inside_the_store_crate() {
 }
 
 #[test]
+fn index_rows_fixture() {
+    check("index_rows.rs", "crates/core/src/fixture.rs", true);
+}
+
+#[test]
 fn swallowed_result_fixture() {
     check("swallowed_result.rs", "crates/graph/src/fixture.rs", false);
 }

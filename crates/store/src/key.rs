@@ -20,6 +20,10 @@ pub enum Table {
     /// `Micropartitions(nid, tsid, pid)` — node -> micro-partition map
     /// (only populated for locality partitioning).
     Micropartitions,
+    /// `AttrIndex(kind, term, tsid)` — secondary temporal index rows:
+    /// per-term change-point lists (only populated when
+    /// `TgiConfig::secondary_indexes` is on).
+    AttrIndex,
 }
 
 impl Table {
@@ -32,6 +36,7 @@ impl Table {
             Table::Timespans => 2,
             Table::Graph => 3,
             Table::Micropartitions => 4,
+            Table::AttrIndex => 5,
         }
     }
 }
@@ -44,6 +49,7 @@ impl fmt::Display for Table {
             Table::Timespans => "Timespans",
             Table::Graph => "Graph",
             Table::Micropartitions => "Micropartitions",
+            Table::AttrIndex => "AttrIndex",
         };
         f.write_str(s)
     }
@@ -171,6 +177,47 @@ pub fn node_placement_token(nid: u64) -> u64 {
     hgs_delta::hash::hash_u64(nid ^ 0xABCD_EF01_2345_6789)
 }
 
+/// Key of one secondary-index row in the `AttrIndex` table:
+/// `kind ++ len(term) ++ term ++ tsid`, with the term length and tsid
+/// big-endian. Leading with the kind and the length-prefixed term makes
+/// a per-term prefix scan yield that term's rows for every timespan in
+/// tsid (i.e. chronological) order, while distinct terms never shadow
+/// each other byte-wise.
+pub fn term_key(kind: u8, term: &[u8], tsid: u32) -> Vec<u8> {
+    let mut out = term_prefix(kind, term);
+    out.extend_from_slice(&tsid.to_be_bytes());
+    out
+}
+
+/// Prefix matching every timespan's row of one `(kind, term)`.
+pub fn term_prefix(kind: u8, term: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + term.len() + 4);
+    out.push(kind);
+    out.extend_from_slice(&(term.len() as u32).to_be_bytes());
+    out.extend_from_slice(term);
+    out
+}
+
+/// Timespan id of a [`term_key`], recovered from its trailing bytes.
+pub fn term_key_tsid(key: &[u8]) -> Option<u32> {
+    let tail = key.len().checked_sub(4)?;
+    Some(u32::from_be_bytes(key[tail..].try_into().ok()?))
+}
+
+/// Placement token for secondary-index rows. All timespans of one term
+/// share a token so a per-term prefix scan stays a single-placement
+/// read, mirroring how a node's chain rows share
+/// [`node_placement_token`].
+pub fn term_token(kind: u8, term: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = hgs_delta::FxHasher::default();
+    h.write_u8(kind);
+    h.write(term);
+    // Post-mix: ring placement buckets by low bits, which FxHash
+    // leaves poorly mixed for short similar terms.
+    hgs_delta::hash::hash_u64(h.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,10 +294,42 @@ mod tests {
             Table::Timespans,
             Table::Graph,
             Table::Micropartitions,
+            Table::AttrIndex,
         ]
         .iter()
         .map(|t| t.tag())
         .collect();
-        assert_eq!(tags.len(), 5);
+        assert_eq!(tags.len(), 6);
+    }
+
+    #[test]
+    fn term_keys_scan_in_tsid_order_under_term_prefix() {
+        let term = b"EntityType\x02Author";
+        let keys: Vec<Vec<u8>> = [0u32, 1, 7, 300]
+            .iter()
+            .map(|&t| term_key(0, term, t))
+            .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "tsid order must match byte order");
+        }
+        let prefix = term_prefix(0, term);
+        for (k, tsid) in keys.iter().zip([0u32, 1, 7, 300]) {
+            assert!(k.starts_with(&prefix));
+            assert_eq!(term_key_tsid(k), Some(tsid));
+        }
+        // A term that extends another term's bytes must not match its
+        // prefix (the length prefix disambiguates).
+        assert!(!term_key(0, b"EntityType\x02AuthorX", 0).starts_with(&prefix));
+        // Different kinds never share a prefix.
+        assert!(!term_key(1, term, 0).starts_with(&prefix));
+    }
+
+    #[test]
+    fn term_tokens_spread_terms_but_pin_timespans() {
+        use std::collections::HashSet;
+        let tokens: HashSet<u64> = (0..32u32)
+            .map(|i| term_token(0, format!("label{i}").as_bytes()) % 4)
+            .collect();
+        assert!(tokens.len() >= 3, "terms should spread over machines");
     }
 }

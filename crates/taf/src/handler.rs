@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use hgs_core::{NodeHistory, Tgi};
-use hgs_delta::{Delta, FxHashSet, NodeId, TimeRange};
+use hgs_delta::{AttrValue, Delta, FxHashSet, NodeId, TimeRange};
 use hgs_store::parallel::parallel_chunks;
 use hgs_store::StoreError;
 
@@ -61,6 +61,7 @@ impl TgiHandler {
             handler: self.clone(),
             range: TimeRange::new(0, self.tgi.end_time().max(1)),
             ids: None,
+            attr_eq: None,
         }
     }
 
@@ -70,6 +71,7 @@ impl TgiHandler {
             handler: self.clone(),
             range: TimeRange::new(0, self.tgi.end_time().max(1)),
             roots: None,
+            roots_attr_eq: None,
             k,
         }
     }
@@ -80,6 +82,7 @@ pub struct SonQuery {
     handler: TgiHandler,
     range: TimeRange,
     ids: Option<Vec<NodeId>>,
+    attr_eq: Option<(String, String)>,
 }
 
 impl SonQuery {
@@ -93,6 +96,19 @@ impl SonQuery {
     /// nodes' micro-partitions are fetched).
     pub fn select_ids(mut self, ids: Vec<NodeId>) -> SonQuery {
         self.ids = Some(ids);
+        self
+    }
+
+    /// Attribute-equality Selection pushdown: keep only nodes whose
+    /// attribute `key` equals `value` at the range's last timepoint
+    /// (the [`SoN::select_attr`] predicate, pushed into the fetch).
+    /// With secondary indexes on, one index row names the matching
+    /// nodes ([`Tgi::try_nodes_matching_at`]) and only their
+    /// micro-partitions are fetched; with the index off — or when an
+    /// explicit [`SonQuery::select_ids`] set is also given — the fetch
+    /// is unchanged and the predicate runs as a post-filter.
+    pub fn select_attr_eq(mut self, key: &str, value: &str) -> SonQuery {
+        self.attr_eq = Some((key.to_string(), value.to_string()));
         self
     }
 
@@ -112,7 +128,33 @@ impl SonQuery {
         let tgi = &self.handler.tgi;
         let workers = self.handler.workers;
         let range = self.range;
-        let nodes: Vec<NodeT> = match self.ids {
+        let mut post_filter: Option<(String, String)> = None;
+        let ids = match (self.ids, self.attr_eq) {
+            (Some(ids), pred) => {
+                // An explicit id set stays authoritative for the fetch;
+                // the predicate still applies, as a post-filter.
+                post_filter = pred;
+                Some(ids)
+            }
+            (None, Some((key, value))) if tgi.secondary_indexes_enabled() => {
+                // Pushdown: one secondary-index row names the matching
+                // nodes, so only their rows are fetched — no snapshot
+                // materialization, no full-graph read.
+                Some(tgi.try_nodes_matching_at(
+                    &key,
+                    &AttrValue::Text(value.clone()),
+                    range.end.saturating_sub(1),
+                )?)
+            }
+            (None, Some(pred)) => {
+                // Documented fallback with the index off: full fetch,
+                // then the classic `select_attr` filter.
+                post_filter = Some(pred);
+                None
+            }
+            (None, None) => None,
+        };
+        let nodes: Vec<NodeT> = match ids {
             Some(ids) => {
                 // Select pushdown: per-node history fetches, spread
                 // over the workers.
@@ -143,7 +185,11 @@ impl SonQuery {
                 nodes
             }
         };
-        Ok(SoN::new(nodes, range, workers))
+        let son = SoN::new(nodes, range, workers);
+        Ok(match post_filter {
+            Some((key, value)) => son.select_attr(&key, &value),
+            None => son,
+        })
     }
 }
 
@@ -152,6 +198,7 @@ pub struct SotsQuery {
     handler: TgiHandler,
     range: TimeRange,
     roots: Option<Vec<NodeId>>,
+    roots_attr_eq: Option<(String, String)>,
     k: usize,
 }
 
@@ -166,6 +213,17 @@ impl SotsQuery {
     /// range start).
     pub fn roots(mut self, roots: Vec<NodeId>) -> SotsQuery {
         self.roots = Some(roots);
+        self
+    }
+
+    /// Root the subgraphs at the nodes whose attribute `key` equals
+    /// `value` at the range start. With secondary indexes on the roots
+    /// come from one index row instead of a materialized snapshot
+    /// ([`Tgi::try_nodes_matching_at`], which itself falls back to
+    /// materialization when the index is off). An explicit
+    /// [`SotsQuery::roots`] set takes precedence.
+    pub fn roots_matching(mut self, key: &str, value: &str) -> SotsQuery {
+        self.roots_attr_eq = Some((key.to_string(), value.to_string()));
         self
     }
 
@@ -186,9 +244,12 @@ impl SotsQuery {
         let workers = self.handler.workers;
         let range = self.range;
         let k = self.k;
-        let roots: Vec<NodeId> = match self.roots {
-            Some(r) => r,
-            None => tgi.try_snapshot(range.start)?.sorted_ids(),
+        let roots: Vec<NodeId> = match (self.roots, self.roots_attr_eq) {
+            (Some(r), _) => r,
+            (None, Some((key, value))) => {
+                tgi.try_nodes_matching_at(&key, &AttrValue::Text(value.clone()), range.start)?
+            }
+            (None, None) => tgi.try_snapshot(range.start)?.sorted_ids(),
         };
         let subs: Vec<Result<SubgraphT, StoreError>> = parallel_chunks(roots, workers, |chunk| {
             chunk
@@ -325,6 +386,188 @@ mod tests {
     }
 
     #[test]
+    fn attr_pushdown_matches_full_fetch_filter() {
+        let (events, h) = setup();
+        let end = events.last().unwrap().time;
+        let range = TimeRange::new(0, end + 1);
+        for label in ["Author", "Paper", "Venue"] {
+            let full = h
+                .son()
+                .timeslice(range)
+                .fetch()
+                .select_attr("EntityType", label);
+            let pushed = h
+                .son()
+                .timeslice(range)
+                .select_attr_eq("EntityType", label)
+                .fetch();
+            let want: Vec<NodeId> = full.nodes().iter().map(|n| n.id()).collect();
+            let got: Vec<NodeId> = pushed.nodes().iter().map(|n| n.id()).collect();
+            assert_eq!(got, want, "pushdown answer for {label}");
+            assert!(!got.is_empty(), "degenerate: no {label} nodes at all");
+        }
+    }
+
+    #[test]
+    fn attr_pushdown_reads_fewer_bytes_than_full_fetch() {
+        // A selective predicate — 5 "Rare" nodes out of 150 — is the
+        // workload the pushdown targets: one index row plus the five
+        // nodes' micro-partitions instead of the whole graph.
+        let mut events = Vec::new();
+        for id in 0..150u64 {
+            events.push(hgs_delta::Event::new(
+                id,
+                hgs_delta::EventKind::AddNode { id },
+            ));
+            events.push(hgs_delta::Event::new(
+                id,
+                hgs_delta::EventKind::SetNodeAttr {
+                    id,
+                    key: "EntityType".into(),
+                    value: hgs_delta::AttrValue::Text(
+                        if id < 5 { "Rare" } else { "Common" }.into(),
+                    ),
+                },
+            ));
+        }
+        for i in 0..1_000u64 {
+            let (a, b) = ((i * 7) % 150, (i * 13 + 1) % 150);
+            if a != b {
+                events.push(hgs_delta::Event::new(
+                    150 + i,
+                    hgs_delta::EventKind::AddEdge {
+                        src: a,
+                        dst: b,
+                        weight: 1.0,
+                        directed: false,
+                    },
+                ));
+            }
+        }
+        // Two identically built TGIs, each with a cold session cache,
+        // so the byte counters compare the two plans fairly.
+        let fetched_bytes = |pushdown: bool| {
+            let tgi = Tgi::build(
+                TgiConfig {
+                    events_per_timespan: 700,
+                    eventlist_size: 80,
+                    partition_size: 40,
+                    horizontal_partitions: 2,
+                    ..TgiConfig::default()
+                },
+                StoreConfig::new(2, 1),
+                &events,
+            );
+            let h = TgiHandler::new(Arc::new(tgi), 2);
+            let end = events.last().unwrap().time;
+            let range = TimeRange::new(0, end + 1);
+            let before = h.tgi().store().stats_snapshot();
+            let son = if pushdown {
+                h.son()
+                    .timeslice(range)
+                    .select_attr_eq("EntityType", "Rare")
+                    .fetch()
+            } else {
+                h.son().timeslice(range).fetch()
+            };
+            let diff = hgs_store::SimStore::stats_since(&h.tgi().store().stats_snapshot(), &before);
+            (son.len(), diff.iter().map(|m| m.bytes_read).sum::<u64>())
+        };
+        let (pushed_len, pushed_bytes) = fetched_bytes(true);
+        let (full_len, full_bytes) = fetched_bytes(false);
+        assert_eq!(pushed_len, 5, "exactly the Rare nodes");
+        assert_eq!(full_len, 150);
+        assert!(
+            pushed_bytes < full_bytes,
+            "pushdown read {pushed_bytes} bytes, full fetch {full_bytes}"
+        );
+    }
+
+    #[test]
+    fn attr_pushdown_respects_explicit_id_set() {
+        let (events, h) = setup();
+        let end = events.last().unwrap().time;
+        let range = TimeRange::new(0, end + 1);
+        let all = h
+            .son()
+            .timeslice(range)
+            .select_attr_eq("EntityType", "Author")
+            .fetch();
+        let ids: Vec<NodeId> = (0..10).collect();
+        let narrowed = h
+            .son()
+            .timeslice(range)
+            .select_ids(ids.clone())
+            .select_attr_eq("EntityType", "Author")
+            .fetch();
+        for n in narrowed.nodes() {
+            assert!(ids.contains(&n.id()), "fetched outside the id set");
+            assert!(all.get(n.id()).is_some(), "kept a non-Author node");
+        }
+    }
+
+    #[test]
+    fn sots_roots_matching_picks_labelled_roots() {
+        let (events, h) = setup();
+        let end = events.last().unwrap().time;
+        let range = TimeRange::new(end / 2, end + 1);
+        let state = Delta::snapshot_by_replay(&events, range.start);
+        let mut want: Vec<NodeId> = state
+            .iter()
+            .filter(|n| {
+                n.attrs
+                    .get("EntityType")
+                    .and_then(|v| v.as_text())
+                    .is_some_and(|t| t == "Venue")
+            })
+            .map(|n| n.id)
+            .collect();
+        want.sort_unstable();
+        let sots = h
+            .sots(1)
+            .timeslice(range)
+            .roots_matching("EntityType", "Venue")
+            .fetch();
+        let mut got: Vec<NodeId> = sots.subgraphs().iter().map(|s| s.root).collect();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "degenerate: no Venue roots at all");
+    }
+
+    #[test]
+    fn attr_pushdown_surfaces_unavailability() {
+        let (_, h) = setup();
+        let end = h.tgi().end_time();
+        let range = TimeRange::new(0, end.max(2));
+        for m in 0..h.tgi().store().machine_count() {
+            h.tgi().store().fail_machine(m);
+        }
+        assert!(matches!(
+            h.son()
+                .timeslice(range)
+                .select_attr_eq("EntityType", "Author")
+                .try_fetch(),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            h.sots(1)
+                .timeslice(range)
+                .roots_matching("EntityType", "Author")
+                .try_fetch(),
+            Err(StoreError::Unavailable { .. })
+        ));
+        for m in 0..h.tgi().store().machine_count() {
+            h.tgi().store().heal_machine(m);
+        }
+        assert!(h
+            .son()
+            .timeslice(range)
+            .select_attr_eq("EntityType", "Author")
+            .try_fetch()
+            .is_ok());
+    }
+
+    #[test]
     fn try_fetch_surfaces_unavailability_instead_of_panicking() {
         let (_, h) = setup();
         let end = h.tgi().end_time();
@@ -368,12 +611,14 @@ mod tests {
             handler: TgiHandler::new(h.tgi().clone(), 1),
             range: r,
             ids: None,
+            attr_eq: None,
         }
         .fetch();
         let son4 = SonQuery {
             handler: TgiHandler::new(h.tgi().clone(), 4),
             range: r,
             ids: None,
+            attr_eq: None,
         }
         .fetch();
         assert_eq!(son1.len(), son4.len());
