@@ -85,30 +85,30 @@ impl HistoricalIndex for Tgi {
     }
 
     fn store(&self) -> &Arc<SimStore> {
-        Tgi::store(self)
+        hgs_core::TgiView::store(self)
     }
 
     fn snapshot(&self, t: Time) -> Delta {
-        Tgi::snapshot(self, t)
+        hgs_core::TgiView::snapshot(self, t)
     }
 
     fn node_at(&self, nid: NodeId, t: Time) -> Option<StaticNode> {
-        Tgi::node_at(self, nid, t)
+        hgs_core::TgiView::node_at(self, nid, t)
     }
 
     fn node_versions(&self, nid: NodeId, range: TimeRange) -> (Option<StaticNode>, Vec<Event>) {
-        let h = Tgi::node_history(self, nid, range);
+        let h = hgs_core::TgiView::node_history(self, nid, range);
         (h.initial, h.events)
     }
 
     fn one_hop(&self, nid: NodeId, t: Time) -> Delta {
-        Tgi::khop_with(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
+        hgs_core::TgiView::khop_with(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
     }
 
     // TGI has a real fallible read path: override the panicking
     // bridges so a degraded cluster yields `Err` through the trait.
     fn try_snapshot(&self, t: Time) -> Result<Delta, hgs_store::StoreError> {
-        Tgi::try_snapshot(self, t)
+        hgs_core::TgiView::try_snapshot(self, t)
     }
 
     fn try_node_at(
@@ -116,7 +116,7 @@ impl HistoricalIndex for Tgi {
         nid: NodeId,
         t: Time,
     ) -> Result<Option<StaticNode>, hgs_store::StoreError> {
-        Tgi::try_node_at(self, nid, t)
+        hgs_core::TgiView::try_node_at(self, nid, t)
     }
 
     fn try_node_versions(
@@ -124,12 +124,12 @@ impl HistoricalIndex for Tgi {
         nid: NodeId,
         range: TimeRange,
     ) -> Result<(Option<StaticNode>, Vec<Event>), hgs_store::StoreError> {
-        let h = Tgi::try_node_history(self, nid, range)?;
+        let h = hgs_core::TgiView::try_node_history(self, nid, range)?;
         Ok((h.initial, h.events))
     }
 
     fn try_one_hop(&self, nid: NodeId, t: Time) -> Result<Delta, hgs_store::StoreError> {
-        Tgi::try_khop_with(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
+        hgs_core::TgiView::try_khop_with(self, nid, t, 1, hgs_core::KhopStrategy::Recursive)
     }
 }
 

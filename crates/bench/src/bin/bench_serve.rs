@@ -1,0 +1,41 @@
+//! Serving benchmark: pinned-read latency (p50/p99) while a writer
+//! ingests, vs the quiesced read-only baseline, emitted as JSON
+//! (`BENCH_serve.json`) so CI and later PRs can track the cost of
+//! snapshot-isolated reads under live appends.
+//!
+//! ```text
+//! cargo run --release -p hgs-bench --bin bench_serve -- BENCH_serve.json
+//! ```
+
+use hgs_bench::experiments::serve;
+use hgs_bench::experiments::serve::APPEND_BATCHES;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let rows = serve::serve();
+    let mut json = format!(
+        "{{\n  \"dataset\": \"WikiGrowth\",\n  \"append_batches\": {APPEND_BATCHES},\n  \"rows\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"clients\": {}, \"ops\": {}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"reads_per_sec\": {:.0}, \
+             \"watermark_lo\": {}, \"watermark_hi\": {}, \"epochs_verified\": {}}}{}\n",
+            r.phase,
+            r.clients,
+            r.ops,
+            r.p50_us,
+            r.p99_us,
+            r.reads_per_sec,
+            r.watermark_lo,
+            r.watermark_hi,
+            r.epochs_verified,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+}

@@ -25,5 +25,6 @@ fn main() {
     e::build_ingest();
     e::decode();
     e::labels();
+    e::serve();
     eprintln!("# run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -10,6 +10,7 @@ pub mod multipoint;
 pub mod partitioning;
 pub mod read_cache;
 pub mod retrieval;
+pub mod serve;
 pub mod table1;
 pub mod versions;
 
@@ -22,5 +23,6 @@ pub use multipoint::{multipoint, multipoint_row, MultipointRow};
 pub use partitioning::fig15a;
 pub use read_cache::{read_cache, zipf_sequence, CacheRow};
 pub use retrieval::{fig11, fig12, fig13a, fig13b, fig13c, fig15b};
+pub use serve::{serve, ServeRow};
 pub use table1::table1;
 pub use versions::{fig14a, fig14b, fig14c, fig16};

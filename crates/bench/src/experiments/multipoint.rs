@@ -5,7 +5,7 @@
 //! For growing batch sizes `k`, times are spread across the trace and
 //! retrieved twice: once as `k` independent `snapshot` calls
 //! (refetching the whole root-to-leaf path per time) and once through
-//! [`hgs_core::Tgi::try_snapshots`] (union of paths fetched once per
+//! [`hgs_core::TgiView::try_snapshots`] (union of paths fetched once per
 //! chunk, grouped scans, clone-at-divergence). Reported per `k`: wall
 //! seconds, store requests and round-trips for both plans, plus the
 //! planner's predicted fetch sharing.

@@ -8,11 +8,11 @@
 //! Three workloads, each a Zipf-weighted query stream over a small
 //! working set (hot items queried far more often than cold ones):
 //!
-//! * `snapshot` — single-point [`Tgi::snapshot_c`] at repeated times;
+//! * `snapshot` — single-point [`TgiView::snapshot_c`](hgs_core::TgiView::snapshot_c) at repeated times;
 //! * `node_at` — static-vertex fetches of repeated nodes;
 //! * `taf_node_t` — TAF `node_t` retrievals (SoN select pushdown) of
 //!   repeated nodes over a fixed range;
-//! * `multipoint` — batched [`Tgi::snapshots_c`] at every parallelism
+//! * `multipoint` — batched [`TgiView::snapshots_c`](hgs_core::TgiView::snapshots_c) at every parallelism
 //!   of the [`clients_sweep`] knob (`HGS_CLIENTS`, default `1,2,4`):
 //!   the parallel fill's per-`(tsid, sid, leaf)` checkpoint-state
 //!   tier must turn warm multi-client batches into eventlist-suffix

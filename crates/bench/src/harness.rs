@@ -34,7 +34,7 @@ pub fn median3(mut xs: [f64; 3]) -> f64 {
 /// cost of the index *shape* (the paper's per-query numbers), which a
 /// warm cache would flatten into clone-and-replay time. Cache-centric
 /// experiments (`multipoint`, `read_cache`) re-enable it explicitly
-/// via [`Tgi::set_read_cache_budget`].
+/// via [`TgiView::set_read_cache_budget`](hgs_core::TgiView::set_read_cache_budget).
 pub fn build_tgi(cfg: TgiConfig, store: StoreConfig, events: &[Event]) -> Tgi {
     let tgi = Tgi::build(cfg, store, events);
     tgi.set_read_cache_budget(0);

@@ -28,7 +28,7 @@
 //!
 //! * `nodes_matching_at(key, value, t)` — node-ids whose attribute
 //!   `key` equals `value` after applying every event with time `<= t`
-//!   (the same cut rule as [`Tgi::snapshot`]).
+//!   (the same cut rule as [`TgiView::snapshot`]).
 //! * `attr_history(nid, key)` — the chronological `(time, new value)`
 //!   points of `key` on `nid` over the whole history: every
 //!   `SetNodeAttr` (even re-setting the same value), plus a `None`
@@ -45,7 +45,7 @@ use hgs_delta::{AttrValue, Attrs, Delta, Event, EventKind, FxHashMap, NodeId, Ti
 use hgs_store::key::{term_key, term_key_tsid, term_prefix, term_token};
 use hgs_store::{StoreError, Table};
 
-use crate::build::Tgi;
+use crate::build::TgiView;
 use crate::query::unwrap_read;
 use crate::read_cache::{CacheKey, Cached};
 
@@ -209,7 +209,7 @@ pub(crate) fn collect_span_index_rows(
     }
 }
 
-impl Tgi {
+impl TgiView {
     /// Whether this index maintains the secondary temporal indexes
     /// (the persisted [`TgiConfig::secondary_indexes`](crate::TgiConfig)
     /// knob).
@@ -267,7 +267,7 @@ impl Tgi {
         }
     }
 
-    /// Infallible [`Tgi::try_nodes_matching_at`].
+    /// Infallible [`TgiView::try_nodes_matching_at`].
     pub fn nodes_matching_at(&self, key: &str, value: &AttrValue, t: Time) -> Vec<NodeId> {
         unwrap_read(self.try_nodes_matching_at(key, value, t))
     }
@@ -277,12 +277,12 @@ impl Tgi {
         self.try_nodes_matching_at(LABEL_KEY, &AttrValue::Text(label.to_string()), t)
     }
 
-    /// Infallible [`Tgi::try_nodes_with_label_at`].
+    /// Infallible [`TgiView::try_nodes_with_label_at`].
     pub fn nodes_with_label_at(&self, label: &str, t: Time) -> Vec<NodeId> {
         unwrap_read(self.try_nodes_with_label_at(label, t))
     }
 
-    /// The reference answer for [`Tgi::try_nodes_matching_at`]:
+    /// The reference answer for [`TgiView::try_nodes_matching_at`]:
     /// materialize the full snapshot at `t` and filter. This is the
     /// documented fallback when the index is disabled, and the oracle
     /// the property suite and the `labels` bench compare against.
@@ -346,12 +346,12 @@ impl Tgi {
         Ok(out)
     }
 
-    /// Infallible [`Tgi::try_attr_history`].
+    /// Infallible [`TgiView::try_attr_history`].
     pub fn attr_history(&self, nid: NodeId, key: &str) -> Vec<(Time, Option<AttrValue>)> {
         unwrap_read(self.try_attr_history(nid, key))
     }
 
-    /// The reference answer for [`Tgi::try_attr_history`]: replay the
+    /// The reference answer for [`TgiView::try_attr_history`]: replay the
     /// node's full event history. Same point rule as the index, with
     /// one documented deviation: churn at time 0 collapses to the
     /// settled state at 0 (the node history's initial state already

@@ -79,34 +79,77 @@ fn encode_elist_value(layout: StorageLayout, el: &Eventlist) -> bytes::Bytes {
     }
 }
 
-/// Runtime state of one built timespan.
+/// Runtime state of one built timespan. Once pushed into a
+/// [`TgiView`] the runtime is *sealed*: published views share it by
+/// `Arc` and never mutate it (closing a span's open time range swaps
+/// in a fresh `Arc`, leaving older views on the old one).
 pub(crate) struct SpanRuntime {
     pub meta: TimespanMeta,
-    /// Partition map per horizontal partition.
-    pub maps: Vec<PartitionMap>,
+    /// Partition map per horizontal partition (shared between the
+    /// open-ended and the closed incarnation of the same span).
+    pub maps: Arc<Vec<PartitionMap>>,
+}
+
+/// An immutable, cheaply-clonable snapshot of the index's sealed
+/// read state: configuration, store handle, per-span metadata and
+/// partition maps, and the summary counters the query planner needs.
+///
+/// Every read path lives on `TgiView` (the owning [`Tgi`] handle
+/// `Deref`s to its current view, so `tgi.snapshot(t)` keeps working).
+/// A clone shares the spans, the store and the read cache by `Arc` —
+/// this is what [`TgiService`](crate::service::TgiService) publishes
+/// as the watermark: readers pin one clone and keep answering from
+/// that sealed prefix no matter what the writer does behind them.
+#[derive(Clone)]
+pub struct TgiView {
+    pub(crate) cfg: TgiConfig,
+    pub(crate) store: Arc<SimStore>,
+    pub(crate) spans: Vec<Arc<SpanRuntime>>,
+    pub(crate) end_time: Time,
+    pub(crate) event_count: usize,
+    /// Node/edge cardinality of the tail state at publication time
+    /// (the query planner's k-hop strategy needs graph-shape summary
+    /// numbers without holding the writer's mutable tail state).
+    pub(crate) node_count: usize,
+    pub(crate) edge_count: usize,
+    pub(crate) cost: CostModel,
+    pub(crate) clients: usize,
+    /// Session-wide byte-budgeted sharded LRU read cache shared by
+    /// every query path *and every published view* (index rows are
+    /// write-once, so entries never go stale across watermarks); see
+    /// [`crate::read_cache`].
+    pub(crate) read_cache: Arc<crate::read_cache::ReadCache>,
+    /// Monotonic publication counter: bumped once per successful
+    /// append. [`TgiService`](crate::service::TgiService) uses it as
+    /// the watermark readers pin.
+    pub(crate) epoch: u64,
 }
 
 /// The Temporal Graph Index handle.
 ///
-/// Owns (a shared reference to) the backing store, the per-timespan
-/// metadata and partition maps, and the running tail state used to
-/// append further batches.
+/// Owns the current sealed read state (a [`TgiView`]) plus the
+/// writer-only append state: the running tail used to normalize and
+/// replay further batches, and the poison flag. `Deref`s to the view,
+/// so every query method is callable directly on the handle.
 pub struct Tgi {
-    pub(crate) cfg: TgiConfig,
-    pub(crate) store: Arc<SimStore>,
-    pub(crate) spans: Vec<SpanRuntime>,
+    pub(crate) view: TgiView,
     pub(crate) tail_state: Delta,
-    pub(crate) end_time: Time,
-    pub(crate) cost: CostModel,
-    pub(crate) clients: usize,
-    pub(crate) event_count: usize,
-    /// Session-wide byte-budgeted LRU read cache shared by every
-    /// query path (index rows are write-once, so entries never go
-    /// stale); see [`crate::read_cache`].
-    pub(crate) read_cache: crate::read_cache::ReadCache,
     /// Set when an append failed partway (see
     /// [`Tgi::try_append_events`]); further appends are refused.
     pub(crate) poisoned: bool,
+}
+
+impl std::ops::Deref for Tgi {
+    type Target = TgiView;
+    fn deref(&self) -> &TgiView {
+        &self.view
+    }
+}
+
+impl std::ops::DerefMut for Tgi {
+    fn deref_mut(&mut self) -> &mut TgiView {
+        &mut self.view
+    }
 }
 
 /// Errors from the fallible build path.
@@ -220,15 +263,23 @@ impl Tgi {
     ) -> Result<Tgi, BuildError> {
         cfg.validate();
         let mut tgi = Tgi {
-            cfg,
-            store,
-            spans: Vec::new(),
+            view: TgiView {
+                cfg,
+                store,
+                spans: Vec::new(),
+                end_time: 0,
+                event_count: 0,
+                node_count: 0,
+                edge_count: 0,
+                cost: CostModel::default(),
+                clients: c.max(1),
+                read_cache: Arc::new(crate::read_cache::ReadCache::with_shards(
+                    cfg.read_cache_bytes,
+                    cfg.read_cache_shards,
+                )),
+                epoch: 0,
+            },
             tail_state: Delta::new(),
-            end_time: 0,
-            cost: CostModel::default(),
-            clients: c.max(1),
-            event_count: 0,
-            read_cache: crate::read_cache::ReadCache::new(cfg.read_cache_bytes),
             poisoned: false,
         };
         tgi.try_append_events(events)?;
@@ -267,12 +318,13 @@ impl Tgi {
         }
         let events = &self.normalize_batch(events)[..];
         if events.is_empty() {
-            if self.spans.is_empty() {
+            if self.view.spans.is_empty() {
                 // An index over an empty history still answers queries
                 // (with empty results): materialize one empty span.
                 self.poisoned = true;
                 self.build_span(&[], TimeRange::new(0, Time::MAX))?;
                 self.poisoned = false;
+                self.view.epoch += 1;
             }
             return Ok(());
         }
@@ -293,12 +345,20 @@ impl Tgi {
         // Everything past this point mutates persisted and in-memory
         // state; stay poisoned unless the whole batch lands.
         self.poisoned = true;
-        // Close the previous open-ended span at the batch start.
-        let mut start = if let Some(last) = self.spans.last_mut() {
+        // Close the previous open-ended span at the batch start. The
+        // closed incarnation is a *fresh* `Arc` (sharing the maps):
+        // views published before this append keep the open-ended span
+        // runtime and stay byte-identical at their pinned watermark.
+        let mut start = if let Some(last) = self.view.spans.last_mut() {
             // hgs-lint: allow(no-panic-in-try, "the empty-batch early return above guarantees events[0] exists")
             let cut = last.meta.range.start.max(events[0].time);
-            last.meta.range = TimeRange::new(last.meta.range.start, cut);
-            self.persist_meta(self.spans.len() - 1)?;
+            let mut meta = last.meta.clone();
+            meta.range = TimeRange::new(meta.range.start, cut);
+            *last = Arc::new(SpanRuntime {
+                meta,
+                maps: Arc::clone(&last.maps),
+            });
+            self.persist_meta(self.view.spans.len() - 1)?;
             cut
         } else {
             0
@@ -313,9 +373,15 @@ impl Tgi {
             self.build_span(&events[sp.ev_start..sp.ev_end], range)?;
             start = range_end;
         }
-        self.end_time = events.last().map(|e| e.time + 1).unwrap_or(self.end_time);
-        self.event_count += events.len();
+        self.view.end_time = events
+            .last()
+            .map(|e| e.time + 1)
+            .unwrap_or(self.view.end_time);
+        self.view.event_count += events.len();
         self.persist_graph_meta()?;
+        self.view.node_count = self.tail_state.cardinality();
+        self.view.edge_count = self.tail_state.edge_count();
+        self.view.epoch += 1;
         self.poisoned = false;
         Ok(())
     }
@@ -352,33 +418,8 @@ impl Tgi {
     }
 
     // ------------------------------------------------------------------
-    // accessors
+    // writer-side accessors (need the append state)
     // ------------------------------------------------------------------
-
-    /// Index configuration.
-    pub fn config(&self) -> &TgiConfig {
-        &self.cfg
-    }
-
-    /// Backing store.
-    pub fn store(&self) -> &Arc<SimStore> {
-        &self.store
-    }
-
-    /// Number of built timespans.
-    pub fn span_count(&self) -> usize {
-        self.spans.len()
-    }
-
-    /// One past the last indexed event time.
-    pub fn end_time(&self) -> Time {
-        self.end_time
-    }
-
-    /// Total events indexed.
-    pub fn event_count(&self) -> usize {
-        self.event_count
-    }
 
     /// Whether an earlier append failed partway, refusing further
     /// appends (see [`Tgi::try_append_events`]).
@@ -386,15 +427,16 @@ impl Tgi {
         self.poisoned
     }
 
-    /// Total stored bytes (replicas included) — the index-size column
-    /// of Table 1.
-    pub fn storage_bytes(&self) -> usize {
-        self.store.stored_bytes()
-    }
-
     /// The current (latest) graph state.
     pub fn current_state(&self) -> &Delta {
         &self.tail_state
+    }
+
+    /// A clone of the current sealed read state — what
+    /// [`TgiService`](crate::service::TgiService) publishes as the
+    /// watermark after each successful append.
+    pub fn view(&self) -> TgiView {
+        self.view.clone()
     }
 
     /// Default number of parallel clients used by queries and by the
@@ -406,33 +448,19 @@ impl Tgi {
     /// `try_build_on_c`) and [`Tgi::set_clients_forced`] bypass the
     /// clamp.
     pub fn set_clients(&mut self, c: usize) {
-        self.clients = clamp_clients(c);
+        self.view.clients = clamp_clients(c);
     }
 
     /// [`Tgi::set_clients`] without the host-parallelism clamp — the
     /// escape hatch for tests and benches that must exercise real
     /// thread interleavings on boxes with fewer cores than `c`.
     pub fn set_clients_forced(&mut self, c: usize) {
-        self.clients = c.max(1);
-    }
-
-    /// The handle's current client width.
-    pub fn clients(&self) -> usize {
-        self.clients
+        self.view.clients = c.max(1);
     }
 
     /// Latency model used for `modeled_secs` in fetch reports.
     pub fn set_cost_model(&mut self, m: CostModel) {
-        self.cost = m;
-    }
-
-    pub(crate) fn span_index_for(&self, t: Time) -> usize {
-        let i = self.spans.partition_point(|s| s.meta.range.end <= t);
-        i.min(self.spans.len() - 1)
-    }
-
-    pub(crate) fn span_for(&self, t: Time) -> &SpanRuntime {
-        &self.spans[self.span_index_for(t)]
+        self.view.cost = m;
     }
 
     // ------------------------------------------------------------------
@@ -597,8 +625,11 @@ impl Tgi {
             pid_counts,
             has_aux: replicate,
         };
-        self.spans.push(SpanRuntime { meta, maps });
-        self.persist_meta(self.spans.len() - 1)
+        self.view.spans.push(Arc::new(SpanRuntime {
+            meta,
+            maps: Arc::new(maps),
+        }));
+        self.persist_meta(self.view.spans.len() - 1)
     }
 
     /// Seed-structure span encoding: one fused pass that replays the
@@ -840,6 +871,65 @@ impl Tgi {
             0,
             crate::persist::encode_config(&self.cfg),
         )
+    }
+}
+
+impl TgiView {
+    // ------------------------------------------------------------------
+    // read-side accessors (sealed state only; also reachable through
+    // the owning `Tgi` handle via `Deref`)
+    // ------------------------------------------------------------------
+
+    /// Index configuration.
+    pub fn config(&self) -> &TgiConfig {
+        &self.cfg
+    }
+
+    /// Backing store.
+    pub fn store(&self) -> &Arc<SimStore> {
+        &self.store
+    }
+
+    /// Number of built timespans.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// One past the last indexed event time.
+    pub fn end_time(&self) -> Time {
+        self.end_time
+    }
+
+    /// Total events indexed.
+    pub fn event_count(&self) -> usize {
+        self.event_count
+    }
+
+    /// Total stored bytes (replicas included) — the index-size column
+    /// of Table 1.
+    pub fn storage_bytes(&self) -> usize {
+        self.store.stored_bytes()
+    }
+
+    /// The view's client width (inherited from the handle that
+    /// published it).
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Publication counter of this view: the watermark a pinned
+    /// reader is answering at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn span_index_for(&self, t: Time) -> usize {
+        let i = self.spans.partition_point(|s| s.meta.range.end <= t);
+        i.min(self.spans.len() - 1)
+    }
+
+    pub(crate) fn span_for(&self, t: Time) -> &SpanRuntime {
+        &self.spans[self.span_index_for(t)]
     }
 }
 

@@ -33,15 +33,23 @@
 //! backed by a per-`(tsid, sid, leaf)` checkpoint-state cache tier.
 //! Single-point reads run as degenerate one-time plans over the same
 //! machinery, so **every** query path shares one session-wide
-//! byte-budgeted LRU read cache of decoded rows and materialized
-//! checkpoint states ([`read_cache`]; budget via
+//! byte-budgeted, lock-striped LRU read cache of decoded rows and
+//! materialized checkpoint states ([`read_cache`]; budget via
 //! [`TgiConfig::read_cache_bytes`], counters — split into row vs
-//! state hits — via [`Tgi::cache_stats`]). Every retrieval and build
-//! primitive has a fallible `try_*` variant that surfaces
+//! state hits — via [`TgiView::cache_stats`]). Every retrieval and
+//! build primitive has a fallible `try_*` variant that surfaces
 //! [`hgs_store::StoreError::Unavailable`] instead of silently
 //! returning partial results (see [`query`] for the contract); a
 //! cache miss — including one caused by eviction — always re-runs the
 //! fallible fetch.
+//!
+//! Serving: the owning [`Tgi`] handle separates its mutable append
+//! state from an immutable, cheaply-clonable [`TgiView`] holding every
+//! read path ([`Tgi`] `Deref`s to its current view). [`TgiService`]
+//! wraps the handle for concurrent use — one serialized writer
+//! publishing a watermarked view per append, any number of reader
+//! threads pinning views for snapshot-isolated reads over live ingest
+//! ([`service`]).
 
 pub mod attr_index;
 pub mod build;
@@ -53,14 +61,16 @@ pub mod query;
 pub mod query_plan;
 pub mod read_cache;
 pub mod scope;
+pub mod service;
 pub mod stats;
 
 pub use attr_index::LABEL_KEY;
-pub use build::{BuildError, Tgi};
+pub use build::{BuildError, Tgi, TgiView};
 pub use config::{PartitionStrategy, TgiConfig, DEFAULT_READ_CACHE_BYTES};
 pub use meta::{TimespanMeta, TreeShape};
 pub use persist::OpenError;
 pub use query::{KhopStrategy, NeighborhoodHistory, NodeHistory};
 pub use query_plan::PlanSummary;
-pub use read_cache::CacheStats;
+pub use read_cache::{CacheStats, DEFAULT_READ_CACHE_SHARDS};
+pub use service::TgiService;
 pub use stats::FetchReport;

@@ -16,7 +16,7 @@ use hgs_delta::{CodecError, FxHashMap, NodeId, StorageLayout, Time};
 use hgs_partition::{NodeWeighting, Omega, PartitionMap};
 use hgs_store::{CostModel, SimStore, StoreError, Table};
 
-use crate::build::{mp_key, SpanRuntime, Tgi};
+use crate::build::{mp_key, SpanRuntime, Tgi, TgiView};
 use crate::config::{PartitionStrategy, TgiConfig};
 use crate::meta::TimespanMeta;
 
@@ -144,6 +144,9 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
     // Not persisted (see `encode_config`): reopened handles write with
     // the default buffering.
     let write_batch_rows = crate::config::DEFAULT_WRITE_BATCH_ROWS;
+    // Also a runtime knob (cache striping), not persisted: reopened
+    // handles serve with the default stripe count.
+    let read_cache_shards = crate::read_cache::DEFAULT_READ_CACHE_SHARDS;
     // Descriptors written before the columnar layout existed are
     // row-wise by construction.
     let layout = match get_varint(b) {
@@ -173,6 +176,7 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
         omega,
         weighting,
         read_cache_bytes,
+        read_cache_shards,
         write_batch_rows,
         layout,
         secondary_indexes,
@@ -252,25 +256,40 @@ impl Tgi {
                     maps
                 }
             };
-            spans.push(SpanRuntime { meta, maps });
+            spans.push(Arc::new(SpanRuntime {
+                meta,
+                maps: Arc::new(maps),
+            }));
         }
 
         let mut tgi = Tgi {
-            cfg,
-            store,
-            spans,
+            view: TgiView {
+                cfg,
+                store,
+                spans,
+                end_time,
+                event_count,
+                node_count: 0,
+                edge_count: 0,
+                cost: CostModel::default(),
+                clients: 1,
+                read_cache: Arc::new(crate::read_cache::ReadCache::with_shards(
+                    cfg.read_cache_bytes,
+                    cfg.read_cache_shards,
+                )),
+                epoch: 0,
+            },
             tail_state: hgs_delta::Delta::new(),
-            end_time,
-            cost: CostModel::default(),
-            clients: 1,
-            event_count,
-            read_cache: crate::read_cache::ReadCache::new(cfg.read_cache_bytes),
             poisoned: false,
         };
-        // The tail state (needed for appends) is the latest snapshot.
+        // The tail state (needed for appends) is the latest snapshot;
+        // the view's shape summary follows it.
         if end_time > 0 {
             tgi.tail_state = tgi.snapshot(end_time);
+            tgi.view.node_count = tgi.tail_state.cardinality();
+            tgi.view.edge_count = tgi.tail_state.edge_count();
         }
+        tgi.view.epoch = 1;
         Ok(tgi)
     }
 }

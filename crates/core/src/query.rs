@@ -30,7 +30,7 @@ use hgs_store::key::{chain_prefix, node_placement_token};
 use hgs_store::parallel::parallel_chunks;
 use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 
-use crate::build::{SpanRuntime, Tgi};
+use crate::build::{SpanRuntime, TgiView};
 use crate::costs::{access_cost, CostProfile, IndexKind, QueryKind};
 use crate::meta::{decode_chain, sid_of, ChainEntry, AUX_BASE, ELIST_BASE};
 use crate::read_cache::{CacheKey, Cached};
@@ -206,19 +206,19 @@ impl ElistHandle {
     }
 }
 
-impl Tgi {
+impl TgiView {
     // ------------------------------------------------------------------
     // Algorithm 1: snapshot retrieval
     // ------------------------------------------------------------------
 
     /// The full graph as of time `t`, fetched with the default client
     /// parallelism. Panics if a needed chunk is fully unavailable; see
-    /// [`Tgi::try_snapshot`].
+    /// [`TgiView::try_snapshot`].
     pub fn snapshot(&self, t: Time) -> Delta {
         unwrap_read(self.try_snapshot(t))
     }
 
-    /// Fallible [`Tgi::snapshot`].
+    /// Fallible [`TgiView::snapshot`].
     pub fn try_snapshot(&self, t: Time) -> Result<Delta, StoreError> {
         self.try_snapshot_c(t, self.clients)
     }
@@ -228,23 +228,23 @@ impl Tgi {
         unwrap_read(self.try_snapshot_c(t, c))
     }
 
-    /// Fallible [`Tgi::snapshot_c`]: errors when all replicas of any
+    /// Fallible [`TgiView::snapshot_c`]: errors when all replicas of any
     /// chunk the query still has to fetch are down, instead of
     /// returning a silently incomplete graph.
     ///
     /// Runs as a degenerate one-time plan through the multipoint
-    /// machinery ([`Tgi::try_snapshots_c`]), so
+    /// machinery ([`TgiView::try_snapshots_c`]), so
     /// it consults and populates the session-wide read cache: a warm
     /// repeat pays only the checkpoint-state clone and the eventlist
     /// replay, never the tree-path fetch + decode. The cache-bypassing
-    /// reference path remains as [`Tgi::try_snapshot_uncached_c`].
+    /// reference path remains as [`TgiView::try_snapshot_uncached_c`].
     pub fn try_snapshot_c(&self, t: Time, c: usize) -> Result<Delta, StoreError> {
         let mut out = self.try_snapshots_c(std::slice::from_ref(&t), c)?;
         // hgs-lint: allow(no-panic-in-try, "try_snapshots_c returns exactly one state per requested time")
         Ok(out.pop().expect("one snapshot per requested time"))
     }
 
-    /// Cache-bypassing [`Tgi::snapshot`]: refetches and re-decodes the
+    /// Cache-bypassing [`TgiView::snapshot`]: refetches and re-decodes the
     /// whole root-to-leaf path, touching neither cached entries nor
     /// the cache's counters. This is the reference implementation the
     /// cached paths are tested against, and the honest "cold" baseline
@@ -253,7 +253,7 @@ impl Tgi {
         unwrap_read(self.try_snapshot_uncached_c(t, self.clients))
     }
 
-    /// Fallible [`Tgi::snapshot_uncached`] with an explicit parallel
+    /// Fallible [`TgiView::snapshot_uncached`] with an explicit parallel
     /// fetch factor `c`.
     pub fn try_snapshot_uncached_c(&self, t: Time, c: usize) -> Result<Delta, StoreError> {
         let span = self.span_for(t);
@@ -351,7 +351,7 @@ impl Tgi {
         unwrap_read(self.try_node_at(nid, t))
     }
 
-    /// Fallible [`Tgi::node_at`].
+    /// Fallible [`TgiView::node_at`].
     pub fn try_node_at(&self, nid: NodeId, t: Time) -> Result<Option<StaticNode>, StoreError> {
         let span = self.span_for(t);
         let ns = self.cfg.horizontal_partitions;
@@ -650,7 +650,7 @@ impl Tgi {
         unwrap_read(self.try_version_chain(nid))
     }
 
-    /// Fallible [`Tgi::version_chain`]: one prefix scan over the
+    /// Fallible [`TgiView::version_chain`]: one prefix scan over the
     /// node's append-only chain-delta rows, concatenated in key (i.e.
     /// `tsid`, i.e. chronological) order. A legacy whole-chain row —
     /// keyed by the bare 8-byte node key — matches the same prefix and
@@ -677,7 +677,7 @@ impl Tgi {
         unwrap_read(self.try_node_history(nid, range))
     }
 
-    /// Fallible [`Tgi::node_history`].
+    /// Fallible [`TgiView::node_history`].
     pub fn try_node_history(
         &self,
         nid: NodeId,
@@ -686,12 +686,12 @@ impl Tgi {
         self.try_node_history_c(nid, range, self.clients)
     }
 
-    /// [`Tgi::node_history`] with an explicit fetch parallelism.
+    /// [`TgiView::node_history`] with an explicit fetch parallelism.
     pub fn node_history_c(&self, nid: NodeId, range: TimeRange, c: usize) -> NodeHistory {
         unwrap_read(self.try_node_history_c(nid, range, c))
     }
 
-    /// Fallible [`Tgi::node_history_c`].
+    /// Fallible [`TgiView::node_history_c`].
     pub fn try_node_history_c(
         &self,
         nid: NodeId,
@@ -755,13 +755,13 @@ impl Tgi {
     /// The k-hop neighborhood of `center` as of `t`, as a partitioned
     /// snapshot restricted to the neighborhood's nodes. The fetch
     /// strategy (Algorithm 3 vs 4) is picked automatically from the
-    /// Table-1 access-cost estimators; use [`Tgi::khop_with`] to force
+    /// Table-1 access-cost estimators; use [`TgiView::khop_with`] to force
     /// one.
     pub fn khop(&self, center: NodeId, t: Time, k: usize) -> Delta {
         unwrap_read(self.try_khop(center, t, k))
     }
 
-    /// Fallible [`Tgi::khop`].
+    /// Fallible [`TgiView::khop`].
     pub fn try_khop(&self, center: NodeId, t: Time, k: usize) -> Result<Delta, StoreError> {
         self.try_khop_with(center, t, k, self.khop_strategy_for(t, k))
     }
@@ -772,7 +772,7 @@ impl Tgi {
         unwrap_read(self.try_khop_with(center, t, k, strategy))
     }
 
-    /// Fallible [`Tgi::khop_with`].
+    /// Fallible [`TgiView::khop_with`].
     pub fn try_khop_with(
         &self,
         center: NodeId,
@@ -794,13 +794,13 @@ impl Tgi {
     /// via-snapshot plan pays the fixed full-path cost once.
     pub fn khop_strategy_for(&self, t: Time, k: usize) -> KhopStrategy {
         let span = self.span_for(t);
-        let s = (self.tail_state.cardinality().max(1)) as f64;
+        let s = (self.node_count.max(1)) as f64;
         let g = (self.event_count.max(1)) as f64;
         let e = self.cfg.eventlist_size as f64;
         let h = (span.meta.shape.height().max(1)) as f64;
         let pid_total: u32 = span.meta.pid_counts.iter().sum();
         let p = (pid_total as f64 / span.meta.pid_counts.len().max(1) as f64).max(1.0);
-        let r = (2.0 * self.tail_state.edge_count() as f64 / s).max(1.0);
+        let r = (2.0 * self.edge_count as f64 / s).max(1.0);
         let w = CostProfile {
             g,
             s,
@@ -964,7 +964,7 @@ impl Tgi {
         unwrap_read(self.try_one_hop_history(nid, range))
     }
 
-    /// Fallible [`Tgi::one_hop_history`].
+    /// Fallible [`TgiView::one_hop_history`].
     pub fn try_one_hop_history(
         &self,
         nid: NodeId,
@@ -1004,7 +1004,7 @@ impl Tgi {
     }
 }
 
-impl Tgi {
+impl TgiView {
     // ------------------------------------------------------------------
     // bulk fetch (the TAF parallel-fetch protocol's per-worker unit)
     // ------------------------------------------------------------------
@@ -1028,7 +1028,7 @@ impl Tgi {
         unwrap_read(self.try_node_histories_for_sid(sid, range))
     }
 
-    /// Fallible [`Tgi::node_histories_for_sid`]. All eventlist chunks
+    /// Fallible [`TgiView::node_histories_for_sid`]. All eventlist chunks
     /// a timespan contributes are pulled in one grouped scan (one
     /// round-trip per span), and store failures are propagated instead
     /// of silently dropping a span's worth of events.
@@ -1135,7 +1135,7 @@ impl Tgi {
         unwrap_read(self.try_sid_state_at(sid, t))
     }
 
-    /// Fallible [`Tgi::sid_state_at`]: the whole root-to-leaf path
+    /// Fallible [`TgiView::sid_state_at`]: the whole root-to-leaf path
     /// plus the eventlist chunk travel as one grouped scan.
     pub fn try_sid_state_at(&self, sid: u32, t: Time) -> Result<Delta, StoreError> {
         let span = self.span_for(t);

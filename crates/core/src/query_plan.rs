@@ -2,7 +2,7 @@
 //!
 //! Temporal queries frequently ask for the graph at *many* time points
 //! (evolution plots, TAF fetches, multipoint analytics). The naive
-//! approach — one [`Tgi::snapshot`] per time — refetches, re-decodes
+//! approach — one [`TgiView::snapshot`] per time — refetches, re-decodes
 //! and re-materializes the entire root-to-leaf delta path for every
 //! point, even though the paths of nearby time points are mostly
 //! identical. This module plans a whole batch of query times at once:
@@ -17,7 +17,7 @@
 //! 3. **Decode** each row at most once, ever: decoded rows and the
 //!    materialized per-leaf checkpoint states land in the session-wide
 //!    byte-budgeted LRU [`ReadCache`](crate::read_cache::ReadCache)
-//!    ([`Tgi::set_read_cache_budget`]), shared with every single-point
+//!    ([`TgiView::set_read_cache_budget`]), shared with every single-point
 //!    query path. Index rows are write-once (spans are append-only),
 //!    so cached entries can never go stale. Each chunk's eventlist
 //!    scan is *never* skipped — a fully-down chunk still surfaces
@@ -62,7 +62,7 @@ use hgs_delta::{
 use hgs_store::parallel::parallel_steal;
 use hgs_store::{DeltaKey, PlacementKey, StoreError, Table};
 
-use crate::build::{SpanRuntime, Tgi};
+use crate::build::{SpanRuntime, TgiView};
 use crate::meta::{sid_of, ELIST_BASE};
 use crate::read_cache::{CacheKey, Cached};
 use crate::scope::apply_event_scoped;
@@ -71,7 +71,7 @@ use crate::scope::apply_event_scoped;
 ///
 /// `shared_fetch_units` counts the distinct `(sid, did)` rows the plan
 /// pulls (each exactly once); `naive_fetch_units` counts what `k`
-/// independent [`Tgi::snapshot`] calls would pull. Their ratio is the
+/// independent [`TgiView::snapshot`] calls would pull. Their ratio is the
 /// planner's fetch saving.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanSummary {
@@ -109,7 +109,7 @@ pub(crate) struct MultipointPlan {
 }
 
 impl MultipointPlan {
-    pub(crate) fn new(tgi: &Tgi, times: &[Time]) -> MultipointPlan {
+    pub(crate) fn new(tgi: &TgiView, times: &[Time]) -> MultipointPlan {
         // span_idx -> leaf -> [(slot, t)], kept ordered so materialized
         // states distribute deterministically.
         let mut groups: Vec<SpanGroup> = Vec::new();
@@ -149,7 +149,7 @@ impl MultipointPlan {
     }
 
     /// Summarize the plan's sharing against the per-time naive loop.
-    fn summary(&self, tgi: &Tgi) -> PlanSummary {
+    fn summary(&self, tgi: &TgiView) -> PlanSummary {
         let ns = tgi.cfg.horizontal_partitions as usize;
         let mut s = PlanSummary {
             times: self.n_times,
@@ -188,7 +188,7 @@ struct SidGroupFetch {
     rows: RowsByDid,
 }
 
-impl Tgi {
+impl TgiView {
     /// Inspect how a multipoint retrieval over `times` would share
     /// fetch work (without touching the store).
     pub fn plan_multipoint(&self, times: &[Time]) -> PlanSummary {
@@ -199,7 +199,7 @@ impl Tgi {
     /// the graph state at each requested time, in input order.
     ///
     /// Equivalent to (and tested against) `times.len()` independent
-    /// [`Tgi::try_snapshot`] calls, but each tree-path delta row is
+    /// [`TgiView::try_snapshot`] calls, but each tree-path delta row is
     /// fetched once per `(tsid, sid)` chunk and decoded at most once,
     /// ever; each snapshot is materialized by cloning the shared leaf
     /// state and replaying only its per-time eventlist suffix. Each
@@ -209,9 +209,9 @@ impl Tgi {
         self.try_snapshots_c(times, self.clients)
     }
 
-    /// [`Tgi::try_snapshots`] with an explicit parallel fetch factor
+    /// [`TgiView::try_snapshots`] with an explicit parallel fetch factor
     /// `c` (the degenerate `times.len() == 1` form of this is what
-    /// [`Tgi::try_snapshot_c`](crate::build::Tgi) runs).
+    /// [`TgiView::try_snapshot_c`](crate::build::TgiView) runs).
     pub fn try_snapshots_c(&self, times: &[Time], c: usize) -> Result<Vec<Delta>, StoreError> {
         let plan = MultipointPlan::new(self, times);
         let mut out: Vec<Delta> = (0..times.len()).map(|_| Delta::new()).collect();
@@ -304,7 +304,7 @@ impl Tgi {
         Ok(out)
     }
 
-    /// Panicking wrapper over [`Tgi::try_snapshots`]; see the crate's
+    /// Panicking wrapper over [`TgiView::try_snapshots`]; see the crate's
     /// error-handling contract.
     pub fn snapshots(&self, times: &[Time]) -> Vec<Delta> {
         self.try_snapshots(times)
@@ -312,7 +312,7 @@ impl Tgi {
             .unwrap_or_else(|e| panic!("TGI multipoint read failed: {e}"))
     }
 
-    /// Panicking wrapper over [`Tgi::try_snapshots_c`].
+    /// Panicking wrapper over [`TgiView::try_snapshots_c`].
     pub fn snapshots_c(&self, times: &[Time], c: usize) -> Vec<Delta> {
         self.try_snapshots_c(times, c)
             // hgs-lint: allow(no-panic-in-try, "documented panic bridge of the infallible query API; try_snapshots_c surfaces StoreError")
@@ -370,7 +370,7 @@ impl Tgi {
         .map_err(StoreError::Corrupt)
     }
 
-    /// Eventlist twin of [`Tgi::decode_delta_blob`].
+    /// Eventlist twin of [`TgiView::decode_delta_blob`].
     pub(crate) fn decode_elist_blob(&self, bytes: &bytes::Bytes) -> Result<Eventlist, StoreError> {
         match self.cfg.layout {
             StorageLayout::RowWise => decode_eventlist(bytes),
@@ -420,7 +420,7 @@ impl Tgi {
     }
 
     /// Decode a fetched eventlist row through the read cache (see
-    /// [`Tgi::decoded_delta`] for the columnar-entry refresh rule).
+    /// [`TgiView::decoded_delta`] for the columnar-entry refresh rule).
     pub(crate) fn decoded_elist(
         &self,
         tsid: u32,
@@ -436,7 +436,7 @@ impl Tgi {
         }
     }
 
-    /// Eventlist twin of [`Tgi::insert_decoded_delta`].
+    /// Eventlist twin of [`TgiView::insert_decoded_delta`].
     pub(crate) fn insert_decoded_elist(
         &self,
         tsid: u32,
@@ -677,6 +677,7 @@ impl Tgi {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::build::Tgi;
     use hgs_delta::Event;
     use hgs_delta::EventKind;
 

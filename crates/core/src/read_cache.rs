@@ -20,11 +20,24 @@
 //!
 //! all under one configurable byte budget
 //! ([`TgiConfig::read_cache_bytes`](crate::TgiConfig), runtime-tunable
-//! via [`Tgi::set_read_cache_budget`]). Eviction is true
+//! via [`TgiView::set_read_cache_budget`]). Eviction is true
 //! least-recently-used — an intrusive doubly-linked list threaded
 //! through a slab, `O(1)` per touch — **never** a wholesale clear, so
 //! a working set one entry over budget degrades by exactly one entry,
 //! not to a zero hit rate.
+//!
+//! # Concurrency
+//!
+//! The cache is **lock-striped**: entries are sharded by `CacheKey`
+//! hash over [`TgiConfig::read_cache_shards`](crate::TgiConfig)
+//! independent LRU lists, each behind its own mutex, so concurrent
+//! readers pinned to different watermarks (see
+//! [`TgiService`](crate::service::TgiService)) contend only when they
+//! touch the *same* stripe. The per-shard byte budgets always sum to
+//! the configured total; eviction is per-shard LRU. A shard's lock is
+//! only ever held for the pointer surgery of one lookup or insert —
+//! never across a store fetch or a decode (the `lock-ordering` lint
+//! rule enforces this workspace-wide).
 //!
 //! # Failure semantics
 //!
@@ -37,14 +50,15 @@
 //! code in [`query`](crate::query) and [`query_plan`](crate::query_plan)
 //! upholds this: nothing is ever synthesized on a miss.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use hgs_delta::{ColumnarDelta, ColumnarEventlist, Delta, Eventlist, FxHashMap};
+use hgs_delta::{ColumnarDelta, ColumnarEventlist, Delta, Eventlist, FxHashMap, FxHasher};
 
-use crate::build::Tgi;
+use crate::build::TgiView;
 
 /// What one cached entry describes.
 ///
@@ -140,7 +154,9 @@ impl Cached {
     }
 }
 
-/// Point-in-time counters of the read cache, via [`Tgi::cache_stats`].
+/// Point-in-time counters of the read cache, via
+/// [`TgiView::cache_stats`] (reachable as `tgi.cache_stats()` on the
+/// owning handle too).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache (rows + states).
@@ -286,10 +302,41 @@ impl Inner {
     }
 }
 
-/// The session-wide read cache. Shared by reference from every query
-/// path of one [`Tgi`]; all methods take `&self`.
+/// Default shard (stripe) count of the read cache; see
+/// [`TgiConfig::read_cache_shards`](crate::TgiConfig).
+pub const DEFAULT_READ_CACHE_SHARDS: usize = 8;
+
+/// Split `total` bytes over `n` shards so the per-shard budgets sum
+/// to exactly `total` (the first `total % n` shards carry one extra
+/// byte).
+fn shard_budgets(total: usize, n: usize) -> impl Iterator<Item = usize> {
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(move |i| base + usize::from(i < extra))
+}
+
+/// The stripe a key routes to among `n` shards. Deterministic (FxHash
+/// of the key, remixed through the splitmix finalizer so consecutive
+/// row ids spread), so a key always routes to the same shard and the
+/// sharded cache partitions the key space exactly.
+fn shard_of(key: &CacheKey, n: usize) -> usize {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (hgs_delta::hash::hash_u64(h.finish()) % n as u64) as usize
+}
+
+/// The session-wide read cache, shared by `Arc` between every query
+/// path and every published [`TgiView`]; all methods take `&self` and
+/// are safe under concurrent readers and a concurrent writer.
+///
+/// Lock-striped by key hash: each shard is an independent LRU behind
+/// its own mutex with its own slice of the byte budget (the slices
+/// always sum to the configured total).
 pub struct ReadCache {
-    inner: Mutex<Inner>,
+    shards: Box<[Mutex<Inner>]>,
+    /// Configured total budget, mirrored outside the shard locks so
+    /// [`ReadCache::is_enabled`] is a lock-free load.
+    total_budget: AtomicUsize,
     row_hits: AtomicU64,
     row_misses: AtomicU64,
     state_hits: AtomicU64,
@@ -297,20 +344,28 @@ pub struct ReadCache {
 }
 
 impl ReadCache {
-    /// Empty cache with the given byte budget (`0` disables caching).
-    pub(crate) fn new(budget: usize) -> ReadCache {
+    /// Empty cache with an explicit stripe count (`shards >= 1`; a
+    /// single stripe recovers the exact global-LRU semantics the unit
+    /// and property tests pin down).
+    pub(crate) fn with_shards(budget: usize, shards: usize) -> ReadCache {
+        let n = shards.max(1);
         ReadCache {
-            inner: Mutex::new(Inner {
-                map: FxHashMap::default(),
-                slots: Vec::new(),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                bytes: 0,
-                budget,
-                insertions: 0,
-                evictions: 0,
-            }),
+            shards: shard_budgets(budget, n)
+                .map(|b| {
+                    Mutex::new(Inner {
+                        map: FxHashMap::default(),
+                        slots: Vec::new(),
+                        free: Vec::new(),
+                        head: NIL,
+                        tail: NIL,
+                        bytes: 0,
+                        budget: b,
+                        insertions: 0,
+                        evictions: 0,
+                    })
+                })
+                .collect(),
+            total_budget: AtomicUsize::new(budget),
             row_hits: AtomicU64::new(0),
             row_misses: AtomicU64::new(0),
             state_hits: AtomicU64::new(0),
@@ -318,11 +373,16 @@ impl ReadCache {
         }
     }
 
-    /// Look up `key`, promoting it to most-recently-used on a hit.
-    /// Row and checkpoint-state lookups are counted separately (see
-    /// [`CacheStats`]).
+    /// The stripe `key` lives in (see [`shard_of`]).
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// Look up `key`, promoting it to most-recently-used in its shard
+    /// on a hit. Row and checkpoint-state lookups are counted
+    /// separately (see [`CacheStats`]).
     pub(crate) fn get(&self, key: CacheKey) -> Option<Cached> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards[self.shard_of(&key)].lock();
         let (hits, misses) = if key.is_state() {
             (&self.state_hits, &self.state_misses)
         } else {
@@ -342,14 +402,14 @@ impl ReadCache {
         }
     }
 
-    /// Insert (or refresh) `key`, then evict least-recently-used
-    /// entries until the byte budget holds again. An entry larger than
-    /// the whole budget is rejected up front — letting it in would
-    /// evict the entire working set before the entry finally evicted
-    /// itself, recreating the clear-on-overflow pathology this cache
-    /// exists to remove.
+    /// Insert (or refresh) `key`, then evict that shard's
+    /// least-recently-used entries until its budget slice holds again.
+    /// An entry larger than the shard's whole slice is rejected up
+    /// front — letting it in would evict the shard's entire working
+    /// set before the entry finally evicted itself, recreating the
+    /// clear-on-overflow pathology this cache exists to remove.
     pub(crate) fn put(&self, key: CacheKey, value: Cached) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards[self.shard_of(&key)].lock();
         if inner.budget == 0 {
             return;
         }
@@ -400,64 +460,87 @@ impl ReadCache {
         inner.enforce_budget();
     }
 
-    /// Whether caching is on (`budget > 0`). Lets callers skip
-    /// building a value (e.g. a deep state clone) whose `put` would be
-    /// a guaranteed no-op.
+    /// Whether caching is on (total `budget > 0`). Lock-free: lets
+    /// callers on the hot path skip building a value (e.g. a deep
+    /// state clone) whose `put` would be a guaranteed no-op, without
+    /// touching any shard mutex.
     pub(crate) fn is_enabled(&self) -> bool {
-        self.inner.lock().budget > 0
+        self.total_budget.load(Ordering::Relaxed) > 0
     }
 
-    /// Change the byte budget, evicting least-recently-used entries
-    /// (never a wholesale clear) until the new budget holds.
+    /// Change the total byte budget, re-slicing it over the shards
+    /// and evicting each shard's least-recently-used entries (never a
+    /// wholesale clear) until its new slice holds.
     pub(crate) fn set_budget(&self, budget: usize) {
-        let mut inner = self.inner.lock();
-        inner.budget = budget;
-        inner.enforce_budget();
+        self.total_budget.store(budget, Ordering::Relaxed);
+        for (shard, slice) in self
+            .shards
+            .iter()
+            .zip(shard_budgets(budget, self.shards.len()))
+        {
+            let mut inner = shard.lock();
+            inner.budget = slice;
+            inner.enforce_budget();
+        }
     }
 
-    /// Current counters.
+    /// Current counters, aggregated over every shard. The hit/miss
+    /// counters are global atomics; `insertions`/`evictions`/`bytes`
+    /// sum the per-shard ledgers, and `budget` is the configured
+    /// total (= the sum of the per-shard slices).
     pub(crate) fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
         let row_hits = self.row_hits.load(Ordering::Relaxed);
         let row_misses = self.row_misses.load(Ordering::Relaxed);
         let state_hits = self.state_hits.load(Ordering::Relaxed);
         let state_misses = self.state_misses.load(Ordering::Relaxed);
-        CacheStats {
+        let mut stats = CacheStats {
             hits: row_hits + state_hits,
             misses: row_misses + state_misses,
             row_hits,
             row_misses,
             state_hits,
             state_misses,
-            insertions: inner.insertions,
-            evictions: inner.evictions,
-            bytes: inner.bytes,
-            budget: inner.budget,
+            insertions: 0,
+            evictions: 0,
+            bytes: 0,
+            budget: 0,
+        };
+        for shard in self.shards.iter() {
+            let inner = shard.lock();
+            stats.insertions += inner.insertions;
+            stats.evictions += inner.evictions;
+            stats.bytes += inner.bytes;
+            stats.budget += inner.budget;
         }
+        stats
     }
 
-    /// Number of live entries.
+    /// Number of live entries across all shards.
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
-    /// Live keys in most-recently-used-first order.
+    /// Live keys in most-recently-used-first order, per shard in
+    /// shard order (with one shard this is the exact global recency
+    /// order the reference-model tests pin down).
     #[cfg(test)]
     fn keys_mru_first(&self) -> Vec<CacheKey> {
-        let inner = self.inner.lock();
-        let mut out = Vec::with_capacity(inner.map.len());
-        let mut cur = inner.head;
-        while cur != NIL {
-            let e = inner.entry(cur);
-            out.push(e.key.clone());
-            cur = e.next;
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let inner = shard.lock();
+            let mut cur = inner.head;
+            while cur != NIL {
+                let e = inner.entry(cur);
+                out.push(e.key.clone());
+                cur = e.next;
+            }
         }
         out
     }
 }
 
-impl Tgi {
+impl TgiView {
     /// Re-budget the session-wide read cache (in bytes; `0` disables
     /// caching). Over-budget entries are evicted least-recently-used
     /// first; retained entries keep serving hits.
@@ -499,9 +582,10 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used_first() {
-        // Budget fits exactly three 10-node entries.
+        // Budget fits exactly three 10-node entries. One shard: the
+        // test pins the exact global recency order.
         let w = delta_entry(10).weight();
-        let cache = ReadCache::new(3 * w);
+        let cache = ReadCache::with_shards(3 * w, 1);
         for i in 0..3 {
             cache.put(key(i), delta_entry(10));
         }
@@ -522,7 +606,7 @@ mod tests {
     #[test]
     fn shrinking_the_budget_evicts_incrementally_not_wholesale() {
         let w = delta_entry(10).weight();
-        let cache = ReadCache::new(4 * w);
+        let cache = ReadCache::with_shards(4 * w, 1);
         for i in 0..4 {
             cache.put(key(i), delta_entry(10));
         }
@@ -540,7 +624,7 @@ mod tests {
     #[test]
     fn oversized_entry_does_not_stick_but_rest_survives() {
         let w = delta_entry(4).weight();
-        let cache = ReadCache::new(3 * w);
+        let cache = ReadCache::with_shards(3 * w, 1);
         cache.put(key(0), delta_entry(4));
         cache.put(key(1), delta_entry(4));
         // An entry bigger than the whole budget cannot be retained...
@@ -564,7 +648,7 @@ mod tests {
     /// the headline `hits`/`misses` are always their sum.
     #[test]
     fn state_and_row_counters_are_split() {
-        let cache = ReadCache::new(1 << 20);
+        let cache = ReadCache::with_shards(1 << 20, DEFAULT_READ_CACHE_SHARDS);
         let row = key(1);
         let term = CacheKey::Term(0, 0, Arc::from(&b"EntityType"[..]));
         let state = CacheKey::SidLeaf(0, 2, 3);
@@ -661,7 +745,7 @@ mod tests {
         ) {
             let unit = delta_entry(0).weight(); // ENTRY_OVERHEAD
             let budget = budget_entries * (unit + 8 * 20);
-            let cache = ReadCache::new(budget);
+            let cache = ReadCache::with_shards(budget, 1);
             let mut model = Model { entries: Vec::new(), budget };
             for op in ops {
                 match op {
@@ -684,5 +768,112 @@ mod tests {
                 prop_assert_eq!(got, want, "retention/recency order diverged");
             }
         }
+
+        /// The sharded cache behaves exactly like one independent
+        /// reference LRU per stripe: keys route deterministically,
+        /// each stripe holds its slice of the budget, and the
+        /// aggregated stats sum the stripes.
+        #[test]
+        fn sharded_cache_matches_per_shard_reference_models(
+            ops in prop::collection::vec(arb_op(), 1..120),
+            budget_entries in 0usize..16,
+            shards in 1usize..6,
+        ) {
+            let unit = delta_entry(0).weight();
+            let budget = budget_entries * (unit + 8 * 20);
+            let cache = ReadCache::with_shards(budget, shards);
+            let mut models: Vec<Model> = shard_budgets(budget, shards)
+                .map(|b| Model { entries: Vec::new(), budget: b })
+                .collect();
+            for op in ops {
+                match op {
+                    Op::Put(k, n) => {
+                        cache.put(key(k), delta_entry(n));
+                        models[shard_of(&key(k), shards)].put(k, unit + 8 * n);
+                    }
+                    Op::Get(k) => {
+                        let hit = cache.get(key(k)).is_some();
+                        let model_hit = models[shard_of(&key(k), shards)].touch(k);
+                        prop_assert_eq!(hit, model_hit, "hit mismatch on {}", k);
+                    }
+                }
+                let s = cache.stats();
+                prop_assert!(s.bytes <= s.budget, "over budget: {:?}", s);
+                prop_assert_eq!(s.budget, budget, "shard budgets must sum to the total");
+                let model_bytes: usize = models.iter().map(|m| m.bytes()).sum();
+                prop_assert_eq!(s.bytes, model_bytes, "byte accounting diverged");
+                // Per-stripe recency: keys_mru_first walks the shards
+                // in order, so it must equal the models' concatenation.
+                let got = cache.keys_mru_first();
+                let want: Vec<CacheKey> = models
+                    .iter()
+                    .flat_map(|m| m.entries.iter().map(|&(k, _)| key(k)))
+                    .collect();
+                prop_assert_eq!(got, want, "per-shard retention/recency diverged");
+            }
+        }
+    }
+
+    /// Satellite invariant check: under concurrent mixed-key traffic
+    /// from several threads the aggregated stats stay coherent —
+    /// budgets sum to the configured total, retained bytes never
+    /// exceed it, every lookup is counted exactly once, and the
+    /// insertion/eviction ledger matches the live entry count.
+    #[test]
+    fn concurrent_mixed_key_traffic_keeps_aggregate_invariants() {
+        let w = delta_entry(10).weight();
+        let budget = 13 * w; // deliberately not divisible by the stripes
+        let cache = ReadCache::with_shards(budget, 4);
+        let threads = 4;
+        let gets_per_thread = 400u64;
+        let puts_per_thread = 200u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let cache = &cache;
+                s.spawn(move || {
+                    // Overlapping key ranges: every pair of threads
+                    // contends on some stripes.
+                    for i in 0..puts_per_thread {
+                        let k = key((t as u64 * 7 + i) % 40);
+                        cache.put(k, delta_entry(10));
+                    }
+                    for i in 0..gets_per_thread {
+                        let _unused: Option<Cached> = cache.get(key(i % 50));
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(
+            s.budget, budget,
+            "shard budgets sum to the configured total"
+        );
+        assert!(
+            s.bytes <= s.budget,
+            "retained {} > budget {}",
+            s.bytes,
+            s.budget
+        );
+        assert_eq!(
+            s.hits + s.misses,
+            threads as u64 * gets_per_thread,
+            "every lookup counted exactly once"
+        );
+        assert_eq!(s.hits, s.row_hits + s.state_hits);
+        assert_eq!(s.misses, s.row_misses + s.state_misses);
+        assert_eq!(
+            s.insertions - s.evictions,
+            cache.len() as u64,
+            "insertion/eviction ledger matches live entries"
+        );
+        // Shrinking under load already happened above; shrinking to a
+        // sliver now must re-balance every stripe's slice.
+        cache.set_budget(2 * w);
+        let s = cache.stats();
+        assert_eq!(s.budget, 2 * w);
+        assert!(s.bytes <= s.budget);
+        cache.set_budget(0);
+        assert_eq!(cache.len(), 0, "zero budget drains every stripe");
+        assert!(!cache.is_enabled());
     }
 }

@@ -1,0 +1,307 @@
+//! Concurrent serving: snapshot-isolated reads over live ingest.
+//!
+//! The paper positions TGI as infrastructure for "snapshot retrieval
+//! and temporal analytics at scale" — an always-available service over
+//! an ever-growing history, not a single-owner handle. [`TgiService`]
+//! is that service layer: one writer appends event batches while any
+//! number of reader threads keep answering snapshot/history/k-hop
+//! queries, each isolated at the **watermark** it observed at entry.
+//!
+//! # Watermark semantics
+//!
+//! The index is append-only at span granularity: an append creates
+//! *new* timespans and never rewrites a sealed row (closing the
+//! previous open span's time range is per-view metadata, not stored
+//! rows — see [`Tgi::try_append_events`]). The writer therefore
+//! publishes, at the end of each successful append, an immutable
+//! [`TgiView`] — config, span metadata, partition maps and summary
+//! counters — tagged with a monotonically increasing epoch. That
+//! publication *is* the watermark:
+//!
+//! * [`TgiService::pin`] hands a reader an `Arc<TgiView>` of the
+//!   latest published watermark. Everything the reader does through
+//!   that view answers from the sealed prefix the watermark denotes —
+//!   byte-identical before, during and after any concurrent append.
+//! * Rows belonging to an in-flight append are unreachable from every
+//!   published view (their spans are not in any published `TgiView`),
+//!   so no reader ever observes a partially written span.
+//! * Publication happens strictly **after** the batch's rows are
+//!   flushed and the graph descriptor is persisted (the
+//!   `watermark-publish` lint rule guards this ordering), and the
+//!   epoch counter is stored with release ordering after the view
+//!   swap — a reader that sees watermark `n` can reach every row of
+//!   epoch `n`.
+//!
+//! # Failure semantics
+//!
+//! A failed append poisons the *writer* exactly as on a plain [`Tgi`]
+//! handle ([`BuildError::Poisoned`] on retry) and publishes nothing:
+//! already-pinned readers and new [`TgiService::pin`] calls keep
+//! answering at the last durable watermark. Recovery is the same as
+//! for the plain handle — rebuild, or re-open from the store on a
+//! healed cluster and wrap the new handle in a fresh service.
+//!
+//! # Caching
+//!
+//! All views share one lock-striped [`read
+//! cache`](crate::read_cache): index rows are write-once, so an entry
+//! cached at watermark `n` is still exact at watermark `n+k`; the
+//! stripes keep concurrent pinned readers from serializing on a
+//! single cache mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use hgs_delta::Event;
+use hgs_store::{SimStore, StoreConfig};
+
+use crate::build::{BuildError, Tgi, TgiView};
+use crate::config::TgiConfig;
+use crate::read_cache::CacheStats;
+
+/// A shared, concurrently-usable TGI: one serialized writer, any
+/// number of watermark-pinned readers. Cheap to share as
+/// `Arc<TgiService>` across threads.
+pub struct TgiService {
+    /// The owning handle with its mutable append state. Locked only
+    /// by appends (and writer-side accessors); never by readers.
+    writer: Mutex<Tgi>,
+    /// The latest published watermark. Readers take the read lock
+    /// just long enough to clone the `Arc`.
+    published: RwLock<Arc<TgiView>>,
+    /// Epoch of the latest published watermark, readable without any
+    /// lock. Stored with release ordering after the view swap.
+    watermark: AtomicU64,
+}
+
+impl TgiService {
+    /// Wrap an existing handle (built or re-opened) into a service,
+    /// publishing its current state as the first watermark.
+    pub fn from_handle(tgi: Tgi) -> Arc<TgiService> {
+        let view = Arc::new(tgi.view());
+        let watermark = AtomicU64::new(view.epoch());
+        Arc::new(TgiService {
+            writer: Mutex::new(tgi),
+            published: RwLock::new(view),
+            watermark,
+        })
+    }
+
+    /// Build an index over `events` on a fresh simulated cluster and
+    /// serve it. Panics on write failure; see
+    /// [`TgiService::try_build`].
+    pub fn build(cfg: TgiConfig, store_cfg: StoreConfig, events: &[Event]) -> Arc<TgiService> {
+        TgiService::from_handle(Tgi::build(cfg, store_cfg, events))
+    }
+
+    /// Fallible [`TgiService::build`].
+    pub fn try_build(
+        cfg: TgiConfig,
+        store_cfg: StoreConfig,
+        events: &[Event],
+    ) -> Result<Arc<TgiService>, BuildError> {
+        Ok(TgiService::from_handle(Tgi::try_build(
+            cfg, store_cfg, events,
+        )?))
+    }
+
+    /// Fallible build on an existing store (see [`Tgi::try_build_on`]).
+    pub fn try_build_on(
+        cfg: TgiConfig,
+        store: Arc<SimStore>,
+        events: &[Event],
+    ) -> Result<Arc<TgiService>, BuildError> {
+        Ok(TgiService::from_handle(Tgi::try_build_on(
+            cfg, store, events,
+        )?))
+    }
+
+    /// Pin the latest published watermark. The returned view is
+    /// immutable: every query through it answers from the sealed
+    /// prefix of that watermark, unaffected by concurrent appends.
+    /// Pin once per logical query (or per request) and run every
+    /// sub-query against the same view — that is what makes a
+    /// multi-fetch answer internally consistent.
+    pub fn pin(&self) -> Arc<TgiView> {
+        Arc::clone(&self.published.read())
+    }
+
+    /// Epoch of the latest published watermark (lock-free).
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Append a batch of events, publishing a new watermark on
+    /// success. Appends serialize on the writer lock; readers are
+    /// never blocked — they keep answering at the previous watermark
+    /// until the swap, and at their pinned view regardless.
+    ///
+    /// On error the service publishes nothing: the writer is poisoned
+    /// (see [`Tgi::try_append_events`]) and every reader — pinned or
+    /// future — stays at the last durable watermark. Returns the new
+    /// watermark epoch on success.
+    pub fn try_append_events(&self, events: &[Event]) -> Result<u64, BuildError> {
+        let mut writer = self.writer.lock();
+        writer.try_append_events(events)?;
+        // Publish only after the append's rows are flushed and the
+        // graph descriptor is durable (both happen inside
+        // `try_append_events`, before it returns Ok): watermark
+        // publication must never make unflushed rows reachable.
+        let view = Arc::new(writer.view());
+        let epoch = view.epoch();
+        *self.published.write() = view;
+        self.watermark.store(epoch, Ordering::Release);
+        Ok(epoch)
+    }
+
+    /// Panicking wrapper over [`TgiService::try_append_events`]; see
+    /// the crate's infallible/fallible API convention.
+    pub fn append_events(&self, events: &[Event]) -> u64 {
+        self.try_append_events(events).unwrap_or_else(|e| {
+            // hgs-lint: allow(no-panic-in-try, "documented panic bridge of the infallible service API; try_append_events surfaces the error")
+            panic!(
+                "TGI service append failed ({e}); use try_append_events to handle write failures"
+            )
+        })
+    }
+
+    /// Whether an earlier append failed partway, refusing further
+    /// appends (the read side keeps serving the last watermark).
+    pub fn is_poisoned(&self) -> bool {
+        self.writer.lock().is_poisoned()
+    }
+
+    /// Set the writer's client width (clamped to host parallelism;
+    /// see [`Tgi::set_clients`]). Takes effect for subsequent appends
+    /// and for views published after the next append.
+    pub fn set_clients(&self, c: usize) {
+        self.writer.lock().set_clients(c);
+    }
+
+    /// [`TgiService::set_clients`] without the clamp (see
+    /// [`Tgi::set_clients_forced`]).
+    pub fn set_clients_forced(&self, c: usize) {
+        self.writer.lock().set_clients_forced(c);
+    }
+
+    /// Aggregated counters of the shared read cache (all views of
+    /// this service share one cache; see [`crate::read_cache`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pin().cache_stats()
+    }
+
+    /// Re-budget the shared read cache (see
+    /// [`TgiView::set_read_cache_budget`]).
+    pub fn set_read_cache_budget(&self, bytes: usize) {
+        self.pin().set_read_cache_budget(bytes);
+    }
+
+    /// The backing store of the served index.
+    pub fn store(&self) -> Arc<SimStore> {
+        Arc::clone(self.pin().store())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgs_delta::EventKind;
+
+    /// A growing chain with one event per timestamp, so the history
+    /// can be split into append batches at any index.
+    fn chain_events(n: u64) -> Vec<Event> {
+        let mut evs = Vec::new();
+        let mut t = 1;
+        for i in 0..n {
+            evs.push(Event::new(t, EventKind::AddNode { id: i }));
+            t += 1;
+            if i > 0 {
+                evs.push(Event::new(
+                    t,
+                    EventKind::AddEdge {
+                        src: i - 1,
+                        dst: i,
+                        weight: 1.0,
+                        directed: false,
+                    },
+                ));
+                t += 1;
+            }
+        }
+        evs
+    }
+
+    #[test]
+    fn watermark_advances_per_append_and_pins_are_stable() {
+        let evs = chain_events(60);
+        let svc = TgiService::build(
+            TgiConfig::default()
+                .with_timespan(50)
+                .with_eventlist_size(20),
+            StoreConfig::new(4, 1),
+            &evs[..40],
+        );
+        let w0 = svc.watermark();
+        assert_eq!(w0, 1, "initial build publishes the first watermark");
+        let pinned = svc.pin();
+        assert_eq!(pinned.epoch(), w0);
+        let t = pinned.end_time();
+        let before = pinned.snapshot(t);
+        let w1 = svc.append_events(&evs[40..]);
+        assert_eq!(w1, w0 + 1);
+        assert_eq!(svc.watermark(), w1);
+        // The pinned view still answers from its own sealed prefix...
+        assert_eq!(pinned.snapshot(t), before);
+        assert_eq!(pinned.epoch(), w0);
+        // ...while a fresh pin sees the appended history.
+        let now = svc.pin();
+        assert_eq!(now.epoch(), w1);
+        assert!(now.event_count() > pinned.event_count());
+    }
+
+    #[test]
+    fn readers_pin_across_concurrent_appends() {
+        let evs = chain_events(300);
+        let svc = TgiService::build(
+            TgiConfig::default()
+                .with_timespan(100)
+                .with_eventlist_size(40)
+                .with_horizontal(2),
+            StoreConfig::new(4, 1),
+            &evs[..100],
+        );
+        let pinned = svc.pin();
+        let t = pinned.end_time();
+        let baseline = pinned.snapshot(t);
+        std::thread::scope(|s| {
+            let svc = &svc;
+            let evs = &evs;
+            let reader = {
+                let pinned = Arc::clone(&pinned);
+                let baseline = baseline.clone();
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        assert_eq!(pinned.snapshot(t), baseline);
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            s.spawn(move || {
+                for batch in evs[100..].chunks(50) {
+                    svc.append_events(batch);
+                }
+            });
+            reader.join().expect("reader panicked");
+        });
+        let batches = evs[100..].chunks(50).count() as u64;
+        assert_eq!(svc.watermark(), 1 + batches, "one publication per append");
+        let latest = svc.pin();
+        assert_eq!(
+            latest.snapshot(latest.end_time()).cardinality(),
+            300,
+            "latest watermark sees the whole history"
+        );
+    }
+}

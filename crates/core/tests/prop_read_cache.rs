@@ -175,6 +175,89 @@ fn warm_working_set_hits_the_cache() {
     assert!(s_warm.bytes <= s_warm.budget);
 }
 
+/// Concurrent mixed-key traffic over a live service: the lock-striped
+/// cache's aggregated `cache_stats()` must stay coherent while four
+/// reader threads hammer different shards — retained bytes within the
+/// summed per-shard budgets, the budget reporting exactly the
+/// configured total, counters monotone — and a post-quiesce warm pass
+/// over the same working set must hit. (Key-level sharded-reference
+/// properties live in `read_cache.rs` unit tests.)
+#[test]
+fn concurrent_readers_aggregate_shard_stats_coherently() {
+    let events: Vec<Event> = (0..5_000u64)
+        .map(|i| {
+            Event::new(
+                i,
+                if i % 3 == 0 {
+                    EventKind::AddNode { id: i % 350 }
+                } else {
+                    EventKind::AddEdge {
+                        src: i % 350,
+                        dst: (i * 13) % 350,
+                        weight: 1.0,
+                        directed: false,
+                    }
+                },
+            )
+        })
+        .collect();
+    let end = events.last().unwrap().time;
+    let budget = 2usize << 20;
+    let svc = hgs_core::TgiService::build(
+        TgiConfig {
+            events_per_timespan: 1_500,
+            eventlist_size: 200,
+            partition_size: 60,
+            read_cache_bytes: budget,
+            ..TgiConfig::default()
+        },
+        StoreConfig::new(3, 1),
+        &events,
+    );
+    const { assert!(hgs_core::DEFAULT_READ_CACHE_SHARDS > 1, "striping is on") };
+    std::thread::scope(|s| {
+        let svc = &svc;
+        for r in 0..4usize {
+            s.spawn(move || {
+                let view = svc.pin();
+                for i in 0..12u64 {
+                    // Every thread touches its own time/node mix, so
+                    // traffic spreads across cache stripes.
+                    let t = end * ((r as u64 * 12 + i) % 16 + 1) / 16;
+                    let _snap = view.try_snapshot(t).expect("healthy");
+                    let _node = view.try_node_at((r as u64 * 31 + i * 7) % 350, t);
+                    let stats = view.cache_stats();
+                    assert!(
+                        stats.bytes <= stats.budget,
+                        "reader {r}: stripes overran the summed budget: {stats:?}"
+                    );
+                    assert_eq!(stats.budget, budget, "reader {r}: budget drifted");
+                }
+            });
+        }
+    });
+    let s1 = svc.cache_stats();
+    assert_eq!(s1.budget, budget);
+    assert!(s1.bytes <= s1.budget);
+    assert!(s1.insertions > 0, "cold pass populated the stripes");
+    assert!(s1.insertions >= s1.evictions, "ledger impossible: {s1:?}");
+    assert!(s1.hits + s1.misses > 0);
+
+    // Quiesced warm pass over a subset of the same working set: the
+    // aggregate hit counter moves, and the ledger still balances.
+    let view = svc.pin();
+    for i in 0..8u64 {
+        let _ = view.try_snapshot(end * (i % 16 + 1) / 16).expect("warm");
+    }
+    let s2 = svc.cache_stats();
+    assert!(s2.hits > s1.hits, "warm pass must hit: {s1:?} -> {s2:?}");
+    assert!(s2.bytes <= s2.budget);
+
+    // Draining every stripe returns the aggregate to exactly zero.
+    svc.set_read_cache_budget(0);
+    assert_eq!(svc.cache_stats().bytes, 0, "drain leak across stripes");
+}
+
 /// Columnar cache entries hold `Bytes` sub-slices of one shared
 /// backing slab per row. The cache charges each entry its fixed
 /// worst-case weight (backing + fully-decoded columns) exactly once

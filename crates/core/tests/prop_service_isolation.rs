@@ -1,0 +1,193 @@
+//! Watermark isolation as a property: reader threads querying a live
+//! [`TgiService`] — while a writer appends batches — must get answers
+//! **byte-identical** to a quiesced from-scratch [`Tgi::build`] over
+//! exactly the event prefix their pinned watermark denotes. Across
+//! storage layouts and client widths, no interleaving may expose a
+//! torn span, a shrunken graph, or a mixed-watermark answer.
+
+use std::sync::Arc;
+
+use hgs_core::{NodeHistory, Tgi, TgiConfig, TgiService};
+use hgs_delta::{AttrValue, Delta, Event, EventKind, StorageLayout, TimeRange};
+use hgs_store::{SimStore, StoreConfig};
+use proptest::prelude::*;
+
+const LABELS: [&str; 2] = ["Author", "Paper"];
+
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    let id = 0u64..24;
+    prop_oneof![
+        3 => id.clone().prop_map(|id| EventKind::AddNode { id }),
+        1 => id.clone().prop_map(|id| EventKind::RemoveNode { id }),
+        3 => (0u64..24, 0u64..24).prop_map(|(src, dst)| {
+            EventKind::AddEdge { src, dst, weight: 1.0, directed: false }
+        }),
+        1 => (0u64..24, 0u64..24).prop_map(|(src, dst)| EventKind::RemoveEdge { src, dst }),
+        2 => (id, 0usize..2).prop_map(|(id, l)| EventKind::SetNodeAttr {
+            id,
+            key: hgs_core::LABEL_KEY.into(),
+            value: AttrValue::Text(LABELS[l].into()),
+        }),
+    ]
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((arb_event_kind(), 0u64..3), 20..200).prop_map(|kinds| {
+        let mut t = 1u64;
+        kinds
+            .into_iter()
+            .map(|(kind, gap)| {
+                t += gap;
+                Event::new(t, kind)
+            })
+            .collect()
+    })
+}
+
+fn arb_layout() -> impl Strategy<Value = StorageLayout> {
+    prop_oneof![Just(StorageLayout::RowWise), Just(StorageLayout::Columnar)]
+}
+
+fn small_cfg(layout: StorageLayout) -> TgiConfig {
+    TgiConfig {
+        events_per_timespan: 60,
+        eventlist_size: 16,
+        partition_size: 8,
+        horizontal_partitions: 2,
+        layout,
+        ..TgiConfig::default()
+    }
+}
+
+/// Cut the history into an initial build plus up to two append
+/// batches, with every cut advanced to a strict time boundary (an
+/// append must start strictly after the indexed end).
+fn boundaries(events: &[Event]) -> Vec<usize> {
+    let mut cuts = Vec::new();
+    for frac in [3usize, 2] {
+        let mut cut = (events.len() / frac).max(1);
+        while cut < events.len() && events[cut].time <= events[cut - 1].time {
+            cut += 1;
+        }
+        if cut < events.len() && cuts.last() != Some(&cut) {
+            cuts.push(cut);
+        }
+    }
+    cuts.push(events.len());
+    // hgs-lint: allow(sorted-dedup, "cuts are built in ascending index order: each boundary starts later and alignment only advances")
+    cuts.dedup();
+    cuts
+}
+
+/// Everything one pinned view answered, replayed later against the
+/// quiesced oracle of the same watermark.
+struct Observation {
+    epoch: u64,
+    snapshot: Delta,
+    histories: Vec<(u64, NodeHistory)>,
+    khop: Delta,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Concurrent pinned reads equal the quiesced rebuild at the
+    /// pinned watermark, for every layout and client width.
+    #[test]
+    fn pinned_reads_equal_quiesced_rebuild(
+        events in arb_history(),
+        layout in arb_layout(),
+        c in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let cuts = boundaries(&events);
+        let initial = cuts[0];
+        let mut handle = Tgi::try_build_on(
+            small_cfg(layout),
+            Arc::new(SimStore::new(StoreConfig::new(2, 1))),
+            &events[..initial],
+        )
+        .expect("build");
+        handle.set_clients_forced(c);
+        let svc = TgiService::from_handle(handle);
+
+        let observations: Vec<Observation> = std::thread::scope(|s| {
+            let svc = &svc;
+            let events = &events;
+            let cuts = &cuts;
+            let readers: Vec<_> = (0..2)
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        let mut last_epoch = 0;
+                        for i in 0..6 {
+                            let view = svc.pin();
+                            let epoch = view.epoch();
+                            assert!(epoch >= last_epoch, "watermark went backwards");
+                            last_epoch = epoch;
+                            let t = view.end_time();
+                            let range = TimeRange::new(0, t + 1);
+                            let nids = [(r + i) as u64 % 24, (r + i + 7) as u64 % 24];
+                            seen.push(Observation {
+                                epoch,
+                                snapshot: view.try_snapshot(t).expect("healthy"),
+                                histories: nids
+                                    .iter()
+                                    .map(|&n| {
+                                        (n, view.try_node_history(n, range).expect("healthy"))
+                                    })
+                                    .collect(),
+                                khop: view.try_khop(nids[0], t, 2).expect("healthy"),
+                            });
+                            std::thread::yield_now();
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            s.spawn(move || {
+                for w in cuts.windows(2) {
+                    svc.try_append_events(&events[w[0]..w[1]]).expect("append");
+                }
+            });
+            readers
+                .into_iter()
+                .flat_map(|r| r.join().expect("reader panicked"))
+                .collect()
+        });
+
+        // Epoch e was published after the initial build plus (e - 1)
+        // appends: its sealed prefix ends at cuts[e - 1].
+        let mut oracles: std::collections::BTreeMap<u64, Tgi> = std::collections::BTreeMap::new();
+        for ob in &observations {
+            let oracle = oracles.entry(ob.epoch).or_insert_with(|| {
+                let prefix = if ob.epoch == 1 { initial } else { cuts[ob.epoch as usize - 1] };
+                Tgi::try_build_on(
+                    small_cfg(layout),
+                    Arc::new(SimStore::new(StoreConfig::new(2, 1))),
+                    &events[..prefix],
+                )
+                .expect("oracle build")
+            });
+            let t = oracle.end_time();
+            prop_assert_eq!(
+                &ob.snapshot,
+                &oracle.try_snapshot(t).expect("oracle"),
+                "snapshot at watermark {}", ob.epoch
+            );
+            let range = TimeRange::new(0, t + 1);
+            for (n, h) in &ob.histories {
+                prop_assert_eq!(
+                    h,
+                    &oracle.try_node_history(*n, range).expect("oracle"),
+                    "history of {} at watermark {}", n, ob.epoch
+                );
+            }
+            let root = ob.histories[0].0;
+            prop_assert_eq!(
+                &ob.khop,
+                &oracle.try_khop(root, t, 2).expect("oracle"),
+                "khop of {} at watermark {}", root, ob.epoch
+            );
+        }
+    }
+}

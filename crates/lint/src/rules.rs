@@ -15,6 +15,9 @@ pub const RULES: &[&str] = &[
     "no-panic-in-try",
     "batched-store-discipline",
     "no-swallowed-result",
+    "lock-ordering",
+    "no-guard-across-callback",
+    "watermark-publish",
     "unused-allow",
     "malformed-allow",
 ];
@@ -358,6 +361,16 @@ const NON_RECEIVER_KEYWORDS: &[&str] = &[
     "for", "where", "impl", "dyn", "const", "static", "break", "continue", "yield", "await",
 ];
 
+/// Store methods that cross the network to fetch rows; holding a lock
+/// guard across one of these serializes every concurrent reader on
+/// the guard for the duration of the round trip (`lock-ordering`).
+const STORE_FETCH_METHODS: &[&str] = &["multi_get", "scan_prefix", "scan_prefix_batch"];
+
+/// Worker-pool entry points whose closures run on other threads; a
+/// parking_lot guard crossing one deadlocks the moment a worker
+/// touches the same lock (`no-guard-across-callback`).
+const CALLBACK_FNS: &[&str] = &["parallel_steal", "parallel_chunks"];
+
 /// Run every rule over one file.
 pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
     let scanned = scan(src);
@@ -365,6 +378,7 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
     let mut allows = parse_allows(&scanned, ctx, &mut findings);
     let cx = contexts(&scanned.tokens);
     let toks = &scanned.tokens;
+    let guards = guard_regions(toks);
 
     let strict_panic_crate = ctx.kind == FileKind::Lib
         && ctx
@@ -495,6 +509,95 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
             }
         }
 
+        // ---- lock-ordering / no-guard-across-callback ---------------
+        if !tcx.in_test && ctx.kind == FileKind::Lib {
+            if let Some(name) = t.ident() {
+                let is_call = next.is_some_and(|n| n.is_punct('('));
+                let store_fetch = is_call
+                    && prev.is_some_and(|p| p.is_punct('.'))
+                    && (STORE_FETCH_METHODS.contains(&name)
+                        || (matches!(name, "get" | "put" | "put_batch")
+                            && i >= 2
+                            && toks[i - 2].ident() == Some("store")));
+                let callback = is_call && CALLBACK_FNS.contains(&name);
+                if store_fetch || callback {
+                    if let Some(g) = guards.iter().find(|g| g.start <= i && i < g.end) {
+                        let (rule, message) = if store_fetch {
+                            (
+                                "lock-ordering",
+                                format!(
+                                    "store fetch `.{name}(...)` while the lock guard \
+                                     `{}` (taken on line {}) is still live; release \
+                                     the lock before the round trip, or annotate the \
+                                     audited lock order",
+                                    g.name, g.lock_line
+                                ),
+                            )
+                        } else {
+                            (
+                                "no-guard-across-callback",
+                                format!(
+                                    "`{name}(...)` fans work out to other threads \
+                                     while the lock guard `{}` (taken on line {}) is \
+                                     still live; a worker touching the same lock \
+                                     deadlocks — drop the guard first or annotate \
+                                     why the closure cannot contend",
+                                    g.name, g.lock_line
+                                ),
+                            )
+                        };
+                        findings.push(Finding {
+                            rule,
+                            file: ctx.rel_path.clone(),
+                            line: t.line,
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+
+        // ---- watermark-publish --------------------------------------
+        if !tcx.in_test
+            && ctx.kind == FileKind::Lib
+            && tcx.fn_id.is_some()
+            && t.ident() == Some("store")
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && next.is_some_and(|n| n.is_punct('('))
+            && i >= 2
+            && toks[i - 2].ident() == Some("watermark")
+        {
+            // A watermark publish followed — in the same fn — by a row
+            // write/flush means unflushed rows became reachable.
+            let mut j = i + 1;
+            while j < toks.len() && cx.per_token[j].fn_id == tcx.fn_id {
+                if let Some(m) = toks[j].ident() {
+                    let flushes = toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                        && j >= 1
+                        && toks[j - 1].is_punct('.')
+                        && (matches!(m, "flush" | "try_flush" | "put_batch" | "try_put_batch")
+                            || (m == "put" && j >= 2 && toks[j - 2].ident() == Some("store")));
+                    if flushes {
+                        findings.push(Finding {
+                            rule: "watermark-publish",
+                            file: ctx.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "watermark stored before the span's rows are \
+                                 durable: `.{m}(...)` on line {} runs after this \
+                                 `watermark.store(...)`; publish strictly after \
+                                 the flush, or annotate why the later write is \
+                                 not covered by this watermark",
+                                toks[j].line
+                            ),
+                        });
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+
         // ---- no-swallowed-result ------------------------------------
         if t.ident() == Some("let")
             && next.and_then(|n| n.ident()) == Some("_")
@@ -546,6 +649,110 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     FileReport { findings, allows }
+}
+
+/// A lexical region in which a lock guard bound by a `let` statement
+/// is live: from the end of the binding statement to the close of the
+/// enclosing block, or to an explicit `drop(<guard>)`.
+#[derive(Debug)]
+struct GuardRegion {
+    /// The bound guard's name, for the finding message.
+    name: String,
+    /// Line of the `let` that took the lock.
+    lock_line: u32,
+    /// First token index at which the guard is live.
+    start: usize,
+    /// Token index ending the region (exclusive).
+    end: usize,
+}
+
+/// Find every `let [mut] <name> = <expr>.lock();` (or `.read()` /
+/// `.write()`) statement and compute the guard's live region. Only
+/// tail-position lock calls bind a guard — `m.lock().take()` binds the
+/// *taken value* and releases the temporary guard at the `;`.
+fn guard_regions(toks: &[Token]) -> Vec<GuardRegion> {
+    // Brace depth per token; a `}` carries the depth of the block it
+    // closes, so the `}` ending the `let`'s block has depth <= the
+    // `let`'s own depth.
+    let mut depths = Vec::with_capacity(toks.len());
+    let mut depth = 0u32;
+    for t in toks {
+        match &t.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                depths.push(depth);
+            }
+            TokKind::Punct('}') => {
+                depths.push(depth);
+                depth = depth.saturating_sub(1);
+            }
+            _ => depths.push(depth),
+        }
+    }
+
+    let mut regions = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].ident() != Some("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).and_then(|t| t.ident()) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).and_then(|t| t.ident()) else {
+            continue;
+        };
+        // End of the statement: the first `;` outside any nesting.
+        let mut nest = 0i32;
+        let mut k = j + 1;
+        let mut stmt_end = None;
+        while k < toks.len() {
+            match &toks[k].kind {
+                TokKind::Punct('(' | '[' | '{') => nest += 1,
+                TokKind::Punct(')' | ']' | '}') => nest -= 1,
+                TokKind::Punct(';') if nest <= 0 => {
+                    stmt_end = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(stmt_end) = stmt_end else { continue };
+        let tail_is_lock = stmt_end >= 4
+            && toks[stmt_end - 1].is_punct(')')
+            && toks[stmt_end - 2].is_punct('(')
+            && toks[stmt_end - 3]
+                .ident()
+                .is_some_and(|m| matches!(m, "lock" | "read" | "write"))
+            && toks[stmt_end - 4].is_punct('.');
+        if !tail_is_lock {
+            continue;
+        }
+        // Live until the enclosing block closes or the guard is
+        // explicitly dropped.
+        let let_depth = depths[i];
+        let mut end = toks.len();
+        let mut m = stmt_end + 1;
+        while m < toks.len() {
+            let closes_block = toks[m].is_punct('}') && depths[m] <= let_depth;
+            let drops_guard = toks[m].ident() == Some("drop")
+                && toks.get(m + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(m + 2).and_then(|t| t.ident()) == Some(name);
+            if closes_block || drops_guard {
+                end = m;
+                break;
+            }
+            m += 1;
+        }
+        regions.push(GuardRegion {
+            name: name.to_string(),
+            lock_line: toks[i].line,
+            start: stmt_end + 1,
+            end,
+        });
+    }
+    regions
 }
 
 /// True when `toks[open]` is a `[` whose contents are exactly `..`

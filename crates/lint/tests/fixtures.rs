@@ -114,6 +114,37 @@ fn swallowed_result_fixture() {
 }
 
 #[test]
+fn lock_ordering_fixture() {
+    check("lock_ordering.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn guard_callback_fixture() {
+    check("guard_callback.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn watermark_publish_fixture() {
+    check("watermark_publish.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn concurrency_rules_are_off_in_tests() {
+    // A test may hold a guard across a fetch deliberately (e.g. to
+    // force contention); the discipline binds library code only.
+    let src = fixture("lock_ordering.rs");
+    let report = lint_source(&src, &ctx("crates/graph/tests/fixture.rs"));
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule != "lock-ordering" && f.rule != "no-guard-across-callback"),
+        "concurrency rules must not fire in test-like code: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
 fn allow_hygiene_fixture() {
     check("allows.rs", "crates/graph/src/fixture.rs", false);
 }

@@ -1,0 +1,40 @@
+// Fixture for the `watermark-publish` rule: the watermark epoch may
+// be stored only after the span's rows are durable — a publish
+// followed by a flush makes unflushed rows reachable to readers.
+
+pub fn publish_before_flush(watermark: &AtomicU64, buffer: &mut WriteBuffer, epoch: u64) {
+    watermark.store(epoch, Ordering::Release); // FIRES:watermark-publish
+    buffer.flush();
+}
+
+pub fn publish_before_batch_write(
+    watermark: &AtomicU64,
+    store: &Store,
+    epoch: u64,
+    rows: Vec<Row>,
+) {
+    watermark.store(epoch, Ordering::Release); // FIRES:watermark-publish
+    let written = store.put_batch(Table::Deltas, rows);
+    record(written);
+}
+
+pub fn flush_then_publish(watermark: &AtomicU64, buffer: &mut WriteBuffer, epoch: u64) -> usize {
+    let written = buffer.flush();
+    watermark.store(epoch, Ordering::Release); // clean: rows were durable first
+    written
+}
+
+pub fn publish_without_writes(watermark: &AtomicU64, epoch: u64) {
+    watermark.store(epoch, Ordering::Release); // clean: nothing left to flush
+}
+
+pub fn unrelated_atomic_store(counter: &AtomicU64, buffer: &mut WriteBuffer, n: u64) -> usize {
+    counter.store(n, Ordering::Relaxed); // clean: only a receiver named `watermark` fires
+    buffer.flush()
+}
+
+pub fn allowed_republish(watermark: &AtomicU64, buffer: &mut WriteBuffer, epoch: u64) {
+    // hgs-lint: allow(watermark-publish, "re-publishes an already-durable epoch; the flush below opens the next batch")
+    watermark.store(epoch, Ordering::Release);
+    let _written = buffer.flush();
+}

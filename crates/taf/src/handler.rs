@@ -16,10 +16,17 @@
 //! needs is down, instead of panicking mid-analytics; the classic
 //! `fetch()` names remain as panicking wrappers for healthy-cluster
 //! callers.
+//!
+//! A handler can bind either a single-owner [`Tgi`] handle
+//! ([`TgiHandler::new`]) or a live [`TgiService`]
+//! ([`TgiHandler::serving`]). In the latter case every `fetch()` pins
+//! the latest published watermark once at entry and runs all of its
+//! sub-queries against that one [`TgiView`], so an analytics answer
+//! never mixes two watermarks even while the service ingests.
 
 use std::sync::Arc;
 
-use hgs_core::{NodeHistory, Tgi};
+use hgs_core::{NodeHistory, Tgi, TgiService, TgiView};
 use hgs_delta::{AttrValue, Delta, FxHashSet, NodeId, TimeRange};
 use hgs_store::parallel::parallel_chunks;
 use hgs_store::StoreError;
@@ -29,10 +36,19 @@ use crate::son::SoN;
 use crate::sots::SoTS;
 use crate::subgraph_t::SubgraphT;
 
+/// Where the handler's reads come from: a single-owner handle, or a
+/// live [`TgiService`] whose watermark advances under concurrent
+/// appends.
+#[derive(Clone)]
+enum Source {
+    Handle(Arc<Tgi>),
+    Service(Arc<TgiService>),
+}
+
 /// Handle binding a TGI to a TAF worker pool.
 #[derive(Clone)]
 pub struct TgiHandler {
-    tgi: Arc<Tgi>,
+    source: Source,
     workers: usize,
 }
 
@@ -40,14 +56,42 @@ impl TgiHandler {
     /// Connect with `workers` analytics workers (the paper's `ma`).
     pub fn new(tgi: Arc<Tgi>, workers: usize) -> TgiHandler {
         TgiHandler {
-            tgi,
+            source: Source::Handle(tgi),
             workers: workers.max(1),
         }
     }
 
-    /// The underlying index.
+    /// Connect to a live [`TgiService`]: every fetch pins the latest
+    /// published watermark **once at entry** and runs all of its
+    /// sub-queries against that one view, so an analytics answer is
+    /// internally consistent even while the service ingests.
+    pub fn serving(service: Arc<TgiService>, workers: usize) -> TgiHandler {
+        TgiHandler {
+            source: Source::Service(service),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The underlying index handle. Panics for a service-backed
+    /// handler — there is no single owned handle there; use
+    /// [`TgiHandler::pin`] for a read view.
     pub fn tgi(&self) -> &Arc<Tgi> {
-        &self.tgi
+        match &self.source {
+            Source::Handle(tgi) => tgi,
+            Source::Service(_) => {
+                panic!("handler is service-backed; pin() a watermarked view instead")
+            }
+        }
+    }
+
+    /// Pin a read view: the handle's current state, or — for a
+    /// service-backed handler — the latest published watermark
+    /// ([`TgiService::pin`]).
+    pub fn pin(&self) -> Arc<TgiView> {
+        match &self.source {
+            Source::Handle(tgi) => Arc::new(tgi.view()),
+            Source::Service(service) => service.pin(),
+        }
     }
 
     /// Worker count.
@@ -59,7 +103,7 @@ impl TgiHandler {
     pub fn son(&self) -> SonQuery {
         SonQuery {
             handler: self.clone(),
-            range: TimeRange::new(0, self.tgi.end_time().max(1)),
+            range: TimeRange::new(0, self.pin().end_time().max(1)),
             ids: None,
             attr_eq: None,
         }
@@ -69,7 +113,7 @@ impl TgiHandler {
     pub fn sots(&self, k: usize) -> SotsQuery {
         SotsQuery {
             handler: self.clone(),
-            range: TimeRange::new(0, self.tgi.end_time().max(1)),
+            range: TimeRange::new(0, self.pin().end_time().max(1)),
             roots: None,
             roots_attr_eq: None,
             k,
@@ -103,7 +147,7 @@ impl SonQuery {
     /// attribute `key` equals `value` at the range's last timepoint
     /// (the [`SoN::select_attr`] predicate, pushed into the fetch).
     /// With secondary indexes on, one index row names the matching
-    /// nodes ([`Tgi::try_nodes_matching_at`]) and only their
+    /// nodes ([`TgiView::try_nodes_matching_at`](hgs_core::TgiView::try_nodes_matching_at)) and only their
     /// micro-partitions are fetched; with the index off — or when an
     /// explicit [`SonQuery::select_ids`] set is also given — the fetch
     /// is unchanged and the predicate runs as a post-filter.
@@ -125,7 +169,11 @@ impl SonQuery {
     /// [`StoreError::Unavailable`] instead of a partial SoN (or a
     /// worker panic).
     pub fn try_fetch(self) -> Result<SoN, StoreError> {
-        let tgi = &self.handler.tgi;
+        // Pin ONCE at entry: every sub-fetch below answers from this
+        // one watermarked view, so the SoN is internally consistent
+        // even while a service-backed source keeps appending.
+        let pinned = self.handler.pin();
+        let tgi: &TgiView = &pinned;
         let workers = self.handler.workers;
         let range = self.range;
         let mut post_filter: Option<(String, String)> = None;
@@ -219,7 +267,7 @@ impl SotsQuery {
     /// Root the subgraphs at the nodes whose attribute `key` equals
     /// `value` at the range start. With secondary indexes on the roots
     /// come from one index row instead of a materialized snapshot
-    /// ([`Tgi::try_nodes_matching_at`], which itself falls back to
+    /// ([`TgiView::try_nodes_matching_at`](hgs_core::TgiView::try_nodes_matching_at), which itself falls back to
     /// materialization when the index is off). An explicit
     /// [`SotsQuery::roots`] set takes precedence.
     pub fn roots_matching(mut self, key: &str, value: &str) -> SotsQuery {
@@ -240,7 +288,9 @@ impl SotsQuery {
     /// [`StoreError::Unavailable`] from any worker's k-hop or history
     /// fetch instead of panicking mid-analytics.
     pub fn try_fetch(self) -> Result<SoTS, StoreError> {
-        let tgi = &self.handler.tgi;
+        // Pin ONCE at entry (same discipline as `SonQuery::try_fetch`).
+        let pinned = self.handler.pin();
+        let tgi: &TgiView = &pinned;
         let workers = self.handler.workers;
         let range = self.range;
         let k = self.k;
@@ -600,6 +650,61 @@ mod tests {
             h.tgi().store().heal_machine(m);
         }
         assert!(h.son().timeslice(range).try_fetch().is_ok());
+    }
+
+    #[test]
+    fn service_backed_fetch_pins_one_watermark_under_ingest() {
+        let events = LabeledChurn {
+            nodes: 120,
+            edge_events: 900,
+            label_flips: 300,
+            seed: 9,
+        }
+        .generate();
+        let split = events.len() / 2;
+        // The service starts with the first half of the history...
+        let svc = hgs_core::TgiService::build(
+            TgiConfig {
+                events_per_timespan: 400,
+                eventlist_size: 80,
+                partition_size: 40,
+                horizontal_partitions: 2,
+                ..TgiConfig::default()
+            },
+            StoreConfig::new(2, 1),
+            &events[..split],
+        );
+        let h = TgiHandler::serving(Arc::clone(&svc), 2);
+        let w0 = svc.watermark();
+        let range = TimeRange::new(0, svc.pin().end_time() + 1);
+        let before = h.son().timeslice(range).fetch();
+        // ...and keeps answering the same SoN for the same timeslice
+        // while the second half streams in: each fetch pins whatever
+        // watermark is current, and sealed history never changes.
+        std::thread::scope(|s| {
+            let svc = &svc;
+            let events = &events;
+            s.spawn(move || {
+                for batch in events[split..].chunks(200) {
+                    svc.append_events(batch);
+                }
+            });
+            for _ in 0..5 {
+                let again = h.son().timeslice(range).fetch();
+                assert_eq!(again.len(), before.len());
+                for n in before.nodes() {
+                    let b = again.get(n.id()).expect("node vanished mid-ingest");
+                    assert_eq!(b.events(), n.events(), "history of {}", n.id());
+                }
+                std::thread::yield_now();
+            }
+        });
+        assert!(svc.watermark() > w0, "ingest advanced the watermark");
+        // A fresh query (default timeslice re-reads the pinned end
+        // time) now covers the full history.
+        let full = h.son().fetch();
+        let final_state = Delta::snapshot_by_replay(&events, events.last().unwrap().time);
+        assert_eq!(full.len(), final_state.cardinality());
     }
 
     #[test]
