@@ -49,6 +49,7 @@ impl CopyIndex {
             }
             times.push(t);
             // hgs-lint: allow(batched-store-discipline, "row-at-a-time Copy baseline is the paper's comparison target, not a batched hot path")
+            // hgs-lint: allow(bounded-retry, "the while walks a finite event stream, the cursor advances every iteration; each put writes a new key, nothing is re-issued")
             store.put(
                 Table::Deltas,
                 &Self::key(t),

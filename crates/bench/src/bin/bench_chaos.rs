@@ -1,0 +1,47 @@
+//! Chaos benchmark: availability, latency and retry cost under the
+//! canonical seeded fault schedule, plus the deterministic repair
+//! scenario, emitted as JSON (`BENCH_chaos.json`) so CI and later PRs
+//! can track what the fault/retry/repair layer costs (plan_zero vs
+//! baseline) and what it buys (chaos-phase availability, byte-identical
+//! repair).
+//!
+//! ```text
+//! cargo run --release -p hgs-bench --bin bench_chaos -- BENCH_chaos.json
+//! ```
+
+use hgs_bench::experiments::chaos;
+use hgs_bench::experiments::chaos::CHAOS_SEED;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let (rows, repair) = chaos::chaos();
+    let mut json =
+        format!("{{\n  \"dataset\": \"WikiGrowth\",\n  \"seed\": {CHAOS_SEED},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"clients\": {}, \"ops\": {}, \"ok\": {}, \
+             \"availability\": {:.4}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+             \"model_secs\": {:.6}, \"retries\": {}, \"breaker_opens\": {}}}{}\n",
+            r.phase,
+            r.clients,
+            r.ops,
+            r.ok,
+            r.availability,
+            r.p50_us,
+            r.p99_us,
+            r.model_secs,
+            r.retries,
+            r.breaker_opens,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"repair\": {{\"degraded_rows\": {}, \"repaired\": {}, \
+         \"still_degraded\": {}, \"byte_identical\": {}}}\n}}\n",
+        repair.degraded_rows, repair.repaired, repair.still_degraded, repair.byte_identical
+    ));
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+}

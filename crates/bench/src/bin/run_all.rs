@@ -26,5 +26,6 @@ fn main() {
     e::decode();
     e::labels();
     e::serve();
+    e::chaos();
     eprintln!("# run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -262,6 +262,9 @@ impl Tgi {
         c: usize,
     ) -> Result<Tgi, BuildError> {
         cfg.validate();
+        // Runtime knob: every read/write the index issues from here on
+        // retries under this policy.
+        store.set_retry_policy(cfg.retry);
         let mut tgi = Tgi {
             view: TgiView {
                 cfg,

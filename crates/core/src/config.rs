@@ -74,6 +74,12 @@ pub struct TgiConfig {
     /// index — the query path must know whether the rows exist.
     /// Disabling falls back to explicit snapshot materialization.
     pub secondary_indexes: bool,
+    /// Retry/backoff/circuit-breaker policy the store applies to every
+    /// read and batched write issued on behalf of this index (see
+    /// [`hgs_store::RetryPolicy`]). Installed on the store by the
+    /// build/open path. Like `write_batch_rows` this is a runtime
+    /// knob, not persisted with the index.
+    pub retry: hgs_store::RetryPolicy,
 }
 
 impl Default for TgiConfig {
@@ -93,6 +99,7 @@ impl Default for TgiConfig {
             write_batch_rows: DEFAULT_WRITE_BATCH_ROWS,
             layout: StorageLayout::Columnar,
             secondary_indexes: true,
+            retry: hgs_store::RetryPolicy::default(),
         }
     }
 }
@@ -129,6 +136,7 @@ impl TgiConfig {
             self.read_cache_shards >= 1,
             "need at least one read-cache stripe"
         );
+        self.retry.validate();
     }
 
     /// A configuration that makes TGI equivalent to the DeltaGraph
@@ -220,6 +228,13 @@ impl TgiConfig {
         self.secondary_indexes = on;
         self
     }
+
+    /// Set the store retry/backoff/breaker policy (validated by
+    /// [`TgiConfig::validate`]).
+    pub fn with_retry(mut self, retry: hgs_store::RetryPolicy) -> TgiConfig {
+        self.retry = retry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -276,5 +291,10 @@ mod tests {
         ));
         assert!(c.secondary_indexes, "secondary indexes default on");
         assert!(!c.with_secondary_indexes(false).secondary_indexes);
+        let policy = hgs_store::RetryPolicy {
+            max_attempts: 2,
+            ..hgs_store::RetryPolicy::default()
+        };
+        assert_eq!(c.with_retry(policy).retry, policy);
     }
 }

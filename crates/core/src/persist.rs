@@ -147,6 +147,9 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
     // Also a runtime knob (cache striping), not persisted: reopened
     // handles serve with the default stripe count.
     let read_cache_shards = crate::read_cache::DEFAULT_READ_CACHE_SHARDS;
+    // Retry/breaker policy is likewise runtime-only: reopened handles
+    // install the default policy on their store.
+    let retry = hgs_store::RetryPolicy::default();
     // Descriptors written before the columnar layout existed are
     // row-wise by construction.
     let layout = match get_varint(b) {
@@ -180,6 +183,7 @@ pub(crate) fn decode_config(mut buf: &[u8]) -> Result<TgiConfig, CodecError> {
         write_batch_rows,
         layout,
         secondary_indexes,
+        retry,
     })
 }
 

@@ -37,9 +37,12 @@
 //! A failed append poisons the *writer* exactly as on a plain [`Tgi`]
 //! handle ([`BuildError::Poisoned`] on retry) and publishes nothing:
 //! already-pinned readers and new [`TgiService::pin`] calls keep
-//! answering at the last durable watermark. Recovery is the same as
-//! for the plain handle — rebuild, or re-open from the store on a
-//! healed cluster and wrap the new handle in a fresh service.
+//! answering at the last durable watermark. Once the cluster heals,
+//! [`TgiService::try_recover`] re-opens the writer from the durable
+//! state *in place* — same service, same shared cache, watermark
+//! sequence intact — and finishes with an anti-entropy
+//! [`TgiService::try_repair`] pass that re-replicates any rows a
+//! degraded write left short (see [`SimStore::try_repair`]).
 //!
 //! # Caching
 //!
@@ -55,10 +58,11 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use hgs_delta::Event;
-use hgs_store::{SimStore, StoreConfig};
+use hgs_store::{RepairReport, SimStore, StoreConfig};
 
 use crate::build::{BuildError, Tgi, TgiView};
 use crate::config::TgiConfig;
+use crate::persist::OpenError;
 use crate::read_cache::CacheStats;
 
 /// A shared, concurrently-usable TGI: one serialized writer, any
@@ -202,6 +206,53 @@ impl TgiService {
     pub fn store(&self) -> Arc<SimStore> {
         Arc::clone(self.pin().store())
     }
+
+    /// Run one anti-entropy pass over the backing store
+    /// ([`SimStore::try_repair`]): re-replicate every row an earlier
+    /// degraded write left under-replicated. Honest about progress —
+    /// rows whose replicas are still refusing stay recorded and are
+    /// reported as `still_degraded`.
+    pub fn try_repair(&self) -> Result<RepairReport, OpenError> {
+        self.store().try_repair().map_err(OpenError::Store)
+    }
+
+    /// Recover a poisoned writer in place and repair the store.
+    ///
+    /// A failed append leaves the writer poisoned at the last durable
+    /// watermark (readers never stopped serving it). Once the cluster
+    /// heals — machines healed, fault plan detached or its windows
+    /// elapsed — this re-opens the index from the store's durable
+    /// state, carries the service's runtime state over to the fresh
+    /// writer (shared read cache, client width, runtime config knobs,
+    /// watermark continuity), and finishes with an anti-entropy pass
+    /// so rows degraded by the same fault window are re-replicated.
+    /// Appends work again afterwards; the next one publishes the next
+    /// epoch in the service's watermark sequence.
+    ///
+    /// On an unpoisoned writer this is just [`TgiService::try_repair`]
+    /// behind the writer lock. If the store is still refusing reads
+    /// the re-open fails with an honest [`OpenError`] and the writer
+    /// stays poisoned — call again once the cluster actually healed.
+    pub fn try_recover(&self) -> Result<RepairReport, OpenError> {
+        let mut writer = self.writer.lock();
+        if writer.is_poisoned() {
+            let store = Arc::clone(writer.store());
+            let mut reopened = Tgi::open(store)?;
+            // Runtime state is not persisted; carry it across the
+            // swap so recovery is invisible to everything but the
+            // poison flag.
+            reopened.view.read_cache = Arc::clone(&writer.view.read_cache);
+            reopened.view.clients = writer.view.clients;
+            reopened.view.cfg.write_batch_rows = writer.view.cfg.write_batch_rows;
+            reopened.view.cfg.read_cache_shards = writer.view.cfg.read_cache_shards;
+            reopened.view.cfg.retry = writer.view.cfg.retry;
+            // `Tgi::open` restarts epochs at 1; the service's sequence
+            // must keep ascending past the already-published watermark.
+            reopened.view.epoch = self.watermark.load(Ordering::Acquire);
+            *writer = reopened;
+        }
+        writer.store().try_repair().map_err(OpenError::Store)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +310,55 @@ mod tests {
         let now = svc.pin();
         assert_eq!(now.epoch(), w1);
         assert!(now.event_count() > pinned.event_count());
+    }
+
+    #[test]
+    fn recover_unpoisons_the_writer_and_keeps_the_watermark_sequence() {
+        let evs = chain_events(120);
+        let store = Arc::new(SimStore::new(StoreConfig::new(4, 2)));
+        let svc = TgiService::try_build_on(
+            TgiConfig::default()
+                .with_timespan(50)
+                .with_eventlist_size(20),
+            Arc::clone(&store),
+            &evs[..40],
+        )
+        .expect("clean build");
+        let w1 = svc.append_events(&evs[40..80]);
+        // Take the whole cluster down transiently: the next append
+        // fails and poisons the writer, readers stay at w1.
+        let mut plan = hgs_store::FaultPlan::new(0xBAD);
+        for m in 0..store.machine_count() {
+            plan = plan.with_outage(m, 0, u64::MAX);
+        }
+        store.set_fault_plan(Some(plan));
+        assert!(svc.try_append_events(&evs[80..]).is_err());
+        assert!(svc.is_poisoned());
+        assert_eq!(svc.watermark(), w1);
+        let pinned = svc.pin();
+        // Recovery while the cluster is still refusing is honest.
+        assert!(svc.try_recover().is_err());
+        assert!(svc.is_poisoned());
+        // Heal (detach the plan), recover in place, append again.
+        store.set_fault_plan(None);
+        let report = svc.try_recover().expect("healed cluster reopens");
+        assert_eq!(report.still_degraded, 0);
+        assert!(!svc.is_poisoned());
+        let w2 = svc.append_events(&evs[80..]);
+        assert_eq!(w2, w1 + 1, "watermark sequence survives recovery");
+        assert_eq!(pinned.epoch(), w1, "pre-failure pins are untouched");
+        // The recovered service answers identically to a never-faulted
+        // build over the same history.
+        let oracle = TgiService::build(
+            TgiConfig::default()
+                .with_timespan(50)
+                .with_eventlist_size(20),
+            StoreConfig::new(4, 2),
+            &evs,
+        );
+        let now = svc.pin();
+        let t = now.end_time();
+        assert_eq!(now.snapshot(t), oracle.pin().snapshot(t));
     }
 
     #[test]

@@ -50,7 +50,13 @@ pub fn measure<R>(
     let diff = SimStore::stats_since(&after, &before);
     let report = FetchReport {
         wall_secs: wall,
-        modeled_secs: model.estimate_seconds(&diff, clients),
+        // Fault-plan latency multipliers (straggler machines) scale the
+        // modelled server-side term; an empty slice is the no-op case.
+        modeled_secs: model.estimate_seconds_with_latency(
+            &diff,
+            clients,
+            &store.latency_multipliers(),
+        ),
         lookups: diff.iter().map(|m| m.gets).sum(),
         scans: diff.iter().map(|m| m.scans).sum(),
         rows: diff.iter().map(|m| m.rows_read).sum(),

@@ -111,3 +111,29 @@ fn corrupt_attr_index_rows_surface_corrupt_not_panic() {
         )
         .is_ok());
 }
+
+/// Wire-level corruption via the fault plan: a `CorruptRead` verdict
+/// hands the decoder undecodable bytes exactly like the at-rest
+/// rewrites above — same `StoreError::Corrupt`, never a panic — but
+/// the *stored* rows are untouched, so detaching the plan restores
+/// byte-identical answers with no repair needed.
+#[test]
+fn corrupt_on_read_fault_surfaces_corrupt_and_leaves_storage_intact() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 2), &events);
+    let reference = tgi.try_snapshot(t).expect("healthy cluster");
+    // Cold cache: every read below must hit the (corrupting) wire.
+    tgi.set_read_cache_budget(0);
+    tgi.store().set_fault_plan(Some(
+        hgs_store::FaultPlan::new(0xC0FF).with_corrupt_per_mille(1000),
+    ));
+    assert!(matches!(tgi.try_snapshot(t), Err(StoreError::Corrupt(_))));
+    assert!(matches!(tgi.try_node_at(0, t), Err(StoreError::Corrupt(_))));
+    tgi.store().set_fault_plan(None);
+    assert_eq!(
+        tgi.try_snapshot(t).expect("storage was never touched"),
+        reference
+    );
+}

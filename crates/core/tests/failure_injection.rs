@@ -141,9 +141,7 @@ fn evicted_row_refetch_surfaces_unavailable_not_stale_data() {
     ));
 
     // Healed cluster: the same read round-trips to the same answer.
-    for m in 0..tgi.store().machine_count() {
-        tgi.store().heal_machine(m);
-    }
+    tgi.store().heal_all();
     assert_eq!(tgi.try_node_at(nid, t).unwrap(), healthy);
 }
 
@@ -266,9 +264,7 @@ fn failed_append_poisons_the_handle() {
     assert!(tgi.is_poisoned());
     // Even on a healed cluster, retrying the batch on this handle
     // would double-apply events: the append must refuse.
-    for m in 0..tgi.store().machine_count() {
-        tgi.store().heal_machine(m);
-    }
+    tgi.store().heal_all();
     assert!(matches!(
         tgi.try_append_events(&events[mid..]),
         Err(BuildError::Poisoned)
@@ -436,9 +432,7 @@ fn label_index_reads_surface_total_failure_and_heal() {
         tgi.try_attr_history(0, hgs_core::LABEL_KEY),
         Err(StoreError::Unavailable { .. })
     ));
-    for m in 0..tgi.store().machine_count() {
-        tgi.store().heal_machine(m);
-    }
+    tgi.store().heal_all();
     // Healed: indexed answers agree with the materialized oracle.
     let got = tgi.try_nodes_with_label_at("Label00", t).expect("healed");
     let want = tgi
@@ -484,13 +478,86 @@ fn disabled_index_fallback_is_explicit_never_silent() {
         off.try_attr_history(0, hgs_core::LABEL_KEY),
         Err(StoreError::Unavailable { .. })
     ));
-    for m in 0..off.store().machine_count() {
-        off.store().heal_machine(m);
-    }
+    off.store().heal_all();
     // Healed, the fallback answers the same as an indexed build.
     let on = Tgi::build(cfg(), StoreConfig::new(3, 1), &events);
     assert_eq!(
         off.try_nodes_with_label_at("Label00", t).expect("fallback"),
         on.try_nodes_with_label_at("Label00", t).expect("indexed"),
     );
+}
+
+/// Transient outages are not machine deaths: a seeded [`FaultPlan`]
+/// window makes every replica refuse for a stretch of *simulated
+/// time*, the read path surfaces `StoreError::Transient` (honest
+/// about the retry budget it burned), and once the window elapses the
+/// same read answers again — nothing is ever healed by hand.
+#[test]
+fn transient_outage_surfaces_transient_and_self_heals_with_time() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 1), &events);
+    let reference = tgi.try_snapshot(t).expect("healthy cluster");
+    // A zero cache budget forces every read below to the store.
+    tgi.set_read_cache_budget(0);
+    let store = tgi.store();
+    let mut plan = hgs_store::FaultPlan::new(7);
+    for m in 0..store.machine_count() {
+        plan = plan.with_outage(m, 0, 100_000);
+    }
+    store.set_fault_plan(Some(plan));
+    match tgi.try_snapshot(t) {
+        Err(StoreError::Transient { .. }) => {}
+        Err(other) => panic!("unexpected error kind: {other}"),
+        Ok(_) => panic!("a total outage cannot answer"),
+    }
+    // Simulated time passes the window (plus breaker cooldown): the
+    // identical read round-trips to the identical answer.
+    store.advance_clock(1_000_000);
+    assert_eq!(tgi.try_snapshot(t).expect("window elapsed"), reference);
+}
+
+/// Per-request flakes are absorbed by retries and replica failover
+/// (a retry only happens when every replica flaked in one sweep, so
+/// the rate is high enough to provoke some):
+/// every readable answer is byte-identical to the fault-free
+/// reference, any error is an honest `Transient`, and the stats
+/// snapshot shows the retry layer did the absorbing.
+#[test]
+fn flaky_cluster_answers_exactly_or_errs_honestly() {
+    let events = trace();
+    let end = events.last().unwrap().time;
+    let t = end / 2;
+    let tgi = Tgi::build(cfg(), StoreConfig::new(4, 2), &events);
+    let reference = tgi.try_snapshot(t).expect("healthy cluster");
+    tgi.set_read_cache_budget(0);
+    let store = tgi.store();
+    store.set_retry_policy(hgs_store::RetryPolicy {
+        max_attempts: 8,
+        breaker_threshold: 0,
+        ..hgs_store::RetryPolicy::default()
+    });
+    store.set_fault_plan(Some(
+        hgs_store::FaultPlan::new(0xF1A6).with_flake_per_mille(250),
+    ));
+    let mut ok = 0;
+    for _ in 0..8 {
+        match tgi.try_snapshot(t) {
+            Ok(snap) => {
+                assert_eq!(snap, reference, "flaky reads must never shrink the graph");
+                ok += 1;
+            }
+            Err(StoreError::Transient { .. }) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+    assert!(
+        ok > 0,
+        "25% flakes under failover + 8 attempts mostly answer"
+    );
+    let retries: u64 = store.stats_snapshot().iter().map(|m| m.retries).sum();
+    assert!(retries > 0, "the answers came through the retry layer");
+    store.set_fault_plan(None);
+    assert_eq!(tgi.try_snapshot(t).expect("detached plan"), reference);
 }

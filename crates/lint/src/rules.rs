@@ -18,6 +18,7 @@ pub const RULES: &[&str] = &[
     "lock-ordering",
     "no-guard-across-callback",
     "watermark-publish",
+    "bounded-retry",
     "unused-allow",
     "malformed-allow",
 ];
@@ -371,6 +372,18 @@ const STORE_FETCH_METHODS: &[&str] = &["multi_get", "scan_prefix", "scan_prefix_
 /// touches the same lock (`no-guard-across-callback`).
 const CALLBACK_FNS: &[&str] = &["parallel_steal", "parallel_chunks"];
 
+/// Store round trips whose re-issue inside a `loop`/`while` is a
+/// hand-rolled retry loop (`bounded-retry`): without the store's
+/// `RetryPolicy` (attempt budget, capped backoff, circuit breaker) a
+/// persistent fault spins such a loop forever.
+const RETRY_SENSITIVE_METHODS: &[&str] = &[
+    "multi_get",
+    "scan_prefix",
+    "scan_prefix_batch",
+    "put_batch",
+    "try_put_batch",
+];
+
 /// Run every rule over one file.
 pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
     let scanned = scan(src);
@@ -617,6 +630,8 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
         }
     }
 
+    bounded_retry(toks, &cx, ctx, store_exempt, &mut findings);
+
     // Suppress findings that carry a matching allow on their line.
     findings.retain(|f| {
         if f.rule == "malformed-allow" {
@@ -649,6 +664,105 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> FileReport {
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     FileReport { findings, allows }
+}
+
+/// The `bounded-retry` pass: a `loop`/`while` in non-test library
+/// code (outside hgs-store, whose retry layer is the sanctioned
+/// implementation) whose header or body re-issues a store round trip
+/// is a hand-rolled retry/poll loop with no attempt budget. `for`
+/// loops are exempt — they iterate a finite collection, they don't
+/// re-issue on failure. Findings anchor at the store-op line so an
+/// audited allow sits next to the operation it excuses.
+fn bounded_retry(
+    toks: &[Token],
+    cx: &Contexts,
+    ctx: &FileCtx,
+    store_exempt: bool,
+    findings: &mut Vec<Finding>,
+) {
+    if ctx.kind != FileKind::Lib || store_exempt {
+        return;
+    }
+    // Nested loops would report the same op once per level; dedupe.
+    let mut reported: Vec<u32> = Vec::new();
+    for i in 0..toks.len() {
+        let kw = toks[i].ident();
+        if !(kw == Some("loop") || kw == Some("while")) || cx.per_token[i].in_test {
+            continue;
+        }
+        // The body's `{` is the first one outside the header's
+        // parens/brackets (closure braces in a `while` condition sit
+        // inside call parens and are skipped with them).
+        let mut nest = 0i32;
+        let mut body_start = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('(' | '[') => nest += 1,
+                TokKind::Punct(')' | ']') => nest -= 1,
+                TokKind::Punct('{') if nest <= 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') if nest <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(body_start) = body_start else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut body_end = toks.len();
+        for (k, t) in toks.iter().enumerate().skip(body_start) {
+            match &t.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        body_end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Header + body: a store op in the condition re-issues per
+        // iteration just the same.
+        for k in i..body_end {
+            let Some(name) = toks[k].ident() else {
+                continue;
+            };
+            let is_call = toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                && k >= 1
+                && toks[k - 1].is_punct('.');
+            if !is_call {
+                continue;
+            }
+            let hit = RETRY_SENSITIVE_METHODS.contains(&name)
+                || (matches!(name, "get" | "put")
+                    && k >= 2
+                    && toks[k - 2].ident() == Some("store"));
+            if hit && !reported.contains(&toks[k].line) {
+                reported.push(toks[k].line);
+                findings.push(Finding {
+                    rule: "bounded-retry",
+                    file: ctx.rel_path.clone(),
+                    line: toks[k].line,
+                    message: format!(
+                        "store operation `.{name}(...)` re-issued inside a \
+                         `{}` on line {}; unbounded retry/poll loops spin \
+                         forever on a persistent fault — route the operation \
+                         through the store's RetryPolicy (attempt budget, \
+                         capped backoff, breaker) or annotate the audited \
+                         bound",
+                        kw.unwrap_or("loop"),
+                        toks[i].line
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// A lexical region in which a lock guard bound by a `let` statement

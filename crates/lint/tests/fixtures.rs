@@ -129,6 +129,39 @@ fn watermark_publish_fixture() {
 }
 
 #[test]
+fn bounded_retry_fixture() {
+    check("bounded_retry.rs", "crates/graph/src/fixture.rs", false);
+}
+
+#[test]
+fn bounded_retry_rule_is_off_inside_the_store_crate() {
+    // The store crate *implements* the RetryPolicy loops the rule
+    // demands, so its own `loop`s over machine ops are the sanctioned
+    // mechanism — but batched-store findings vanish there too, so the
+    // fixture's now-useless allow must be flagged stale.
+    let src = fixture("bounded_retry.rs");
+    let report = lint_source(&src, &ctx("crates/store/src/fixture.rs"));
+    assert!(
+        report.findings.iter().all(|f| f.rule == "unused-allow"),
+        "only the stale allow may surface inside hgs-store: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn bounded_retry_rule_is_off_in_tests() {
+    // Tests hammer the store in loops deliberately (chaos suites,
+    // oracle replays); the discipline binds library code only.
+    let src = fixture("bounded_retry.rs");
+    let report = lint_source(&src, &ctx("crates/graph/tests/fixture.rs"));
+    assert!(
+        report.findings.iter().all(|f| f.rule != "bounded-retry"),
+        "bounded-retry must not fire in test-like code: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
 fn concurrency_rules_are_off_in_tests() {
     // A test may hold a guard across a fetch deliberately (e.g. to
     // force contention); the discipline binds library code only.

@@ -62,6 +62,24 @@ impl CostModel {
     /// for idle machines are zero); replication failovers are already
     /// folded into whichever machine actually served the read.
     pub fn estimate_seconds(&self, per_machine: &[MachineStatsSnapshot], c: usize) -> f64 {
+        self.estimate_seconds_with_latency(per_machine, c, &[])
+    }
+
+    /// [`CostModel::estimate_seconds`] with per-machine latency
+    /// multipliers (one per machine; missing entries default to 1.0).
+    /// A degraded machine — see
+    /// [`FaultPlan::with_latency_multiplier`](crate::faults::FaultPlan::with_latency_multiplier)
+    /// and [`SimStore::latency_multipliers`](crate::SimStore::latency_multipliers)
+    /// — scales its *server-side* term: since the makespan takes the
+    /// max over machines, one slow replica can dominate the whole
+    /// retrieval, exactly the straggler effect the chaos experiments
+    /// measure.
+    pub fn estimate_seconds_with_latency(
+        &self,
+        per_machine: &[MachineStatsSnapshot],
+        c: usize,
+        multipliers: &[f64],
+    ) -> f64 {
         let c = c.max(1) as f64;
         // Lookups/scans that travelled inside a batch share that
         // batch's round-trip: charge the batch once and subtract its
@@ -78,8 +96,12 @@ impl CostModel {
 
         let server_us = per_machine
             .iter()
-            .map(|m| {
-                (m.gets + m.scans) as f64 * self.seek_us + m.bytes_read as f64 * self.server_byte_us
+            .enumerate()
+            .map(|(i, m)| {
+                let mult = multipliers.get(i).copied().unwrap_or(1.0).max(1.0);
+                ((m.gets + m.scans) as f64 * self.seek_us
+                    + m.bytes_read as f64 * self.server_byte_us)
+                    * mult
             })
             .fold(0.0f64, f64::max);
 
@@ -104,6 +126,8 @@ mod tests {
             puts: 0,
             put_batches: 0,
             bytes_written: 0,
+            retries: 0,
+            breaker_opens: 0,
         }
     }
 
@@ -156,6 +180,22 @@ mod tests {
         let one = vec![snap(200, 4_000_000)];
         let two = vec![snap(100, 2_000_000), snap(100, 2_000_000)];
         assert!(model.estimate_seconds(&two, 4) < model.estimate_seconds(&one, 4));
+    }
+
+    #[test]
+    fn latency_multiplier_scales_only_the_degraded_machine() {
+        let model = CostModel::default();
+        let per_machine = vec![snap(100, 1_000_000), snap(100, 1_000_000)];
+        let base = model.estimate_seconds(&per_machine, 4);
+        let slowed = model.estimate_seconds_with_latency(&per_machine, 4, &[1.0, 3.0]);
+        assert!(slowed > base, "a degraded machine slows the makespan");
+        // The server-side term is the only one that scales: the delta
+        // equals the slow machine's extra server time.
+        let server = 100.0 * model.seek_us + 1_000_000.0 * model.server_byte_us;
+        assert!((slowed - base - 2.0 * server / 1e6).abs() < 1e-9);
+        // Sub-1 multipliers clamp up; missing entries default to 1.
+        let same = model.estimate_seconds_with_latency(&per_machine, 4, &[0.5]);
+        assert_eq!(same, base);
     }
 
     #[test]

@@ -21,20 +21,31 @@
 //!   results (m, r, c sweeps) on a laptop;
 //! * **parallel fetch clients** (`c` in the paper): real OS threads
 //!   issuing requests concurrently via [`parallel::parallel_chunks`];
-//! * **failure injection** per machine, with replica failover, used by
-//!   the fault-tolerance tests.
+//! * **failure injection**: permanent machine death with replica
+//!   failover, plus a seeded deterministic chaos layer
+//!   ([`faults::FaultPlan`]: transient outage windows, per-request
+//!   flakes, corrupt-on-read, latency multipliers) that every
+//!   operation survives through a bounded [`retry::RetryPolicy`]
+//!   (capped backoff in simulated time, per-machine circuit breakers)
+//!   and an anti-entropy repair pass ([`SimStore::try_repair`]).
 
 pub mod compress;
 pub mod cost;
+pub mod faults;
 pub mod key;
 pub mod machine;
 pub mod parallel;
+pub mod retry;
 pub mod store;
 pub mod write;
 
 pub use compress::{compress, decompress};
 pub use cost::CostModel;
+pub use faults::{FaultPlan, FaultVerdict, Outage, CORRUPT_ON_READ_MARKER};
 pub use key::{DeltaKey, PlacementKey, Table};
 pub use machine::{Machine, MachineDown, MachineStats};
-pub use store::{BatchPutOutcome, PutRow, SimStore, StoreConfig, StoreError, StoreStatsSnapshot};
+pub use retry::RetryPolicy;
+pub use store::{
+    BatchPutOutcome, PutRow, RepairReport, SimStore, StoreConfig, StoreError, StoreStatsSnapshot,
+};
 pub use write::WriteBuffer;

@@ -41,7 +41,11 @@ pub struct MachineStats {
     pub bytes_written: AtomicU64,
 }
 
-/// A plain-old-data copy of [`MachineStats`].
+/// A plain-old-data copy of [`MachineStats`], plus the store-level
+/// retry/breaker counters (`retries`, `breaker_opens`): those live in
+/// the `SimStore`'s per-machine circuit breakers, not on the machine
+/// itself, and are folded in by `SimStore::stats_snapshot` — a
+/// machine-level snapshot reports them as zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MachineStatsSnapshot {
     pub gets: u64,
@@ -53,6 +57,11 @@ pub struct MachineStatsSnapshot {
     pub puts: u64,
     pub put_batches: u64,
     pub bytes_written: u64,
+    /// Requests re-issued to this machine by the retry layer (attempts
+    /// beyond the first of a logical operation).
+    pub retries: u64,
+    /// Times this machine's circuit breaker transitioned open.
+    pub breaker_opens: u64,
 }
 
 impl MachineStatsSnapshot {
@@ -69,6 +78,8 @@ impl MachineStatsSnapshot {
             puts: self.puts - earlier.puts,
             put_batches: self.put_batches - earlier.put_batches,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            retries: self.retries - earlier.retries,
+            breaker_opens: self.breaker_opens - earlier.breaker_opens,
         }
     }
 
@@ -84,6 +95,8 @@ impl MachineStatsSnapshot {
             puts: self.puts + other.puts,
             put_batches: self.put_batches + other.put_batches,
             bytes_written: self.bytes_written + other.bytes_written,
+            retries: self.retries + other.retries,
+            breaker_opens: self.breaker_opens + other.breaker_opens,
         }
     }
 }
@@ -100,6 +113,10 @@ impl MachineStats {
             puts: self.puts.load(Ordering::Relaxed),
             put_batches: self.put_batches.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            // Folded in at the store layer; see the snapshot struct's
+            // doc comment.
+            retries: 0,
+            breaker_opens: 0,
         }
     }
 }

@@ -1,14 +1,19 @@
 //! The simulated distributed store: placement, replication,
-//! compression and accounting over a set of [`Machine`]s.
+//! compression, chaos fault injection, bounded retry and accounting
+//! over a set of [`Machine`]s.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use hgs_delta::CodecError;
+use parking_lot::{Mutex, RwLock};
 
 use crate::compress::{compress, decompress};
+use crate::faults::{FaultPlan, FaultVerdict, CORRUPT_ON_READ_MARKER};
 use crate::key::Table;
-use crate::machine::{Machine, MachineStatsSnapshot};
+use crate::machine::{Machine, MachineDown, MachineStatsSnapshot};
+use crate::retry::{Breaker, RetryPolicy};
 
 /// Cluster configuration.
 #[derive(Debug, Clone, Copy)]
@@ -50,8 +55,17 @@ impl StoreConfig {
 /// Errors surfaced by store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
-    /// Every replica holding the requested chunk is down.
+    /// Every replica holding the requested chunk is **permanently**
+    /// down ([`SimStore::fail_machine`]). Retrying cannot help until a
+    /// machine heals, so the error surfaces without burning the retry
+    /// budget.
     Unavailable { table: Table },
+    /// Transient faults (outage windows, flakes — see
+    /// [`crate::faults`]) survived every retry attempt on every
+    /// replica. Distinct from [`StoreError::Unavailable`]: the replica
+    /// set is alive, the operation may well succeed if re-issued
+    /// later.
+    Transient { attempts: u32, table: Table },
     /// Stored bytes failed to decompress.
     Corrupt(CodecError),
 }
@@ -61,6 +75,12 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Unavailable { table } => {
                 write!(f, "all replicas down for a chunk of table {table}")
+            }
+            StoreError::Transient { attempts, table } => {
+                write!(
+                    f,
+                    "transient faults exhausted {attempts} attempts for a chunk of table {table}"
+                )
             }
             StoreError::Corrupt(e) => write!(f, "corrupt stored value: {e}"),
         }
@@ -104,12 +124,22 @@ pub struct BatchPutOutcome {
     /// Rows accepted by some but not all replicas (degraded
     /// durability; counted in [`SimStore::partial_put_count`]).
     pub partial: usize,
-    /// Rows accepted by no replica (counted in
-    /// [`SimStore::failed_put_count`]; lost unless retried).
+    /// Rows accepted by no replica even after the per-machine retry
+    /// budget (counted in [`SimStore::failed_put_count`]). The rows
+    /// did not land anywhere: [`SimStore::try_put_batch`] surfaces
+    /// them as an error so the caller can re-issue the batch — the
+    /// write buffer does exactly that before giving up (see
+    /// [`crate::write`]).
     pub failed: usize,
     /// Table of the first fully-failed row, used by
     /// [`SimStore::try_put_batch`] to surface the error.
     pub first_failed_table: Option<Table>,
+    /// When the first fully-failed row failed by *retry exhaustion*
+    /// (transient faults survived the attempt budget on some replica),
+    /// the attempts spent; `None` when its replica set was permanently
+    /// dead. Decides [`StoreError::Transient`] vs
+    /// [`StoreError::Unavailable`] in [`SimStore::try_put_batch`].
+    pub transient_attempts: Option<u32>,
 }
 
 impl BatchPutOutcome {
@@ -119,6 +149,31 @@ impl BatchPutOutcome {
     }
 }
 
+/// Report of one [`SimStore::try_repair`] anti-entropy pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Under-replicated rows the pass looked at.
+    pub scanned: usize,
+    /// Rows restored to full replication.
+    pub repaired: usize,
+    /// Rows still under-replicated afterwards (no reachable surviving
+    /// copy, or a replica refused the re-write); they stay in the
+    /// ledger for the next pass.
+    pub still_degraded: usize,
+}
+
+/// Outcome of writing one machine's share of a batch, after the retry
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MachineWriteOutcome {
+    /// The machine accepted the sub-batch.
+    Accepted,
+    /// Permanent machine death: retrying is hopeless.
+    Dead,
+    /// Transient faults survived every attempt (the budget spent).
+    Exhausted(u32),
+}
+
 /// The simulated cluster. Cheap to share behind an `Arc`; all methods
 /// take `&self`.
 pub struct SimStore {
@@ -126,11 +181,28 @@ pub struct SimStore {
     machines: Vec<Machine>,
     /// Writes that reached some but not all replicas (degraded
     /// durability — the data survives only while the accepting
-    /// replicas stay up).
+    /// replicas stay up). [`SimStore::try_repair`] re-replicates them
+    /// from the `under_replicated` ledger.
     partial_puts: AtomicU64,
     /// Writes that reached no replica at all (data loss if the caller
     /// ignores the zero return).
     failed_puts: AtomicU64,
+    /// The attached chaos schedule, if any (see [`crate::faults`]).
+    faults: RwLock<Option<FaultPlan>>,
+    /// Simulated time: one tick per machine-level request, plus the
+    /// ticks retry backoff burns. Fault-plan outage windows and
+    /// breaker cooldowns are expressed in these ticks; no wall clock
+    /// is consulted anywhere.
+    clock: AtomicU64,
+    /// The retry/backoff/breaker policy every operation routes
+    /// through.
+    retry: RwLock<RetryPolicy>,
+    /// Per-machine circuit breakers and retry counters.
+    breakers: Vec<Breaker>,
+    /// Rows that reached only a strict subset of their replicas:
+    /// namespaced key → placement token, deduplicated. Drained by
+    /// [`SimStore::try_repair`].
+    under_replicated: Mutex<BTreeMap<Vec<u8>, u64>>,
 }
 
 impl SimStore {
@@ -146,7 +218,63 @@ impl SimStore {
             machines: (0..cfg.machines).map(|_| Machine::new()).collect(),
             partial_puts: AtomicU64::new(0),
             failed_puts: AtomicU64::new(0),
+            faults: RwLock::new(None),
+            clock: AtomicU64::new(0),
+            retry: RwLock::new(RetryPolicy::default()),
+            breakers: (0..cfg.machines).map(|_| Breaker::new()).collect(),
+            under_replicated: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Attach a chaos fault plan (or detach with `None`). Installing a
+    /// plan resets every circuit breaker: a new schedule is a new
+    /// experiment, and stale breaker state must not bleed into it.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.faults.write() = plan;
+        for b in &self.breakers {
+            b.reset();
+        }
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.read().clone()
+    }
+
+    /// Install the retry/backoff/breaker policy (validated; panics on
+    /// nonsense like a zero attempt budget).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        policy.validate();
+        *self.retry.write() = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
+    }
+
+    /// Current simulated time in ticks (monotone; advanced by every
+    /// machine-level request and by retry backoff).
+    pub fn clock_ticks(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advance simulated time without issuing requests — how tests and
+    /// benches step past a scheduled outage window or a breaker
+    /// cooldown.
+    pub fn advance_clock(&self, ticks: u64) {
+        self.clock.fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    /// Per-machine modelled latency multipliers from the attached
+    /// fault plan (all `1.0` without one). Feed to
+    /// [`CostModel::estimate_seconds_with_latency`](crate::CostModel::estimate_seconds_with_latency)
+    /// so a degraded machine slows the modelled makespan down.
+    pub fn latency_multipliers(&self) -> Vec<f64> {
+        let plan = self.faults.read();
+        (0..self.machines.len())
+            .map(|m| plan.as_ref().map_or(1.0, |p| p.latency_multiplier(m)))
+            .collect()
     }
 
     /// Cluster configuration.
@@ -175,6 +303,13 @@ impl SimStore {
 
     /// Write a row to all replicas of its chunk. Returns the number of
     /// replicas that accepted the write (0 means fully unavailable).
+    ///
+    /// This is the seed's row-at-a-time reference path: a replica
+    /// inside a transient fault window simply misses this write (no
+    /// retry — the batched path, [`SimStore::put_batch`], is the one
+    /// that routes through the [`RetryPolicy`]). Rows that reach only
+    /// a subset of their replicas are recorded for
+    /// [`SimStore::try_repair`].
     pub fn put(&self, table: Table, key: &[u8], token: u64, value: Bytes) -> usize {
         let stored = if self.cfg.compress {
             compress(&value)
@@ -182,19 +317,102 @@ impl SimStore {
             value
         };
         let nk = Self::namespaced(table, key);
+        let policy = *self.retry.read();
+        let plan = self.faults.read();
         let mut ok = 0;
         for r in 0..self.cfg.replication {
             let m = self.machine_for(token, r);
+            let now = self.clock.fetch_add(1, Ordering::Relaxed);
+            if let Some(p) = plan.as_ref() {
+                match p.verdict(m, now) {
+                    FaultVerdict::Outage | FaultVerdict::Flake => {
+                        self.breakers[m].record_failure(now, &policy);
+                        continue;
+                    }
+                    // Corrupt-on-read does not apply to writes.
+                    FaultVerdict::Healthy | FaultVerdict::CorruptRead => {}
+                }
+            }
             if self.machines[m].put(nk.clone(), stored.clone()) {
+                self.breakers[m].record_success();
                 ok += 1;
             }
         }
+        drop(plan);
         if ok == 0 {
             self.failed_puts.fetch_add(1, Ordering::Relaxed);
         } else if ok < self.cfg.replication {
             self.partial_puts.fetch_add(1, Ordering::Relaxed);
+            self.under_replicated.lock().insert(nk, token);
         }
         ok
+    }
+
+    /// Write one machine's share of a batch through the retry policy:
+    /// transient faults are retried with capped exponential backoff in
+    /// simulated time, permanent death fails fast, and an open circuit
+    /// breaker skips the request (classified by whether the machine is
+    /// actually dead behind it).
+    fn put_machine_batch_with_retry(
+        &self,
+        m: usize,
+        batch: Vec<(Vec<u8>, Bytes)>,
+    ) -> MachineWriteOutcome {
+        let policy = *self.retry.read();
+        let plan = self.faults.read();
+        let can_fault = plan.as_ref().is_some_and(|p| p.can_fault());
+        if !can_fault {
+            // Fast path: without transient faults every failure is
+            // permanent death — single shot, no batch clone, no
+            // backoff. The chaos layer costs the healthy ingest path
+            // one clock tick.
+            self.clock.fetch_add(1, Ordering::Relaxed);
+            return match self.machines[m].put_batch(batch) {
+                Ok(()) => MachineWriteOutcome::Accepted,
+                Err(MachineDown) => MachineWriteOutcome::Dead,
+            };
+        }
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.breakers[m].note_retry();
+            }
+            let now = self.clock.fetch_add(1, Ordering::Relaxed);
+            let transient = if !self.breakers[m].allows(now, &policy) {
+                // Skipped by an open breaker: permanent if the machine
+                // really is dead behind it, transient otherwise.
+                !self.machines[m].is_down()
+            } else {
+                match plan
+                    .as_ref()
+                    .map_or(FaultVerdict::Healthy, |p| p.verdict(m, now))
+                {
+                    FaultVerdict::Outage | FaultVerdict::Flake => {
+                        self.breakers[m].record_failure(now, &policy);
+                        true
+                    }
+                    // Corrupt-on-read does not apply to writes.
+                    FaultVerdict::Healthy | FaultVerdict::CorruptRead => {
+                        match self.machines[m].put_batch(batch.clone()) {
+                            Ok(()) => {
+                                self.breakers[m].record_success();
+                                return MachineWriteOutcome::Accepted;
+                            }
+                            Err(MachineDown) => return MachineWriteOutcome::Dead,
+                        }
+                    }
+                }
+            };
+            if !transient {
+                return MachineWriteOutcome::Dead;
+            }
+            if attempt >= policy.max_attempts {
+                return MachineWriteOutcome::Exhausted(attempt);
+            }
+            self.clock
+                .fetch_add(policy.backoff_ticks(attempt), Ordering::Relaxed);
+        }
     }
 
     /// Write a batch of rows, grouped into **one round trip per
@@ -205,7 +423,11 @@ impl SimStore {
     /// is always processed — a dead machine fails only the rows
     /// placed on it — so the partial/failed put counters account for
     /// every row, exactly as `rows.len()` individual [`SimStore::put`]
-    /// calls would.
+    /// calls would. Each machine's sub-batch routes through the
+    /// [`RetryPolicy`]: transiently refused round trips are re-issued
+    /// with backoff in simulated time before any row is declared
+    /// failed, and rows that reach only a subset of their replicas are
+    /// recorded for [`SimStore::try_repair`].
     pub fn put_batch(&self, rows: Vec<PutRow>) -> BatchPutOutcome {
         let mut outcome = BatchPutOutcome::default();
         if rows.is_empty() {
@@ -237,6 +459,7 @@ impl SimStore {
             }
         }
         let mut ok = vec![0usize; prepared.len()];
+        let mut machine_result: Vec<Option<MachineWriteOutcome>> = vec![None; self.machines.len()];
         for (m, idxs) in per_machine.into_iter().enumerate() {
             if idxs.is_empty() {
                 continue;
@@ -245,20 +468,34 @@ impl SimStore {
                 .iter()
                 .map(|&i| (prepared[i].1.clone(), prepared[i].3.clone()))
                 .collect();
-            if self.machines[m].put_batch(batch).is_ok() {
+            let res = self.put_machine_batch_with_retry(m, batch);
+            if res == MachineWriteOutcome::Accepted {
                 for &i in &idxs {
                     ok[i] += 1;
                 }
             }
+            machine_result[m] = Some(res);
         }
-        for (i, &(table, _, _, _)) in prepared.iter().enumerate() {
+        for (i, &(table, ref nk, token, _)) in prepared.iter().enumerate() {
             if ok[i] == 0 {
                 self.failed_puts.fetch_add(1, Ordering::Relaxed);
+                if outcome.first_failed_table.is_none() {
+                    outcome.first_failed_table = Some(table);
+                    // Classify the first failed row: transient if any
+                    // of its replicas exhausted the retry budget,
+                    // permanent if they were all dead.
+                    outcome.transient_attempts = (0..self.cfg.replication).find_map(|r| {
+                        match machine_result[self.machine_for(token, r)] {
+                            Some(MachineWriteOutcome::Exhausted(a)) => Some(a),
+                            _ => None,
+                        }
+                    });
+                }
                 outcome.failed += 1;
-                outcome.first_failed_table.get_or_insert(table);
             } else if ok[i] < self.cfg.replication {
                 self.partial_puts.fetch_add(1, Ordering::Relaxed);
                 outcome.partial += 1;
+                self.under_replicated.lock().insert(nk.clone(), token);
             } else {
                 outcome.replicated += 1;
             }
@@ -268,15 +505,19 @@ impl SimStore {
 
     /// Fallible [`SimStore::put_batch`]: the whole batch is still
     /// processed (rows on healthy machines land, counters account for
-    /// every row), then any row that reached **zero** replicas
-    /// surfaces as [`StoreError::Unavailable`] — a batched write the
-    /// cluster did not accept anywhere must fail the caller, not
-    /// silently shrink the index.
+    /// every row, transiently-refused sub-batches are retried per the
+    /// [`RetryPolicy`]), then any row that reached **zero** replicas
+    /// surfaces as an error — a batched write the cluster did not
+    /// accept anywhere must fail the caller, not silently shrink the
+    /// index. The error distinguishes retry exhaustion
+    /// ([`StoreError::Transient`], worth re-issuing later) from a
+    /// permanently dead replica set ([`StoreError::Unavailable`]).
     pub fn try_put_batch(&self, rows: Vec<PutRow>) -> Result<BatchPutOutcome, StoreError> {
         let outcome = self.put_batch(rows);
-        match outcome.first_failed_table {
-            Some(table) => Err(StoreError::Unavailable { table }),
-            None => Ok(outcome),
+        match (outcome.first_failed_table, outcome.transient_attempts) {
+            (Some(table), Some(attempts)) => Err(StoreError::Transient { attempts, table }),
+            (Some(table), None) => Err(StoreError::Unavailable { table }),
+            (None, _) => Ok(outcome),
         }
     }
 
@@ -291,22 +532,102 @@ impl SimStore {
         self.failed_puts.load(Ordering::Relaxed)
     }
 
-    /// Point lookup with replica failover.
-    pub fn get(&self, table: Table, key: &[u8], token: u64) -> Result<Option<Bytes>, StoreError> {
-        let nk = Self::namespaced(table, key);
-        for r in 0..self.cfg.replication {
-            let m = self.machine_for(token, r);
-            match self.machines[m].get(&nk) {
-                Ok(Some(bytes)) => return Ok(Some(self.maybe_decompress(bytes)?)),
-                Ok(None) => return Ok(None),
-                Err(crate::machine::MachineDown) => continue,
+    /// One fault-aware, breaker-gated, retrying read: sweep the
+    /// replicas in ring order once per attempt, backing off in
+    /// simulated time between attempts. Returns the served value plus
+    /// whether the fault plan corrupted this read on the wire.
+    ///
+    /// Error classification: a sweep that saw only *permanent* death
+    /// (every replica [`Machine::is_down`]) surfaces
+    /// [`StoreError::Unavailable`] immediately — retrying a dead
+    /// replica set is hopeless. A sweep that saw any *transient*
+    /// refusal keeps retrying until the attempt budget is spent, then
+    /// surfaces [`StoreError::Transient`].
+    fn read_with_retry<T>(
+        &self,
+        table: Table,
+        token: u64,
+        op: impl Fn(&Machine) -> Result<T, MachineDown>,
+    ) -> Result<(T, bool), StoreError> {
+        let policy = *self.retry.read();
+        let plan = self.faults.read();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let mut saw_transient = false;
+            for r in 0..self.cfg.replication {
+                let m = self.machine_for(token, r);
+                if attempt > 1 {
+                    self.breakers[m].note_retry();
+                }
+                let now = self.clock.fetch_add(1, Ordering::Relaxed);
+                if !self.breakers[m].allows(now, &policy) {
+                    // Skipped by an open breaker: permanent if the
+                    // machine really is dead behind it, transient
+                    // otherwise (half-open probing will re-test it).
+                    saw_transient |= !self.machines[m].is_down();
+                    continue;
+                }
+                let verdict = plan
+                    .as_ref()
+                    .map_or(FaultVerdict::Healthy, |p| p.verdict(m, now));
+                match verdict {
+                    FaultVerdict::Outage | FaultVerdict::Flake => {
+                        self.breakers[m].record_failure(now, &policy);
+                        saw_transient = true;
+                        continue;
+                    }
+                    FaultVerdict::Healthy | FaultVerdict::CorruptRead => {}
+                }
+                match op(&self.machines[m]) {
+                    Ok(v) => {
+                        self.breakers[m].record_success();
+                        return Ok((v, verdict == FaultVerdict::CorruptRead));
+                    }
+                    // Permanent death: fail over to the next replica;
+                    // not the breaker's business (it guards transient
+                    // faults) and never retried.
+                    Err(MachineDown) => continue,
+                }
             }
+            if !saw_transient {
+                return Err(StoreError::Unavailable { table });
+            }
+            if attempt >= policy.max_attempts {
+                return Err(StoreError::Transient {
+                    attempts: attempt,
+                    table,
+                });
+            }
+            self.clock
+                .fetch_add(policy.backoff_ticks(attempt), Ordering::Relaxed);
         }
-        Err(StoreError::Unavailable { table })
     }
 
-    /// Ordered prefix scan with replica failover. Keys are returned
-    /// without the table namespace byte.
+    /// Replace a read's bytes with garbage when the fault plan
+    /// corrupted it on the wire (the stored row is untouched).
+    fn maybe_corrupted(bytes: Bytes, corrupt: bool) -> Bytes {
+        if corrupt {
+            Bytes::from_static(CORRUPT_ON_READ_MARKER)
+        } else {
+            bytes
+        }
+    }
+
+    /// Point lookup with retry and replica failover.
+    pub fn get(&self, table: Table, key: &[u8], token: u64) -> Result<Option<Bytes>, StoreError> {
+        let nk = Self::namespaced(table, key);
+        let (got, corrupt) = self.read_with_retry(table, token, |m| m.get(&nk))?;
+        match got {
+            Some(bytes) => Ok(Some(
+                self.maybe_decompress(Self::maybe_corrupted(bytes, corrupt))?,
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// Ordered prefix scan with retry and replica failover. Keys are
+    /// returned without the table namespace byte.
     pub fn scan_prefix(
         &self,
         table: Table,
@@ -314,25 +635,20 @@ impl SimStore {
         token: u64,
     ) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
         let np = Self::namespaced(table, prefix);
-        for r in 0..self.cfg.replication {
-            let m = self.machine_for(token, r);
-            match self.machines[m].scan_prefix(&np) {
-                Ok(rows) => {
-                    let mut out = Vec::with_capacity(rows.len());
-                    for (k, v) in rows {
-                        out.push((k[1..].to_vec(), self.maybe_decompress(v)?));
-                    }
-                    return Ok(out);
-                }
-                Err(crate::machine::MachineDown) => continue,
-            }
+        let (rows, corrupt) = self.read_with_retry(table, token, |m| m.scan_prefix(&np))?;
+        let mut out = Vec::with_capacity(rows.len());
+        for (k, v) in rows {
+            out.push((
+                k[1..].to_vec(),
+                self.maybe_decompress(Self::maybe_corrupted(v, corrupt))?,
+            ));
         }
-        Err(StoreError::Unavailable { table })
+        Ok(out)
     }
 
-    /// Batched point lookups with replica failover: all keys share one
-    /// placement token (one chunk), so a single machine answers the
-    /// whole batch in one round-trip.
+    /// Batched point lookups with retry and replica failover: all keys
+    /// share one placement token (one chunk), so a single machine
+    /// answers the whole batch in one round-trip.
     pub fn multi_get(
         &self,
         table: Table,
@@ -340,32 +656,24 @@ impl SimStore {
         token: u64,
     ) -> Result<Vec<Option<Bytes>>, StoreError> {
         let nks: Vec<Vec<u8>> = keys.iter().map(|k| Self::namespaced(table, k)).collect();
-        for r in 0..self.cfg.replication {
-            let m = self.machine_for(token, r);
-            match self.machines[m].multi_get(&nks) {
-                Ok(values) => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for v in values {
-                        out.push(match v {
-                            Some(bytes) => Some(self.maybe_decompress(bytes)?),
-                            None => None,
-                        });
-                    }
-                    return Ok(out);
-                }
-                Err(crate::machine::MachineDown) => continue,
-            }
+        let (values, corrupt) = self.read_with_retry(table, token, |m| m.multi_get(&nks))?;
+        let mut out = Vec::with_capacity(values.len());
+        for v in values {
+            out.push(match v {
+                Some(bytes) => Some(self.maybe_decompress(Self::maybe_corrupted(bytes, corrupt))?),
+                None => None,
+            });
         }
-        Err(StoreError::Unavailable { table })
+        Ok(out)
     }
 
-    /// Grouped prefix scan with replica failover: one result group per
-    /// prefix, in input order, served by a single machine round-trip
-    /// (all prefixes share one placement token). Keys are returned
-    /// without the table namespace byte. This is the fetch unit of the
-    /// multipoint snapshot planner: the union of a query batch's
-    /// tree-path deltas for one `(tsid, sid)` chunk travels as one
-    /// request.
+    /// Grouped prefix scan with retry and replica failover: one result
+    /// group per prefix, in input order, served by a single machine
+    /// round-trip (all prefixes share one placement token). Keys are
+    /// returned without the table namespace byte. This is the fetch
+    /// unit of the multipoint snapshot planner: the union of a query
+    /// batch's tree-path deltas for one `(tsid, sid)` chunk travels as
+    /// one request.
     pub fn scan_prefix_batch(
         &self,
         table: Table,
@@ -376,24 +684,19 @@ impl SimStore {
             .iter()
             .map(|p| Self::namespaced(table, p))
             .collect();
-        for r in 0..self.cfg.replication {
-            let m = self.machine_for(token, r);
-            match self.machines[m].scan_prefixes(&nps) {
-                Ok(groups) => {
-                    let mut out = Vec::with_capacity(groups.len());
-                    for rows in groups {
-                        let mut group = Vec::with_capacity(rows.len());
-                        for (k, v) in rows {
-                            group.push((k[1..].to_vec(), self.maybe_decompress(v)?));
-                        }
-                        out.push(group);
-                    }
-                    return Ok(out);
-                }
-                Err(crate::machine::MachineDown) => continue,
+        let (groups, corrupt) = self.read_with_retry(table, token, |m| m.scan_prefixes(&nps))?;
+        let mut out = Vec::with_capacity(groups.len());
+        for rows in groups {
+            let mut group = Vec::with_capacity(rows.len());
+            for (k, v) in rows {
+                group.push((
+                    k[1..].to_vec(),
+                    self.maybe_decompress(Self::maybe_corrupted(v, corrupt))?,
+                ));
             }
+            out.push(group);
         }
-        Err(StoreError::Unavailable { table })
+        Ok(out)
     }
 
     fn maybe_decompress(&self, bytes: Bytes) -> Result<Bytes, StoreError> {
@@ -404,19 +707,121 @@ impl SimStore {
         }
     }
 
-    /// Mark a machine failed (failure injection for tests).
+    /// Mark a machine failed (**permanent** death until healed —
+    /// transient faults are the fault plan's job, see
+    /// [`crate::faults`]).
     pub fn fail_machine(&self, idx: usize) {
         self.machines[idx].set_down(true);
     }
 
-    /// Bring a failed machine back (its data is intact).
+    /// Bring a failed machine back (its data is intact). Also resets
+    /// the machine's circuit breaker: a freshly recovered replica
+    /// starts with a clean slate.
     pub fn heal_machine(&self, idx: usize) {
         self.machines[idx].set_down(false);
+        self.breakers[idx].reset();
     }
 
-    /// Per-machine access-counter snapshot.
+    /// Heal every machine (recovery-test and bench convenience).
+    pub fn heal_all(&self) {
+        for m in 0..self.machines.len() {
+            self.heal_machine(m);
+        }
+    }
+
+    /// Rows currently known to be under-replicated (the repair
+    /// ledger's size).
+    pub fn under_replicated_count(&self) -> usize {
+        self.under_replicated.lock().len()
+    }
+
+    /// One anti-entropy pass over the under-replication ledger: for
+    /// every recorded row, read the stored bytes back from a surviving
+    /// replica and re-write them — verbatim, already compressed — to
+    /// every replica of the row's chunk (idempotent for the ones that
+    /// already hold it). Rows whose surviving copies are unreachable,
+    /// or whose re-writes are refused, stay in the ledger for the next
+    /// pass; a corrupt-on-read verdict disqualifies a replica as the
+    /// repair source (garbage must never be propagated into stored
+    /// state). After a pass that repairs everything, the store's
+    /// content is byte-identical to a never-degraded build.
+    pub fn try_repair(&self) -> Result<RepairReport, StoreError> {
+        let pending: Vec<(Vec<u8>, u64)> = {
+            let mut ledger = self.under_replicated.lock();
+            std::mem::take(&mut *ledger).into_iter().collect()
+        };
+        let mut report = RepairReport {
+            scanned: pending.len(),
+            ..RepairReport::default()
+        };
+        let policy = *self.retry.read();
+        let plan = self.faults.read();
+        for (nk, token) in pending {
+            let mut copy: Option<Bytes> = None;
+            for r in 0..self.cfg.replication {
+                let m = self.machine_for(token, r);
+                let now = self.clock.fetch_add(1, Ordering::Relaxed);
+                // hgs-lint: allow(no-panic-in-try, "machine_for maps every token into 0..machines.len(), and breakers is built with one entry per machine")
+                if !self.breakers[m].allows(now, &policy) {
+                    continue;
+                }
+                match plan
+                    .as_ref()
+                    .map_or(FaultVerdict::Healthy, |p| p.verdict(m, now))
+                {
+                    FaultVerdict::Outage | FaultVerdict::Flake | FaultVerdict::CorruptRead => {
+                        continue;
+                    }
+                    FaultVerdict::Healthy => {}
+                }
+                // hgs-lint: allow(no-panic-in-try, "machine_for maps every token into 0..machines.len()")
+                if let Ok(Some(v)) = self.machines[m].get(&nk) {
+                    copy = Some(v);
+                    break;
+                }
+            }
+            let Some(v) = copy else {
+                report.still_degraded += 1;
+                self.under_replicated.lock().insert(nk, token);
+                continue;
+            };
+            let mut complete = true;
+            for r in 0..self.cfg.replication {
+                let m = self.machine_for(token, r);
+                let now = self.clock.fetch_add(1, Ordering::Relaxed);
+                let refused = matches!(
+                    plan.as_ref()
+                        .map_or(FaultVerdict::Healthy, |p| p.verdict(m, now)),
+                    FaultVerdict::Outage | FaultVerdict::Flake
+                );
+                // hgs-lint: allow(no-panic-in-try, "machine_for maps every token into 0..machines.len()")
+                if refused || !self.machines[m].put(nk.clone(), v.clone()) {
+                    complete = false;
+                }
+            }
+            if complete {
+                report.repaired += 1;
+            } else {
+                report.still_degraded += 1;
+                self.under_replicated.lock().insert(nk, token);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Per-machine access-counter snapshot, with the store-level
+    /// retry/breaker counters folded in.
     pub fn stats_snapshot(&self) -> StoreStatsSnapshot {
-        self.machines.iter().map(|m| m.stats().snapshot()).collect()
+        self.machines
+            .iter()
+            .zip(&self.breakers)
+            .map(|(m, b)| {
+                let mut s = m.stats().snapshot();
+                s.retries = b.retries();
+                s.breaker_opens = b.opens();
+                s
+            })
+            .collect()
     }
 
     /// Difference of two snapshots (per machine).
@@ -799,6 +1204,254 @@ mod tests {
             s.get(Table::Deltas, b"k", 0).unwrap().as_deref(),
             Some(&value[..])
         );
+    }
+
+    #[test]
+    fn flakes_are_retried_to_success_and_counted() {
+        // One machine, r = 1: no failover masks the flakes, so every
+        // success after a flaky verdict is the retry layer's doing.
+        let s = store(1, 1);
+        s.set_fault_plan(Some(
+            FaultPlan::new(0xDECAF)
+                .with_flake_per_mille(300)
+                .with_corrupt_per_mille(0),
+        ));
+        s.set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            breaker_threshold: 0,
+            ..RetryPolicy::default()
+        });
+        let mut wrote = 0usize;
+        for i in 0..50u64 {
+            if s.put(Table::Deltas, &i.to_be_bytes(), i, Bytes::from_static(b"v")) == 1 {
+                wrote += 1;
+            }
+        }
+        assert!(wrote > 25, "most single puts land despite flakes: {wrote}");
+        let mut ok = 0usize;
+        for i in 0..50u64 {
+            match s.get(Table::Deltas, &i.to_be_bytes(), i) {
+                Ok(_) => ok += 1,
+                Err(StoreError::Transient { attempts, .. }) => {
+                    assert_eq!(attempts, 8, "exhaustion reports the budget")
+                }
+                Err(other) => panic!("unexpected error kind: {other}"),
+            }
+        }
+        assert!(ok > 40, "a 0.3 flake rate rarely survives 8 attempts: {ok}");
+        let retries: u64 = s.stats_snapshot().iter().map(|m| m.retries).sum();
+        assert!(retries > 0, "flaky reads must have been re-issued");
+    }
+
+    #[test]
+    fn outage_window_surfaces_transient_then_heals_with_time() {
+        let s = store(1, 1);
+        s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"v"));
+        s.set_fault_plan(Some(FaultPlan::new(1).with_outage(0, 0, 10_000)));
+        match s.get(Table::Deltas, b"k", 0) {
+            Err(StoreError::Transient { attempts, .. }) => {
+                assert_eq!(attempts, s.retry_policy().max_attempts);
+            }
+            other => panic!("expected Transient during the outage, got {other:?}"),
+        }
+        // Simulated time passes the window (plus any breaker cooldown):
+        // the same read answers again, no healing call required.
+        s.advance_clock(20_000);
+        assert_eq!(
+            s.get(Table::Deltas, b"k", 0).unwrap().as_deref(),
+            Some(&b"v"[..]),
+            "an elapsed outage window heals on its own"
+        );
+    }
+
+    #[test]
+    fn permanent_death_stays_unavailable_not_transient() {
+        let s = store(2, 1);
+        s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"v"));
+        s.fail_machine(s.machine_for(0, 0));
+        // Even with a fault plan attached, a dead replica set is
+        // permanent: no retry budget is burned, the error says so.
+        s.set_fault_plan(Some(FaultPlan::new(2)));
+        let before: u64 = s.stats_snapshot().iter().map(|m| m.retries).sum();
+        assert!(matches!(
+            s.get(Table::Deltas, b"k", 0),
+            Err(StoreError::Unavailable { .. })
+        ));
+        let after: u64 = s.stats_snapshot().iter().map(|m| m.retries).sum();
+        assert_eq!(after, before, "dead machines are not retried");
+    }
+
+    #[test]
+    fn failover_masks_an_outage_on_one_replica() {
+        let s = store(3, 2);
+        let token = 0u64;
+        s.put(Table::Deltas, b"k", token, Bytes::from_static(b"v"));
+        let primary = s.machine_for(token, 0);
+        s.set_fault_plan(Some(FaultPlan::new(3).with_outage(primary, 0, 1_000_000)));
+        for _ in 0..20 {
+            assert_eq!(
+                s.get(Table::Deltas, b"k", token).unwrap().as_deref(),
+                Some(&b"v"[..]),
+                "the healthy replica serves through the outage"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_opens_under_sustained_outage_and_probes_shut() {
+        let s = store(1, 1);
+        s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"v"));
+        s.set_retry_policy(RetryPolicy {
+            breaker_threshold: 4,
+            breaker_cooldown_ticks: 50,
+            ..RetryPolicy::default()
+        });
+        s.set_fault_plan(Some(FaultPlan::new(4).with_outage(0, 0, 500)));
+        for _ in 0..10 {
+            let _ = s.get(Table::Deltas, b"k", 0);
+        }
+        let opens: u64 = s.stats_snapshot().iter().map(|m| m.breaker_opens).sum();
+        assert!(opens >= 1, "sustained faults must open the breaker");
+        // Past the window and cooldown, a half-open probe succeeds and
+        // closes the breaker; reads answer again.
+        s.advance_clock(1_000);
+        assert_eq!(
+            s.get(Table::Deltas, b"k", 0).unwrap().as_deref(),
+            Some(&b"v"[..])
+        );
+    }
+
+    #[test]
+    fn corrupt_on_read_surfaces_corrupt_under_compression() {
+        let s = SimStore::new(StoreConfig::new(1, 1).with_compression(true));
+        let value = Bytes::from(b"abcabcabc".repeat(50));
+        s.put(Table::Deltas, b"k", 0, value.clone());
+        s.set_fault_plan(Some(FaultPlan::new(5).with_corrupt_per_mille(1000)));
+        assert!(matches!(
+            s.get(Table::Deltas, b"k", 0),
+            Err(StoreError::Corrupt(_))
+        ));
+        // The stored bytes are untouched: detach the plan and the real
+        // value comes back.
+        s.set_fault_plan(None);
+        assert_eq!(
+            s.get(Table::Deltas, b"k", 0).unwrap().as_deref(),
+            Some(&value[..])
+        );
+    }
+
+    #[test]
+    fn corrupt_on_read_replaces_bytes_without_touching_storage() {
+        let s = store(1, 1);
+        s.put(Table::Deltas, b"k", 0, Bytes::from_static(b"real"));
+        let before = s.content_rows();
+        s.set_fault_plan(Some(FaultPlan::new(6).with_corrupt_per_mille(1000)));
+        let got = s.get(Table::Deltas, b"k", 0).unwrap();
+        assert_eq!(
+            got.as_deref(),
+            Some(crate::faults::CORRUPT_ON_READ_MARKER),
+            "uncompressed corrupt reads hand back the marker for the decoder to reject"
+        );
+        assert_eq!(s.content_rows(), before, "corruption is wire-only");
+    }
+
+    #[test]
+    fn transient_batch_exhaustion_surfaces_transient_error() {
+        let s = store(1, 1);
+        s.set_fault_plan(Some(FaultPlan::new(7).with_outage(0, 0, 1_000_000)));
+        let err = s
+            .try_put_batch(vec![PutRow::new(
+                Table::Versions,
+                b"k".to_vec(),
+                0,
+                Bytes::from_static(b"v"),
+            )])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Transient {
+                    table: Table::Versions,
+                    ..
+                }
+            ),
+            "retry exhaustion must not masquerade as permanent death: {err}"
+        );
+        assert_eq!(s.failed_put_count(), 1);
+    }
+
+    #[test]
+    fn partial_writes_are_recorded_and_repaired() {
+        let s = store(3, 2);
+        let token = 0u64;
+        s.fail_machine(s.machine_for(token, 1));
+        s.put(Table::Deltas, b"k", token, Bytes::from_static(b"v"));
+        assert_eq!(s.under_replicated_count(), 1);
+        // While the replica is still dead, repair makes no progress
+        // but loses nothing.
+        let stuck = s.try_repair().unwrap();
+        assert_eq!(stuck.scanned, 1);
+        assert_eq!(stuck.still_degraded, 1);
+        assert_eq!(s.under_replicated_count(), 1);
+        // Healed, the pass restores full replication.
+        s.heal_all();
+        let report = s.try_repair().unwrap();
+        assert_eq!(report.repaired, 1);
+        assert_eq!(s.under_replicated_count(), 0);
+        // Byte-identical to a never-degraded build.
+        let oracle = store(3, 2);
+        oracle.put(Table::Deltas, b"k", token, Bytes::from_static(b"v"));
+        assert_eq!(s.content_rows(), oracle.content_rows());
+        // And the row now survives the primary's death.
+        s.fail_machine(s.machine_for(token, 0));
+        assert_eq!(
+            s.get(Table::Deltas, b"k", token).unwrap().as_deref(),
+            Some(&b"v"[..])
+        );
+    }
+
+    #[test]
+    fn batched_partial_writes_feed_the_repair_ledger() {
+        let s = store(3, 2);
+        let dead = s.machine_for(0, 1);
+        s.fail_machine(dead);
+        let rows: Vec<PutRow> = (0..6u64)
+            .map(|i| {
+                PutRow::new(
+                    Table::Deltas,
+                    i.to_be_bytes().to_vec(),
+                    0,
+                    Bytes::from_static(b"v"),
+                )
+            })
+            .collect();
+        let outcome = s.try_put_batch(rows).unwrap();
+        assert_eq!(outcome.partial, 6);
+        assert_eq!(s.under_replicated_count(), 6);
+        s.heal_all();
+        let report = s.try_repair().unwrap();
+        assert_eq!(report.repaired, 6);
+        assert_eq!(s.under_replicated_count(), 0);
+    }
+
+    #[test]
+    fn repair_refuses_a_corrupt_read_as_its_source() {
+        let s = store(3, 2);
+        let token = 0u64;
+        s.fail_machine(s.machine_for(token, 1));
+        s.put(Table::Deltas, b"k", token, Bytes::from_static(b"v"));
+        s.heal_all();
+        // Every repair-source read draws a corrupt verdict: the pass
+        // must refuse to propagate garbage and leave the row recorded.
+        s.set_fault_plan(Some(FaultPlan::new(8).with_corrupt_per_mille(1000)));
+        let report = s.try_repair().unwrap();
+        assert_eq!(report.still_degraded, 1);
+        assert_eq!(s.under_replicated_count(), 1);
+        s.set_fault_plan(None);
+        assert_eq!(s.try_repair().unwrap().repaired, 1);
+        let oracle = store(3, 2);
+        oracle.put(Table::Deltas, b"k", token, Bytes::from_static(b"v"));
+        assert_eq!(s.content_rows(), oracle.content_rows());
     }
 
     #[test]

@@ -21,14 +21,21 @@ use crate::store::{PutRow, SimStore, StoreError};
 /// batched until `max_rows` accumulate (or [`WriteBuffer::flush`] is
 /// called), then shipped per machine in single round trips.
 ///
-/// Failure semantics match the unbuffered path: a row that reaches
-/// zero replicas surfaces as [`StoreError::Unavailable`] (from the
-/// push that triggered the flush, or from the explicit flush), after
-/// the *whole* flushed batch has been processed — rows placed on
-/// healthy machines land, and the store's partial/failed put counters
-/// account for every row. Callers must `flush()` before dropping the
-/// buffer; a dropped buffer with pending rows debug-panics rather
-/// than silently losing writes.
+/// Failure semantics: inside [`SimStore::try_put_batch`] each
+/// machine's share of the flush is retried through the store's
+/// [`RetryPolicy`](crate::RetryPolicy) — capped backoff in simulated
+/// time — before any row is declared failed, so a transient fault
+/// window usually costs latency, not data. A row that still reaches
+/// zero replicas surfaces from the flush (or the push that triggered
+/// it) as [`StoreError::Transient`] when the retry budget was
+/// exhausted or [`StoreError::Unavailable`] when its replica set is
+/// permanently dead — only after the *whole* flushed batch has been
+/// processed: rows placed on healthy machines land, partially
+/// replicated rows are recorded for
+/// [`SimStore::try_repair`](crate::SimStore::try_repair), and the
+/// store's partial/failed put counters account for every row. Callers
+/// must `flush()` before dropping the buffer; a dropped buffer with
+/// pending rows debug-panics rather than silently losing writes.
 pub struct WriteBuffer<'a> {
     store: &'a SimStore,
     rows: Vec<PutRow>,
